@@ -1,0 +1,101 @@
+// Fig. 4 ablation: BIM Type A (shift at the adder-tree output) vs Type B
+// (shift-add per multiplier pair).
+//
+// The paper states the two are functionally identical and that Type A
+// "can save more resources, though this need[s] to rearrange the input
+// data". This bench (a) proves bit-exact equivalence over a large random
+// sweep, (b) compares modeled resource costs, and (c) measures host-side
+// simulation throughput of both variants and both bit modes.
+#include <chrono>
+#include <cstdio>
+
+#include "accel/bim.h"
+#include "accel/resource_model.h"
+#include "tensor/rng.h"
+
+using namespace fqbert;
+using namespace fqbert::accel;
+
+namespace {
+
+double mac_rate(const Bim& bim, BimMode mode, int64_t macs) {
+  Rng rng(1);
+  const int lanes = bim.lanes(mode);
+  std::vector<int8_t> a(static_cast<size_t>(lanes)), w(a.size());
+  for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+  for (auto& v : w)
+    v = static_cast<int8_t>(mode == BimMode::k8x4 ? rng.randint(-8, 7)
+                                                  : rng.randint(-128, 127));
+  volatile int64_t sink = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  int64_t local = 0;
+  for (int64_t i = 0; i < macs / lanes; ++i) {
+    local += mode == BimMode::k8x4 ? bim.dot_8x4(a, w) : bim.dot_8x8(a, w);
+  }
+  sink = local;
+  (void)sink;
+  const auto t1 = std::chrono::steady_clock::now();
+  const double sec = std::chrono::duration<double>(t1 - t0).count();
+  return static_cast<double>(macs) / sec / 1e6;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("=== Fig. 4 ablation: BIM Type A vs Type B ===\n\n");
+
+  // (a) Equivalence sweep.
+  int64_t checked = 0, mismatches = 0;
+  for (int m : {4, 8, 16, 32}) {
+    Bim ta(m, BimType::kTypeA);
+    Bim tb(m, BimType::kTypeB);
+    Rng rng(static_cast<uint64_t>(m));
+    for (int trial = 0; trial < 20000; ++trial) {
+      std::vector<int8_t> a(static_cast<size_t>(m / 2)), w(a.size());
+      for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+      for (auto& v : w) v = static_cast<int8_t>(rng.randint(-128, 127));
+      const bool s = rng.flip(0.5);
+      if (ta.dot_8x8(a, w, s) != tb.dot_8x8(a, w, s)) ++mismatches;
+      ++checked;
+    }
+  }
+  std::printf("equivalence sweep: %lld random 8x8 dot products, "
+              "%lld mismatches %s\n\n",
+              static_cast<long long>(checked),
+              static_cast<long long>(mismatches),
+              mismatches == 0 ? "(bit-exact)" : "(FAIL)");
+
+  // (b) Resource comparison at the paper's (8,16) point.
+  auto cfg_a = AcceleratorConfig::zcu102_8_16();
+  auto cfg_b = cfg_a;
+  cfg_b.bim_type_a = 0;
+  const auto dev = FpgaDevice::zcu102();
+  const auto ra = ResourceModel::estimate(cfg_a, dev);
+  const auto rb = ResourceModel::estimate(cfg_b, dev);
+  std::printf("%-10s %8s %8s %8s\n", "variant", "DSP48E", "FF", "LUT");
+  std::printf("%-10s %8lld %8lld %8lld\n", "Type A",
+              static_cast<long long>(ra.dsp48), static_cast<long long>(ra.ff),
+              static_cast<long long>(ra.lut));
+  std::printf("%-10s %8lld %8lld %8lld\n", "Type B",
+              static_cast<long long>(rb.dsp48), static_cast<long long>(rb.ff),
+              static_cast<long long>(rb.lut));
+  std::printf("Type B overhead: +%lld FF, +%lld LUT "
+              "(per-pair shift-adders)\n\n",
+              static_cast<long long>(rb.ff - ra.ff),
+              static_cast<long long>(rb.lut - ra.lut));
+
+  // (c) Host simulation throughput.
+  std::printf("%-10s %12s %18s\n", "variant", "mode", "sim MMAC/s (host)");
+  for (BimType type : {BimType::kTypeA, BimType::kTypeB}) {
+    Bim bim(16, type);
+    const char* tname = type == BimType::kTypeA ? "Type A" : "Type B";
+    std::printf("%-10s %12s %18.1f\n", tname, "8x4",
+                mac_rate(bim, BimMode::k8x4, 32'000'000));
+    std::printf("%-10s %12s %18.1f\n", tname, "8x8",
+                mac_rate(bim, BimMode::k8x8, 16'000'000));
+  }
+  std::printf("\n8x8 mode runs at half the MAC rate of 8x4 mode on the "
+              "same BIM,\nmatching the paper's bit-split design (M/2 "
+              "pairs per cycle).\n");
+  return 0;
+}

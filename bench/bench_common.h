@@ -1,0 +1,29 @@
+// Shared helpers for the table/figure reproduction benches. The actual
+// workflow (task construction, training, QAT, conversion) lives in the
+// pipeline library (src/pipeline); this header only adds bench-side
+// conveniences.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "pipeline/pipeline.h"
+
+namespace fqbert::bench {
+
+using namespace fqbert::pipeline;  // NOLINT: bench TU convenience
+
+/// --fast on the command line shrinks datasets/epochs ~4x for smoke runs.
+inline bool fast_mode(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i)
+    if (std::strcmp(argv[i], "--fast") == 0) return true;
+  return std::getenv("FQBERT_FAST") != nullptr;
+}
+
+inline void print_rule(int width = 72) {
+  for (int i = 0; i < width; ++i) std::putchar('-');
+  std::putchar('\n');
+}
+
+}  // namespace fqbert::bench

@@ -1,0 +1,76 @@
+// Extension study (beyond the paper's fixed seq len 128): latency and
+// energy efficiency across sequence lengths and effective batch sizes,
+// on all three accelerator operating points plus the CPU/GPU baselines.
+//
+// The paper evaluates only batch 1 / seq 128; this sweep shows where the
+// attention stages (quadratic in S) overtake the FFN stages (linear in
+// S), and how the platform ranking shifts with workload size — the
+// deployment questions an edge user asks next.
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "platform/platform.h"
+
+using namespace fqbert;
+using namespace fqbert::accel;
+
+int main() {
+  const nn::BertConfig model = nn::BertConfig::bert_base(2);
+  const auto cpu = platform::PlatformModel::cpu_i7_8700();
+  const auto gpu = platform::PlatformModel::gpu_k80();
+
+  std::printf("=== sequence-length sweep (BERT-base, batch 1) ===\n\n");
+  std::printf("%6s %12s %12s %12s %12s %14s\n", "seq", "CPU ms", "GPU ms",
+              "ZCU102 ms", "ZCU111 ms", "attn share");
+  for (int64_t s : {32, 64, 128, 256, 384, 512}) {
+    nn::BertConfig m = model;
+    m.max_seq_len = s;
+    const double flops = platform::bert_flops(m, s);
+    const auto z102 = PerfModel(AcceleratorConfig::zcu102_8_16(),
+                                FpgaDevice::zcu102())
+                          .estimate(m, s);
+    const auto z111 = PerfModel(AcceleratorConfig::zcu111_16_16(),
+                                FpgaDevice::zcu111())
+                          .estimate(m, s);
+    // Attention share of compute cycles (QK^T + softmax + Attn*V).
+    int64_t attn = 0, total = 0;
+    for (const auto& st : z102.stages) {
+      total += st.compute_cycles;
+      if (st.name == "Q*K^T" || st.name == "Softmax" || st.name == "Attn*V")
+        attn += st.compute_cycles;
+    }
+    std::printf("%6lld %12.2f %12.2f %12.2f %12.2f %13.1f%%\n",
+                static_cast<long long>(s), cpu.latency_ms(flops),
+                gpu.latency_ms(flops), z102.total_ms, z111.total_ms,
+                100.0 * static_cast<double>(attn) / static_cast<double>(total));
+  }
+
+  std::printf("\n=== throughput scaling: batched streams ===\n");
+  std::printf("(batch B processed back-to-back; FPGA keeps batch-1 latency "
+              "per item,\n the GPU amortizes launch overhead and gains "
+              "utilization with B)\n\n");
+  std::printf("%6s %16s %16s %16s\n", "B", "GPU fps", "ZCU111 fps",
+              "ZCU111/GPU fps/W");
+  const double flops = platform::bert_flops(model, 128);
+  const auto z111 = PerfModel(AcceleratorConfig::zcu111_16_16(),
+                              FpgaDevice::zcu111())
+                        .estimate(model, 128);
+  const double z111_power = PowerModel::estimate_w(
+      AcceleratorConfig::zcu111_16_16(), FpgaDevice::zcu111());
+  for (int b : {1, 2, 4, 8, 16, 32}) {
+    // GPU batch model: efficiency grows toward ~55% of peak with batch.
+    const double gpu_eff = 0.195 + (0.55 - 0.195) *
+                                       (1.0 - 1.0 / static_cast<double>(b));
+    const double gpu_ms =
+        flops * b / (gpu.peak_gflops * 1e9 * gpu_eff) * 1e3 + 1.2;
+    const double gpu_fps = 1000.0 * b / gpu_ms;
+    const double z_fps = 1000.0 / z111.total_ms;  // latency-bound device
+    std::printf("%6d %16.1f %16.1f %16.2f\n", b, gpu_fps, z_fps,
+                (z_fps / z111_power) / (gpu_fps / gpu.power_w));
+  }
+  std::printf("\nThe FPGA's fps/W advantage is a batch-1 (latency-bound, "
+              "edge) result;\nlarge batches let the GPU close the "
+              "efficiency gap — consistent with the\npaper's framing of "
+              "edge inference.\n");
+  return 0;
+}

@@ -1,0 +1,67 @@
+// Table I reproduction: accuracy of FQ-BERT (w4/a8, everything
+// quantized) vs the float baseline on synth-SST2, synth-MNLI (matched)
+// and synth-MNLI-m (mismatched genre), plus the model compression ratio.
+//
+//   paper:            w/a   SST-2   MNLI   MNLI-m   Comp. Ratio
+//   BERT (fp32)      32/32  92.32   84.19  83.97    1x
+//   FQ-BERT           4/8   91.51   81.11  80.36    7.94x
+#include "bench_common.h"
+
+#include "core/model_size.h"
+
+using namespace fqbert;
+using namespace fqbert::bench;
+
+int main(int argc, char** argv) {
+  const bool fast = fast_mode(argc, argv);
+  std::printf("=== Table I: accuracy of FQ-BERT and baseline BERT ===\n");
+  std::printf("(MiniBERT on synthetic tasks; see DESIGN.md for the "
+              "substitution rationale)%s\n\n",
+              fast ? " [--fast]" : "");
+
+  // SST-2.
+  TaskData sst2 = make_sst2_task(fast);
+  auto sst2_float = train_float(sst2, fast);
+  const double sst2_fp = sst2_float->accuracy(sst2.eval);
+  FqBertModel sst2_fq =
+      quantize_pipeline(*sst2_float, sst2, FqQuantConfig::full(), fast);
+  const double sst2_q = sst2_fq.accuracy(sst2.eval);
+
+  // MNLI (matched + mismatched).
+  TaskData mnli = make_mnli_task(fast);
+  auto mnli_float = train_float(mnli, fast);
+  const double mnli_fp = mnli_float->accuracy(mnli.eval);
+  const double mnli_m_fp = mnli_float->accuracy(mnli.eval_extra);
+  FqBertModel mnli_fq =
+      quantize_pipeline(*mnli_float, mnli, FqQuantConfig::full(), fast);
+  const double mnli_q = mnli_fq.accuracy(mnli.eval);
+  const double mnli_m_q = mnli_fq.accuracy(mnli.eval_extra);
+
+  // Compression ratio on the *paper's* model (BERT-base accounting) and
+  // on the MiniBERT actually measured.
+  const double ratio_base =
+      core::model_size_report(nn::BertConfig::bert_base(2),
+                              FqQuantConfig::full())
+          .compression_ratio();
+  const double ratio_mini =
+      core::model_size_report(mini_config(2), FqQuantConfig::full())
+          .compression_ratio();
+
+  print_rule();
+  std::printf("%-10s %6s %8s %8s %8s %12s\n", "", "w/a", "SST-2", "MNLI",
+              "MNLI-m", "Comp. Ratio");
+  print_rule();
+  std::printf("%-10s %6s %8.2f %8.2f %8.2f %12s\n", "BERT", "32/32", sst2_fp,
+              mnli_fp, mnli_m_fp, "1x");
+  std::printf("%-10s %6s %8.2f %8.2f %8.2f %9.2fx\n", "FQ-BERT", "4/8",
+              sst2_q, mnli_q, mnli_m_q, ratio_mini);
+  print_rule();
+  std::printf("paper:     32/32    92.32    84.19    83.97          1x\n");
+  std::printf("paper:       4/8    91.51    81.11    80.36       7.94x\n");
+  std::printf("\nBERT-base compression ratio (paper's model): %.2fx "
+              "(paper: 7.94x)\n", ratio_base);
+  std::printf("accuracy drops: SST-2 %.2f (paper 0.81), MNLI %.2f "
+              "(paper 3.08), MNLI-m %.2f (paper 3.61)\n",
+              sst2_fp - sst2_q, mnli_fp - mnli_q, mnli_m_fp - mnli_m_q);
+  return 0;
+}

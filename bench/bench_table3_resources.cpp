@@ -1,0 +1,82 @@
+// Table III reproduction: resource consumption and latency for the three
+// accelerator operating points (H = 12 PUs; BERT-base, seq len 128).
+//
+//   paper (N,M)   BRAM18K  DSP48E  FF      LUT     Latency(ms)
+//   ZCU102 total  1824     2520    548160  274080  -
+//   (8,16)        838      1751    124433  123157  43.89
+//   (16,8)        877      1671    151010  154192  45.35
+//   ZCU111 total  2160     4272    850560  425280  -
+//   (16,16)       679*     3287    201469  189724  23.79
+#include <cstdio>
+
+#include "accel/accelerator.h"
+
+using namespace fqbert;
+using namespace fqbert::accel;
+
+namespace {
+
+void print_device_row(const FpgaDevice& d) {
+  std::printf("%-8s %9lld %8lld %9lld %9lld %12s\n", d.name.c_str(),
+              static_cast<long long>(d.bram18k),
+              static_cast<long long>(d.dsp48), static_cast<long long>(d.ff),
+              static_cast<long long>(d.lut), "-");
+}
+
+void print_config_row(const AcceleratorConfig& cfg, const FpgaDevice& dev,
+                      const nn::BertConfig& model) {
+  const AcceleratorReport rep = evaluate(cfg, dev, model, 128);
+  char name[32];
+  std::snprintf(name, sizeof(name), "(%d,%d)%s", cfg.pes_per_pu,
+                cfg.bim_mults, rep.resources.uram > 0 ? "*" : "");
+  std::printf("%-8s %9lld %8lld %9lld %9lld %12.2f\n", name,
+              static_cast<long long>(rep.resources.bram18k),
+              static_cast<long long>(rep.resources.dsp48),
+              static_cast<long long>(rep.resources.ff),
+              static_cast<long long>(rep.resources.lut),
+              rep.latency.total_ms);
+}
+
+}  // namespace
+
+int main() {
+  const nn::BertConfig model = nn::BertConfig::bert_base(2);
+  std::printf("=== Table III: resource consumption and latency ===\n");
+  std::printf("(H = 12 PUs, BERT-base, batch 1, seq len 128, 214 MHz)\n\n");
+  std::printf("%-8s %9s %8s %9s %9s %12s\n", "(N, M)", "BRAM18K", "DSP48E",
+              "FF", "LUT", "Latency(ms)");
+  for (int i = 0; i < 62; ++i) std::putchar('-');
+  std::putchar('\n');
+
+  print_device_row(FpgaDevice::zcu102());
+  print_config_row(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102(),
+                   model);
+  print_config_row(AcceleratorConfig::zcu102_16_8(), FpgaDevice::zcu102(),
+                   model);
+  print_device_row(FpgaDevice::zcu111());
+  print_config_row(AcceleratorConfig::zcu111_16_16(), FpgaDevice::zcu111(),
+                   model);
+  std::printf("* URAM used for large buffers (not counted as BRAM18K)\n\n");
+
+  std::printf("paper:  (8,16)  838/1751/124433/123157, 43.89 ms\n");
+  std::printf("paper:  (16,8)  877/1671/151010/154192, 45.35 ms\n");
+  std::printf("paper: (16,16)  679/3287/201469/189724, 23.79 ms\n\n");
+
+  // Scalability sweep beyond the paper's points.
+  std::printf("Scalability sweep (ZCU111, latency in ms):\n");
+  std::printf("%-10s %10s %10s %10s\n", "(N, M)", "DSP48E", "fits?",
+              "Latency");
+  for (int n : {4, 8, 16, 32}) {
+    for (int m : {8, 16}) {
+      AcceleratorConfig cfg;
+      cfg.pes_per_pu = n;
+      cfg.bim_mults = m;
+      const auto rep = evaluate(cfg, FpgaDevice::zcu111(), model, 128);
+      std::printf("(%2d,%2d)    %10lld %10s %10.2f\n", n, m,
+                  static_cast<long long>(rep.resources.dsp48),
+                  rep.resources.fits(FpgaDevice::zcu111()) ? "yes" : "NO",
+                  rep.latency.total_ms);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,57 @@
+// Table IV reproduction: latency, power and energy efficiency of CPU,
+// GPU, and the two FPGA accelerators (batch 1, seq len 128).
+//
+//   paper:            CPU      GPU      ZCU102   ZCU111
+//   Latency (ms)      145.06   27.84    43.89    23.79
+//   Power (W)         65       143      9.8      13.2
+//   fps/W             0.11     0.25     2.32     3.18
+//   => 28.91x over CPU, 12.72x over GPU (ZCU111)
+#include <cstdio>
+
+#include "accel/accelerator.h"
+#include "platform/platform.h"
+
+using namespace fqbert;
+
+int main() {
+  const nn::BertConfig model = nn::BertConfig::bert_base(2);
+  const int64_t seq = 128;
+  const double flops = platform::bert_flops(model, seq);
+
+  const auto cpu = platform::PlatformModel::cpu_i7_8700();
+  const auto gpu = platform::PlatformModel::gpu_k80();
+  const auto z102 = accel::evaluate(accel::AcceleratorConfig::zcu102_8_16(),
+                                    accel::FpgaDevice::zcu102(), model, seq);
+  const auto z111 = accel::evaluate(accel::AcceleratorConfig::zcu111_16_16(),
+                                    accel::FpgaDevice::zcu111(), model, seq);
+
+  std::printf("=== Table IV: performance comparison on CPU, GPU, FPGA ===\n");
+  std::printf("(BERT-base, batch 1, seq len 128; %.1f GFLOPs/inference)\n\n",
+              flops / 1e9);
+  std::printf("%-14s %10s %10s %10s %10s\n", "", "CPU", "GPU", "ZCU102",
+              "ZCU111");
+  for (int i = 0; i < 58; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("%-14s %10.2f %10.2f %10.2f %10.2f\n", "Latency(ms)",
+              cpu.latency_ms(flops), gpu.latency_ms(flops),
+              z102.latency.total_ms, z111.latency.total_ms);
+  std::printf("%-14s %10.1f %10.1f %10.1f %10.1f\n", "Power(W)", cpu.power_w,
+              gpu.power_w, z102.power_w, z111.power_w);
+  std::printf("%-14s %10.2f %10.2f %10.2f %10.2f\n", "fps/W",
+              cpu.fps_per_w(flops), gpu.fps_per_w(flops), z102.fps_per_w,
+              z111.fps_per_w);
+  for (int i = 0; i < 58; ++i) std::putchar('-');
+  std::putchar('\n');
+  std::printf("paper:         145.06/65/0.11  27.84/143/0.25  "
+              "43.89/9.8/2.32  23.79/13.2/3.18\n\n");
+
+  std::printf("ZCU111 vs CPU: %.2fx latency, %.2fx fps/W "
+              "(paper: 6.10x, 28.91x)\n",
+              cpu.latency_ms(flops) / z111.latency.total_ms,
+              z111.fps_per_w / cpu.fps_per_w(flops));
+  std::printf("ZCU111 vs GPU: %.2fx latency, %.2fx fps/W "
+              "(paper: 1.17x, 12.72x)\n",
+              gpu.latency_ms(flops) / z111.latency.total_ms,
+              z111.fps_per_w / gpu.fps_per_w(flops));
+  return 0;
+}

@@ -1,0 +1,70 @@
+// Quantization explorer: post-training quantization (no fine-tuning) of
+// a trained model at several weight bitwidths, with CLIP vs NO_CLIP
+// thresholds — the interactive companion to Fig. 3.
+//
+// Build & run:  ./build/examples/quantization_explorer
+#include <cstdio>
+
+#include "core/fq_bert.h"
+#include "data/synth_tasks.h"
+#include "nn/trainer.h"
+
+using namespace fqbert;
+
+int main() {
+  data::Sst2Config dcfg;
+  dcfg.max_sentiment = 1;
+  dcfg.p_negator = 0.0;  // keep the task easy: this demo is about PTQ
+  const auto train_set = data::make_sst2(dcfg, 800, 11);
+  const auto eval_set = data::make_sst2(dcfg, 300, 12);
+
+  nn::BertConfig mcfg;
+  mcfg.hidden = 48;
+  mcfg.num_layers = 2;
+  mcfg.num_heads = 4;
+  mcfg.ffn_dim = 192;
+  mcfg.num_classes = 2;
+  Rng rng(5);
+  nn::BertModel model(mcfg, rng);
+  nn::TrainConfig tc;
+  tc.epochs = 4;
+  nn::train(model, train_set, eval_set, tc);
+  const double float_acc = model.accuracy(eval_set);
+  std::printf("float accuracy: %.2f%%\n\n", float_acc);
+
+  std::printf("post-training quantization (no fine-tune):\n");
+  std::printf("%6s %12s %12s %16s\n", "bits", "CLIP", "NO_CLIP",
+              "weight RMS err");
+  for (int bits : {8, 6, 4, 3, 2}) {
+    double acc[2];
+    double rms = 0.0;
+    for (int c = 0; c < 2; ++c) {
+      core::FqQuantConfig cfg;
+      cfg.weight_bits = bits;
+      cfg.clip = c == 0 ? quant::ClipMode::kPercentile
+                        : quant::ClipMode::kNone;
+      cfg.quantize_softmax = true;
+      cfg.quantize_layernorm = true;
+      core::QatBert qat(model, cfg);
+      qat.calibrate(train_set);  // PTQ: calibrate only, no training
+      core::FqBertModel engine = core::FqBertModel::convert(qat);
+      acc[c] = engine.accuracy(eval_set);
+      if (c == 0) {
+        // RMS reconstruction error of the first layer's query weights.
+        const auto& ql = engine.encoder_layers()[0].wq;
+        const Tensor& w = model.layers[0]->attn.wq.weight.value;
+        double sq = 0;
+        for (int64_t i = 0; i < w.numel(); ++i) {
+          const double back =
+              ql.w_codes[static_cast<size_t>(i)] / ql.w_scale;
+          sq += (back - w[i]) * (back - w[i]);
+        }
+        rms = std::sqrt(sq / static_cast<double>(w.numel()));
+      }
+    }
+    std::printf("%6d %11.2f%% %11.2f%% %16.5f\n", bits, acc[0], acc[1], rms);
+  }
+  std::printf("\nExpected shape (Fig. 3): graceful until ~4 bits, collapse "
+              "at 2; CLIP dominates at low bitwidths.\n");
+  return 0;
+}

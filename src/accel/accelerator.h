@@ -1,0 +1,37 @@
+// Facade: evaluate an accelerator configuration end to end —
+// resources, latency, power, energy efficiency (the quantities the
+// paper's Tables III and IV report).
+#pragma once
+
+#include "accel/perf_model.h"
+#include "accel/power_model.h"
+#include "accel/resource_model.h"
+
+namespace fqbert::accel {
+
+struct AcceleratorReport {
+  AcceleratorConfig config;
+  FpgaDevice device;
+  ResourceUsage resources;
+  LatencyReport latency;
+  double power_w = 0.0;
+  double fps = 0.0;
+  double fps_per_w = 0.0;
+};
+
+inline AcceleratorReport evaluate(const AcceleratorConfig& cfg,
+                                  const FpgaDevice& dev,
+                                  const nn::BertConfig& model_cfg,
+                                  int64_t seq_len) {
+  AcceleratorReport rep;
+  rep.config = cfg;
+  rep.device = dev;
+  rep.resources = ResourceModel::estimate(cfg, dev);
+  rep.latency = PerfModel(cfg, dev).estimate(model_cfg, seq_len);
+  rep.power_w = PowerModel::estimate_w(rep.resources, cfg, dev);
+  rep.fps = rep.latency.fps();
+  rep.fps_per_w = rep.fps / rep.power_w;
+  return rep;
+}
+
+}  // namespace fqbert::accel

@@ -1,0 +1,109 @@
+#include "accel/bim.h"
+
+#include <cassert>
+
+namespace fqbert::accel {
+
+namespace {
+bool is_pow2(int v) { return v > 0 && (v & (v - 1)) == 0; }
+}  // namespace
+
+Bim::Bim(int m_mults, BimType type) : m_(m_mults), type_(type) {
+  if (!is_pow2(m_mults) || m_mults < 2) {
+    throw std::invalid_argument("BIM multiplier count must be a power of two >= 2");
+  }
+}
+
+int32_t Bim::mult_8x4(int8_t a, int8_t w_nibble, bool a_signed,
+                      bool w_signed) {
+  const int32_t av = a_signed ? static_cast<int32_t>(a)
+                              : static_cast<int32_t>(static_cast<uint8_t>(a));
+  const int32_t wv = w_signed ? static_cast<int32_t>(w_nibble)
+                              : static_cast<int32_t>(
+                                    static_cast<uint8_t>(w_nibble) & 0x0Fu);
+  assert(w_signed ? (wv >= -8 && wv <= 7) : (wv >= 0 && wv <= 15));
+  return av * wv;
+}
+
+int32_t Bim::dot_8x4(std::span<const int8_t> a, std::span<const int8_t> w,
+                     bool a_signed, bool w_signed) const {
+  assert(a.size() <= static_cast<size_t>(m_) && a.size() == w.size());
+  // Two m-input adder trees: even lanes feed tree0, odd lanes tree1; in
+  // 8x4 mode the trees' outputs are added with no shift.
+  int32_t tree0 = 0, tree1 = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const int32_t p = mult_8x4(a[i], w[i], a_signed, w_signed);
+    (i % 2 == 0 ? tree0 : tree1) += p;
+  }
+  return tree0 + tree1;
+}
+
+int32_t Bim::dot_8x8(std::span<const int8_t> a, std::span<const int8_t> w,
+                     bool a_signed, bool w_signed) const {
+  assert(a.size() <= static_cast<size_t>(m_ / 2) && a.size() == w.size());
+  if (type_ == BimType::kTypeB) {
+    // Type B: shift-add per multiplier pair, one tree over pair results.
+    int32_t sum = 0;
+    for (size_t j = 0; j < a.size(); ++j) {
+      const int8_t w_hi = static_cast<int8_t>(w[j] >> 4);  // arithmetic
+      const int8_t w_lo = static_cast<int8_t>(w[j] & 0x0F);
+      const int32_t p_hi = mult_8x4(a[j], w_hi, a_signed, w_signed);
+      const int32_t p_lo = mult_8x4(a[j], w_lo, a_signed, /*w_signed=*/false);
+      sum += (p_hi << 4) + p_lo;
+    }
+    return sum;
+  }
+  // Type A: all low nibbles through tree0, all high nibbles through
+  // tree1, single shift at the tree output (operands rearranged so each
+  // nibble class lands on its tree).
+  int32_t tree_lo = 0, tree_hi = 0;
+  for (size_t j = 0; j < a.size(); ++j) {
+    const int8_t w_hi = static_cast<int8_t>(w[j] >> 4);
+    const int8_t w_lo = static_cast<int8_t>(w[j] & 0x0F);
+    tree_hi += mult_8x4(a[j], w_hi, a_signed, w_signed);
+    tree_lo += mult_8x4(a[j], w_lo, a_signed, /*w_signed=*/false);
+  }
+  return (tree_hi << 4) + tree_lo;
+}
+
+int32_t Bim::dot(std::span<const int8_t> a, std::span<const int8_t> w,
+                 BimMode mode, int64_t* cycles_out, bool a_signed) const {
+  assert(a.size() == w.size());
+  const size_t lane = static_cast<size_t>(lanes(mode));
+  int64_t cycles = 0;
+  int64_t acc = 0;
+  for (size_t off = 0; off < a.size(); off += lane) {
+    const size_t n = std::min(lane, a.size() - off);
+    const auto asub = a.subspan(off, n);
+    const auto wsub = w.subspan(off, n);
+    acc += mode == BimMode::k8x4 ? dot_8x4(asub, wsub, a_signed)
+                                 : dot_8x8(asub, wsub, a_signed);
+    ++cycles;
+  }
+  if (cycles_out != nullptr) *cycles_out = cycles;
+  return static_cast<int32_t>(acc);
+}
+
+int64_t bim_matmul_wt(const Bim& bim, BimMode mode,
+                      const std::vector<int8_t>& a,
+                      const std::vector<int8_t>& w,
+                      std::vector<int32_t>& acc, int64_t rows, int64_t k,
+                      int64_t cols, bool a_signed) {
+  assert(static_cast<int64_t>(a.size()) == rows * k);
+  assert(static_cast<int64_t>(w.size()) == cols * k);
+  acc.assign(static_cast<size_t>(rows * cols), 0);
+  int64_t total_cycles = 0;
+  for (int64_t r = 0; r < rows; ++r) {
+    std::span<const int8_t> arow(a.data() + r * k, static_cast<size_t>(k));
+    for (int64_t c = 0; c < cols; ++c) {
+      std::span<const int8_t> wrow(w.data() + c * k, static_cast<size_t>(k));
+      int64_t cyc = 0;
+      acc[static_cast<size_t>(r * cols + c)] =
+          bim.dot(arow, wrow, mode, &cyc, a_signed);
+      total_cycles += cyc;
+    }
+  }
+  return total_cycles;
+}
+
+}  // namespace fqbert::accel

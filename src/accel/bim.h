@@ -1,0 +1,84 @@
+// BIM — Bit-split Inner-product Module (paper Fig. 4, Sec. III-B).
+//
+// A BIM is the arithmetic heart of a PE: M = 2^m multipliers, each
+// 8-bit x 4-bit, two adder trees and shift-add logic, run-time
+// reconfigurable between
+//   * 8x4 mode: M independent a(8b) x w(4b) products per cycle, and
+//   * 8x8 mode: M/2 a(8b) x w(8b) products per cycle, each 8-bit weight
+//     split into a signed high nibble and an unsigned low nibble
+//     (bit-fusion style):  a*w = (a*w_hi << 4) + a*w_lo.
+//
+// The shift-add placement distinguishes the two variants:
+//   * Type B shifts per multiplier pair, then sums M/2 pair results;
+//   * Type A sums all low-nibble products in one tree and all high-nibble
+//     products in the other, applying a single <<4 at the tree output —
+//     cheaper in LUTs, but the operands must be rearranged so that lo/hi
+//     nibbles land on the correct tree (the "rearrange the input data"
+//     cost mentioned in the paper).
+// Both types produce bit-identical sums; tests sweep operand space to
+// prove it, and the resource model charges them differently.
+//
+// Every multiplier carries a sign flag so unsigned operands (softmax
+// probabilities in Attn·V) are supported.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace fqbert::accel {
+
+enum class BimType { kTypeA, kTypeB };
+enum class BimMode { k8x4, k8x8 };
+
+class Bim {
+ public:
+  /// m_mults must be a power of two >= 2.
+  Bim(int m_mults, BimType type);
+
+  int m() const { return m_; }
+  BimType type() const { return type_; }
+
+  /// Lanes consumed per cycle in a mode.
+  int lanes(BimMode mode) const {
+    return mode == BimMode::k8x4 ? m_ : m_ / 2;
+  }
+
+  /// One cycle of 8x4 dot product: a has up to M int8 values, w up to M
+  /// int4 codes (stored in int8, range [-8,7] signed or [0,15] unsigned
+  /// depending on flags). Shorter spans are zero-padded.
+  int32_t dot_8x4(std::span<const int8_t> a, std::span<const int8_t> w,
+                  bool a_signed = true, bool w_signed = true) const;
+
+  /// One cycle of 8x8 dot product: up to M/2 activation/weight pairs.
+  /// a_signed=false handles the unsigned softmax probabilities.
+  int32_t dot_8x8(std::span<const int8_t> a, std::span<const int8_t> w,
+                  bool a_signed = true, bool w_signed = true) const;
+
+  /// Multi-cycle dot product of arbitrary length (the PE loop): returns
+  /// the accumulated int32 and, via cycles_out, the cycle count consumed.
+  int32_t dot(std::span<const int8_t> a, std::span<const int8_t> w,
+              BimMode mode, int64_t* cycles_out = nullptr,
+              bool a_signed = true) const;
+
+ private:
+  /// The physical 8x4 multiplier: 8-bit (signed/unsigned) activation
+  /// times 4-bit (signed/unsigned) weight nibble.
+  static int32_t mult_8x4(int8_t a, int8_t w_nibble, bool a_signed,
+                          bool w_signed);
+
+  int m_;
+  BimType type_;
+};
+
+/// Matrix product routed through a BIM, used to prove the datapath is
+/// bit-exact against the plain integer kernels: acc[r, c] =
+/// sum_k a[r, k] * w[c, k]. Returns total BIM cycles.
+int64_t bim_matmul_wt(const Bim& bim, BimMode mode,
+                      const std::vector<int8_t>& a,
+                      const std::vector<int8_t>& w,
+                      std::vector<int32_t>& acc, int64_t rows, int64_t k,
+                      int64_t cols, bool a_signed = true);
+
+}  // namespace fqbert::accel

@@ -1,0 +1,95 @@
+// On-chip buffer inventory (paper Fig. 2).
+//
+// The accelerator holds six buffer classes on chip:
+//   * input/output buffers    — one sequence of activations each,
+//   * weight buffer           — double-buffered sub-stage tiles,
+//   * psum buffers            — per-PE, double-buffered (Sec. III-B),
+//   * parameter buffer        — scales, softmax LUT, GELU LUT, LN params,
+//   * intermediate buffer     — Q, K, V and the attention matrix.
+//
+// This module sizes each buffer from the model/accelerator configuration
+// and maps bytes to BRAM18K blocks, giving a *structural* BRAM estimate
+// that tests cross-check against the calibrated ResourceModel total, and
+// a capacity-feasibility check for a given device.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+
+#include "accel/device.h"
+#include "nn/bert.h"
+
+namespace fqbert::accel {
+
+struct BufferBudget {
+  int64_t input_bytes = 0;
+  int64_t output_bytes = 0;
+  int64_t weight_bytes = 0;        // both halves of the double buffer
+  int64_t psum_bytes = 0;          // all PEs, both banks
+  int64_t param_bytes = 0;
+  int64_t intermediate_bytes = 0;  // Q, K, V, attention matrix
+
+  int64_t total_bytes() const {
+    return input_bytes + output_bytes + weight_bytes + psum_bytes +
+           param_bytes + intermediate_bytes;
+  }
+
+  /// BRAM18K blocks: 18 Kbit = 2304 bytes per block, with per-buffer
+  /// granularity (each logical buffer rounds up to whole blocks, and
+  /// banking forces at least 2 blocks per independently-addressed
+  /// memory).
+  int64_t bram18k(int64_t pe_count) const {
+    auto blocks = [](int64_t bytes) {
+      return std::max<int64_t>(1, (bytes + 2303) / 2304);
+    };
+    int64_t total = 0;
+    total += blocks(input_bytes);
+    total += blocks(output_bytes);
+    total += 2 * blocks(weight_bytes / 2);  // two independent halves
+    // psum buffers are per-PE dual-bank memories: tiny but block-granular.
+    total += pe_count;  // ~1 block per PE covers both banks at N<=32
+    total += blocks(param_bytes);
+    total += blocks(intermediate_bytes);
+    return total;
+  }
+};
+
+inline BufferBudget plan_buffers(const nn::BertConfig& m, int64_t seq_len,
+                                 const AcceleratorConfig& cfg) {
+  BufferBudget b;
+  const int64_t s_len = seq_len;
+  const int64_t h = m.hidden;
+  const int64_t heads = m.num_heads;
+
+  // 8-bit activations.
+  b.input_bytes = s_len * h;
+  b.output_bytes = s_len * h;
+  b.weight_bytes = cfg.weight_buffer_bytes;
+  // 32-bit psums, double buffered, one outstanding output per PE bank.
+  b.psum_bytes = cfg.total_pes() * 2 * 4;
+  // Scales (a few hundred), softmax LUT (256 B), GELU LUT (256 B),
+  // LN gamma/beta for the active layer (2 * h), biases of the largest
+  // matmul (ffn_dim * 4 B).
+  b.param_bytes = 512 + 256 + 256 + 2 * h + m.ffn_dim * 4;
+  // Q, K, V (8-bit) and the attention matrix for all heads (8-bit);
+  // the FFN mid activations reuse the Q/K/V region (S*ffn exceeds it,
+  // so take the max of the two working sets).
+  const int64_t qkv = 3 * s_len * h;
+  const int64_t attn = heads * s_len * s_len;
+  const int64_t ffn_mid = s_len * m.ffn_dim;
+  b.intermediate_bytes = std::max(qkv, ffn_mid) + attn;
+  return b;
+}
+
+/// Does the plan fit the device's BRAM (plus URAM offload when present)?
+inline bool buffers_fit(const BufferBudget& b, const AcceleratorConfig& cfg,
+                        const FpgaDevice& dev) {
+  int64_t blocks = b.bram18k(cfg.total_pes());
+  if (dev.has_uram) {
+    // The weight double-buffer moves to URAM on devices that have it.
+    blocks -= 2 * std::max<int64_t>(1, (cfg.weight_buffer_bytes / 2 + 2303) / 2304);
+  }
+  return blocks <= dev.bram18k;
+}
+
+}  // namespace fqbert::accel

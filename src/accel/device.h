@@ -1,0 +1,100 @@
+// FPGA device catalog (paper Table III header rows) and accelerator
+// configuration.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace fqbert::accel {
+
+/// Target-device resource envelope and board characteristics.
+struct FpgaDevice {
+  std::string name;
+  int64_t bram18k = 0;
+  int64_t dsp48 = 0;
+  int64_t ff = 0;
+  int64_t lut = 0;
+  bool has_uram = false;       // ZCU111 maps large buffers to URAM
+  double axi_bytes_per_cycle = 32.0;  // effective off-chip bandwidth
+  double static_power_w = 0.0;        // PS + PL static + board overhead
+
+  static FpgaDevice zcu102() {
+    FpgaDevice d;
+    d.name = "ZCU102";
+    d.bram18k = 1824;
+    d.dsp48 = 2520;
+    d.ff = 548160;
+    d.lut = 274080;
+    d.has_uram = false;
+    d.axi_bytes_per_cycle = 32.0;
+    d.static_power_w = 3.8;
+    return d;
+  }
+
+  static FpgaDevice zcu111() {
+    FpgaDevice d;
+    d.name = "ZCU111";
+    d.bram18k = 2160;
+    d.dsp48 = 4272;
+    d.ff = 850560;
+    d.lut = 425280;
+    d.has_uram = true;
+    d.axi_bytes_per_cycle = 64.0;
+    d.static_power_w = 4.1;
+    return d;
+  }
+};
+
+/// Accelerator instantiation parameters (paper: H=12 PUs; Table III
+/// examines (N, M) = PEs per PU and multipliers per BIM).
+struct AcceleratorConfig {
+  int num_pus = 12;        // H
+  int pes_per_pu = 8;      // N
+  int bim_mults = 16;      // M
+  int bim_type_a = 1;      // 1 = Type A (default; cheaper), 0 = Type B
+  double clock_mhz = 214.0;
+
+  // On-chip buffer sizing (bytes). The weight buffer is double buffered:
+  // each half holds one sub-stage weight tile.
+  int64_t weight_buffer_bytes = 256 * 1024;
+  bool double_buffer_weights = true;
+
+  // SIMD lane counts of the special-function cores. The softmax and LN
+  // cores are built from the same vector datapath as the BIM columns, so
+  // their width follows M; -1 means "match bim_mults".
+  int softmax_lanes = -1;
+  int ln_lanes = -1;
+
+  int resolved_softmax_lanes() const {
+    return softmax_lanes > 0 ? softmax_lanes : bim_mults;
+  }
+  int resolved_ln_lanes() const {
+    return ln_lanes > 0 ? ln_lanes : bim_mults;
+  }
+
+  int64_t total_pes() const {
+    return static_cast<int64_t>(num_pus) * pes_per_pu;
+  }
+  int64_t total_mults() const { return total_pes() * bim_mults; }
+
+  static AcceleratorConfig zcu102_8_16() {
+    AcceleratorConfig c;
+    c.pes_per_pu = 8;
+    c.bim_mults = 16;
+    return c;
+  }
+  static AcceleratorConfig zcu102_16_8() {
+    AcceleratorConfig c;
+    c.pes_per_pu = 16;
+    c.bim_mults = 8;
+    return c;
+  }
+  static AcceleratorConfig zcu111_16_16() {
+    AcceleratorConfig c;
+    c.pes_per_pu = 16;
+    c.bim_mults = 16;
+    return c;
+  }
+};
+
+}  // namespace fqbert::accel

@@ -1,0 +1,40 @@
+// Full-model functional accelerator simulation.
+//
+// Runs a complete FqBertModel inference through the BIM datapath —
+// every layer, bit-exact — while accounting per-stage datapath cycles,
+// and converts them to a wall-clock estimate using the configured
+// PE-array parallelism and the special-function core widths. This is an
+// *executable* latency estimate, independent of the analytical PerfModel;
+// the two are cross-checked in tests and in bench_schedule_ablation.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "accel/functional.h"
+#include "core/fq_bert.h"
+
+namespace fqbert::accel {
+
+struct FullSimStage {
+  std::string name;
+  int64_t mac_count = 0;
+  int64_t pe_cycles = 0;  // cycles on the full PE array
+};
+
+struct FullSimReport {
+  Tensor logits;             // bit-exact model output
+  int32_t predicted = 0;
+  std::vector<FullSimStage> per_layer;  // aggregated over layers
+  int64_t total_pe_cycles = 0;
+  int64_t total_special_cycles = 0;  // softmax + LN cores
+  double fpga_ms = 0.0;
+};
+
+/// Execute `example` through the engine on the simulated datapath.
+FullSimReport run_full_model(const core::FqBertModel& engine,
+                             const nn::Example& example,
+                             const AcceleratorConfig& cfg);
+
+}  // namespace fqbert::accel

@@ -1,0 +1,34 @@
+// Functional (bit-exact) accelerator simulation.
+//
+// Runs an FqEncoderLayer's arithmetic through the PE/BIM datapath
+// instead of the plain integer kernels: every multiply goes through the
+// Bit-split Inner-product Module with the mode the real stage uses
+// (8x4 for weight matmuls, 8x8 for QKᵀ and Attn·V — the latter with the
+// unsigned-activation sign flag for softmax probabilities). Tests assert
+// the outputs equal FqEncoderLayer::forward bit-for-bit; the returned
+// cycle counts cross-check PerfModel's stage arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/bim.h"
+#include "accel/device.h"
+#include "core/fq_bert.h"
+
+namespace fqbert::accel {
+
+struct FunctionalRunStats {
+  int64_t bim_cycles_8x4 = 0;  // cycles if one PE did all the work
+  int64_t bim_cycles_8x8 = 0;
+  int64_t mac_count = 0;
+};
+
+/// Execute one encoder layer through the BIM datapath. x/y are int8 code
+/// vectors [seq_len * hidden] as in FqEncoderLayer::forward.
+FunctionalRunStats run_layer_on_bim(const core::FqEncoderLayer& layer,
+                                    const Bim& bim,
+                                    const std::vector<int8_t>& x,
+                                    std::vector<int8_t>& y, int64_t seq_len);
+
+}  // namespace fqbert::accel

@@ -1,0 +1,101 @@
+// Structural PE / PU model (paper Fig. 2).
+//
+// A PE couples one BIM with an accumulator, a double-buffered partial-
+// sum buffer and the requantization unit: while the quant unit drains
+// psum bank A, the BIM accumulates the next output into bank B — the
+// reason "the Psum Buf is double buffered to ensure the calculation can
+// be pipelined" (Sec. III-B).
+//
+// A PU broadcasts one activation vector to its N PEs, each working on a
+// different output element. Pu::matmul executes a full matrix product
+// tile-by-tile, producing bit-exact outputs *and* a cycle count that the
+// analytical PerfModel must agree with (cross-checked in tests).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "accel/bim.h"
+#include "core/int_kernels.h"
+
+namespace fqbert::accel {
+
+/// Cycle cost bookkeeping for a PE tile.
+struct PeCycleStats {
+  int64_t bim_cycles = 0;    // operand chunks consumed
+  int64_t quant_cycles = 0;  // psum drain (hidden when <= bim_cycles)
+  int64_t stalls = 0;        // quant not hidden by the next tile
+};
+
+/// One processing element: BIM + accumulator + double-buffered psum +
+/// requant. Latency of the quant pipeline per output.
+class Pe {
+ public:
+  static constexpr int64_t kQuantLatency = 4;
+
+  Pe(int bim_mults, BimType type) : bim_(bim_mults, type) {}
+
+  const Bim& bim() const { return bim_; }
+
+  /// Accumulate a full dot product (arbitrary K) through the BIM.
+  int32_t dot(std::span<const int8_t> a, std::span<const int8_t> w,
+              BimMode mode, PeCycleStats& stats, bool a_signed = true) const {
+    int64_t cycles = 0;
+    const int32_t acc = bim_.dot(a, w, mode, &cycles, a_signed);
+    stats.bim_cycles += cycles;
+    // The requant of this output drains while the next dot computes; it
+    // is exposed only if the next dot is shorter than the pipeline.
+    stats.quant_cycles += kQuantLatency;
+    if (cycles < kQuantLatency) stats.stalls += kQuantLatency - cycles;
+    return acc;
+  }
+
+ private:
+  Bim bim_;
+};
+
+/// A processing unit: N PEs sharing a broadcast activation operand.
+class Pu {
+ public:
+  Pu(int num_pes, int bim_mults, BimType type) {
+    pes_.reserve(static_cast<size_t>(num_pes));
+    for (int i = 0; i < num_pes; ++i) pes_.emplace_back(bim_mults, type);
+  }
+
+  int num_pes() const { return static_cast<int>(pes_.size()); }
+
+  /// acc[r, c] = sum_k a[r, k] * w[c, k], outputs distributed over the
+  /// PEs round-robin; all PEs in a tile share the broadcast row of `a`.
+  /// Returns PU cycles (max over PEs per tile, summed over tiles).
+  int64_t matmul(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
+                 std::vector<int32_t>& acc, int64_t rows, int64_t k,
+                 int64_t cols, BimMode mode, bool a_signed = true) const {
+    acc.assign(static_cast<size_t>(rows * cols), 0);
+    const int64_t n = num_pes();
+    int64_t total_cycles = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      std::span<const int8_t> arow(a.data() + r * k, static_cast<size_t>(k));
+      for (int64_t c0 = 0; c0 < cols; c0 += n) {
+        // One tile: PEs 0..n-1 take consecutive output columns.
+        int64_t tile_cycles = 0;
+        const int64_t c1 = std::min(c0 + n, cols);
+        for (int64_t c = c0; c < c1; ++c) {
+          PeCycleStats st;
+          std::span<const int8_t> wrow(w.data() + c * k,
+                                       static_cast<size_t>(k));
+          acc[static_cast<size_t>(r * cols + c)] =
+              pes_[static_cast<size_t>(c - c0)].dot(arow, wrow, mode, st,
+                                                    a_signed);
+          tile_cycles = std::max(tile_cycles, st.bim_cycles + st.stalls);
+        }
+        total_cycles += tile_cycles;
+      }
+    }
+    return total_cycles;
+  }
+
+ private:
+  std::vector<Pe> pes_;
+};
+
+}  // namespace fqbert::accel

@@ -1,0 +1,162 @@
+#include "accel/perf_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fqbert::accel {
+
+namespace {
+int64_t ceil_div(int64_t a, int64_t b) { return (a + b - 1) / b; }
+}  // namespace
+
+int64_t PerfModel::matmul_cycles(int64_t rows, int64_t k, int64_t cols,
+                                 bool mode_8x8) const {
+  const int64_t lanes = mode_8x8 ? cfg_.bim_mults / 2 : cfg_.bim_mults;
+  const int64_t outputs = rows * cols;
+  const int64_t tiles = ceil_div(outputs, cfg_.total_pes());
+  const int64_t dot_cycles = ceil_div(k, lanes);
+  return tiles * (dot_cycles + kTileOverheadCycles);
+}
+
+int64_t PerfModel::softmax_cycles(int64_t rows, int64_t cols) const {
+  // Max-scan, LUT+sum, divide: three SIMD passes per row.
+  return rows * kSoftmaxPassesPerRow *
+             ceil_div(cols, cfg_.resolved_softmax_lanes()) +
+         kStageControlCycles;
+}
+
+int64_t PerfModel::layernorm_cycles(int64_t rows, int64_t width) const {
+  // The 3-stage pipelined SIMD unit (Sec. III-B "LN Core").
+  return rows * kLnPassesPerRow * ceil_div(width, cfg_.resolved_ln_lanes()) +
+         kStageControlCycles;
+}
+
+int64_t PerfModel::transfer_cycles(int64_t bytes) const {
+  return static_cast<int64_t>(
+      std::ceil(static_cast<double>(bytes) / dev_.axi_bytes_per_cycle));
+}
+
+StageStats PerfModel::weight_stage(const std::string& name, int64_t rows,
+                                   int64_t k, int64_t cols,
+                                   int64_t weight_bytes, bool overlap) const {
+  StageStats st;
+  st.name = name;
+  st.weight_bytes = weight_bytes;
+  st.compute_cycles = matmul_cycles(rows, k, cols, /*mode_8x8=*/false);
+  st.transfer_cycles = transfer_cycles(weight_bytes);
+
+  const int64_t half_buf = cfg_.weight_buffer_bytes / 2;
+  const int sub = static_cast<int>(
+      std::max<int64_t>(1, ceil_div(weight_bytes, half_buf)));
+  st.sub_stages = sub;
+
+  const int64_t load_per_sub = ceil_div(st.transfer_cycles, sub);
+  const int64_t comp_per_sub = ceil_div(st.compute_cycles, sub);
+  if (overlap) {
+    // Fig. 5: the first tile's load is exposed; afterwards load i+1 runs
+    // under compute i.
+    st.total_cycles = load_per_sub +
+                      (sub - 1) * std::max(load_per_sub, comp_per_sub) +
+                      comp_per_sub + kStageControlCycles;
+    st.stall_cycles = st.total_cycles - st.compute_cycles -
+                      kStageControlCycles;
+    if (st.stall_cycles < 0) st.stall_cycles = 0;
+  } else {
+    st.total_cycles =
+        st.transfer_cycles + st.compute_cycles + kStageControlCycles;
+    st.stall_cycles = st.transfer_cycles;
+  }
+  return st;
+}
+
+LatencyReport PerfModel::estimate(const nn::BertConfig& m,
+                                  int64_t seq_len) const {
+  return estimate_impl(m, seq_len, cfg_.double_buffer_weights);
+}
+
+LatencyReport PerfModel::estimate_no_overlap(const nn::BertConfig& m,
+                                             int64_t seq_len) const {
+  return estimate_impl(m, seq_len, false);
+}
+
+LatencyReport PerfModel::estimate_impl(const nn::BertConfig& m,
+                                       int64_t seq_len, bool overlap) const {
+  const int64_t s_len = seq_len;
+  const int64_t hd = m.hidden;
+  const int64_t f = m.ffn_dim;
+  const int64_t heads = m.num_heads;
+  const int64_t dh = m.head_dim();
+
+  // 4-bit weights, two per byte; biases (32b) and scales ride along.
+  auto wbytes = [](int64_t k, int64_t cols) {
+    return k * cols / 2 + cols * 4 + 16;
+  };
+
+  LatencyReport rep;
+  rep.num_layers = static_cast<int>(m.num_layers);
+
+  auto add = [&rep](StageStats st) {
+    rep.cycles_per_layer += st.total_cycles;
+    rep.stages.push_back(std::move(st));
+  };
+
+  // --- Fig. 5 stage sequence, one encoder layer ---
+  add(weight_stage("X*Wq", s_len, hd, hd, wbytes(hd, hd), overlap));
+  add(weight_stage("X*Wk", s_len, hd, hd, wbytes(hd, hd), overlap));
+  add(weight_stage("X*Wv", s_len, hd, hd, wbytes(hd, hd), overlap));
+
+  StageStats qk;
+  qk.name = "Q*K^T";
+  qk.compute_cycles = matmul_cycles(heads * s_len, dh, s_len, true);
+  qk.total_cycles = qk.compute_cycles + kStageControlCycles;
+  add(qk);
+
+  StageStats sm;
+  sm.name = "Softmax";
+  sm.compute_cycles = softmax_cycles(heads * s_len, s_len);
+  sm.total_cycles = sm.compute_cycles + kStageControlCycles;
+  add(sm);
+
+  StageStats av;
+  av.name = "Attn*V";
+  av.compute_cycles = matmul_cycles(heads * s_len, s_len, dh, true);
+  av.total_cycles = av.compute_cycles + kStageControlCycles;
+  add(av);
+
+  add(weight_stage("O_A*Ws", s_len, hd, hd, wbytes(hd, hd), overlap));
+
+  StageStats ln1;
+  ln1.name = "Add&LN1";
+  ln1.compute_cycles = layernorm_cycles(s_len, hd);
+  ln1.total_cycles = ln1.compute_cycles + kStageControlCycles;
+  add(ln1);
+
+  add(weight_stage("FFN1+GELU", s_len, hd, f, wbytes(hd, f), overlap));
+  add(weight_stage("FFN2", s_len, f, hd, wbytes(f, hd), overlap));
+
+  StageStats ln2;
+  ln2.name = "Add&LN2";
+  ln2.compute_cycles = layernorm_cycles(s_len, hd);
+  ln2.total_cycles = ln2.compute_cycles + kStageControlCycles;
+  add(ln2);
+
+  rep.total_cycles = rep.cycles_per_layer * m.num_layers;
+  rep.fpga_ms = static_cast<double>(rep.total_cycles) /
+                (cfg_.clock_mhz * 1e3);
+
+  // CPU-side share (Sec. III-A): embeddings gathered and task head
+  // evaluated on the host. Simple ops/throughput model of a desktop core.
+  const double cpu_ops =
+      static_cast<double>(3 * s_len * hd)        // table gathers + adds
+      + static_cast<double>(2 * s_len * hd)      // embedding LayerNorm
+      + static_cast<double>(2 * hd * hd)         // pooler
+      + static_cast<double>(2 * hd * m.num_classes);
+  constexpr double kCpuOpsPerSec = 2.0e9;
+  constexpr double kCpuFixedMs = 0.25;  // driver + DMA setup
+  rep.cpu_side_ms = cpu_ops / kCpuOpsPerSec * 1e3 + kCpuFixedMs;
+
+  rep.total_ms = rep.fpga_ms + rep.cpu_side_ms;
+  return rep;
+}
+
+}  // namespace fqbert::accel

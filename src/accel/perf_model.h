@@ -1,0 +1,99 @@
+// Cycle-level performance model: executes the Fig. 5 dataflow
+// stage-by-stage (and sub-stage by sub-stage) and accounts compute
+// cycles, weight-transfer cycles, and their overlap under double
+// buffering.
+//
+// Mapping (Sec. III): output elements of a matrix product are spread
+// across the H*N PEs; each PE's BIM consumes `lanes(mode)` operand pairs
+// per cycle, so a K-deep dot product takes ceil(K/lanes) cycles.
+// Weight-bearing stages stream 4-bit weights from DDR through the
+// double-buffered weight buffer; a stage is split into sub-stages whose
+// tiles fit half the buffer, and sub-stage i+1's load overlaps sub-stage
+// i's compute ("the off-chip transfer can be completely overlapped by
+// computing" — when the bandwidth suffices).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "accel/device.h"
+#include "nn/bert.h"
+
+namespace fqbert::accel {
+
+/// One scheduled stage of the dataflow (Fig. 5).
+struct StageStats {
+  std::string name;
+  int64_t compute_cycles = 0;
+  int64_t transfer_cycles = 0;  // weight streaming
+  int64_t stall_cycles = 0;     // transfer not hidden by compute
+  int64_t total_cycles = 0;     // what the stage contributes end-to-end
+  int64_t weight_bytes = 0;
+  int sub_stages = 1;
+};
+
+struct LatencyReport {
+  std::vector<StageStats> stages;  // one encoder layer's stages
+  int num_layers = 1;
+  int64_t cycles_per_layer = 0;
+  int64_t total_cycles = 0;   // all layers
+  double fpga_ms = 0.0;       // encoder on FPGA
+  double cpu_side_ms = 0.0;   // embedding + task head on the host CPU
+  double total_ms = 0.0;
+
+  double fps() const { return total_ms > 0 ? 1000.0 / total_ms : 0.0; }
+};
+
+class PerfModel {
+ public:
+  PerfModel(AcceleratorConfig cfg, FpgaDevice dev)
+      : cfg_(cfg), dev_(dev) {}
+
+  /// Latency of one batch-1 inference of `model_cfg` at seq_len tokens.
+  LatencyReport estimate(const nn::BertConfig& model_cfg,
+                         int64_t seq_len) const;
+
+  /// Ablation switch: disable load/compute overlap (double buffering).
+  LatencyReport estimate_no_overlap(const nn::BertConfig& model_cfg,
+                                    int64_t seq_len) const;
+
+  const AcceleratorConfig& config() const { return cfg_; }
+  const FpgaDevice& device() const { return dev_; }
+
+  // ---- stage primitives (exposed for unit tests) ----
+
+  /// Compute cycles of an [rows x k] x [k x cols] product in a mode.
+  int64_t matmul_cycles(int64_t rows, int64_t k, int64_t cols,
+                        bool mode_8x8) const;
+
+  /// Cycles for the softmax core over `rows` rows of `cols` entries.
+  int64_t softmax_cycles(int64_t rows, int64_t cols) const;
+
+  /// Cycles for the LN core over `rows` rows of `width` features.
+  int64_t layernorm_cycles(int64_t rows, int64_t width) const;
+
+  /// Transfer cycles for `bytes` of weights over AXI.
+  int64_t transfer_cycles(int64_t bytes) const;
+
+ private:
+  LatencyReport estimate_impl(const nn::BertConfig& model_cfg,
+                              int64_t seq_len, bool overlap) const;
+
+  /// Schedule one weight-bearing stage with sub-stage tiling.
+  StageStats weight_stage(const std::string& name, int64_t rows, int64_t k,
+                          int64_t cols, int64_t weight_bytes,
+                          bool overlap) const;
+
+  AcceleratorConfig cfg_;
+  FpgaDevice dev_;
+
+  // Pipeline constants (fill of the PE pipeline per output tile, quant
+  // unit latency, stage-switch control overhead). Calibrated together
+  // with the throughput model against the paper's Table III latencies.
+  static constexpr int64_t kTileOverheadCycles = 2;
+  static constexpr int64_t kStageControlCycles = 64;
+  static constexpr int64_t kSoftmaxPassesPerRow = 3;
+  static constexpr int64_t kLnPassesPerRow = 3;
+};
+
+}  // namespace fqbert::accel

@@ -1,0 +1,45 @@
+// Board-level power estimation (paper Table IV: 9.8 W on ZCU102,
+// 13.2 W on ZCU111).
+//
+// Structural model: static (PS + PL leakage + board overhead) plus
+// dynamic contributions per active DSP, BRAM, logic cell (LUT+FF) and
+// AXI byte-lane. Coefficients are calibrated against the paper's two
+// measured operating points; they land within ~4% of both and are used
+// to *predict* power for unreported configurations such as (16,8) and
+// the BIM Type-B variant.
+#pragma once
+
+#include "accel/resource_model.h"
+
+namespace fqbert::accel {
+
+class PowerModel {
+ public:
+  static constexpr double kDspW = 1.3e-3;    // per active DSP48
+  static constexpr double kBramW = 1.0e-3;   // per BRAM18K
+  static constexpr double kUramW = 8.0e-3;   // per URAM block
+  static constexpr double kLogicW = 9.0e-6;  // per LUT or FF
+  static constexpr double kAxiW = 0.01;      // per byte/cycle of AXI width
+
+  static double estimate_w(const AcceleratorConfig& cfg,
+                           const FpgaDevice& dev) {
+    const ResourceUsage r = ResourceModel::estimate(cfg, dev);
+    return estimate_w(r, cfg, dev);
+  }
+
+  static double estimate_w(const ResourceUsage& r,
+                           const AcceleratorConfig& cfg,
+                           const FpgaDevice& dev) {
+    double p = dev.static_power_w;
+    p += kDspW * static_cast<double>(r.dsp48);
+    p += kBramW * static_cast<double>(r.bram18k);
+    p += kUramW * static_cast<double>(r.uram);
+    p += kLogicW * static_cast<double>(r.ff + r.lut);
+    p += kAxiW * dev.axi_bytes_per_cycle;
+    // Scale dynamic parts with clock relative to the calibration point.
+    const double f_ratio = cfg.clock_mhz / 214.0;
+    return dev.static_power_w + (p - dev.static_power_w) * f_ratio;
+  }
+};
+
+}  // namespace fqbert::accel

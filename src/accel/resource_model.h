@@ -1,0 +1,89 @@
+// Post-synthesis resource estimation (paper Table III).
+//
+// The model is structural: every resource total is a sum of
+// per-multiplier, per-PE, per-BIM-column and fixed (softmax core, LN
+// core, controller, AXI) contributions. The per-unit coefficients were
+// calibrated against the paper's three Vivado HLS 2019.1 operating
+// points — (N,M) = (8,16) and (16,8) on ZCU102 and (16,16) on ZCU111 —
+// and the structural form then predicts any other configuration.
+//
+//   DSP  = mults + kDspPerBimCol*M + kDspFixed
+//          (one DSP48E per 8x4 multiplier; the requant/shift-add pipeline
+//           scales with BIM width; LN/softmax cores are fixed)
+//   FF   = kFfPerPe*PEs + kFfPerMult*mults + kFfFixed
+//   LUT  = kLutPerPe*PEs + kLutPerMult*mults + kLutFixed
+//   BRAM = kBramFixed + kBramPerPe*PEs (psum double buffers), with the
+//          weight buffer moved to URAM when the device has it (the
+//          paper's footnote on ZCU111).
+//
+// BIM Type B spends extra LUT/FF on per-pair shift-adders (M/2 of them
+// per BIM instead of one shared shifter) — the Fig. 4 trade-off.
+#pragma once
+
+#include "accel/device.h"
+
+namespace fqbert::accel {
+
+struct ResourceUsage {
+  int64_t bram18k = 0;
+  int64_t dsp48 = 0;
+  int64_t ff = 0;
+  int64_t lut = 0;
+  int64_t uram = 0;
+
+  double dsp_utilization(const FpgaDevice& d) const {
+    return static_cast<double>(dsp48) / static_cast<double>(d.dsp48);
+  }
+  bool fits(const FpgaDevice& d) const {
+    return bram18k <= d.bram18k && dsp48 <= d.dsp48 && ff <= d.ff &&
+           lut <= d.lut;
+  }
+};
+
+class ResourceModel {
+ public:
+  // Calibrated coefficients (see header comment).
+  static constexpr double kDspPerBimCol = 10.0;
+  static constexpr double kDspFixed = 55.0;
+  static constexpr double kFfPerPe = 276.8;
+  static constexpr double kFfPerMult = 32.85;
+  static constexpr double kFfFixed = 47402.0;
+  static constexpr double kLutPerPe = 323.3;
+  static constexpr double kLutPerMult = 23.13;
+  static constexpr double kLutFixed = 56590.0;
+  static constexpr double kBramFixed = 799.0;
+  static constexpr double kBramPerPe = 0.40625;
+  // URAM offload: weight double-buffer (in BRAM18K equivalents / URAMs).
+  static constexpr int64_t kUramOffloadBram = 198;
+  static constexpr int64_t kUramBlocks = 25;
+  // Type B surcharge: per-pair shift-adders instead of one per tree.
+  static constexpr double kTypeBLutPerPair = 14.0;
+  static constexpr double kTypeBFfPerPair = 9.0;
+
+  static ResourceUsage estimate(const AcceleratorConfig& cfg,
+                                const FpgaDevice& dev) {
+    const double pes = static_cast<double>(cfg.total_pes());
+    const double mults = static_cast<double>(cfg.total_mults());
+    ResourceUsage r;
+    r.dsp48 = static_cast<int64_t>(mults + kDspPerBimCol * cfg.bim_mults +
+                                   kDspFixed);
+    r.ff = static_cast<int64_t>(kFfPerPe * pes + kFfPerMult * mults +
+                                kFfFixed);
+    r.lut = static_cast<int64_t>(kLutPerPe * pes + kLutPerMult * mults +
+                                 kLutFixed);
+    if (cfg.bim_type_a == 0) {
+      const double pairs = pes * (cfg.bim_mults / 2.0);
+      r.lut += static_cast<int64_t>(kTypeBLutPerPair * pairs);
+      r.ff += static_cast<int64_t>(kTypeBFfPerPair * pairs);
+    }
+    double bram = kBramFixed + kBramPerPe * pes;
+    if (dev.has_uram) {
+      bram -= static_cast<double>(kUramOffloadBram);
+      r.uram = kUramBlocks;
+    }
+    r.bram18k = static_cast<int64_t>(bram);
+    return r;
+  }
+};
+
+}  // namespace fqbert::accel

@@ -1,0 +1,434 @@
+#include "core/fq_bert.h"
+
+#include <cmath>
+
+#include "core/model_size.h"
+#include "nn/layers.h"
+
+namespace fqbert::core {
+
+using quant::clip_threshold;
+using quant::quantize_scale_8bit;
+using quant::Requantizer;
+using quant::scale_from_threshold;
+
+namespace {
+
+/// Activation scale from a calibrated EMA hook.
+double act_scale_of(quant::ActFakeQuant& hook, const FqQuantConfig& cfg) {
+  if (!hook.observer().initialized()) {
+    throw std::runtime_error(
+        "activation observer not calibrated; run QatBert::calibrate first");
+  }
+  double scale = scale_from_threshold(hook.observer().value(), cfg.act_bits);
+  if (cfg.quantize_scales) scale = quantize_scale_8bit(scale);
+  return scale;
+}
+
+/// Weight scale recomputed from the final trained weights.
+double weight_scale_of(const Tensor& w, const FqQuantConfig& cfg) {
+  const double t = clip_threshold(w, cfg.clip, cfg.clip_percentile);
+  double s = scale_from_threshold(t, cfg.weight_bits);
+  if (cfg.quantize_scales) s = quantize_scale_8bit(s);
+  return s;
+}
+
+QuantLinear make_quant_linear(const nn::Linear& lin, double in_scale,
+                              double out_scale, const FqQuantConfig& cfg) {
+  QuantLinear q;
+  q.in = lin.in_features();
+  q.out = lin.out_features();
+  q.weight_bits = cfg.weight_bits;
+  q.in_scale = in_scale;
+  q.out_scale = out_scale;
+  q.w_scale = weight_scale_of(lin.weight.value, cfg);
+
+  q.w_codes.resize(static_cast<size_t>(q.out * q.in));
+  for (int64_t i = 0; i < lin.weight.value.numel(); ++i)
+    q.w_codes[static_cast<size_t>(i)] = static_cast<int8_t>(
+        quant::quantize_value(lin.weight.value[i], q.w_scale, cfg.weight_bits));
+
+  // Eq. 4: biases on the accumulator grid s_in * s_w.
+  q.bias_q.resize(static_cast<size_t>(q.out));
+  const double sbias = q.in_scale * q.w_scale;
+  for (int64_t i = 0; i < q.out; ++i)
+    q.bias_q[static_cast<size_t>(i)] = static_cast<int32_t>(
+        std::nearbyint(static_cast<double>(lin.bias.value[i]) * sbias));
+
+  // Eq. 5: sf = s_y / (s_a * s_w).
+  q.rq = Requantizer::from_scale(out_scale / sbias);
+  return q;
+}
+
+/// Dequantized copy of a weight tensor (what the "CPU side" computes with:
+/// the low-bit codes expanded back to float).
+Tensor dequantized_weights(const Tensor& w, const FqQuantConfig& cfg) {
+  const double s = weight_scale_of(w, cfg);
+  return quant::fake_quantize_tensor(w, s, cfg.weight_bits);
+}
+
+std::vector<float> maybe_fixed_grid(const Tensor& v, bool quantize,
+                                    double grid_scale) {
+  std::vector<float> out(static_cast<size_t>(v.numel()));
+  for (int64_t i = 0; i < v.numel(); ++i) {
+    out[static_cast<size_t>(i)] =
+        quantize ? static_cast<float>(
+                       std::nearbyint(v[i] * grid_scale) / grid_scale)
+                 : v[i];
+  }
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// QuantLinear
+// ---------------------------------------------------------------------------
+
+void QuantLinear::forward_i8(const std::vector<int8_t>& x,
+                             std::vector<int8_t>& y, int64_t s_len) const {
+  std::vector<int32_t> acc;
+  int_matmul_wt(x, w_codes, acc, s_len, in, out);
+  requantize_i8(acc, bias_q, rq, y, s_len, out);
+}
+
+std::vector<uint8_t> QuantLinear::packed_weights() const {
+  if (weight_bits > 4) {
+    return std::vector<uint8_t>(w_codes.begin(), w_codes.end());
+  }
+  return quant::pack_int4(w_codes);
+}
+
+// ---------------------------------------------------------------------------
+// FqEncoderLayer
+// ---------------------------------------------------------------------------
+
+void FqEncoderLayer::forward(const std::vector<int8_t>& x,
+                             std::vector<int8_t>& y, int64_t s_len) const {
+  std::vector<int8_t> q, k, v;
+  wq.forward_i8(x, q, s_len);
+  wk.forward_i8(x, k, s_len);
+  wv.forward_i8(x, v, s_len);
+
+  // Attention per head, writing the context into column slices.
+  std::vector<int8_t> ctx(static_cast<size_t>(s_len * hidden));
+  std::vector<int8_t> qh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int8_t> kh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int8_t> vh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int32_t> scores, probs, ctx_acc;
+
+  for (int64_t h = 0; h < num_heads; ++h) {
+    for (int64_t r = 0; r < s_len; ++r) {
+      const int8_t* qrow = q.data() + r * hidden + h * head_dim;
+      const int8_t* krow = k.data() + r * hidden + h * head_dim;
+      const int8_t* vrow = v.data() + r * hidden + h * head_dim;
+      std::copy(qrow, qrow + head_dim, qh.data() + r * head_dim);
+      std::copy(krow, krow + head_dim, kh.data() + r * head_dim);
+      std::copy(vrow, vrow + head_dim, vh.data() + r * head_dim);
+    }
+    int_matmul_bt(qh, kh, scores, s_len, head_dim, s_len);
+    apply_softmax(scores, probs, s_len);
+    int_matmul_pv(probs, vh, ctx_acc, s_len, s_len, head_dim);
+    for (int64_t r = 0; r < s_len; ++r) {
+      int8_t* crow = ctx.data() + r * hidden + h * head_dim;
+      const int32_t* arow = ctx_acc.data() + r * head_dim;
+      for (int64_t c = 0; c < head_dim; ++c)
+        crow[c] = static_cast<int8_t>(
+            quant::saturate_signed(ctx_rq.apply(arow[c]), 8));
+    }
+  }
+
+  std::vector<int8_t> attn_out;
+  wo.forward_i8(ctx, attn_out, s_len);
+
+  // Residual 1 on the attn_out grid, then LN1.
+  std::vector<int32_t> res(static_cast<size_t>(s_len * hidden));
+  for (int64_t i = 0; i < s_len * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(attn_out[static_cast<size_t>(i)]) +
+        res1_rq.apply(x[static_cast<size_t>(i)]);
+
+  std::vector<int8_t> ffn_x;
+  apply_layernorm(res, ffn_x, s_len, /*first=*/true);
+
+  // FFN.
+  std::vector<int8_t> pre, mid, fo;
+  ffn1.forward_i8(ffn_x, pre, s_len);
+  mid.resize(pre.size());
+  for (size_t i = 0; i < pre.size(); ++i) mid[i] = gelu->apply(pre[i]);
+  ffn2.forward_i8(mid, fo, s_len);
+
+  // Residual 2 on the ffn_out grid, then LN2.
+  for (int64_t i = 0; i < s_len * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(fo[static_cast<size_t>(i)]) +
+        res2_rq.apply(ffn_x[static_cast<size_t>(i)]);
+  apply_layernorm(res, y, s_len, /*first=*/false);
+}
+
+void FqEncoderLayer::apply_softmax(const std::vector<int32_t>& scores,
+                                   std::vector<int32_t>& probs,
+                                   int64_t s_len) const {
+  if (use_int_softmax) {
+    softmax->apply(scores, probs, s_len, s_len);
+    return;
+  }
+  // Float softmax on dequantized scores; the output still lands on the
+  // 255 grid (it must be 8-bit to enter the next matmul).
+  const double score_scale =
+      q_scale * k_scale * std::sqrt(static_cast<double>(head_dim));
+  probs.resize(static_cast<size_t>(s_len * s_len));
+  std::vector<float> row(static_cast<size_t>(s_len));
+  std::vector<float> prow(static_cast<size_t>(s_len));
+  for (int64_t r = 0; r < s_len; ++r) {
+    for (int64_t c = 0; c < s_len; ++c)
+      row[static_cast<size_t>(c)] = static_cast<float>(
+          scores[static_cast<size_t>(r * s_len + c)] / score_scale);
+    quant::softmax_reference(row.data(), prow.data(), s_len);
+    for (int64_t c = 0; c < s_len; ++c)
+      probs[static_cast<size_t>(r * s_len + c)] = static_cast<int32_t>(
+          std::nearbyint(prow[static_cast<size_t>(c)] * 255.0));
+  }
+}
+
+void FqEncoderLayer::apply_layernorm(const std::vector<int32_t>& res,
+                                     std::vector<int8_t>& out, int64_t s_len,
+                                     bool first) const {
+  if (use_int_layernorm) {
+    const quant::IntLayerNorm& ln = first ? *ln1 : *ln2;
+    ln.apply(res, out, s_len);
+    return;
+  }
+  // Float fallback: dequantize the residual (scale of the second residual
+  // operand), normalize in float, requantize to the stage output grid.
+  const double res_scale = first ? attn_out_scale : ffn_out_scale;
+  const double o_scale = first ? ffn_in_scale : out_scale;
+  const std::vector<float>& gamma = first ? ln1_gamma : ln2_gamma;
+  const std::vector<float>& beta = first ? ln1_beta : ln2_beta;
+
+  out.resize(static_cast<size_t>(s_len * hidden));
+  std::vector<double> row(static_cast<size_t>(hidden));
+  for (int64_t r = 0; r < s_len; ++r) {
+    const int32_t* xr = res.data() + r * hidden;
+    double mu = 0.0;
+    for (int64_t c = 0; c < hidden; ++c) {
+      row[static_cast<size_t>(c)] = static_cast<double>(xr[c]) / res_scale;
+      mu += row[static_cast<size_t>(c)];
+    }
+    mu /= static_cast<double>(hidden);
+    double var = 0.0;
+    for (int64_t c = 0; c < hidden; ++c) {
+      const double d = row[static_cast<size_t>(c)] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(hidden);
+    const double inv_std = 1.0 / std::sqrt(var + 1e-5);
+    for (int64_t c = 0; c < hidden; ++c) {
+      const double y = (row[static_cast<size_t>(c)] - mu) * inv_std *
+                           gamma[static_cast<size_t>(c)] +
+                       beta[static_cast<size_t>(c)];
+      out[static_cast<size_t>(r * hidden + c)] = static_cast<int8_t>(
+          quant::quantize_value(static_cast<float>(y), o_scale, 8));
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FqBertModel
+// ---------------------------------------------------------------------------
+
+FqBertModel FqBertModel::convert(QatBert& qat) {
+  nn::BertModel& m = qat.model();
+  const FqQuantConfig& cfg = qat.config();
+  if (!cfg.quantize_weights_acts) {
+    throw std::invalid_argument(
+        "conversion requires quantize_weights_acts=true (the float "
+        "baseline is the nn::BertModel itself)");
+  }
+
+  FqBertModel out;
+  out.config_ = m.config();
+  out.quant_config_ = cfg;
+  out.weight_bits_ = cfg.weight_bits;
+
+  // CPU-side front: dequantized low-bit embedding tables.
+  out.tok_table_ = dequantized_weights(m.tok_emb.table.value, cfg);
+  out.pos_table_ = dequantized_weights(m.pos_emb.table.value, cfg);
+  out.seg_table_ = dequantized_weights(m.seg_emb.table.value, cfg);
+  const double ln_grid = 1 << quant::IntLayerNorm::kGammaFracBits;
+  out.emb_ln_gamma_ = maybe_fixed_grid(m.emb_ln.gamma.value,
+                                       cfg.quantize_layernorm, ln_grid);
+  out.emb_ln_beta_ = maybe_fixed_grid(m.emb_ln.beta.value,
+                                      cfg.quantize_layernorm, ln_grid);
+
+  const size_t num_layers = m.layers.size();
+  out.layers_.resize(num_layers);
+  for (size_t l = 0; l < num_layers; ++l) {
+    const LayerHooks& h = qat.layer_hooks(l);
+    nn::EncoderLayer& src = *m.layers[l];
+    FqEncoderLayer& dst = out.layers_[l];
+
+    dst.hidden = out.config_.hidden;
+    dst.ffn_dim = out.config_.ffn_dim;
+    dst.num_heads = out.config_.num_heads;
+    dst.head_dim = out.config_.head_dim();
+    dst.use_int_softmax = cfg.quantize_softmax;
+    dst.use_int_layernorm = cfg.quantize_layernorm;
+
+    dst.in_scale = act_scale_of(*h.input, cfg);
+    dst.q_scale = act_scale_of(*h.q, cfg);
+    dst.k_scale = act_scale_of(*h.k, cfg);
+    dst.v_scale = act_scale_of(*h.v, cfg);
+    dst.ctx_scale = act_scale_of(*h.ctx, cfg);
+    dst.attn_out_scale = act_scale_of(*h.attn_out, cfg);
+    dst.ffn_in_scale = act_scale_of(*h.ffn_in, cfg);
+    dst.pre_gelu_scale = act_scale_of(*h.pre_gelu, cfg);
+    dst.ffn_mid_scale = act_scale_of(*h.ffn_mid, cfg);
+    dst.ffn_out_scale = act_scale_of(*h.ffn_out, cfg);
+    dst.out_scale = l + 1 < num_layers
+                        ? act_scale_of(*qat.layer_hooks(l + 1).input, cfg)
+                        : act_scale_of(qat.final_act_hook(), cfg);
+
+    dst.wq = make_quant_linear(src.attn.wq, dst.in_scale, dst.q_scale, cfg);
+    dst.wk = make_quant_linear(src.attn.wk, dst.in_scale, dst.k_scale, cfg);
+    dst.wv = make_quant_linear(src.attn.wv, dst.in_scale, dst.v_scale, cfg);
+    dst.wo = make_quant_linear(src.attn.wo, dst.ctx_scale,
+                               dst.attn_out_scale, cfg);
+    dst.ffn1 = make_quant_linear(src.ffn1, dst.ffn_in_scale,
+                                 dst.pre_gelu_scale, cfg);
+    dst.ffn2 = make_quant_linear(src.ffn2, dst.ffn_mid_scale,
+                                 dst.ffn_out_scale, cfg);
+
+    const double score_scale =
+        dst.q_scale * dst.k_scale *
+        std::sqrt(static_cast<double>(dst.head_dim));
+    dst.softmax = std::make_unique<quant::IntSoftmax>(score_scale);
+    dst.gelu = std::make_unique<quant::IntGelu>(dst.pre_gelu_scale,
+                                                dst.ffn_mid_scale);
+
+    dst.ln1_gamma = maybe_fixed_grid(src.ln1.gamma.value,
+                                     cfg.quantize_layernorm, ln_grid);
+    dst.ln1_beta = maybe_fixed_grid(src.ln1.beta.value,
+                                    cfg.quantize_layernorm, ln_grid);
+    dst.ln2_gamma = maybe_fixed_grid(src.ln2.gamma.value,
+                                     cfg.quantize_layernorm, ln_grid);
+    dst.ln2_beta = maybe_fixed_grid(src.ln2.beta.value,
+                                    cfg.quantize_layernorm, ln_grid);
+    dst.ln1 = std::make_unique<quant::IntLayerNorm>(dst.ln1_gamma,
+                                                    dst.ln1_beta,
+                                                    dst.ffn_in_scale);
+    dst.ln2 = std::make_unique<quant::IntLayerNorm>(dst.ln2_gamma,
+                                                    dst.ln2_beta,
+                                                    dst.out_scale);
+
+    dst.ctx_rq =
+        Requantizer::from_scale(dst.ctx_scale / (255.0 * dst.v_scale));
+    dst.res1_rq =
+        Requantizer::from_scale(dst.attn_out_scale / dst.in_scale);
+    dst.res2_rq =
+        Requantizer::from_scale(dst.ffn_out_scale / dst.ffn_in_scale);
+  }
+
+  out.emb_scale_ = out.layers_.empty()
+                       ? act_scale_of(qat.emb_act_hook(), cfg)
+                       : out.layers_[0].in_scale;
+
+  // CPU-side head.
+  out.pooler_w_ = dequantized_weights(m.pooler.weight.value, cfg);
+  out.classifier_w_ = dequantized_weights(m.classifier.weight.value, cfg);
+  out.pooler_b_.assign(m.pooler.bias.value.data(),
+                       m.pooler.bias.value.data() +
+                           m.pooler.bias.value.numel());
+  out.classifier_b_.assign(m.classifier.bias.value.data(),
+                           m.classifier.bias.value.data() +
+                               m.classifier.bias.value.numel());
+  return out;
+}
+
+std::vector<int8_t> FqBertModel::embed(const nn::Example& ex) const {
+  const int64_t s_len = static_cast<int64_t>(ex.tokens.size());
+  const int64_t hdim = config_.hidden;
+  std::vector<int8_t> codes(static_cast<size_t>(s_len * hdim));
+
+  for (int64_t r = 0; r < s_len; ++r) {
+    // Sum of the three (dequantized) embedding rows.
+    std::vector<double> row(static_cast<size_t>(hdim));
+    const float* tok = tok_table_.row(ex.tokens[static_cast<size_t>(r)]);
+    const float* pos = pos_table_.row(r);
+    const float* seg = seg_table_.row(ex.segments[static_cast<size_t>(r)]);
+    for (int64_t c = 0; c < hdim; ++c)
+      row[static_cast<size_t>(c)] =
+          static_cast<double>(tok[c]) + pos[c] + seg[c];
+
+    // Float LayerNorm (CPU side), then quantize to the encoder grid.
+    double mu = 0.0;
+    for (double vv : row) mu += vv;
+    mu /= static_cast<double>(hdim);
+    double var = 0.0;
+    for (double vv : row) var += (vv - mu) * (vv - mu);
+    var /= static_cast<double>(hdim);
+    const double inv_std = 1.0 / std::sqrt(var + 1e-5);
+    for (int64_t c = 0; c < hdim; ++c) {
+      const double xhat = (row[static_cast<size_t>(c)] - mu) * inv_std;
+      const double yv = xhat * emb_ln_gamma_[static_cast<size_t>(c)] +
+                        emb_ln_beta_[static_cast<size_t>(c)];
+      codes[static_cast<size_t>(r * hdim + c)] = static_cast<int8_t>(
+          quant::quantize_value(static_cast<float>(yv), emb_scale_, 8));
+    }
+  }
+  return codes;
+}
+
+Tensor FqBertModel::head(const std::vector<int8_t>& final_codes) const {
+  const int64_t hdim = config_.hidden;
+  const double final_scale =
+      layers_.empty() ? emb_scale_ : layers_.back().out_scale;
+
+  // CPU-side head on the dequantized CLS row.
+  Tensor cls(Shape{1, hdim});
+  for (int64_t c = 0; c < hdim; ++c)
+    cls[c] =
+        static_cast<float>(final_codes[static_cast<size_t>(c)] / final_scale);
+
+  Tensor pooled;
+  matmul_bt(cls, pooler_w_, pooled);
+  for (int64_t c = 0; c < hdim; ++c)
+    pooled[c] = std::tanh(pooled[c] + pooler_b_[static_cast<size_t>(c)]);
+
+  Tensor logits;
+  matmul_bt(pooled, classifier_w_, logits);
+  for (int64_t c = 0; c < config_.num_classes; ++c)
+    logits[c] += classifier_b_[static_cast<size_t>(c)];
+  return logits.reshaped(Shape{config_.num_classes});
+}
+
+Tensor FqBertModel::forward(const nn::Example& ex) const {
+  const int64_t s_len = static_cast<int64_t>(ex.tokens.size());
+  std::vector<int8_t> x = embed(ex);
+  std::vector<int8_t> y;
+  for (const FqEncoderLayer& layer : layers_) {
+    layer.forward(x, y, s_len);
+    x.swap(y);
+  }
+  return head(x);
+}
+
+int32_t FqBertModel::predict(const nn::Example& ex) const {
+  Tensor logits = forward(ex);
+  return static_cast<int32_t>(argmax(logits.data(), logits.numel()));
+}
+
+double FqBertModel::accuracy(const std::vector<nn::Example>& data) const {
+  if (data.empty()) return 0.0;
+  int64_t correct = 0;
+  for (const nn::Example& ex : data)
+    if (predict(ex) == ex.label) ++correct;
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(data.size());
+}
+
+quant::SizeReport FqBertModel::size_report() const {
+  return model_size_report(config_, quant_config_);
+}
+
+}  // namespace fqbert::core

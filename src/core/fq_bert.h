@@ -1,0 +1,156 @@
+// FQ-BERT: the integer-only inference engine (the paper's primary
+// contribution, Sec. II).
+//
+// A trained, QAT-instrumented float model is *converted* into this
+// engine: weights become int4/int8 codes, biases 32-bit integers
+// (Eq. 4), every activation an int8 code on a calibrated scale, and the
+// per-matmul rescaling a 32-bit fixed-point requantizer (Eq. 5). Softmax
+// runs through the 256-entry exp LUT, LayerNorm through the integer LN
+// kernel, GELU through a code-to-code LUT.
+//
+// Deployment split follows the paper's Fig. 2: embeddings and the task
+// head are computed "CPU-side" (float arithmetic over *dequantized*
+// low-bit weights), while the encoder stack is strictly integer — the
+// part the FPGA executes.
+//
+// Per-part toggles (FqQuantConfig) select float fallbacks for softmax /
+// LayerNorm / scale precision so the Table II ablation runs through the
+// very same engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fq_config.h"
+#include "core/int_kernels.h"
+#include "core/qat.h"
+#include "quant/int_gelu.h"
+#include "quant/int_layernorm.h"
+#include "quant/int_softmax.h"
+#include "quant/packing.h"
+
+namespace fqbert::core {
+
+/// A quantized linear layer: int8 activations x int4/int8 weights ->
+/// int32 accumulators -> requantized int8 outputs.
+struct QuantLinear {
+  int64_t in = 0, out = 0;
+  int weight_bits = 4;
+  std::vector<int8_t> w_codes;  // [out, in] row-major
+  std::vector<int32_t> bias_q;  // round(bias * s_in * s_w), Eq. 4
+  double w_scale = 1.0;
+  double in_scale = 1.0;
+  double out_scale = 1.0;
+  quant::Requantizer rq;  // s_out / (s_in * s_w), Eq. 5
+
+  /// x: int8 codes [S, in] on in_scale -> y: int8 codes [S, out].
+  void forward_i8(const std::vector<int8_t>& x, std::vector<int8_t>& y,
+                  int64_t s_len) const;
+
+  /// Packed (2-per-byte) weight bytes for size accounting / streaming.
+  std::vector<uint8_t> packed_weights() const;
+};
+
+/// One integer encoder layer.
+struct FqEncoderLayer {
+  int64_t hidden = 0, ffn_dim = 0, num_heads = 0, head_dim = 0;
+  bool use_int_softmax = true;
+  bool use_int_layernorm = true;
+
+  QuantLinear wq, wk, wv, wo, ffn1, ffn2;
+
+  // Activation scales (from QAT calibration).
+  double in_scale = 1.0;        // layer input (LN2 output of prev layer)
+  double q_scale = 1.0, k_scale = 1.0, v_scale = 1.0;
+  double ctx_scale = 1.0;       // concat output entering Wo
+  double attn_out_scale = 1.0;  // Wo output
+  double ffn_in_scale = 1.0;    // LN1 output
+  double pre_gelu_scale = 1.0;
+  double ffn_mid_scale = 1.0;
+  double ffn_out_scale = 1.0;
+  double out_scale = 1.0;       // LN2 output
+
+  // Integer kernels (built at conversion time).
+  std::unique_ptr<quant::IntSoftmax> softmax;
+  std::unique_ptr<quant::IntGelu> gelu;
+  std::unique_ptr<quant::IntLayerNorm> ln1, ln2;
+  quant::Requantizer ctx_rq;   // 1/255 * (255*s_v -> s_ctx)
+  quant::Requantizer res1_rq;  // in_scale -> attn_out_scale grid
+  quant::Requantizer res2_rq;  // ffn_in_scale -> ffn_out_scale grid
+
+  // Float LN parameters for the non-quantized-LN fallback.
+  std::vector<float> ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
+
+  /// x: int8 [S, hidden] on in_scale -> int8 [S, hidden] on out_scale.
+  void forward(const std::vector<int8_t>& x, std::vector<int8_t>& y,
+               int64_t s_len) const;
+
+  /// LN1 (first=true) or LN2 over int32 residual rows; integer kernel or
+  /// float fallback depending on use_int_layernorm.  The residual input
+  /// is on the attn_out (LN1) / ffn_out (LN2) scale. Public so the
+  /// accelerator's functional simulator can replay the exact pipeline.
+  void apply_layernorm(const std::vector<int32_t>& res,
+                       std::vector<int8_t>& out, int64_t s_len,
+                       bool first) const;
+
+  /// Integer softmax step on one head's scores (see forward); exposed
+  /// for the functional simulator.
+  void apply_softmax(const std::vector<int32_t>& scores,
+                     std::vector<int32_t>& probs, int64_t s_len) const;
+};
+
+/// Full FQ-BERT classifier.
+class FqBertModel {
+ public:
+  /// Convert a trained, instrumented model. The QAT hooks must have seen
+  /// data (train or calibrate) so every EMA observer is initialized.
+  static FqBertModel convert(QatBert& qat);
+
+  /// Float logits for one example (head computed CPU-side).
+  Tensor forward(const nn::Example& ex) const;
+
+  int32_t predict(const nn::Example& ex) const;
+  double accuracy(const std::vector<nn::Example>& data) const;
+
+  const nn::BertConfig& config() const { return config_; }
+  const FqQuantConfig& quant_config() const { return quant_config_; }
+  const std::vector<FqEncoderLayer>& encoder_layers() const { return layers_; }
+
+  /// Byte-level size accounting over this model's parameters.
+  quant::SizeReport size_report() const;
+
+  /// Encoder input codes for a given example (exposed so the accelerator
+  /// simulator can be fed exactly what the engine computes).
+  std::vector<int8_t> embed(const nn::Example& ex) const;
+  double embed_scale() const { return emb_scale_; }
+
+  /// CPU-side task head applied to the final encoder codes (the
+  /// accelerator simulator runs the encoder itself and hands back here).
+  Tensor head(const std::vector<int8_t>& final_codes) const;
+
+  /// Serialize the quantized model (int4-packed weights, scales, LUT
+  /// parameters) to a deployable binary; load reconstructs a fully
+  /// functional engine whose outputs are bit-identical.
+  bool save(const std::string& path) const;
+  static FqBertModel load(const std::string& path);
+
+ private:
+  nn::BertConfig config_;
+  FqQuantConfig quant_config_;
+
+  // CPU-side front: dequantized low-bit embedding tables + float LN.
+  Tensor tok_table_, pos_table_, seg_table_;
+  std::vector<float> emb_ln_gamma_, emb_ln_beta_;
+  double emb_scale_ = 1.0;  // int8 scale of the encoder input
+
+  std::vector<FqEncoderLayer> layers_;
+
+  // CPU-side head: dequantized weights, float compute.
+  Tensor pooler_w_, classifier_w_;
+  std::vector<float> pooler_b_, classifier_b_;
+
+  // Size bookkeeping of the low-bit parameter stores.
+  int weight_bits_ = 4;
+};
+
+}  // namespace fqbert::core

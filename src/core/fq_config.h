@@ -1,0 +1,46 @@
+// FQ-BERT quantization configuration.
+//
+// The per-part toggles mirror the columns of the paper's Table II
+// ablation: weights/activations, scale factors, softmax, layer norm. The
+// full FQ-BERT of Table I is all four enabled with w4/a8.
+#pragma once
+
+#include "quant/quantizer.h"
+
+namespace fqbert::core {
+
+struct FqQuantConfig {
+  int weight_bits = 4;
+  int act_bits = 8;
+
+  // Clip-threshold policy for weights (Fig. 3).
+  quant::ClipMode clip = quant::ClipMode::kPercentile;
+  double clip_percentile = 0.997;
+
+  // Table II toggles (cumulative in the paper's ablation).
+  bool quantize_weights_acts = true;
+  bool quantize_scales = false;     // 8-bit scale factors
+  bool quantize_softmax = false;    // LUT softmax (8-bit exp + output)
+  bool quantize_layernorm = false;  // 8-bit fixed-point LN parameters
+
+  double ema_momentum = 0.95;
+
+  /// Full FQ-BERT (Table I row): everything quantized, w4/a8, CLIP.
+  static FqQuantConfig full() {
+    FqQuantConfig c;
+    c.quantize_weights_acts = true;
+    c.quantize_scales = true;
+    c.quantize_softmax = true;
+    c.quantize_layernorm = true;
+    return c;
+  }
+
+  /// Float baseline (nothing quantized).
+  static FqQuantConfig baseline() {
+    FqQuantConfig c;
+    c.quantize_weights_acts = false;
+    return c;
+  }
+};
+
+}  // namespace fqbert::core

@@ -1,0 +1,240 @@
+// Binary (de)serialization of the quantized engine.
+//
+// Format: magic + version, model/quant configs, the CPU-side float
+// tables, then per layer: activation scales and each QuantLinear with
+// int4-packed weight codes. The integer kernels (softmax LUT, GELU LUT,
+// IntLayerNorm, requantizers) are deterministic functions of the stored
+// scales and are rebuilt at load, so a round-trip engine is bit-exact.
+#include <cmath>
+#include <cstring>
+#include <fstream>
+
+#include "core/fq_bert.h"
+
+namespace fqbert::core {
+
+namespace {
+
+constexpr char kMagic[8] = {'F', 'Q', 'B', 'E', 'R', 'T', '0', '1'};
+
+template <typename T>
+void write_pod(std::ostream& os, const T& v) {
+  os.write(reinterpret_cast<const char*>(&v), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& is) {
+  T v{};
+  is.read(reinterpret_cast<char*>(&v), sizeof(T));
+  return v;
+}
+
+template <typename T>
+void write_vec(std::ostream& os, const std::vector<T>& v) {
+  write_pod<uint64_t>(os, v.size());
+  os.write(reinterpret_cast<const char*>(v.data()),
+           static_cast<std::streamsize>(v.size() * sizeof(T)));
+}
+
+template <typename T>
+std::vector<T> read_vec(std::istream& is) {
+  const auto n = read_pod<uint64_t>(is);
+  std::vector<T> v(n);
+  is.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(n * sizeof(T)));
+  return v;
+}
+
+void write_tensor(std::ostream& os, const Tensor& t) {
+  write_pod<uint64_t>(os, t.rank());
+  for (size_t i = 0; i < t.rank(); ++i) write_pod<int64_t>(os, t.dim(i));
+  write_vec(os, t.storage());
+}
+
+Tensor read_tensor(std::istream& is) {
+  const auto rank = read_pod<uint64_t>(is);
+  Shape shape(rank);
+  for (auto& d : shape) d = read_pod<int64_t>(is);
+  return Tensor(shape, read_vec<float>(is));
+}
+
+void write_quant_linear(std::ostream& os, const QuantLinear& q) {
+  write_pod<int64_t>(os, q.in);
+  write_pod<int64_t>(os, q.out);
+  write_pod<int32_t>(os, q.weight_bits);
+  write_pod<double>(os, q.w_scale);
+  write_pod<double>(os, q.in_scale);
+  write_pod<double>(os, q.out_scale);
+  // Weights travel packed (the deployable format streams nibbles).
+  write_pod<uint64_t>(os, q.w_codes.size());
+  write_vec(os, q.packed_weights());
+  write_vec(os, q.bias_q);
+}
+
+QuantLinear read_quant_linear(std::istream& is) {
+  QuantLinear q;
+  q.in = read_pod<int64_t>(is);
+  q.out = read_pod<int64_t>(is);
+  q.weight_bits = read_pod<int32_t>(is);
+  q.w_scale = read_pod<double>(is);
+  q.in_scale = read_pod<double>(is);
+  q.out_scale = read_pod<double>(is);
+  const auto n_codes = read_pod<uint64_t>(is);
+  const auto packed = read_vec<uint8_t>(is);
+  if (q.weight_bits <= 4) {
+    q.w_codes = quant::unpack_int4(packed, n_codes);
+  } else {
+    q.w_codes.assign(packed.begin(), packed.end());
+  }
+  q.bias_q = read_vec<int32_t>(is);
+  q.rq = quant::Requantizer::from_scale(q.out_scale /
+                                        (q.in_scale * q.w_scale));
+  return q;
+}
+
+void write_config(std::ostream& os, const nn::BertConfig& c) {
+  for (int64_t v : {c.vocab_size, c.hidden, c.num_layers, c.num_heads,
+                    c.ffn_dim, c.max_seq_len, c.num_segments, c.num_classes})
+    write_pod<int64_t>(os, v);
+}
+
+nn::BertConfig read_config(std::istream& is) {
+  nn::BertConfig c;
+  c.vocab_size = read_pod<int64_t>(is);
+  c.hidden = read_pod<int64_t>(is);
+  c.num_layers = read_pod<int64_t>(is);
+  c.num_heads = read_pod<int64_t>(is);
+  c.ffn_dim = read_pod<int64_t>(is);
+  c.max_seq_len = read_pod<int64_t>(is);
+  c.num_segments = read_pod<int64_t>(is);
+  c.num_classes = read_pod<int64_t>(is);
+  return c;
+}
+
+void write_fq_config(std::ostream& os, const FqQuantConfig& q) {
+  write_pod<int32_t>(os, q.weight_bits);
+  write_pod<int32_t>(os, q.act_bits);
+  write_pod<int32_t>(os, static_cast<int32_t>(q.clip));
+  write_pod<double>(os, q.clip_percentile);
+  write_pod<uint8_t>(os, q.quantize_weights_acts ? 1 : 0);
+  write_pod<uint8_t>(os, q.quantize_scales ? 1 : 0);
+  write_pod<uint8_t>(os, q.quantize_softmax ? 1 : 0);
+  write_pod<uint8_t>(os, q.quantize_layernorm ? 1 : 0);
+}
+
+FqQuantConfig read_fq_config(std::istream& is) {
+  FqQuantConfig q;
+  q.weight_bits = read_pod<int32_t>(is);
+  q.act_bits = read_pod<int32_t>(is);
+  q.clip = static_cast<quant::ClipMode>(read_pod<int32_t>(is));
+  q.clip_percentile = read_pod<double>(is);
+  q.quantize_weights_acts = read_pod<uint8_t>(is) != 0;
+  q.quantize_scales = read_pod<uint8_t>(is) != 0;
+  q.quantize_softmax = read_pod<uint8_t>(is) != 0;
+  q.quantize_layernorm = read_pod<uint8_t>(is) != 0;
+  return q;
+}
+
+}  // namespace
+
+bool FqBertModel::save(const std::string& path) const {
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagic, sizeof(kMagic));
+  write_config(os, config_);
+  write_fq_config(os, quant_config_);
+  write_pod<double>(os, emb_scale_);
+  write_tensor(os, tok_table_);
+  write_tensor(os, pos_table_);
+  write_tensor(os, seg_table_);
+  write_vec(os, emb_ln_gamma_);
+  write_vec(os, emb_ln_beta_);
+
+  write_pod<uint64_t>(os, layers_.size());
+  for (const FqEncoderLayer& l : layers_) {
+    for (double s : {l.in_scale, l.q_scale, l.k_scale, l.v_scale,
+                     l.ctx_scale, l.attn_out_scale, l.ffn_in_scale,
+                     l.pre_gelu_scale, l.ffn_mid_scale, l.ffn_out_scale,
+                     l.out_scale})
+      write_pod<double>(os, s);
+    for (const QuantLinear* q :
+         {&l.wq, &l.wk, &l.wv, &l.wo, &l.ffn1, &l.ffn2})
+      write_quant_linear(os, *q);
+    write_vec(os, l.ln1_gamma);
+    write_vec(os, l.ln1_beta);
+    write_vec(os, l.ln2_gamma);
+    write_vec(os, l.ln2_beta);
+  }
+
+  write_tensor(os, pooler_w_);
+  write_tensor(os, classifier_w_);
+  write_vec(os, pooler_b_);
+  write_vec(os, classifier_b_);
+  return static_cast<bool>(os);
+}
+
+FqBertModel FqBertModel::load(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  char magic[8];
+  is.read(magic, sizeof(magic));
+  if (!is || std::memcmp(magic, kMagic, sizeof(kMagic)) != 0)
+    throw std::runtime_error("not an FQ-BERT model file: " + path);
+
+  FqBertModel m;
+  m.config_ = read_config(is);
+  m.quant_config_ = read_fq_config(is);
+  m.weight_bits_ = m.quant_config_.weight_bits;
+  m.emb_scale_ = read_pod<double>(is);
+  m.tok_table_ = read_tensor(is);
+  m.pos_table_ = read_tensor(is);
+  m.seg_table_ = read_tensor(is);
+  m.emb_ln_gamma_ = read_vec<float>(is);
+  m.emb_ln_beta_ = read_vec<float>(is);
+
+  const auto n_layers = read_pod<uint64_t>(is);
+  m.layers_.resize(n_layers);
+  for (FqEncoderLayer& l : m.layers_) {
+    l.hidden = m.config_.hidden;
+    l.ffn_dim = m.config_.ffn_dim;
+    l.num_heads = m.config_.num_heads;
+    l.head_dim = m.config_.head_dim();
+    l.use_int_softmax = m.quant_config_.quantize_softmax;
+    l.use_int_layernorm = m.quant_config_.quantize_layernorm;
+    for (double* s : {&l.in_scale, &l.q_scale, &l.k_scale, &l.v_scale,
+                      &l.ctx_scale, &l.attn_out_scale, &l.ffn_in_scale,
+                      &l.pre_gelu_scale, &l.ffn_mid_scale, &l.ffn_out_scale,
+                      &l.out_scale})
+      *s = read_pod<double>(is);
+    for (QuantLinear* q : {&l.wq, &l.wk, &l.wv, &l.wo, &l.ffn1, &l.ffn2})
+      *q = read_quant_linear(is);
+    l.ln1_gamma = read_vec<float>(is);
+    l.ln1_beta = read_vec<float>(is);
+    l.ln2_gamma = read_vec<float>(is);
+    l.ln2_beta = read_vec<float>(is);
+
+    // Rebuild the derived integer kernels.
+    l.softmax = std::make_unique<quant::IntSoftmax>(
+        l.q_scale * l.k_scale * std::sqrt(static_cast<double>(l.head_dim)));
+    l.gelu = std::make_unique<quant::IntGelu>(l.pre_gelu_scale,
+                                              l.ffn_mid_scale);
+    l.ln1 = std::make_unique<quant::IntLayerNorm>(l.ln1_gamma, l.ln1_beta,
+                                                  l.ffn_in_scale);
+    l.ln2 = std::make_unique<quant::IntLayerNorm>(l.ln2_gamma, l.ln2_beta,
+                                                  l.out_scale);
+    l.ctx_rq =
+        quant::Requantizer::from_scale(l.ctx_scale / (255.0 * l.v_scale));
+    l.res1_rq = quant::Requantizer::from_scale(l.attn_out_scale / l.in_scale);
+    l.res2_rq =
+        quant::Requantizer::from_scale(l.ffn_out_scale / l.ffn_in_scale);
+  }
+
+  m.pooler_w_ = read_tensor(is);
+  m.classifier_w_ = read_tensor(is);
+  m.pooler_b_ = read_vec<float>(is);
+  m.classifier_b_ = read_vec<float>(is);
+  if (!is) throw std::runtime_error("truncated FQ-BERT model file: " + path);
+  return m;
+}
+
+}  // namespace fqbert::core

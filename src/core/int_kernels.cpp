@@ -1,0 +1,66 @@
+#include "core/int_kernels.h"
+
+#include <cassert>
+
+namespace fqbert::core {
+
+void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
+                   std::vector<int32_t>& acc, int64_t m, int64_t k,
+                   int64_t n) {
+  assert(static_cast<int64_t>(a.size()) == m * k);
+  assert(static_cast<int64_t>(w.size()) == n * k);
+  acc.assign(static_cast<size_t>(m * n), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    const int8_t* arow = a.data() + i * k;
+    int32_t* crow = acc.data() + i * n;
+    for (int64_t j = 0; j < n; ++j) {
+      const int8_t* wrow = w.data() + j * k;
+      int32_t s = 0;
+      for (int64_t p = 0; p < k; ++p)
+        s += static_cast<int32_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
+      crow[j] = s;
+    }
+  }
+}
+
+void int_matmul_pv(const std::vector<int32_t>& p, const std::vector<int8_t>& v,
+                   std::vector<int32_t>& acc, int64_t m, int64_t k,
+                   int64_t n) {
+  assert(static_cast<int64_t>(p.size()) == m * k);
+  assert(static_cast<int64_t>(v.size()) == k * n);
+  acc.assign(static_cast<size_t>(m * n), 0);
+  for (int64_t i = 0; i < m; ++i) {
+    const int32_t* prow = p.data() + i * k;
+    int32_t* crow = acc.data() + i * n;
+    for (int64_t q = 0; q < k; ++q) {
+      const int32_t pv = prow[q];
+      if (pv == 0) continue;
+      const int8_t* vrow = v.data() + q * n;
+      for (int64_t j = 0; j < n; ++j)
+        crow[j] += pv * static_cast<int32_t>(vrow[j]);
+    }
+  }
+}
+
+void requantize_i8(const std::vector<int32_t>& acc,
+                   const std::vector<int32_t>& bias_per_col,
+                   const quant::Requantizer& rq, std::vector<int8_t>& out,
+                   int64_t rows, int64_t cols) {
+  assert(static_cast<int64_t>(acc.size()) == rows * cols);
+  assert(bias_per_col.empty() ||
+         static_cast<int64_t>(bias_per_col.size()) == cols);
+  out.resize(static_cast<size_t>(rows * cols));
+  for (int64_t r = 0; r < rows; ++r) {
+    const int32_t* arow = acc.data() + r * cols;
+    int8_t* orow = out.data() + r * cols;
+    for (int64_t c = 0; c < cols; ++c) {
+      const int64_t with_bias =
+          static_cast<int64_t>(arow[c]) +
+          (bias_per_col.empty() ? 0 : bias_per_col[static_cast<size_t>(c)]);
+      orow[c] = static_cast<int8_t>(
+          quant::saturate_signed(rq.apply(with_bias), 8));
+    }
+  }
+}
+
+}  // namespace fqbert::core

@@ -1,0 +1,43 @@
+// Integer matrix kernels used by the FQ-BERT inference engine.
+//
+// These are the *functional* counterparts of the accelerator datapath:
+// int8 activations times int4/int8 weights accumulated in int32, then
+// requantized. The cycle-level simulator in src/accel executes the same
+// arithmetic through its BIM model; tests assert both paths agree
+// bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "quant/fixed_point.h"
+
+namespace fqbert::core {
+
+/// acc[m,n] = sum_k a[m,k] * w[n,k]  (weight row-major [n, k], i.e. the
+/// usual [out, in] layout; both operands as int8 codes).
+void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
+                   std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n);
+
+/// acc[m,n] = sum_k a[m,k] * b[n,k]ᵀ for two activation matrices
+/// (QKᵀ: both int8).
+inline void int_matmul_bt(const std::vector<int8_t>& a,
+                          const std::vector<int8_t>& b,
+                          std::vector<int32_t>& acc, int64_t m, int64_t k,
+                          int64_t n) {
+  int_matmul_wt(a, b, acc, m, k, n);
+}
+
+/// acc[m,n] = sum_k p[m,k] * v[k,n] with p unsigned 8-bit codes (0..255,
+/// stored in int32) and v int8 (probs · V).
+void int_matmul_pv(const std::vector<int32_t>& p, const std::vector<int8_t>& v,
+                   std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n);
+
+/// Requantize an int32 accumulator tensor (+ per-output-channel bias) to
+/// int8 codes: out = saturate(requant(acc + bias)).
+void requantize_i8(const std::vector<int32_t>& acc,
+                   const std::vector<int32_t>& bias_per_col,
+                   const quant::Requantizer& rq, std::vector<int8_t>& out,
+                   int64_t rows, int64_t cols);
+
+}  // namespace fqbert::core

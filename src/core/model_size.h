@@ -1,0 +1,68 @@
+// Parameter inventory and model-size accounting (Table I compression).
+//
+// Works from a BertConfig alone so the BERT-base 7.94x figure can be
+// computed exactly even though only MiniBERT is trainable here: float
+// model stores every parameter in 32 bits; FQ-BERT stores weight
+// matrices and embedding tables at weight_bits (packed), biases at 32-bit
+// integer, LayerNorm parameters at 8 bits, per-tensor scale factors at
+// 8 bits, plus the two 256-entry LUTs (softmax exp, GELU).
+#pragma once
+
+#include "core/fq_config.h"
+#include "nn/bert.h"
+#include "quant/packing.h"
+
+namespace fqbert::core {
+
+struct ParamInventory {
+  int64_t embedding = 0;     // token + position + segment tables
+  int64_t enc_weights = 0;   // QKVO + FFN matrices
+  int64_t enc_biases = 0;
+  int64_t ln_params = 0;     // all LayerNorm gamma/beta (incl. embedding LN)
+  int64_t head_weights = 0;  // pooler + classifier matrices
+  int64_t head_biases = 0;
+  int64_t weight_tensors = 0;  // count of quantized weight tensors (scales)
+  int64_t act_nodes = 0;       // count of activation scale factors
+
+  int64_t total_params() const {
+    return embedding + enc_weights + enc_biases + ln_params + head_weights +
+           head_biases;
+  }
+
+  static ParamInventory from_config(const nn::BertConfig& c) {
+    ParamInventory inv;
+    inv.embedding =
+        (c.vocab_size + c.max_seq_len + c.num_segments) * c.hidden;
+    inv.enc_weights = c.num_layers * (4 * c.hidden * c.hidden +
+                                      2 * c.hidden * c.ffn_dim);
+    inv.enc_biases = c.num_layers * (4 * c.hidden + c.ffn_dim + c.hidden);
+    inv.ln_params = (2 * c.num_layers + 1) * 2 * c.hidden;
+    inv.head_weights = c.hidden * c.hidden + c.hidden * c.num_classes;
+    inv.head_biases = c.hidden + c.num_classes;
+    inv.weight_tensors = 3 + 6 * c.num_layers + 2;
+    inv.act_nodes = 3 + 11 * c.num_layers;
+    return inv;
+  }
+};
+
+/// Full-model compression accounting.
+inline quant::SizeReport model_size_report(const nn::BertConfig& c,
+                                           const FqQuantConfig& q) {
+  const ParamInventory inv = ParamInventory::from_config(c);
+  quant::SizeReport r;
+  r.add(inv.embedding, 32, q.weight_bits);
+  r.add(inv.enc_weights, 32, q.weight_bits);
+  r.add(inv.enc_biases, 32, 32);  // biases stay 32-bit integers (Eq. 4)
+  r.add(inv.ln_params, 32, q.quantize_layernorm ? 8 : 32);
+  r.add(inv.head_weights, 32, q.weight_bits);
+  r.add(inv.head_biases, 32, 32);
+  // Scale factors: one 8-bit value per quantized tensor / activation node
+  // (the float model has none, hence float side 0 bits).
+  r.quant_bytes += inv.weight_tensors + inv.act_nodes;
+  // LUT parameter buffers: softmax exp table + GELU table.
+  if (q.quantize_softmax) r.quant_bytes += 256;
+  r.quant_bytes += 256;  // GELU LUT
+  return r;
+}
+
+}  // namespace fqbert::core

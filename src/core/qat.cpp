@@ -1,0 +1,201 @@
+#include "core/qat.h"
+
+#include "quant/int_layernorm.h"
+
+namespace fqbert::core {
+
+using quant::ActFakeQuant;
+using quant::FakeQuantConfig;
+using quant::FixedGridFakeQuant;
+using quant::SoftmaxLutFakeQuant;
+using quant::WeightFakeQuant;
+
+namespace {
+
+FakeQuantConfig weight_fq(const FqQuantConfig& c) {
+  FakeQuantConfig f;
+  f.bits = c.weight_bits;
+  f.clip = c.clip;
+  f.percentile = c.clip_percentile;
+  f.quantize_scale = c.quantize_scales;
+  return f;
+}
+
+FakeQuantConfig act_fq(const FqQuantConfig& c) {
+  FakeQuantConfig f;
+  f.bits = c.act_bits;
+  f.clip = quant::ClipMode::kNone;
+  f.quantize_scale = c.quantize_scales;
+  return f;
+}
+
+}  // namespace
+
+QatBert::QatBert(nn::BertModel& model, const FqQuantConfig& config)
+    : model_(model), config_(config) {
+  if (!config.quantize_weights_acts) return;  // float baseline: no hooks
+
+  const FakeQuantConfig wcfg = weight_fq(config);
+  const FakeQuantConfig acfg = act_fq(config);
+  const double mom = config.ema_momentum;
+
+  auto make_w = [&] { return std::make_unique<WeightFakeQuant>(wcfg); };
+  auto make_a = [&] { return std::make_unique<ActFakeQuant>(acfg, mom); };
+
+  // Embedding tables and the head (paper: full quantization of weights).
+  tok_emb_ = make_w();
+  pos_emb_ = make_w();
+  seg_emb_ = make_w();
+  pooler_w_ = make_w();
+  classifier_w_ = make_w();
+  emb_act_ = make_a();
+  final_act_ = make_a();
+  pooled_act_ = make_a();
+
+  model_.tok_emb.weight_hook = tok_emb_.get();
+  model_.pos_emb.weight_hook = pos_emb_.get();
+  model_.seg_emb.weight_hook = seg_emb_.get();
+  model_.pooler.weight_hook = pooler_w_.get();
+  model_.classifier.weight_hook = classifier_w_.get();
+  model_.emb_node.hook = emb_act_.get();
+  model_.final_node.hook = final_act_.get();
+  model_.pooled_node.hook = pooled_act_.get();
+
+  if (config.quantize_layernorm) {
+    const double gscale = 1 << quant::IntLayerNorm::kGammaFracBits;
+    emb_ln_gamma_ = std::make_unique<FixedGridFakeQuant>(
+        FixedGridFakeQuant::signed_bits(gscale, 8));
+    emb_ln_beta_ = std::make_unique<FixedGridFakeQuant>(
+        FixedGridFakeQuant::signed_bits(gscale, 8));
+    model_.emb_ln.gamma_hook = emb_ln_gamma_.get();
+    model_.emb_ln.beta_hook = emb_ln_beta_.get();
+  }
+
+  layer_hooks_.clear();
+  for (auto& layer : model_.layers) {
+    auto h = std::make_unique<LayerHooks>();
+    h->wq = make_w();
+    h->wk = make_w();
+    h->wv = make_w();
+    h->wo = make_w();
+    h->ffn1 = make_w();
+    h->ffn2 = make_w();
+    layer->attn.wq.weight_hook = h->wq.get();
+    layer->attn.wk.weight_hook = h->wk.get();
+    layer->attn.wv.weight_hook = h->wv.get();
+    layer->attn.wo.weight_hook = h->wo.get();
+    layer->ffn1.weight_hook = h->ffn1.get();
+    layer->ffn2.weight_hook = h->ffn2.get();
+
+    h->input = make_a();
+    h->q = make_a();
+    h->k = make_a();
+    h->v = make_a();
+    h->ctx = make_a();
+    h->attn_out = make_a();
+    h->ffn_in = make_a();
+    h->pre_gelu = make_a();
+    h->ffn_mid = make_a();
+    h->ffn_out = make_a();
+    layer->input_node.hook = h->input.get();
+    layer->attn.q_node.hook = h->q.get();
+    layer->attn.k_node.hook = h->k.get();
+    layer->attn.v_node.hook = h->v.get();
+    layer->attn.ctx_node.hook = h->ctx.get();
+    layer->attn_out_node.hook = h->attn_out.get();
+    layer->ffn_in_node.hook = h->ffn_in.get();
+    layer->pre_gelu_node.hook = h->pre_gelu.get();
+    layer->ffn_mid_node.hook = h->ffn_mid.get();
+    layer->ffn_out_node.hook = h->ffn_out.get();
+
+    if (config.quantize_softmax) {
+      h->probs_lut = std::make_unique<SoftmaxLutFakeQuant>();
+      layer->attn.probs_node.hook = h->probs_lut.get();
+    } else {
+      // Plain 8-bit activation quantization on the fixed [0,1] range.
+      h->probs_linear = std::make_unique<FixedGridFakeQuant>(
+          FixedGridFakeQuant::unsigned_bits(255.0, 8));
+      layer->attn.probs_node.hook = h->probs_linear.get();
+    }
+
+    if (config.quantize_layernorm) {
+      const double gscale = 1 << quant::IntLayerNorm::kGammaFracBits;
+      h->ln1_gamma = std::make_unique<FixedGridFakeQuant>(
+          FixedGridFakeQuant::signed_bits(gscale, 8));
+      h->ln1_beta = std::make_unique<FixedGridFakeQuant>(
+          FixedGridFakeQuant::signed_bits(gscale, 8));
+      h->ln2_gamma = std::make_unique<FixedGridFakeQuant>(
+          FixedGridFakeQuant::signed_bits(gscale, 8));
+      h->ln2_beta = std::make_unique<FixedGridFakeQuant>(
+          FixedGridFakeQuant::signed_bits(gscale, 8));
+      layer->ln1.gamma_hook = h->ln1_gamma.get();
+      layer->ln1.beta_hook = h->ln1_beta.get();
+      layer->ln2.gamma_hook = h->ln2_gamma.get();
+      layer->ln2.beta_hook = h->ln2_beta.get();
+    }
+
+    layer_hooks_.push_back(std::move(h));
+  }
+  attached_ = true;
+}
+
+void QatBert::set_training(bool training) {
+  if (!attached_) return;
+  emb_act_->set_training(training);
+  final_act_->set_training(training);
+  pooled_act_->set_training(training);
+  for (auto& h : layer_hooks_) {
+    for (ActFakeQuant* a : {h->input.get(), h->q.get(), h->k.get(),
+                            h->v.get(), h->ctx.get(), h->attn_out.get(), h->ffn_in.get(),
+                            h->pre_gelu.get(), h->ffn_mid.get(),
+                            h->ffn_out.get()})
+      a->set_training(training);
+  }
+}
+
+void QatBert::calibrate(const std::vector<nn::Example>& data) {
+  if (!attached_) return;
+  set_training(true);
+  for (const nn::Example& ex : data) model_.forward(ex);
+  set_training(false);
+}
+
+void QatBert::detach() {
+  if (!attached_) return;
+  model_.tok_emb.weight_hook = nullptr;
+  model_.pos_emb.weight_hook = nullptr;
+  model_.seg_emb.weight_hook = nullptr;
+  model_.pooler.weight_hook = nullptr;
+  model_.classifier.weight_hook = nullptr;
+  model_.emb_node.hook = nullptr;
+  model_.final_node.hook = nullptr;
+  model_.pooled_node.hook = nullptr;
+  model_.emb_ln.gamma_hook = nullptr;
+  model_.emb_ln.beta_hook = nullptr;
+  for (auto& layer : model_.layers) {
+    layer->attn.wq.weight_hook = nullptr;
+    layer->attn.wk.weight_hook = nullptr;
+    layer->attn.wv.weight_hook = nullptr;
+    layer->attn.wo.weight_hook = nullptr;
+    layer->ffn1.weight_hook = nullptr;
+    layer->ffn2.weight_hook = nullptr;
+    layer->input_node.hook = nullptr;
+    layer->attn.q_node.hook = nullptr;
+    layer->attn.k_node.hook = nullptr;
+    layer->attn.v_node.hook = nullptr;
+    layer->attn.ctx_node.hook = nullptr;
+    layer->attn_out_node.hook = nullptr;
+    layer->ffn_in_node.hook = nullptr;
+    layer->pre_gelu_node.hook = nullptr;
+    layer->ffn_mid_node.hook = nullptr;
+    layer->ffn_out_node.hook = nullptr;
+    layer->attn.probs_node.hook = nullptr;
+    layer->ln1.gamma_hook = nullptr;
+    layer->ln1.beta_hook = nullptr;
+    layer->ln2.gamma_hook = nullptr;
+    layer->ln2.beta_hook = nullptr;
+  }
+  attached_ = false;
+}
+
+}  // namespace fqbert::core

@@ -1,0 +1,91 @@
+// Quantization-aware-training instrumentation.
+//
+// QatBert attaches fake-quantization hooks to an existing float BertModel
+// according to an FqQuantConfig: weight hooks on every Linear and
+// Embedding, EMA activation hooks on every intermediate-tensor node, the
+// LUT-emulating hook on the softmax output when quantize_softmax is set,
+// and fixed-grid hooks on LayerNorm parameters when quantize_layernorm is
+// set. Detaching restores the float model untouched (hooks never mutate
+// parameter values).
+//
+// The same object doubles as the calibration record: after (fine-)
+// tuning, the converter in fq_bert.h reads the weight scales and EMA
+// activation ranges straight from these hooks to build the integer-only
+// engine.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/fq_config.h"
+#include "nn/bert.h"
+#include "quant/fake_quant.h"
+
+namespace fqbert::core {
+
+/// Per-encoder-layer hook bundle (indices match model.layers).
+struct LayerHooks {
+  // Weight hooks.
+  std::unique_ptr<quant::WeightFakeQuant> wq, wk, wv, wo, ffn1, ffn2;
+  // Activation hooks.
+  std::unique_ptr<quant::ActFakeQuant> input;     // encoder-layer input
+  std::unique_ptr<quant::ActFakeQuant> q, k, v;   // attention operands
+  std::unique_ptr<quant::ActFakeQuant> ctx;       // concat output before Wo
+  std::unique_ptr<quant::ActFakeQuant> attn_out;  // after Wo
+  std::unique_ptr<quant::ActFakeQuant> ffn_in;    // LN1 output
+  std::unique_ptr<quant::ActFakeQuant> pre_gelu;  // FFN1 output
+  std::unique_ptr<quant::ActFakeQuant> ffn_mid;   // GELU output
+  std::unique_ptr<quant::ActFakeQuant> ffn_out;   // FFN2 output
+  // Softmax probabilities: exactly one of these is installed.
+  std::unique_ptr<quant::SoftmaxLutFakeQuant> probs_lut;
+  std::unique_ptr<quant::FixedGridFakeQuant> probs_linear;
+  // LayerNorm parameter hooks (quantize_layernorm).
+  std::unique_ptr<quant::FixedGridFakeQuant> ln1_gamma, ln1_beta;
+  std::unique_ptr<quant::FixedGridFakeQuant> ln2_gamma, ln2_beta;
+};
+
+class QatBert {
+ public:
+  /// Attach hooks to the model. The model must outlive this object.
+  QatBert(nn::BertModel& model, const FqQuantConfig& config);
+  ~QatBert() { detach(); }
+
+  QatBert(const QatBert&) = delete;
+  QatBert& operator=(const QatBert&) = delete;
+
+  /// Switch all EMA observers between update (training) and frozen mode.
+  void set_training(bool training);
+
+  /// Run forward passes over a calibration set to populate EMA ranges
+  /// without touching weights.
+  void calibrate(const std::vector<nn::Example>& data);
+
+  /// Remove every hook from the model.
+  void detach();
+
+  nn::BertModel& model() { return model_; }
+  const FqQuantConfig& config() const { return config_; }
+
+  // Calibration record accessors (used by the converter).
+  const LayerHooks& layer_hooks(size_t l) const { return *layer_hooks_[l]; }
+  quant::WeightFakeQuant& tok_emb_hook() { return *tok_emb_; }
+  quant::WeightFakeQuant& pos_emb_hook() { return *pos_emb_; }
+  quant::WeightFakeQuant& seg_emb_hook() { return *seg_emb_; }
+  quant::WeightFakeQuant& pooler_hook() { return *pooler_w_; }
+  quant::WeightFakeQuant& classifier_hook() { return *classifier_w_; }
+  quant::ActFakeQuant& emb_act_hook() { return *emb_act_; }
+  quant::ActFakeQuant& final_act_hook() { return *final_act_; }
+
+ private:
+  nn::BertModel& model_;
+  FqQuantConfig config_;
+  bool attached_ = false;
+
+  std::unique_ptr<quant::WeightFakeQuant> tok_emb_, pos_emb_, seg_emb_;
+  std::unique_ptr<quant::WeightFakeQuant> pooler_w_, classifier_w_;
+  std::unique_ptr<quant::ActFakeQuant> emb_act_, final_act_, pooled_act_;
+  std::unique_ptr<quant::FixedGridFakeQuant> emb_ln_gamma_, emb_ln_beta_;
+  std::vector<std::unique_ptr<LayerHooks>> layer_hooks_;
+};
+
+}  // namespace fqbert::core

@@ -1,0 +1,173 @@
+#include "data/synth_tasks.h"
+
+#include <algorithm>
+
+namespace fqbert::data {
+
+namespace {
+
+int32_t pick_in_range(Rng& rng, int32_t begin, int32_t end) {
+  return static_cast<int32_t>(rng.randint(begin, end - 1));
+}
+
+}  // namespace
+
+std::vector<Example> make_sst2(const Sst2Config& config, int count,
+                               uint64_t seed) {
+  const Vocab& v = config.vocab;
+  Rng rng(seed);
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(count));
+
+  while (static_cast<int>(out.size()) < count) {
+    const int len = static_cast<int>(
+        rng.randint(config.min_len, config.max_len));
+    const int n_sent =
+        static_cast<int>(rng.randint(1, config.max_sentiment));
+
+    // Build the body: sentiment "clauses" at random positions, filler
+    // elsewhere. A clause is [negator?] [intensifier?] sentiment-word.
+    std::vector<int32_t> body;
+    body.reserve(static_cast<size_t>(len) + 6);
+    int score = 0;
+    std::vector<int> clause_at(static_cast<size_t>(n_sent));
+    for (int i = 0; i < n_sent; ++i)
+      clause_at[static_cast<size_t>(i)] =
+          static_cast<int>(rng.randint(0, len - 1));
+    std::sort(clause_at.begin(), clause_at.end());
+
+    int next_clause = 0;
+    for (int pos = 0; pos < len; ++pos) {
+      if (next_clause < n_sent && clause_at[static_cast<size_t>(next_clause)] == pos) {
+        ++next_clause;
+        const bool negated = rng.flip(config.p_negator);
+        const bool intense = rng.flip(config.p_intensifier);
+        if (negated) body.push_back(pick_in_range(rng, v.negator_begin, v.negator_end));
+        if (intense) body.push_back(pick_in_range(rng, v.intens_begin, v.intens_end));
+        const bool positive = rng.flip(0.5);
+        body.push_back(positive ? pick_in_range(rng, v.pos_begin, v.pos_end)
+                                : pick_in_range(rng, v.neg_begin, v.neg_end));
+        int w = intense ? 2 : 1;
+        int polarity = positive ? 1 : -1;
+        if (negated) polarity = -polarity;
+        score += polarity * w;
+      } else {
+        body.push_back(pick_in_range(rng, v.filler_begin, v.filler_end));
+      }
+    }
+    if (score == 0) continue;  // ambiguous sentence; resample
+
+    Example ex;
+    ex.tokens.push_back(Vocab::kCls);
+    for (int32_t t : body) ex.tokens.push_back(t);
+    ex.tokens.push_back(Vocab::kSep);
+    if (static_cast<int>(ex.tokens.size()) > config.max_seq_len)
+      ex.tokens.resize(static_cast<size_t>(config.max_seq_len));
+    ex.segments.assign(ex.tokens.size(), 0);
+    ex.label = score > 0 ? 1 : 0;
+    if (rng.flip(config.label_noise)) ex.label = 1 - ex.label;
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+std::vector<Example> make_mnli(const MnliConfig& config, int count,
+                               uint64_t seed) {
+  const Vocab& v = config.vocab;
+  Rng rng(seed);
+  std::vector<Example> out;
+  out.reserve(static_cast<size_t>(count));
+
+  // Genre shift: the content range is split into two pair-aligned halves
+  // ("genres"). The matched distribution draws mostly from the lower
+  // half, the mismatched mostly from the upper half — every word appears
+  // in both, so the shift is distributional (word frequencies), like the
+  // real MNLI genre split, not an out-of-vocabulary cliff.
+  const int32_t n_content = v.num_content();
+  const int32_t mid = v.content_begin + ((n_content / 2) & ~1);
+  const double p_lower = config.mismatched_genre ? 0.25 : 0.85;
+  auto pick_content = [&](Rng& r) {
+    return r.flip(p_lower) ? pick_in_range(r, v.content_begin, mid)
+                           : pick_in_range(r, mid, v.content_end);
+  };
+
+  while (static_cast<int>(out.size()) < count) {
+    const int plen = static_cast<int>(
+        rng.randint(config.min_premise, config.max_premise));
+
+    // Premise: distinct content words (avoid a word and its antonym both
+    // appearing, which would make contradiction ill-defined).
+    std::vector<int32_t> premise;
+    while (static_cast<int>(premise.size()) < plen) {
+      const int32_t w = pick_content(rng);
+      bool clash = false;
+      for (int32_t p : premise)
+        if (p == w || p == v.antonym(w)) clash = true;
+      if (!clash) premise.push_back(w);
+    }
+
+    const int32_t label = static_cast<int32_t>(rng.randint(0, 2));
+    // 0 = entailment, 1 = neutral, 2 = contradiction.
+
+    // Hypothesis: subset of the premise...
+    const int hlen = std::min(config.hypothesis_len, plen);
+    std::vector<int32_t> hyp(premise.begin(), premise.begin() + plen);
+    rng.shuffle(hyp);
+    hyp.resize(static_cast<size_t>(hlen));
+
+    if (label == 2) {
+      // ...with one word replaced by its antonym (contradiction).
+      const size_t k = static_cast<size_t>(rng.randint(0, hlen - 1));
+      hyp[k] = v.antonym(hyp[k]);
+    } else if (label == 1) {
+      // ...with one *new* content word absent from the premise (neutral).
+      const size_t k = static_cast<size_t>(rng.randint(0, hlen - 1));
+      int32_t w;
+      for (;;) {
+        w = pick_content(rng);
+        bool clash = false;
+        for (int32_t p : premise)
+          if (p == w || p == v.antonym(w)) clash = true;
+        if (!clash) break;
+      }
+      hyp[k] = w;
+    }
+
+    Example ex;
+    ex.tokens.push_back(Vocab::kCls);
+    ex.segments.push_back(0);
+    for (int32_t t : premise) {
+      ex.tokens.push_back(t);
+      ex.segments.push_back(0);
+    }
+    ex.tokens.push_back(Vocab::kSep);
+    ex.segments.push_back(0);
+    for (int32_t t : hyp) {
+      ex.tokens.push_back(t);
+      ex.segments.push_back(1);
+    }
+    ex.tokens.push_back(Vocab::kSep);
+    ex.segments.push_back(1);
+    if (static_cast<int>(ex.tokens.size()) > config.max_seq_len) {
+      ex.tokens.resize(static_cast<size_t>(config.max_seq_len));
+      ex.segments.resize(static_cast<size_t>(config.max_seq_len));
+    }
+
+    ex.label = label;
+    if (rng.flip(config.label_noise)) {
+      ex.label = static_cast<int32_t>((label + 1 + rng.randint(0, 1)) % 3);
+    }
+    out.push_back(std::move(ex));
+  }
+  return out;
+}
+
+double label_fraction(const std::vector<Example>& data, int32_t label) {
+  if (data.empty()) return 0.0;
+  int64_t n = 0;
+  for (const Example& ex : data)
+    if (ex.label == label) ++n;
+  return static_cast<double>(n) / static_cast<double>(data.size());
+}
+
+}  // namespace fqbert::data

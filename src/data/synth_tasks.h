@@ -1,0 +1,63 @@
+// Synthetic GLUE-like tasks standing in for SST-2 and MNLI.
+//
+// synth-SST2 (binary sentiment): sentences are filler tokens with a few
+// sentiment-bearing tokens; a negator flips the polarity of the *next*
+// sentiment token (a compositional effect that requires attention) and an
+// intensifier doubles its weight. The label is the sign of the summed
+// signed weights. Label noise sets the accuracy ceiling, mirroring the
+// irreducible error of the real dataset.
+//
+// synth-MNLI (3-class entailment): a premise of content words and a
+// hypothesis that is (entailment) a shuffled subset of the premise with
+// some synonym substitutions, (contradiction) the same but with one word
+// replaced by its antonym, or (neutral) the same but with one *new*
+// content word not present in the premise. Distinguishing the classes
+// requires comparing hypothesis tokens against the premise across the
+// [SEP] boundary. A "mismatched" evaluation split draws from a shifted
+// genre (different filler distribution and rarer content words).
+#pragma once
+
+#include <vector>
+
+#include "data/vocab.h"
+#include "nn/bert.h"
+#include "tensor/rng.h"
+
+namespace fqbert::data {
+
+using nn::Example;
+
+struct Sst2Config {
+  Vocab vocab;
+  int min_len = 6;
+  int max_len = 22;       // token budget before [CLS]/[SEP]
+  int max_sentiment = 3;  // sentiment tokens per sentence
+  double p_negator = 0.35;
+  double p_intensifier = 0.25;
+  double label_noise = 0.045;
+  int max_seq_len = 32;
+};
+
+struct MnliConfig {
+  Vocab vocab;
+  int min_premise = 5;
+  int max_premise = 11;
+  int hypothesis_len = 4;      // content words in the hypothesis
+  double p_synonym = 0.0;      // reserved; antonym pairing is the signal
+  double label_noise = 0.11;
+  int max_seq_len = 32;
+  /// Genre shift for the mismatched split: restrict content words to the
+  /// upper part of the content range (rare in training) when true.
+  bool mismatched_genre = false;
+};
+
+/// Deterministic dataset generation (same seed => same data).
+std::vector<Example> make_sst2(const Sst2Config& config, int count,
+                               uint64_t seed);
+std::vector<Example> make_mnli(const MnliConfig& config, int count,
+                               uint64_t seed);
+
+/// Class balance check used by tests: fraction of examples with label c.
+double label_fraction(const std::vector<Example>& data, int32_t label);
+
+}  // namespace fqbert::data

@@ -1,0 +1,61 @@
+// Synthetic vocabulary with role-structured token ids.
+//
+// Since GLUE data and a pretrained tokenizer are unavailable offline, the
+// synthetic tasks draw from a structured vocabulary: ids are partitioned
+// into special tokens, sentiment-bearing words, negators, intensifiers,
+// paired content words (with synonym/antonym structure for the NLI task)
+// and neutral filler. The partition gives the generators compositional
+// levers (negation scope, antonym substitution) so that a model must use
+// attention — not just token counting — to reach ceiling accuracy.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace fqbert::data {
+
+struct Vocab {
+  // Special tokens (BERT conventions).
+  static constexpr int32_t kPad = 0;
+  static constexpr int32_t kCls = 1;
+  static constexpr int32_t kSep = 2;
+  static constexpr int32_t kUnk = 3;
+
+  int32_t size = 512;
+
+  // Role ranges [begin, end).
+  int32_t pos_begin = 4, pos_end = 44;          // positive sentiment
+  int32_t neg_begin = 44, neg_end = 84;         // negative sentiment
+  int32_t negator_begin = 84, negator_end = 92; // polarity flippers
+  int32_t intens_begin = 92, intens_end = 100;  // intensifiers
+  int32_t content_begin = 100, content_end = 300;  // NLI content words
+  int32_t filler_begin = 300, filler_end = 512;    // neutral filler
+
+  int32_t num_positive() const { return pos_end - pos_begin; }
+  int32_t num_negative() const { return neg_end - neg_begin; }
+  int32_t num_content() const { return content_end - content_begin; }
+  int32_t num_filler() const { return filler_end - filler_begin; }
+
+  bool is_positive(int32_t id) const { return id >= pos_begin && id < pos_end; }
+  bool is_negative(int32_t id) const { return id >= neg_begin && id < neg_end; }
+  bool is_negator(int32_t id) const {
+    return id >= negator_begin && id < negator_end;
+  }
+  bool is_intensifier(int32_t id) const {
+    return id >= intens_begin && id < intens_end;
+  }
+  bool is_content(int32_t id) const {
+    return id >= content_begin && id < content_end;
+  }
+  bool is_filler(int32_t id) const {
+    return id >= filler_begin && id < filler_end;
+  }
+
+  /// Content words are paired: 2k <-> 2k+1 are antonyms of each other.
+  int32_t antonym(int32_t content_id) const {
+    const int32_t off = content_id - content_begin;
+    return content_begin + (off ^ 1);
+  }
+};
+
+}  // namespace fqbert::data

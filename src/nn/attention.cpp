@@ -1,0 +1,140 @@
+#include "nn/attention.h"
+
+namespace fqbert::nn {
+
+Tensor head_slice(const Tensor& src, int64_t h, int64_t dh) {
+  const int64_t s = src.dim(0);
+  Tensor out(Shape{s, dh});
+  for (int64_t r = 0; r < s; ++r) {
+    const float* srow = src.row(r) + h * dh;
+    std::copy(srow, srow + dh, out.row(r));
+  }
+  return out;
+}
+
+void head_unslice_add(Tensor& dst, const Tensor& part, int64_t h, int64_t dh) {
+  const int64_t s = dst.dim(0);
+  assert(part.dim(0) == s && part.dim(1) == dh);
+  for (int64_t r = 0; r < s; ++r) {
+    float* drow = dst.row(r) + h * dh;
+    const float* prow = part.row(r);
+    for (int64_t c = 0; c < dh; ++c) drow[c] += prow[c];
+  }
+}
+
+Tensor rows_block(const Tensor& src, int64_t r0, int64_t n) {
+  assert(src.rank() == 2 && r0 >= 0 && r0 + n <= src.dim(0));
+  const int64_t cols = src.dim(1);
+  Tensor out(Shape{n, cols});
+  std::copy(src.row(r0), src.row(r0) + n * cols, out.data());
+  return out;
+}
+
+void set_rows_block(Tensor& dst, const Tensor& block, int64_t r0) {
+  assert(dst.rank() == 2 && block.rank() == 2 && dst.dim(1) == block.dim(1));
+  assert(r0 >= 0 && r0 + block.dim(0) <= dst.dim(0));
+  std::copy(block.data(), block.data() + block.numel(), dst.row(r0));
+}
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(std::string name,
+                                               int64_t hidden,
+                                               int64_t num_heads, Rng& rng)
+    : wq(name + ".wq", hidden, hidden, rng),
+      wk(name + ".wk", hidden, hidden, rng),
+      wv(name + ".wv", hidden, hidden, rng),
+      wo(name + ".wo", hidden, hidden, rng),
+      num_heads_(num_heads),
+      head_dim_(hidden / num_heads) {
+  if (hidden % num_heads != 0) {
+    throw std::invalid_argument("hidden must be divisible by num_heads");
+  }
+}
+
+Tensor MultiHeadSelfAttention::forward(const Tensor& x) {
+  const int64_t s = x.dim(0);
+  q_ = q_node.forward(wq.forward(x));
+  k_ = k_node.forward(wk.forward(x));
+  v_ = v_node.forward(wv.forward(x));
+
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+
+  // Stacked scores: rows [h*s, (h+1)*s) belong to head h.
+  Tensor scores(Shape{num_heads_ * s, s});
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor qh = head_slice(q_, h, head_dim_);
+    Tensor kh = head_slice(k_, h, head_dim_);
+    Tensor sh;
+    matmul_bt(qh, kh, sh);
+    scale_inplace(sh, inv_sqrt_dh);
+    set_rows_block(scores, sh, h * s);
+  }
+  softmax_rows(scores);
+  raw_probs_ = scores;
+  probs_ = probs_node.forward(raw_probs_);
+
+  ctx_ = Tensor(Shape{s, hidden()}, 0.0f);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor ph = rows_block(probs_, h * s, s);
+    Tensor vh = head_slice(v_, h, head_dim_);
+    Tensor ctx_h;
+    matmul(ph, vh, ctx_h);
+    head_unslice_add(ctx_, ctx_h, h, head_dim_);
+  }
+  ctx_ = ctx_node.forward(ctx_);
+  return wo.forward(ctx_);
+}
+
+Tensor MultiHeadSelfAttention::backward(const Tensor& dy) {
+  const int64_t s = dy.dim(0);
+  Tensor dctx = ctx_node.backward(wo.backward(dy));
+
+  Tensor dv(v_.shape(), 0.0f);
+  Tensor dprobs(probs_.shape());
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor ph = rows_block(probs_, h * s, s);
+    Tensor vh = head_slice(v_, h, head_dim_);
+    Tensor dctx_h = head_slice(dctx, h, head_dim_);
+    // ctx_h = ph · vh
+    Tensor dph;
+    matmul_bt(dctx_h, vh, dph);
+    set_rows_block(dprobs, dph, h * s);
+    Tensor dvh;
+    matmul_at(ph, dctx_h, dvh);
+    head_unslice_add(dv, dvh, h, head_dim_);
+  }
+
+  // Straight-through across the probs hook, then softmax backward on the
+  // raw probabilities.
+  Tensor dscores =
+      softmax_rows_backward(raw_probs_, probs_node.backward(dprobs));
+  const float inv_sqrt_dh = 1.0f / std::sqrt(static_cast<float>(head_dim_));
+  scale_inplace(dscores, inv_sqrt_dh);
+
+  Tensor dq(q_.shape(), 0.0f), dk(k_.shape(), 0.0f);
+  for (int64_t h = 0; h < num_heads_; ++h) {
+    Tensor dsh = rows_block(dscores, h * s, s);
+    Tensor qh = head_slice(q_, h, head_dim_);
+    Tensor kh = head_slice(k_, h, head_dim_);
+    // scores_h = qh · khᵀ
+    Tensor dqh;
+    matmul(dsh, kh, dqh);
+    Tensor dkh;
+    matmul_at(dsh, qh, dkh);
+    head_unslice_add(dq, dqh, h, head_dim_);
+    head_unslice_add(dk, dkh, h, head_dim_);
+  }
+
+  Tensor dx = wq.backward(q_node.backward(dq));
+  add_inplace(dx, wk.backward(k_node.backward(dk)));
+  add_inplace(dx, wv.backward(v_node.backward(dv)));
+  return dx;
+}
+
+void MultiHeadSelfAttention::collect_params(std::vector<Param*>& out) {
+  wq.collect_params(out);
+  wk.collect_params(out);
+  wv.collect_params(out);
+  wo.collect_params(out);
+}
+
+}  // namespace fqbert::nn

@@ -1,0 +1,72 @@
+// Multi-head self-attention (Vaswani et al.) with hand-written backward.
+//
+// Layout convention: a sequence is a rank-2 [S, hidden] tensor; heads are
+// contiguous column slices of width head_dim. Scores are scaled by
+// 1/sqrt(head_dim) as in the paper's Fig. 1 "Scale" box. The attention
+// probability matrices of all heads are stacked into one [heads*S, S]
+// tensor so the softmax-quantization hook (Table II ablation) is applied
+// exactly once per forward.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/hooks.h"
+#include "nn/layers.h"
+
+namespace fqbert::nn {
+
+class MultiHeadSelfAttention : public Module {
+ public:
+  MultiHeadSelfAttention(std::string name, int64_t hidden, int64_t num_heads,
+                         Rng& rng);
+
+  /// x: [S, hidden] -> [S, hidden].
+  Tensor forward(const Tensor& x);
+
+  /// dy: [S, hidden] -> dx: [S, hidden].
+  Tensor backward(const Tensor& dy);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  int64_t hidden() const { return wq.out_features(); }
+  int64_t num_heads() const { return num_heads_; }
+  int64_t head_dim() const { return head_dim_; }
+
+  Linear wq, wk, wv, wo;
+
+  // Quantization points (Fig. 2 intermediate buffers: Q, K, V, Attn).
+  HookedActivation q_node;      // Q before QKᵀ
+  HookedActivation k_node;      // K before QKᵀ
+  HookedActivation v_node;      // V before probs·V
+  HookedActivation probs_node;  // softmax output ("Attn" matrix)
+  HookedActivation ctx_node;    // concatenated context entering Wo
+
+  /// Last (hooked) attention probabilities, stacked [heads*S, S].
+  const Tensor& last_probs() const { return probs_; }
+
+ private:
+  int64_t num_heads_;
+  int64_t head_dim_;
+
+  // Forward caches.
+  Tensor q_, k_, v_;   // hooked versions, [S, hidden]
+  Tensor raw_probs_;   // softmax output before hook, [heads*S, S]
+  Tensor probs_;       // after probs_node, [heads*S, S]
+  Tensor ctx_;         // [S, hidden]
+};
+
+/// Copy head slice h (columns [h*dh, (h+1)*dh)) of src [S, hidden] into a
+/// dense [S, dh] tensor.
+Tensor head_slice(const Tensor& src, int64_t h, int64_t dh);
+
+/// Accumulate a dense [S, dh] tensor back into head slice h of dst.
+void head_unslice_add(Tensor& dst, const Tensor& part, int64_t h, int64_t dh);
+
+/// Copy rows [r0, r0+n) of src into a new [n, cols] tensor.
+Tensor rows_block(const Tensor& src, int64_t r0, int64_t n);
+
+/// Overwrite rows [r0, r0+n) of dst with block.
+void set_rows_block(Tensor& dst, const Tensor& block, int64_t r0);
+
+}  // namespace fqbert::nn

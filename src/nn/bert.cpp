@@ -1,0 +1,141 @@
+#include "nn/bert.h"
+
+#include <fstream>
+
+namespace fqbert::nn {
+
+BertModel::BertModel(const BertConfig& config, Rng& rng)
+    : tok_emb("emb.tok", config.vocab_size, config.hidden, rng),
+      pos_emb("emb.pos", config.max_seq_len, config.hidden, rng),
+      seg_emb("emb.seg", config.num_segments, config.hidden, rng),
+      emb_ln("emb.ln", config.hidden),
+      pooler("pooler", config.hidden, config.hidden, rng),
+      classifier("classifier", config.hidden, config.num_classes, rng),
+      config_(config) {
+  if (config.hidden % config.num_heads != 0) {
+    throw std::invalid_argument("hidden must be divisible by num_heads");
+  }
+  layers.reserve(static_cast<size_t>(config.num_layers));
+  for (int64_t l = 0; l < config.num_layers; ++l) {
+    layers.push_back(std::make_unique<EncoderLayer>(
+        "enc" + std::to_string(l), config.hidden, config.num_heads,
+        config.ffn_dim, rng));
+  }
+}
+
+Tensor BertModel::forward(const std::vector<int32_t>& tokens,
+                          const std::vector<int32_t>& segments) {
+  assert(tokens.size() == segments.size());
+  assert(static_cast<int64_t>(tokens.size()) <= config_.max_seq_len);
+  cached_seq_len_ = static_cast<int64_t>(tokens.size());
+
+  std::vector<int32_t> positions(tokens.size());
+  for (size_t i = 0; i < tokens.size(); ++i)
+    positions[i] = static_cast<int32_t>(i);
+
+  Tensor x = tok_emb.forward(tokens);
+  add_inplace(x, pos_emb.forward(positions));
+  add_inplace(x, seg_emb.forward(segments));
+  x = emb_node.forward(emb_ln.forward(x));
+
+  for (auto& layer : layers) x = layer->forward(x);
+  x = final_node.forward(x);
+
+  // CLS pooling: row 0.
+  Tensor cls = rows_block(x, 0, 1);
+  Tensor pooled = pooled_node.forward(pooler_act.forward(pooler.forward(cls)));
+  Tensor logits = classifier.forward(pooled);
+  return logits.reshaped(Shape{config_.num_classes});
+}
+
+void BertModel::backward(const Tensor& dlogits) {
+  Tensor dl = dlogits.reshaped(Shape{1, config_.num_classes});
+  Tensor dpooled = pooled_node.backward(classifier.backward(dl));
+  Tensor dcls = pooler.backward(pooler_act.backward(dpooled));
+
+  // Scatter CLS gradient back to row 0 of the final hidden states.
+  Tensor dx(Shape{cached_seq_len_, config_.hidden}, 0.0f);
+  set_rows_block(dx, dcls, 0);
+  dx = final_node.backward(dx);
+
+  for (auto it = layers.rbegin(); it != layers.rend(); ++it)
+    dx = (*it)->backward(dx);
+
+  dx = emb_ln.backward(emb_node.backward(dx));
+  tok_emb.backward(dx);
+  pos_emb.backward(dx);
+  seg_emb.backward(dx);
+}
+
+void BertModel::collect_params(std::vector<Param*>& out) {
+  tok_emb.collect_params(out);
+  pos_emb.collect_params(out);
+  seg_emb.collect_params(out);
+  emb_ln.collect_params(out);
+  for (auto& layer : layers) layer->collect_params(out);
+  pooler.collect_params(out);
+  classifier.collect_params(out);
+}
+
+int32_t BertModel::predict(const Example& ex) {
+  Tensor logits = forward(ex);
+  return static_cast<int32_t>(argmax(logits.data(), logits.numel()));
+}
+
+double BertModel::accuracy(const std::vector<Example>& data) {
+  if (data.empty()) return 0.0;
+  int64_t correct = 0;
+  for (const Example& ex : data)
+    if (predict(ex) == ex.label) ++correct;
+  return 100.0 * static_cast<double>(correct) /
+         static_cast<double>(data.size());
+}
+
+// -------------------------- serialization ---------------------------------
+
+std::vector<float> state_to_vector(Module& m) {
+  std::vector<float> out;
+  for (Param* p : m.params())
+    out.insert(out.end(), p->value.storage().begin(),
+               p->value.storage().end());
+  return out;
+}
+
+void vector_to_state(Module& m, const std::vector<float>& v) {
+  size_t off = 0;
+  for (Param* p : m.params()) {
+    const size_t n = static_cast<size_t>(p->value.numel());
+    if (off + n > v.size())
+      throw std::runtime_error("state vector too short for module");
+    std::copy(v.begin() + static_cast<int64_t>(off),
+              v.begin() + static_cast<int64_t>(off + n),
+              p->value.storage().begin());
+    off += n;
+  }
+  if (off != v.size())
+    throw std::runtime_error("state vector size mismatch for module");
+}
+
+void save_state(Module& m, const std::string& path) {
+  std::vector<float> v = state_to_vector(m);
+  std::ofstream f(path, std::ios::binary);
+  const uint64_t n = v.size();
+  f.write(reinterpret_cast<const char*>(&n), sizeof(n));
+  f.write(reinterpret_cast<const char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool load_state(Module& m, const std::string& path) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return false;
+  uint64_t n = 0;
+  f.read(reinterpret_cast<char*>(&n), sizeof(n));
+  std::vector<float> v(n);
+  f.read(reinterpret_cast<char*>(v.data()),
+         static_cast<std::streamsize>(n * sizeof(float)));
+  if (!f) return false;
+  vector_to_state(m, v);
+  return true;
+}
+
+}  // namespace fqbert::nn

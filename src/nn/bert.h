@@ -1,0 +1,111 @@
+// Full BERT classification model (Fig. 1 of the paper): embeddings
+// (token + position + segment, then LayerNorm), a stack of encoder
+// layers, a CLS pooler (dense + tanh) and a task classifier head.
+//
+// This is the float reference model. It is small enough to *train from
+// scratch* on the synthetic GLUE-like tasks in src/data, and it carries
+// the quantization hook points used for QAT fine-tuning; the integer-only
+// engine in src/core is converted from a trained instance of this class.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/encoder.h"
+
+namespace fqbert::nn {
+
+struct BertConfig {
+  int64_t vocab_size = 512;
+  int64_t hidden = 64;
+  int64_t num_layers = 2;
+  int64_t num_heads = 4;
+  int64_t ffn_dim = 256;
+  int64_t max_seq_len = 32;
+  int64_t num_segments = 2;
+  int64_t num_classes = 2;
+
+  int64_t head_dim() const { return hidden / num_heads; }
+
+  /// BERT-base shape (paper's latency/resource experiments).
+  static BertConfig bert_base(int64_t classes = 2) {
+    BertConfig c;
+    c.vocab_size = 30522;
+    c.hidden = 768;
+    c.num_layers = 12;
+    c.num_heads = 12;
+    c.ffn_dim = 3072;
+    c.max_seq_len = 128;
+    c.num_classes = classes;
+    return c;
+  }
+
+  /// Trainable-from-scratch configuration for accuracy experiments.
+  static BertConfig mini(int64_t classes = 2) {
+    BertConfig c;
+    c.num_classes = classes;
+    return c;
+  }
+};
+
+/// One tokenized classification example.
+struct Example {
+  std::vector<int32_t> tokens;    // includes [CLS] ... [SEP]
+  std::vector<int32_t> segments;  // 0 for first sentence, 1 for second
+  int32_t label = 0;
+};
+
+class BertModel : public Module {
+ public:
+  BertModel(const BertConfig& config, Rng& rng);
+
+  /// Forward one sequence; returns logits [num_classes].
+  Tensor forward(const std::vector<int32_t>& tokens,
+                 const std::vector<int32_t>& segments);
+  Tensor forward(const Example& ex) { return forward(ex.tokens, ex.segments); }
+
+  /// Backward from dlogits [num_classes]; accumulates all param grads.
+  void backward(const Tensor& dlogits);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  const BertConfig& config() const { return config_; }
+
+  /// Predicted class for one example.
+  int32_t predict(const Example& ex);
+
+  /// Classification accuracy over a dataset (%).
+  double accuracy(const std::vector<Example>& data);
+
+  Embedding tok_emb;
+  Embedding pos_emb;
+  Embedding seg_emb;
+  LayerNorm emb_ln;
+  std::vector<std::unique_ptr<EncoderLayer>> layers;
+  Linear pooler;
+  Tanh pooler_act;
+  Linear classifier;
+
+  // Quantization points around the embedding/pooler boundary.
+  HookedActivation emb_node;     // embedding-LN output entering layer 0
+  HookedActivation final_node;   // last encoder output entering the pooler
+  HookedActivation pooled_node;  // pooler activation entering classifier
+
+ private:
+  BertConfig config_;
+  int64_t cached_seq_len_ = 0;
+};
+
+// -------------------------- serialization ---------------------------------
+
+/// Flatten every parameter value into one vector (optimizer-order).
+std::vector<float> state_to_vector(Module& m);
+
+/// Load parameters from a flat vector produced by state_to_vector.
+void vector_to_state(Module& m, const std::vector<float>& v);
+
+/// Save/load a flat float vector to a binary file.
+void save_state(Module& m, const std::string& path);
+bool load_state(Module& m, const std::string& path);
+
+}  // namespace fqbert::nn

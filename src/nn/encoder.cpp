@@ -1,0 +1,53 @@
+#include "nn/encoder.h"
+
+namespace fqbert::nn {
+
+EncoderLayer::EncoderLayer(std::string name, int64_t hidden,
+                           int64_t num_heads, int64_t ffn_dim, Rng& rng)
+    : attn(name + ".attn", hidden, num_heads, rng),
+      ln1(name + ".ln1", hidden),
+      ffn1(name + ".ffn1", hidden, ffn_dim, rng),
+      ffn2(name + ".ffn2", ffn_dim, hidden, rng),
+      ln2(name + ".ln2", hidden) {}
+
+Tensor EncoderLayer::forward(const Tensor& x) {
+  cached_x_ = x;
+  Tensor xq = input_node.forward(x);
+  Tensor a = attn_out_node.forward(attn.forward(xq));
+  add_inplace(a, x);  // residual
+  Tensor h = ln1.forward(a);
+  cached_ln1_out_ = h;
+
+  Tensor f_in = ffn_in_node.forward(h);
+  Tensor pre = pre_gelu_node.forward(ffn1.forward(f_in));
+  Tensor mid = ffn_mid_node.forward(gelu.forward(pre));
+  Tensor f = ffn_out_node.forward(ffn2.forward(mid));
+  add_inplace(f, h);  // residual
+  return ln2.forward(f);
+}
+
+Tensor EncoderLayer::backward(const Tensor& dy) {
+  Tensor df = ln2.backward(dy);
+  // f = ffn_out(...) + h ; residual splits the gradient.
+  Tensor dh = df;
+  Tensor dmid = ffn1.backward(pre_gelu_node.backward(gelu.backward(
+      ffn_mid_node.backward(ffn2.backward(ffn_out_node.backward(df))))));
+  add_inplace(dh, ffn_in_node.backward(dmid));
+
+  Tensor da = ln1.backward(dh);
+  // a = attn(...) + x.
+  Tensor dx = da;
+  add_inplace(dx,
+              input_node.backward(attn.backward(attn_out_node.backward(da))));
+  return dx;
+}
+
+void EncoderLayer::collect_params(std::vector<Param*>& out) {
+  attn.collect_params(out);
+  ln1.collect_params(out);
+  ffn1.collect_params(out);
+  ffn2.collect_params(out);
+  ln2.collect_params(out);
+}
+
+}  // namespace fqbert::nn

@@ -1,0 +1,39 @@
+// BERT encoder layer: self-attention + Add&LN + FFN(GELU) + Add&LN
+// (post-norm, as in the original BERT and the paper's Fig. 1).
+#pragma once
+
+#include "nn/attention.h"
+
+namespace fqbert::nn {
+
+class EncoderLayer : public Module {
+ public:
+  EncoderLayer(std::string name, int64_t hidden, int64_t num_heads,
+               int64_t ffn_dim, Rng& rng);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  MultiHeadSelfAttention attn;
+  LayerNorm ln1;
+  Linear ffn1;
+  Gelu gelu;
+  Linear ffn2;
+  LayerNorm ln2;
+
+  // Quantization points.
+  HookedActivation input_node;     // x entering the attention linears
+  HookedActivation attn_out_node;  // attention output before residual add
+  HookedActivation ffn_in_node;    // LN1 output entering FFN1
+  HookedActivation pre_gelu_node;  // FFN1 output entering GELU
+  HookedActivation ffn_mid_node;   // GELU output entering FFN2
+  HookedActivation ffn_out_node;   // FFN2 output before residual add
+
+ private:
+  Tensor cached_x_;       // layer input (for residual backward shapes)
+  Tensor cached_ln1_out_; // residual source of the FFN block
+};
+
+}  // namespace fqbert::nn

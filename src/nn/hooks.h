@@ -1,0 +1,38 @@
+// Hooked activation node: an optional fake-quantization point on the
+// forward path with straight-through-estimator backward.
+//
+// The float model is instrumented with these nodes at every place the
+// FQ-BERT paper quantizes an intermediate tensor (linear inputs/outputs,
+// Q/K before the score product, softmax probabilities, FFN mid
+// activations...). With no hook installed the node is the identity and
+// costs one branch.
+#pragma once
+
+#include "nn/module.h"
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::nn {
+
+class HookedActivation {
+ public:
+  TensorHook* hook = nullptr;
+
+  Tensor forward(const Tensor& x) {
+    if (hook == nullptr) return x;
+    cached_mask_ = hook->grad_mask(x);
+    return hook->apply(x);
+  }
+
+  Tensor backward(const Tensor& dy) {
+    if (hook == nullptr) return dy;
+    assert(dy.same_shape(cached_mask_));
+    Tensor dx = dy;
+    mul_inplace(dx, cached_mask_);
+    return dx;
+  }
+
+ private:
+  Tensor cached_mask_;
+};
+
+}  // namespace fqbert::nn

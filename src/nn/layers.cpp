@@ -1,0 +1,264 @@
+#include "nn/layers.h"
+
+namespace fqbert::nn {
+
+// ---------------------------------------------------------------------------
+// Linear
+// ---------------------------------------------------------------------------
+
+Linear::Linear(std::string name, int64_t in_features, int64_t out_features,
+               Rng& rng)
+    : weight(name + ".weight", Shape{out_features, in_features}),
+      bias(name + ".bias", Shape{out_features}) {
+  fill_xavier(weight.value, rng);
+  bias.value.fill(0.0f);
+}
+
+Tensor Linear::forward(const Tensor& x) {
+  assert(x.rank() == 2 && x.dim(1) == in_features());
+  cached_input_ = x;
+  hook_active_in_cache_ = weight_hook != nullptr;
+  const Tensor& w_eff =
+      hook_active_in_cache_
+          ? (cached_effective_weight_ = weight_hook->apply(weight.value))
+          : weight.value;
+  Tensor y;
+  matmul_bt(x, w_eff, y);
+  add_row_bias(y, bias.value);
+  return y;
+}
+
+Tensor Linear::backward(const Tensor& dy) {
+  assert(dy.rank() == 2 && dy.dim(1) == out_features());
+  // db = sum over rows of dy.
+  for (int64_t r = 0; r < dy.dim(0); ++r) {
+    const float* row = dy.row(r);
+    for (int64_t c = 0; c < dy.dim(1); ++c) bias.grad[c] += row[c];
+  }
+  // dW = dyᵀ x. With a weight hook, the straight-through estimator passes
+  // the gradient of the *effective* weight to the raw weight unchanged.
+  matmul_at(dy, cached_input_, weight.grad, /*accumulate=*/true);
+  // dx = dy W_eff.
+  const Tensor& w_eff =
+      hook_active_in_cache_ ? cached_effective_weight_ : weight.value;
+  Tensor dx;
+  matmul(dy, w_eff, dx);
+  return dx;
+}
+
+void Linear::collect_params(std::vector<Param*>& out) {
+  out.push_back(&weight);
+  out.push_back(&bias);
+}
+
+// ---------------------------------------------------------------------------
+// LayerNorm
+// ---------------------------------------------------------------------------
+
+LayerNorm::LayerNorm(std::string name, int64_t features, float eps_in)
+    : gamma(name + ".gamma", Shape{features}),
+      beta(name + ".beta", Shape{features}),
+      eps(eps_in) {
+  gamma.value.fill(1.0f);
+  beta.value.fill(0.0f);
+}
+
+Tensor LayerNorm::forward(const Tensor& x) {
+  assert(x.rank() == 2 && x.dim(1) == gamma.value.numel());
+  const int64_t s = x.dim(0), h = x.dim(1);
+  cached_eff_gamma_ =
+      gamma_hook != nullptr ? gamma_hook->apply(gamma.value) : gamma.value;
+  const Tensor eff_beta =
+      beta_hook != nullptr ? beta_hook->apply(beta.value) : beta.value;
+  Tensor y(x.shape());
+  cached_xhat_ = Tensor(x.shape());
+  cached_inv_std_ = Tensor(Shape{s});
+  for (int64_t r = 0; r < s; ++r) {
+    const float* xr = x.row(r);
+    double mu = 0.0;
+    for (int64_t c = 0; c < h; ++c) mu += xr[c];
+    mu /= static_cast<double>(h);
+    double var = 0.0;
+    for (int64_t c = 0; c < h; ++c) {
+      const double d = xr[c] - mu;
+      var += d * d;
+    }
+    var /= static_cast<double>(h);
+    const float inv_std = static_cast<float>(1.0 / std::sqrt(var + eps));
+    cached_inv_std_[r] = inv_std;
+    float* xh = cached_xhat_.row(r);
+    float* yr = y.row(r);
+    for (int64_t c = 0; c < h; ++c) {
+      xh[c] = (xr[c] - static_cast<float>(mu)) * inv_std;
+      yr[c] = xh[c] * cached_eff_gamma_[c] + eff_beta[c];
+    }
+  }
+  return y;
+}
+
+Tensor LayerNorm::backward(const Tensor& dy) {
+  const int64_t s = dy.dim(0), h = dy.dim(1);
+  Tensor dx(dy.shape());
+  for (int64_t r = 0; r < s; ++r) {
+    const float* dyr = dy.row(r);
+    const float* xh = cached_xhat_.row(r);
+    const float inv_std = cached_inv_std_[r];
+    // Parameter grads.
+    double sum_dxhat = 0.0, sum_dxhat_xhat = 0.0;
+    for (int64_t c = 0; c < h; ++c) {
+      gamma.grad[c] += dyr[c] * xh[c];
+      beta.grad[c] += dyr[c];
+      const double dxh = static_cast<double>(dyr[c]) * cached_eff_gamma_[c];
+      sum_dxhat += dxh;
+      sum_dxhat_xhat += dxh * xh[c];
+    }
+    const double inv_h = 1.0 / static_cast<double>(h);
+    float* dxr = dx.row(r);
+    for (int64_t c = 0; c < h; ++c) {
+      const double dxh = static_cast<double>(dyr[c]) * cached_eff_gamma_[c];
+      dxr[c] = static_cast<float>(
+          inv_std * (dxh - inv_h * sum_dxhat - xh[c] * inv_h * sum_dxhat_xhat));
+    }
+  }
+  return dx;
+}
+
+void LayerNorm::collect_params(std::vector<Param*>& out) {
+  out.push_back(&gamma);
+  out.push_back(&beta);
+}
+
+// ---------------------------------------------------------------------------
+// Embedding
+// ---------------------------------------------------------------------------
+
+Embedding::Embedding(std::string name, int64_t vocab, int64_t dim, Rng& rng)
+    : table(name + ".table", Shape{vocab, dim}) {
+  fill_normal(table.value, rng, 0.0f, 0.02f);
+}
+
+Tensor Embedding::forward(const std::vector<int32_t>& ids) {
+  cached_ids_ = ids;
+  const int64_t s = static_cast<int64_t>(ids.size());
+  const int64_t d = table.value.dim(1);
+  const Tensor& tbl =
+      weight_hook != nullptr ? (cached_eff_table_ = weight_hook->apply(table.value))
+                             : table.value;
+  Tensor out(Shape{s, d});
+  for (int64_t r = 0; r < s; ++r) {
+    assert(ids[r] >= 0 && ids[r] < table.value.dim(0));
+    const float* src = tbl.row(ids[r]);
+    float* dst = out.row(r);
+    std::copy(src, src + d, dst);
+  }
+  return out;
+}
+
+void Embedding::backward(const Tensor& dy) {
+  const int64_t s = static_cast<int64_t>(cached_ids_.size());
+  const int64_t d = table.value.dim(1);
+  assert(dy.dim(0) == s && dy.dim(1) == d);
+  for (int64_t r = 0; r < s; ++r) {
+    float* grow = table.grad.row(cached_ids_[r]);
+    const float* dyr = dy.row(r);
+    for (int64_t c = 0; c < d; ++c) grow[c] += dyr[c];
+  }
+}
+
+void Embedding::collect_params(std::vector<Param*>& out) {
+  out.push_back(&table);
+}
+
+// ---------------------------------------------------------------------------
+// GELU
+// ---------------------------------------------------------------------------
+
+namespace {
+constexpr float kSqrt2OverPi = 0.7978845608028654f;
+constexpr float kGeluCoeff = 0.044715f;
+}  // namespace
+
+float Gelu::value(float x) {
+  const float u = kSqrt2OverPi * (x + kGeluCoeff * x * x * x);
+  return 0.5f * x * (1.0f + std::tanh(u));
+}
+
+float Gelu::derivative(float x) {
+  const float u = kSqrt2OverPi * (x + kGeluCoeff * x * x * x);
+  const float t = std::tanh(u);
+  const float sech2 = 1.0f - t * t;
+  const float du = kSqrt2OverPi * (1.0f + 3.0f * kGeluCoeff * x * x);
+  return 0.5f * (1.0f + t) + 0.5f * x * sech2 * du;
+}
+
+Tensor Gelu::forward(const Tensor& x) {
+  cached_input_ = x;
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) y[i] = value(x[i]);
+  return y;
+}
+
+Tensor Gelu::backward(const Tensor& dy) {
+  assert(dy.same_shape(cached_input_));
+  Tensor dx(dy.shape());
+  for (int64_t i = 0; i < dy.numel(); ++i)
+    dx[i] = dy[i] * derivative(cached_input_[i]);
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Tanh
+// ---------------------------------------------------------------------------
+
+Tensor Tanh::forward(const Tensor& x) {
+  Tensor y(x.shape());
+  for (int64_t i = 0; i < x.numel(); ++i) y[i] = std::tanh(x[i]);
+  cached_output_ = y;
+  return y;
+}
+
+Tensor Tanh::backward(const Tensor& dy) {
+  Tensor dx(dy.shape());
+  for (int64_t i = 0; i < dy.numel(); ++i)
+    dx[i] = dy[i] * (1.0f - cached_output_[i] * cached_output_[i]);
+  return dx;
+}
+
+// ---------------------------------------------------------------------------
+// Softmax
+// ---------------------------------------------------------------------------
+
+void softmax_rows(Tensor& x) {
+  assert(x.rank() == 2);
+  const int64_t rows = x.dim(0), cols = x.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    float* v = x.row(r);
+    float mx = v[0];
+    for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, v[c]);
+    double sum = 0.0;
+    for (int64_t c = 0; c < cols; ++c) {
+      v[c] = std::exp(v[c] - mx);
+      sum += v[c];
+    }
+    const float inv = static_cast<float>(1.0 / sum);
+    for (int64_t c = 0; c < cols; ++c) v[c] *= inv;
+  }
+}
+
+Tensor softmax_rows_backward(const Tensor& probs, const Tensor& dprobs) {
+  assert(probs.same_shape(dprobs));
+  Tensor dx(probs.shape());
+  const int64_t rows = probs.dim(0), cols = probs.dim(1);
+  for (int64_t r = 0; r < rows; ++r) {
+    const float* p = probs.row(r);
+    const float* dp = dprobs.row(r);
+    double dot = 0.0;
+    for (int64_t c = 0; c < cols; ++c) dot += static_cast<double>(p[c]) * dp[c];
+    float* dxr = dx.row(r);
+    for (int64_t c = 0; c < cols; ++c)
+      dxr[c] = p[c] * (dp[c] - static_cast<float>(dot));
+  }
+  return dx;
+}
+
+}  // namespace fqbert::nn

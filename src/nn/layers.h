@@ -1,0 +1,140 @@
+// Core trainable layers: Linear, LayerNorm, Embedding, GELU, softmax.
+//
+// Each layer's forward() caches what its backward() needs; backward()
+// accumulates into parameter gradients and returns the gradient w.r.t.
+// the layer input. All activations are rank-2 [seq_len, features] —
+// batching is done by looping over sequences and accumulating grads,
+// which keeps every kernel two-dimensional and easy to verify.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "nn/module.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::nn {
+
+// ---------------------------------------------------------------------------
+// Linear: y = x Wᵀ + b, weight stored [out_features, in_features].
+// ---------------------------------------------------------------------------
+class Linear : public Module {
+ public:
+  Linear(std::string name, int64_t in_features, int64_t out_features,
+         Rng& rng);
+
+  /// x: [S, in] -> [S, out]. If weight_hook is set, the hooked weight is
+  /// used for the product (QAT fake-quantization).
+  Tensor forward(const Tensor& x);
+
+  /// dy: [S, out] -> dx: [S, in]; accumulates dW, db.
+  Tensor backward(const Tensor& dy);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  int64_t in_features() const { return weight.value.dim(1); }
+  int64_t out_features() const { return weight.value.dim(0); }
+
+  Param weight;
+  Param bias;
+
+  /// Optional fake-quant hook on the weight (owned by the caller).
+  TensorHook* weight_hook = nullptr;
+
+ private:
+  Tensor cached_input_;
+  Tensor cached_effective_weight_;  // weight after hook, used in backward
+  bool hook_active_in_cache_ = false;
+};
+
+// ---------------------------------------------------------------------------
+// LayerNorm over the last dimension of a [S, H] tensor.
+// ---------------------------------------------------------------------------
+class LayerNorm : public Module {
+ public:
+  LayerNorm(std::string name, int64_t features, float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  Param gamma;
+  Param beta;
+  float eps;
+
+  /// Optional fake-quant hooks on the affine parameters (the Table II
+  /// "layer norm" ablation quantizes gamma/beta to 8-bit fixed point).
+  TensorHook* gamma_hook = nullptr;
+  TensorHook* beta_hook = nullptr;
+
+ private:
+  Tensor cached_xhat_;       // normalized input
+  Tensor cached_inv_std_;    // [S] 1/sqrt(var+eps)
+  Tensor cached_eff_gamma_;  // gamma after hook (if any)
+};
+
+// ---------------------------------------------------------------------------
+// Embedding: id lookup with scatter-add backward.
+// ---------------------------------------------------------------------------
+class Embedding : public Module {
+ public:
+  Embedding(std::string name, int64_t vocab, int64_t dim, Rng& rng);
+
+  /// ids: length-S token ids -> [S, dim].
+  Tensor forward(const std::vector<int32_t>& ids);
+
+  /// Accumulates into the embedding table gradient.
+  void backward(const Tensor& dy);
+
+  void collect_params(std::vector<Param*>& out) override;
+
+  Param table;
+
+  /// Optional fake-quant hook on the table (4-bit embedding weights).
+  TensorHook* weight_hook = nullptr;
+
+ private:
+  std::vector<int32_t> cached_ids_;
+  Tensor cached_eff_table_;
+};
+
+// ---------------------------------------------------------------------------
+// GELU (tanh approximation, as used by BERT).
+// ---------------------------------------------------------------------------
+class Gelu {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+  static float value(float x);
+  static float derivative(float x);
+
+ private:
+  Tensor cached_input_;
+};
+
+// ---------------------------------------------------------------------------
+// Tanh activation (BERT pooler).
+// ---------------------------------------------------------------------------
+class Tanh {
+ public:
+  Tensor forward(const Tensor& x);
+  Tensor backward(const Tensor& dy);
+
+ private:
+  Tensor cached_output_;
+};
+
+// ---------------------------------------------------------------------------
+// Row-wise softmax with cached output (used inside attention).
+// ---------------------------------------------------------------------------
+
+/// In-place, numerically stable row softmax of a rank-2 tensor.
+void softmax_rows(Tensor& x);
+
+/// dL/dx given dL/dp and p = softmax(x) (row-wise).
+Tensor softmax_rows_backward(const Tensor& probs, const Tensor& dprobs);
+
+}  // namespace fqbert::nn

@@ -1,0 +1,33 @@
+// Softmax cross-entropy loss for classification heads.
+#pragma once
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::nn {
+
+/// Returns loss value and writes dL/dlogits into dlogits.
+inline float cross_entropy_with_grad(const Tensor& logits, int32_t label,
+                                     Tensor& dlogits) {
+  const int64_t n = logits.numel();
+  assert(label >= 0 && label < n);
+  float mx = logits[0];
+  for (int64_t i = 1; i < n; ++i) mx = std::max(mx, logits[i]);
+  double sum = 0.0;
+  dlogits = Tensor(logits.shape());
+  for (int64_t i = 0; i < n; ++i) {
+    dlogits[i] = std::exp(logits[i] - mx);
+    sum += dlogits[i];
+  }
+  const float inv = static_cast<float>(1.0 / sum);
+  float loss = 0.0f;
+  for (int64_t i = 0; i < n; ++i) {
+    const float p = dlogits[i] * inv;
+    if (i == label) loss = -std::log(std::max(p, 1e-12f));
+    dlogits[i] = p - (i == label ? 1.0f : 0.0f);
+  }
+  return loss;
+}
+
+}  // namespace fqbert::nn

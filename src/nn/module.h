@@ -1,0 +1,77 @@
+// Common building blocks for the trainable NN substrate.
+//
+// The substrate is deliberately small: modules own their parameters
+// (value + gradient pair), store the forward-pass caches they need for
+// backprop, and expose the parameter list for the optimizer. There is no
+// autograd graph — backward passes are hand-written, which keeps the
+// integer/quantized inference path (src/core) auditable against a
+// transparent float reference.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fqbert::nn {
+
+/// A trainable parameter: value plus accumulated gradient.
+struct Param {
+  std::string name;
+  Tensor value;
+  Tensor grad;
+
+  Param() = default;
+  Param(std::string n, Shape shape)
+      : name(std::move(n)), value(shape), grad(shape, 0.0f) {}
+
+  void zero_grad() { grad.fill(0.0f); }
+};
+
+/// Hook applied to a tensor on the forward path (e.g. fake quantization
+/// for QAT). Gradients are propagated with the straight-through
+/// estimator: `grad_mask` returns 1 where the gradient passes and 0
+/// where the hook saturated (clipped) the value.
+class TensorHook {
+ public:
+  virtual ~TensorHook() = default;
+
+  /// Transformed tensor used by the consumer.
+  virtual Tensor apply(const Tensor& x) = 0;
+
+  /// STE mask for the *input* of apply(); same shape as x. Default: all
+  /// ones (pure straight-through).
+  virtual Tensor grad_mask(const Tensor& x) {
+    return Tensor(x.shape(), 1.0f);
+  }
+};
+
+/// Base class so containers can gather parameters generically.
+class Module {
+ public:
+  virtual ~Module() = default;
+
+  /// Append raw pointers to every trainable parameter.
+  virtual void collect_params(std::vector<Param*>& out) = 0;
+
+  std::vector<Param*> params() {
+    std::vector<Param*> out;
+    collect_params(out);
+    return out;
+  }
+
+  void zero_grad() {
+    for (Param* p : params()) p->zero_grad();
+  }
+
+  /// Total trainable scalar count.
+  int64_t num_params() {
+    int64_t n = 0;
+    for (Param* p : params()) n += p->value.numel();
+    return n;
+  }
+};
+
+}  // namespace fqbert::nn

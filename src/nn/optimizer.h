@@ -1,0 +1,83 @@
+// Adam optimizer with decoupled weight decay and global grad clipping.
+#pragma once
+
+#include <cmath>
+#include <vector>
+
+#include "nn/module.h"
+
+namespace fqbert::nn {
+
+struct AdamConfig {
+  float lr = 1e-3f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.0f;
+  float clip_grad_norm = 1.0f;  // <=0 disables clipping
+};
+
+class Adam {
+ public:
+  Adam(std::vector<Param*> params, AdamConfig config)
+      : params_(std::move(params)), config_(config), lr_(config.lr) {
+    m_.reserve(params_.size());
+    v_.reserve(params_.size());
+    for (Param* p : params_) {
+      m_.emplace_back(p->value.shape(), 0.0f);
+      v_.emplace_back(p->value.shape(), 0.0f);
+    }
+  }
+
+  /// Apply one update from accumulated gradients (scaled by 1/batch),
+  /// then zero the gradients.
+  void step(float grad_scale = 1.0f) {
+    ++t_;
+    clip_gradients(grad_scale);
+    const float bc1 = 1.0f - std::pow(config_.beta1, static_cast<float>(t_));
+    const float bc2 = 1.0f - std::pow(config_.beta2, static_cast<float>(t_));
+    for (size_t i = 0; i < params_.size(); ++i) {
+      Param* p = params_[i];
+      Tensor& m = m_[i];
+      Tensor& v = v_[i];
+      for (int64_t j = 0; j < p->value.numel(); ++j) {
+        const float g = p->grad[j] * grad_scale;
+        m[j] = config_.beta1 * m[j] + (1.0f - config_.beta1) * g;
+        v[j] = config_.beta2 * v[j] + (1.0f - config_.beta2) * g * g;
+        const float mhat = m[j] / bc1;
+        const float vhat = v[j] / bc2;
+        p->value[j] -= lr_ * (mhat / (std::sqrt(vhat) + config_.eps) +
+                              config_.weight_decay * p->value[j]);
+      }
+      p->zero_grad();
+    }
+  }
+
+  void set_lr(float lr) { lr_ = lr; }
+  float lr() const { return lr_; }
+  int64_t steps() const { return t_; }
+
+ private:
+  void clip_gradients(float grad_scale) {
+    if (config_.clip_grad_norm <= 0.0f) return;
+    double sq = 0.0;
+    for (Param* p : params_)
+      for (int64_t j = 0; j < p->grad.numel(); ++j) {
+        const double g = static_cast<double>(p->grad[j]) * grad_scale;
+        sq += g * g;
+      }
+    const double norm = std::sqrt(sq);
+    if (norm <= config_.clip_grad_norm) return;
+    const float scale = static_cast<float>(config_.clip_grad_norm / norm);
+    for (Param* p : params_) scale_inplace(p->grad, scale);
+  }
+
+  std::vector<Param*> params_;
+  AdamConfig config_;
+  float lr_ = 0.0f;
+  std::vector<Tensor> m_;
+  std::vector<Tensor> v_;
+  int64_t t_ = 0;
+};
+
+}  // namespace fqbert::nn

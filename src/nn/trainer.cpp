@@ -1,0 +1,73 @@
+#include "nn/trainer.h"
+
+#include <cstdio>
+
+namespace fqbert::nn {
+
+TrainResult train(BertModel& model, const std::vector<Example>& train_set,
+                  const std::vector<Example>& eval_set,
+                  const TrainConfig& config) {
+  Adam opt(model.params(), config.adam);
+  Rng shuffle_rng(config.shuffle_seed);
+
+  std::vector<size_t> order(train_set.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  const int64_t steps_per_epoch =
+      (static_cast<int64_t>(train_set.size()) + config.batch_size - 1) /
+      config.batch_size;
+  const int64_t total_steps = steps_per_epoch * config.epochs;
+  const int64_t warmup_steps = std::max<int64_t>(
+      1, static_cast<int64_t>(config.warmup_fraction *
+                              static_cast<float>(total_steps)));
+
+  TrainResult result;
+  model.zero_grad();
+
+  for (int epoch = 0; epoch < config.epochs; ++epoch) {
+    shuffle_rng.shuffle(order);
+    double epoch_loss = 0.0;
+    int64_t seen = 0;
+
+    for (size_t start = 0; start < order.size();
+         start += static_cast<size_t>(config.batch_size)) {
+      const size_t end =
+          std::min(order.size(), start + static_cast<size_t>(config.batch_size));
+      for (size_t i = start; i < end; ++i) {
+        const Example& ex = train_set[order[i]];
+        Tensor logits = model.forward(ex);
+        Tensor dlogits;
+        epoch_loss += cross_entropy_with_grad(logits, ex.label, dlogits);
+        model.backward(dlogits);
+        ++seen;
+      }
+      // Linear warmup then linear decay to zero.
+      const int64_t step = opt.steps() + 1;
+      float lr_scale;
+      if (step <= warmup_steps) {
+        lr_scale = static_cast<float>(step) / static_cast<float>(warmup_steps);
+      } else {
+        lr_scale = std::max(
+            0.05f, 1.0f - static_cast<float>(step - warmup_steps) /
+                              static_cast<float>(total_steps - warmup_steps + 1));
+      }
+      opt.set_lr(config.adam.lr * lr_scale);
+      opt.step(1.0f / static_cast<float>(end - start));
+      ++result.steps;
+    }
+
+    result.final_train_loss = epoch_loss / static_cast<double>(seen);
+    if (config.on_epoch || config.verbose || epoch == config.epochs - 1) {
+      const double acc = model.accuracy(eval_set);
+      result.final_eval_accuracy = acc;
+      if (config.verbose) {
+        std::printf("  epoch %d: loss=%.4f eval_acc=%.2f%%\n", epoch + 1,
+                    result.final_train_loss, acc);
+      }
+      if (config.on_epoch) config.on_epoch(epoch, result.final_train_loss, acc);
+    }
+  }
+  return result;
+}
+
+}  // namespace fqbert::nn

@@ -1,0 +1,39 @@
+// Minibatch trainer for BertModel: shuffled epochs, gradient
+// accumulation, linear warmup + decay schedule, periodic evaluation.
+//
+// Used both for from-scratch float training and for quantization-aware
+// fine-tuning (the QAT hooks live inside the model; the trainer is
+// oblivious to them).
+#pragma once
+
+#include <functional>
+
+#include "nn/bert.h"
+#include "nn/loss.h"
+#include "nn/optimizer.h"
+
+namespace fqbert::nn {
+
+struct TrainConfig {
+  int epochs = 6;
+  int batch_size = 16;
+  AdamConfig adam;
+  float warmup_fraction = 0.1f;  // fraction of total steps spent warming up
+  uint64_t shuffle_seed = 1234;
+  bool verbose = false;
+  /// Called after each epoch with (epoch, train_loss, eval_accuracy).
+  std::function<void(int, double, double)> on_epoch;
+};
+
+struct TrainResult {
+  double final_train_loss = 0.0;
+  double final_eval_accuracy = 0.0;
+  int64_t steps = 0;
+};
+
+/// Train (or fine-tune) the model in place.
+TrainResult train(BertModel& model, const std::vector<Example>& train_set,
+                  const std::vector<Example>& eval_set,
+                  const TrainConfig& config);
+
+}  // namespace fqbert::nn

@@ -1,0 +1,136 @@
+#include "pipeline/pipeline.h"
+
+#include <cstdio>
+#include <stdexcept>
+
+namespace fqbert::pipeline {
+
+BertConfig mini_config(int num_classes) {
+  BertConfig c;
+  c.vocab_size = 512;
+  c.hidden = 64;
+  c.num_layers = 2;
+  c.num_heads = 4;
+  c.ffn_dim = 256;
+  c.max_seq_len = 32;
+  c.num_classes = num_classes;
+  return c;
+}
+
+data::Sst2Config sst2_generator_config() {
+  data::Sst2Config cfg;
+  cfg.max_sentiment = 1;    // one (possibly negated) sentiment clause
+  cfg.label_noise = 0.045;  // irreducible-error ceiling ~95.5%
+  return cfg;
+}
+
+data::MnliConfig mnli_generator_config() {
+  data::MnliConfig cfg;
+  // A compact content vocabulary (20 antonym pairs) keeps the premise/
+  // hypothesis matching learnable from scratch by the MiniBERT.
+  cfg.vocab.content_end = cfg.vocab.content_begin + 40;
+  cfg.min_premise = 4;
+  cfg.max_premise = 6;
+  cfg.hypothesis_len = 3;
+  // Noise above ~10% prevents the attention-matching circuit from
+  // emerging at all during from-scratch training, so the ceiling is kept
+  // high; see EXPERIMENTS.md for the tuning record.
+  cfg.label_noise = 0.06;
+  return cfg;
+}
+
+TaskData make_sst2_task(bool fast) {
+  TaskData t;
+  t.name = "SST-2";
+  t.num_classes = 2;
+  const data::Sst2Config cfg = sst2_generator_config();
+  t.train = data::make_sst2(cfg, fast ? 600 : 5000, 101);
+  t.eval = data::make_sst2(cfg, fast ? 200 : 600, 202);
+  return t;
+}
+
+TaskData make_mnli_task(bool fast) {
+  TaskData t;
+  t.name = "MNLI";
+  t.num_classes = 3;
+  const data::MnliConfig cfg = mnli_generator_config();
+  t.train = data::make_mnli(cfg, fast ? 800 : 8000, 303);
+  t.eval = data::make_mnli(cfg, fast ? 200 : 600, 404);
+  data::MnliConfig mm = cfg;
+  mm.mismatched_genre = true;
+  t.eval_extra = data::make_mnli(mm, fast ? 200 : 600, 505);
+  return t;
+}
+
+TaskData make_named_task(const std::string& name, bool fast) {
+  if (name == "sst2" || name == "SST-2") return make_sst2_task(fast);
+  if (name == "mnli" || name == "MNLI") return make_mnli_task(fast);
+  throw std::invalid_argument("unknown task: " + name +
+                              " (expected sst2 or mnli)");
+}
+
+int float_epochs_for(const TaskData& task, bool fast) {
+  if (fast) return 3;
+  // The NLI matching task converges late (the attention-matching circuit
+  // only emerges after several epochs); sentiment converges quickly.
+  return task.num_classes == 3 ? 14 : 8;
+}
+
+float float_lr_for(const TaskData& task) {
+  // The matching task trains stably only at a lower peak rate.
+  return task.num_classes == 3 ? 8e-4f : 1.5e-3f;
+}
+
+std::unique_ptr<BertModel> train_float(const TaskData& task, bool fast,
+                                       uint64_t seed, bool verbose,
+                                       const std::string& cache_dir) {
+  Rng rng(seed);
+  auto model =
+      std::make_unique<BertModel>(mini_config(task.num_classes), rng);
+  const std::string cache =
+      cache_dir.empty() ? ""
+                        : cache_dir + "/fqbert_float_" + task.name +
+                              (fast ? "_fast" : "_full") + ".bin";
+  if (!cache.empty() && nn::load_state(*model, cache)) {
+    std::printf("[%s] loaded cached float model (%s), eval acc %.2f%%\n",
+                task.name.c_str(), cache.c_str(), model->accuracy(task.eval));
+    return model;
+  }
+  nn::TrainConfig tc;
+  tc.epochs = float_epochs_for(task, fast);
+  tc.batch_size = 16;
+  tc.adam.lr = float_lr_for(task);
+  tc.verbose = verbose;
+  nn::train(*model, task.train, task.eval, tc);
+  if (!cache.empty()) nn::save_state(*model, cache);
+  return model;
+}
+
+std::unique_ptr<BertModel> clone_model(BertModel& src, const BertConfig& cfg) {
+  Rng rng(1);
+  auto dst = std::make_unique<BertModel>(cfg, rng);
+  nn::vector_to_state(*dst, nn::state_to_vector(src));
+  return dst;
+}
+
+double qat_finetune(QatBert& qat, const TaskData& task, bool fast) {
+  nn::TrainConfig tc;
+  tc.epochs = fast ? 1 : 2;
+  tc.batch_size = 16;
+  tc.adam.lr = 4e-4f;  // gentler than from-scratch training
+  qat.set_training(true);
+  nn::train(qat.model(), task.train, task.eval, tc);
+  qat.set_training(false);
+  return qat.model().accuracy(task.eval);
+}
+
+FqBertModel quantize_pipeline(BertModel& float_model, const TaskData& task,
+                              const FqQuantConfig& cfg, bool fast) {
+  auto model = clone_model(float_model, float_model.config());
+  QatBert qat(*model, cfg);
+  qat_finetune(qat, task, fast);
+  qat.calibrate(task.train);
+  return FqBertModel::convert(qat);
+}
+
+}  // namespace fqbert::pipeline

@@ -1,0 +1,68 @@
+// The end-to-end FQ-BERT workflow as a library: task construction
+// (tuned synthetic stand-ins for SST-2/MNLI), float training, QAT
+// fine-tuning and conversion to the integer engine.
+//
+// Used by the bench harnesses, the examples and the fqbert_cli tool, so
+// every consumer runs the identical pipeline.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "core/fq_bert.h"
+#include "data/synth_tasks.h"
+#include "nn/trainer.h"
+
+namespace fqbert::pipeline {
+
+using core::FqBertModel;
+using core::FqQuantConfig;
+using core::QatBert;
+using nn::BertConfig;
+using nn::BertModel;
+using nn::Example;
+
+struct TaskData {
+  std::string name;
+  std::vector<Example> train;
+  std::vector<Example> eval;
+  std::vector<Example> eval_extra;  // MNLI mismatched split
+  int num_classes = 2;
+};
+
+/// MiniBERT used for all accuracy experiments (see DESIGN.md).
+BertConfig mini_config(int num_classes);
+
+/// Tuned generator configurations (see EXPERIMENTS.md for the tuning).
+data::Sst2Config sst2_generator_config();
+data::MnliConfig mnli_generator_config();
+
+TaskData make_sst2_task(bool fast);
+TaskData make_mnli_task(bool fast);
+
+/// Dispatch by name: "sst2" or "mnli".
+TaskData make_named_task(const std::string& name, bool fast);
+
+int float_epochs_for(const TaskData& task, bool fast);
+float float_lr_for(const TaskData& task);
+
+/// Train the float MiniBERT from scratch. When `cache_dir` is non-empty,
+/// trained weights are cached there and reused on the next call.
+std::unique_ptr<BertModel> train_float(const TaskData& task, bool fast,
+                                       uint64_t seed = 7,
+                                       bool verbose = false,
+                                       const std::string& cache_dir = "/tmp");
+
+/// Clone a model's parameters into a fresh instance.
+std::unique_ptr<BertModel> clone_model(BertModel& src, const BertConfig& cfg);
+
+/// QAT fine-tune an instrumented model; returns the fake-quantized
+/// model's eval accuracy.
+double qat_finetune(QatBert& qat, const TaskData& task, bool fast);
+
+/// Full pipeline: clone -> instrument -> fine-tune -> calibrate ->
+/// convert.
+FqBertModel quantize_pipeline(BertModel& float_model, const TaskData& task,
+                              const FqQuantConfig& cfg, bool fast);
+
+}  // namespace fqbert::pipeline

@@ -1,0 +1,170 @@
+// Fake-quantization hooks for quantization-aware training.
+//
+// These implement nn::TensorHook: forward applies quantize-dequantize on
+// the real axis; gradients use the straight-through estimator. Weight
+// hooks recompute the clip threshold from the live weights every forward
+// (NO_CLIP: abs-max; CLIP: tuned percentile — Fig. 3); activation hooks
+// track the scale with an EMA during training and freeze it for eval
+// (Eq. 3). Optionally the scale itself is rounded to its 8-bit
+// representation, which is the "scale" row of the Table II ablation.
+#pragma once
+
+#include "nn/module.h"
+#include "quant/observer.h"
+#include "quant/quantizer.h"
+
+namespace fqbert::quant {
+
+struct FakeQuantConfig {
+  int bits = 8;
+  ClipMode clip = ClipMode::kNone;
+  double percentile = 0.997;   // used when clip == kPercentile
+  bool quantize_scale = false; // round the scale to 8-bit repr (Table II)
+};
+
+/// Weight fake-quantizer: threshold recomputed from the tensor itself.
+class WeightFakeQuant : public nn::TensorHook {
+ public:
+  explicit WeightFakeQuant(FakeQuantConfig config) : config_(config) {}
+
+  Tensor apply(const Tensor& w) override {
+    const double t = clip_threshold(w, config_.clip, config_.percentile);
+    last_scale_ = scale_from_threshold(t, config_.bits);
+    if (config_.quantize_scale) last_scale_ = quantize_scale_8bit(last_scale_);
+    last_threshold_ = t;
+    return fake_quantize_tensor(w, last_scale_, config_.bits);
+  }
+
+  // Weights use a pure straight-through estimator (mask of ones, the
+  // Module default): clipped weights keep receiving gradient so they can
+  // re-enter the representable range during training.
+
+  double last_scale() const { return last_scale_; }
+  double last_threshold() const { return last_threshold_; }
+  const FakeQuantConfig& config() const { return config_; }
+
+ private:
+  FakeQuantConfig config_;
+  double last_scale_ = 1.0;
+  double last_threshold_ = 0.0;
+};
+
+/// Activation fake-quantizer with EMA-tracked range.
+class ActFakeQuant : public nn::TensorHook {
+ public:
+  explicit ActFakeQuant(FakeQuantConfig config, double momentum = 0.95)
+      : config_(config), observer_(momentum) {}
+
+  /// In training mode the observer keeps updating; freeze for eval.
+  void set_training(bool training) { training_ = training; }
+  bool training() const { return training_; }
+
+  Tensor apply(const Tensor& x) override {
+    if (training_ || !observer_.initialized()) observer_.observe(x);
+    last_scale_ = scale_from_threshold(observer_.value(), config_.bits);
+    if (config_.quantize_scale) last_scale_ = quantize_scale_8bit(last_scale_);
+    return fake_quantize_tensor(x, last_scale_, config_.bits);
+  }
+
+  /// STE with saturation masking: no gradient through clipped values.
+  Tensor grad_mask(const Tensor& x) override {
+    const float t = static_cast<float>(observer_.value());
+    Tensor mask(x.shape());
+    for (int64_t i = 0; i < x.numel(); ++i)
+      mask[i] = std::fabs(x[i]) <= t ? 1.0f : 0.0f;
+    return mask;
+  }
+
+  double last_scale() const { return last_scale_; }
+  EmaObserver& observer() { return observer_; }
+  const FakeQuantConfig& config() const { return config_; }
+
+ private:
+  FakeQuantConfig config_;
+  EmaObserver observer_;
+  bool training_ = true;
+  double last_scale_ = 1.0;
+};
+
+/// Fake-quantizer with a fixed, data-independent grid. Used for softmax
+/// probabilities (unsigned, range [0,1], scale 255) and LayerNorm
+/// parameters (Q-format fixed point), where the hardware grid is known a
+/// priori rather than calibrated.
+class FixedGridFakeQuant : public nn::TensorHook {
+ public:
+  /// scale: codes = round(x*scale); limits are the code range.
+  FixedGridFakeQuant(double scale, int32_t code_min, int32_t code_max)
+      : scale_(scale), code_min_(code_min), code_max_(code_max) {}
+
+  static FixedGridFakeQuant signed_bits(double scale, int bits) {
+    const int32_t q = qmax_signed(bits);
+    return FixedGridFakeQuant(scale, -q, q);
+  }
+  static FixedGridFakeQuant unsigned_bits(double scale, int bits) {
+    return FixedGridFakeQuant(scale, 0, qmax_unsigned(bits));
+  }
+
+  Tensor apply(const Tensor& x) override {
+    Tensor out(x.shape());
+    for (int64_t i = 0; i < x.numel(); ++i) {
+      const double c = std::clamp<double>(
+          std::nearbyint(static_cast<double>(x[i]) * scale_), code_min_,
+          code_max_);
+      out[i] = static_cast<float>(c / scale_);
+    }
+    return out;
+  }
+
+  Tensor grad_mask(const Tensor& x) override {
+    Tensor mask(x.shape());
+    const double lo = code_min_ / scale_, hi = code_max_ / scale_;
+    for (int64_t i = 0; i < x.numel(); ++i)
+      mask[i] = (x[i] >= lo && x[i] <= hi) ? 1.0f : 0.0f;
+    return mask;
+  }
+
+  double scale() const { return scale_; }
+
+ private:
+  double scale_;
+  int32_t code_min_;
+  int32_t code_max_;
+};
+
+/// Emulates the accelerator's LUT softmax (Sec. III-B) on the *float*
+/// probabilities during QAT, so training sees the same discretization the
+/// integer engine applies at inference:
+///   n_i = round(255 * p_i / max_j p_j)   (8-bit quantized exp numerator,
+///                                          since p_i/p_max = exp(x_i - m))
+///   q_i = round(255 * n_i / sum_j n_j) / 255
+class SoftmaxLutFakeQuant : public nn::TensorHook {
+ public:
+  /// Operates row-wise on a [rows, cols] probability matrix.
+  Tensor apply(const Tensor& p) override {
+    assert(p.rank() == 2);
+    Tensor out(p.shape());
+    const int64_t rows = p.dim(0), cols = p.dim(1);
+    for (int64_t r = 0; r < rows; ++r) {
+      const float* pr = p.row(r);
+      float* qr = out.row(r);
+      float pmax = pr[0];
+      for (int64_t c = 1; c < cols; ++c) pmax = std::max(pmax, pr[c]);
+      if (pmax <= 0.0f) {
+        for (int64_t c = 0; c < cols; ++c) qr[c] = 0.0f;
+        continue;
+      }
+      double sum = 0.0;
+      for (int64_t c = 0; c < cols; ++c) {
+        qr[c] = static_cast<float>(std::nearbyint(255.0 * pr[c] / pmax));
+        sum += qr[c];
+      }
+      for (int64_t c = 0; c < cols; ++c)
+        qr[c] = static_cast<float>(std::nearbyint(255.0 * qr[c] / sum) / 255.0);
+    }
+    return out;
+  }
+  // Straight-through gradient (default mask of ones): the LUT pipeline is
+  // piecewise constant, so STE is the standard choice.
+};
+
+}  // namespace fqbert::quant

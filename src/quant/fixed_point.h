@@ -1,0 +1,78 @@
+// Integer requantization: Eq. 5 of the paper.
+//
+//   y_I = (sum(a_I * w_I) + b_I) * sf,   sf = s_y / (s_a * s_w)
+//
+// sf is a positive real < 1 in practice; the paper stores it as a 32-bit
+// fixed-point value. We represent it gemmlowp-style as a Q31 multiplier
+// plus a right shift, so the whole requantization is one widening
+// multiply and one rounding shift — exactly what the accelerator's
+// "Quant" block (Fig. 2) does after the accumulator.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+
+namespace fqbert::quant {
+
+/// Saturate an int32/int64 value to signed k-bit (symmetric grid).
+inline int32_t saturate_signed(int64_t v, int bits) {
+  const int64_t q = (1ll << (bits - 1)) - 1;
+  if (v > q) return static_cast<int32_t>(q);
+  if (v < -q) return static_cast<int32_t>(-q);
+  return static_cast<int32_t>(v);
+}
+
+inline int32_t saturate_unsigned(int64_t v, int bits) {
+  const int64_t q = (1ll << bits) - 1;
+  if (v > q) return static_cast<int32_t>(q);
+  if (v < 0) return 0;
+  return static_cast<int32_t>(v);
+}
+
+/// Rounding arithmetic right shift (round half away from zero).
+inline int64_t rounding_shift_right(int64_t v, int shift) {
+  if (shift <= 0) return v << (-shift);
+  const int64_t half = 1ll << (shift - 1);
+  if (v >= 0) return (v + half) >> shift;
+  return -((-v + half) >> shift);
+}
+
+/// Fixed-point multiplier for a positive real factor.
+struct Requantizer {
+  int32_t multiplier = 0;  // Q31 mantissa in [2^30, 2^31)
+  int shift = 31;          // total right shift after the widening multiply
+
+  /// Build from a real factor m > 0:  m ~= multiplier * 2^-shift.
+  static Requantizer from_scale(double m) {
+    if (m <= 0.0) throw std::invalid_argument("requant scale must be > 0");
+    int e = 0;
+    const double f = std::frexp(m, &e);  // m = f * 2^e, f in [0.5, 1)
+    Requantizer r;
+    auto q31 = static_cast<int64_t>(std::nearbyint(f * (1ll << 31)));
+    if (q31 == (1ll << 31)) {  // f rounded up to 1.0
+      q31 >>= 1;
+      ++e;
+    }
+    r.multiplier = static_cast<int32_t>(q31);
+    r.shift = 31 - e;
+    if (r.shift < 0 || r.shift > 62) {
+      throw std::invalid_argument("requant scale out of representable range");
+    }
+    return r;
+  }
+
+  /// Apply to a 32-bit accumulator: round(acc * m) computed exactly in
+  /// integer arithmetic.
+  int32_t apply(int64_t acc) const {
+    const int64_t prod = acc * static_cast<int64_t>(multiplier);
+    return static_cast<int32_t>(rounding_shift_right(prod, shift));
+  }
+
+  /// Real factor represented (for tests / debugging).
+  double effective_scale() const {
+    return static_cast<double>(multiplier) / std::ldexp(1.0, shift);
+  }
+};
+
+}  // namespace fqbert::quant

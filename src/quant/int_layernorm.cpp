@@ -1,0 +1,96 @@
+#include "quant/int_layernorm.h"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace fqbert::quant {
+
+uint32_t isqrt64(uint64_t v) {
+  // Classic bit-serial (shift-subtract) integer square root: exact
+  // floor(sqrt(v)) using only shifts, adds and compares — the form an
+  // FPGA LN core implements.
+  uint64_t rem = 0, root = 0;
+  for (int i = 31; i >= 0; --i) {
+    rem = (rem << 2) | ((v >> (2 * i)) & 3u);
+    root <<= 1;
+    const uint64_t trial = (root << 1) | 1u;
+    if (trial <= rem) {
+      rem -= trial;
+      root |= 1u;
+    }
+  }
+  return static_cast<uint32_t>(root);
+}
+
+IntLayerNorm::IntLayerNorm(const std::vector<float>& gamma,
+                           const std::vector<float>& beta,
+                           double output_scale)
+    : output_scale_(output_scale) {
+  if (gamma.size() != beta.size() || gamma.empty())
+    throw std::invalid_argument("gamma/beta size mismatch");
+  gamma_q_.resize(gamma.size());
+  beta_q_.resize(beta.size());
+  const double gamma_scale = static_cast<double>(1 << kGammaFracBits);
+  for (size_t i = 0; i < gamma.size(); ++i) {
+    gamma_q_[i] = static_cast<int8_t>(
+        saturate_signed(static_cast<int64_t>(std::nearbyint(
+                            static_cast<double>(gamma[i]) * gamma_scale)),
+                        8));
+    beta_q_[i] = static_cast<int32_t>(
+        std::nearbyint(static_cast<double>(beta[i]) * output_scale));
+  }
+  // xhat*gamma is in Q(kXhatFracBits + kGammaFracBits); map to the s_y grid.
+  out_requant_ = Requantizer::from_scale(
+      output_scale / std::ldexp(1.0, kXhatFracBits + kGammaFracBits));
+}
+
+void IntLayerNorm::apply_row(const int32_t* x, int8_t* out) const {
+  const int64_t h = features();
+
+  int64_t sum = 0;
+  for (int64_t c = 0; c < h; ++c) sum += x[c];
+  // Round-half-away-from-zero integer mean.
+  const int64_t mu = sum >= 0 ? (sum + h / 2) / h : -((-sum + h / 2) / h);
+
+  int64_t var_acc = 0;
+  for (int64_t c = 0; c < h; ++c) {
+    const int64_t d = x[c] - mu;
+    var_acc += d * d;
+  }
+  const int64_t var = (var_acc + h / 2) / h;
+
+  if (var == 0) {
+    // Constant row: xhat is zero everywhere; emit beta only.
+    for (int64_t c = 0; c < h; ++c)
+      out[c] = static_cast<int8_t>(saturate_signed(beta_q_[static_cast<size_t>(c)], 8));
+    return;
+  }
+
+  // sigma * 2^(kInvStdFracBits/2)
+  const uint32_t s =
+      isqrt64(static_cast<uint64_t>(var) << kInvStdFracBits);
+  // inv_std = 2^kInvStdFracBits / sigma  (Q(kInvStdFracBits))
+  const int64_t inv_std =
+      ((1ll << (kInvStdFracBits + kInvStdFracBits / 2)) + s / 2) / s;
+
+  for (int64_t c = 0; c < h; ++c) {
+    const int64_t d = x[c] - mu;
+    // xhat in Q(kXhatFracBits).
+    const int64_t xhat =
+        rounding_shift_right(d * inv_std, kInvStdFracBits - kXhatFracBits);
+    const int64_t prod = xhat * gamma_q_[static_cast<size_t>(c)];
+    const int32_t y =
+        out_requant_.apply(prod) + beta_q_[static_cast<size_t>(c)];
+    out[c] = static_cast<int8_t>(saturate_signed(y, 8));
+  }
+}
+
+void IntLayerNorm::apply(const std::vector<int32_t>& x, std::vector<int8_t>& out,
+                         int64_t rows) const {
+  const int64_t h = features();
+  out.resize(static_cast<size_t>(rows * h));
+  for (int64_t r = 0; r < rows; ++r)
+    apply_row(x.data() + r * h, out.data() + r * h);
+}
+
+}  // namespace fqbert::quant

@@ -1,0 +1,58 @@
+#include "quant/int_softmax.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fqbert::quant {
+
+IntSoftmax::IntSoftmax(double input_scale) {
+  for (int i = 0; i < kLutSize; ++i) {
+    const double v = 255.0 * std::exp(-static_cast<double>(i) * kStep);
+    lut_[static_cast<size_t>(i)] =
+        static_cast<uint8_t>(std::clamp<double>(std::nearbyint(v), 0.0, 255.0));
+  }
+  // idx = d_I / (input_scale * kStep): one fixed-point multiply.
+  index_requant_ = Requantizer::from_scale(1.0 / (input_scale * kStep));
+}
+
+void IntSoftmax::apply_row(const int32_t* x, int32_t* out,
+                           int64_t cols) const {
+  int32_t mx = x[0];
+  for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+
+  int64_t sum = 0;
+  for (int64_t c = 0; c < cols; ++c) {
+    const int64_t d = static_cast<int64_t>(mx) - x[c];  // >= 0
+    int32_t idx = index_requant_.apply(d);
+    idx = std::min<int32_t>(idx, kLutSize - 1);
+    out[c] = lut_[static_cast<size_t>(idx)];
+    sum += out[c];
+  }
+  // sum >= 255 because the max element maps to LUT[0] = 255.
+  for (int64_t c = 0; c < cols; ++c) {
+    // p = round(255 * n / sum), all-integer.
+    out[c] = static_cast<int32_t>((static_cast<int64_t>(out[c]) * 255 * 2 + sum) /
+                                  (2 * sum));
+  }
+}
+
+void IntSoftmax::apply(const std::vector<int32_t>& x, std::vector<int32_t>& out,
+                       int64_t rows, int64_t cols) const {
+  out.resize(static_cast<size_t>(rows * cols));
+  for (int64_t r = 0; r < rows; ++r)
+    apply_row(x.data() + r * cols, out.data() + r * cols, cols);
+}
+
+void softmax_reference(const float* x, float* out, int64_t cols) {
+  float mx = x[0];
+  for (int64_t c = 1; c < cols; ++c) mx = std::max(mx, x[c]);
+  double sum = 0.0;
+  for (int64_t c = 0; c < cols; ++c) {
+    out[c] = std::exp(x[c] - mx);
+    sum += out[c];
+  }
+  for (int64_t c = 0; c < cols; ++c)
+    out[c] = static_cast<float>(out[c] / sum);
+}
+
+}  // namespace fqbert::quant

@@ -1,0 +1,61 @@
+// Range observers for activation quantization.
+//
+// The paper (Eq. 3) uses an exponential moving average of max|A| gathered
+// during training to fix the activation scale for inference.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+
+#include "quant/quantizer.h"
+
+namespace fqbert::quant {
+
+/// EMA of the per-batch abs-max (Eq. 3).
+class EmaObserver {
+ public:
+  explicit EmaObserver(double momentum = 0.95) : momentum_(momentum) {}
+
+  void observe(const Tensor& t) {
+    const double m = static_cast<double>(abs_max(t));
+    if (!initialized_) {
+      ema_ = m;
+      initialized_ = true;
+    } else {
+      ema_ = momentum_ * ema_ + (1.0 - momentum_) * m;
+    }
+  }
+
+  bool initialized() const { return initialized_; }
+  double value() const { return ema_; }
+  void reset() { initialized_ = false; ema_ = 0.0; }
+
+  /// Force a range (used when loading calibrated models).
+  void set_value(double v) {
+    ema_ = v;
+    initialized_ = true;
+  }
+
+ private:
+  double momentum_;
+  double ema_ = 0.0;
+  bool initialized_ = false;
+};
+
+/// Running min/max (kept for calibration-style PTQ experiments).
+class MinMaxObserver {
+ public:
+  void observe(const Tensor& t) {
+    value_ = std::max(value_, static_cast<double>(abs_max(t)));
+    initialized_ = true;
+  }
+  bool initialized() const { return initialized_; }
+  double value() const { return value_; }
+  void reset() { value_ = 0.0; initialized_ = false; }
+
+ private:
+  double value_ = 0.0;
+  bool initialized_ = false;
+};
+
+}  // namespace fqbert::quant

@@ -1,0 +1,65 @@
+// Sub-byte weight packing and model-size accounting.
+//
+// FQ-BERT stores 4-bit weights two-per-byte; the compression ratio in
+// Table I (7.94x) is the full-model byte count of the float model over
+// the quantized model (4-bit encoder weights, 8-bit embeddings and LN/
+// softmax parameters, 32-bit biases, 8-bit scales).
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+namespace fqbert::quant {
+
+/// Pack int4 codes (each in [-8, 7], stored in int8) two per byte:
+/// element 2i in the low nibble, 2i+1 in the high nibble.
+inline std::vector<uint8_t> pack_int4(const std::vector<int8_t>& codes) {
+  std::vector<uint8_t> out((codes.size() + 1) / 2, 0);
+  for (size_t i = 0; i < codes.size(); ++i) {
+    if (codes[i] < -8 || codes[i] > 7)
+      throw std::invalid_argument("code out of int4 range");
+    const uint8_t nibble = static_cast<uint8_t>(codes[i]) & 0x0Fu;
+    if (i % 2 == 0)
+      out[i / 2] |= nibble;
+    else
+      out[i / 2] |= static_cast<uint8_t>(nibble << 4);
+  }
+  return out;
+}
+
+/// Unpack to int8 codes (sign-extended nibbles).
+inline std::vector<int8_t> unpack_int4(const std::vector<uint8_t>& bytes,
+                                       size_t count) {
+  if (count > bytes.size() * 2)
+    throw std::invalid_argument("count exceeds packed data");
+  std::vector<int8_t> out(count);
+  for (size_t i = 0; i < count; ++i) {
+    uint8_t nibble = (i % 2 == 0) ? (bytes[i / 2] & 0x0Fu)
+                                  : static_cast<uint8_t>(bytes[i / 2] >> 4);
+    // Sign-extend the 4-bit value.
+    out[i] = static_cast<int8_t>(static_cast<int8_t>(nibble << 4) >> 4);
+  }
+  return out;
+}
+
+/// Byte-size bookkeeping for compression-ratio reporting.
+struct SizeReport {
+  int64_t float_bytes = 0;
+  int64_t quant_bytes = 0;
+
+  void add(int64_t elements, int float_bits, int quant_bits) {
+    float_bytes += elements * float_bits / 8;
+    // Sub-byte elements are packed; round the total up to whole bytes.
+    quant_bytes += (elements * quant_bits + 7) / 8;
+  }
+
+  double compression_ratio() const {
+    return quant_bytes == 0
+               ? 0.0
+               : static_cast<double>(float_bytes) /
+                     static_cast<double>(quant_bytes);
+  }
+};
+
+}  // namespace fqbert::quant

@@ -1,0 +1,73 @@
+#include "quant/quantizer.h"
+
+namespace fqbert::quant {
+
+float abs_max(const Tensor& t) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < t.numel(); ++i) m = std::max(m, std::fabs(t[i]));
+  return m;
+}
+
+float abs_percentile(const Tensor& t, double q) {
+  if (t.numel() == 0) return 0.0f;
+  if (q >= 1.0) return abs_max(t);
+  std::vector<float> mags(static_cast<size_t>(t.numel()));
+  for (int64_t i = 0; i < t.numel(); ++i)
+    mags[static_cast<size_t>(i)] = std::fabs(t[i]);
+  const auto k = static_cast<size_t>(
+      std::clamp<double>(q * static_cast<double>(mags.size() - 1), 0.0,
+                         static_cast<double>(mags.size() - 1)));
+  std::nth_element(mags.begin(), mags.begin() + static_cast<int64_t>(k),
+                   mags.end());
+  return mags[k];
+}
+
+float clip_threshold(const Tensor& t, ClipMode mode, double percentile) {
+  switch (mode) {
+    case ClipMode::kNone:
+      return abs_max(t);
+    case ClipMode::kPercentile:
+      return abs_percentile(t, percentile);
+  }
+  return abs_max(t);
+}
+
+void quantize_tensor(const Tensor& src, double scale, int bits,
+                     Int32Tensor& dst) {
+  if (!dst.same_shape(Int32Tensor(src.shape())))
+    dst = Int32Tensor(src.shape());
+  for (int64_t i = 0; i < src.numel(); ++i)
+    dst[i] = quantize_value(src[i], scale, bits);
+}
+
+void quantize_tensor_i8(const Tensor& src, double scale, int bits,
+                        Int8Tensor& dst) {
+  if (bits > 8) throw std::invalid_argument("i8 storage needs bits <= 8");
+  if (!dst.same_shape(Int8Tensor(src.shape()))) dst = Int8Tensor(src.shape());
+  for (int64_t i = 0; i < src.numel(); ++i)
+    dst[i] = static_cast<int8_t>(quantize_value(src[i], scale, bits));
+}
+
+void dequantize_tensor(const Int8Tensor& src, double scale, Tensor& dst) {
+  if (!dst.same_shape(Tensor(src.shape()))) dst = Tensor(src.shape());
+  for (int64_t i = 0; i < src.numel(); ++i)
+    dst[i] = dequantize_value(src[i], scale);
+}
+
+Tensor fake_quantize_tensor(const Tensor& src, double scale, int bits) {
+  Tensor out(src.shape());
+  for (int64_t i = 0; i < src.numel(); ++i)
+    out[i] = fake_quantize_value(src[i], scale, bits);
+  return out;
+}
+
+double quantize_scale_8bit(double s) {
+  if (s <= 0.0) return s;
+  int e = 0;
+  const double f = std::frexp(s, &e);  // s = f * 2^e, f in [0.5, 1)
+  // 8-bit mantissa: f * 256 rounded, i.e. mantissa in [128, 256].
+  const double mant = std::nearbyint(f * 256.0);
+  return std::ldexp(mant / 256.0, e);
+}
+
+}  // namespace fqbert::quant

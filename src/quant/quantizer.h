@@ -1,0 +1,94 @@
+// Symmetric linear quantization primitives (paper Section II, Eq. 1-3).
+//
+// Conventions follow the paper: the scale s maps real values to the
+// integer grid, x_I = round(x * s), with s = (2^{k-1} - 1) / T for clip
+// threshold T (Eq. 2). Symmetric quantization has no zero point, which is
+// what makes the accelerator datapath simple (Sec. II-A: "more hardware
+// friendly for the lack of zero-point").
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <stdexcept>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace fqbert::quant {
+
+/// Clip-threshold selection for weights (Fig. 3: CLIP vs NO_CLIP).
+enum class ClipMode {
+  kNone,        // T = max|W| (NO_CLIP)
+  kPercentile,  // T = percentile of |W| (CLIP, tuned)
+};
+
+/// Quantized-grid limits for a signed k-bit code: [-(2^{k-1}-1), 2^{k-1}-1].
+/// The symmetric grid drops the most-negative code so negation is closed.
+inline int32_t qmax_signed(int bits) {
+  if (bits < 2 || bits > 32) throw std::invalid_argument("bits out of range");
+  return static_cast<int32_t>((1u << (bits - 1)) - 1);
+}
+
+inline int32_t qmax_unsigned(int bits) {
+  if (bits < 1 || bits > 31) throw std::invalid_argument("bits out of range");
+  return static_cast<int32_t>((1u << bits) - 1);
+}
+
+/// Eq. 2: s = (2^{k-1} - 1) / T.  T must be positive.
+inline double scale_from_threshold(double threshold, int bits) {
+  if (threshold <= 0.0) return 1.0;  // degenerate tensor: identity scale
+  return static_cast<double>(qmax_signed(bits)) / threshold;
+}
+
+/// Quantize one value to the signed k-bit grid: clamp + round(x*s).
+inline int32_t quantize_value(float x, double scale, int bits) {
+  const int32_t q = qmax_signed(bits);
+  const double v = std::nearbyint(static_cast<double>(x) * scale);
+  return static_cast<int32_t>(std::clamp<double>(v, -q, q));
+}
+
+inline float dequantize_value(int32_t xi, double scale) {
+  return static_cast<float>(static_cast<double>(xi) / scale);
+}
+
+/// Fake quantization of one value (quantize-dequantize on the real axis).
+inline float fake_quantize_value(float x, double scale, int bits) {
+  return dequantize_value(quantize_value(x, scale, bits), scale);
+}
+
+/// abs-max of a tensor (NO_CLIP threshold).
+float abs_max(const Tensor& t);
+
+/// Percentile of |t| in [0,1]; 1.0 degenerates to abs_max.
+float abs_percentile(const Tensor& t, double q);
+
+/// Threshold under the given clip mode.
+float clip_threshold(const Tensor& t, ClipMode mode, double percentile);
+
+/// Quantize a whole tensor to int32 codes (caller narrows).
+void quantize_tensor(const Tensor& src, double scale, int bits,
+                     Int32Tensor& dst);
+
+/// Quantize to int8 storage (bits <= 8).
+void quantize_tensor_i8(const Tensor& src, double scale, int bits,
+                        Int8Tensor& dst);
+
+/// Dequantize int8 codes back to float.
+void dequantize_tensor(const Int8Tensor& src, double scale, Tensor& dst);
+
+/// Fake-quantize a whole tensor (QAT forward).
+Tensor fake_quantize_tensor(const Tensor& src, double scale, int bits);
+
+// ---------------------------------------------------------------------------
+// Scale-factor quantization (Table II "scale" ablation).
+//
+// The paper quantizes the scale factors themselves to 8 bits: we
+// represent a positive real scale as an 8-bit mantissa times a power of
+// two, the form a shift-and-multiply datapath consumes.
+// ---------------------------------------------------------------------------
+
+/// Round a positive scale to an 8-bit mantissa * 2^e representation.
+double quantize_scale_8bit(double s);
+
+}  // namespace fqbert::quant

@@ -1,0 +1,149 @@
+// Minimal dense tensor substrate for the FQ-BERT reproduction.
+//
+// Design goals:
+//  * contiguous row-major storage, value semantics, no hidden sharing;
+//  * templated on element type so the same container serves float
+//    activations, int8 quantized tensors and int32 accumulators;
+//  * bounds-checked element access in debug builds, raw pointers for
+//    hot loops.
+//
+// Higher-level linear algebra lives in tensor_ops.h.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <initializer_list>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+#include <string>
+#include <vector>
+
+namespace fqbert {
+
+/// Shape of a tensor; dimensions are non-negative.
+using Shape = std::vector<int64_t>;
+
+/// Number of elements implied by a shape (empty shape => scalar => 1).
+inline int64_t shape_numel(const Shape& shape) {
+  int64_t n = 1;
+  for (int64_t d : shape) {
+    if (d < 0) throw std::invalid_argument("negative dimension in shape");
+    n *= d;
+  }
+  return n;
+}
+
+/// Human-readable "[a, b, c]" form, used in error messages.
+inline std::string shape_to_string(const Shape& shape) {
+  std::ostringstream os;
+  os << '[';
+  for (size_t i = 0; i < shape.size(); ++i) {
+    if (i) os << ", ";
+    os << shape[i];
+  }
+  os << ']';
+  return os.str();
+}
+
+/// Dense row-major tensor with value semantics.
+template <typename T>
+class TensorT {
+ public:
+  using value_type = T;
+
+  TensorT() = default;
+
+  explicit TensorT(Shape shape)
+      : shape_(std::move(shape)), data_(static_cast<size_t>(shape_numel(shape_))) {}
+
+  TensorT(Shape shape, T fill_value)
+      : shape_(std::move(shape)),
+        data_(static_cast<size_t>(shape_numel(shape_)), fill_value) {}
+
+  TensorT(Shape shape, std::vector<T> values)
+      : shape_(std::move(shape)), data_(std::move(values)) {
+    if (static_cast<int64_t>(data_.size()) != shape_numel(shape_)) {
+      throw std::invalid_argument("tensor data size does not match shape " +
+                                  shape_to_string(shape_));
+    }
+  }
+
+  const Shape& shape() const { return shape_; }
+  int64_t dim(size_t i) const {
+    assert(i < shape_.size());
+    return shape_[i];
+  }
+  size_t rank() const { return shape_.size(); }
+  int64_t numel() const { return static_cast<int64_t>(data_.size()); }
+  bool empty() const { return data_.empty(); }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+  std::vector<T>& storage() { return data_; }
+  const std::vector<T>& storage() const { return data_; }
+
+  T& operator[](int64_t i) {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+  const T& operator[](int64_t i) const {
+    assert(i >= 0 && i < numel());
+    return data_[static_cast<size_t>(i)];
+  }
+
+  /// 2-D access: tensor must be rank 2.
+  T& at(int64_t r, int64_t c) {
+    assert(rank() == 2);
+    assert(r >= 0 && r < shape_[0] && c >= 0 && c < shape_[1]);
+    return data_[static_cast<size_t>(r * shape_[1] + c)];
+  }
+  const T& at(int64_t r, int64_t c) const {
+    return const_cast<TensorT*>(this)->at(r, c);
+  }
+
+  /// 3-D access: tensor must be rank 3.
+  T& at(int64_t i, int64_t j, int64_t k) {
+    assert(rank() == 3);
+    assert(i >= 0 && i < shape_[0] && j >= 0 && j < shape_[1] && k >= 0 &&
+           k < shape_[2]);
+    return data_[static_cast<size_t>((i * shape_[1] + j) * shape_[2] + k)];
+  }
+  const T& at(int64_t i, int64_t j, int64_t k) const {
+    return const_cast<TensorT*>(this)->at(i, j, k);
+  }
+
+  /// Pointer to the start of row r of a rank-2 tensor.
+  T* row(int64_t r) {
+    assert(rank() == 2);
+    return data_.data() + static_cast<size_t>(r * shape_[1]);
+  }
+  const T* row(int64_t r) const { return const_cast<TensorT*>(this)->row(r); }
+
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  /// Reinterpret with a new shape of equal element count.
+  TensorT reshaped(Shape new_shape) const {
+    if (shape_numel(new_shape) != numel()) {
+      throw std::invalid_argument("reshape from " + shape_to_string(shape_) +
+                                  " to " + shape_to_string(new_shape) +
+                                  " changes element count");
+    }
+    TensorT out;
+    out.shape_ = std::move(new_shape);
+    out.data_ = data_;
+    return out;
+  }
+
+  bool same_shape(const TensorT& other) const { return shape_ == other.shape_; }
+
+ private:
+  Shape shape_;
+  std::vector<T> data_;
+};
+
+using Tensor = TensorT<float>;
+using Int8Tensor = TensorT<int8_t>;
+using Int32Tensor = TensorT<int32_t>;
+
+}  // namespace fqbert

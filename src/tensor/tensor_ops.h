@@ -1,0 +1,194 @@
+// Linear-algebra and elementwise kernels over TensorT.
+//
+// All matmul variants needed by forward *and* backward passes are
+// provided explicitly (A·B, A·Bᵀ, Aᵀ·B) so the NN substrate never has to
+// materialize transposed copies. Kernels are cache-blocked but
+// deliberately dependency-free; they are also the float baseline against
+// which the integer kernels in src/quant are benchmarked.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+
+#include "tensor/rng.h"
+#include "tensor/tensor.h"
+
+namespace fqbert {
+
+// ---------------------------------------------------------------------------
+// Matrix products. All operands are rank-2.
+// ---------------------------------------------------------------------------
+
+/// C[m,n] = A[m,k] * B[k,n]  (accumulate==false overwrites C).
+inline void matmul(const Tensor& a, const Tensor& b, Tensor& c,
+                   bool accumulate = false) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == k);
+  if (!c.same_shape(Tensor(Shape{m, n}))) c = Tensor(Shape{m, n});
+  if (!accumulate) c.fill(0.0f);
+  constexpr int64_t kBlock = 64;
+  for (int64_t i0 = 0; i0 < m; i0 += kBlock) {
+    const int64_t i1 = std::min(i0 + kBlock, m);
+    for (int64_t p0 = 0; p0 < k; p0 += kBlock) {
+      const int64_t p1 = std::min(p0 + kBlock, k);
+      for (int64_t i = i0; i < i1; ++i) {
+        const float* arow = a.row(i);
+        float* crow = c.row(i);
+        for (int64_t p = p0; p < p1; ++p) {
+          const float av = arow[p];
+          if (av == 0.0f) continue;
+          const float* brow = b.row(p);
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    }
+  }
+}
+
+/// C[m,n] = A[m,k] * B[n,k]ᵀ.
+inline void matmul_bt(const Tensor& a, const Tensor& b, Tensor& c,
+                      bool accumulate = false) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(0);
+  assert(b.dim(1) == k);
+  if (!c.same_shape(Tensor(Shape{m, n}))) c = Tensor(Shape{m, n});
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    float* crow = c.row(i);
+    for (int64_t j = 0; j < n; ++j) {
+      const float* brow = b.row(j);
+      float acc = accumulate ? crow[j] : 0.0f;
+      for (int64_t p = 0; p < k; ++p) acc += arow[p] * brow[p];
+      crow[j] = acc;
+    }
+  }
+}
+
+/// C[k,n] = A[m,k]ᵀ * B[m,n].
+inline void matmul_at(const Tensor& a, const Tensor& b, Tensor& c,
+                      bool accumulate = false) {
+  assert(a.rank() == 2 && b.rank() == 2);
+  const int64_t m = a.dim(0), k = a.dim(1), n = b.dim(1);
+  assert(b.dim(0) == m);
+  if (!c.same_shape(Tensor(Shape{k, n}))) c = Tensor(Shape{k, n});
+  if (!accumulate) c.fill(0.0f);
+  for (int64_t i = 0; i < m; ++i) {
+    const float* arow = a.row(i);
+    const float* brow = b.row(i);
+    for (int64_t p = 0; p < k; ++p) {
+      const float av = arow[p];
+      if (av == 0.0f) continue;
+      float* crow = c.row(p);
+      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Elementwise / reduction helpers.
+// ---------------------------------------------------------------------------
+
+inline void add_inplace(Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += b[i];
+}
+
+inline void sub_inplace(Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] -= b[i];
+}
+
+inline void mul_inplace(Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= b[i];
+}
+
+inline void scale_inplace(Tensor& a, float s) {
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] *= s;
+}
+
+/// a += s * b  (axpy).
+inline void axpy(Tensor& a, float s, const Tensor& b) {
+  assert(a.same_shape(b));
+  for (int64_t i = 0; i < a.numel(); ++i) a[i] += s * b[i];
+}
+
+/// Add a bias row vector to every row of a rank-2 tensor.
+inline void add_row_bias(Tensor& a, const Tensor& bias) {
+  assert(a.rank() == 2 && bias.numel() == a.dim(1));
+  for (int64_t r = 0; r < a.dim(0); ++r) {
+    float* arow = a.row(r);
+    for (int64_t c = 0; c < a.dim(1); ++c) arow[c] += bias[c];
+  }
+}
+
+inline float max_abs(const Tensor& a) {
+  float m = 0.0f;
+  for (int64_t i = 0; i < a.numel(); ++i) m = std::max(m, std::fabs(a[i]));
+  return m;
+}
+
+inline float sum(const Tensor& a) {
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) s += a[i];
+  return static_cast<float>(s);
+}
+
+inline float mean(const Tensor& a) {
+  return a.numel() == 0 ? 0.0f : sum(a) / static_cast<float>(a.numel());
+}
+
+/// Index of the maximum element in a contiguous span.
+inline int64_t argmax(const float* v, int64_t n) {
+  int64_t best = 0;
+  for (int64_t i = 1; i < n; ++i)
+    if (v[i] > v[best]) best = i;
+  return best;
+}
+
+/// Frobenius-norm distance, used in tests and gradient checks.
+inline double l2_distance(const Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  double s = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i) {
+    const double d = static_cast<double>(a[i]) - static_cast<double>(b[i]);
+    s += d * d;
+  }
+  return std::sqrt(s);
+}
+
+/// Largest absolute elementwise difference.
+inline double max_abs_diff(const Tensor& a, const Tensor& b) {
+  assert(a.same_shape(b));
+  double m = 0.0;
+  for (int64_t i = 0; i < a.numel(); ++i)
+    m = std::max(m, std::fabs(static_cast<double>(a[i]) - b[i]));
+  return m;
+}
+
+// ---------------------------------------------------------------------------
+// Initializers.
+// ---------------------------------------------------------------------------
+
+inline void fill_normal(Tensor& t, Rng& rng, float mean = 0.0f,
+                        float stddev = 1.0f) {
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.normal(mean, stddev));
+}
+
+inline void fill_uniform(Tensor& t, Rng& rng, float lo, float hi) {
+  for (int64_t i = 0; i < t.numel(); ++i)
+    t[i] = static_cast<float>(rng.uniform(lo, hi));
+}
+
+/// Xavier/Glorot init for a [out, in] weight matrix.
+inline void fill_xavier(Tensor& w, Rng& rng) {
+  assert(w.rank() == 2);
+  const float bound =
+      std::sqrt(6.0f / static_cast<float>(w.dim(0) + w.dim(1)));
+  fill_uniform(w, rng, -bound, bound);
+}
+
+}  // namespace fqbert

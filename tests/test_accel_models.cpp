@@ -1,0 +1,204 @@
+// Accelerator model tests: Table III resources/latency and Table IV
+// power/efficiency reproduce the paper's operating points, and the
+// analytic models behave sanely away from them.
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "platform/platform.h"
+
+namespace fqbert::accel {
+namespace {
+
+const nn::BertConfig kBertBase = nn::BertConfig::bert_base(2);
+constexpr int64_t kSeqLen = 128;
+
+// ------------------------------ resources ---------------------------------
+
+TEST(ResourceModel, Zcu102_8_16_MatchesTable3) {
+  const auto r = ResourceModel::estimate(AcceleratorConfig::zcu102_8_16(),
+                                         FpgaDevice::zcu102());
+  EXPECT_NEAR(static_cast<double>(r.dsp48), 1751, 1751 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.ff), 124433, 124433 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.lut), 123157, 123157 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.bram18k), 838, 838 * 0.02);
+  EXPECT_TRUE(r.fits(FpgaDevice::zcu102()));
+}
+
+TEST(ResourceModel, Zcu102_16_8_MatchesTable3) {
+  const auto r = ResourceModel::estimate(AcceleratorConfig::zcu102_16_8(),
+                                         FpgaDevice::zcu102());
+  EXPECT_NEAR(static_cast<double>(r.dsp48), 1671, 1671 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.ff), 151010, 151010 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.lut), 154192, 154192 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.bram18k), 877, 877 * 0.02);
+}
+
+TEST(ResourceModel, Zcu111_16_16_MatchesTable3) {
+  const auto r = ResourceModel::estimate(AcceleratorConfig::zcu111_16_16(),
+                                         FpgaDevice::zcu111());
+  EXPECT_NEAR(static_cast<double>(r.dsp48), 3287, 3287 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.ff), 201469, 201469 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.lut), 189724, 189724 * 0.02);
+  EXPECT_NEAR(static_cast<double>(r.bram18k), 679, 679 * 0.02);
+  EXPECT_GT(r.uram, 0);
+  EXPECT_TRUE(r.fits(FpgaDevice::zcu111()));
+}
+
+TEST(ResourceModel, DspDominatedUtilization) {
+  // "the DSP usage is very high for the targeted FPGA" (Sec. IV-C).
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  const auto dev = FpgaDevice::zcu102();
+  const auto r = ResourceModel::estimate(cfg, dev);
+  const double dsp_util = r.dsp_utilization(dev);
+  EXPECT_GT(dsp_util, 0.6);
+  EXPECT_GT(dsp_util, static_cast<double>(r.lut) / dev.lut);
+  EXPECT_GT(dsp_util, static_cast<double>(r.ff) / dev.ff);
+}
+
+TEST(ResourceModel, TypeBCostsMoreLogicSameDsp) {
+  auto a = AcceleratorConfig::zcu102_8_16();
+  auto b = a;
+  b.bim_type_a = 0;
+  const auto ra = ResourceModel::estimate(a, FpgaDevice::zcu102());
+  const auto rb = ResourceModel::estimate(b, FpgaDevice::zcu102());
+  EXPECT_EQ(ra.dsp48, rb.dsp48);
+  EXPECT_GT(rb.lut, ra.lut);
+  EXPECT_GT(rb.ff, ra.ff);
+}
+
+TEST(ResourceModel, ScalesWithPes) {
+  auto small = AcceleratorConfig::zcu102_8_16();
+  auto big = small;
+  big.pes_per_pu = 16;
+  const auto rs = ResourceModel::estimate(small, FpgaDevice::zcu102());
+  const auto rb = ResourceModel::estimate(big, FpgaDevice::zcu102());
+  EXPECT_GT(rb.dsp48, rs.dsp48);
+  EXPECT_GT(rb.ff, rs.ff);
+}
+
+// ------------------------------- latency ----------------------------------
+
+TEST(PerfModel, Zcu102_8_16_LatencyNearTable3) {
+  PerfModel pm(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  const auto rep = pm.estimate(kBertBase, kSeqLen);
+  EXPECT_NEAR(rep.total_ms, 43.89, 43.89 * 0.06);
+}
+
+TEST(PerfModel, Zcu102_16_8_LatencyNearTable3) {
+  PerfModel pm(AcceleratorConfig::zcu102_16_8(), FpgaDevice::zcu102());
+  const auto rep = pm.estimate(kBertBase, kSeqLen);
+  EXPECT_NEAR(rep.total_ms, 45.35, 45.35 * 0.06);
+}
+
+TEST(PerfModel, Zcu111_16_16_LatencyNearTable3) {
+  PerfModel pm(AcceleratorConfig::zcu111_16_16(), FpgaDevice::zcu111());
+  const auto rep = pm.estimate(kBertBase, kSeqLen);
+  EXPECT_NEAR(rep.total_ms, 23.79, 23.79 * 0.06);
+}
+
+TEST(PerfModel, DoublingMultipliersNearlyHalvesLatency) {
+  PerfModel small(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  PerfModel big(AcceleratorConfig::zcu111_16_16(), FpgaDevice::zcu111());
+  const double r = big.estimate(kBertBase, kSeqLen).total_ms /
+                   small.estimate(kBertBase, kSeqLen).total_ms;
+  EXPECT_GT(r, 0.45);
+  EXPECT_LT(r, 0.62);  // "nearly twice the performance" (Sec. IV-C)
+}
+
+TEST(PerfModel, OverlapNeverSlower) {
+  PerfModel pm(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  const auto with = pm.estimate(kBertBase, kSeqLen);
+  const auto without = pm.estimate_no_overlap(kBertBase, kSeqLen);
+  EXPECT_LT(with.total_ms, without.total_ms);
+  // With enough bandwidth the transfer is almost fully hidden
+  // ("completely overlapped by computing").
+  EXPECT_LT((without.total_ms - with.total_ms) / without.total_ms, 0.5);
+}
+
+TEST(PerfModel, MatmulCyclesFormula) {
+  PerfModel pm(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  // outputs=128*768 over 96 PEs = 1024 tiles; ceil(768/16)=48 + 2 fill.
+  EXPECT_EQ(pm.matmul_cycles(128, 768, 768, false), 1024 * 50);
+  // 8x8 mode: lanes = 8.
+  EXPECT_EQ(pm.matmul_cycles(128, 768, 768, true), 1024 * 98);
+}
+
+TEST(PerfModel, StagesCoverFig5Sequence) {
+  PerfModel pm(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  const auto rep = pm.estimate(kBertBase, kSeqLen);
+  ASSERT_EQ(rep.stages.size(), 11u);
+  EXPECT_EQ(rep.stages[0].name, "X*Wq");
+  EXPECT_EQ(rep.stages[3].name, "Q*K^T");
+  EXPECT_EQ(rep.stages[4].name, "Softmax");
+  EXPECT_EQ(rep.stages[5].name, "Attn*V");
+  EXPECT_EQ(rep.stages[10].name, "Add&LN2");
+  // FFN stages stream the largest weight tiles -> most sub-stages.
+  EXPECT_GT(rep.stages[8].sub_stages, rep.stages[0].sub_stages);
+  // Total adds up.
+  int64_t sum = 0;
+  for (const auto& st : rep.stages) sum += st.total_cycles;
+  EXPECT_EQ(sum, rep.cycles_per_layer);
+  EXPECT_EQ(rep.total_cycles, rep.cycles_per_layer * 12);
+}
+
+TEST(PerfModel, LongerSequencesCostMore) {
+  PerfModel pm(AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  EXPECT_LT(pm.estimate(kBertBase, 64).total_ms,
+            pm.estimate(kBertBase, 128).total_ms);
+  EXPECT_LT(pm.estimate(kBertBase, 128).total_ms,
+            pm.estimate(kBertBase, 256).total_ms);
+}
+
+// ------------------------------ power / table 4 ----------------------------
+
+TEST(PowerModel, MatchesPaperWithinTenPercent) {
+  const double p102 = PowerModel::estimate_w(
+      AcceleratorConfig::zcu102_8_16(), FpgaDevice::zcu102());
+  const double p111 = PowerModel::estimate_w(
+      AcceleratorConfig::zcu111_16_16(), FpgaDevice::zcu111());
+  EXPECT_NEAR(p102, 9.8, 0.98);
+  EXPECT_NEAR(p111, 13.2, 1.32);
+}
+
+TEST(PlatformModels, LatenciesNearTable4) {
+  const double flops = platform::bert_flops(kBertBase, kSeqLen);
+  EXPECT_GT(flops, 20e9);  // ">20 GFLOPs" (intro)
+  const auto cpu = platform::PlatformModel::cpu_i7_8700();
+  const auto gpu = platform::PlatformModel::gpu_k80();
+  EXPECT_NEAR(cpu.latency_ms(flops), 145.06, 145.06 * 0.05);
+  EXPECT_NEAR(gpu.latency_ms(flops), 27.84, 27.84 * 0.05);
+}
+
+TEST(Table4, EfficiencyRatiosHold) {
+  const double flops = platform::bert_flops(kBertBase, kSeqLen);
+  const auto cpu = platform::PlatformModel::cpu_i7_8700();
+  const auto gpu = platform::PlatformModel::gpu_k80();
+  const auto fpga = evaluate(AcceleratorConfig::zcu111_16_16(),
+                             FpgaDevice::zcu111(), kBertBase, kSeqLen);
+  const double cpu_eff = cpu.fps_per_w(flops);
+  const double gpu_eff = gpu.fps_per_w(flops);
+  // Paper: 3.18 fps/W; 28.91x over CPU; 12.72x over GPU.
+  EXPECT_NEAR(fpga.fps_per_w, 3.18, 3.18 * 0.08);
+  EXPECT_NEAR(fpga.fps_per_w / cpu_eff, 28.91, 28.91 * 0.15);
+  EXPECT_NEAR(fpga.fps_per_w / gpu_eff, 12.72, 12.72 * 0.15);
+}
+
+TEST(Table4, GpuBeatsZcu102OnLatencyButLosesOnEfficiency) {
+  const double flops = platform::bert_flops(kBertBase, kSeqLen);
+  const auto gpu = platform::PlatformModel::gpu_k80();
+  const auto z102 = evaluate(AcceleratorConfig::zcu102_8_16(),
+                             FpgaDevice::zcu102(), kBertBase, kSeqLen);
+  EXPECT_LT(gpu.latency_ms(flops), z102.latency.total_ms);
+  EXPECT_GT(z102.fps_per_w, gpu.fps_per_w(flops) * 5.0);
+}
+
+TEST(Table4, Zcu111BeatsGpuOnLatencyToo) {
+  const double flops = platform::bert_flops(kBertBase, kSeqLen);
+  const auto gpu = platform::PlatformModel::gpu_k80();
+  const auto z111 = evaluate(AcceleratorConfig::zcu111_16_16(),
+                             FpgaDevice::zcu111(), kBertBase, kSeqLen);
+  EXPECT_LT(z111.latency.total_ms, gpu.latency_ms(flops));
+}
+
+}  // namespace
+}  // namespace fqbert::accel

@@ -1,0 +1,131 @@
+// Buffer-plan and full-model functional simulation tests.
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "accel/buffers.h"
+#include "accel/full_sim.h"
+#include "data/synth_tasks.h"
+#include "nn/trainer.h"
+
+namespace fqbert::accel {
+namespace {
+
+TEST(Buffers, BertBasePlanFitsZcu102) {
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  const auto plan = plan_buffers(nn::BertConfig::bert_base(2), 128, cfg);
+  // Q/K/V + attention matrix dominate: 12*128*128 + max(3*128*768,
+  // 128*3072) = 196608 + 393216.
+  EXPECT_EQ(plan.intermediate_bytes, 196608 + 393216);
+  EXPECT_EQ(plan.input_bytes, 128 * 768);
+  EXPECT_TRUE(buffers_fit(plan, cfg, FpgaDevice::zcu102()));
+}
+
+TEST(Buffers, StructuralBramNearCalibratedModel) {
+  // The structural plan and the calibrated ResourceModel must agree on
+  // the order of magnitude (the calibrated figure includes HLS overheads
+  // like FIFOs that the plan does not enumerate).
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  const auto plan = plan_buffers(nn::BertConfig::bert_base(2), 128, cfg);
+  const int64_t structural = plan.bram18k(cfg.total_pes());
+  const auto calibrated =
+      ResourceModel::estimate(cfg, FpgaDevice::zcu102()).bram18k;
+  EXPECT_GT(structural, calibrated / 3);
+  EXPECT_LT(structural, calibrated * 3);
+}
+
+TEST(Buffers, LongerSequenceNeedsMoreIntermediate) {
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  const auto a = plan_buffers(nn::BertConfig::bert_base(2), 64, cfg);
+  const auto b = plan_buffers(nn::BertConfig::bert_base(2), 256, cfg);
+  EXPECT_LT(a.intermediate_bytes, b.intermediate_bytes);
+  EXPECT_LT(a.total_bytes(), b.total_bytes());
+}
+
+TEST(Buffers, PsumScalesWithPes) {
+  auto small = AcceleratorConfig::zcu102_8_16();
+  auto big = small;
+  big.pes_per_pu = 32;
+  const auto m = nn::BertConfig::bert_base(2);
+  EXPECT_LT(plan_buffers(m, 128, small).psum_bytes,
+            plan_buffers(m, 128, big).psum_bytes);
+}
+
+class FullSimFixture : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    data::Sst2Config dcfg;
+    data_ = new std::vector<nn::Example>(data::make_sst2(dcfg, 150, 7));
+    nn::BertConfig mcfg;
+    mcfg.hidden = 16;
+    mcfg.num_layers = 2;
+    mcfg.num_heads = 2;
+    mcfg.ffn_dim = 32;
+    mcfg.num_classes = 2;
+    Rng rng(5);
+    auto model = std::make_unique<nn::BertModel>(mcfg, rng);
+    nn::TrainConfig tc;
+    tc.epochs = 2;
+    nn::train(*model, *data_, *data_, tc);
+    core::QatBert qat(*model, core::FqQuantConfig::full());
+    qat.calibrate(*data_);
+    engine_ = new core::FqBertModel(core::FqBertModel::convert(qat));
+  }
+  static void TearDownTestSuite() {
+    delete engine_;
+    delete data_;
+  }
+  static core::FqBertModel* engine_;
+  static std::vector<nn::Example>* data_;
+};
+
+core::FqBertModel* FullSimFixture::engine_ = nullptr;
+std::vector<nn::Example>* FullSimFixture::data_ = nullptr;
+
+TEST_F(FullSimFixture, LogitsBitExactWithEngine) {
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  for (int i = 0; i < 10; ++i) {
+    const nn::Example& ex = (*data_)[static_cast<size_t>(i)];
+    const auto rep = run_full_model(*engine_, ex, cfg);
+    const Tensor want = engine_->forward(ex);
+    ASSERT_EQ(rep.logits.numel(), want.numel());
+    for (int64_t j = 0; j < want.numel(); ++j)
+      EXPECT_EQ(rep.logits[j], want[j]) << "example " << i;
+    EXPECT_EQ(rep.predicted, engine_->predict(ex));
+  }
+}
+
+TEST_F(FullSimFixture, CycleAccountingPositiveAndConsistent) {
+  const auto cfg = AcceleratorConfig::zcu102_8_16();
+  const auto rep = run_full_model(*engine_, (*data_)[0], cfg);
+  EXPECT_GT(rep.total_pe_cycles, 0);
+  EXPECT_GT(rep.total_special_cycles, 0);
+  EXPECT_GT(rep.fpga_ms, 0.0);
+  int64_t sum = 0;
+  for (const auto& st : rep.per_layer) sum += st.pe_cycles;
+  EXPECT_EQ(sum, rep.total_pe_cycles);
+}
+
+TEST_F(FullSimFixture, MoreParallelismFewerCycles) {
+  auto small = AcceleratorConfig::zcu102_8_16();
+  auto big = AcceleratorConfig::zcu111_16_16();
+  const auto a = run_full_model(*engine_, (*data_)[0], small);
+  const auto b = run_full_model(*engine_, (*data_)[0], big);
+  EXPECT_GE(a.total_pe_cycles, b.total_pe_cycles);
+  // Bit-exactness is configuration-independent.
+  for (int64_t j = 0; j < a.logits.numel(); ++j)
+    EXPECT_EQ(a.logits[j], b.logits[j]);
+}
+
+TEST_F(FullSimFixture, TypeBMatchesTypeA) {
+  auto ta = AcceleratorConfig::zcu102_8_16();
+  auto tb = ta;
+  tb.bim_type_a = 0;
+  const auto a = run_full_model(*engine_, (*data_)[1], ta);
+  const auto b = run_full_model(*engine_, (*data_)[1], tb);
+  for (int64_t j = 0; j < a.logits.numel(); ++j)
+    EXPECT_EQ(a.logits[j], b.logits[j]);
+  EXPECT_EQ(a.total_pe_cycles, b.total_pe_cycles);
+}
+
+}  // namespace
+}  // namespace fqbert::accel

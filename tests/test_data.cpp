@@ -1,0 +1,214 @@
+// Synthetic dataset tests: determinism, class balance, structural
+// invariants of the generators (negation scope, entailment subset
+// property, antonym pairing, genre shift).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "data/synth_tasks.h"
+
+namespace fqbert::data {
+namespace {
+
+TEST(Vocab, RoleRangesArePartitioned) {
+  Vocab v;
+  EXPECT_EQ(v.pos_end, v.neg_begin);
+  EXPECT_EQ(v.neg_end, v.negator_begin);
+  EXPECT_EQ(v.negator_end, v.intens_begin);
+  EXPECT_EQ(v.intens_end, v.content_begin);
+  EXPECT_EQ(v.content_end, v.filler_begin);
+  EXPECT_EQ(v.filler_end, v.size);
+  EXPECT_TRUE(v.is_positive(v.pos_begin));
+  EXPECT_FALSE(v.is_positive(v.pos_end));
+  EXPECT_TRUE(v.is_filler(v.size - 1));
+}
+
+TEST(Vocab, AntonymIsAnInvolutionWithinContent) {
+  Vocab v;
+  for (int32_t w = v.content_begin; w < v.content_end; ++w) {
+    const int32_t a = v.antonym(w);
+    EXPECT_TRUE(v.is_content(a));
+    EXPECT_NE(a, w);
+    EXPECT_EQ(v.antonym(a), w);
+  }
+}
+
+TEST(Sst2, DeterministicGivenSeed) {
+  Sst2Config cfg;
+  auto a = make_sst2(cfg, 50, 7);
+  auto b = make_sst2(cfg, 50, 7);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+  auto c = make_sst2(cfg, 50, 8);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i].tokens != c[i].tokens) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Sst2, StructureAndLengthBounds) {
+  Sst2Config cfg;
+  auto data = make_sst2(cfg, 200, 11);
+  for (const Example& ex : data) {
+    ASSERT_GE(ex.tokens.size(), 3u);
+    EXPECT_EQ(ex.tokens.front(), Vocab::kCls);
+    EXPECT_LE(static_cast<int>(ex.tokens.size()), cfg.max_seq_len);
+    EXPECT_EQ(ex.tokens.size(), ex.segments.size());
+    for (int32_t s : ex.segments) EXPECT_EQ(s, 0);
+    EXPECT_TRUE(ex.label == 0 || ex.label == 1);
+    // At least one sentiment-bearing token must be present.
+    bool has_sentiment = false;
+    for (int32_t t : ex.tokens)
+      if (cfg.vocab.is_positive(t) || cfg.vocab.is_negative(t))
+        has_sentiment = true;
+    EXPECT_TRUE(has_sentiment);
+  }
+}
+
+TEST(Sst2, RoughlyBalanced) {
+  Sst2Config cfg;
+  auto data = make_sst2(cfg, 2000, 13);
+  const double f1 = label_fraction(data, 1);
+  EXPECT_GT(f1, 0.40);
+  EXPECT_LT(f1, 0.60);
+}
+
+TEST(Sst2, ZeroNoiseLabelsFollowLexicalScore) {
+  Sst2Config cfg;
+  cfg.label_noise = 0.0;
+  cfg.p_negator = 0.0;      // without negation the score is a plain count
+  cfg.p_intensifier = 0.0;
+  auto data = make_sst2(cfg, 300, 17);
+  for (const Example& ex : data) {
+    int score = 0;
+    for (int32_t t : ex.tokens) {
+      if (cfg.vocab.is_positive(t)) ++score;
+      if (cfg.vocab.is_negative(t)) --score;
+    }
+    ASSERT_NE(score, 0);
+    EXPECT_EQ(ex.label, score > 0 ? 1 : 0);
+  }
+}
+
+TEST(Mnli, DeterministicAndWellFormed) {
+  MnliConfig cfg;
+  auto a = make_mnli(cfg, 100, 21);
+  auto b = make_mnli(cfg, 100, 21);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].tokens, b[i].tokens);
+    EXPECT_EQ(a[i].label, b[i].label);
+  }
+  for (const Example& ex : a) {
+    EXPECT_EQ(ex.tokens.front(), Vocab::kCls);
+    EXPECT_LE(static_cast<int>(ex.tokens.size()), cfg.max_seq_len);
+    // Exactly two separators.
+    int seps = 0;
+    for (int32_t t : ex.tokens) seps += t == Vocab::kSep ? 1 : 0;
+    EXPECT_EQ(seps, 2);
+    // Segment ids switch from 0 to 1 exactly once.
+    int switches = 0;
+    for (size_t i = 1; i < ex.segments.size(); ++i) {
+      EXPECT_GE(ex.segments[i], ex.segments[i - 1]);
+      switches += ex.segments[i] != ex.segments[i - 1] ? 1 : 0;
+    }
+    EXPECT_EQ(switches, 1);
+    EXPECT_GE(ex.label, 0);
+    EXPECT_LE(ex.label, 2);
+  }
+}
+
+// Split an example back into premise and hypothesis content words.
+void split_mnli(const Example& ex, std::vector<int32_t>& premise,
+                std::vector<int32_t>& hyp) {
+  premise.clear();
+  hyp.clear();
+  bool in_hyp = false;
+  for (size_t i = 1; i < ex.tokens.size(); ++i) {
+    if (ex.tokens[i] == Vocab::kSep) {
+      in_hyp = true;
+      continue;
+    }
+    (in_hyp ? hyp : premise).push_back(ex.tokens[i]);
+  }
+}
+
+TEST(Mnli, ZeroNoiseStructuralInvariants) {
+  MnliConfig cfg;
+  cfg.label_noise = 0.0;
+  auto data = make_mnli(cfg, 300, 23);
+  Vocab v = cfg.vocab;
+  for (const Example& ex : data) {
+    std::vector<int32_t> premise, hyp;
+    split_mnli(ex, premise, hyp);
+    std::set<int32_t> pset(premise.begin(), premise.end());
+
+    int in_premise = 0, antonym_of_premise = 0, novel = 0;
+    for (int32_t w : hyp) {
+      if (pset.count(w)) {
+        ++in_premise;
+      } else if (pset.count(v.antonym(w))) {
+        ++antonym_of_premise;
+      } else {
+        ++novel;
+      }
+    }
+    switch (ex.label) {
+      case 0:  // entailment: pure subset
+        EXPECT_EQ(antonym_of_premise, 0);
+        EXPECT_EQ(novel, 0);
+        break;
+      case 1:  // neutral: exactly one novel word
+        EXPECT_EQ(antonym_of_premise, 0);
+        EXPECT_EQ(novel, 1);
+        break;
+      case 2:  // contradiction: exactly one antonym
+        EXPECT_EQ(antonym_of_premise, 1);
+        EXPECT_EQ(novel, 0);
+        break;
+      default:
+        FAIL();
+    }
+  }
+}
+
+TEST(Mnli, ThreeWayRoughBalance) {
+  MnliConfig cfg;
+  auto data = make_mnli(cfg, 3000, 29);
+  for (int32_t cls = 0; cls < 3; ++cls) {
+    const double f = label_fraction(data, cls);
+    EXPECT_GT(f, 0.26) << "class " << cls;
+    EXPECT_LT(f, 0.40) << "class " << cls;
+  }
+}
+
+TEST(Mnli, MismatchedGenreShiftsContentDistribution) {
+  MnliConfig matched;
+  MnliConfig mismatched;
+  mismatched.mismatched_genre = true;
+  auto a = make_mnli(matched, 500, 31);
+  auto b = make_mnli(mismatched, 500, 31);
+  Vocab v;
+  auto mean_content_id = [&](const std::vector<Example>& data) {
+    double sum = 0;
+    int64_t n = 0;
+    for (const Example& ex : data)
+      for (int32_t t : ex.tokens)
+        if (v.is_content(t)) {
+          sum += t;
+          ++n;
+        }
+    return sum / static_cast<double>(n);
+  };
+  // The mismatched genre draws from the upper content range.
+  EXPECT_GT(mean_content_id(b), mean_content_id(a) + 10.0);
+}
+
+TEST(LabelFraction, EmptyDataIsZero) {
+  EXPECT_EQ(label_fraction({}, 0), 0.0);
+}
+
+}  // namespace
+}  // namespace fqbert::data

@@ -1,0 +1,94 @@
+// Requantizer (Eq. 5) and fixed-point helper tests: the integer
+// multiply-shift must track the real-valued scaling to within one code.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "quant/fixed_point.h"
+#include "tensor/rng.h"
+
+namespace fqbert::quant {
+namespace {
+
+TEST(Saturate, SignedAndUnsigned) {
+  EXPECT_EQ(saturate_signed(300, 8), 127);
+  EXPECT_EQ(saturate_signed(-300, 8), -127);
+  EXPECT_EQ(saturate_signed(5, 8), 5);
+  EXPECT_EQ(saturate_signed(7, 4), 7);
+  EXPECT_EQ(saturate_signed(8, 4), 7);
+  EXPECT_EQ(saturate_unsigned(-3, 8), 0);
+  EXPECT_EQ(saturate_unsigned(256, 8), 255);
+}
+
+TEST(RoundingShift, HalfAwayFromZero) {
+  EXPECT_EQ(rounding_shift_right(5, 1), 3);    // 2.5 -> 3
+  EXPECT_EQ(rounding_shift_right(-5, 1), -3);  // -2.5 -> -3
+  EXPECT_EQ(rounding_shift_right(4, 1), 2);
+  EXPECT_EQ(rounding_shift_right(-4, 1), -2);
+  EXPECT_EQ(rounding_shift_right(7, 2), 2);    // 1.75 -> 2
+  EXPECT_EQ(rounding_shift_right(1, 0), 1);
+  EXPECT_EQ(rounding_shift_right(3, -2), 12);  // negative shift = left
+}
+
+TEST(Requantizer, RejectsNonPositiveScale) {
+  EXPECT_THROW(Requantizer::from_scale(0.0), std::invalid_argument);
+  EXPECT_THROW(Requantizer::from_scale(-1.0), std::invalid_argument);
+}
+
+TEST(Requantizer, EffectiveScaleCloseToRequested) {
+  for (double m : {0.5, 0.001, 0.9999, 2.5, 123.456, 1e-6}) {
+    const Requantizer rq = Requantizer::from_scale(m);
+    EXPECT_NEAR(rq.effective_scale() / m, 1.0, 1e-9) << "m=" << m;
+    EXPECT_GE(rq.multiplier, 1 << 30);
+  }
+}
+
+class RequantizerSweep
+    : public ::testing::TestWithParam<std::tuple<double, uint64_t>> {};
+
+TEST_P(RequantizerSweep, MatchesRealRoundingWithinOneCode) {
+  const double m = std::get<0>(GetParam());
+  Rng rng(std::get<1>(GetParam()));
+  const Requantizer rq = Requantizer::from_scale(m);
+  for (int i = 0; i < 2000; ++i) {
+    const int64_t acc = rng.randint(-2000000, 2000000);
+    const int32_t got = rq.apply(acc);
+    const double want = static_cast<double>(acc) * m;
+    // Integer result within one code of the exact real product, and
+    // exactly equal to rounding the effective (Q31) scale.
+    EXPECT_LE(std::fabs(got - want), 1.0) << "acc=" << acc << " m=" << m;
+    const double eff = static_cast<double>(acc) * rq.effective_scale();
+    EXPECT_LE(std::fabs(got - eff), 0.5 + 1e-6);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Scales, RequantizerSweep,
+    ::testing::Values(std::make_tuple(0.0001, 1ull),
+                      std::make_tuple(0.01, 2ull),
+                      std::make_tuple(0.4999, 3ull),
+                      std::make_tuple(0.5, 4ull),
+                      std::make_tuple(0.75, 5ull),
+                      std::make_tuple(1.0, 6ull),
+                      std::make_tuple(1.5, 7ull),
+                      std::make_tuple(37.5, 8ull)));
+
+TEST(Requantizer, ExactPowersOfTwo) {
+  // m = 2^-k must be exact for accumulators that divide evenly.
+  const Requantizer rq = Requantizer::from_scale(1.0 / 256.0);
+  EXPECT_EQ(rq.apply(256), 1);
+  EXPECT_EQ(rq.apply(512), 2);
+  EXPECT_EQ(rq.apply(-256), -1);
+  EXPECT_EQ(rq.apply(128), 1);  // 0.5 rounds away from zero
+  EXPECT_EQ(rq.apply(0), 0);
+}
+
+TEST(Requantizer, IdentityScale) {
+  const Requantizer rq = Requantizer::from_scale(1.0);
+  for (int64_t v : {-1000ll, -1ll, 0ll, 1ll, 31337ll}) {
+    EXPECT_EQ(rq.apply(v), v);
+  }
+}
+
+}  // namespace
+}  // namespace fqbert::quant

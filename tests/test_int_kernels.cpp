@@ -1,0 +1,81 @@
+// Integer kernel tests: matmuls vs wide-accumulator references and the
+// requantize epilogue.
+#include <gtest/gtest.h>
+
+#include "core/int_kernels.h"
+#include "tensor/rng.h"
+
+namespace fqbert::core {
+namespace {
+
+TEST(IntMatmulWt, MatchesNaive) {
+  Rng rng(1);
+  const int64_t m = 7, k = 33, n = 5;
+  std::vector<int8_t> a(static_cast<size_t>(m * k));
+  std::vector<int8_t> w(static_cast<size_t>(n * k));
+  for (auto& v : a) v = static_cast<int8_t>(rng.randint(-128, 127));
+  for (auto& v : w) v = static_cast<int8_t>(rng.randint(-8, 7));
+  std::vector<int32_t> acc;
+  int_matmul_wt(a, w, acc, m, k, n);
+  for (int64_t i = 0; i < m; ++i) {
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t want = 0;
+      for (int64_t p = 0; p < k; ++p)
+        want += static_cast<int64_t>(a[static_cast<size_t>(i * k + p)]) *
+                w[static_cast<size_t>(j * k + p)];
+      EXPECT_EQ(acc[static_cast<size_t>(i * n + j)], want);
+    }
+  }
+}
+
+TEST(IntMatmulPv, UnsignedProbsTimesSignedV) {
+  Rng rng(2);
+  const int64_t m = 4, k = 9, n = 6;
+  std::vector<int32_t> p(static_cast<size_t>(m * k));
+  std::vector<int8_t> v(static_cast<size_t>(k * n));
+  for (auto& x : p) x = static_cast<int32_t>(rng.randint(0, 255));
+  for (auto& x : v) x = static_cast<int8_t>(rng.randint(-128, 127));
+  std::vector<int32_t> acc;
+  int_matmul_pv(p, v, acc, m, k, n);
+  for (int64_t i = 0; i < m; ++i)
+    for (int64_t j = 0; j < n; ++j) {
+      int64_t want = 0;
+      for (int64_t q = 0; q < k; ++q)
+        want += static_cast<int64_t>(p[static_cast<size_t>(i * k + q)]) *
+                v[static_cast<size_t>(q * n + j)];
+      EXPECT_EQ(acc[static_cast<size_t>(i * n + j)], want);
+    }
+}
+
+TEST(RequantizeI8, AppliesBiasScaleAndSaturation) {
+  const quant::Requantizer rq = quant::Requantizer::from_scale(0.01);
+  std::vector<int32_t> acc{100, -100, 50000, -50000, 0, 449};
+  std::vector<int32_t> bias{0, 0, 0, 0, 100, 1};
+  std::vector<int8_t> out;
+  requantize_i8(acc, bias, rq, out, 1, 6);
+  EXPECT_EQ(out[0], 1);      // 100*0.01
+  EXPECT_EQ(out[1], -1);
+  EXPECT_EQ(out[2], 127);    // saturated high
+  EXPECT_EQ(out[3], -127);   // saturated low (symmetric grid)
+  EXPECT_EQ(out[4], 1);      // (0+100)*0.01
+  EXPECT_EQ(out[5], 5);      // round(4.5) away from zero
+}
+
+TEST(RequantizeI8, EmptyBiasMeansZero) {
+  const quant::Requantizer rq = quant::Requantizer::from_scale(0.5);
+  std::vector<int32_t> acc{10, -7};
+  std::vector<int8_t> out;
+  requantize_i8(acc, {}, rq, out, 1, 2);
+  EXPECT_EQ(out[0], 5);
+  EXPECT_EQ(out[1], -4);  // -3.5 rounds away from zero
+}
+
+TEST(IntMatmul, ZeroSizedEdges) {
+  std::vector<int8_t> a, w;
+  std::vector<int32_t> acc;
+  int_matmul_wt(a, w, acc, 0, 0, 0);
+  EXPECT_TRUE(acc.empty());
+}
+
+}  // namespace
+}  // namespace fqbert::core

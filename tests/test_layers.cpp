@@ -1,0 +1,253 @@
+// Layer-level tests: forward semantics and hand-written backward passes
+// verified against central differences.
+#include <gtest/gtest.h>
+
+#include "nn/layers.h"
+#include "test_util.h"
+
+namespace fqbert::nn {
+namespace {
+
+using fqbert::testing::check_gradients;
+using fqbert::testing::random_tensor;
+
+TEST(Linear, ForwardMatchesManual) {
+  Rng rng(1);
+  Linear lin("l", 3, 2, rng);
+  lin.weight.value = Tensor(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  lin.bias.value = Tensor(Shape{2}, std::vector<float>{0.5f, -0.5f});
+  Tensor x(Shape{1, 3}, std::vector<float>{1, 1, 1});
+  Tensor y = lin.forward(x);
+  EXPECT_FLOAT_EQ(y.at(0, 0), 6.5f);
+  EXPECT_FLOAT_EQ(y.at(0, 1), 14.5f);
+}
+
+TEST(Linear, GradCheck) {
+  Rng rng(2);
+  Linear lin("l", 4, 3, rng);
+  Tensor x = random_tensor(2, 4, rng);
+  auto loss = [&] {
+    Tensor y = lin.forward(x);
+    float l = 0.0f;
+    Tensor dy(y.shape());
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      l += y[i] * y[i];
+      dy[i] = 2.0f * y[i];
+    }
+    lin.backward(dy);
+    return l;
+  };
+  check_gradients(lin.params(), loss);
+}
+
+TEST(Linear, BackwardReturnsInputGradient) {
+  Rng rng(3);
+  Linear lin("l", 3, 3, rng);
+  Tensor x = random_tensor(2, 3, rng);
+  // Numeric dL/dx vs analytic, L = sum(y^2).
+  Tensor y = lin.forward(x);
+  Tensor dy(y.shape());
+  for (int64_t i = 0; i < y.numel(); ++i) dy[i] = 2.0f * y[i];
+  Tensor dx = lin.backward(dy);
+  const float eps = 1e-3f;
+  for (int64_t j = 0; j < x.numel(); ++j) {
+    Tensor xp = x, xm = x;
+    xp[j] += eps;
+    xm[j] -= eps;
+    float lp = 0, lm = 0;
+    Tensor yp = lin.forward(xp);
+    for (int64_t i = 0; i < yp.numel(); ++i) lp += yp[i] * yp[i];
+    Tensor ym = lin.forward(xm);
+    for (int64_t i = 0; i < ym.numel(); ++i) lm += ym[i] * ym[i];
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[j], 2e-2)
+        << "input grad index " << j;
+  }
+}
+
+TEST(LayerNorm, NormalizesRows) {
+  Rng rng(4);
+  LayerNorm ln("ln", 16);
+  Tensor x = random_tensor(3, 16, rng, 5.0f);
+  Tensor y = ln.forward(x);
+  for (int64_t r = 0; r < 3; ++r) {
+    double mu = 0, var = 0;
+    for (int64_t c = 0; c < 16; ++c) mu += y.at(r, c);
+    mu /= 16;
+    for (int64_t c = 0; c < 16; ++c) var += (y.at(r, c) - mu) * (y.at(r, c) - mu);
+    var /= 16;
+    EXPECT_NEAR(mu, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(LayerNorm, GradCheck) {
+  Rng rng(5);
+  LayerNorm ln("ln", 8);
+  // Non-trivial gamma/beta.
+  fill_uniform(ln.gamma.value, rng, 0.5f, 1.5f);
+  fill_uniform(ln.beta.value, rng, -0.5f, 0.5f);
+  Tensor x = random_tensor(2, 8, rng);
+  auto loss = [&] {
+    Tensor y = ln.forward(x);
+    float l = 0.0f;
+    Tensor dy(y.shape());
+    for (int64_t i = 0; i < y.numel(); ++i) {
+      l += std::sin(0.7f * static_cast<float>(i)) * y[i];
+      dy[i] = std::sin(0.7f * static_cast<float>(i));
+    }
+    ln.backward(dy);
+    return l;
+  };
+  check_gradients(ln.params(), loss, 5e-2, 1e-4, 6);
+}
+
+TEST(LayerNorm, InputGradCheck) {
+  Rng rng(6);
+  LayerNorm ln("ln", 8);
+  Tensor x = random_tensor(1, 8, rng, 2.0f);
+  Tensor y = ln.forward(x);
+  Tensor dy(y.shape(), 1.0f);
+  for (int64_t i = 0; i < dy.numel(); ++i)
+    dy[i] = static_cast<float>(i % 3) - 1.0f;
+  Tensor dx = ln.backward(dy);
+  const float eps = 1e-3f;
+  for (int64_t j = 0; j < 8; ++j) {
+    Tensor xp = x, xm = x;
+    xp[j] += eps;
+    xm[j] -= eps;
+    float lp = 0, lm = 0;
+    Tensor yp = ln.forward(xp);
+    for (int64_t i = 0; i < 8; ++i) lp += dy[i] * yp[i];
+    Tensor ym = ln.forward(xm);
+    for (int64_t i = 0; i < 8; ++i) lm += dy[i] * ym[i];
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[j], 5e-3);
+  }
+}
+
+TEST(Embedding, LookupAndScatterAddGrad) {
+  Rng rng(7);
+  Embedding emb("e", 10, 4, rng);
+  std::vector<int32_t> ids{3, 7, 3};
+  Tensor out = emb.forward(ids);
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(out.at(0, c), emb.table.value.at(3, c));
+    EXPECT_EQ(out.at(1, c), emb.table.value.at(7, c));
+    EXPECT_EQ(out.at(2, c), emb.table.value.at(3, c));
+  }
+  Tensor dy(Shape{3, 4}, 1.0f);
+  emb.backward(dy);
+  // Token 3 appears twice: gradient 2; token 7 once: gradient 1.
+  for (int64_t c = 0; c < 4; ++c) {
+    EXPECT_EQ(emb.table.grad.at(3, c), 2.0f);
+    EXPECT_EQ(emb.table.grad.at(7, c), 1.0f);
+    EXPECT_EQ(emb.table.grad.at(0, c), 0.0f);
+  }
+}
+
+TEST(Gelu, ValueAndDerivative) {
+  EXPECT_NEAR(Gelu::value(0.0f), 0.0f, 1e-6);
+  // GELU(x) -> x for large x, -> 0 for very negative x.
+  EXPECT_NEAR(Gelu::value(6.0f), 6.0f, 1e-3);
+  EXPECT_NEAR(Gelu::value(-6.0f), 0.0f, 1e-3);
+  // Derivative vs finite differences.
+  for (float x : {-3.0f, -1.0f, -0.3f, 0.0f, 0.5f, 1.7f, 3.0f}) {
+    const float eps = 1e-3f;
+    const float num = (Gelu::value(x + eps) - Gelu::value(x - eps)) / (2 * eps);
+    EXPECT_NEAR(Gelu::derivative(x), num, 1e-3) << "x=" << x;
+  }
+}
+
+TEST(Gelu, BackwardUsesCachedInput) {
+  Gelu g;
+  Tensor x(Shape{1, 3}, std::vector<float>{-1.0f, 0.0f, 2.0f});
+  g.forward(x);
+  Tensor dy(Shape{1, 3}, 1.0f);
+  Tensor dx = g.backward(dy);
+  for (int64_t i = 0; i < 3; ++i)
+    EXPECT_NEAR(dx[i], Gelu::derivative(x[i]), 1e-6);
+}
+
+TEST(Tanh, ForwardBackward) {
+  Tanh t;
+  Tensor x(Shape{1, 2}, std::vector<float>{0.5f, -1.2f});
+  Tensor y = t.forward(x);
+  EXPECT_NEAR(y[0], std::tanh(0.5f), 1e-6);
+  Tensor dy(Shape{1, 2}, 1.0f);
+  Tensor dx = t.backward(dy);
+  EXPECT_NEAR(dx[0], 1.0f - std::tanh(0.5f) * std::tanh(0.5f), 1e-6);
+}
+
+TEST(Softmax, RowsSumToOneAndOrderPreserved) {
+  Rng rng(8);
+  Tensor x = fqbert::testing::random_tensor(4, 7, rng, 3.0f);
+  Tensor p = x;
+  softmax_rows(p);
+  for (int64_t r = 0; r < 4; ++r) {
+    double s = 0;
+    for (int64_t c = 0; c < 7; ++c) {
+      s += p.at(r, c);
+      EXPECT_GT(p.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(s, 1.0, 1e-5);
+    // Rank preservation.
+    for (int64_t c = 1; c < 7; ++c)
+      EXPECT_EQ(x.at(r, c) > x.at(r, c - 1), p.at(r, c) > p.at(r, c - 1));
+  }
+}
+
+TEST(Softmax, StableUnderLargeInputs) {
+  Tensor x(Shape{1, 3}, std::vector<float>{1000.0f, 1001.0f, 999.0f});
+  softmax_rows(x);
+  EXPECT_TRUE(std::isfinite(x[0]));
+  EXPECT_GT(x[1], x[0]);
+}
+
+TEST(Softmax, BackwardMatchesNumeric) {
+  Rng rng(9);
+  Tensor x = fqbert::testing::random_tensor(2, 5, rng);
+  Tensor p = x;
+  softmax_rows(p);
+  Tensor dp(Shape{2, 5});
+  for (int64_t i = 0; i < 10; ++i) dp[i] = static_cast<float>(i) * 0.1f;
+  Tensor dx = softmax_rows_backward(p, dp);
+  const float eps = 1e-3f;
+  for (int64_t j = 0; j < 10; ++j) {
+    Tensor xp = x, xm = x;
+    xp[j] += eps;
+    xm[j] -= eps;
+    softmax_rows(xp);
+    softmax_rows(xm);
+    float lp = 0, lm = 0;
+    for (int64_t i = 0; i < 10; ++i) {
+      lp += dp[i] * xp[i];
+      lm += dp[i] * xm[i];
+    }
+    EXPECT_NEAR((lp - lm) / (2 * eps), dx[j], 1e-3);
+  }
+}
+
+// Linear weight hook: a trivial doubling hook exercises the STE path.
+class DoublingHook : public TensorHook {
+ public:
+  Tensor apply(const Tensor& x) override {
+    Tensor y = x;
+    scale_inplace(y, 2.0f);
+    return y;
+  }
+};
+
+TEST(Linear, WeightHookAffectsForwardOnly) {
+  Rng rng(10);
+  Linear lin("l", 2, 2, rng);
+  Tensor x(Shape{1, 2}, std::vector<float>{1.0f, 1.0f});
+  Tensor y0 = lin.forward(x);
+  DoublingHook hook;
+  lin.weight_hook = &hook;
+  Tensor y1 = lin.forward(x);
+  for (int64_t i = 0; i < 2; ++i)
+    EXPECT_NEAR(y1[i] - lin.bias.value[i], 2.0f * (y0[i] - lin.bias.value[i]),
+                1e-5);
+}
+
+}  // namespace
+}  // namespace fqbert::nn

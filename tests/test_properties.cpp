@@ -1,0 +1,149 @@
+// Cross-module property tests: parameterized sweeps over configuration
+// space asserting the invariants the design relies on.
+#include <gtest/gtest.h>
+
+#include "accel/accelerator.h"
+#include "core/model_size.h"
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+
+namespace fqbert {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Quantization error is monotone in bitwidth (Fig. 3's x-axis premise).
+// ---------------------------------------------------------------------------
+
+class QuantMonotonicity : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QuantMonotonicity, ErrorShrinksWithMoreBits) {
+  Rng rng(GetParam());
+  Tensor t(Shape{512});
+  fill_normal(t, rng);
+  double prev_err = 1e30;
+  for (int bits : {2, 3, 4, 6, 8, 12}) {
+    const double s = quant::scale_from_threshold(quant::abs_max(t), bits);
+    Tensor fq = quant::fake_quantize_tensor(t, s, bits);
+    double err = 0;
+    for (int64_t i = 0; i < t.numel(); ++i)
+      err += std::fabs(fq[i] - t[i]);
+    EXPECT_LE(err, prev_err * 1.0001) << "bits=" << bits;
+    prev_err = err;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QuantMonotonicity,
+                         ::testing::Values(1ull, 2ull, 3ull, 4ull, 5ull));
+
+// ---------------------------------------------------------------------------
+// Accelerator model properties over the (N, M) configuration space.
+// ---------------------------------------------------------------------------
+
+struct NmCase {
+  int n;
+  int m;
+};
+
+class AccelConfigSpace : public ::testing::TestWithParam<NmCase> {};
+
+TEST_P(AccelConfigSpace, LatencyInverseInThroughput) {
+  const auto model = nn::BertConfig::bert_base(2);
+  accel::AcceleratorConfig cfg;
+  cfg.pes_per_pu = GetParam().n;
+  cfg.bim_mults = GetParam().m;
+  accel::AcceleratorConfig doubled = cfg;
+  doubled.pes_per_pu *= 2;
+  const auto dev = accel::FpgaDevice::zcu111();
+  const double t1 = accel::PerfModel(cfg, dev).estimate(model, 128).fpga_ms;
+  const double t2 =
+      accel::PerfModel(doubled, dev).estimate(model, 128).fpga_ms;
+  // Doubling the PEs must help, but cannot be better than 2x.
+  EXPECT_LT(t2, t1);
+  EXPECT_GT(t2, t1 * 0.45);
+}
+
+TEST_P(AccelConfigSpace, ResourcesScaleMonotonically) {
+  accel::AcceleratorConfig cfg;
+  cfg.pes_per_pu = GetParam().n;
+  cfg.bim_mults = GetParam().m;
+  accel::AcceleratorConfig bigger = cfg;
+  bigger.bim_mults *= 2;
+  const auto dev = accel::FpgaDevice::zcu111();
+  const auto r1 = accel::ResourceModel::estimate(cfg, dev);
+  const auto r2 = accel::ResourceModel::estimate(bigger, dev);
+  EXPECT_GT(r2.dsp48, r1.dsp48);
+  EXPECT_GT(r2.ff, r1.ff);
+  EXPECT_GT(r2.lut, r1.lut);
+}
+
+TEST_P(AccelConfigSpace, PowerGrowsWithResources) {
+  accel::AcceleratorConfig cfg;
+  cfg.pes_per_pu = GetParam().n;
+  cfg.bim_mults = GetParam().m;
+  accel::AcceleratorConfig bigger = cfg;
+  bigger.pes_per_pu *= 2;
+  const auto dev = accel::FpgaDevice::zcu111();
+  EXPECT_GT(accel::PowerModel::estimate_w(bigger, dev),
+            accel::PowerModel::estimate_w(cfg, dev));
+}
+
+TEST_P(AccelConfigSpace, StageCyclesPositiveAndStallFree) {
+  const auto model = nn::BertConfig::bert_base(2);
+  accel::AcceleratorConfig cfg;
+  cfg.pes_per_pu = GetParam().n;
+  cfg.bim_mults = GetParam().m;
+  const auto rep = accel::PerfModel(cfg, accel::FpgaDevice::zcu111())
+                       .estimate(model, 128);
+  for (const auto& st : rep.stages) {
+    EXPECT_GT(st.compute_cycles, 0) << st.name;
+    EXPECT_GE(st.total_cycles, st.compute_cycles) << st.name;
+    EXPECT_GE(st.stall_cycles, 0) << st.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, AccelConfigSpace,
+    ::testing::Values(NmCase{4, 8}, NmCase{8, 8}, NmCase{8, 16},
+                      NmCase{16, 8}, NmCase{16, 16}),
+    [](const auto& info) {
+      return "n" + std::to_string(info.param.n) + "m" +
+             std::to_string(info.param.m);
+    });
+
+// ---------------------------------------------------------------------------
+// Compression ratio properties across model shapes.
+// ---------------------------------------------------------------------------
+
+class CompressionShape : public ::testing::TestWithParam<int> {};
+
+TEST_P(CompressionShape, RatioBetween4And8ForW4A8) {
+  // 4-bit weights bound the ratio by 8x; 32-bit biases and 8-bit LN
+  // params keep it below that.
+  nn::BertConfig c = nn::BertConfig::bert_base(2);
+  c.num_layers = GetParam();
+  const auto r = core::model_size_report(c, core::FqQuantConfig::full());
+  EXPECT_GT(r.compression_ratio(), 6.0) << "layers=" << GetParam();
+  EXPECT_LT(r.compression_ratio(), 8.0) << "layers=" << GetParam();
+}
+
+TEST_P(CompressionShape, DepthDilutesRatioTowardPerLayerMix) {
+  // Every encoder layer carries 32-bit biases and 8-bit LN parameters
+  // alongside its 4-bit weights, so adding layers moves the whole-model
+  // ratio *down* toward the per-layer mix (still close to 8x).
+  nn::BertConfig shallow = nn::BertConfig::bert_base(2);
+  shallow.num_layers = GetParam();
+  nn::BertConfig deep = shallow;
+  deep.num_layers = GetParam() * 2;
+  const auto cfg = core::FqQuantConfig::full();
+  const double r_deep = core::model_size_report(deep, cfg).compression_ratio();
+  const double r_shallow =
+      core::model_size_report(shallow, cfg).compression_ratio();
+  EXPECT_LE(r_deep, r_shallow + 1e-9);
+  EXPECT_GT(r_deep, r_shallow - 0.1);  // the dilution is small
+}
+
+INSTANTIATE_TEST_SUITE_P(Depths, CompressionShape,
+                         ::testing::Values(2, 6, 12, 24));
+
+}  // namespace
+}  // namespace fqbert

@@ -1,0 +1,211 @@
+// Tests for IntGelu, int4 packing, size accounting, observers and the
+// fake-quantization hooks.
+#include <gtest/gtest.h>
+
+#include "core/model_size.h"
+#include "quant/fake_quant.h"
+#include "quant/int_gelu.h"
+#include "quant/packing.h"
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::quant {
+namespace {
+
+// ------------------------------- IntGelu ----------------------------------
+
+TEST(IntGelu, MatchesReferenceOverAllCodes) {
+  const double s_in = 20.0, s_out = 35.0;
+  IntGelu g(s_in, s_out);
+  for (int code = -128; code <= 127; ++code) {
+    const double x = code / s_in;
+    const double want = std::clamp(
+        std::nearbyint(IntGelu::gelu_reference(x) * s_out), -127.0, 127.0);
+    const double got = g.apply(static_cast<int8_t>(code));
+    EXPECT_EQ(got, want) << "code=" << code;
+  }
+}
+
+TEST(IntGelu, ZeroMapsToZeroAndLargeNegativeVanishes) {
+  IntGelu g(16.0, 16.0);
+  EXPECT_EQ(g.apply(0), 0);
+  EXPECT_EQ(g.apply(-128), 0);  // gelu(-8) ~ 0
+  // Large positive passes through (identity region).
+  EXPECT_NEAR(g.apply(127), 127, 1);
+}
+
+// ------------------------------- Packing ----------------------------------
+
+TEST(PackInt4, RoundTripAllCodePairs) {
+  for (int a = -8; a <= 7; ++a) {
+    for (int b = -8; b <= 7; ++b) {
+      std::vector<int8_t> codes{static_cast<int8_t>(a),
+                                static_cast<int8_t>(b)};
+      const auto packed = pack_int4(codes);
+      ASSERT_EQ(packed.size(), 1u);
+      const auto back = unpack_int4(packed, 2);
+      EXPECT_EQ(back[0], a);
+      EXPECT_EQ(back[1], b);
+    }
+  }
+}
+
+TEST(PackInt4, OddCountAndBounds) {
+  std::vector<int8_t> codes{-8, 7, 3};
+  const auto packed = pack_int4(codes);
+  EXPECT_EQ(packed.size(), 2u);
+  const auto back = unpack_int4(packed, 3);
+  EXPECT_EQ(back, codes);
+  EXPECT_THROW(pack_int4({static_cast<int8_t>(8)}), std::invalid_argument);
+  EXPECT_THROW(unpack_int4(packed, 5), std::invalid_argument);
+}
+
+TEST(SizeReport, SubByteRounding) {
+  SizeReport r;
+  r.add(3, 32, 4);  // 3 int4 values -> 2 bytes
+  EXPECT_EQ(r.float_bytes, 12);
+  EXPECT_EQ(r.quant_bytes, 2);
+}
+
+TEST(ModelSize, BertBaseCompressionMatchesPaper) {
+  // Table I: 7.94x for the full FQ-BERT on BERT-base.
+  const auto cfg = nn::BertConfig::bert_base(2);
+  const auto q = core::FqQuantConfig::full();
+  const SizeReport r = core::model_size_report(cfg, q);
+  EXPECT_NEAR(r.compression_ratio(), 7.94, 0.12);
+  // >320 MB of float parameters, as the intro says.
+  EXPECT_GT(r.float_bytes, 320ll * 1024 * 1024);
+}
+
+TEST(ModelSize, EightBitWeightsCompressLess) {
+  const auto cfg = nn::BertConfig::bert_base(2);
+  auto q4 = core::FqQuantConfig::full();
+  auto q8 = core::FqQuantConfig::full();
+  q8.weight_bits = 8;
+  EXPECT_GT(core::model_size_report(cfg, q4).compression_ratio(),
+            core::model_size_report(cfg, q8).compression_ratio() * 1.8);
+}
+
+// ------------------------------ Observers ---------------------------------
+
+TEST(EmaObserver, TracksWithMomentum) {
+  EmaObserver obs(0.9);
+  Tensor a(Shape{2}, std::vector<float>{1.0f, -2.0f});
+  Tensor b(Shape{2}, std::vector<float>{4.0f, 0.0f});
+  obs.observe(a);
+  EXPECT_DOUBLE_EQ(obs.value(), 2.0);  // first observation initializes
+  obs.observe(b);
+  EXPECT_NEAR(obs.value(), 0.9 * 2.0 + 0.1 * 4.0, 1e-12);
+  obs.reset();
+  EXPECT_FALSE(obs.initialized());
+}
+
+TEST(MinMaxObserver, KeepsRunningMax) {
+  MinMaxObserver obs;
+  Tensor a(Shape{1}, std::vector<float>{3.0f});
+  Tensor b(Shape{1}, std::vector<float>{-5.0f});
+  Tensor c(Shape{1}, std::vector<float>{1.0f});
+  obs.observe(a);
+  obs.observe(b);
+  obs.observe(c);
+  EXPECT_DOUBLE_EQ(obs.value(), 5.0);
+}
+
+// ------------------------------ Fake quant --------------------------------
+
+TEST(WeightFakeQuant, NoClipUsesAbsMax) {
+  FakeQuantConfig cfg;
+  cfg.bits = 4;
+  cfg.clip = ClipMode::kNone;
+  WeightFakeQuant h(cfg);
+  Tensor w(Shape{4}, std::vector<float>{0.1f, -0.5f, 0.2f, 2.0f});
+  Tensor out = h.apply(w);
+  EXPECT_DOUBLE_EQ(h.last_threshold(), 2.0);
+  EXPECT_NEAR(out[3], 2.0f, 1e-6);  // max maps to max code exactly
+  // Values are on the grid with step T/7.
+  for (int64_t i = 0; i < 4; ++i) {
+    const double code = out[i] * h.last_scale();
+    EXPECT_NEAR(code, std::nearbyint(code), 1e-4);
+  }
+}
+
+TEST(WeightFakeQuant, ClipShrinksThreshold) {
+  FakeQuantConfig cfg;
+  cfg.bits = 4;
+  cfg.clip = ClipMode::kPercentile;
+  cfg.percentile = 0.9;
+  WeightFakeQuant h(cfg);
+  Rng rng(3);
+  Tensor w(Shape{256});
+  fill_normal(w, rng, 0.0f, 0.5f);
+  w[0] = 30.0f;
+  h.apply(w);
+  EXPECT_LT(h.last_threshold(), 5.0);
+}
+
+TEST(ActFakeQuant, FreezesWhenNotTraining) {
+  FakeQuantConfig cfg;
+  cfg.bits = 8;
+  ActFakeQuant h(cfg, 0.5);
+  Tensor small(Shape{1}, std::vector<float>{1.0f});
+  Tensor big(Shape{1}, std::vector<float>{100.0f});
+  h.apply(small);
+  const double s0 = h.last_scale();
+  h.set_training(false);
+  h.apply(big);  // observer frozen: scale unchanged
+  EXPECT_DOUBLE_EQ(h.last_scale(), s0);
+  h.set_training(true);
+  h.apply(big);
+  EXPECT_LT(h.last_scale(), s0);  // range grew, scale shrank
+}
+
+TEST(ActFakeQuant, GradMaskZeroOutsideRange) {
+  FakeQuantConfig cfg;
+  cfg.bits = 8;
+  ActFakeQuant h(cfg, 1.0);
+  Tensor x(Shape{3}, std::vector<float>{0.5f, -0.9f, 1.0f});
+  h.apply(x);  // range = 1.0
+  Tensor probe(Shape{3}, std::vector<float>{0.3f, -1.5f, 0.9f});
+  Tensor mask = h.grad_mask(probe);
+  EXPECT_EQ(mask[0], 1.0f);
+  EXPECT_EQ(mask[1], 0.0f);  // clipped: no gradient
+  EXPECT_EQ(mask[2], 1.0f);
+}
+
+TEST(FixedGridFakeQuant, UnsignedProbabilityGrid) {
+  auto h = FixedGridFakeQuant::unsigned_bits(255.0, 8);
+  Tensor p(Shape{4}, std::vector<float>{0.0f, 0.5f, 1.0f, 1.2f});
+  Tensor q = h.apply(p);
+  EXPECT_EQ(q[0], 0.0f);
+  EXPECT_NEAR(q[1], std::nearbyint(0.5 * 255) / 255.0, 1e-7);
+  EXPECT_EQ(q[2], 1.0f);
+  EXPECT_EQ(q[3], 1.0f);  // clamped to the code range
+  Tensor mask = h.grad_mask(p);
+  EXPECT_EQ(mask[3], 0.0f);
+}
+
+TEST(SoftmaxLutFakeQuant, PreservesRowStructure) {
+  SoftmaxLutFakeQuant h;
+  Tensor p(Shape{2, 4},
+           std::vector<float>{0.7f, 0.2f, 0.05f, 0.05f,
+                              0.25f, 0.25f, 0.25f, 0.25f});
+  Tensor q = h.apply(p);
+  for (int64_t r = 0; r < 2; ++r) {
+    double sum = 0;
+    for (int64_t c = 0; c < 4; ++c) {
+      sum += q.at(r, c);
+      EXPECT_GE(q.at(r, c), 0.0f);
+    }
+    EXPECT_NEAR(sum, 1.0, 0.02);
+    // Codes on the /255 grid.
+    for (int64_t c = 0; c < 4; ++c) {
+      const double code = q.at(r, c) * 255.0;
+      EXPECT_NEAR(code, std::nearbyint(code), 1e-4);
+    }
+  }
+  // Order preserved on the peaked row.
+  EXPECT_GT(q.at(0, 0), q.at(0, 1));
+  EXPECT_GT(q.at(0, 1), q.at(0, 2));
+}
+
+}  // namespace
+}  // namespace fqbert::quant

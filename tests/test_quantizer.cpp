@@ -1,0 +1,161 @@
+// Quantizer primitive tests, including parameterized sweeps over
+// bitwidths (the property-style tests behind Fig. 3's x-axis).
+#include <gtest/gtest.h>
+
+#include "quant/quantizer.h"
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::quant {
+namespace {
+
+TEST(QuantGrid, SymmetricLimits) {
+  EXPECT_EQ(qmax_signed(8), 127);
+  EXPECT_EQ(qmax_signed(4), 7);
+  EXPECT_EQ(qmax_signed(2), 1);
+  EXPECT_EQ(qmax_unsigned(8), 255);
+  EXPECT_THROW(qmax_signed(1), std::invalid_argument);
+  EXPECT_THROW(qmax_signed(33), std::invalid_argument);
+}
+
+TEST(QuantGrid, ScaleFromThreshold) {
+  // Eq. 2: s = (2^{k-1}-1)/T.
+  EXPECT_DOUBLE_EQ(scale_from_threshold(1.0, 8), 127.0);
+  EXPECT_DOUBLE_EQ(scale_from_threshold(2.0, 4), 3.5);
+  EXPECT_DOUBLE_EQ(scale_from_threshold(0.0, 8), 1.0);  // degenerate
+}
+
+TEST(QuantValue, RoundsToNearestAndClamps) {
+  const double s = 127.0;  // threshold 1.0, 8 bits
+  EXPECT_EQ(quantize_value(0.0f, s, 8), 0);
+  EXPECT_EQ(quantize_value(1.0f, s, 8), 127);
+  EXPECT_EQ(quantize_value(-1.0f, s, 8), -127);
+  EXPECT_EQ(quantize_value(10.0f, s, 8), 127);    // clamp high
+  EXPECT_EQ(quantize_value(-10.0f, s, 8), -127);  // clamp low (symmetric)
+  EXPECT_EQ(quantize_value(0.5f / 127.0f, s, 8), 0);   // rounds to even 0
+  EXPECT_EQ(quantize_value(0.6f / 127.0f, s, 8), 1);
+}
+
+TEST(QuantValue, SymmetryNoZeroPoint) {
+  const double s = scale_from_threshold(3.0, 6);
+  for (float x : {0.1f, 0.7f, 1.3f, 2.9f}) {
+    EXPECT_EQ(quantize_value(-x, s, 6), -quantize_value(x, s, 6));
+  }
+}
+
+class QuantRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuantRoundTrip, ErrorBoundedByHalfStep) {
+  const int bits = GetParam();
+  Rng rng(100 + bits);
+  Tensor t(Shape{64, 16});
+  fill_uniform(t, rng, -2.0f, 2.0f);
+  const double threshold = abs_max(t);
+  const double s = scale_from_threshold(threshold, bits);
+  Tensor fq = fake_quantize_tensor(t, s, bits);
+  // Everything inside the clip range reconstructs within half a step.
+  const double half_step = 0.5 / s + 1e-7;
+  for (int64_t i = 0; i < t.numel(); ++i) {
+    EXPECT_LE(std::fabs(fq[i] - t[i]), half_step) << "bits=" << bits;
+  }
+}
+
+TEST_P(QuantRoundTrip, FakeQuantIsIdempotent) {
+  const int bits = GetParam();
+  Rng rng(200 + bits);
+  Tensor t(Shape{32, 8});
+  fill_normal(t, rng);
+  const double s = scale_from_threshold(abs_max(t), bits);
+  Tensor once = fake_quantize_tensor(t, s, bits);
+  Tensor twice = fake_quantize_tensor(once, s, bits);
+  EXPECT_LT(max_abs_diff(once, twice), 1e-7) << "bits=" << bits;
+}
+
+TEST_P(QuantRoundTrip, CodeCountBounded) {
+  const int bits = GetParam();
+  Rng rng(300 + bits);
+  Tensor t(Shape{128, 8});
+  fill_normal(t, rng);
+  const double s = scale_from_threshold(abs_max(t), bits);
+  Int32Tensor codes;
+  quantize_tensor(t, s, bits, codes);
+  for (int64_t i = 0; i < codes.numel(); ++i) {
+    EXPECT_LE(std::abs(codes[i]), qmax_signed(bits));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bitwidths, QuantRoundTrip,
+                         ::testing::Values(2, 3, 4, 6, 8),
+                         [](const auto& info) {
+                           return "w" + std::to_string(info.param);
+                         });
+
+TEST(Percentile, MatchesSortedDefinition) {
+  Tensor t(Shape{10}, std::vector<float>{-9, 8, -7, 6, -5, 4, -3, 2, -1, 0});
+  EXPECT_FLOAT_EQ(abs_percentile(t, 1.0), 9.0f);
+  EXPECT_FLOAT_EQ(abs_percentile(t, 0.0), 0.0f);
+  // q=0.5 over |t| sorted {0..9}: index floor(0.5*9)=4 -> value 4.
+  EXPECT_FLOAT_EQ(abs_percentile(t, 0.5), 4.0f);
+}
+
+TEST(Percentile, ClipThresholdDispatch) {
+  Tensor t(Shape{4}, std::vector<float>{1, -2, 3, -100});
+  EXPECT_FLOAT_EQ(clip_threshold(t, ClipMode::kNone, 0.9), 100.0f);
+  EXPECT_LT(clip_threshold(t, ClipMode::kPercentile, 0.7), 100.0f);
+}
+
+TEST(Percentile, ClipShrinksQuantErrorForOutliers) {
+  // A tensor with one huge outlier: clipping gives a finer grid for the
+  // bulk of values (the Fig. 3 CLIP-vs-NO_CLIP mechanism).
+  Rng rng(55);
+  Tensor t(Shape{1024});
+  fill_normal(t, rng, 0.0f, 0.1f);
+  t[0] = 50.0f;  // outlier
+  const int bits = 4;
+  const double s_noclip = scale_from_threshold(abs_max(t), bits);
+  const double s_clip =
+      scale_from_threshold(abs_percentile(t, 0.995), bits);
+  Tensor fq_noclip = fake_quantize_tensor(t, s_noclip, bits);
+  Tensor fq_clip = fake_quantize_tensor(t, s_clip, bits);
+  double err_noclip = 0, err_clip = 0;
+  for (int64_t i = 1; i < t.numel(); ++i) {  // exclude the outlier itself
+    err_noclip += std::fabs(fq_noclip[i] - t[i]);
+    err_clip += std::fabs(fq_clip[i] - t[i]);
+  }
+  EXPECT_LT(err_clip, err_noclip * 0.25);
+}
+
+TEST(Int8Storage, RejectsWideBits) {
+  Tensor t(Shape{4}, 0.5f);
+  Int8Tensor d;
+  EXPECT_THROW(quantize_tensor_i8(t, 1.0, 16, d), std::invalid_argument);
+}
+
+TEST(Int8Storage, RoundTripThroughDequant) {
+  Rng rng(77);
+  Tensor t(Shape{16, 4});
+  fill_normal(t, rng);
+  const double s = scale_from_threshold(abs_max(t), 8);
+  Int8Tensor codes;
+  quantize_tensor_i8(t, s, 8, codes);
+  Tensor back;
+  dequantize_tensor(codes, s, back);
+  EXPECT_LT(max_abs_diff(back, fake_quantize_tensor(t, s, 8)), 1e-7);
+}
+
+TEST(ScaleQuantization, EightBitMantissa) {
+  // The quantized scale is within 2^-8 relative error and exactly
+  // representable as (m/256) * 2^e.
+  for (double s : {127.0, 0.034, 3.7, 1000.5, 1e-4}) {
+    const double q = quantize_scale_8bit(s);
+    EXPECT_NEAR(q / s, 1.0, 1.0 / 256.0) << "s=" << s;
+    int e;
+    const double f = std::frexp(q, &e);
+    const double mant = f * 256.0;
+    EXPECT_NEAR(mant, std::nearbyint(mant), 1e-9);
+  }
+  EXPECT_EQ(quantize_scale_8bit(0.0), 0.0);
+}
+
+}  // namespace
+}  // namespace fqbert::quant

@@ -1,0 +1,185 @@
+// Tensor substrate tests: container semantics, kernels vs naive
+// references, initializers, RNG determinism.
+#include <gtest/gtest.h>
+
+#include "tensor/rng.h"
+#include "tensor/tensor_ops.h"
+
+namespace fqbert {
+namespace {
+
+TEST(Tensor, ShapeAndNumel) {
+  Tensor t(Shape{3, 4});
+  EXPECT_EQ(t.rank(), 2u);
+  EXPECT_EQ(t.numel(), 12);
+  EXPECT_EQ(t.dim(0), 3);
+  EXPECT_EQ(t.dim(1), 4);
+  EXPECT_EQ(shape_numel({}), 1);
+  EXPECT_THROW(shape_numel({2, -1}), std::invalid_argument);
+}
+
+TEST(Tensor, FillAndIndex) {
+  Tensor t(Shape{2, 3}, 7.0f);
+  for (int64_t i = 0; i < t.numel(); ++i) EXPECT_EQ(t[i], 7.0f);
+  t.at(1, 2) = 3.5f;
+  EXPECT_EQ(t[5], 3.5f);
+  EXPECT_EQ(t.row(1)[2], 3.5f);
+}
+
+TEST(Tensor, Rank3Access) {
+  Tensor t(Shape{2, 3, 4});
+  t.at(1, 2, 3) = 9.0f;
+  EXPECT_EQ(t[1 * 12 + 2 * 4 + 3], 9.0f);
+}
+
+TEST(Tensor, ReshapePreservesDataAndChecksCount) {
+  Tensor t(Shape{2, 6});
+  for (int64_t i = 0; i < 12; ++i) t[i] = static_cast<float>(i);
+  Tensor r = t.reshaped(Shape{3, 4});
+  EXPECT_EQ(r.dim(0), 3);
+  for (int64_t i = 0; i < 12; ++i) EXPECT_EQ(r[i], static_cast<float>(i));
+  EXPECT_THROW(t.reshaped(Shape{5, 2}), std::invalid_argument);
+}
+
+TEST(Tensor, ConstructFromVectorValidatesSize) {
+  EXPECT_NO_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3, 4}));
+  EXPECT_THROW(Tensor(Shape{2, 2}, std::vector<float>{1, 2, 3}),
+               std::invalid_argument);
+}
+
+// Naive reference matmul.
+Tensor naive_matmul(const Tensor& a, const Tensor& b) {
+  Tensor c(Shape{a.dim(0), b.dim(1)}, 0.0f);
+  for (int64_t i = 0; i < a.dim(0); ++i)
+    for (int64_t j = 0; j < b.dim(1); ++j)
+      for (int64_t k = 0; k < a.dim(1); ++k)
+        c.at(i, j) += a.at(i, k) * b.at(k, j);
+  return c;
+}
+
+TEST(TensorOps, MatmulMatchesNaive) {
+  Rng rng(42);
+  Tensor a(Shape{17, 23});
+  Tensor b(Shape{23, 9});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  Tensor c;
+  matmul(a, b, c);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4);
+}
+
+TEST(TensorOps, MatmulBtMatchesNaive) {
+  Rng rng(43);
+  Tensor a(Shape{11, 7});
+  Tensor bt(Shape{13, 7});  // b = btᵀ
+  fill_normal(a, rng);
+  fill_normal(bt, rng);
+  Tensor b(Shape{7, 13});
+  for (int64_t i = 0; i < 13; ++i)
+    for (int64_t j = 0; j < 7; ++j) b.at(j, i) = bt.at(i, j);
+  Tensor c;
+  matmul_bt(a, bt, c);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4);
+}
+
+TEST(TensorOps, MatmulAtMatchesNaive) {
+  Rng rng(44);
+  Tensor at(Shape{9, 5});  // a = atᵀ: [5, 9]
+  Tensor b(Shape{9, 6});
+  fill_normal(at, rng);
+  fill_normal(b, rng);
+  Tensor a(Shape{5, 9});
+  for (int64_t i = 0; i < 9; ++i)
+    for (int64_t j = 0; j < 5; ++j) a.at(j, i) = at.at(i, j);
+  Tensor c;
+  matmul_at(at, b, c);
+  EXPECT_LT(max_abs_diff(c, naive_matmul(a, b)), 1e-4);
+}
+
+TEST(TensorOps, MatmulAccumulateAddsOntoC) {
+  Rng rng(45);
+  Tensor a(Shape{4, 4}), b(Shape{4, 4});
+  fill_normal(a, rng);
+  fill_normal(b, rng);
+  Tensor once;
+  matmul(a, b, once);
+  Tensor twice = once;
+  matmul(a, b, twice, /*accumulate=*/true);
+  for (int64_t i = 0; i < once.numel(); ++i)
+    EXPECT_NEAR(twice[i], 2.0f * once[i], 1e-4);
+}
+
+TEST(TensorOps, ElementwiseHelpers) {
+  Tensor a(Shape{2, 2}, std::vector<float>{1, 2, 3, 4});
+  Tensor b(Shape{2, 2}, std::vector<float>{4, 3, 2, 1});
+  Tensor s = a;
+  add_inplace(s, b);
+  for (int64_t i = 0; i < 4; ++i) EXPECT_EQ(s[i], 5.0f);
+  Tensor d = a;
+  sub_inplace(d, b);
+  EXPECT_EQ(d[0], -3.0f);
+  Tensor m = a;
+  mul_inplace(m, b);
+  EXPECT_EQ(m[1], 6.0f);
+  scale_inplace(m, 0.5f);
+  EXPECT_EQ(m[1], 3.0f);
+  axpy(d, 2.0f, b);
+  EXPECT_EQ(d[0], 5.0f);
+}
+
+TEST(TensorOps, RowBiasAndReductions) {
+  Tensor a(Shape{2, 3}, std::vector<float>{1, 2, 3, 4, 5, 6});
+  Tensor bias(Shape{3}, std::vector<float>{10, 20, 30});
+  add_row_bias(a, bias);
+  EXPECT_EQ(a.at(0, 0), 11.0f);
+  EXPECT_EQ(a.at(1, 2), 36.0f);
+  EXPECT_FLOAT_EQ(sum(a), 11 + 22 + 33 + 14 + 25 + 36);
+  EXPECT_FLOAT_EQ(max_abs(a), 36.0f);
+  EXPECT_NEAR(mean(a), (11 + 22 + 33 + 14 + 25 + 36) / 6.0, 1e-5);
+}
+
+TEST(TensorOps, Argmax) {
+  const float v[5] = {0.1f, -3.0f, 7.0f, 7.0f, 2.0f};
+  EXPECT_EQ(argmax(v, 5), 2);  // first of equal maxima
+}
+
+TEST(Rng, Deterministic) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.randint(0, 1000), b.randint(0, 1000));
+    EXPECT_DOUBLE_EQ(a.normal(), b.normal());
+  }
+}
+
+TEST(Rng, UniformRangeAndFlip) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(2.0, 5.0);
+    EXPECT_GE(u, 2.0);
+    EXPECT_LT(u, 5.0);
+  }
+  int trues = 0;
+  for (int i = 0; i < 10000; ++i) trues += rng.flip(0.3) ? 1 : 0;
+  EXPECT_NEAR(trues / 10000.0, 0.3, 0.03);
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng rng(9);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, XavierBounds) {
+  Rng rng(11);
+  Tensor w(Shape{32, 64});
+  fill_xavier(w, rng);
+  const float bound = std::sqrt(6.0f / (32 + 64));
+  EXPECT_LE(max_abs(w), bound);
+  EXPECT_GT(max_abs(w), bound * 0.5f);  // actually spreads out
+}
+
+}  // namespace
+}  // namespace fqbert

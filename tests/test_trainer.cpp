@@ -1,0 +1,131 @@
+// Trainer behaviour tests: schedule shape, gradient accumulation,
+// epoch callbacks, determinism under fixed seeds.
+#include <gtest/gtest.h>
+
+#include "nn/trainer.h"
+#include "test_util.h"
+
+namespace fqbert::nn {
+namespace {
+
+using fqbert::testing::make_example;
+
+BertConfig tiny() {
+  BertConfig c;
+  c.vocab_size = 16;
+  c.hidden = 8;
+  c.num_layers = 1;
+  c.num_heads = 2;
+  c.ffn_dim = 16;
+  c.max_seq_len = 8;
+  c.num_classes = 2;
+  return c;
+}
+
+std::vector<Example> tiny_data(int n) {
+  std::vector<Example> out;
+  Rng rng(5);
+  for (int i = 0; i < n; ++i) {
+    const bool pos = rng.flip(0.5);
+    out.push_back(make_example({1, pos ? 8 : 9, 2}, pos ? 1 : 0));
+  }
+  return out;
+}
+
+TEST(Trainer, EpochCallbackFiresEveryEpoch) {
+  Rng rng(1);
+  BertModel m(tiny(), rng);
+  auto data = tiny_data(24);
+  TrainConfig tc;
+  tc.epochs = 4;
+  tc.batch_size = 8;
+  std::vector<int> seen;
+  tc.on_epoch = [&](int e, double loss, double acc) {
+    seen.push_back(e);
+    EXPECT_GE(loss, 0.0);
+    EXPECT_GE(acc, 0.0);
+    EXPECT_LE(acc, 100.0);
+  };
+  train(m, data, data, tc);
+  EXPECT_EQ(seen, (std::vector<int>{0, 1, 2, 3}));
+}
+
+TEST(Trainer, StepCountMatchesBatches) {
+  Rng rng(2);
+  BertModel m(tiny(), rng);
+  auto data = tiny_data(20);  // 20/8 -> 3 batches per epoch
+  TrainConfig tc;
+  tc.epochs = 2;
+  tc.batch_size = 8;
+  const TrainResult r = train(m, data, data, tc);
+  EXPECT_EQ(r.steps, 2 * 3);
+}
+
+TEST(Trainer, DeterministicGivenSeeds) {
+  auto run = [] {
+    Rng rng(3);
+    BertModel m(tiny(), rng);
+    auto data = tiny_data(16);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 4;
+    train(m, data, data, tc);
+    return state_to_vector(m);
+  };
+  const auto a = run();
+  const auto b = run();
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) ASSERT_EQ(a[i], b[i]) << i;
+}
+
+TEST(Trainer, DifferentShuffleSeedDiverges) {
+  auto run = [](uint64_t shuffle_seed) {
+    Rng rng(3);
+    BertModel m(tiny(), rng);
+    auto data = tiny_data(16);
+    TrainConfig tc;
+    tc.epochs = 2;
+    tc.batch_size = 4;
+    tc.shuffle_seed = shuffle_seed;
+    train(m, data, data, tc);
+    return state_to_vector(m);
+  };
+  const auto a = run(1);
+  const auto b = run(2);
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i)
+    if (a[i] != b[i]) any_diff = true;
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(Trainer, LossDecreasesOnSeparableData) {
+  Rng rng(4);
+  BertModel m(tiny(), rng);
+  auto data = tiny_data(32);
+  TrainConfig tc;
+  tc.epochs = 10;
+  tc.batch_size = 8;
+  tc.adam.lr = 3e-3f;
+  std::vector<double> losses;
+  tc.on_epoch = [&](int, double loss, double) { losses.push_back(loss); };
+  train(m, data, data, tc);
+  EXPECT_LT(losses.back(), losses.front() * 0.7);
+}
+
+TEST(Trainer, ZeroGradAfterTraining) {
+  // The optimizer consumes gradients every step; after train() returns
+  // all parameter grads must be zeroed (no stale accumulation).
+  Rng rng(6);
+  BertModel m(tiny(), rng);
+  auto data = tiny_data(8);
+  TrainConfig tc;
+  tc.epochs = 1;
+  tc.batch_size = 8;
+  train(m, data, data, tc);
+  for (Param* p : m.params())
+    for (int64_t i = 0; i < p->grad.numel(); ++i)
+      ASSERT_EQ(p->grad[i], 0.0f) << p->name;
+}
+
+}  // namespace
+}  // namespace fqbert::nn

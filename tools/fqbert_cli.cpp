@@ -1,0 +1,202 @@
+// fqbert_cli — command-line front end for the full FQ-BERT workflow.
+//
+//   fqbert_cli train    --task sst2|mnli --out model.bin [--fast]
+//   fqbert_cli quantize --task sst2|mnli --model model.bin --out fq.bin
+//                       [--bits N] [--no-clip] [--no-softmax-quant]
+//                       [--no-ln-quant] [--no-scale-quant] [--fast]
+//   fqbert_cli eval     --task sst2|mnli --engine fq.bin
+//   fqbert_cli info     --engine fq.bin
+//   fqbert_cli estimate [--device zcu102|zcu111] [--pes N] [--mults M]
+//                       [--seq S]
+//
+// `train` produces a float checkpoint; `quantize` runs QAT fine-tuning,
+// calibration and conversion, then saves the deployable integer engine;
+// `eval` measures integer-engine accuracy; `info` dumps an engine's
+// configuration and size; `estimate` prints accelerator latency /
+// resources / power for BERT-base.
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "accel/accelerator.h"
+#include "core/model_size.h"
+#include "pipeline/pipeline.h"
+
+using namespace fqbert;
+using namespace fqbert::pipeline;
+
+namespace {
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt = "") const {
+    auto it = named.find(name);
+    return it == named.end() ? dflt : it->second;
+  }
+};
+
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  for (int i = 2; i < argc; ++i) {
+    std::string key = argv[i];
+    if (key.rfind("--", 0) != 0) continue;
+    key = key.substr(2);
+    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
+      a.named[key] = argv[++i];
+    } else {
+      a.named[key] = "1";
+    }
+  }
+  return a;
+}
+
+int usage() {
+  std::fprintf(stderr,
+               "usage: fqbert_cli <train|quantize|eval|info|estimate> "
+               "[options]\n"
+               "  train    --task sst2|mnli --out model.bin [--fast]\n"
+               "  quantize --task sst2|mnli --model model.bin --out fq.bin\n"
+               "           [--bits N] [--no-clip] [--no-softmax-quant]\n"
+               "           [--no-ln-quant] [--no-scale-quant] [--fast]\n"
+               "  eval     --task sst2|mnli --engine fq.bin\n"
+               "  info     --engine fq.bin\n"
+               "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
+               "[--seq S]\n");
+  return 2;
+}
+
+int cmd_train(const Args& a) {
+  const std::string task_name = a.get("task");
+  const std::string out = a.get("out");
+  if (task_name.empty() || out.empty()) return usage();
+  TaskData task = make_named_task(task_name, a.flag("fast"));
+  auto model = train_float(task, a.flag("fast"), 7, /*verbose=*/true,
+                           /*cache_dir=*/"");
+  nn::save_state(*model, out);
+  std::printf("float model saved to %s (eval acc %.2f%%)\n", out.c_str(),
+              model->accuracy(task.eval));
+  return 0;
+}
+
+int cmd_quantize(const Args& a) {
+  const std::string task_name = a.get("task");
+  const std::string model_path = a.get("model");
+  const std::string out = a.get("out");
+  if (task_name.empty() || model_path.empty() || out.empty()) return usage();
+  const bool fast = a.flag("fast");
+  TaskData task = make_named_task(task_name, fast);
+
+  Rng rng(1);
+  nn::BertModel model(mini_config(task.num_classes), rng);
+  if (!nn::load_state(model, model_path)) {
+    std::fprintf(stderr, "cannot load float model %s\n", model_path.c_str());
+    return 1;
+  }
+
+  FqQuantConfig cfg = FqQuantConfig::full();
+  cfg.weight_bits = std::stoi(a.get("bits", "4"));
+  if (a.flag("no-clip")) cfg.clip = quant::ClipMode::kNone;
+  if (a.flag("no-softmax-quant")) cfg.quantize_softmax = false;
+  if (a.flag("no-ln-quant")) cfg.quantize_layernorm = false;
+  if (a.flag("no-scale-quant")) cfg.quantize_scales = false;
+
+  std::printf("QAT fine-tuning (w%d/a%d)...\n", cfg.weight_bits, cfg.act_bits);
+  core::FqBertModel engine = quantize_pipeline(model, task, cfg, fast);
+  if (!engine.save(out)) {
+    std::fprintf(stderr, "cannot write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("quantized engine saved to %s (eval acc %.2f%%)\n", out.c_str(),
+              engine.accuracy(task.eval));
+  return 0;
+}
+
+int cmd_eval(const Args& a) {
+  const std::string task_name = a.get("task");
+  const std::string engine_path = a.get("engine");
+  if (task_name.empty() || engine_path.empty()) return usage();
+  TaskData task = make_named_task(task_name, a.flag("fast"));
+  core::FqBertModel engine = core::FqBertModel::load(engine_path);
+  std::printf("%s accuracy: %.2f%% (eval), %.2f%% (train)\n",
+              task.name.c_str(), engine.accuracy(task.eval),
+              engine.accuracy(task.train));
+  if (!task.eval_extra.empty())
+    std::printf("%s-mismatched accuracy: %.2f%%\n", task.name.c_str(),
+                engine.accuracy(task.eval_extra));
+  return 0;
+}
+
+int cmd_info(const Args& a) {
+  const std::string engine_path = a.get("engine");
+  if (engine_path.empty()) return usage();
+  core::FqBertModel engine = core::FqBertModel::load(engine_path);
+  const auto& c = engine.config();
+  const auto& q = engine.quant_config();
+  std::printf("FQ-BERT engine: %s\n", engine_path.c_str());
+  std::printf("  model: L=%lld hidden=%lld heads=%lld ffn=%lld vocab=%lld "
+              "classes=%lld\n",
+              static_cast<long long>(c.num_layers),
+              static_cast<long long>(c.hidden),
+              static_cast<long long>(c.num_heads),
+              static_cast<long long>(c.ffn_dim),
+              static_cast<long long>(c.vocab_size),
+              static_cast<long long>(c.num_classes));
+  std::printf("  quant: w%d/a%d clip=%s scale8=%d softmaxLUT=%d intLN=%d\n",
+              q.weight_bits, q.act_bits,
+              q.clip == quant::ClipMode::kPercentile ? "percentile" : "none",
+              q.quantize_scales, q.quantize_softmax, q.quantize_layernorm);
+  const auto size = engine.size_report();
+  std::printf("  size: %.1f KB quantized (%.2fx vs float)\n",
+              size.quant_bytes / 1024.0, size.compression_ratio());
+  for (size_t l = 0; l < engine.encoder_layers().size(); ++l) {
+    const auto& layer = engine.encoder_layers()[l];
+    std::printf("  layer %zu scales: in=%.3f q=%.3f k=%.3f v=%.3f out=%.3f\n",
+                l, layer.in_scale, layer.q_scale, layer.k_scale,
+                layer.v_scale, layer.out_scale);
+  }
+  return 0;
+}
+
+int cmd_estimate(const Args& a) {
+  accel::FpgaDevice dev = a.get("device", "zcu102") == "zcu111"
+                              ? accel::FpgaDevice::zcu111()
+                              : accel::FpgaDevice::zcu102();
+  accel::AcceleratorConfig cfg;
+  cfg.pes_per_pu = std::stoi(a.get("pes", "8"));
+  cfg.bim_mults = std::stoi(a.get("mults", "16"));
+  const int64_t seq = std::stoll(a.get("seq", "128"));
+  const auto rep = accel::evaluate(cfg, dev, nn::BertConfig::bert_base(2), seq);
+  std::printf("accelerator estimate on %s, (N,M)=(%d,%d), seq %lld:\n",
+              dev.name.c_str(), cfg.pes_per_pu, cfg.bim_mults,
+              static_cast<long long>(seq));
+  std::printf("  resources: %lld DSP, %lld BRAM18K, %lld FF, %lld LUT%s\n",
+              static_cast<long long>(rep.resources.dsp48),
+              static_cast<long long>(rep.resources.bram18k),
+              static_cast<long long>(rep.resources.ff),
+              static_cast<long long>(rep.resources.lut),
+              rep.resources.fits(dev) ? "" : "  [DOES NOT FIT]");
+  std::printf("  latency: %.2f ms  power: %.1f W  efficiency: %.2f fps/W\n",
+              rep.latency.total_ms, rep.power_w, rep.fps_per_w);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Args a = parse(argc, argv);
+  try {
+    if (a.command == "train") return cmd_train(a);
+    if (a.command == "quantize") return cmd_quantize(a);
+    if (a.command == "eval") return cmd_eval(a);
+    if (a.command == "info") return cmd_info(a);
+    if (a.command == "estimate") return cmd_estimate(a);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+  return usage();
+}
