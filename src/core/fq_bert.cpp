@@ -57,6 +57,7 @@ QuantLinear make_quant_linear(const nn::Linear& lin, double in_scale,
 
   // Eq. 5: sf = s_y / (s_a * s_w).
   q.rq = Requantizer::from_scale(out_scale / sbias);
+  q.build_widened_weights();
   return q;
 }
 
@@ -88,8 +89,30 @@ std::vector<float> maybe_fixed_grid(const Tensor& v, bool quantize,
 void QuantLinear::forward_i8(const std::vector<int8_t>& x,
                              std::vector<int8_t>& y, int64_t s_len) const {
   std::vector<int32_t> acc;
+  forward_i8(x, y, s_len, acc);
+}
+
+void QuantLinear::forward_i8(const std::vector<int8_t>& x,
+                             std::vector<int8_t>& y, int64_t s_len,
+                             std::vector<int32_t>& acc) const {
   int_matmul_wt(x, w_codes, acc, s_len, in, out);
   requantize_i8(acc, bias_q, rq, y, s_len, out);
+}
+
+void QuantLinear::forward_i8_panel(const std::vector<int8_t>& x,
+                                   std::vector<int8_t>& y, int64_t rows,
+                                   std::vector<int32_t>& acc,
+                                   std::vector<int16_t>& panel) const {
+  if (static_cast<int64_t>(w_codes16.size()) == out * in) {
+    int_matmul_wt_panel(x, w_codes16, acc, rows, in, out, panel);
+  } else {
+    int_matmul_wt(x, w_codes, acc, rows, in, out);
+  }
+  requantize_i8(acc, bias_q, rq, y, rows, out);
+}
+
+void QuantLinear::build_widened_weights() {
+  w_codes16.assign(w_codes.begin(), w_codes.end());
 }
 
 std::vector<uint8_t> QuantLinear::packed_weights() const {
@@ -164,6 +187,83 @@ void FqEncoderLayer::forward(const std::vector<int8_t>& x,
         static_cast<int32_t>(fo[static_cast<size_t>(i)]) +
         res2_rq.apply(ffn_x[static_cast<size_t>(i)]);
   apply_layernorm(res, y, s_len, /*first=*/false);
+}
+
+void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
+                                   std::vector<int8_t>& y,
+                                   const std::vector<int64_t>& seq_lens,
+                                   FqBatchScratch& s) const {
+  int64_t total = 0;
+  for (int64_t len : seq_lens) total += len;
+
+  // Projections batched over every row of every sequence: one matmul
+  // per weight matrix instead of one per sequence.
+  std::vector<int8_t>&q = s.q, &k = s.k, &v = s.v;
+  wq.forward_i8_panel(x, q, total, s.acc, s.panel);
+  wk.forward_i8_panel(x, k, total, s.acc, s.panel);
+  wv.forward_i8_panel(x, v, total, s.acc, s.panel);
+
+  // Attention is the only token-mixing stage, so it runs per sequence;
+  // everything else below stays row-local and batches freely.
+  std::vector<int8_t>& ctx = s.ctx;
+  ctx.resize(static_cast<size_t>(total * hidden));
+  std::vector<int8_t>&qh = s.qh, &kh = s.kh, &vh = s.vh;
+  std::vector<int32_t>&scores = s.scores, &probs = s.probs,
+                      &ctx_acc = s.ctx_acc;
+
+  int64_t off = 0;
+  for (const int64_t s_len : seq_lens) {
+    qh.resize(static_cast<size_t>(s_len * head_dim));
+    kh.resize(static_cast<size_t>(s_len * head_dim));
+    vh.resize(static_cast<size_t>(s_len * head_dim));
+    for (int64_t h = 0; h < num_heads; ++h) {
+      for (int64_t r = 0; r < s_len; ++r) {
+        const int64_t row = off + r;
+        const int8_t* qrow = q.data() + row * hidden + h * head_dim;
+        const int8_t* krow = k.data() + row * hidden + h * head_dim;
+        const int8_t* vrow = v.data() + row * hidden + h * head_dim;
+        std::copy(qrow, qrow + head_dim, qh.data() + r * head_dim);
+        std::copy(krow, krow + head_dim, kh.data() + r * head_dim);
+        std::copy(vrow, vrow + head_dim, vh.data() + r * head_dim);
+      }
+      int_matmul_bt(qh, kh, scores, s_len, head_dim, s_len);
+      apply_softmax(scores, probs, s_len);
+      int_matmul_pv(probs, vh, ctx_acc, s_len, s_len, head_dim);
+      for (int64_t r = 0; r < s_len; ++r) {
+        int8_t* crow = ctx.data() + (off + r) * hidden + h * head_dim;
+        const int32_t* arow = ctx_acc.data() + r * head_dim;
+        for (int64_t c = 0; c < head_dim; ++c)
+          crow[c] = static_cast<int8_t>(
+              quant::saturate_signed(ctx_rq.apply(arow[c]), 8));
+      }
+    }
+    off += s_len;
+  }
+
+  std::vector<int8_t>& attn_out = s.attn_out;
+  wo.forward_i8_panel(ctx, attn_out, total, s.acc, s.panel);
+
+  std::vector<int32_t>& res = s.res;
+  res.resize(static_cast<size_t>(total * hidden));
+  for (int64_t i = 0; i < total * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(attn_out[static_cast<size_t>(i)]) +
+        res1_rq.apply(x[static_cast<size_t>(i)]);
+
+  std::vector<int8_t>& ffn_x = s.ffn_x;
+  apply_layernorm(res, ffn_x, total, /*first=*/true);
+
+  std::vector<int8_t>&pre = s.pre, &mid = s.mid, &fo = s.fo;
+  ffn1.forward_i8_panel(ffn_x, pre, total, s.acc, s.panel);
+  mid.resize(pre.size());
+  for (size_t i = 0; i < pre.size(); ++i) mid[i] = gelu->apply(pre[i]);
+  ffn2.forward_i8_panel(mid, fo, total, s.acc, s.panel);
+
+  for (int64_t i = 0; i < total * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(fo[static_cast<size_t>(i)]) +
+        res2_rq.apply(ffn_x[static_cast<size_t>(i)]);
+  apply_layernorm(res, y, total, /*first=*/false);
 }
 
 void FqEncoderLayer::apply_softmax(const std::vector<int32_t>& scores,
@@ -346,9 +446,15 @@ FqBertModel FqBertModel::convert(QatBert& qat) {
 }
 
 std::vector<int8_t> FqBertModel::embed(const nn::Example& ex) const {
+  std::vector<int8_t> codes(ex.tokens.size() *
+                            static_cast<size_t>(config_.hidden));
+  embed_into(ex, codes.data());
+  return codes;
+}
+
+void FqBertModel::embed_into(const nn::Example& ex, int8_t* codes) const {
   const int64_t s_len = static_cast<int64_t>(ex.tokens.size());
   const int64_t hdim = config_.hidden;
-  std::vector<int8_t> codes(static_cast<size_t>(s_len * hdim));
 
   for (int64_t r = 0; r < s_len; ++r) {
     // Sum of the three (dequantized) embedding rows.
@@ -376,10 +482,13 @@ std::vector<int8_t> FqBertModel::embed(const nn::Example& ex) const {
           quant::quantize_value(static_cast<float>(yv), emb_scale_, 8));
     }
   }
-  return codes;
 }
 
 Tensor FqBertModel::head(const std::vector<int8_t>& final_codes) const {
+  return head_row(final_codes.data());
+}
+
+Tensor FqBertModel::head_row(const int8_t* cls_codes) const {
   const int64_t hdim = config_.hidden;
   const double final_scale =
       layers_.empty() ? emb_scale_ : layers_.back().out_scale;
@@ -387,8 +496,7 @@ Tensor FqBertModel::head(const std::vector<int8_t>& final_codes) const {
   // CPU-side head on the dequantized CLS row.
   Tensor cls(Shape{1, hdim});
   for (int64_t c = 0; c < hdim; ++c)
-    cls[c] =
-        static_cast<float>(final_codes[static_cast<size_t>(c)] / final_scale);
+    cls[c] = static_cast<float>(cls_codes[c] / final_scale);
 
   Tensor pooled;
   matmul_bt(cls, pooler_w_, pooled);
@@ -411,6 +519,53 @@ Tensor FqBertModel::forward(const nn::Example& ex) const {
     x.swap(y);
   }
   return head(x);
+}
+
+std::vector<Tensor> FqBertModel::forward_batch(
+    const std::vector<const nn::Example*>& batch) const {
+  if (batch.empty()) return {};
+
+  // Pack the examples into one ragged int8 batch (no padding): example
+  // i's rows start at offsets[i].
+  std::vector<int64_t> seq_lens(batch.size());
+  std::vector<int64_t> offsets(batch.size());
+  int64_t total = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    seq_lens[i] = static_cast<int64_t>(batch[i]->tokens.size());
+    offsets[i] = total;
+    total += seq_lens[i];
+  }
+
+  // Per-thread grow-only scratch: the serving hot loop stays
+  // allocation-free in steady state, which is where most of the
+  // batching win over per-example forward() comes from on CPU.
+  static thread_local FqBatchScratch scratch;
+
+  const int64_t hdim = config_.hidden;
+  std::vector<int8_t>* x = &scratch.act_a;
+  std::vector<int8_t>* y = &scratch.act_b;
+  x->resize(static_cast<size_t>(total * hdim));
+  for (size_t i = 0; i < batch.size(); ++i)
+    embed_into(*batch[i], x->data() + offsets[i] * hdim);
+
+  for (const FqEncoderLayer& layer : layers_) {
+    layer.forward_batch(*x, *y, seq_lens, scratch);
+    std::swap(x, y);
+  }
+
+  std::vector<Tensor> logits;
+  logits.reserve(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i)
+    logits.push_back(head_row(x->data() + offsets[i] * hdim));
+  return logits;
+}
+
+std::vector<Tensor> FqBertModel::forward_batch(
+    const std::vector<nn::Example>& batch) const {
+  std::vector<const nn::Example*> ptrs;
+  ptrs.reserve(batch.size());
+  for (const nn::Example& ex : batch) ptrs.push_back(&ex);
+  return forward_batch(ptrs);
 }
 
 int32_t FqBertModel::predict(const nn::Example& ex) const {

@@ -31,13 +31,27 @@
 
 namespace fqbert::core {
 
+/// Reusable scratch for the batched forward path. A batch touches
+/// buffers proportional to batch-rows x ffn_dim; reusing them across
+/// batches keeps the serving hot loop allocation-free (large per-batch
+/// allocations otherwise fall into mmap'd chunks whose page faults
+/// dominate the batching win).
+struct FqBatchScratch {
+  std::vector<int8_t> act_a, act_b;  // ping-pong activations [rows, hidden]
+  std::vector<int8_t> q, k, v, ctx, attn_out, ffn_x, pre, mid, fo;
+  std::vector<int8_t> qh, kh, vh;
+  std::vector<int16_t> panel;  // widened 4-row activation panel
+  std::vector<int32_t> acc, res, scores, probs, ctx_acc;
+};
+
 /// A quantized linear layer: int8 activations x int4/int8 weights ->
 /// int32 accumulators -> requantized int8 outputs.
 struct QuantLinear {
   int64_t in = 0, out = 0;
   int weight_bits = 4;
-  std::vector<int8_t> w_codes;  // [out, in] row-major
-  std::vector<int32_t> bias_q;  // round(bias * s_in * s_w), Eq. 4
+  std::vector<int8_t> w_codes;    // [out, in] row-major
+  std::vector<int16_t> w_codes16; // pre-widened copy for the panel kernel
+  std::vector<int32_t> bias_q;    // round(bias * s_in * s_w), Eq. 4
   double w_scale = 1.0;
   double in_scale = 1.0;
   double out_scale = 1.0;
@@ -46,6 +60,20 @@ struct QuantLinear {
   /// x: int8 codes [S, in] on in_scale -> y: int8 codes [S, out].
   void forward_i8(const std::vector<int8_t>& x, std::vector<int8_t>& y,
                   int64_t s_len) const;
+
+  /// Same, with a caller-provided int32 accumulator (batched path).
+  void forward_i8(const std::vector<int8_t>& x, std::vector<int8_t>& y,
+                  int64_t s_len, std::vector<int32_t>& acc) const;
+
+  /// Batched serving path: the 4-row panel kernel over pre-widened
+  /// weights (falls back to the reference kernel when w_codes16 is
+  /// absent). Bit-identical to forward_i8.
+  void forward_i8_panel(const std::vector<int8_t>& x, std::vector<int8_t>& y,
+                        int64_t rows, std::vector<int32_t>& acc,
+                        std::vector<int16_t>& panel) const;
+
+  /// Build w_codes16 from w_codes (called at conversion and load).
+  void build_widened_weights();
 
   /// Packed (2-per-byte) weight bytes for size accounting / streaming.
   std::vector<uint8_t> packed_weights() const;
@@ -85,6 +113,18 @@ struct FqEncoderLayer {
   void forward(const std::vector<int8_t>& x, std::vector<int8_t>& y,
                int64_t s_len) const;
 
+  /// Ragged-batched forward: `x` holds several sequences concatenated
+  /// row-wise (sequence i spans seq_lens[i] rows, no padding between
+  /// them). The four projections and the FFN run as single matmuls over
+  /// all rows; attention runs per sequence, so every sequence's output
+  /// is bit-identical to a standalone forward() call. All intermediates
+  /// live in `scratch` (grow-only; reuse it across batches to keep the
+  /// serving hot loop allocation-free). Reentrant-const as long as each
+  /// thread uses its own scratch.
+  void forward_batch(const std::vector<int8_t>& x, std::vector<int8_t>& y,
+                     const std::vector<int64_t>& seq_lens,
+                     FqBatchScratch& scratch) const;
+
   /// LN1 (first=true) or LN2 over int32 residual rows; integer kernel or
   /// float fallback depending on use_int_layernorm.  The residual input
   /// is on the attn_out (LN1) / ffn_out (LN2) scale. Public so the
@@ -109,6 +149,15 @@ class FqBertModel {
   /// Float logits for one example (head computed CPU-side).
   Tensor forward(const nn::Example& ex) const;
 
+  /// Batched logits: the examples are packed into one ragged int8 batch
+  /// (no padding) and run through the encoder with the projections /
+  /// FFN batched across all rows. logits[i] is bit-identical to
+  /// forward(*batch[i]). Reentrant-const: safe to call concurrently
+  /// from many serving workers on a shared engine.
+  std::vector<Tensor> forward_batch(
+      const std::vector<const nn::Example*>& batch) const;
+  std::vector<Tensor> forward_batch(const std::vector<nn::Example>& batch) const;
+
   int32_t predict(const nn::Example& ex) const;
   double accuracy(const std::vector<nn::Example>& data) const;
 
@@ -122,11 +171,19 @@ class FqBertModel {
   /// Encoder input codes for a given example (exposed so the accelerator
   /// simulator can be fed exactly what the engine computes).
   std::vector<int8_t> embed(const nn::Example& ex) const;
+
+  /// embed() writing straight into a packed batch buffer at `dst`
+  /// (must hold tokens.size() * hidden int8 codes).
+  void embed_into(const nn::Example& ex, int8_t* dst) const;
   double embed_scale() const { return emb_scale_; }
 
   /// CPU-side task head applied to the final encoder codes (the
   /// accelerator simulator runs the encoder itself and hands back here).
   Tensor head(const std::vector<int8_t>& final_codes) const;
+
+  /// head() on a raw CLS row pointer (used by the batched path, where
+  /// each example's CLS row lives at an offset inside the packed batch).
+  Tensor head_row(const int8_t* cls_codes) const;
 
   /// Serialize the quantized model (int4-packed weights, scales, LUT
   /// parameters) to a deployable binary; load reconstructs a fully

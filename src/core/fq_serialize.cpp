@@ -89,6 +89,7 @@ QuantLinear read_quant_linear(std::istream& is) {
   q.bias_q = read_vec<int32_t>(is);
   q.rq = quant::Requantizer::from_scale(q.out_scale /
                                         (q.in_scale * q.w_scale));
+  q.build_widened_weights();
   return q;
 }
 

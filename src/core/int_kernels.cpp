@@ -23,6 +23,54 @@ void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
   }
 }
 
+void int_matmul_wt_panel(const std::vector<int8_t>& a,
+                         const std::vector<int16_t>& w16,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel) {
+  constexpr int64_t kPanelRows = 4;
+  assert(static_cast<int64_t>(a.size()) == m * k);
+  assert(static_cast<int64_t>(w16.size()) == n * k);
+  acc.resize(static_cast<size_t>(m * n));
+  panel.resize(static_cast<size_t>(kPanelRows * k));
+
+  int64_t i = 0;
+  for (; i + kPanelRows <= m; i += kPanelRows) {
+    for (int64_t r = 0; r < kPanelRows; ++r)
+      for (int64_t p = 0; p < k; ++p)
+        panel[static_cast<size_t>(r * k + p)] = a[(i + r) * k + p];
+    const int16_t* a0 = panel.data();
+    const int16_t* a1 = a0 + k;
+    const int16_t* a2 = a1 + k;
+    const int16_t* a3 = a2 + k;
+    for (int64_t j = 0; j < n; ++j) {
+      const int16_t* wrow = w16.data() + j * k;
+      int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t wv = wrow[p];
+        s0 += a0[p] * wv;
+        s1 += a1[p] * wv;
+        s2 += a2[p] * wv;
+        s3 += a3[p] * wv;
+      }
+      acc[static_cast<size_t>((i + 0) * n + j)] = s0;
+      acc[static_cast<size_t>((i + 1) * n + j)] = s1;
+      acc[static_cast<size_t>((i + 2) * n + j)] = s2;
+      acc[static_cast<size_t>((i + 3) * n + j)] = s3;
+    }
+  }
+  for (; i < m; ++i) {
+    for (int64_t p = 0; p < k; ++p)
+      panel[static_cast<size_t>(p)] = a[i * k + p];
+    for (int64_t j = 0; j < n; ++j) {
+      const int16_t* wrow = w16.data() + j * k;
+      int32_t s = 0;
+      for (int64_t p = 0; p < k; ++p)
+        s += panel[static_cast<size_t>(p)] * static_cast<int32_t>(wrow[p]);
+      acc[static_cast<size_t>(i * n + j)] = s;
+    }
+  }
+}
+
 void int_matmul_pv(const std::vector<int32_t>& p, const std::vector<int8_t>& v,
                    std::vector<int32_t>& acc, int64_t m, int64_t k,
                    int64_t n) {

@@ -19,6 +19,18 @@ namespace fqbert::core {
 void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
                    std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n);
 
+/// Row-panel blocked variant of int_matmul_wt for the batched serving
+/// path: weights arrive pre-widened to int16 (done once per layer at
+/// conversion / load time) and activations are widened one 4-row panel
+/// at a time into `panel`, so the inner loops compile to widening
+/// multiply-adds and every weight load is shared by four rows.
+/// Bit-identical to int_matmul_wt — integer dot products are exact
+/// under reordering (accumulators stay far below int32 range).
+void int_matmul_wt_panel(const std::vector<int8_t>& a,
+                         const std::vector<int16_t>& w16,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel);
+
 /// acc[m,n] = sum_k a[m,k] * b[n,k]ᵀ for two activation matrices
 /// (QKᵀ: both int8).
 inline void int_matmul_bt(const std::vector<int8_t>& a,

@@ -1,6 +1,7 @@
 #include "pipeline/pipeline.h"
 
 #include <cstdio>
+#include <cstring>
 #include <stdexcept>
 
 namespace fqbert::pipeline {
@@ -81,25 +82,70 @@ float float_lr_for(const TaskData& task) {
   return task.num_classes == 3 ? 8e-4f : 1.5e-3f;
 }
 
+namespace {
+
+/// FNV-1a over the cache-relevant inputs: a checkpoint is only reused
+/// when the task, its generated size, the model config, the training
+/// recipe AND the seed all match. (Keying on the task name alone let
+/// concurrent or differently-configured runs silently adopt a foreign
+/// checkpoint.)
+uint64_t float_cache_key(const TaskData& task, const BertConfig& cfg,
+                         const nn::TrainConfig& tc, bool fast,
+                         uint64_t seed) {
+  uint64_t h = 1469598103934665603ull;
+  auto mix = [&h](uint64_t v) {
+    for (int i = 0; i < 8; ++i) {
+      h ^= (v >> (8 * i)) & 0xff;
+      h *= 1099511628211ull;
+    }
+  };
+  for (char c : task.name) mix(static_cast<uint64_t>(c));
+  mix(task.train.size());
+  mix(static_cast<uint64_t>(task.num_classes));
+  mix(static_cast<uint64_t>(cfg.vocab_size));
+  mix(static_cast<uint64_t>(cfg.hidden));
+  mix(static_cast<uint64_t>(cfg.num_layers));
+  mix(static_cast<uint64_t>(cfg.num_heads));
+  mix(static_cast<uint64_t>(cfg.ffn_dim));
+  mix(static_cast<uint64_t>(cfg.max_seq_len));
+  mix(static_cast<uint64_t>(tc.epochs));
+  mix(static_cast<uint64_t>(tc.batch_size));
+  uint64_t lr_bits = 0;
+  static_assert(sizeof(tc.adam.lr) == 4);
+  std::memcpy(&lr_bits, &tc.adam.lr, sizeof(tc.adam.lr));
+  mix(lr_bits);
+  mix(fast ? 1 : 0);
+  mix(seed);
+  return h;
+}
+
+}  // namespace
+
 std::unique_ptr<BertModel> train_float(const TaskData& task, bool fast,
                                        uint64_t seed, bool verbose,
                                        const std::string& cache_dir) {
   Rng rng(seed);
-  auto model =
-      std::make_unique<BertModel>(mini_config(task.num_classes), rng);
+  const BertConfig model_cfg = mini_config(task.num_classes);
+  auto model = std::make_unique<BertModel>(model_cfg, rng);
+  nn::TrainConfig key_tc;
+  key_tc.epochs = float_epochs_for(task, fast);
+  key_tc.batch_size = 16;
+  key_tc.adam.lr = float_lr_for(task);
+  char key_hex[17];
+  std::snprintf(key_hex, sizeof(key_hex), "%016llx",
+                static_cast<unsigned long long>(float_cache_key(
+                    task, model_cfg, key_tc, fast, seed)));
   const std::string cache =
-      cache_dir.empty() ? ""
-                        : cache_dir + "/fqbert_float_" + task.name +
-                              (fast ? "_fast" : "_full") + ".bin";
+      cache_dir.empty()
+          ? ""
+          : cache_dir + "/fqbert_float_" + task.name + "_" + key_hex +
+                ".bin";
   if (!cache.empty() && nn::load_state(*model, cache)) {
     std::printf("[%s] loaded cached float model (%s), eval acc %.2f%%\n",
                 task.name.c_str(), cache.c_str(), model->accuracy(task.eval));
     return model;
   }
-  nn::TrainConfig tc;
-  tc.epochs = float_epochs_for(task, fast);
-  tc.batch_size = 16;
-  tc.adam.lr = float_lr_for(task);
+  nn::TrainConfig tc = key_tc;
   tc.verbose = verbose;
   nn::train(*model, task.train, task.eval, tc);
   if (!cache.empty()) nn::save_state(*model, cache);
@@ -131,6 +177,17 @@ FqBertModel quantize_pipeline(BertModel& float_model, const TaskData& task,
   qat_finetune(qat, task, fast);
   qat.calibrate(task.train);
   return FqBertModel::convert(qat);
+}
+
+std::shared_ptr<const FqBertModel> build_and_register_engine(
+    serve::EngineRegistry& registry, const std::string& name,
+    const std::string& task_name, const FqQuantConfig& cfg, bool fast) {
+  TaskData task = make_named_task(task_name, fast);
+  auto float_model = train_float(task, fast);
+  auto engine = std::make_shared<const FqBertModel>(
+      quantize_pipeline(*float_model, task, cfg, fast));
+  registry.register_model(name, engine);
+  return engine;
 }
 
 }  // namespace fqbert::pipeline

@@ -12,6 +12,7 @@
 #include "core/fq_bert.h"
 #include "data/synth_tasks.h"
 #include "nn/trainer.h"
+#include "serve/engine_registry.h"
 
 namespace fqbert::pipeline {
 
@@ -64,5 +65,13 @@ double qat_finetune(QatBert& qat, const TaskData& task, bool fast);
 /// convert.
 FqBertModel quantize_pipeline(BertModel& float_model, const TaskData& task,
                               const FqQuantConfig& cfg, bool fast);
+
+/// Run the full train(+cache) -> quantize pipeline for `task_name` and
+/// publish the engine in-memory under `name`. This is the demo path for
+/// `fqbert_cli serve --task ...` and the serving benches when no
+/// pre-built engine file is supplied.
+std::shared_ptr<const FqBertModel> build_and_register_engine(
+    serve::EngineRegistry& registry, const std::string& name,
+    const std::string& task_name, const FqQuantConfig& cfg, bool fast);
 
 }  // namespace fqbert::pipeline

@@ -1,0 +1,144 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+
+namespace fqbert::serve {
+
+int64_t DynamicBatcher::bucket_of(int64_t seq_len) const {
+  const int64_t g = std::max<int64_t>(1, cfg_.bucket_granularity);
+  return (seq_len + g - 1) / g * g;
+}
+
+size_t DynamicBatcher::pending() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_;
+}
+
+void DynamicBatcher::pump_locked() {
+  std::vector<ServeRequest> incoming;
+  queue_.drain_into(incoming);
+  const TimePoint now = Clock::now();
+  for (ServeRequest& req : incoming) {
+    if (req.expired(now)) {
+      ServeResponse resp;
+      resp.request_id = req.id;
+      resp.status = RequestStatus::kTimedOut;
+      resp.latency_us = std::chrono::duration_cast<Micros>(
+                            now - req.enqueue_time)
+                            .count();
+      req.promise.set_value(std::move(resp));
+      if (stats_) stats_->record_timeout();
+      continue;
+    }
+    buckets_[bucket_of(req.seq_len())].push_back(std::move(req));
+    ++pending_;
+  }
+}
+
+bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
+                                      TimePoint now, bool force,
+                                      TimePoint* next_flush) {
+  // A chosen bucket can drain entirely through expired deadlines, so
+  // keep reselecting until a non-empty batch forms or nothing is due.
+  for (;;) {
+    *next_flush = TimePoint::max();
+
+    // Priority 1: the bucket holding the globally oldest request, when
+    // that request has exhausted its max_wait (or we are draining) —
+    // checked before any full bucket so a minority-length request can
+    // never starve behind a steady stream of popular lengths.
+    // Priority 2: a full bucket (oldest front wins among full ones).
+    auto chosen = buckets_.end();
+    auto full = buckets_.end();
+    auto oldest = buckets_.end();
+    for (auto it = buckets_.begin(); it != buckets_.end(); ++it) {
+      if (it->second.empty()) continue;
+      const TimePoint front_t = it->second.front().enqueue_time;
+      if (static_cast<int64_t>(it->second.size()) >= cfg_.max_batch &&
+          (full == buckets_.end() ||
+           front_t < full->second.front().enqueue_time))
+        full = it;
+      if (oldest == buckets_.end() ||
+          front_t < oldest->second.front().enqueue_time)
+        oldest = it;
+    }
+    if (oldest != buckets_.end()) {
+      const TimePoint flush_at =
+          oldest->second.front().enqueue_time + cfg_.max_wait;
+      if (force || flush_at <= now) {
+        chosen = oldest;
+      } else {
+        chosen = full;
+        if (chosen == buckets_.end()) *next_flush = flush_at;
+      }
+    }
+    if (chosen == buckets_.end()) return false;
+
+    std::deque<ServeRequest>& bucket = chosen->second;
+    while (!bucket.empty() &&
+           static_cast<int64_t>(out.size()) < cfg_.max_batch) {
+      ServeRequest req = std::move(bucket.front());
+      bucket.pop_front();
+      --pending_;
+      if (req.expired(now)) {
+        ServeResponse resp;
+        resp.request_id = req.id;
+        resp.status = RequestStatus::kTimedOut;
+        resp.latency_us = std::chrono::duration_cast<Micros>(
+                              now - req.enqueue_time)
+                              .count();
+        req.promise.set_value(std::move(resp));
+        if (stats_) stats_->record_timeout();
+        continue;
+      }
+      out.push_back(std::move(req));
+    }
+    if (bucket.empty()) buckets_.erase(chosen);
+    if (!out.empty()) return true;
+  }
+}
+
+bool DynamicBatcher::next_batch(std::vector<ServeRequest>& out) {
+  out.clear();
+  for (;;) {
+    // Read the closed flag *before* pumping: anything admitted before
+    // close() is visible to the pump below, so a true value here plus
+    // an empty pump means fully drained.
+    const bool closed = queue_.closed();
+    TimePoint next_flush = TimePoint::max();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      pump_locked();
+      if (pop_batch_locked(out, Clock::now(), /*force=*/closed,
+                           &next_flush))
+        return true;
+      if (closed && pending_ == 0) return false;
+    }
+    // Nothing ready: sleep until new work arrives or the earliest
+    // max-wait flush comes due (bounded so a closed-flag race can
+    // never park a worker forever).
+    const TimePoint cap = Clock::now() + std::chrono::milliseconds(50);
+    queue_.wait_until(std::min(next_flush, cap));
+  }
+}
+
+void DynamicBatcher::fail_pending(RequestStatus status) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pump_locked();
+  const TimePoint now = Clock::now();
+  for (auto& [len, bucket] : buckets_) {
+    for (ServeRequest& req : bucket) {
+      ServeResponse resp;
+      resp.request_id = req.id;
+      resp.status = status;
+      resp.latency_us = std::chrono::duration_cast<Micros>(
+                            now - req.enqueue_time)
+                            .count();
+      req.promise.set_value(std::move(resp));
+    }
+    pending_ -= bucket.size();
+  }
+  buckets_.clear();
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,65 @@
+// Dynamic batching scheduler. Pending requests are bucketed by
+// (rounded-up) sequence length so one engine dispatch sees
+// similar-length sequences; a bucket is flushed to a worker when it
+// reaches max_batch, or when its oldest request has waited max_wait.
+// Expired-deadline requests are failed here instead of reaching an
+// engine.
+#pragma once
+
+#include <map>
+
+#include "serve/request_queue.h"
+#include "serve/stats.h"
+
+namespace fqbert::serve {
+
+struct BatcherConfig {
+  int64_t max_batch = 8;
+  Micros max_wait{2000};
+  /// Bucket key = seq_len rounded up to a multiple of this. 1 means
+  /// exact-length buckets; larger values trade scheduling latency for
+  /// attention-cost homogeneity inside a batch.
+  int64_t bucket_granularity = 8;
+};
+
+class DynamicBatcher {
+ public:
+  DynamicBatcher(RequestQueue& queue, const BatcherConfig& cfg,
+                 ServeStats* stats = nullptr)
+      : queue_(queue), cfg_(cfg), stats_(stats) {
+    if (cfg_.max_batch < 1) cfg_.max_batch = 1;  // 0 would never flush
+  }
+
+  /// Blocks until a batch is ready (all requests from one bucket, FIFO
+  /// within the bucket, at most max_batch). Returns false only when the
+  /// queue is closed AND every pending request has been handed out —
+  /// i.e. shutdown drains by construction. Safe to call from many
+  /// worker threads.
+  bool next_batch(std::vector<ServeRequest>& out);
+
+  /// Abort-mode shutdown: fail everything still pending (queue and
+  /// buckets) with the given status. Call after RequestQueue::close().
+  void fail_pending(RequestStatus status);
+
+  int64_t bucket_of(int64_t seq_len) const;
+  size_t pending() const;
+
+ private:
+  /// Move newly queued requests into their buckets (mu_ held).
+  void pump_locked();
+  /// Pop a ready batch (mu_ held). When nothing is ready, returns false
+  /// and sets *next_flush to the earliest max-wait expiry (or
+  /// TimePoint::max() when idle). `force` flushes any non-empty bucket
+  /// regardless of wait time (drain mode).
+  bool pop_batch_locked(std::vector<ServeRequest>& out, TimePoint now,
+                        bool force, TimePoint* next_flush);
+
+  RequestQueue& queue_;
+  BatcherConfig cfg_;
+  ServeStats* stats_;
+  mutable std::mutex mu_;
+  std::map<int64_t, std::deque<ServeRequest>> buckets_;
+  size_t pending_ = 0;
+};
+
+}  // namespace fqbert::serve

@@ -1,0 +1,65 @@
+#include "serve/engine_pool.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace fqbert::serve {
+
+void EnginePool::start(
+    std::vector<std::shared_ptr<const core::FqBertModel>> replicas) {
+  engines_ = std::move(replicas);
+  workers_.reserve(engines_.size());
+  for (const auto& engine : engines_)
+    workers_.emplace_back([this, engine] { worker_loop(*engine); });
+}
+
+void EnginePool::join() {
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  workers_.clear();
+}
+
+void EnginePool::worker_loop(const core::FqBertModel& engine) {
+  std::vector<ServeRequest> batch;
+  std::vector<const nn::Example*> examples;
+  while (batcher_.next_batch(batch)) {
+    const TimePoint formed = Clock::now();
+    examples.clear();
+    for (const ServeRequest& req : batch) examples.push_back(&req.example);
+
+    std::vector<Tensor> logits;
+    bool failed = false;
+    try {
+      logits = engine.forward_batch(examples);
+    } catch (const std::exception&) {
+      failed = true;
+    }
+
+    const TimePoint done = Clock::now();
+    stats_.record_batch(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ServeRequest& req = batch[i];
+      ServeResponse resp;
+      resp.request_id = req.id;
+      resp.batch_size = static_cast<int32_t>(batch.size());
+      resp.queue_us = std::chrono::duration_cast<Micros>(
+                          formed - req.enqueue_time)
+                          .count();
+      resp.latency_us = std::chrono::duration_cast<Micros>(
+                            done - req.enqueue_time)
+                            .count();
+      if (failed) {
+        resp.status = RequestStatus::kEngineError;
+      } else {
+        resp.status = RequestStatus::kOk;
+        const Tensor& l = logits[i];
+        resp.logits.assign(l.data(), l.data() + l.numel());
+        resp.predicted =
+            static_cast<int32_t>(argmax(l.data(), l.numel()));
+        stats_.record_response(resp.latency_us, resp.queue_us);
+      }
+      req.promise.set_value(std::move(resp));
+    }
+  }
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,38 @@
+// Worker pool: N threads, each owning an FqBertModel engine instance,
+// all pulling batches from one DynamicBatcher. Workers exit when the
+// batcher reports closed-and-drained.
+#pragma once
+
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "core/fq_bert.h"
+#include "serve/batcher.h"
+
+namespace fqbert::serve {
+
+class EnginePool {
+ public:
+  EnginePool(DynamicBatcher& batcher, ServeStats& stats)
+      : batcher_(batcher), stats_(stats) {}
+  ~EnginePool() { join(); }
+
+  /// Spawn one worker per engine replica.
+  void start(std::vector<std::shared_ptr<const core::FqBertModel>> replicas);
+
+  /// Wait for every worker to exit (call after RequestQueue::close()).
+  void join();
+
+  size_t num_workers() const { return workers_.size(); }
+
+ private:
+  void worker_loop(const core::FqBertModel& engine);
+
+  DynamicBatcher& batcher_;
+  ServeStats& stats_;
+  std::vector<std::thread> workers_;
+  std::vector<std::shared_ptr<const core::FqBertModel>> engines_;
+};
+
+}  // namespace fqbert::serve

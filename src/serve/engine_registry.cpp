@@ -1,0 +1,64 @@
+#include "serve/engine_registry.h"
+
+namespace fqbert::serve {
+
+void EngineRegistry::register_model(
+    const std::string& name, std::shared_ptr<const core::FqBertModel> model) {
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = Entry{std::move(model), ""};
+}
+
+bool EngineRegistry::register_file(const std::string& name,
+                                   const std::string& path) {
+  std::shared_ptr<const core::FqBertModel> proto;
+  try {
+    proto = std::make_shared<const core::FqBertModel>(
+        core::FqBertModel::load(path));
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  entries_[name] = Entry{std::move(proto), path};
+  return true;
+}
+
+std::shared_ptr<const core::FqBertModel> EngineRegistry::replica(
+    const std::string& name) const {
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return nullptr;
+    if (it->second.path.empty()) return it->second.model;
+    path = it->second.path;
+  }
+  // File-backed: load outside the lock (disk I/O).
+  try {
+    return std::make_shared<const core::FqBertModel>(
+        core::FqBertModel::load(path));
+  } catch (const std::exception&) {
+    return nullptr;
+  }
+}
+
+std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : it->second.model;
+}
+
+bool EngineRegistry::contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return entries_.count(name) > 0;
+}
+
+std::vector<std::string> EngineRegistry::names() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<std::string> out;
+  out.reserve(entries_.size());
+  for (const auto& [name, entry] : entries_) out.push_back(name);
+  return out;
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,51 @@
+// Shared registry of deployable FQ-BERT engines, keyed by name. Entries
+// are either file-backed (each serving worker loads its own replica
+// from the serialized engine — bit-identical by the serialization
+// round-trip guarantee) or in-memory (every worker shares one
+// reentrant-const instance).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/fq_bert.h"
+
+namespace fqbert::serve {
+
+class EngineRegistry {
+ public:
+  /// Share an already-built engine under `name` (replaces any previous
+  /// entry). Workers will all point at this single instance.
+  void register_model(const std::string& name,
+                      std::shared_ptr<const core::FqBertModel> model);
+
+  /// Register a serialized engine file under `name`; the file is loaded
+  /// once up front to validate it (and to serve get()). Returns false
+  /// when the file cannot be loaded.
+  bool register_file(const std::string& name, const std::string& path);
+
+  /// Engine instance for one worker: file-backed entries load a fresh
+  /// replica from disk, in-memory entries return the shared instance.
+  /// nullptr when the name is unknown.
+  std::shared_ptr<const core::FqBertModel> replica(
+      const std::string& name) const;
+
+  /// The shared prototype (no replication). nullptr when unknown.
+  std::shared_ptr<const core::FqBertModel> get(const std::string& name) const;
+
+  bool contains(const std::string& name) const;
+  std::vector<std::string> names() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const core::FqBertModel> model;
+    std::string path;  // empty for in-memory entries
+  };
+  mutable std::mutex mu_;
+  std::map<std::string, Entry> entries_;
+};
+
+}  // namespace fqbert::serve

@@ -1,0 +1,66 @@
+#include "serve/loadgen.h"
+
+#include <algorithm>
+#include <thread>
+
+namespace fqbert::serve {
+
+nn::Example synth_example(Rng& rng, int64_t seq_len,
+                          const nn::BertConfig& config) {
+  const int64_t len =
+      std::clamp<int64_t>(seq_len, 2, config.max_seq_len);
+  nn::Example ex;
+  ex.tokens.resize(static_cast<size_t>(len));
+  ex.tokens[0] = 0;  // CLS anchor
+  for (int64_t i = 1; i < len; ++i)
+    ex.tokens[static_cast<size_t>(i)] =
+        static_cast<int32_t>(rng.randint(1, config.vocab_size - 1));
+  ex.segments.assign(static_cast<size_t>(len), 0);
+  return ex;
+}
+
+LoadgenReport run_loadgen(InferenceServer& server,
+                          const nn::BertConfig& engine_config,
+                          const LoadgenConfig& cfg) {
+  LoadgenReport report;
+  std::mutex report_mu;
+
+  const TimePoint t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(cfg.num_clients));
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(cfg.seed * 7919 + static_cast<uint64_t>(c));
+      uint64_t sent = 0, ok = 0, rejected = 0, timed_out = 0, failed = 0;
+      for (int i = 0; i < cfg.requests_per_client; ++i) {
+        const int64_t len = cfg.seq_len_mix.empty()
+                                ? engine_config.max_seq_len
+                                : rng.choice(cfg.seq_len_mix);
+        nn::Example ex = synth_example(rng, len, engine_config);
+        auto fut = server.submit(std::move(ex), cfg.deadline_budget);
+        ++sent;
+        const ServeResponse resp = fut.get();  // closed loop
+        switch (resp.status) {
+          case RequestStatus::kOk: ++ok; break;
+          case RequestStatus::kRejectedQueueFull:
+          case RequestStatus::kRejectedDeadline:
+          case RequestStatus::kRejectedInvalid: ++rejected; break;
+          case RequestStatus::kTimedOut: ++timed_out; break;
+          case RequestStatus::kEngineError:
+          case RequestStatus::kShutdown: ++failed; break;
+        }
+      }
+      std::lock_guard<std::mutex> lock(report_mu);
+      report.sent += sent;
+      report.ok += ok;
+      report.rejected += rejected;
+      report.timed_out += timed_out;
+      report.failed += failed;
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return report;
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,46 @@
+// Closed-loop synthetic load generator: N client threads, each
+// submitting one request and blocking on its future before sending the
+// next (the classic closed-loop model, so offered concurrency ==
+// num_clients). Used by the `serve` / `loadgen` CLI subcommands and by
+// bench_serve_throughput.
+#pragma once
+
+#include "serve/server.h"
+#include "tensor/rng.h"
+
+namespace fqbert::serve {
+
+struct LoadgenConfig {
+  int num_clients = 4;
+  int requests_per_client = 100;
+  /// Sequence lengths sampled uniformly per request (clamped to the
+  /// engine's max_seq_len).
+  std::vector<int64_t> seq_len_mix{12, 16, 24};
+  std::optional<Micros> deadline_budget;
+  uint64_t seed = 1;
+};
+
+struct LoadgenReport {
+  uint64_t sent = 0;
+  uint64_t ok = 0;
+  uint64_t rejected = 0;   // queue-full or dead-on-arrival
+  uint64_t timed_out = 0;  // admitted but expired in queue
+  uint64_t failed = 0;     // shutdown / engine error
+  double wall_s = 0.0;
+
+  double throughput_rps() const {
+    return wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
+  }
+};
+
+/// Random token sequence shaped like the engine's inputs (token 0
+/// reserved as [CLS]-ish anchor so batched CLS rows are well-defined).
+nn::Example synth_example(Rng& rng, int64_t seq_len,
+                          const nn::BertConfig& config);
+
+/// Drive `server` closed-loop; blocks until every client finishes.
+LoadgenReport run_loadgen(InferenceServer& server,
+                          const nn::BertConfig& engine_config,
+                          const LoadgenConfig& cfg);
+
+}  // namespace fqbert::serve

@@ -1,0 +1,70 @@
+#include "serve/request_queue.h"
+
+namespace fqbert::serve {
+
+const char* request_status_name(RequestStatus s) {
+  switch (s) {
+    case RequestStatus::kOk: return "ok";
+    case RequestStatus::kRejectedQueueFull: return "rejected-queue-full";
+    case RequestStatus::kRejectedDeadline: return "rejected-deadline";
+    case RequestStatus::kRejectedInvalid: return "rejected-invalid";
+    case RequestStatus::kTimedOut: return "timed-out";
+    case RequestStatus::kEngineError: return "engine-error";
+    case RequestStatus::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+const char* admit_result_name(AdmitResult r) {
+  switch (r) {
+    case AdmitResult::kOk: return "ok";
+    case AdmitResult::kQueueFull: return "queue-full";
+    case AdmitResult::kDeadlineExpired: return "deadline-expired";
+    case AdmitResult::kInvalidExample: return "invalid-example";
+    case AdmitResult::kClosed: return "closed";
+  }
+  return "unknown";
+}
+
+AdmitResult RequestQueue::submit(ServeRequest&& req) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) return AdmitResult::kClosed;
+  if (req.expired(Clock::now())) return AdmitResult::kDeadlineExpired;
+  if (pending_.size() >= cfg_.capacity) return AdmitResult::kQueueFull;
+  pending_.push_back(std::move(req));
+  cv_.notify_one();
+  return AdmitResult::kOk;
+}
+
+void RequestQueue::drain_into(std::vector<ServeRequest>& out) {
+  std::lock_guard<std::mutex> lock(mu_);
+  while (!pending_.empty()) {
+    out.push_back(std::move(pending_.front()));
+    pending_.pop_front();
+  }
+}
+
+bool RequestQueue::wait_until(TimePoint until) {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait_until(lock, until,
+                 [this] { return !pending_.empty() || closed_; });
+  return !pending_.empty();
+}
+
+void RequestQueue::close() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  cv_.notify_all();
+}
+
+bool RequestQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return closed_;
+}
+
+size_t RequestQueue::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return pending_.size();
+}
+
+}  // namespace fqbert::serve

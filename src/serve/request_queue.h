@@ -1,0 +1,105 @@
+// Thread-safe bounded handoff between client threads and the dynamic
+// batcher, with deadline-aware admission: a request whose deadline has
+// already passed (or whose queue is full) is rejected at submit time
+// instead of wasting engine cycles downstream.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <future>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "nn/bert.h"
+
+namespace fqbert::serve {
+
+using Clock = std::chrono::steady_clock;
+using TimePoint = Clock::time_point;
+using Micros = std::chrono::microseconds;
+
+/// Terminal status delivered through the response future.
+enum class RequestStatus {
+  kOk,
+  kRejectedQueueFull,
+  kRejectedDeadline,  // dead on arrival at admission
+  kRejectedInvalid,   // example malformed for the target engine
+  kTimedOut,          // admitted, but expired before an engine ran it
+  kEngineError,       // engine threw while executing this batch
+  kShutdown,          // server aborted without draining
+};
+
+const char* request_status_name(RequestStatus s);
+
+struct ServeResponse {
+  uint64_t request_id = 0;
+  RequestStatus status = RequestStatus::kOk;
+  std::vector<float> logits;  // [num_classes], empty unless kOk
+  int32_t predicted = -1;
+  int64_t queue_us = 0;    // admission -> batch formation
+  int64_t latency_us = 0;  // admission -> response
+  int32_t batch_size = 0;  // occupancy of the batch this request rode in
+};
+
+struct ServeRequest {
+  uint64_t id = 0;
+  nn::Example example;
+  TimePoint enqueue_time{};
+  std::optional<TimePoint> deadline;  // absolute wall deadline
+  std::promise<ServeResponse> promise;
+
+  int64_t seq_len() const {
+    return static_cast<int64_t>(example.tokens.size());
+  }
+  bool expired(TimePoint now) const { return deadline && *deadline <= now; }
+};
+
+enum class AdmitResult {
+  kOk,
+  kQueueFull,
+  kDeadlineExpired,
+  kInvalidExample,
+  kClosed,
+};
+
+const char* admit_result_name(AdmitResult r);
+
+struct RequestQueueConfig {
+  size_t capacity = 4096;
+};
+
+/// MPMC bounded FIFO. Producers call submit(); the batcher drains it
+/// wholesale under its own bucketing policy. close() stops admissions
+/// and wakes every waiter (pending requests stay drainable).
+class RequestQueue {
+ public:
+  explicit RequestQueue(const RequestQueueConfig& cfg) : cfg_(cfg) {}
+
+  /// Deadline-aware admission. On kOk the request is owned by the
+  /// queue; on any rejection the request is left untouched so the
+  /// caller can fail its promise.
+  AdmitResult submit(ServeRequest&& req);
+
+  /// Move every pending request out (non-blocking).
+  void drain_into(std::vector<ServeRequest>& out);
+
+  /// Block until the queue is non-empty, closed, or `until` passes.
+  /// Returns true when requests may be pending.
+  bool wait_until(TimePoint until);
+
+  void close();
+  bool closed() const;
+  size_t size() const;
+
+ private:
+  RequestQueueConfig cfg_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<ServeRequest> pending_;
+  bool closed_ = false;
+};
+
+}  // namespace fqbert::serve

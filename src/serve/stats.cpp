@@ -1,0 +1,89 @@
+#include "serve/stats.h"
+
+#include <algorithm>
+
+namespace fqbert::serve {
+
+namespace {
+
+double quantile_ms(const std::vector<int64_t>& sorted_us, double q) {
+  if (sorted_us.empty()) return 0.0;
+  const double pos = q * static_cast<double>(sorted_us.size() - 1);
+  const size_t lo = static_cast<size_t>(pos);
+  const size_t hi = std::min(lo + 1, sorted_us.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  const double us = static_cast<double>(sorted_us[lo]) * (1.0 - frac) +
+                    static_cast<double>(sorted_us[hi]) * frac;
+  return us / 1000.0;
+}
+
+}  // namespace
+
+void ServeStats::record_admitted() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++admitted_;
+}
+
+void ServeStats::record_rejected_full() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_full_;
+}
+
+void ServeStats::record_rejected_deadline() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_deadline_;
+}
+
+void ServeStats::record_timeout() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++timed_out_;
+}
+
+void ServeStats::record_batch(size_t batch_size) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++batches_;
+  batched_requests_ += batch_size;
+}
+
+void ServeStats::record_response(int64_t latency_us, int64_t queue_us) {
+  std::lock_guard<std::mutex> lock(mu_);
+  latencies_us_.push_back(latency_us);
+  queue_us_sum_ += queue_us;
+}
+
+ServeStats::Report ServeStats::report() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Report r;
+  r.admitted = admitted_;
+  r.rejected_full = rejected_full_;
+  r.rejected_deadline = rejected_deadline_;
+  r.timed_out = timed_out_;
+  r.completed = latencies_us_.size();
+  r.batches = batches_;
+  r.mean_batch_occupancy =
+      batches_ > 0 ? static_cast<double>(batched_requests_) /
+                         static_cast<double>(batches_)
+                   : 0.0;
+  r.mean_queue_ms = r.completed > 0
+                        ? static_cast<double>(queue_us_sum_) /
+                              static_cast<double>(r.completed) / 1000.0
+                        : 0.0;
+  std::vector<int64_t> sorted = latencies_us_;
+  std::sort(sorted.begin(), sorted.end());
+  r.p50_ms = quantile_ms(sorted, 0.50);
+  r.p95_ms = quantile_ms(sorted, 0.95);
+  r.p99_ms = quantile_ms(sorted, 0.99);
+  r.max_ms = sorted.empty() ? 0.0
+                            : static_cast<double>(sorted.back()) / 1000.0;
+  return r;
+}
+
+void ServeStats::reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  admitted_ = rejected_full_ = rejected_deadline_ = 0;
+  timed_out_ = batches_ = batched_requests_ = 0;
+  queue_us_sum_ = 0;
+  latencies_us_.clear();
+}
+
+}  // namespace fqbert::serve

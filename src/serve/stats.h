@@ -1,0 +1,49 @@
+// Serving-side metrics: admission counters, latency quantiles and batch
+// occupancy. One collector is shared by the queue, the batcher and the
+// worker pool; everything is mutex-guarded and cheap enough to sit on
+// the request path.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+namespace fqbert::serve {
+
+class ServeStats {
+ public:
+  struct Report {
+    uint64_t admitted = 0;
+    uint64_t rejected_full = 0;
+    uint64_t rejected_deadline = 0;
+    uint64_t timed_out = 0;   // admitted but expired before execution
+    uint64_t completed = 0;
+    uint64_t batches = 0;
+    double mean_batch_occupancy = 0.0;  // completed / batches
+    double mean_queue_ms = 0.0;         // admission -> batch formation
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+
+    double throughput_rps(double wall_s) const {
+      return wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+    }
+  };
+
+  void record_admitted();
+  void record_rejected_full();
+  void record_rejected_deadline();
+  void record_timeout();
+  void record_batch(size_t batch_size);
+  void record_response(int64_t latency_us, int64_t queue_us);
+
+  Report report() const;
+  void reset();
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t admitted_ = 0, rejected_full_ = 0, rejected_deadline_ = 0;
+  uint64_t timed_out_ = 0, batches_ = 0, batched_requests_ = 0;
+  int64_t queue_us_sum_ = 0;
+  std::vector<int64_t> latencies_us_;
+};
+
+}  // namespace fqbert::serve

@@ -1,6 +1,8 @@
-// Pipeline-library tests: task dispatch, cloning, and the end-to-end
-// quantize pipeline in fast mode.
+// Pipeline-library tests: task dispatch, cloning, checkpoint-cache
+// keying, and the end-to-end quantize pipeline in fast mode.
 #include <gtest/gtest.h>
+
+#include <filesystem>
 
 #include "pipeline/pipeline.h"
 
@@ -71,6 +73,45 @@ TEST(Pipeline, EndToEndFastQuantizePipeline) {
   EXPECT_EQ(engine.config().num_classes, 2);
   EXPECT_GE(engine.accuracy(t.eval), 0.0);
   EXPECT_GT(engine.size_report().compression_ratio(), 4.0);
+}
+
+TEST(Pipeline, FloatCheckpointCacheIsKeyedOnConfigAndSeed) {
+  namespace fs = std::filesystem;
+  const std::string cache_dir =
+      (fs::temp_directory_path() / "fqbert_cache_key_test").string();
+  fs::remove_all(cache_dir);
+  fs::create_directories(cache_dir);
+
+  TaskData t = make_named_task("sst2", /*fast=*/true);
+  t.train.resize(60);
+  t.eval.resize(30);
+
+  (void)train_float(t, /*fast=*/true, /*seed=*/7, false, cache_dir);
+  ASSERT_EQ(std::distance(fs::directory_iterator(cache_dir),
+                          fs::directory_iterator{}),
+            1);
+
+  // Same inputs -> cache hit, still one file.
+  (void)train_float(t, /*fast=*/true, /*seed=*/7, false, cache_dir);
+  EXPECT_EQ(std::distance(fs::directory_iterator(cache_dir),
+                          fs::directory_iterator{}),
+            1);
+
+  // A different seed must not adopt the existing checkpoint.
+  (void)train_float(t, /*fast=*/true, /*seed=*/8, false, cache_dir);
+  EXPECT_EQ(std::distance(fs::directory_iterator(cache_dir),
+                          fs::directory_iterator{}),
+            2);
+
+  // A different dataset size (what concurrent fast/full runs differ in)
+  // gets its own key too.
+  TaskData t2 = t;
+  t2.train.resize(40);
+  (void)train_float(t2, /*fast=*/true, /*seed=*/7, false, cache_dir);
+  EXPECT_EQ(std::distance(fs::directory_iterator(cache_dir),
+                          fs::directory_iterator{}),
+            3);
+  fs::remove_all(cache_dir);
 }
 
 TEST(Pipeline, MnliGeneratorUsesCompactContentVocab) {

@@ -1,0 +1,392 @@
+// Serving subsystem tests: batched-forward bit-identity, seq-length
+// bucketing, max-wait flush, deadline admission, response-to-request
+// ordering under concurrent submitters, and shutdown (drain and abort).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "pipeline/pipeline.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
+#include "test_util.h"
+
+namespace fqbert::serve {
+namespace {
+
+using core::FqBertModel;
+using core::FqQuantConfig;
+using core::QatBert;
+using nn::BertConfig;
+using nn::BertModel;
+using nn::Example;
+
+BertConfig tiny_config() {
+  BertConfig c;
+  c.vocab_size = 128;
+  c.hidden = 16;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.ffn_dim = 32;
+  c.max_seq_len = 32;
+  c.num_classes = 2;
+  return c;
+}
+
+/// A functional engine without any training: random weights, calibrated
+/// observers (accuracy is irrelevant to the serving machinery, the
+/// integer pipeline is fully exercised).
+struct EngineFixture {
+  BertConfig config = tiny_config();
+  std::shared_ptr<const FqBertModel> engine;
+
+  EngineFixture() {
+    Rng rng(42);
+    BertModel model(config, rng);
+    QatBert qat(model, FqQuantConfig::full());
+    std::vector<Example> calib;
+    Rng data_rng(7);
+    for (int i = 0; i < 12; ++i)
+      calib.push_back(
+          synth_example(data_rng, 4 + (i % 3) * 6, config));
+    qat.calibrate(calib);
+    engine = std::make_shared<const FqBertModel>(FqBertModel::convert(qat));
+  }
+};
+
+EngineFixture& fixture() {
+  static EngineFixture f;
+  return f;
+}
+
+ServeRequest make_request(uint64_t id, int64_t seq_len,
+                          std::optional<Micros> budget = std::nullopt) {
+  Rng rng(id * 131 + 7);
+  ServeRequest req;
+  req.id = id;
+  req.example = synth_example(rng, seq_len, fixture().config);
+  req.enqueue_time = Clock::now();
+  if (budget) req.deadline = req.enqueue_time + *budget;
+  return req;
+}
+
+// ---------------------------------------------------------------------------
+// Batched forward
+// ---------------------------------------------------------------------------
+
+TEST(ForwardBatch, BitIdenticalToSingleForwardAcrossMixedLengths) {
+  const FqBertModel& engine = *fixture().engine;
+  Rng rng(3);
+  std::vector<Example> batch;
+  for (const int64_t len : {5, 12, 3, 32, 12, 7, 19, 12})
+    batch.push_back(synth_example(rng, len, fixture().config));
+
+  const std::vector<Tensor> batched = engine.forward_batch(batch);
+  ASSERT_EQ(batched.size(), batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    const Tensor single = engine.forward(batch[i]);
+    ASSERT_EQ(single.numel(), batched[i].numel());
+    for (int64_t c = 0; c < single.numel(); ++c)
+      EXPECT_EQ(single[c], batched[i][c])
+          << "example " << i << " logit " << c;
+  }
+}
+
+TEST(ForwardBatch, RepeatedCallsReuseScratchConsistently) {
+  const FqBertModel& engine = *fixture().engine;
+  Rng rng(4);
+  // Shrinking then growing batches exercise the grow-only scratch.
+  for (const size_t n : {6u, 1u, 8u, 2u}) {
+    std::vector<Example> batch;
+    for (size_t i = 0; i < n; ++i)
+      batch.push_back(synth_example(rng, 4 + 3 * static_cast<int64_t>(i),
+                                    fixture().config));
+    const std::vector<Tensor> batched = engine.forward_batch(batch);
+    for (size_t i = 0; i < n; ++i) {
+      const Tensor single = engine.forward(batch[i]);
+      for (int64_t c = 0; c < single.numel(); ++c)
+        EXPECT_EQ(single[c], batched[i][c]);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Request queue admission
+// ---------------------------------------------------------------------------
+
+TEST(RequestQueue, RejectsExpiredDeadlineAtAdmission) {
+  RequestQueue queue(RequestQueueConfig{4});
+  ServeRequest dead = make_request(1, 8, Micros(0));
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  EXPECT_EQ(queue.submit(std::move(dead)), AdmitResult::kDeadlineExpired);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(RequestQueue, RejectsWhenFullAndAfterClose) {
+  RequestQueue queue(RequestQueueConfig{2});
+  EXPECT_EQ(queue.submit(make_request(1, 8)), AdmitResult::kOk);
+  EXPECT_EQ(queue.submit(make_request(2, 8)), AdmitResult::kOk);
+  EXPECT_EQ(queue.submit(make_request(3, 8)), AdmitResult::kQueueFull);
+  queue.close();
+  EXPECT_EQ(queue.submit(make_request(4, 8)), AdmitResult::kClosed);
+  // Pending requests stay drainable after close.
+  std::vector<ServeRequest> drained;
+  queue.drain_into(drained);
+  EXPECT_EQ(drained.size(), 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic batcher
+// ---------------------------------------------------------------------------
+
+TEST(DynamicBatcher, BucketsBySequenceLength) {
+  RequestQueue queue(RequestQueueConfig{64});
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = Micros(3600L * 1000 * 1000);  // flush only on max-batch
+  cfg.bucket_granularity = 8;
+  DynamicBatcher batcher(queue, cfg);
+
+  EXPECT_EQ(batcher.bucket_of(1), 8);
+  EXPECT_EQ(batcher.bucket_of(8), 8);
+  EXPECT_EQ(batcher.bucket_of(9), 16);
+
+  // Interleave two length classes; each must flush as a homogeneous
+  // full batch.
+  for (uint64_t i = 0; i < 4; ++i) {
+    ASSERT_EQ(queue.submit(make_request(10 + i, 6)), AdmitResult::kOk);
+    ASSERT_EQ(queue.submit(make_request(20 + i, 14)), AdmitResult::kOk);
+  }
+  for (int b = 0; b < 2; ++b) {
+    std::vector<ServeRequest> batch;
+    ASSERT_TRUE(batcher.next_batch(batch));
+    ASSERT_EQ(batch.size(), 4u);
+    const int64_t bucket = batcher.bucket_of(batch[0].seq_len());
+    for (const ServeRequest& req : batch)
+      EXPECT_EQ(batcher.bucket_of(req.seq_len()), bucket);
+  }
+  EXPECT_EQ(batcher.pending(), 0u);
+}
+
+TEST(DynamicBatcher, MaxWaitFlushesPartialBatch) {
+  RequestQueue queue(RequestQueueConfig{64});
+  BatcherConfig cfg;
+  cfg.max_batch = 8;
+  cfg.max_wait = Micros(15 * 1000);
+  DynamicBatcher batcher(queue, cfg);
+
+  ASSERT_EQ(queue.submit(make_request(1, 8)), AdmitResult::kOk);
+  ASSERT_EQ(queue.submit(make_request(2, 8)), AdmitResult::kOk);
+
+  const TimePoint t0 = Clock::now();
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));
+  const double waited_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - t0).count();
+  EXPECT_EQ(batch.size(), 2u);  // flushed without reaching max_batch
+  EXPECT_GE(waited_ms, 5.0);    // ...but only after (most of) max_wait
+  EXPECT_LE(waited_ms, 5000.0);
+}
+
+TEST(DynamicBatcher, DropsExpiredRequestsWithTimeoutStatus) {
+  RequestQueue queue(RequestQueueConfig{64});
+  BatcherConfig cfg;
+  cfg.max_batch = 4;
+  cfg.max_wait = Micros(1000);
+  ServeStats stats;
+  DynamicBatcher batcher(queue, cfg, &stats);
+
+  ServeRequest doomed = make_request(1, 8, Micros(2000));
+  std::future<ServeResponse> fut = doomed.promise.get_future();
+  ASSERT_EQ(queue.submit(std::move(doomed)), AdmitResult::kOk);
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  ASSERT_EQ(queue.submit(make_request(2, 8)), AdmitResult::kOk);
+
+  std::vector<ServeRequest> batch;
+  ASSERT_TRUE(batcher.next_batch(batch));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].id, 2u);
+  const ServeResponse resp = fut.get();
+  EXPECT_EQ(resp.status, RequestStatus::kTimedOut);
+  EXPECT_EQ(stats.report().timed_out, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// End-to-end server
+// ---------------------------------------------------------------------------
+
+TEST(InferenceServer, ResponsesMatchRequestsUnderConcurrentSubmitters) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait = Micros(500);
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+
+  constexpr int kClients = 4, kPerClient = 25;
+  std::vector<std::thread> clients;
+  std::vector<int> mismatches(kClients, 0);
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(1000 + c);
+      for (int i = 0; i < kPerClient; ++i) {
+        Example ex =
+            synth_example(rng, 3 + rng.randint(0, 20), fixture().config);
+        auto fut = server.submit(ex);
+        const ServeResponse resp = fut.get();
+        if (resp.status != RequestStatus::kOk) {
+          ++mismatches[c];
+          continue;
+        }
+        // The response must carry *this* request's logits, bit-exact.
+        const Tensor expect = fixture().engine->forward(ex);
+        for (int64_t j = 0; j < expect.numel(); ++j)
+          if (expect[j] != resp.logits[static_cast<size_t>(j)])
+            ++mismatches[c];
+      }
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  server.shutdown(/*drain=*/true);
+
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0);
+  const ServeStats::Report report = server.stats().report();
+  EXPECT_EQ(report.admitted, kClients * kPerClient);
+  EXPECT_EQ(report.completed, kClients * kPerClient);
+  EXPECT_GE(report.batches, 1u);
+}
+
+TEST(InferenceServer, GracefulShutdownDrainsQueue) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait = Micros(50 * 1000);  // keep requests queued
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+
+  Rng rng(5);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 10; ++i)
+    futures.push_back(
+        server.submit(synth_example(rng, 8, fixture().config)));
+
+  server.shutdown(/*drain=*/true);  // must complete all 10, not fail them
+  int ok = 0;
+  for (auto& fut : futures) ok += fut.get().status == RequestStatus::kOk;
+  EXPECT_EQ(ok, 10);
+  EXPECT_EQ(server.stats().report().completed, 10u);
+
+  // Post-shutdown submissions are rejected with kShutdown.
+  auto late = server.submit(synth_example(rng, 8, fixture().config));
+  EXPECT_EQ(late.get().status, RequestStatus::kShutdown);
+}
+
+TEST(InferenceServer, AbortShutdownFailsPendingRequests) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.batcher.max_batch = 64;
+  cfg.batcher.max_wait = Micros(3600L * 1000 * 1000);  // never flush
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+
+  Rng rng(6);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 5; ++i)
+    futures.push_back(
+        server.submit(synth_example(rng, 8, fixture().config)));
+
+  server.shutdown(/*drain=*/false);
+  for (auto& fut : futures)
+    EXPECT_EQ(fut.get().status, RequestStatus::kShutdown);
+}
+
+TEST(InferenceServer, RejectsMalformedExamplesAtAdmission) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  InferenceServer server(registry, "tiny", ServerConfig{});
+  ASSERT_TRUE(server.start());
+
+  Rng rng(11);
+  const BertConfig& cfg = fixture().config;
+  Example too_long = synth_example(rng, cfg.max_seq_len, cfg);
+  too_long.tokens.push_back(1);
+  too_long.segments.push_back(0);
+  Example bad_token = synth_example(rng, 8, cfg);
+  bad_token.tokens[3] = static_cast<int32_t>(cfg.vocab_size);
+  Example ragged_segments = synth_example(rng, 8, cfg);
+  ragged_segments.segments.pop_back();
+  Example empty;
+
+  for (Example* ex : {&too_long, &bad_token, &ragged_segments, &empty}) {
+    AdmitResult admit;
+    auto fut = server.submit(*ex, std::nullopt, &admit);
+    EXPECT_EQ(admit, AdmitResult::kInvalidExample);
+    EXPECT_EQ(fut.get().status, RequestStatus::kRejectedInvalid);
+  }
+  // A well-formed example still sails through on the same server.
+  auto ok = server.submit(synth_example(rng, 8, cfg));
+  EXPECT_EQ(ok.get().status, RequestStatus::kOk);
+  server.shutdown();
+}
+
+TEST(InferenceServer, DeadlineRejectionAndStatsCounters) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  InferenceServer server(registry, "tiny", ServerConfig{});
+  ASSERT_TRUE(server.start());
+
+  Rng rng(8);
+  AdmitResult admit;
+  auto fut = server.submit(synth_example(rng, 8, fixture().config),
+                           Micros(-1000), &admit);
+  EXPECT_EQ(admit, AdmitResult::kDeadlineExpired);
+  EXPECT_EQ(fut.get().status, RequestStatus::kRejectedDeadline);
+  server.shutdown();
+  EXPECT_EQ(server.stats().report().rejected_deadline, 1u);
+}
+
+// ---------------------------------------------------------------------------
+// Engine registry
+// ---------------------------------------------------------------------------
+
+TEST(EngineRegistry, InMemoryEntriesShareOneInstance) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  EXPECT_TRUE(registry.contains("tiny"));
+  EXPECT_EQ(registry.replica("tiny").get(), fixture().engine.get());
+  EXPECT_EQ(registry.get("missing"), nullptr);
+  EXPECT_EQ(registry.replica("missing"), nullptr);
+}
+
+TEST(EngineRegistry, FileBackedEntriesLoadFreshReplicas) {
+  const std::string path = ::testing::TempDir() + "fq_serve_registry.bin";
+  ASSERT_TRUE(fixture().engine->save(path));
+
+  EngineRegistry registry;
+  ASSERT_TRUE(registry.register_file("disk", path));
+  auto r1 = registry.replica("disk");
+  auto r2 = registry.replica("disk");
+  ASSERT_NE(r1, nullptr);
+  ASSERT_NE(r2, nullptr);
+  EXPECT_NE(r1.get(), r2.get());  // true per-worker replicas
+
+  // Replicas serve bit-identical logits to the original engine.
+  Rng rng(9);
+  const Example ex = synth_example(rng, 10, fixture().config);
+  const Tensor a = fixture().engine->forward(ex);
+  const Tensor b = r1->forward(ex);
+  for (int64_t j = 0; j < a.numel(); ++j) EXPECT_EQ(a[j], b[j]);
+
+  EXPECT_FALSE(registry.register_file("bad", path + ".nope"));
+}
+
+}  // namespace
+}  // namespace fqbert::serve

@@ -8,20 +8,32 @@
 //   fqbert_cli info     --engine fq.bin
 //   fqbert_cli estimate [--device zcu102|zcu111] [--pes N] [--mults M]
 //                       [--seq S]
+//   fqbert_cli serve    --engine fq.bin | --task sst2|mnli [--fast]
+//                       [--workers N] [--batch B] [--wait-us U]
+//                       [--clients C] [--requests R] [--deadline-ms D]
+//                       [--seq-mix 12,16,24]
+//   fqbert_cli loadgen  same options as serve, plus
+//                       [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]
 //
 // `train` produces a float checkpoint; `quantize` runs QAT fine-tuning,
 // calibration and conversion, then saves the deployable integer engine;
 // `eval` measures integer-engine accuracy; `info` dumps an engine's
 // configuration and size; `estimate` prints accelerator latency /
-// resources / power for BERT-base.
+// resources / power for BERT-base; `serve` runs the dynamic-batching
+// server under a closed-loop synthetic client and prints the serving
+// report; `loadgen` sweeps batch/worker configurations over the same
+// closed-loop client and prints a throughput table.
 #include <cstdio>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 
 #include "accel/accelerator.h"
 #include "core/model_size.h"
 #include "pipeline/pipeline.h"
+#include "serve/loadgen.h"
+#include "serve/server.h"
 
 using namespace fqbert;
 using namespace fqbert::pipeline;
@@ -56,8 +68,8 @@ Args parse(int argc, char** argv) {
 
 int usage() {
   std::fprintf(stderr,
-               "usage: fqbert_cli <train|quantize|eval|info|estimate> "
-               "[options]\n"
+               "usage: fqbert_cli <train|quantize|eval|info|estimate|serve|"
+               "loadgen> [options]\n"
                "  train    --task sst2|mnli --out model.bin [--fast]\n"
                "  quantize --task sst2|mnli --model model.bin --out fq.bin\n"
                "           [--bits N] [--no-clip] [--no-softmax-quant]\n"
@@ -65,8 +77,161 @@ int usage() {
                "  eval     --task sst2|mnli --engine fq.bin\n"
                "  info     --engine fq.bin\n"
                "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
-               "[--seq S]\n");
+               "[--seq S]\n"
+               "  serve    --engine fq.bin | --task sst2|mnli [--fast]\n"
+               "           [--workers N] [--batch B] [--wait-us U]\n"
+               "           [--clients C] [--requests R] [--deadline-ms D]\n"
+               "           [--seq-mix 12,16,24]\n"
+               "  loadgen  serve options plus [--batch-sweep 1,8,16]\n"
+               "           [--worker-sweep 1,2,4]\n");
   return 2;
+}
+
+std::vector<int64_t> parse_int_list(const std::string& csv) {
+  std::vector<int64_t> out;
+  size_t pos = 0;
+  while (pos < csv.size()) {
+    size_t comma = csv.find(',', pos);
+    if (comma == std::string::npos) comma = csv.size();
+    if (comma > pos) {
+      try {
+        out.push_back(std::stoll(csv.substr(pos, comma - pos)));
+      } catch (const std::exception&) {
+        throw std::invalid_argument("not a comma-separated integer list: " +
+                                    csv);
+      }
+    }
+    pos = comma + 1;
+  }
+  return out;
+}
+
+/// Resolve the serving engine: --engine loads a file into the registry
+/// (file-backed, per-worker replicas); --task trains+quantizes a demo
+/// engine in-memory. Returns nullptr (after printing) on failure.
+std::shared_ptr<const core::FqBertModel> resolve_engine(
+    const Args& a, serve::EngineRegistry& registry, const char* name) {
+  const std::string engine_path = a.get("engine");
+  if (!engine_path.empty()) {
+    if (!registry.register_file(name, engine_path)) {
+      std::fprintf(stderr, "cannot load engine %s\n", engine_path.c_str());
+      return nullptr;
+    }
+    return registry.get(name);
+  }
+  const std::string task_name = a.get("task");
+  if (task_name.empty()) return nullptr;
+  std::printf("no --engine given: training a %s demo engine (%s mode)...\n",
+              task_name.c_str(), a.flag("fast") ? "fast" : "full");
+  return build_and_register_engine(registry, name, task_name,
+                                   core::FqQuantConfig::full(),
+                                   a.flag("fast"));
+}
+
+serve::ServerConfig server_config_from(const Args& a) {
+  serve::ServerConfig cfg;
+  cfg.num_workers = std::stoi(a.get("workers", "2"));
+  cfg.batcher.max_batch = std::stoll(a.get("batch", "8"));
+  cfg.batcher.max_wait =
+      serve::Micros(std::stoll(a.get("wait-us", "2000")));
+  cfg.batcher.bucket_granularity = std::stoll(a.get("granularity", "8"));
+  return cfg;
+}
+
+serve::LoadgenConfig loadgen_config_from(const Args& a,
+                                         const nn::BertConfig& model_cfg) {
+  serve::LoadgenConfig cfg;
+  cfg.num_clients = std::stoi(a.get("clients", "8"));
+  cfg.requests_per_client = std::stoi(a.get("requests", "200"));
+  cfg.seq_len_mix = parse_int_list(a.get("seq-mix", "12,16,24"));
+  for (int64_t& s : cfg.seq_len_mix)
+    s = std::min(s, model_cfg.max_seq_len);
+  const long long deadline_ms = std::stoll(a.get("deadline-ms", "0"));
+  if (deadline_ms > 0)
+    cfg.deadline_budget = serve::Micros(deadline_ms * 1000);
+  return cfg;
+}
+
+void print_serve_report(const serve::LoadgenReport& lg,
+                        const serve::ServeStats::Report& st) {
+  std::printf("loadgen : %llu sent, %llu ok, %llu rejected, %llu timed out, "
+              "%llu failed in %.2fs\n",
+              static_cast<unsigned long long>(lg.sent),
+              static_cast<unsigned long long>(lg.ok),
+              static_cast<unsigned long long>(lg.rejected),
+              static_cast<unsigned long long>(lg.timed_out),
+              static_cast<unsigned long long>(lg.failed), lg.wall_s);
+  std::printf("server  : %.1f req/s, batch occupancy %.2f over %llu "
+              "batches\n",
+              lg.throughput_rps(), st.mean_batch_occupancy,
+              static_cast<unsigned long long>(st.batches));
+  std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f "
+              "ms (queue %.2f ms mean)\n",
+              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms);
+}
+
+int cmd_serve(const Args& a) {
+  serve::EngineRegistry registry;
+  auto engine = resolve_engine(a, registry, "default");
+  if (!engine) return usage();
+
+  serve::ServerConfig scfg = server_config_from(a);
+  serve::LoadgenConfig lcfg = loadgen_config_from(a, engine->config());
+
+  std::printf("serving '%s': %d workers, max batch %lld, max wait %lld us, "
+              "%d closed-loop clients x %d requests (hw threads: %u)\n",
+              a.get("engine", a.get("task")).c_str(), scfg.num_workers,
+              static_cast<long long>(scfg.batcher.max_batch),
+              static_cast<long long>(scfg.batcher.max_wait.count()),
+              lcfg.num_clients, lcfg.requests_per_client,
+              std::thread::hardware_concurrency());
+
+  serve::InferenceServer server(registry, "default", scfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "server failed to start\n");
+    return 1;
+  }
+  const serve::LoadgenReport lg =
+      serve::run_loadgen(server, engine->config(), lcfg);
+  server.shutdown(/*drain=*/true);
+  print_serve_report(lg, server.stats().report());
+  return 0;
+}
+
+int cmd_loadgen(const Args& a) {
+  serve::EngineRegistry registry;
+  auto engine = resolve_engine(a, registry, "default");
+  if (!engine) return usage();
+
+  const std::vector<int64_t> batches =
+      parse_int_list(a.get("batch-sweep", "1,8,16"));
+  const std::vector<int64_t> workers =
+      parse_int_list(a.get("worker-sweep", "1,2"));
+  serve::LoadgenConfig lcfg = loadgen_config_from(a, engine->config());
+
+  std::printf("%-8s %-6s %10s %9s %9s %9s %10s\n", "workers", "batch",
+              "req/s", "p50 ms", "p95 ms", "p99 ms", "occupancy");
+  for (const int64_t w : workers) {
+    for (const int64_t b : batches) {
+      serve::ServerConfig scfg = server_config_from(a);
+      scfg.num_workers = static_cast<int>(w);
+      scfg.batcher.max_batch = b;
+      serve::InferenceServer server(registry, "default", scfg);
+      if (!server.start()) {
+        std::fprintf(stderr, "server failed to start\n");
+        return 1;
+      }
+      const serve::LoadgenReport lg =
+          serve::run_loadgen(server, engine->config(), lcfg);
+      server.shutdown(/*drain=*/true);
+      const serve::ServeStats::Report st = server.stats().report();
+      std::printf("%-8lld %-6lld %10.1f %9.2f %9.2f %9.2f %10.2f\n",
+                  static_cast<long long>(w), static_cast<long long>(b),
+                  lg.throughput_rps(), st.p50_ms, st.p95_ms, st.p99_ms,
+                  st.mean_batch_occupancy);
+    }
+  }
+  return 0;
 }
 
 int cmd_train(const Args& a) {
@@ -194,6 +359,8 @@ int main(int argc, char** argv) {
     if (a.command == "eval") return cmd_eval(a);
     if (a.command == "info") return cmd_info(a);
     if (a.command == "estimate") return cmd_estimate(a);
+    if (a.command == "serve") return cmd_serve(a);
+    if (a.command == "loadgen") return cmd_loadgen(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
