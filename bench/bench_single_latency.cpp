@@ -1,0 +1,135 @@
+// Single-request latency: the unified panel-kernel forward() vs the
+// seed's scalar reference path.
+//
+// PR 2 collapsed the single-request path onto the 4-row panel int8
+// kernel that previously only the batched serving path used. The
+// baseline is the seed scalar path preserved in tests/fq_oracle.h
+// (per-call allocations, int_matmul_wt, weight codes resident in int8
+// exactly as the seed kept them — narrowed once at setup, never inside
+// the timed loop). Per sequence length this measures:
+//
+//   1. encoder-only latency (the integer stack the panel kernel
+//      accelerates — the acceptance metric is >= 2x here);
+//   2. end-to-end forward() latency (embed + encoder + float head),
+//      which dilutes the win with the CPU-side float stages.
+//
+// Outputs also include a bit-identity check over the measured inputs —
+// speed claims are meaningless if the fast path drifted.
+//
+//   ./build/bench/bench_single_latency [--fast]
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+
+#include "bench_common.h"
+#include "fq_oracle.h"
+#include "serve/loadgen.h"
+
+namespace {
+
+using namespace fqbert;
+using namespace fqbert::bench;
+using core::oracle::OracleModel;
+
+double now_s() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+void panel_encoder(const core::FqBertModel& engine,
+                   const std::vector<int8_t>& x, std::vector<int8_t>& out,
+                   int64_t s_len) {
+  std::vector<int8_t> a = x, b;
+  for (const core::FqEncoderLayer& layer : engine.encoder_layers()) {
+    layer.forward(a, b, s_len);
+    a.swap(b);
+  }
+  out = std::move(a);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool fast = fast_mode(argc, argv);
+
+  std::printf("building engine (fast pipeline)...\n");
+  serve::EngineRegistry registry;
+  auto engine = pipeline::build_and_register_engine(
+      registry, "bench", "sst2", core::FqQuantConfig::full(), /*fast=*/true);
+  const OracleModel om(*engine);  // seed scalar baseline (resident codes)
+  const nn::BertConfig& mcfg = engine->config();
+  std::printf("model: L=%lld hidden=%lld heads=%lld ffn=%lld\n",
+              static_cast<long long>(mcfg.num_layers),
+              static_cast<long long>(mcfg.hidden),
+              static_cast<long long>(mcfg.num_heads),
+              static_cast<long long>(mcfg.ffn_dim));
+
+  const int iters = fast ? 60 : 300;
+  Rng rng(7);
+
+  print_rule();
+  std::printf("encoder-only single-request latency (%d iters/point)\n", iters);
+  std::printf("%-8s %14s %14s %9s   %s\n", "seq_len", "scalar us/req",
+              "panel us/req", "speedup", "bit-identical");
+  double worst = 1e9, geo = 0.0;
+  int points = 0;
+  for (const int64_t s_len : {1, 2, 3, 4, 6, 8, 12, 16, 24, 32}) {
+    const nn::Example ex = serve::synth_example(
+        rng, std::max<int64_t>(2, s_len), mcfg);
+    const int64_t rows = static_cast<int64_t>(ex.tokens.size());
+    const std::vector<int8_t> x = engine->embed(ex);
+    std::vector<int8_t> y_scalar, y_panel;
+
+    core::oracle::oracle_encoder(om, x, y_scalar, rows);  // warm
+    panel_encoder(*engine, x, y_panel, rows);             // warm
+    const bool identical = y_scalar == y_panel;
+
+    // Best-of-3 trials per path: the container shares its single core,
+    // so min is the honest steady-state number.
+    auto time_us = [&](auto&& fn) {
+      double best = 1e30;
+      for (int trial = 0; trial < 3; ++trial) {
+        const double t0 = now_s();
+        for (int i = 0; i < iters; ++i) fn();
+        best = std::min(best, (now_s() - t0) * 1e6 / iters);
+      }
+      return best;
+    };
+    const double scalar_us = time_us(
+        [&] { core::oracle::oracle_encoder(om, x, y_scalar, rows); });
+    const double panel_us =
+        time_us([&] { panel_encoder(*engine, x, y_panel, rows); });
+
+    const double speedup = scalar_us / panel_us;
+    worst = std::min(worst, speedup);
+    geo += std::log(speedup);
+    ++points;
+    std::printf("%-8lld %14.1f %14.1f %8.2fx   %s\n",
+                static_cast<long long>(rows), scalar_us, panel_us, speedup,
+                identical ? "yes" : "NO — BUG");
+  }
+  std::printf("geomean %.2fx, worst %.2fx  (acceptance: >= 2x)\n",
+              std::exp(geo / points), worst);
+
+  print_rule();
+  std::printf("end-to-end forward() latency, seq mix 12/16/24 "
+              "(embed + encoder + float head)\n");
+  std::vector<nn::Example> mix;
+  for (int i = 0; i < (fast ? 100 : 300); ++i)
+    mix.push_back(serve::synth_example(
+        rng, std::vector<int64_t>{12, 16, 24}[static_cast<size_t>(i % 3)],
+        mcfg));
+  for (const nn::Example& ex : mix) (void)engine->forward(ex);  // warm
+  double t0 = now_s();
+  for (const nn::Example& ex : mix)
+    (void)core::oracle::oracle_forward(om, ex);
+  const double scalar_us = (now_s() - t0) * 1e6 / mix.size();
+  t0 = now_s();
+  for (const nn::Example& ex : mix) (void)engine->forward(ex);
+  const double panel_us = (now_s() - t0) * 1e6 / mix.size();
+  std::printf("  scalar reference : %9.1f us/req\n", scalar_us);
+  std::printf("  unified forward(): %9.1f us/req  (%.2fx)\n", panel_us,
+              scalar_us / panel_us);
+  return 0;
+}

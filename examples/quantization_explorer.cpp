@@ -56,7 +56,7 @@ int main() {
         double sq = 0;
         for (int64_t i = 0; i < w.numel(); ++i) {
           const double back =
-              ql.w_codes[static_cast<size_t>(i)] / ql.w_scale;
+              ql.w_codes16[static_cast<size_t>(i)] / ql.w_scale;
           sq += (back - w[i]) * (back - w[i]);
         }
         rms = std::sqrt(sq / static_cast<double>(w.numel()));

@@ -11,9 +11,11 @@ int64_t quant_linear_on_bim(const core::QuantLinear& ql, const Bim& bim,
                             const std::vector<int8_t>& x,
                             std::vector<int8_t>& y, int64_t s_len) {
   std::vector<int32_t> acc;
+  // The BIM datapath consumes the int8 codes; narrow them back from the
+  // engine's widened store (exact, and off the serving hot path).
   const int64_t cycles =
-      bim_matmul_wt(bim, BimMode::k8x4, x, ql.w_codes, acc, s_len, ql.in,
-                    ql.out);
+      bim_matmul_wt(bim, BimMode::k8x4, x, ql.narrow_codes(), acc, s_len,
+                    ql.in, ql.out);
   core::requantize_i8(acc, ql.bias_q, ql.rq, y, s_len, ql.out);
   return cycles;
 }

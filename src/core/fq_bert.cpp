@@ -43,9 +43,9 @@ QuantLinear make_quant_linear(const nn::Linear& lin, double in_scale,
   q.out_scale = out_scale;
   q.w_scale = weight_scale_of(lin.weight.value, cfg);
 
-  q.w_codes.resize(static_cast<size_t>(q.out * q.in));
+  q.w_codes16.resize(static_cast<size_t>(q.out * q.in));
   for (int64_t i = 0; i < lin.weight.value.numel(); ++i)
-    q.w_codes[static_cast<size_t>(i)] = static_cast<int8_t>(
+    q.w_codes16[static_cast<size_t>(i)] = static_cast<int16_t>(
         quant::quantize_value(lin.weight.value[i], q.w_scale, cfg.weight_bits));
 
   // Eq. 4: biases on the accumulator grid s_in * s_w.
@@ -57,7 +57,6 @@ QuantLinear make_quant_linear(const nn::Linear& lin, double in_scale,
 
   // Eq. 5: sf = s_y / (s_a * s_w).
   q.rq = Requantizer::from_scale(out_scale / sbias);
-  q.build_widened_weights();
   return q;
 }
 
@@ -87,39 +86,39 @@ std::vector<float> maybe_fixed_grid(const Tensor& v, bool quantize,
 // ---------------------------------------------------------------------------
 
 void QuantLinear::forward_i8(const std::vector<int8_t>& x,
-                             std::vector<int8_t>& y, int64_t s_len) const {
-  std::vector<int32_t> acc;
-  forward_i8(x, y, s_len, acc);
+                             std::vector<int8_t>& y, int64_t rows) const {
+  // Grow-only thread-local scratch keeps the const API reentrant and
+  // the standalone call allocation-free in steady state.
+  static thread_local std::vector<int32_t> acc;
+  static thread_local std::vector<int16_t> panel;
+  forward_i8(x, y, rows, acc, panel);
 }
 
 void QuantLinear::forward_i8(const std::vector<int8_t>& x,
-                             std::vector<int8_t>& y, int64_t s_len,
-                             std::vector<int32_t>& acc) const {
-  int_matmul_wt(x, w_codes, acc, s_len, in, out);
-  requantize_i8(acc, bias_q, rq, y, s_len, out);
-}
-
-void QuantLinear::forward_i8_panel(const std::vector<int8_t>& x,
-                                   std::vector<int8_t>& y, int64_t rows,
-                                   std::vector<int32_t>& acc,
-                                   std::vector<int16_t>& panel) const {
-  if (static_cast<int64_t>(w_codes16.size()) == out * in) {
-    int_matmul_wt_panel(x, w_codes16, acc, rows, in, out, panel);
-  } else {
-    int_matmul_wt(x, w_codes, acc, rows, in, out);
-  }
+                             std::vector<int8_t>& y, int64_t rows,
+                             std::vector<int32_t>& acc,
+                             std::vector<int16_t>& panel) const {
+  int_matmul_wt_panel(x, w_codes16, acc, rows, in, out, panel);
   requantize_i8(acc, bias_q, rq, y, rows, out);
 }
 
-void QuantLinear::build_widened_weights() {
-  w_codes16.assign(w_codes.begin(), w_codes.end());
+void QuantLinear::set_codes(const std::vector<int8_t>& codes) {
+  w_codes16.assign(codes.begin(), codes.end());
+}
+
+std::vector<int8_t> QuantLinear::narrow_codes() const {
+  std::vector<int8_t> codes(w_codes16.size());
+  for (size_t i = 0; i < codes.size(); ++i)
+    codes[i] = static_cast<int8_t>(w_codes16[i]);
+  return codes;
 }
 
 std::vector<uint8_t> QuantLinear::packed_weights() const {
+  const std::vector<int8_t> codes = narrow_codes();
   if (weight_bits > 4) {
-    return std::vector<uint8_t>(w_codes.begin(), w_codes.end());
+    return std::vector<uint8_t>(codes.begin(), codes.end());
   }
-  return quant::pack_int4(w_codes);
+  return quant::pack_int4(codes);
 }
 
 // ---------------------------------------------------------------------------
@@ -128,65 +127,15 @@ std::vector<uint8_t> QuantLinear::packed_weights() const {
 
 void FqEncoderLayer::forward(const std::vector<int8_t>& x,
                              std::vector<int8_t>& y, int64_t s_len) const {
-  std::vector<int8_t> q, k, v;
-  wq.forward_i8(x, q, s_len);
-  wk.forward_i8(x, k, s_len);
-  wv.forward_i8(x, v, s_len);
-
-  // Attention per head, writing the context into column slices.
-  std::vector<int8_t> ctx(static_cast<size_t>(s_len * hidden));
-  std::vector<int8_t> qh(static_cast<size_t>(s_len * head_dim));
-  std::vector<int8_t> kh(static_cast<size_t>(s_len * head_dim));
-  std::vector<int8_t> vh(static_cast<size_t>(s_len * head_dim));
-  std::vector<int32_t> scores, probs, ctx_acc;
-
-  for (int64_t h = 0; h < num_heads; ++h) {
-    for (int64_t r = 0; r < s_len; ++r) {
-      const int8_t* qrow = q.data() + r * hidden + h * head_dim;
-      const int8_t* krow = k.data() + r * hidden + h * head_dim;
-      const int8_t* vrow = v.data() + r * hidden + h * head_dim;
-      std::copy(qrow, qrow + head_dim, qh.data() + r * head_dim);
-      std::copy(krow, krow + head_dim, kh.data() + r * head_dim);
-      std::copy(vrow, vrow + head_dim, vh.data() + r * head_dim);
-    }
-    int_matmul_bt(qh, kh, scores, s_len, head_dim, s_len);
-    apply_softmax(scores, probs, s_len);
-    int_matmul_pv(probs, vh, ctx_acc, s_len, s_len, head_dim);
-    for (int64_t r = 0; r < s_len; ++r) {
-      int8_t* crow = ctx.data() + r * hidden + h * head_dim;
-      const int32_t* arow = ctx_acc.data() + r * head_dim;
-      for (int64_t c = 0; c < head_dim; ++c)
-        crow[c] = static_cast<int8_t>(
-            quant::saturate_signed(ctx_rq.apply(arow[c]), 8));
-    }
-  }
-
-  std::vector<int8_t> attn_out;
-  wo.forward_i8(ctx, attn_out, s_len);
-
-  // Residual 1 on the attn_out grid, then LN1.
-  std::vector<int32_t> res(static_cast<size_t>(s_len * hidden));
-  for (int64_t i = 0; i < s_len * hidden; ++i)
-    res[static_cast<size_t>(i)] =
-        static_cast<int32_t>(attn_out[static_cast<size_t>(i)]) +
-        res1_rq.apply(x[static_cast<size_t>(i)]);
-
-  std::vector<int8_t> ffn_x;
-  apply_layernorm(res, ffn_x, s_len, /*first=*/true);
-
-  // FFN.
-  std::vector<int8_t> pre, mid, fo;
-  ffn1.forward_i8(ffn_x, pre, s_len);
-  mid.resize(pre.size());
-  for (size_t i = 0; i < pre.size(); ++i) mid[i] = gelu->apply(pre[i]);
-  ffn2.forward_i8(mid, fo, s_len);
-
-  // Residual 2 on the ffn_out grid, then LN2.
-  for (int64_t i = 0; i < s_len * hidden; ++i)
-    res[static_cast<size_t>(i)] =
-        static_cast<int32_t>(fo[static_cast<size_t>(i)]) +
-        res2_rq.apply(ffn_x[static_cast<size_t>(i)]);
-  apply_layernorm(res, y, s_len, /*first=*/false);
+  // One integer compute path: the single-request forward is a batch of
+  // one sequence over the panel kernel. The thread-local scratch keeps
+  // the const API reentrant and the call allocation-free in steady
+  // state; it is distinct from the model-level forward_batch scratch,
+  // so callers handing in their own buffers never alias it.
+  static thread_local FqBatchScratch scratch;
+  static thread_local std::vector<int64_t> one_seq(1);
+  one_seq[0] = s_len;
+  forward_batch(x, y, one_seq, scratch);
 }
 
 void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
@@ -199,9 +148,9 @@ void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
   // Projections batched over every row of every sequence: one matmul
   // per weight matrix instead of one per sequence.
   std::vector<int8_t>&q = s.q, &k = s.k, &v = s.v;
-  wq.forward_i8_panel(x, q, total, s.acc, s.panel);
-  wk.forward_i8_panel(x, k, total, s.acc, s.panel);
-  wv.forward_i8_panel(x, v, total, s.acc, s.panel);
+  wq.forward_i8(x, q, total, s.acc, s.panel);
+  wk.forward_i8(x, k, total, s.acc, s.panel);
+  wv.forward_i8(x, v, total, s.acc, s.panel);
 
   // Attention is the only token-mixing stage, so it runs per sequence;
   // everything else below stays row-local and batches freely.
@@ -226,7 +175,12 @@ void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
         std::copy(krow, krow + head_dim, kh.data() + r * head_dim);
         std::copy(vrow, vrow + head_dim, vh.data() + r * head_dim);
       }
-      int_matmul_bt(qh, kh, scores, s_len, head_dim, s_len);
+      // QK^T through the panel kernel too: K is tiny per head, so
+      // widening it once is far cheaper than the scalar kernel's
+      // per-element extensions (bit-identical either way).
+      s.kh16.assign(kh.begin(), kh.end());
+      int_matmul_wt_panel(qh, s.kh16, scores, s_len, head_dim, s_len,
+                          s.panel);
       apply_softmax(scores, probs, s_len);
       int_matmul_pv(probs, vh, ctx_acc, s_len, s_len, head_dim);
       for (int64_t r = 0; r < s_len; ++r) {
@@ -241,7 +195,7 @@ void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
   }
 
   std::vector<int8_t>& attn_out = s.attn_out;
-  wo.forward_i8_panel(ctx, attn_out, total, s.acc, s.panel);
+  wo.forward_i8(ctx, attn_out, total, s.acc, s.panel);
 
   std::vector<int32_t>& res = s.res;
   res.resize(static_cast<size_t>(total * hidden));
@@ -254,10 +208,10 @@ void FqEncoderLayer::forward_batch(const std::vector<int8_t>& x,
   apply_layernorm(res, ffn_x, total, /*first=*/true);
 
   std::vector<int8_t>&pre = s.pre, &mid = s.mid, &fo = s.fo;
-  ffn1.forward_i8_panel(ffn_x, pre, total, s.acc, s.panel);
+  ffn1.forward_i8(ffn_x, pre, total, s.acc, s.panel);
   mid.resize(pre.size());
   for (size_t i = 0; i < pre.size(); ++i) mid[i] = gelu->apply(pre[i]);
-  ffn2.forward_i8_panel(mid, fo, total, s.acc, s.panel);
+  ffn2.forward_i8(mid, fo, total, s.acc, s.panel);
 
   for (int64_t i = 0; i < total * hidden; ++i)
     res[static_cast<size_t>(i)] =
@@ -511,14 +465,10 @@ Tensor FqBertModel::head_row(const int8_t* cls_codes) const {
 }
 
 Tensor FqBertModel::forward(const nn::Example& ex) const {
-  const int64_t s_len = static_cast<int64_t>(ex.tokens.size());
-  std::vector<int8_t> x = embed(ex);
-  std::vector<int8_t> y;
-  for (const FqEncoderLayer& layer : layers_) {
-    layer.forward(x, y, s_len);
-    x.swap(y);
-  }
-  return head(x);
+  // Batch of one through the unified panel-kernel path: same integer
+  // arithmetic, same scratch reuse, bit-identical logits.
+  std::vector<Tensor> logits = forward_batch({&ex});
+  return std::move(logits[0]);
 }
 
 std::vector<Tensor> FqBertModel::forward_batch(

@@ -41,39 +41,46 @@ struct FqBatchScratch {
   std::vector<int8_t> q, k, v, ctx, attn_out, ffn_x, pre, mid, fo;
   std::vector<int8_t> qh, kh, vh;
   std::vector<int16_t> panel;  // widened 4-row activation panel
+  std::vector<int16_t> kh16;   // widened K head (QK^T panel operand)
   std::vector<int32_t> acc, res, scores, probs, ctx_acc;
 };
 
 /// A quantized linear layer: int8 activations x int4/int8 weights ->
 /// int32 accumulators -> requantized int8 outputs.
+///
+/// Weights are stored once, pre-widened to int16 (`w_codes16`) — the
+/// operand format of the panel kernel that every inference path runs
+/// through. The int8 code values themselves are preserved exactly
+/// (widening is value-preserving), so `narrow_codes()` reconstructs the
+/// nibble-packable codes for serialization, size accounting and the
+/// accelerator simulator without keeping a second copy resident.
 struct QuantLinear {
   int64_t in = 0, out = 0;
   int weight_bits = 4;
-  std::vector<int8_t> w_codes;    // [out, in] row-major
-  std::vector<int16_t> w_codes16; // pre-widened copy for the panel kernel
-  std::vector<int32_t> bias_q;    // round(bias * s_in * s_w), Eq. 4
+  std::vector<int16_t> w_codes16;  // [out, in] row-major, int8-range values
+  std::vector<int32_t> bias_q;     // round(bias * s_in * s_w), Eq. 4
   double w_scale = 1.0;
   double in_scale = 1.0;
   double out_scale = 1.0;
   quant::Requantizer rq;  // s_out / (s_in * s_w), Eq. 5
 
-  /// x: int8 codes [S, in] on in_scale -> y: int8 codes [S, out].
+  /// x: int8 codes [rows, in] on in_scale -> y: int8 codes [rows, out]
+  /// through the panel kernel. Reentrant-const (thread-local scratch).
   void forward_i8(const std::vector<int8_t>& x, std::vector<int8_t>& y,
-                  int64_t s_len) const;
+                  int64_t rows) const;
 
-  /// Same, with a caller-provided int32 accumulator (batched path).
+  /// Same, with caller-provided scratch (the batched serving hot loop
+  /// reuses one accumulator / panel pair across all layers).
   void forward_i8(const std::vector<int8_t>& x, std::vector<int8_t>& y,
-                  int64_t s_len, std::vector<int32_t>& acc) const;
+                  int64_t rows, std::vector<int32_t>& acc,
+                  std::vector<int16_t>& panel) const;
 
-  /// Batched serving path: the 4-row panel kernel over pre-widened
-  /// weights (falls back to the reference kernel when w_codes16 is
-  /// absent). Bit-identical to forward_i8.
-  void forward_i8_panel(const std::vector<int8_t>& x, std::vector<int8_t>& y,
-                        int64_t rows, std::vector<int32_t>& acc,
-                        std::vector<int16_t>& panel) const;
+  /// Install the trained/loaded int8 weight codes (widens into
+  /// w_codes16, the only resident copy).
+  void set_codes(const std::vector<int8_t>& codes);
 
-  /// Build w_codes16 from w_codes (called at conversion and load).
-  void build_widened_weights();
+  /// The int8 weight codes, narrowed back from w_codes16 (exact).
+  std::vector<int8_t> narrow_codes() const;
 
   /// Packed (2-per-byte) weight bytes for size accounting / streaming.
   std::vector<uint8_t> packed_weights() const;
@@ -110,6 +117,9 @@ struct FqEncoderLayer {
   std::vector<float> ln1_gamma, ln1_beta, ln2_gamma, ln2_beta;
 
   /// x: int8 [S, hidden] on in_scale -> int8 [S, hidden] on out_scale.
+  /// Delegates to forward_batch with a single sequence and a
+  /// thread-local scratch, so single-request and batched inference run
+  /// the identical panel-kernel compute path. Reentrant-const.
   void forward(const std::vector<int8_t>& x, std::vector<int8_t>& y,
                int64_t s_len) const;
 
@@ -146,7 +156,8 @@ class FqBertModel {
   /// data (train or calibrate) so every EMA observer is initialized.
   static FqBertModel convert(QatBert& qat);
 
-  /// Float logits for one example (head computed CPU-side).
+  /// Float logits for one example (head computed CPU-side). Runs as a
+  /// batch of one through the unified panel-kernel path; reentrant-const.
   Tensor forward(const nn::Example& ex) const;
 
   /// Batched logits: the examples are packed into one ragged int8 batch

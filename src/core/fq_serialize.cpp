@@ -66,7 +66,7 @@ void write_quant_linear(std::ostream& os, const QuantLinear& q) {
   write_pod<double>(os, q.in_scale);
   write_pod<double>(os, q.out_scale);
   // Weights travel packed (the deployable format streams nibbles).
-  write_pod<uint64_t>(os, q.w_codes.size());
+  write_pod<uint64_t>(os, q.w_codes16.size());
   write_vec(os, q.packed_weights());
   write_vec(os, q.bias_q);
 }
@@ -82,14 +82,13 @@ QuantLinear read_quant_linear(std::istream& is) {
   const auto n_codes = read_pod<uint64_t>(is);
   const auto packed = read_vec<uint8_t>(is);
   if (q.weight_bits <= 4) {
-    q.w_codes = quant::unpack_int4(packed, n_codes);
+    q.set_codes(quant::unpack_int4(packed, n_codes));
   } else {
-    q.w_codes.assign(packed.begin(), packed.end());
+    q.set_codes(std::vector<int8_t>(packed.begin(), packed.end()));
   }
   q.bias_q = read_vec<int32_t>(is);
   q.rq = quant::Requantizer::from_scale(q.out_scale /
                                         (q.in_scale * q.w_scale));
-  q.build_widened_weights();
   return q;
 }
 

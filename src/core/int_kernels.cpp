@@ -31,7 +31,7 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
   assert(static_cast<int64_t>(a.size()) == m * k);
   assert(static_cast<int64_t>(w16.size()) == n * k);
   acc.resize(static_cast<size_t>(m * n));
-  panel.resize(static_cast<size_t>(kPanelRows * k));
+  if (m >= kPanelRows) panel.resize(static_cast<size_t>(kPanelRows * k));
 
   int64_t i = 0;
   for (; i + kPanelRows <= m; i += kPanelRows) {
@@ -42,7 +42,37 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
     const int16_t* a1 = a0 + k;
     const int16_t* a2 = a1 + k;
     const int16_t* a3 = a2 + k;
-    for (int64_t j = 0; j < n; ++j) {
+    // 4x2 register block: every activation load feeds two weight rows,
+    // every weight load feeds four activation rows.
+    int64_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const int16_t* w0 = w16.data() + j * k;
+      const int16_t* w1 = w0 + k;
+      int32_t s00 = 0, s01 = 0, s10 = 0, s11 = 0;
+      int32_t s20 = 0, s21 = 0, s30 = 0, s31 = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t w0v = w0[p], w1v = w1[p];
+        const int32_t a0v = a0[p], a1v = a1[p];
+        const int32_t a2v = a2[p], a3v = a3[p];
+        s00 += a0v * w0v;
+        s01 += a0v * w1v;
+        s10 += a1v * w0v;
+        s11 += a1v * w1v;
+        s20 += a2v * w0v;
+        s21 += a2v * w1v;
+        s30 += a3v * w0v;
+        s31 += a3v * w1v;
+      }
+      int32_t* c0 = acc.data() + (i + 0) * n + j;
+      int32_t* c1 = acc.data() + (i + 1) * n + j;
+      int32_t* c2 = acc.data() + (i + 2) * n + j;
+      int32_t* c3 = acc.data() + (i + 3) * n + j;
+      c0[0] = s00; c0[1] = s01;
+      c1[0] = s10; c1[1] = s11;
+      c2[0] = s20; c2[1] = s21;
+      c3[0] = s30; c3[1] = s31;
+    }
+    for (; j < n; ++j) {
       const int16_t* wrow = w16.data() + j * k;
       int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
       for (int64_t p = 0; p < k; ++p) {
@@ -58,14 +88,67 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
       acc[static_cast<size_t>((i + 3) * n + j)] = s3;
     }
   }
-  for (; i < m; ++i) {
-    for (int64_t p = 0; p < k; ++p)
-      panel[static_cast<size_t>(p)] = a[i * k + p];
-    for (int64_t j = 0; j < n; ++j) {
+
+  // Remainder rows (m % 4): read activations straight from `a` — the
+  // widening happens in the multiply, so short sequences and batch-1
+  // tails pay neither the panel staging copy nor 4-row padding work.
+  // Both tails keep the 2-wide weight-row block so activation loads are
+  // still shared.
+  if (i + 2 <= m) {
+    const int8_t* a0 = a.data() + i * k;
+    const int8_t* a1 = a0 + k;
+    int64_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const int16_t* w0 = w16.data() + j * k;
+      const int16_t* w1 = w0 + k;
+      int32_t s00 = 0, s01 = 0, s10 = 0, s11 = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t w0v = w0[p], w1v = w1[p];
+        const int32_t a0v = static_cast<int16_t>(a0[p]);
+        const int32_t a1v = static_cast<int16_t>(a1[p]);
+        s00 += a0v * w0v;
+        s01 += a0v * w1v;
+        s10 += a1v * w0v;
+        s11 += a1v * w1v;
+      }
+      acc[static_cast<size_t>((i + 0) * n + j)] = s00;
+      acc[static_cast<size_t>((i + 0) * n + j + 1)] = s01;
+      acc[static_cast<size_t>((i + 1) * n + j)] = s10;
+      acc[static_cast<size_t>((i + 1) * n + j + 1)] = s11;
+    }
+    for (; j < n; ++j) {
+      const int16_t* wrow = w16.data() + j * k;
+      int32_t s0 = 0, s1 = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t wv = wrow[p];
+        s0 += static_cast<int16_t>(a0[p]) * wv;
+        s1 += static_cast<int16_t>(a1[p]) * wv;
+      }
+      acc[static_cast<size_t>((i + 0) * n + j)] = s0;
+      acc[static_cast<size_t>((i + 1) * n + j)] = s1;
+    }
+    i += 2;
+  }
+  if (i < m) {
+    const int8_t* arow = a.data() + i * k;
+    int64_t j = 0;
+    for (; j + 2 <= n; j += 2) {
+      const int16_t* w0 = w16.data() + j * k;
+      const int16_t* w1 = w0 + k;
+      int32_t s0 = 0, s1 = 0;
+      for (int64_t p = 0; p < k; ++p) {
+        const int32_t av = static_cast<int16_t>(arow[p]);
+        s0 += av * static_cast<int32_t>(w0[p]);
+        s1 += av * static_cast<int32_t>(w1[p]);
+      }
+      acc[static_cast<size_t>(i * n + j)] = s0;
+      acc[static_cast<size_t>(i * n + j + 1)] = s1;
+    }
+    for (; j < n; ++j) {
       const int16_t* wrow = w16.data() + j * k;
       int32_t s = 0;
       for (int64_t p = 0; p < k; ++p)
-        s += panel[static_cast<size_t>(p)] * static_cast<int32_t>(wrow[p]);
+        s += static_cast<int16_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
       acc[static_cast<size_t>(i * n + j)] = s;
     }
   }
@@ -98,15 +181,33 @@ void requantize_i8(const std::vector<int32_t>& acc,
   assert(bias_per_col.empty() ||
          static_cast<int64_t>(bias_per_col.size()) == cols);
   out.resize(static_cast<size_t>(rows * cols));
+
+  // Branch-free inner loop, value-identical to
+  // saturate_signed(rq.apply(v), 8). Requantization is ~1/3 of the
+  // epilogue-bound layers' runtime, and the per-element sign/saturation
+  // branches of the generic helpers mispredict on mixed-sign
+  // accumulators, so this loop is worth hand-flattening (the compiler
+  // then vectorizes it).
+  const int64_t mult = rq.multiplier;
+  const int shift = rq.shift;  // in [0, 62] by Requantizer::from_scale
+  const int64_t half = shift > 0 ? (1ll << (shift - 1)) : 0;
+  const int32_t* bias = bias_per_col.empty() ? nullptr : bias_per_col.data();
   for (int64_t r = 0; r < rows; ++r) {
     const int32_t* arow = acc.data() + r * cols;
     int8_t* orow = out.data() + r * cols;
-    for (int64_t c = 0; c < cols; ++c) {
-      const int64_t with_bias =
-          static_cast<int64_t>(arow[c]) +
-          (bias_per_col.empty() ? 0 : bias_per_col[static_cast<size_t>(c)]);
-      orow[c] = static_cast<int8_t>(
-          quant::saturate_signed(rq.apply(with_bias), 8));
+    if (shift > 0) {
+      for (int64_t c = 0; c < cols; ++c) {
+        const int64_t with_bias =
+            static_cast<int64_t>(arow[c]) + (bias ? bias[c] : 0);
+        orow[c] = quant::clamp_i8(quant::rounding_shift_right_branchless(
+            with_bias * mult, shift, half));
+      }
+    } else {
+      for (int64_t c = 0; c < cols; ++c) {
+        const int64_t with_bias =
+            static_cast<int64_t>(arow[c]) + (bias ? bias[c] : 0);
+        orow[c] = quant::clamp_i8(with_bias * mult);
+      }
     }
   }
 }

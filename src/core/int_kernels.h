@@ -15,17 +15,21 @@
 namespace fqbert::core {
 
 /// acc[m,n] = sum_k a[m,k] * w[n,k]  (weight row-major [n, k], i.e. the
-/// usual [out, in] layout; both operands as int8 codes).
+/// usual [out, in] layout; both operands as int8 codes). This is the
+/// paper-reference kernel, kept as the oracle that tests compare the
+/// production panel kernel against — it is not on any inference path.
 void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
                    std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n);
 
-/// Row-panel blocked variant of int_matmul_wt for the batched serving
-/// path: weights arrive pre-widened to int16 (done once per layer at
-/// conversion / load time) and activations are widened one 4-row panel
-/// at a time into `panel`, so the inner loops compile to widening
-/// multiply-adds and every weight load is shared by four rows.
-/// Bit-identical to int_matmul_wt — integer dot products are exact
-/// under reordering (accumulators stay far below int32 range).
+/// Row-panel blocked kernel used by every inference path (single-request
+/// and batched): weights arrive pre-widened to int16 (done once per
+/// layer at conversion / load time) and activations are widened one
+/// 4-row panel at a time into `panel`, so the inner loops compile to
+/// widening multiply-adds and every weight load is shared by four rows.
+/// Remainder rows (m % 4, including the m < 4 short-sequence case) are
+/// specialized to read activations directly, without panel staging or
+/// padding. Bit-identical to int_matmul_wt — integer dot products are
+/// exact under reordering (accumulators stay far below int32 range).
 void int_matmul_wt_panel(const std::vector<int8_t>& a,
                          const std::vector<int16_t>& w16,
                          std::vector<int32_t>& acc, int64_t m, int64_t k,

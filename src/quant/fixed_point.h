@@ -38,6 +38,26 @@ inline int64_t rounding_shift_right(int64_t v, int shift) {
   return -((-v + half) >> shift);
 }
 
+/// Branch-free rounding_shift_right for a known-positive shift with the
+/// half constant hoisted (half must be 1 << (shift - 1)). Value-
+/// identical: the arithmetic shift floors, and the sign-bit correction
+/// (v >> 63 is -1 for negative v) turns the negative side's
+/// floor((v + half) / 2^s) into the exact ceil((v - half) / 2^s) =
+/// round-half-away-from-zero. Hot epilogue loops (requantize, int LN)
+/// use this form because the sign branch above mispredicts on
+/// mixed-sign accumulators and blocks vectorization.
+inline int64_t rounding_shift_right_branchless(int64_t v, int shift,
+                                               int64_t half) {
+  return (v + half + (v >> 63)) >> shift;
+}
+
+/// Branch-free saturate_signed(v, 8) companion for the same hot loops.
+inline int8_t clamp_i8(int64_t v) {
+  v = v > 127 ? 127 : v;
+  v = v < -127 ? -127 : v;
+  return static_cast<int8_t>(v);
+}
+
 /// Fixed-point multiplier for a positive real factor.
 struct Requantizer {
   int32_t multiplier = 0;  // Q31 mantissa in [2^30, 2^31)

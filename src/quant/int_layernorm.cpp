@@ -73,15 +73,28 @@ void IntLayerNorm::apply_row(const int32_t* x, int8_t* out) const {
   const int64_t inv_std =
       ((1ll << (kInvStdFracBits + kInvStdFracBits / 2)) + s / 2) / s;
 
+  // Branch-free per-element loop, value-identical to
+  // rounding_shift_right / Requantizer::apply / saturate_signed.
+  // Mixed-sign rows make the generic helpers' sign branches mispredict,
+  // and LN runs once per residual row on the serving hot path.
+  constexpr int kXhatShift = kInvStdFracBits - kXhatFracBits;
+  static_assert(kXhatShift > 0);
+  constexpr int64_t kXhatHalf = 1ll << (kXhatShift - 1);
+  const int64_t rq_mult = out_requant_.multiplier;
+  const int rq_shift = out_requant_.shift;
+  const int64_t rq_half = rq_shift > 0 ? (1ll << (rq_shift - 1)) : 0;
   for (int64_t c = 0; c < h; ++c) {
     const int64_t d = x[c] - mu;
     // xhat in Q(kXhatFracBits).
-    const int64_t xhat =
-        rounding_shift_right(d * inv_std, kInvStdFracBits - kXhatFracBits);
+    const int64_t xhat = rounding_shift_right_branchless(
+        d * inv_std, kXhatShift, kXhatHalf);
     const int64_t prod = xhat * gamma_q_[static_cast<size_t>(c)];
-    const int32_t y =
-        out_requant_.apply(prod) + beta_q_[static_cast<size_t>(c)];
-    out[c] = static_cast<int8_t>(saturate_signed(y, 8));
+    const int64_t rq =
+        rq_shift > 0
+            ? rounding_shift_right_branchless(prod * rq_mult, rq_shift,
+                                              rq_half)
+            : prod * rq_mult;
+    out[c] = clamp_i8(rq + beta_q_[static_cast<size_t>(c)]);
   }
 }
 

@@ -29,10 +29,27 @@ void IntSoftmax::apply_row(const int32_t* x, int32_t* out,
     sum += out[c];
   }
   // sum >= 255 because the max element maps to LUT[0] = 255.
-  for (int64_t c = 0; c < cols; ++c) {
-    // p = round(255 * n / sum), all-integer.
-    out[c] = static_cast<int32_t>((static_cast<int64_t>(out[c]) * 255 * 2 + sum) /
-                                  (2 * sum));
+  // p = round(255 * n / sum) = floor((510 * n + sum) / (2 * sum)),
+  // all-integer. A hardware divider per element is the naive form; here
+  // the row-invariant divisor D = 2*sum is replaced by its exact
+  // round-up reciprocal (Granlund–Montgomery): with
+  // m = floor(2^42 / D) + 1, floor(num * m / 2^42) == floor(num / D)
+  // for every num < 2^42 / D. num <= 510*255 + sum and D = 2*sum, so
+  // the bound holds whenever D <= 2^21 (rows up to ~4096 columns);
+  // longer rows take the division path.
+  const uint64_t d2 = 2 * static_cast<uint64_t>(sum);
+  if (d2 <= (1ull << 21)) {
+    const uint64_t m = ((1ull << 42) / d2) + 1;
+    for (int64_t c = 0; c < cols; ++c) {
+      const uint64_t num =
+          510 * static_cast<uint64_t>(out[c]) + static_cast<uint64_t>(sum);
+      out[c] = static_cast<int32_t>((num * m) >> 42);
+    }
+  } else {
+    for (int64_t c = 0; c < cols; ++c) {
+      out[c] = static_cast<int32_t>(
+          (static_cast<int64_t>(out[c]) * 255 * 2 + sum) / (2 * sum));
+    }
   }
 }
 

@@ -98,6 +98,11 @@ bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
   }
 }
 
+void DynamicBatcher::abort() {
+  std::lock_guard<std::mutex> lock(mu_);
+  aborted_ = true;
+}
+
 bool DynamicBatcher::next_batch(std::vector<ServeRequest>& out) {
   out.clear();
   for (;;) {
@@ -108,6 +113,8 @@ bool DynamicBatcher::next_batch(std::vector<ServeRequest>& out) {
     TimePoint next_flush = TimePoint::max();
     {
       std::lock_guard<std::mutex> lock(mu_);
+      // Aborting: pending work is fail_pending's to resolve, not ours.
+      if (aborted_) return false;
       pump_locked();
       if (pop_batch_locked(out, Clock::now(), /*force=*/closed,
                            &next_flush))
@@ -135,6 +142,9 @@ void DynamicBatcher::fail_pending(RequestStatus status) {
                             now - req.enqueue_time)
                             .count();
       req.promise.set_value(std::move(resp));
+      // Shutdown-failed requests are terminal for admitted work: without
+      // this, admitted != completed + timed_out + failed at shutdown.
+      if (stats_) stats_->record_failure();
     }
     pending_ -= bucket.size();
   }

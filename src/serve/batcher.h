@@ -37,8 +37,16 @@ class DynamicBatcher {
   /// worker threads.
   bool next_batch(std::vector<ServeRequest>& out);
 
-  /// Abort-mode shutdown: fail everything still pending (queue and
-  /// buckets) with the given status. Call after RequestQueue::close().
+  /// Abort-mode shutdown, step 1: stop handing out batches. Call
+  /// BEFORE RequestQueue::close() — otherwise a worker woken by
+  /// close() can force-drain the buckets and complete requests the
+  /// caller intended to fail, racing fail_pending on multi-core hosts.
+  /// Batches already handed to workers still complete normally.
+  void abort();
+
+  /// Abort-mode shutdown, step 2: fail everything still pending (queue
+  /// and buckets) with the given status. Call after the workers have
+  /// been joined.
   void fail_pending(RequestStatus status);
 
   int64_t bucket_of(int64_t seq_len) const;
@@ -60,6 +68,7 @@ class DynamicBatcher {
   mutable std::mutex mu_;
   std::map<int64_t, std::deque<ServeRequest>> buckets_;
   size_t pending_ = 0;
+  bool aborted_ = false;
 };
 
 }  // namespace fqbert::serve

@@ -4,12 +4,12 @@
 
 namespace fqbert::serve {
 
-void EnginePool::start(
-    std::vector<std::shared_ptr<const core::FqBertModel>> replicas) {
-  engines_ = std::move(replicas);
-  workers_.reserve(engines_.size());
-  for (const auto& engine : engines_)
-    workers_.emplace_back([this, engine] { worker_loop(*engine); });
+void EnginePool::start(std::shared_ptr<const core::FqBertModel> engine,
+                       int num_workers) {
+  engine_ = std::move(engine);
+  workers_.reserve(static_cast<size_t>(num_workers));
+  for (int w = 0; w < num_workers; ++w)
+    workers_.emplace_back([this] { worker_loop(*engine_); });
 }
 
 void EnginePool::join() {
@@ -49,6 +49,7 @@ void EnginePool::worker_loop(const core::FqBertModel& engine) {
                             .count();
       if (failed) {
         resp.status = RequestStatus::kEngineError;
+        stats_.record_failure();
       } else {
         resp.status = RequestStatus::kOk;
         const Tensor& l = logits[i];

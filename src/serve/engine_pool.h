@@ -1,6 +1,9 @@
-// Worker pool: N threads, each owning an FqBertModel engine instance,
-// all pulling batches from one DynamicBatcher. Workers exit when the
-// batcher reports closed-and-drained.
+// Worker pool: N threads sharing ONE immutable FqBertModel engine, all
+// pulling batches from one DynamicBatcher. forward_batch is
+// reentrant-const (weights are read-only after load, scratch is
+// per-thread), so weight memory is paid once per model regardless of
+// worker count. Workers exit when the batcher reports
+// closed-and-drained.
 #pragma once
 
 #include <memory>
@@ -18,8 +21,9 @@ class EnginePool {
       : batcher_(batcher), stats_(stats) {}
   ~EnginePool() { join(); }
 
-  /// Spawn one worker per engine replica.
-  void start(std::vector<std::shared_ptr<const core::FqBertModel>> replicas);
+  /// Spawn `num_workers` workers over the one shared engine.
+  void start(std::shared_ptr<const core::FqBertModel> engine,
+             int num_workers);
 
   /// Wait for every worker to exit (call after RequestQueue::close()).
   void join();
@@ -32,7 +36,7 @@ class EnginePool {
   DynamicBatcher& batcher_;
   ServeStats& stats_;
   std::vector<std::thread> workers_;
-  std::vector<std::shared_ptr<const core::FqBertModel>> engines_;
+  std::shared_ptr<const core::FqBertModel> engine_;
 };
 
 }  // namespace fqbert::serve

@@ -22,30 +22,17 @@ bool EngineRegistry::register_file(const std::string& name,
   return true;
 }
 
-std::shared_ptr<const core::FqBertModel> EngineRegistry::replica(
-    const std::string& name) const {
-  std::string path;
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    auto it = entries_.find(name);
-    if (it == entries_.end()) return nullptr;
-    if (it->second.path.empty()) return it->second.model;
-    path = it->second.path;
-  }
-  // File-backed: load outside the lock (disk I/O).
-  try {
-    return std::make_shared<const core::FqBertModel>(
-        core::FqBertModel::load(path));
-  } catch (const std::exception&) {
-    return nullptr;
-  }
-}
-
 std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.model;
+}
+
+std::string EngineRegistry::source_path(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? "" : it->second.path;
 }
 
 bool EngineRegistry::contains(const std::string& name) const {

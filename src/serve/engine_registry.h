@@ -1,8 +1,9 @@
-// Shared registry of deployable FQ-BERT engines, keyed by name. Entries
-// are either file-backed (each serving worker loads its own replica
-// from the serialized engine — bit-identical by the serialization
-// round-trip guarantee) or in-memory (every worker shares one
-// reentrant-const instance).
+// Shared registry of deployable FQ-BERT engines, keyed by name. Every
+// entry — whether registered in-memory or loaded once from a serialized
+// engine file — is a single immutable-after-load instance that all
+// serving workers share: forward/forward_batch are reentrant-const
+// (per-thread scratch, weights read-only), so replicating the weight
+// memory per worker buys nothing and is no longer supported.
 #pragma once
 
 #include <map>
@@ -22,19 +23,17 @@ class EngineRegistry {
   void register_model(const std::string& name,
                       std::shared_ptr<const core::FqBertModel> model);
 
-  /// Register a serialized engine file under `name`; the file is loaded
-  /// once up front to validate it (and to serve get()). Returns false
-  /// when the file cannot be loaded.
+  /// Register a serialized engine file under `name`. The file is loaded
+  /// exactly once, here; every worker shares the loaded instance.
+  /// Returns false when the file cannot be loaded.
   bool register_file(const std::string& name, const std::string& path);
 
-  /// Engine instance for one worker: file-backed entries load a fresh
-  /// replica from disk, in-memory entries return the shared instance.
-  /// nullptr when the name is unknown.
-  std::shared_ptr<const core::FqBertModel> replica(
-      const std::string& name) const;
-
-  /// The shared prototype (no replication). nullptr when unknown.
+  /// The shared engine instance. nullptr when the name is unknown.
   std::shared_ptr<const core::FqBertModel> get(const std::string& name) const;
+
+  /// Source path of a file-backed entry ("" for in-memory entries or
+  /// unknown names).
+  std::string source_path(const std::string& name) const;
 
   bool contains(const std::string& name) const;
   std::vector<std::string> names() const;

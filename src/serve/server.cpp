@@ -1,5 +1,7 @@
 #include "serve/server.h"
 
+#include <algorithm>
+
 namespace fqbert::serve {
 
 namespace {
@@ -26,16 +28,13 @@ InferenceServer::~InferenceServer() { shutdown(/*drain=*/true); }
 
 bool InferenceServer::start() {
   if (started_) return true;
-  std::vector<std::shared_ptr<const core::FqBertModel>> replicas;
-  replicas.reserve(static_cast<size_t>(cfg_.num_workers));
-  for (int w = 0; w < cfg_.num_workers; ++w) {
-    auto engine = cfg_.replicate_engines ? registry_.replica(engine_name_)
-                                         : registry_.get(engine_name_);
-    if (!engine) return false;
-    replicas.push_back(std::move(engine));
-  }
-  model_config_ = replicas.front()->config();
-  pool_.start(std::move(replicas));
+  std::shared_ptr<const core::FqBertModel> engine =
+      registry_.get(engine_name_);
+  if (!engine) return false;
+  model_config_ = engine->config();
+  // 0 workers would admit requests that are never served (futures
+  // block forever); clamp like BatcherConfig clamps max_batch.
+  pool_.start(std::move(engine), std::max(1, cfg_.num_workers));
   start_ns_ = now_ns();
   started_ = true;
   return true;
@@ -86,9 +85,11 @@ std::future<ServeResponse> InferenceServer::submit(
       resp.status = RequestStatus::kRejectedDeadline;
       break;
     case AdmitResult::kInvalidExample:
+      stats_.record_rejected_invalid();
       resp.status = RequestStatus::kRejectedInvalid;
       break;
     case AdmitResult::kClosed:
+      stats_.record_rejected_closed();
       resp.status = RequestStatus::kShutdown;
       break;
   }
@@ -98,9 +99,14 @@ std::future<ServeResponse> InferenceServer::submit(
 
 void InferenceServer::shutdown(bool drain) {
   if (!started_ || stopped_.exchange(true)) return;
+  // Abort mode: stop batch handout BEFORE waking the workers via
+  // close(), then fail whatever is left only after they have exited —
+  // otherwise a woken worker can force-drain the buckets and complete
+  // requests this shutdown promised to fail (racy on multi-core).
+  if (!drain) batcher_.abort();
   queue_.close();
-  if (!drain) batcher_.fail_pending(RequestStatus::kShutdown);
   pool_.join();
+  if (!drain) batcher_.fail_pending(RequestStatus::kShutdown);
   stop_ns_ = now_ns();
 }
 

@@ -1,7 +1,7 @@
 // InferenceServer: the serving facade. Wires a RequestQueue (deadline-
 // aware admission) -> DynamicBatcher (seq-length bucketing, max-batch /
-// max-wait flush) -> EnginePool (N workers, each with an engine replica
-// from the shared EngineRegistry), with a ServeStats collector across
+// max-wait flush) -> EnginePool (N workers sharing the one immutable
+// engine from the EngineRegistry), with a ServeStats collector across
 // all stages.
 //
 //   EngineRegistry registry;
@@ -24,10 +24,6 @@ struct ServerConfig {
   int num_workers = 2;
   RequestQueueConfig queue;
   BatcherConfig batcher;
-  /// File-backed registry entries: give each worker its own loaded
-  /// replica (false shares one instance; forward is reentrant-const so
-  /// both are correct).
-  bool replicate_engines = true;
 };
 
 class InferenceServer {
@@ -36,8 +32,10 @@ class InferenceServer {
                   const ServerConfig& cfg = {});
   ~InferenceServer();
 
-  /// Resolve engine replicas and spawn the workers. False when the
-  /// engine name cannot be resolved from the registry.
+  /// Resolve the shared engine and spawn the workers (all workers share
+  /// the registry's one immutable instance — forward_batch is
+  /// reentrant-const, so per-worker weight replicas would only multiply
+  /// memory). False when the engine name cannot be resolved.
   bool start();
 
   /// Enqueue one example. The returned future always completes; on

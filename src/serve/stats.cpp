@@ -34,9 +34,24 @@ void ServeStats::record_rejected_deadline() {
   ++rejected_deadline_;
 }
 
+void ServeStats::record_rejected_invalid() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_invalid_;
+}
+
+void ServeStats::record_rejected_closed() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++rejected_closed_;
+}
+
 void ServeStats::record_timeout() {
   std::lock_guard<std::mutex> lock(mu_);
   ++timed_out_;
+}
+
+void ServeStats::record_failure() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++failed_;
 }
 
 void ServeStats::record_batch(size_t batch_size) {
@@ -47,8 +62,14 @@ void ServeStats::record_batch(size_t batch_size) {
 
 void ServeStats::record_response(int64_t latency_us, int64_t queue_us) {
   std::lock_guard<std::mutex> lock(mu_);
-  latencies_us_.push_back(latency_us);
+  ++completed_;
   queue_us_sum_ += queue_us;
+  if (latencies_us_.size() < latency_window_) {
+    latencies_us_.push_back(latency_us);
+  } else {
+    latencies_us_[latency_next_] = latency_us;
+    latency_next_ = (latency_next_ + 1) % latency_window_;
+  }
 }
 
 ServeStats::Report ServeStats::report() const {
@@ -57,8 +78,12 @@ ServeStats::Report ServeStats::report() const {
   r.admitted = admitted_;
   r.rejected_full = rejected_full_;
   r.rejected_deadline = rejected_deadline_;
+  r.rejected_invalid = rejected_invalid_;
+  r.rejected_closed = rejected_closed_;
   r.timed_out = timed_out_;
-  r.completed = latencies_us_.size();
+  r.completed = completed_;
+  r.failed = failed_;
+  r.latency_samples = latencies_us_.size();
   r.batches = batches_;
   r.mean_batch_occupancy =
       batches_ > 0 ? static_cast<double>(batched_requests_) /
@@ -81,9 +106,12 @@ ServeStats::Report ServeStats::report() const {
 void ServeStats::reset() {
   std::lock_guard<std::mutex> lock(mu_);
   admitted_ = rejected_full_ = rejected_deadline_ = 0;
-  timed_out_ = batches_ = batched_requests_ = 0;
+  rejected_invalid_ = rejected_closed_ = 0;
+  timed_out_ = failed_ = batches_ = batched_requests_ = 0;
+  completed_ = 0;
   queue_us_sum_ = 0;
   latencies_us_.clear();
+  latency_next_ = 0;
 }
 
 }  // namespace fqbert::serve

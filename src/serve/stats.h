@@ -2,8 +2,19 @@
 // occupancy. One collector is shared by the queue, the batcher and the
 // worker pool; everything is mutex-guarded and cheap enough to sit on
 // the request path.
+//
+// Latency samples live in a bounded sliding window (default 64Ki
+// samples, configurable per collector), so a server that stays up for
+// millions of requests holds O(window) memory and report() costs
+// O(window log window) regardless of history length. The tradeoff:
+// percentiles describe the most recent `latency_window` completions
+// rather than all-time history — for a long-running server that is
+// usually the more useful number anyway (it tracks current load), but
+// max_ms is likewise windowed. Counters (admitted / completed / failed /
+// timed out / rejected) remain exact over the full lifetime.
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <mutex>
 #include <vector>
@@ -12,26 +23,46 @@ namespace fqbert::serve {
 
 class ServeStats {
  public:
+  static constexpr size_t kDefaultLatencyWindow = 1 << 16;
+
+  explicit ServeStats(size_t latency_window = kDefaultLatencyWindow)
+      : latency_window_(latency_window > 0 ? latency_window : 1) {}
+
   struct Report {
     uint64_t admitted = 0;
     uint64_t rejected_full = 0;
     uint64_t rejected_deadline = 0;
+    uint64_t rejected_invalid = 0;  // malformed for the target engine
+    uint64_t rejected_closed = 0;   // submitted after shutdown
     uint64_t timed_out = 0;   // admitted but expired before execution
-    uint64_t completed = 0;
+    uint64_t completed = 0;   // exact lifetime count (not windowed)
+    uint64_t failed = 0;      // engine error or shutdown-failed
     uint64_t batches = 0;
-    double mean_batch_occupancy = 0.0;  // completed / batches
+    uint64_t latency_samples = 0;  // samples behind the percentiles
+    double mean_batch_occupancy = 0.0;  // batched requests / batches
     double mean_queue_ms = 0.0;         // admission -> batch formation
+    // Quantiles over the most recent latency_samples completions.
     double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
 
     double throughput_rps(double wall_s) const {
       return wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
+    }
+
+    /// Every admitted request reaches exactly one terminal state.
+    bool accounting_balances() const {
+      return admitted == completed + timed_out + failed;
     }
   };
 
   void record_admitted();
   void record_rejected_full();
   void record_rejected_deadline();
+  void record_rejected_invalid();
+  void record_rejected_closed();
   void record_timeout();
+  /// Terminal failure of an *admitted* request: engine error while
+  /// executing its batch, or failed by an abort-mode shutdown.
+  void record_failure();
   void record_batch(size_t batch_size);
   void record_response(int64_t latency_us, int64_t queue_us);
 
@@ -39,11 +70,16 @@ class ServeStats {
   void reset();
 
  private:
+  const size_t latency_window_;
   mutable std::mutex mu_;
   uint64_t admitted_ = 0, rejected_full_ = 0, rejected_deadline_ = 0;
-  uint64_t timed_out_ = 0, batches_ = 0, batched_requests_ = 0;
+  uint64_t rejected_invalid_ = 0, rejected_closed_ = 0;
+  uint64_t timed_out_ = 0, failed_ = 0, batches_ = 0, batched_requests_ = 0;
+  uint64_t completed_ = 0;
   int64_t queue_us_sum_ = 0;
+  // Ring buffer of the last latency_window_ response latencies.
   std::vector<int64_t> latencies_us_;
+  size_t latency_next_ = 0;
 };
 
 }  // namespace fqbert::serve

@@ -1,0 +1,141 @@
+// The seed's scalar FQ-BERT inference path, preserved as the oracle
+// that tests and benches compare the unified panel-kernel path against.
+//
+// PR 2 deleted this path from the engine (forward() now delegates to
+// the panel kernel); this header is its faithful reconstruction over
+// the reference kernel int_matmul_wt: per-call allocations, scalar
+// matmuls, and — matching the seed, where int8 codes stayed resident in
+// QuantLinear::w_codes — the weight codes are narrowed ONCE at oracle
+// construction, never inside a timed or fuzzed call. Shared by
+// tests/test_forward_fuzz.cpp and bench/bench_single_latency.cpp so
+// there is exactly one reference implementation to keep in sync.
+#pragma once
+
+#include <vector>
+
+#include "core/fq_bert.h"
+#include "core/int_kernels.h"
+
+namespace fqbert::core::oracle {
+
+/// A QuantLinear plus its resident int8 codes (seed layout).
+struct OracleLinear {
+  const QuantLinear* ql = nullptr;
+  std::vector<int8_t> codes;
+
+  explicit OracleLinear(const QuantLinear& q)
+      : ql(&q), codes(q.narrow_codes()) {}
+};
+
+struct OracleLayer {
+  const FqEncoderLayer* layer = nullptr;
+  OracleLinear wq, wk, wv, wo, ffn1, ffn2;
+
+  explicit OracleLayer(const FqEncoderLayer& l)
+      : layer(&l), wq(l.wq), wk(l.wk), wv(l.wv), wo(l.wo), ffn1(l.ffn1),
+        ffn2(l.ffn2) {}
+};
+
+struct OracleModel {
+  const FqBertModel* engine = nullptr;
+  std::vector<OracleLayer> layers;
+
+  explicit OracleModel(const FqBertModel& e) : engine(&e) {
+    layers.reserve(e.encoder_layers().size());
+    for (const FqEncoderLayer& l : e.encoder_layers()) layers.emplace_back(l);
+  }
+};
+
+inline void oracle_linear(const OracleLinear& ol, const std::vector<int8_t>& x,
+                          std::vector<int8_t>& y, int64_t rows) {
+  std::vector<int32_t> acc;
+  int_matmul_wt(x, ol.codes, acc, rows, ol.ql->in, ol.ql->out);
+  requantize_i8(acc, ol.ql->bias_q, ol.ql->rq, y, rows, ol.ql->out);
+}
+
+/// The seed FqEncoderLayer::forward, verbatim, over the oracle kernel.
+inline void oracle_layer_forward(const OracleLayer& ol,
+                                 const std::vector<int8_t>& x,
+                                 std::vector<int8_t>& y, int64_t s_len) {
+  const FqEncoderLayer& layer = *ol.layer;
+  const int64_t hidden = layer.hidden;
+  const int64_t head_dim = layer.head_dim;
+
+  std::vector<int8_t> q, k, v;
+  oracle_linear(ol.wq, x, q, s_len);
+  oracle_linear(ol.wk, x, k, s_len);
+  oracle_linear(ol.wv, x, v, s_len);
+
+  std::vector<int8_t> ctx(static_cast<size_t>(s_len * hidden));
+  std::vector<int8_t> qh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int8_t> kh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int8_t> vh(static_cast<size_t>(s_len * head_dim));
+  std::vector<int32_t> scores, probs, ctx_acc;
+
+  for (int64_t h = 0; h < layer.num_heads; ++h) {
+    for (int64_t r = 0; r < s_len; ++r) {
+      const int8_t* qrow = q.data() + r * hidden + h * head_dim;
+      const int8_t* krow = k.data() + r * hidden + h * head_dim;
+      const int8_t* vrow = v.data() + r * hidden + h * head_dim;
+      std::copy(qrow, qrow + head_dim, qh.data() + r * head_dim);
+      std::copy(krow, krow + head_dim, kh.data() + r * head_dim);
+      std::copy(vrow, vrow + head_dim, vh.data() + r * head_dim);
+    }
+    int_matmul_bt(qh, kh, scores, s_len, head_dim, s_len);
+    layer.apply_softmax(scores, probs, s_len);
+    int_matmul_pv(probs, vh, ctx_acc, s_len, s_len, head_dim);
+    for (int64_t r = 0; r < s_len; ++r) {
+      int8_t* crow = ctx.data() + r * hidden + h * head_dim;
+      const int32_t* arow = ctx_acc.data() + r * head_dim;
+      for (int64_t c = 0; c < head_dim; ++c)
+        crow[c] = static_cast<int8_t>(
+            quant::saturate_signed(layer.ctx_rq.apply(arow[c]), 8));
+    }
+  }
+
+  std::vector<int8_t> attn_out;
+  oracle_linear(ol.wo, ctx, attn_out, s_len);
+
+  std::vector<int32_t> res(static_cast<size_t>(s_len * hidden));
+  for (int64_t i = 0; i < s_len * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(attn_out[static_cast<size_t>(i)]) +
+        layer.res1_rq.apply(x[static_cast<size_t>(i)]);
+
+  std::vector<int8_t> ffn_x;
+  layer.apply_layernorm(res, ffn_x, s_len, /*first=*/true);
+
+  std::vector<int8_t> pre, mid, fo;
+  oracle_linear(ol.ffn1, ffn_x, pre, s_len);
+  mid.resize(pre.size());
+  for (size_t i = 0; i < pre.size(); ++i) mid[i] = layer.gelu->apply(pre[i]);
+  oracle_linear(ol.ffn2, mid, fo, s_len);
+
+  for (int64_t i = 0; i < s_len * hidden; ++i)
+    res[static_cast<size_t>(i)] =
+        static_cast<int32_t>(fo[static_cast<size_t>(i)]) +
+        layer.res2_rq.apply(ffn_x[static_cast<size_t>(i)]);
+  layer.apply_layernorm(res, y, s_len, /*first=*/false);
+}
+
+/// Seed encoder stack over the oracle path (x consumed by value, like
+/// the seed's ping-pong buffers).
+inline void oracle_encoder(const OracleModel& om, std::vector<int8_t> x,
+                           std::vector<int8_t>& out, int64_t s_len) {
+  std::vector<int8_t> y;
+  for (const OracleLayer& ol : om.layers) {
+    oracle_layer_forward(ol, x, y, s_len);
+    x.swap(y);
+  }
+  out = std::move(x);
+}
+
+/// The seed FqBertModel::forward: embed -> scalar encoder -> head.
+inline Tensor oracle_forward(const OracleModel& om, const nn::Example& ex) {
+  std::vector<int8_t> out;
+  oracle_encoder(om, om.engine->embed(ex), out,
+                 static_cast<int64_t>(ex.tokens.size()));
+  return om.engine->head(out);
+}
+
+}  // namespace fqbert::core::oracle

@@ -335,6 +335,26 @@ TEST(InferenceServer, RejectsMalformedExamplesAtAdmission) {
   auto ok = server.submit(synth_example(rng, 8, cfg));
   EXPECT_EQ(ok.get().status, RequestStatus::kOk);
   server.shutdown();
+  // The rejections are visible server-side, not only in client counts.
+  EXPECT_EQ(server.stats().report().rejected_invalid, 4u);
+  // Post-shutdown submissions land in the closed counter.
+  auto late = server.submit(synth_example(rng, 8, cfg));
+  EXPECT_EQ(late.get().status, RequestStatus::kShutdown);
+  EXPECT_EQ(server.stats().report().rejected_closed, 1u);
+}
+
+TEST(InferenceServer, ZeroWorkerConfigStillServes) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  ServerConfig cfg;
+  cfg.num_workers = 0;  // clamped to 1: futures must never hang
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.num_workers(), 1u);
+  Rng rng(17);
+  auto fut = server.submit(synth_example(rng, 8, fixture().config));
+  EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+  server.shutdown();
 }
 
 TEST(InferenceServer, DeadlineRejectionAndStatsCounters) {
@@ -361,24 +381,25 @@ TEST(EngineRegistry, InMemoryEntriesShareOneInstance) {
   EngineRegistry registry;
   registry.register_model("tiny", fixture().engine);
   EXPECT_TRUE(registry.contains("tiny"));
-  EXPECT_EQ(registry.replica("tiny").get(), fixture().engine.get());
+  EXPECT_EQ(registry.get("tiny").get(), fixture().engine.get());
+  EXPECT_EQ(registry.source_path("tiny"), "");
   EXPECT_EQ(registry.get("missing"), nullptr);
-  EXPECT_EQ(registry.replica("missing"), nullptr);
 }
 
-TEST(EngineRegistry, FileBackedEntriesLoadFreshReplicas) {
+TEST(EngineRegistry, FileBackedEntriesShareOneLoadedInstance) {
   const std::string path = ::testing::TempDir() + "fq_serve_registry.bin";
   ASSERT_TRUE(fixture().engine->save(path));
 
   EngineRegistry registry;
   ASSERT_TRUE(registry.register_file("disk", path));
-  auto r1 = registry.replica("disk");
-  auto r2 = registry.replica("disk");
+  auto r1 = registry.get("disk");
+  auto r2 = registry.get("disk");
   ASSERT_NE(r1, nullptr);
-  ASSERT_NE(r2, nullptr);
-  EXPECT_NE(r1.get(), r2.get());  // true per-worker replicas
+  // One load, one weight store, shared by every consumer.
+  EXPECT_EQ(r1.get(), r2.get());
+  EXPECT_EQ(registry.source_path("disk"), path);
 
-  // Replicas serve bit-identical logits to the original engine.
+  // The shared instance serves bit-identical logits to the original.
   Rng rng(9);
   const Example ex = synth_example(rng, 10, fixture().config);
   const Tensor a = fixture().engine->forward(ex);
@@ -386,6 +407,123 @@ TEST(EngineRegistry, FileBackedEntriesLoadFreshReplicas) {
   for (int64_t j = 0; j < a.numel(); ++j) EXPECT_EQ(a[j], b[j]);
 
   EXPECT_FALSE(registry.register_file("bad", path + ".nope"));
+}
+
+TEST(EnginePool, WorkersShareOneEngineInstance) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  const long before = fixture().engine.use_count();
+
+  ServerConfig cfg;
+  cfg.num_workers = 4;
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.num_workers(), 4u);
+  // Registry entry + the pool's single shared handle: starting 4 workers
+  // must not create 4 engine copies.
+  EXPECT_EQ(fixture().engine.use_count(), before + 1);
+
+  Rng rng(21);
+  auto fut = server.submit(synth_example(rng, 8, fixture().config));
+  EXPECT_EQ(fut.get().status, RequestStatus::kOk);
+  server.shutdown(/*drain=*/true);
+}
+
+// ---------------------------------------------------------------------------
+// Stats: bounded memory and terminal-state accounting
+// ---------------------------------------------------------------------------
+
+TEST(ServeStats, LatencyWindowBoundsMemoryOverLongRuns) {
+  constexpr size_t kWindow = 128;
+  ServeStats stats(kWindow);
+  // A >=100k-request run: counters stay exact, samples stay bounded.
+  constexpr uint64_t kRequests = 200000;
+  for (uint64_t i = 0; i < kRequests; ++i) {
+    stats.record_admitted();
+    stats.record_response(static_cast<int64_t>(1000 + i), 10);
+  }
+  const ServeStats::Report r = stats.report();
+  EXPECT_EQ(r.admitted, kRequests);
+  EXPECT_EQ(r.completed, kRequests);  // exact, not capped at the window
+  EXPECT_EQ(r.latency_samples, kWindow);
+  EXPECT_TRUE(r.accounting_balances());
+  // Percentiles describe the most recent kWindow responses: every
+  // surviving sample comes from the tail of the run.
+  const double oldest_ms =
+      static_cast<double>(1000 + kRequests - kWindow) / 1000.0;
+  EXPECT_GE(r.p50_ms, oldest_ms);
+  EXPECT_GE(r.max_ms, r.p99_ms);
+}
+
+TEST(ServeStats, ResetClearsWindowAndCounters) {
+  ServeStats stats(4);
+  for (int i = 0; i < 10; ++i) stats.record_response(100, 1);
+  stats.record_failure();
+  stats.reset();
+  const ServeStats::Report r = stats.report();
+  EXPECT_EQ(r.completed, 0u);
+  EXPECT_EQ(r.failed, 0u);
+  EXPECT_EQ(r.latency_samples, 0u);
+  EXPECT_EQ(r.p99_ms, 0.0);
+}
+
+TEST(InferenceServer, ShutdownAccountingBalancesExactly) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+
+  ServerConfig cfg;
+  cfg.num_workers = 1;
+  cfg.batcher.max_batch = 64;
+  cfg.batcher.max_wait = Micros(3600L * 1000 * 1000);  // never flush
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+
+  Rng rng(13);
+  std::vector<std::future<ServeResponse>> futures;
+  for (int i = 0; i < 7; ++i)
+    futures.push_back(
+        server.submit(synth_example(rng, 8, fixture().config)));
+  server.shutdown(/*drain=*/false);
+  for (auto& fut : futures)
+    EXPECT_EQ(fut.get().status, RequestStatus::kShutdown);
+
+  const ServeStats::Report r = server.stats().report();
+  EXPECT_EQ(r.admitted, 7u);
+  EXPECT_EQ(r.failed, 7u);
+  EXPECT_EQ(r.completed + r.timed_out + r.failed, r.admitted)
+      << "admitted requests must all reach exactly one terminal state";
+  EXPECT_TRUE(r.accounting_balances());
+}
+
+TEST(InferenceServer, LoadgenAccountingBalancesWithTimeouts) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.max_wait = Micros(500);
+  InferenceServer server(registry, "tiny", cfg);
+  ASSERT_TRUE(server.start());
+
+  LoadgenConfig lcfg;
+  lcfg.num_clients = 4;
+  lcfg.requests_per_client = 50;
+  // Tight deadline: some requests expire in queue, exercising the
+  // timed-out terminal path alongside completions.
+  lcfg.deadline_budget = Micros(1500);
+  const LoadgenReport lg = run_loadgen(server, fixture().config, lcfg);
+  server.shutdown(/*drain=*/true);
+
+  const ServeStats::Report r = server.stats().report();
+  EXPECT_EQ(lg.sent, 200u);
+  EXPECT_TRUE(r.accounting_balances())
+      << "admitted " << r.admitted << " != completed " << r.completed
+      << " + timed_out " << r.timed_out << " + failed " << r.failed;
+  // Client-side and server-side views agree.
+  EXPECT_EQ(r.completed, lg.ok);
+  EXPECT_EQ(r.timed_out, lg.timed_out);
+  EXPECT_EQ(r.failed, lg.failed);
 }
 
 }  // namespace

@@ -107,8 +107,9 @@ std::vector<int64_t> parse_int_list(const std::string& csv) {
 }
 
 /// Resolve the serving engine: --engine loads a file into the registry
-/// (file-backed, per-worker replicas); --task trains+quantizes a demo
-/// engine in-memory. Returns nullptr (after printing) on failure.
+/// (loaded once; all workers share the immutable instance); --task
+/// trains+quantizes a demo engine in-memory. Returns nullptr (after
+/// printing) on failure.
 std::shared_ptr<const core::FqBertModel> resolve_engine(
     const Args& a, serve::EngineRegistry& registry, const char* name) {
   const std::string engine_path = a.get("engine");
@@ -166,8 +167,16 @@ void print_serve_report(const serve::LoadgenReport& lg,
               lg.throughput_rps(), st.mean_batch_occupancy,
               static_cast<unsigned long long>(st.batches));
   std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f "
-              "ms (queue %.2f ms mean)\n",
-              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms);
+              "ms (queue %.2f ms mean; window of %llu samples)\n",
+              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
+              static_cast<unsigned long long>(st.latency_samples));
+  std::printf("balance : admitted %llu = completed %llu + timed out %llu + "
+              "failed %llu  [%s]\n",
+              static_cast<unsigned long long>(st.admitted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.timed_out),
+              static_cast<unsigned long long>(st.failed),
+              st.accounting_balances() ? "OK" : "MISMATCH");
 }
 
 int cmd_serve(const Args& a) {
