@@ -3,18 +3,63 @@
 #include <algorithm>
 #include <thread>
 
+#include "serve/net/transport_client.h"
+
 namespace fqbert::serve {
+
+namespace {
+
+/// Per-client tallies, merged into the shared report once per thread.
+struct ClientTally {
+  uint64_t sent = 0, ok = 0, rejected = 0, timed_out = 0, failed = 0;
+
+  void count(RequestStatus status) {
+    switch (status) {
+      case RequestStatus::kOk: ++ok; break;
+      case RequestStatus::kRejectedQueueFull:
+      case RequestStatus::kRejectedDeadline:
+      case RequestStatus::kRejectedInvalid: ++rejected; break;
+      case RequestStatus::kTimedOut: ++timed_out; break;
+      case RequestStatus::kEngineError:
+      case RequestStatus::kShutdown: ++failed; break;
+    }
+  }
+
+  void merge_into(LoadgenReport& report, std::mutex& mu) const {
+    std::lock_guard<std::mutex> lock(mu);
+    report.sent += sent;
+    report.ok += ok;
+    report.rejected += rejected;
+    report.timed_out += timed_out;
+    report.failed += failed;
+  }
+};
+
+int64_t pick_len(Rng& rng, const LoadgenConfig& cfg,
+                 const nn::BertConfig& engine_config) {
+  return cfg.seq_len_mix.empty() ? engine_config.max_seq_len
+                                 : rng.choice(cfg.seq_len_mix);
+}
+
+}  // namespace
 
 nn::Example synth_example(Rng& rng, int64_t seq_len,
                           const nn::BertConfig& config) {
-  const int64_t len =
-      std::clamp<int64_t>(seq_len, 2, config.max_seq_len);
+  // Admission accepts [1, max_seq_len]; prefer >= 2 (a CLS anchor plus
+  // at least one content token) when the engine allows it. The bounds
+  // are ordered even for degenerate configs — std::clamp with lo > hi
+  // and randint over an empty range are UB, not just wrong.
+  const int64_t hi = std::max<int64_t>(1, config.max_seq_len);
+  const int64_t lo = std::min<int64_t>(2, hi);
+  const int64_t len = std::clamp<int64_t>(seq_len, lo, hi);
   nn::Example ex;
   ex.tokens.resize(static_cast<size_t>(len));
   ex.tokens[0] = 0;  // CLS anchor
   for (int64_t i = 1; i < len; ++i)
     ex.tokens[static_cast<size_t>(i)] =
-        static_cast<int32_t>(rng.randint(1, config.vocab_size - 1));
+        config.vocab_size > 1
+            ? static_cast<int32_t>(rng.randint(1, config.vocab_size - 1))
+            : 0;
   ex.segments.assign(static_cast<size_t>(len), 0);
   return ex;
 }
@@ -31,31 +76,57 @@ LoadgenReport run_loadgen(InferenceServer& server,
   for (int c = 0; c < cfg.num_clients; ++c) {
     clients.emplace_back([&, c] {
       Rng rng(cfg.seed * 7919 + static_cast<uint64_t>(c));
-      uint64_t sent = 0, ok = 0, rejected = 0, timed_out = 0, failed = 0;
+      ClientTally tally;
       for (int i = 0; i < cfg.requests_per_client; ++i) {
-        const int64_t len = cfg.seq_len_mix.empty()
-                                ? engine_config.max_seq_len
-                                : rng.choice(cfg.seq_len_mix);
-        nn::Example ex = synth_example(rng, len, engine_config);
+        nn::Example ex =
+            synth_example(rng, pick_len(rng, cfg, engine_config),
+                          engine_config);
         auto fut = server.submit(std::move(ex), cfg.deadline_budget);
-        ++sent;
-        const ServeResponse resp = fut.get();  // closed loop
-        switch (resp.status) {
-          case RequestStatus::kOk: ++ok; break;
-          case RequestStatus::kRejectedQueueFull:
-          case RequestStatus::kRejectedDeadline:
-          case RequestStatus::kRejectedInvalid: ++rejected; break;
-          case RequestStatus::kTimedOut: ++timed_out; break;
-          case RequestStatus::kEngineError:
-          case RequestStatus::kShutdown: ++failed; break;
-        }
+        ++tally.sent;
+        tally.count(fut.get().status);  // closed loop
       }
-      std::lock_guard<std::mutex> lock(report_mu);
-      report.sent += sent;
-      report.ok += ok;
-      report.rejected += rejected;
-      report.timed_out += timed_out;
-      report.failed += failed;
+      tally.merge_into(report, report_mu);
+    });
+  }
+  for (std::thread& t : clients) t.join();
+  report.wall_s = std::chrono::duration<double>(Clock::now() - t0).count();
+  return report;
+}
+
+LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
+                                 const nn::BertConfig& engine_config,
+                                 const LoadgenConfig& cfg) {
+  LoadgenReport report;
+  std::mutex report_mu;
+
+  const TimePoint t0 = Clock::now();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(cfg.num_clients));
+  for (int c = 0; c < cfg.num_clients; ++c) {
+    clients.emplace_back([&, c] {
+      Rng rng(cfg.seed * 7919 + static_cast<uint64_t>(c));
+      net::TransportClient client;
+      ClientTally tally;
+      for (int i = 0; i < cfg.requests_per_client; ++i) {
+        ++tally.sent;
+        if (!client.connected() && !client.connect(host, port)) {
+          ++tally.failed;
+          continue;
+        }
+        const nn::Example ex =
+            synth_example(rng, pick_len(rng, cfg, engine_config),
+                          engine_config);
+        const std::optional<ServeResponse> resp =
+            client.call(ex, cfg.deadline_budget);
+        if (!resp) {
+          // Transport failure; the client closed itself and the next
+          // iteration reconnects.
+          ++tally.failed;
+          continue;
+        }
+        tally.count(resp->status);
+      }
+      tally.merge_into(report, report_mu);
     });
   }
   for (std::thread& t : clients) t.join();

@@ -35,12 +35,26 @@ struct LoadgenReport {
 
 /// Random token sequence shaped like the engine's inputs (token 0
 /// reserved as [CLS]-ish anchor so batched CLS rows are well-defined).
+/// Always admissible by InferenceServer::valid_example for the same
+/// config: length clamped to [min(2, max_seq_len), max_seq_len], token
+/// ids within vocab — degenerate configs (max_seq_len or vocab_size of
+/// 1) are handled instead of feeding inverted ranges to clamp/randint.
 nn::Example synth_example(Rng& rng, int64_t seq_len,
                           const nn::BertConfig& config);
 
 /// Drive `server` closed-loop; blocks until every client finishes.
+/// An empty seq_len_mix falls back to the engine's max_seq_len.
 LoadgenReport run_loadgen(InferenceServer& server,
                           const nn::BertConfig& engine_config,
                           const LoadgenConfig& cfg);
+
+/// Remote flavor of run_loadgen: each client thread opens its own
+/// TransportClient connection to a TransportServer at host:port and
+/// runs the same closed loop over the wire. Transport-level failures
+/// (connect/send/recv/protocol) count as `failed`; one reconnect is
+/// attempted per request.
+LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
+                                 const nn::BertConfig& engine_config,
+                                 const LoadgenConfig& cfg);
 
 }  // namespace fqbert::serve

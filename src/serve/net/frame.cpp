@@ -1,0 +1,238 @@
+#include "serve/net/frame.h"
+
+#include <cstring>
+
+namespace fqbert::serve::net {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// Little-endian primitives. Byte-at-a-time so the codec is independent
+// of host endianness and alignment.
+// ---------------------------------------------------------------------------
+
+void put_u8(std::vector<uint8_t>& out, uint8_t v) { out.push_back(v); }
+
+void put_u16(std::vector<uint8_t>& out, uint16_t v) {
+  out.push_back(static_cast<uint8_t>(v));
+  out.push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void put_u32(std::vector<uint8_t>& out, uint32_t v) {
+  for (int i = 0; i < 4; ++i)
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_u64(std::vector<uint8_t>& out, uint64_t v) {
+  for (int i = 0; i < 8; ++i)
+    out.push_back(static_cast<uint8_t>(v >> (8 * i)));
+}
+
+void put_i32(std::vector<uint8_t>& out, int32_t v) {
+  put_u32(out, static_cast<uint32_t>(v));
+}
+
+void put_i64(std::vector<uint8_t>& out, int64_t v) {
+  put_u64(out, static_cast<uint64_t>(v));
+}
+
+void put_f32(std::vector<uint8_t>& out, float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u32(out, bits);
+}
+
+/// Bounds-checked sequential reader over one payload. Every take_*
+/// fails (and latches failure) instead of reading past `len`.
+struct Cursor {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+  bool ok = true;
+
+  bool have(size_t n) {
+    if (!ok || len - pos < n) ok = false;
+    return ok;
+  }
+  uint8_t take_u8() {
+    if (!have(1)) return 0;
+    return data[pos++];
+  }
+  uint32_t take_u32() {
+    if (!have(4)) return 0;
+    uint32_t v = 0;
+    for (int i = 0; i < 4; ++i)
+      v |= static_cast<uint32_t>(data[pos + static_cast<size_t>(i)])
+           << (8 * i);
+    pos += 4;
+    return v;
+  }
+  uint64_t take_u64() {
+    if (!have(8)) return 0;
+    uint64_t v = 0;
+    for (int i = 0; i < 8; ++i)
+      v |= static_cast<uint64_t>(data[pos + static_cast<size_t>(i)])
+           << (8 * i);
+    pos += 8;
+    return v;
+  }
+  int32_t take_i32() { return static_cast<int32_t>(take_u32()); }
+  int64_t take_i64() { return static_cast<int64_t>(take_u64()); }
+  float take_f32() {
+    const uint32_t bits = take_u32();
+    float v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// Fully consumed and no read ever ran off the end.
+  bool done() const { return ok && pos == len; }
+};
+
+/// Patch the payload_len field once the payload size is known.
+void begin_frame(std::vector<uint8_t>& out, FrameType type) {
+  put_u32(out, kFrameMagic);
+  put_u8(out, kProtocolVersion);
+  put_u8(out, static_cast<uint8_t>(type));
+  put_u16(out, 0);           // reserved
+  put_u32(out, 0);           // payload_len, patched by end_frame
+}
+
+void end_frame(std::vector<uint8_t>& out, size_t frame_start) {
+  const size_t payload = out.size() - frame_start - kHeaderSize;
+  for (int i = 0; i < 4; ++i)
+    out[frame_start + 8 + static_cast<size_t>(i)] =
+        static_cast<uint8_t>(payload >> (8 * i));
+}
+
+}  // namespace
+
+DecodeStatus decode_header(const uint8_t* data, size_t len,
+                           FrameHeader* out) {
+  if (len < kHeaderSize) return DecodeStatus::kNeedMore;
+  Cursor c{data, kHeaderSize};
+  const uint32_t magic = c.take_u32();
+  const uint8_t version = c.take_u8();
+  const uint8_t type = c.take_u8();
+  const uint8_t r0 = c.take_u8();
+  const uint8_t r1 = c.take_u8();
+  const uint32_t payload_len = c.take_u32();
+  if (magic != kFrameMagic || version != kProtocolVersion || r0 != 0 ||
+      r1 != 0)
+    return DecodeStatus::kError;
+  if (type < static_cast<uint8_t>(FrameType::kInfoRequest) ||
+      type > static_cast<uint8_t>(FrameType::kServeResponse))
+    return DecodeStatus::kError;
+  if (payload_len > kMaxPayload) return DecodeStatus::kError;
+  out->type = static_cast<FrameType>(type);
+  out->payload_len = payload_len;
+  return DecodeStatus::kFrame;
+}
+
+bool decode_info_response(const uint8_t* payload, size_t len,
+                          WireInfo* out) {
+  Cursor c{payload, len};
+  nn::BertConfig& cfg = out->config;
+  cfg.vocab_size = c.take_i64();
+  cfg.hidden = c.take_i64();
+  cfg.num_layers = c.take_i64();
+  cfg.num_heads = c.take_i64();
+  cfg.ffn_dim = c.take_i64();
+  cfg.max_seq_len = c.take_i64();
+  cfg.num_segments = c.take_i64();
+  cfg.num_classes = c.take_i64();
+  return c.done();
+}
+
+bool decode_serve_request(const uint8_t* payload, size_t len,
+                          WireRequest* out) {
+  Cursor c{payload, len};
+  out->correlation_id = c.take_u64();
+  out->deadline_budget_us = c.take_i64();
+  const uint32_t num_tokens = c.take_u32();
+  const uint32_t num_segments = c.take_u32();
+  if (!c.ok || num_tokens > kMaxTokens || num_segments > kMaxTokens)
+    return false;
+  // A-priori size check so a lying count cannot trigger a large resize
+  // before the per-element reads fail.
+  if (len - c.pos != (static_cast<size_t>(num_tokens) +
+                      static_cast<size_t>(num_segments)) *
+                         4)
+    return false;
+  out->example.tokens.resize(num_tokens);
+  out->example.segments.resize(num_segments);
+  for (uint32_t i = 0; i < num_tokens; ++i)
+    out->example.tokens[i] = c.take_i32();
+  for (uint32_t i = 0; i < num_segments; ++i)
+    out->example.segments[i] = c.take_i32();
+  return c.done();
+}
+
+bool decode_serve_response(const uint8_t* payload, size_t len,
+                           WireResponse* out) {
+  Cursor c{payload, len};
+  out->correlation_id = c.take_u64();
+  const uint8_t status = c.take_u8();
+  if (status > static_cast<uint8_t>(RequestStatus::kShutdown)) return false;
+  out->response.status = static_cast<RequestStatus>(status);
+  out->response.predicted = c.take_i32();
+  out->response.queue_us = c.take_i64();
+  out->response.latency_us = c.take_i64();
+  out->response.batch_size = c.take_i32();
+  const uint32_t num_logits = c.take_u32();
+  if (!c.ok || num_logits > kMaxLogits) return false;
+  if (len - c.pos != static_cast<size_t>(num_logits) * 4) return false;
+  out->response.logits.resize(num_logits);
+  for (uint32_t i = 0; i < num_logits; ++i)
+    out->response.logits[i] = c.take_f32();
+  return c.done();
+}
+
+void encode_info_request(std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kInfoRequest);
+  end_frame(out, start);
+}
+
+void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kInfoResponse);
+  const nn::BertConfig& cfg = info.config;
+  put_i64(out, cfg.vocab_size);
+  put_i64(out, cfg.hidden);
+  put_i64(out, cfg.num_layers);
+  put_i64(out, cfg.num_heads);
+  put_i64(out, cfg.ffn_dim);
+  put_i64(out, cfg.max_seq_len);
+  put_i64(out, cfg.num_segments);
+  put_i64(out, cfg.num_classes);
+  end_frame(out, start);
+}
+
+void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kServeRequest);
+  put_u64(out, req.correlation_id);
+  put_i64(out, req.deadline_budget_us);
+  put_u32(out, static_cast<uint32_t>(req.example.tokens.size()));
+  put_u32(out, static_cast<uint32_t>(req.example.segments.size()));
+  for (const int32_t tok : req.example.tokens) put_i32(out, tok);
+  for (const int32_t seg : req.example.segments) put_i32(out, seg);
+  end_frame(out, start);
+}
+
+void encode_serve_response(const WireResponse& resp,
+                           std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kServeResponse);
+  put_u64(out, resp.correlation_id);
+  put_u8(out, static_cast<uint8_t>(resp.response.status));
+  put_i32(out, resp.response.predicted);
+  put_i64(out, resp.response.queue_us);
+  put_i64(out, resp.response.latency_us);
+  put_i32(out, resp.response.batch_size);
+  put_u32(out, static_cast<uint32_t>(resp.response.logits.size()));
+  for (const float v : resp.response.logits) put_f32(out, v);
+  end_frame(out, start);
+}
+
+}  // namespace fqbert::serve::net

@@ -1,0 +1,121 @@
+// Wire protocol for the network transport: length-prefixed binary
+// frames with a fixed 12-byte versioned header, explicit little-endian
+// serialization (portable across hosts regardless of native order), and
+// strict bounds-checked decode — a decoder either consumes exactly the
+// declared payload or reports kError, never reads past the buffer, and
+// never trusts a length field beyond kMaxPayload.
+//
+// Frame layout:
+//
+//   offset  size  field
+//   0       4     magic       0x46514254 ("FQBT", LE)
+//   4       1     version     kProtocolVersion (1)
+//   5       1     type        FrameType
+//   6       2     reserved    must be 0
+//   8       4     payload_len bytes following the header (<= kMaxPayload)
+//   12      ...   payload     type-specific, layouts below
+//
+// Payloads (all integers little-endian, floats as IEEE-754 bit patterns):
+//
+//   kInfoRequest   (client->server)  empty
+//   kInfoResponse  (server->client)  8 x i64: vocab_size, hidden,
+//                                    num_layers, num_heads, ffn_dim,
+//                                    max_seq_len, num_segments, num_classes
+//   kServeRequest  (client->server)  u64 correlation_id,
+//                                    i64 deadline_budget_us (0 = none),
+//                                    u32 num_tokens (<= kMaxTokens),
+//                                    u32 num_segments (<= kMaxTokens),
+//                                    i32 tokens[num_tokens],
+//                                    i32 segments[num_segments]
+//                                    (counts are independent so malformed
+//                                    ragged examples reach server-side
+//                                    admission instead of being silently
+//                                    repaired by the codec)
+//   kServeResponse (server->client)  u64 correlation_id, u8 status,
+//                                    i32 predicted, i64 queue_us,
+//                                    i64 latency_us, i32 batch_size,
+//                                    u32 num_logits (<= kMaxLogits),
+//                                    f32 logits[num_logits]
+#pragma once
+
+#include <cstdint>
+#include <cstddef>
+#include <vector>
+
+#include "nn/bert.h"
+#include "serve/request_queue.h"
+
+namespace fqbert::serve::net {
+
+inline constexpr uint32_t kFrameMagic = 0x46514254u;  // "FQBT"
+inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr size_t kHeaderSize = 12;
+/// Hard cap on any payload; a header declaring more is a protocol error
+/// (closes the connection) — the decoder never allocates attacker-sized
+/// buffers.
+inline constexpr uint32_t kMaxPayload = 1u << 20;
+/// Token count cap inside a serve request (far above any max_seq_len;
+/// oversized-but-capped examples are rejected by server-side admission).
+inline constexpr uint32_t kMaxTokens = 1u << 16;
+inline constexpr uint32_t kMaxLogits = 1u << 16;
+
+enum class FrameType : uint8_t {
+  kInfoRequest = 1,
+  kInfoResponse = 2,
+  kServeRequest = 3,
+  kServeResponse = 4,
+};
+
+struct FrameHeader {
+  FrameType type{};
+  uint32_t payload_len = 0;
+};
+
+/// Engine shape advertised by the server so a remote client can
+/// synthesize valid examples without the engine file.
+struct WireInfo {
+  nn::BertConfig config;
+};
+
+/// One inference request on the wire. `correlation_id` is chosen by the
+/// client and echoed verbatim in the response.
+struct WireRequest {
+  uint64_t correlation_id = 0;
+  int64_t deadline_budget_us = 0;  // 0 = no deadline
+  nn::Example example;
+};
+
+struct WireResponse {
+  uint64_t correlation_id = 0;
+  ServeResponse response;
+};
+
+enum class DecodeStatus {
+  kNeedMore,  // not enough bytes yet; read more and retry
+  kFrame,     // a complete, valid frame is available
+  kError,     // protocol violation; the connection must be closed
+};
+
+/// Validate a header prefix. kNeedMore when len < kHeaderSize; kError on
+/// bad magic / version / reserved bits / unknown type / oversized
+/// payload declaration.
+DecodeStatus decode_header(const uint8_t* data, size_t len, FrameHeader* out);
+
+/// Strict payload decoders: true iff the payload parses AND consumes
+/// exactly `len` bytes (trailing garbage is an error, as is any length
+/// field pointing past the end).
+bool decode_info_response(const uint8_t* payload, size_t len, WireInfo* out);
+bool decode_serve_request(const uint8_t* payload, size_t len,
+                          WireRequest* out);
+bool decode_serve_response(const uint8_t* payload, size_t len,
+                           WireResponse* out);
+
+/// Encoders produce a complete frame (header + payload), appended to
+/// `out` so a caller can coalesce several frames into one write buffer.
+void encode_info_request(std::vector<uint8_t>& out);
+void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out);
+void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out);
+void encode_serve_response(const WireResponse& resp,
+                           std::vector<uint8_t>& out);
+
+}  // namespace fqbert::serve::net

@@ -1,0 +1,158 @@
+#include "serve/net/transport_client.h"
+
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fqbert::serve::net {
+
+TransportClient::~TransportClient() { close(); }
+
+void TransportClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+bool TransportClient::fail(const std::string& message) {
+  error_ = message;
+  close();
+  return false;
+}
+
+bool TransportClient::connect(const std::string& host, uint16_t port) {
+  close();
+  addrinfo hints{};
+  hints.ai_family = AF_INET;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* res = nullptr;
+  const std::string port_str = std::to_string(port);
+  if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
+      res == nullptr)
+    return fail("cannot resolve " + host);
+  int fd = -1;
+  for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
+                  ai->ai_protocol);
+    if (fd < 0) continue;
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(res);
+  if (fd < 0)
+    return fail("cannot connect to " + host + ":" + port_str + ": " +
+                std::strerror(errno));
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  fd_ = fd;
+  error_.clear();
+  return true;
+}
+
+bool TransportClient::send_all(const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(std::string("send failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+bool TransportClient::recv_frame(FrameType expect,
+                                 std::vector<uint8_t>& payload) {
+  uint8_t header[kHeaderSize];
+  size_t got = 0;
+  while (got < kHeaderSize) {
+    const ssize_t n = ::recv(fd_, header + got, kHeaderSize - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(n == 0 ? "connection closed by server"
+                       : std::string("recv failed: ") +
+                             std::strerror(errno));
+  }
+  FrameHeader hdr;
+  if (decode_header(header, kHeaderSize, &hdr) != DecodeStatus::kFrame)
+    return fail("malformed frame header from server");
+  if (hdr.type != expect) return fail("unexpected frame type from server");
+  payload.resize(hdr.payload_len);
+  got = 0;
+  while (got < payload.size()) {
+    const ssize_t n =
+        ::recv(fd_, payload.data() + got, payload.size() - got, 0);
+    if (n > 0) {
+      got += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return fail(n == 0 ? "connection closed mid-frame"
+                       : std::string("recv failed: ") +
+                             std::strerror(errno));
+  }
+  return true;
+}
+
+std::optional<nn::BertConfig> TransportClient::query_info() {
+  if (!connected()) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  std::vector<uint8_t> frame;
+  encode_info_request(frame);
+  if (!send_all(frame)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  if (!recv_frame(FrameType::kInfoResponse, payload)) return std::nullopt;
+  WireInfo info;
+  if (!decode_info_response(payload.data(), payload.size(), &info)) {
+    fail("malformed info payload from server");
+    return std::nullopt;
+  }
+  return info.config;
+}
+
+std::optional<ServeResponse> TransportClient::call(
+    const nn::Example& example, std::optional<Micros> deadline_budget) {
+  if (!connected()) {
+    error_ = "not connected";
+    return std::nullopt;
+  }
+  WireRequest req;
+  req.correlation_id = next_correlation_++;
+  req.deadline_budget_us = deadline_budget ? deadline_budget->count() : 0;
+  req.example = example;
+  std::vector<uint8_t> frame;
+  encode_serve_request(req, frame);
+  if (!send_all(frame)) return std::nullopt;
+
+  std::vector<uint8_t> payload;
+  if (!recv_frame(FrameType::kServeResponse, payload)) return std::nullopt;
+  WireResponse wire;
+  if (!decode_serve_response(payload.data(), payload.size(), &wire)) {
+    fail("malformed response payload from server");
+    return std::nullopt;
+  }
+  // Synchronous protocol: one request in flight per connection, so a
+  // mismatched id means the server answered some other request.
+  if (wire.correlation_id != req.correlation_id) {
+    fail("correlation id mismatch from server");
+    return std::nullopt;
+  }
+  return wire.response;
+}
+
+}  // namespace fqbert::serve::net

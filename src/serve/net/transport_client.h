@@ -1,0 +1,62 @@
+// TransportClient: a small blocking client for the frame protocol.
+// One connection, synchronous request/response (the closed-loop model
+// the load generator uses); every decode is the same strict
+// bounds-checked codec the server runs, so a misbehaving server cannot
+// make the client read wild lengths either.
+//
+//   TransportClient client;
+//   if (!client.connect("127.0.0.1", port)) die(client.error());
+//   auto info = client.query_info();              // engine shape
+//   auto resp = client.call(example, Micros(5000));
+//   if (!resp) die(client.error());               // transport failure
+//   // resp->status distinguishes serving-level rejection from success.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "serve/net/frame.h"
+
+namespace fqbert::serve::net {
+
+class TransportClient {
+ public:
+  TransportClient() = default;
+  ~TransportClient();
+
+  TransportClient(const TransportClient&) = delete;
+  TransportClient& operator=(const TransportClient&) = delete;
+
+  /// Connect to host:port (IPv4 literal or resolvable name, e.g.
+  /// "localhost"). False on failure; see error().
+  bool connect(const std::string& host, uint16_t port);
+  void close();
+  bool connected() const { return fd_ >= 0; }
+
+  /// Ask the server for the engine shape it serves.
+  std::optional<nn::BertConfig> query_info();
+
+  /// One blocking inference round trip. nullopt on *transport* failure
+  /// (send/recv error, protocol violation, correlation mismatch — the
+  /// connection is closed); serving-level failures come back as a
+  /// ServeResponse with a non-kOk status.
+  std::optional<ServeResponse> call(
+      const nn::Example& example,
+      std::optional<Micros> deadline_budget = std::nullopt);
+
+  const std::string& error() const { return error_; }
+
+ private:
+  bool send_all(const std::vector<uint8_t>& bytes);
+  /// Read exactly one frame of the expected type into `payload`.
+  bool recv_frame(FrameType expect, std::vector<uint8_t>& payload);
+  bool fail(const std::string& message);  // latch error, close, false
+
+  int fd_ = -1;
+  uint64_t next_correlation_ = 1;
+  std::string error_;
+};
+
+}  // namespace fqbert::serve::net

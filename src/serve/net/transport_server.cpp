@@ -1,0 +1,396 @@
+#include "serve/net/transport_server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <utility>
+
+namespace fqbert::serve::net {
+
+namespace {
+
+/// Writes above this leave the connection doomed: a client that never
+/// reads its responses cannot pin server memory.
+constexpr size_t kMaxWriteBuffer = 8u << 20;
+
+/// Per-poll-event read budget. A peer streaming at wire speed must not
+/// keep one connection's recv loop spinning (level-triggered poll
+/// re-arms on leftover bytes), so a single connection can neither
+/// starve the others nor grow conn.in unboundedly: after draining,
+/// leftover is at most one partial frame (kHeaderSize + kMaxPayload)
+/// plus this budget.
+constexpr size_t kReadBudget = 256u * 1024;
+
+/// How long to stop accept()ing after fd exhaustion (EMFILE/ENFILE):
+/// without a pause, the still-readable listen socket makes poll() spin
+/// at 100% CPU retrying an accept that cannot succeed.
+constexpr auto kAcceptBackoff = std::chrono::milliseconds(100);
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+TransportServer::TransportServer(InferenceServer& server,
+                                 const TransportConfig& cfg)
+    : server_(server), cfg_(cfg) {
+  if (cfg_.completion_threads < 1) cfg_.completion_threads = 1;
+  if (cfg_.max_connections < 1) cfg_.max_connections = 1;
+}
+
+TransportServer::~TransportServer() { stop(); }
+
+bool TransportServer::start() {
+  if (running_) return true;
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    std::perror("transport: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "transport: bad bind address %s\n",
+                 cfg_.bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, cfg_.listen_backlog) != 0) {
+    std::perror("transport: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (!set_nonblocking(listen_fd_)) {
+    std::perror("transport: fcntl");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  int pipe_fds[2];
+  if (::pipe2(pipe_fds, O_NONBLOCK | O_CLOEXEC) != 0) {
+    std::perror("transport: pipe2");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  wake_rd_ = pipe_fds[0];
+  wake_wr_ = pipe_fds[1];
+
+  stopping_ = false;
+  waiters_closed_ = false;
+  running_ = true;
+  loop_thread_ = std::thread([this] { event_loop(); });
+  for (int i = 0; i < cfg_.completion_threads; ++i)
+    completion_threads_.emplace_back([this] { completion_loop(); });
+  return true;
+}
+
+void TransportServer::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  wake_event_loop();
+  loop_thread_.join();
+  {
+    // Completion threads drain every in-flight future (the event loop
+    // is gone, so their responses are dropped), then exit.
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    waiters_closed_ = true;
+  }
+  waiters_cv_.notify_all();
+  for (std::thread& t : completion_threads_) t.join();
+  completion_threads_.clear();
+  ::close(wake_rd_);
+  ::close(wake_wr_);
+  wake_rd_ = wake_wr_ = -1;
+  running_ = false;
+}
+
+TransportServer::Counters TransportServer::counters() const {
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  return counters_;
+}
+
+void TransportServer::wake_event_loop() {
+  const char byte = 'w';
+  // EAGAIN means the pipe already holds a pending wakeup: good enough.
+  [[maybe_unused]] ssize_t n = ::write(wake_wr_, &byte, 1);
+}
+
+void TransportServer::push_waiter(Waiter&& w) {
+  {
+    std::lock_guard<std::mutex> lock(waiters_mu_);
+    waiters_.push_back(std::move(w));
+  }
+  waiters_cv_.notify_one();
+}
+
+void TransportServer::completion_loop() {
+  for (;;) {
+    Waiter w;
+    {
+      std::unique_lock<std::mutex> lock(waiters_mu_);
+      waiters_cv_.wait(lock,
+                       [this] { return waiters_closed_ || !waiters_.empty(); });
+      if (waiters_.empty()) return;  // closed and drained
+      w = std::move(waiters_.front());
+      waiters_.pop_front();
+    }
+    WireResponse wire;
+    wire.correlation_id = w.correlation_id;
+    wire.response = w.fut.get();  // blocks here, never in the event loop
+    Completion done;
+    done.conn_id = w.conn_id;
+    encode_serve_response(wire, done.bytes);
+    {
+      std::lock_guard<std::mutex> lock(completions_mu_);
+      completions_.push_back(std::move(done));
+    }
+    wake_event_loop();
+  }
+}
+
+void TransportServer::event_loop() {
+  std::vector<pollfd> fds;
+  std::vector<uint64_t> fd_conn;  // conn id per pollfd (0 for specials)
+  while (!stopping_) {
+    fds.clear();
+    fd_conn.clear();
+    fds.push_back({wake_rd_, POLLIN, 0});
+    fd_conn.push_back(0);
+    // During accept backoff the listen fd stays in the set (stable
+    // indices) but asks for no events, so a full accept queue cannot
+    // spin the loop.
+    const bool accepting = Clock::now() >= accept_backoff_until_;
+    fds.push_back({listen_fd_, static_cast<short>(accepting ? POLLIN : 0), 0});
+    fd_conn.push_back(0);
+    for (const auto& [id, conn] : conns_) {
+      short events = POLLIN;
+      if (conn.out_pos < conn.out.size()) events |= POLLOUT;
+      fds.push_back({conn.fd, events, 0});
+      fd_conn.push_back(id);
+    }
+
+    const int ready = ::poll(fds.data(), fds.size(), /*timeout_ms=*/500);
+    if (stopping_) break;
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+
+    if (fds[0].revents & POLLIN) {
+      char buf[256];
+      while (::read(wake_rd_, buf, sizeof(buf)) > 0) {
+      }
+      std::deque<Completion> done;
+      {
+        std::lock_guard<std::mutex> lock(completions_mu_);
+        done.swap(completions_);
+      }
+      for (Completion& c : done) {
+        auto it = conns_.find(c.conn_id);
+        if (it == conns_.end()) continue;  // client left; drop the response
+        it->second.out.insert(it->second.out.end(), c.bytes.begin(),
+                              c.bytes.end());
+        {
+          std::lock_guard<std::mutex> lock(counters_mu_);
+          ++counters_.frames_out;
+        }
+        if (it->second.out.size() - it->second.out_pos > kMaxWriteBuffer) {
+          {
+            std::lock_guard<std::mutex> lock(counters_mu_);
+            ++counters_.overflow_closes;
+          }
+          close_connection(c.conn_id);
+        }
+      }
+    }
+
+    if (fds[1].revents & POLLIN) accept_ready();
+
+    for (size_t i = 2; i < fds.size(); ++i) {
+      const uint64_t id = fd_conn[i];
+      auto it = conns_.find(id);
+      if (it == conns_.end()) continue;
+      Connection& conn = it->second;
+      bool alive = true;
+      if (fds[i].revents & (POLLIN | POLLHUP | POLLERR))
+        alive = service_reads(conn, id);
+      if (alive && (fds[i].revents & POLLOUT)) alive = service_writes(conn);
+      if (!alive) close_connection(id);
+    }
+  }
+  // Teardown (still on the loop thread, which owns conns_).
+  for (auto& [id, conn] : conns_) ::close(conn.fd);
+  conns_.clear();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+}
+
+void TransportServer::accept_ready() {
+  for (;;) {
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      if (errno == EMFILE || errno == ENFILE || errno == ENOBUFS ||
+          errno == ENOMEM)
+        accept_backoff_until_ = Clock::now() + kAcceptBackoff;
+      return;  // EAGAIN / transient / exhausted: done accepting for now
+    }
+    if (conns_.size() >= cfg_.max_connections) {
+      ::close(fd);
+      continue;
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    Connection conn;
+    conn.fd = fd;
+    conns_.emplace(next_conn_id_++, std::move(conn));
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.accepted;
+  }
+}
+
+bool TransportServer::service_reads(Connection& conn, uint64_t conn_id) {
+  size_t budget = kReadBudget;
+  while (budget > 0) {
+    uint8_t buf[64 * 1024];
+    const ssize_t n =
+        ::recv(conn.fd, buf, std::min(sizeof(buf), budget), 0);
+    if (n > 0) {
+      conn.in.insert(conn.in.end(), buf, buf + n);
+      budget -= static_cast<size_t>(n);
+      continue;
+    }
+    if (n == 0) return false;  // orderly EOF
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  // Budget exhausted with bytes left in the socket: level-triggered
+  // poll re-arms, the remainder is read next iteration — fairness over
+  // greed.
+  if (!drain_frames(conn, conn_id)) {
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.protocol_errors;
+    return false;
+  }
+  if (conn.out.size() - conn.out_pos > kMaxWriteBuffer) {
+    // Backpressure, not wire corruption: the peer writes requests but
+    // never reads responses. Counted apart from protocol errors.
+    std::lock_guard<std::mutex> lock(counters_mu_);
+    ++counters_.overflow_closes;
+    return false;
+  }
+  return true;
+}
+
+bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
+  size_t pos = 0;
+  bool ok = true;
+  while (ok) {
+    FrameHeader hdr;
+    const DecodeStatus st =
+        decode_header(conn.in.data() + pos, conn.in.size() - pos, &hdr);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kError) {
+      ok = false;
+      break;
+    }
+    if (conn.in.size() - pos < kHeaderSize + hdr.payload_len) break;
+    const uint8_t* payload = conn.in.data() + pos + kHeaderSize;
+    {
+      std::lock_guard<std::mutex> lock(counters_mu_);
+      ++counters_.frames_in;
+    }
+    switch (hdr.type) {
+      case FrameType::kInfoRequest: {
+        if (hdr.payload_len != 0) {
+          ok = false;
+          break;
+        }
+        WireInfo info;
+        info.config = server_.model_config();
+        encode_info_response(info, conn.out);
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.frames_out;
+        break;
+      }
+      case FrameType::kServeRequest: {
+        WireRequest req;
+        if (!decode_serve_request(payload, hdr.payload_len, &req)) {
+          ok = false;
+          break;
+        }
+        std::optional<Micros> budget;
+        if (req.deadline_budget_us > 0)
+          budget = Micros(req.deadline_budget_us);
+        Waiter w;
+        w.conn_id = conn_id;
+        w.correlation_id = req.correlation_id;
+        w.fut = server_.submit(std::move(req.example), budget);
+        push_waiter(std::move(w));
+        break;
+      }
+      case FrameType::kInfoResponse:
+      case FrameType::kServeResponse:
+        ok = false;  // server-bound streams must not carry responses
+        break;
+    }
+    if (ok) pos += kHeaderSize + hdr.payload_len;
+  }
+  if (pos > 0) conn.in.erase(conn.in.begin(), conn.in.begin() + pos);
+  return ok;
+}
+
+bool TransportServer::service_writes(Connection& conn) {
+  while (conn.out_pos < conn.out.size()) {
+    const ssize_t n = ::send(conn.fd, conn.out.data() + conn.out_pos,
+                             conn.out.size() - conn.out_pos, MSG_NOSIGNAL);
+    if (n > 0) {
+      conn.out_pos += static_cast<size_t>(n);
+      continue;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return true;
+    if (errno == EINTR) continue;
+    return false;
+  }
+  conn.out.clear();
+  conn.out_pos = 0;
+  return true;
+}
+
+void TransportServer::close_connection(uint64_t conn_id) {
+  auto it = conns_.find(conn_id);
+  if (it == conns_.end()) return;
+  ::close(it->second.fd);
+  conns_.erase(it);
+  std::lock_guard<std::mutex> lock(counters_mu_);
+  ++counters_.closed;
+}
+
+}  // namespace fqbert::serve::net

@@ -1,0 +1,148 @@
+// TransportServer: the socket front end of the serving stack. One
+// poll(2) event-loop thread owns the listening socket and every
+// connection (non-blocking accept / reads into per-connection buffers /
+// buffered writes); decoded requests are dispatched through
+// InferenceServer::submit(), and the returned futures are waited on by
+// a small pool of completion threads that push encoded responses onto a
+// completion queue and nudge the event loop through a wakeup pipe — the
+// loop itself never blocks on inference.
+//
+//   InferenceServer server(registry, "default", cfg);
+//   server.start();
+//   TransportServer transport(server, {.port = 9000});
+//   transport.start();                 // returns once listening
+//   ... clients connect with TransportClient / loadgen --connect ...
+//   transport.stop();                  // close sockets, join threads
+//   server.shutdown();
+//
+// Protocol errors (bad magic/version, oversized or short payloads) close
+// the offending connection immediately; the server itself stays up. A
+// client that disconnects before its response arrives simply has the
+// response dropped (tracked by connection generation ids).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/frame.h"
+#include "serve/server.h"
+
+namespace fqbert::serve::net {
+
+struct TransportConfig {
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 binds an ephemeral port (read it back via port()).
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Accepted connections above this are closed immediately.
+  size_t max_connections = 256;
+  /// Threads blocking on submit() futures (the event loop never does).
+  int completion_threads = 2;
+};
+
+class TransportServer {
+ public:
+  TransportServer(InferenceServer& server, const TransportConfig& cfg = {});
+  ~TransportServer();
+
+  TransportServer(const TransportServer&) = delete;
+  TransportServer& operator=(const TransportServer&) = delete;
+
+  /// Bind + listen + spawn the event loop and completion threads.
+  /// False (with a message on stderr) when the socket cannot be bound.
+  /// The InferenceServer must already be start()ed.
+  bool start();
+
+  /// Close the listener and every connection, then join all threads.
+  /// Safe to call twice. Completion threads drain in-flight futures
+  /// before exiting, so call stop() while the InferenceServer is still
+  /// able to complete them (running, or after a draining shutdown).
+  void stop();
+
+  /// Actual bound port (resolves ephemeral binds). 0 before start().
+  uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t closed = 0;
+    uint64_t protocol_errors = 0;  // connections closed on decode error
+    uint64_t overflow_closes = 0;  // closed on write-buffer backpressure
+    uint64_t frames_in = 0;
+    uint64_t frames_out = 0;
+  };
+  Counters counters() const;
+
+ private:
+  struct Connection {
+    int fd = -1;
+    std::vector<uint8_t> in;   // unparsed bytes
+    std::vector<uint8_t> out;  // unwritten bytes
+    size_t out_pos = 0;        // written prefix of `out`
+  };
+
+  /// A response future in flight, tagged with the connection it must be
+  /// delivered to (by id: the connection may die first).
+  struct Waiter {
+    uint64_t conn_id = 0;
+    uint64_t correlation_id = 0;
+    std::future<ServeResponse> fut;
+  };
+
+  /// An encoded response ready for the event loop to enqueue.
+  struct Completion {
+    uint64_t conn_id = 0;
+    std::vector<uint8_t> bytes;
+  };
+
+  void event_loop();
+  void completion_loop();
+  void accept_ready();
+  /// Read + parse one connection. False when it must be closed.
+  bool service_reads(Connection& conn, uint64_t conn_id);
+  /// Flush buffered writes. False when the peer is gone.
+  bool service_writes(Connection& conn);
+  /// Parse every complete frame in conn.in. False on protocol error.
+  bool drain_frames(Connection& conn, uint64_t conn_id);
+  void close_connection(uint64_t conn_id);
+  void push_waiter(Waiter&& w);
+  void wake_event_loop();
+
+  InferenceServer& server_;
+  TransportConfig cfg_;
+  int listen_fd_ = -1;
+  int wake_rd_ = -1, wake_wr_ = -1;  // self-pipe: completions -> poll()
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread loop_thread_;
+  std::vector<std::thread> completion_threads_;
+
+  // Connections are owned by the event loop thread exclusively.
+  std::map<uint64_t, Connection> conns_;
+  uint64_t next_conn_id_ = 1;
+  // Pause accepting until this instant after fd exhaustion (EMFILE &
+  // co.), so a full queue cannot busy-spin the poll loop.
+  TimePoint accept_backoff_until_{};
+
+  std::mutex waiters_mu_;
+  std::condition_variable waiters_cv_;
+  std::deque<Waiter> waiters_;
+  bool waiters_closed_ = false;
+
+  std::mutex completions_mu_;
+  std::deque<Completion> completions_;
+
+  mutable std::mutex counters_mu_;
+  Counters counters_;
+};
+
+}  // namespace fqbert::serve::net

@@ -55,6 +55,10 @@ class InferenceServer {
 
   ServeStats& stats() { return stats_; }
   const ServerConfig& config() const { return cfg_; }
+  /// Shape of the engine this server runs (valid after start()); the
+  /// network transport advertises it so remote clients can synthesize
+  /// well-formed examples without the engine file.
+  const nn::BertConfig& model_config() const { return model_config_; }
   size_t num_workers() const { return pool_.num_workers(); }
   bool running() const { return started_ && !stopped_; }
   /// Seconds from start() to now (or to shutdown once stopped).

@@ -1,0 +1,629 @@
+// Network transport tests: frame codec round trips and strict-decode
+// rejections, loopback integration (TransportServer on an ephemeral
+// port driven by TransportClient threads, responses bit-identical to
+// in-process submit()), malformed/truncated/oversized frames (decode
+// rejects, connection closes, server stays up), client disconnect
+// before response, and the synth_example/valid_example edge audit.
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <thread>
+
+#include "serve/loadgen.h"
+#include "serve/net/transport_client.h"
+#include "serve/net/transport_server.h"
+#include "serve/server.h"
+
+namespace fqbert::serve {
+namespace {
+
+using core::FqBertModel;
+using core::FqQuantConfig;
+using core::QatBert;
+using nn::BertConfig;
+using nn::BertModel;
+using nn::Example;
+
+BertConfig tiny_config() {
+  BertConfig c;
+  c.vocab_size = 128;
+  c.hidden = 16;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.ffn_dim = 32;
+  c.max_seq_len = 32;
+  c.num_classes = 2;
+  return c;
+}
+
+/// Random-weight calibrated engine (accuracy irrelevant; the integer
+/// pipeline and the wire path are what is exercised).
+struct EngineFixture {
+  BertConfig config = tiny_config();
+  std::shared_ptr<const FqBertModel> engine;
+
+  EngineFixture() {
+    Rng rng(42);
+    BertModel model(config, rng);
+    QatBert qat(model, FqQuantConfig::full());
+    std::vector<Example> calib;
+    Rng data_rng(7);
+    for (int i = 0; i < 12; ++i)
+      calib.push_back(synth_example(data_rng, 4 + (i % 3) * 6, config));
+    qat.calibrate(calib);
+    engine = std::make_shared<const FqBertModel>(FqBertModel::convert(qat));
+  }
+};
+
+EngineFixture& fixture() {
+  static EngineFixture f;
+  return f;
+}
+
+/// In-process server + transport on an ephemeral loopback port.
+struct NetFixture {
+  EngineRegistry registry;
+  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<net::TransportServer> transport;
+
+  explicit NetFixture(ServerConfig cfg = {}) {
+    registry.register_model("tiny", fixture().engine);
+    server = std::make_unique<InferenceServer>(registry, "tiny", cfg);
+    EXPECT_TRUE(server->start());
+    net::TransportConfig tcfg;
+    tcfg.port = 0;  // ephemeral
+    transport = std::make_unique<net::TransportServer>(*server, tcfg);
+    EXPECT_TRUE(transport->start());
+  }
+
+  ~NetFixture() {
+    // Transport first: its completion threads drain in-flight futures,
+    // which needs a server that still completes them.
+    transport->stop();
+    server->shutdown(/*drain=*/true);
+  }
+
+  uint16_t port() const { return transport->port(); }
+};
+
+/// Raw loopback socket for writing hostile bytes the TransportClient
+/// would never produce.
+struct RawConn {
+  int fd = -1;
+
+  bool connect(uint16_t port) {
+    fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) return false;
+    timeval tv{/*tv_sec=*/5, /*tv_usec=*/0};
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(port);
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    return ::connect(fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)) == 0;
+  }
+
+  bool send_bytes(const std::vector<uint8_t>& bytes) {
+    size_t sent = 0;
+    while (sent < bytes.size()) {
+      const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                               MSG_NOSIGNAL);
+      if (n <= 0) return false;
+      sent += static_cast<size_t>(n);
+    }
+    return true;
+  }
+
+  /// True when the server closes the connection (EOF within the recv
+  /// timeout), discarding any data it sent first.
+  bool closed_by_server() {
+    uint8_t buf[4096];
+    for (;;) {
+      const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+      if (n == 0) return true;
+      if (n < 0) return false;  // timeout / error: still open
+    }
+  }
+
+  /// Read exactly n bytes (for well-formed response frames).
+  bool recv_exact(uint8_t* out, size_t n) {
+    size_t got = 0;
+    while (got < n) {
+      const ssize_t r = ::recv(fd, out + got, n - got, 0);
+      if (r <= 0) return false;
+      got += static_cast<size_t>(r);
+    }
+    return true;
+  }
+
+  void close() {
+    if (fd >= 0) ::close(fd);
+    fd = -1;
+  }
+  ~RawConn() { close(); }
+};
+
+/// The server must still answer a fresh well-formed client.
+void expect_server_alive(NetFixture& net) {
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", net.port())) << client.error();
+  Rng rng(99);
+  const auto resp = client.call(synth_example(rng, 8, fixture().config));
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kOk);
+}
+
+// ---------------------------------------------------------------------------
+// Frame codec
+// ---------------------------------------------------------------------------
+
+TEST(FrameCodec, ServeRequestRoundTripsExactly) {
+  net::WireRequest req;
+  req.correlation_id = 0xDEADBEEFCAFEBABEull;
+  req.deadline_budget_us = 123456789;
+  Rng rng(1);
+  req.example = synth_example(rng, 17, fixture().config);
+  std::vector<uint8_t> frame;
+  net::encode_serve_request(req, frame);
+
+  net::FrameHeader hdr;
+  ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
+            net::DecodeStatus::kFrame);
+  ASSERT_EQ(hdr.type, net::FrameType::kServeRequest);
+  ASSERT_EQ(frame.size(), net::kHeaderSize + hdr.payload_len);
+  net::WireRequest back;
+  ASSERT_TRUE(net::decode_serve_request(frame.data() + net::kHeaderSize,
+                                        hdr.payload_len, &back));
+  EXPECT_EQ(back.correlation_id, req.correlation_id);
+  EXPECT_EQ(back.deadline_budget_us, req.deadline_budget_us);
+  EXPECT_EQ(back.example.tokens, req.example.tokens);
+  EXPECT_EQ(back.example.segments, req.example.segments);
+}
+
+TEST(FrameCodec, ServeResponseRoundTripsBitExactLogits) {
+  net::WireResponse resp;
+  resp.correlation_id = 7;
+  resp.response.status = RequestStatus::kOk;
+  resp.response.predicted = 1;
+  resp.response.queue_us = 42;
+  resp.response.latency_us = 4242;
+  resp.response.batch_size = 8;
+  resp.response.logits = {1.5f, -2.25f, 3.0e-7f, -0.0f};
+  std::vector<uint8_t> frame;
+  net::encode_serve_response(resp, frame);
+
+  net::FrameHeader hdr;
+  ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
+            net::DecodeStatus::kFrame);
+  net::WireResponse back;
+  ASSERT_TRUE(net::decode_serve_response(frame.data() + net::kHeaderSize,
+                                         hdr.payload_len, &back));
+  EXPECT_EQ(back.correlation_id, 7u);
+  EXPECT_EQ(back.response.status, RequestStatus::kOk);
+  ASSERT_EQ(back.response.logits.size(), resp.response.logits.size());
+  for (size_t i = 0; i < resp.response.logits.size(); ++i) {
+    // Bit-exact, not approximately equal: compare the bit patterns.
+    uint32_t a, b;
+    std::memcpy(&a, &resp.response.logits[i], 4);
+    std::memcpy(&b, &back.response.logits[i], 4);
+    EXPECT_EQ(a, b) << "logit " << i;
+  }
+}
+
+TEST(FrameCodec, HeaderRejectsCorruption) {
+  std::vector<uint8_t> frame;
+  net::encode_info_request(frame);
+  net::FrameHeader hdr;
+  ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
+            net::DecodeStatus::kFrame);
+
+  auto corrupt = [&](size_t off, uint8_t value) {
+    std::vector<uint8_t> bad = frame;
+    bad[off] = value;
+    return net::decode_header(bad.data(), bad.size(), &hdr);
+  };
+  EXPECT_EQ(corrupt(0, 0x00), net::DecodeStatus::kError);  // magic
+  EXPECT_EQ(corrupt(4, 99), net::DecodeStatus::kError);    // version
+  EXPECT_EQ(corrupt(5, 0), net::DecodeStatus::kError);     // type 0
+  EXPECT_EQ(corrupt(5, 200), net::DecodeStatus::kError);   // unknown type
+  EXPECT_EQ(corrupt(6, 1), net::DecodeStatus::kError);     // reserved
+  // payload_len over the hard cap.
+  std::vector<uint8_t> oversized = frame;
+  const uint32_t huge = net::kMaxPayload + 1;
+  std::memcpy(oversized.data() + 8, &huge, 4);  // little-endian host in CI
+  EXPECT_EQ(net::decode_header(oversized.data(), oversized.size(), &hdr),
+            net::DecodeStatus::kError);
+  // Short reads are "need more", not errors.
+  EXPECT_EQ(net::decode_header(frame.data(), 5, &hdr),
+            net::DecodeStatus::kNeedMore);
+}
+
+TEST(FrameCodec, PayloadDecodersRejectLyingLengths) {
+  net::WireRequest req;
+  req.correlation_id = 1;
+  Rng rng(2);
+  req.example = synth_example(rng, 8, fixture().config);
+  std::vector<uint8_t> frame;
+  net::encode_serve_request(req, frame);
+  const uint8_t* payload = frame.data() + net::kHeaderSize;
+  const size_t len = frame.size() - net::kHeaderSize;
+  net::WireRequest out;
+
+  // Truncated payload.
+  EXPECT_FALSE(net::decode_serve_request(payload, len - 1, &out));
+  // Trailing garbage beyond the declared arrays.
+  std::vector<uint8_t> padded(payload, payload + len);
+  padded.push_back(0);
+  EXPECT_FALSE(net::decode_serve_request(padded.data(), padded.size(), &out));
+  // num_tokens lying about the remaining bytes (field at offset 16).
+  std::vector<uint8_t> lying(payload, payload + len);
+  lying[16] = static_cast<uint8_t>(lying[16] + 1);
+  EXPECT_FALSE(net::decode_serve_request(lying.data(), lying.size(), &out));
+  // Absurd num_tokens must fail before any allocation-sized resize.
+  std::vector<uint8_t> absurd(payload, payload + len);
+  absurd[16] = 0xFF;
+  absurd[17] = 0xFF;
+  absurd[18] = 0xFF;
+  absurd[19] = 0x7F;
+  EXPECT_FALSE(net::decode_serve_request(absurd.data(), absurd.size(), &out));
+  // Empty payload.
+  EXPECT_FALSE(net::decode_serve_request(payload, 0, &out));
+}
+
+// ---------------------------------------------------------------------------
+// Loopback integration
+// ---------------------------------------------------------------------------
+
+TEST(TransportLoopback, InfoAdvertisesEngineShape) {
+  NetFixture net;
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", net.port())) << client.error();
+  const auto info = client.query_info();
+  ASSERT_TRUE(info.has_value()) << client.error();
+  const BertConfig& expect = fixture().config;
+  EXPECT_EQ(info->vocab_size, expect.vocab_size);
+  EXPECT_EQ(info->hidden, expect.hidden);
+  EXPECT_EQ(info->num_layers, expect.num_layers);
+  EXPECT_EQ(info->num_heads, expect.num_heads);
+  EXPECT_EQ(info->ffn_dim, expect.ffn_dim);
+  EXPECT_EQ(info->max_seq_len, expect.max_seq_len);
+  EXPECT_EQ(info->num_segments, expect.num_segments);
+  EXPECT_EQ(info->num_classes, expect.num_classes);
+}
+
+TEST(TransportLoopback, ResponsesBitIdenticalToInProcessAcrossThreads) {
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = 4;
+  cfg.batcher.max_wait = Micros(500);
+  NetFixture net(cfg);
+
+  constexpr int kClients = 4, kPerClient = 25;
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::TransportClient client;
+      if (!client.connect("127.0.0.1", net.port())) {
+        mismatches[c] = kPerClient;
+        return;
+      }
+      Rng rng(500 + c);
+      for (int i = 0; i < kPerClient; ++i) {
+        const Example ex =
+            synth_example(rng, 2 + rng.randint(0, 30), fixture().config);
+        const auto remote = client.call(ex);
+        if (!remote || remote->status != RequestStatus::kOk) {
+          ++mismatches[c];
+          continue;
+        }
+        // The wire response must carry bit-identical logits to an
+        // in-process submit of the very same example.
+        auto local = net.server->submit(ex).get();
+        if (local.status != RequestStatus::kOk ||
+            local.logits.size() != remote->logits.size()) {
+          ++mismatches[c];
+          continue;
+        }
+        for (size_t j = 0; j < local.logits.size(); ++j)
+          if (local.logits[j] != remote->logits[j]) ++mismatches[c];
+        if (remote->predicted != local.predicted) ++mismatches[c];
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0);
+
+  const auto counters = net.transport->counters();
+  EXPECT_EQ(counters.protocol_errors, 0u);
+  EXPECT_GE(counters.frames_in, kClients * kPerClient);
+}
+
+TEST(TransportLoopback, PipelinedRequestsOnOneConnectionAllAnswered) {
+  NetFixture net;
+  RawConn conn;
+  ASSERT_TRUE(conn.connect(net.port()));
+
+  // Three requests back-to-back in one write; responses may complete in
+  // any order, so match by correlation id.
+  Rng rng(31);
+  std::vector<uint8_t> burst;
+  std::map<uint64_t, Example> sent;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    net::WireRequest req;
+    req.correlation_id = id;
+    req.example = synth_example(rng, 6 + 4 * static_cast<int64_t>(id),
+                                fixture().config);
+    sent[id] = req.example;
+    net::encode_serve_request(req, burst);
+  }
+  ASSERT_TRUE(conn.send_bytes(burst));
+
+  std::map<uint64_t, ServeResponse> got;
+  for (int i = 0; i < 3; ++i) {
+    uint8_t header[net::kHeaderSize];
+    ASSERT_TRUE(conn.recv_exact(header, net::kHeaderSize));
+    net::FrameHeader hdr;
+    ASSERT_EQ(net::decode_header(header, net::kHeaderSize, &hdr),
+              net::DecodeStatus::kFrame);
+    ASSERT_EQ(hdr.type, net::FrameType::kServeResponse);
+    std::vector<uint8_t> payload(hdr.payload_len);
+    ASSERT_TRUE(conn.recv_exact(payload.data(), payload.size()));
+    net::WireResponse resp;
+    ASSERT_TRUE(
+        net::decode_serve_response(payload.data(), payload.size(), &resp));
+    got[resp.correlation_id] = resp.response;
+  }
+  ASSERT_EQ(got.size(), 3u);
+  for (const auto& [id, ex] : sent) {
+    ASSERT_TRUE(got.count(id));
+    EXPECT_EQ(got[id].status, RequestStatus::kOk);
+    const Tensor expect = fixture().engine->forward(ex);
+    ASSERT_EQ(static_cast<size_t>(expect.numel()), got[id].logits.size());
+    for (int64_t j = 0; j < expect.numel(); ++j)
+      EXPECT_EQ(expect[j], got[id].logits[static_cast<size_t>(j)]);
+  }
+}
+
+TEST(TransportLoopback, MalformedFramesCloseConnectionServerStaysUp) {
+  NetFixture net;
+
+  std::vector<std::vector<uint8_t>> hostile;
+  // Bad magic, full header's worth of bytes.
+  hostile.push_back(std::vector<uint8_t>(net::kHeaderSize, 0xAB));
+  // Right magic, wrong version.
+  {
+    std::vector<uint8_t> f;
+    net::encode_info_request(f);
+    f[4] = 99;
+    hostile.push_back(f);
+  }
+  // Reserved bits set.
+  {
+    std::vector<uint8_t> f;
+    net::encode_info_request(f);
+    f[6] = 1;
+    hostile.push_back(f);
+  }
+  // Oversized payload declaration (> kMaxPayload).
+  {
+    std::vector<uint8_t> f;
+    net::encode_info_request(f);
+    f[8] = 0xFF;
+    f[9] = 0xFF;
+    f[10] = 0xFF;
+    f[11] = 0x7F;
+    hostile.push_back(f);
+  }
+  // Serve request whose num_tokens lies about the payload size.
+  {
+    net::WireRequest req;
+    req.correlation_id = 5;
+    Rng rng(3);
+    req.example = synth_example(rng, 8, fixture().config);
+    std::vector<uint8_t> f;
+    net::encode_serve_request(req, f);
+    f[net::kHeaderSize + 16] += 2;  // num_tokens += 2, arrays unchanged
+    hostile.push_back(f);
+  }
+  // Info request with a non-empty payload.
+  {
+    std::vector<uint8_t> f;
+    net::encode_info_request(f);
+    f[8] = 4;  // declare 4 payload bytes
+    f.insert(f.end(), {1, 2, 3, 4});
+    hostile.push_back(f);
+  }
+  // A response frame sent client->server (illegal direction).
+  {
+    net::WireResponse resp;
+    resp.correlation_id = 9;
+    std::vector<uint8_t> f;
+    net::encode_serve_response(resp, f);
+    hostile.push_back(f);
+  }
+
+  for (size_t i = 0; i < hostile.size(); ++i) {
+    RawConn conn;
+    ASSERT_TRUE(conn.connect(net.port())) << "case " << i;
+    ASSERT_TRUE(conn.send_bytes(hostile[i])) << "case " << i;
+    EXPECT_TRUE(conn.closed_by_server()) << "case " << i;
+  }
+  EXPECT_EQ(net.transport->counters().protocol_errors, hostile.size());
+  expect_server_alive(net);
+}
+
+TEST(TransportLoopback, TruncatedFramesThenDisconnectLeaveServerUp) {
+  NetFixture net;
+  // Half a header, then hangup.
+  {
+    RawConn conn;
+    ASSERT_TRUE(conn.connect(net.port()));
+    ASSERT_TRUE(conn.send_bytes({0x54, 0x42, 0x51}));
+    conn.close();
+  }
+  // Valid header declaring 100 payload bytes, only 10 delivered.
+  {
+    std::vector<uint8_t> f;
+    net::encode_info_request(f);
+    f[8] = 100;
+    f.insert(f.end(), 10, 0x00);
+    RawConn conn;
+    ASSERT_TRUE(conn.connect(net.port()));
+    ASSERT_TRUE(conn.send_bytes(f));
+    conn.close();
+  }
+  // A truncated frame is not a protocol error until completed — the
+  // peer vanishing mid-frame is just a disconnect.
+  expect_server_alive(net);
+  EXPECT_EQ(net.transport->counters().protocol_errors, 0u);
+}
+
+TEST(TransportLoopback, ClientDisconnectBeforeResponseDropsItQuietly) {
+  ServerConfig cfg;
+  cfg.batcher.max_wait = Micros(20 * 1000);  // response arrives "late"
+  NetFixture net(cfg);
+  {
+    RawConn conn;
+    ASSERT_TRUE(conn.connect(net.port()));
+    net::WireRequest req;
+    req.correlation_id = 77;
+    Rng rng(8);
+    req.example = synth_example(rng, 8, fixture().config);
+    std::vector<uint8_t> f;
+    net::encode_serve_request(req, f);
+    ASSERT_TRUE(conn.send_bytes(f));
+    conn.close();  // gone before the batcher even flushes
+  }
+  // The request still completes server-side; the response is dropped on
+  // the floor instead of crashing the loop or leaking the connection.
+  expect_server_alive(net);
+  const auto report = net.server->stats().report();
+  EXPECT_TRUE(report.accounting_balances());
+  EXPECT_EQ(net.transport->counters().protocol_errors, 0u);
+}
+
+TEST(TransportLoopback, ServingRejectionsTravelTheWire) {
+  NetFixture net;
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", net.port())) << client.error();
+
+  // Over max_seq_len (wire-legal, serving-invalid).
+  Example too_long;
+  too_long.tokens.assign(
+      static_cast<size_t>(fixture().config.max_seq_len + 1), 1);
+  too_long.segments.assign(too_long.tokens.size(), 0);
+  auto resp = client.call(too_long);
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kRejectedInvalid);
+
+  // Ragged segments round-trip to admission (the codec does not repair
+  // them) and are rejected there.
+  Rng rng(12);
+  Example ragged = synth_example(rng, 8, fixture().config);
+  ragged.segments.pop_back();
+  resp = client.call(ragged);
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kRejectedInvalid);
+
+  // A hopeless deadline comes back as a deadline/timeout status, not a
+  // hang and not kOk.
+  resp = client.call(synth_example(rng, 8, fixture().config), Micros(1));
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_NE(resp->status, RequestStatus::kOk);
+
+  // The same connection still serves a good request afterwards.
+  resp = client.call(synth_example(rng, 8, fixture().config));
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kOk);
+}
+
+TEST(TransportLoopback, RemoteLoadgenClosedLoopZeroFailures) {
+  ServerConfig cfg;
+  cfg.num_workers = 2;
+  cfg.batcher.max_batch = 8;
+  cfg.batcher.max_wait = Micros(500);
+  NetFixture net(cfg);
+
+  LoadgenConfig lcfg;
+  lcfg.num_clients = 4;
+  lcfg.requests_per_client = 50;
+  const LoadgenReport lg =
+      run_loadgen_remote("127.0.0.1", net.port(), fixture().config, lcfg);
+  EXPECT_EQ(lg.sent, 200u);
+  EXPECT_EQ(lg.ok, 200u);
+  EXPECT_EQ(lg.failed, 0u);
+  EXPECT_EQ(lg.rejected, 0u);
+}
+
+// ---------------------------------------------------------------------------
+// synth_example / valid_example edge audit (satellite): a synthesized
+// example must be admissible at both ends of the length range, and the
+// empty seq-mix fallback must stay defined.
+// ---------------------------------------------------------------------------
+
+TEST(SynthExampleEdges, AdmittedAtSeqLenTwoAndMax) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  InferenceServer server(registry, "tiny", ServerConfig{});
+  ASSERT_TRUE(server.start());
+
+  Rng rng(23);
+  const BertConfig& cfg = fixture().config;
+  // Requested lengths below 2 and above max_seq_len clamp into range
+  // instead of producing inadmissible examples.
+  for (const int64_t len : {int64_t{2}, cfg.max_seq_len, int64_t{1},
+                            int64_t{0}, cfg.max_seq_len + 10}) {
+    const Example ex = synth_example(rng, len, cfg);
+    EXPECT_GE(static_cast<int64_t>(ex.tokens.size()), 2);
+    EXPECT_LE(static_cast<int64_t>(ex.tokens.size()), cfg.max_seq_len);
+    AdmitResult admit;
+    auto fut = server.submit(ex, std::nullopt, &admit);
+    EXPECT_EQ(admit, AdmitResult::kOk) << "requested len " << len;
+    EXPECT_EQ(fut.get().status, RequestStatus::kOk) << "requested len "
+                                                    << len;
+  }
+  server.shutdown();
+}
+
+TEST(SynthExampleEdges, DegenerateConfigsProduceWellFormedExamples) {
+  // max_seq_len = 1 and vocab_size = 1 used to feed inverted ranges to
+  // std::clamp / randint (UB); they must now yield the only admissible
+  // shape: a single CLS token.
+  BertConfig tiny = tiny_config();
+  tiny.max_seq_len = 1;
+  tiny.vocab_size = 1;
+  Rng rng(3);
+  for (const int64_t requested : {int64_t{0}, int64_t{1}, int64_t{50}}) {
+    const Example ex = synth_example(rng, requested, tiny);
+    ASSERT_EQ(ex.tokens.size(), 1u);
+    EXPECT_EQ(ex.tokens[0], 0);
+    ASSERT_EQ(ex.segments.size(), 1u);
+    EXPECT_EQ(ex.segments[0], 0);
+  }
+}
+
+TEST(SynthExampleEdges, EmptySeqMixFallsBackToMaxSeqLen) {
+  EngineRegistry registry;
+  registry.register_model("tiny", fixture().engine);
+  InferenceServer server(registry, "tiny", ServerConfig{});
+  ASSERT_TRUE(server.start());
+
+  LoadgenConfig lcfg;
+  lcfg.num_clients = 1;
+  lcfg.requests_per_client = 3;
+  lcfg.seq_len_mix.clear();  // e.g. `--seq-mix ""` / a list of commas
+  const LoadgenReport lg =
+      run_loadgen(server, fixture().config, lcfg);
+  server.shutdown();
+  EXPECT_EQ(lg.sent, 3u);
+  EXPECT_EQ(lg.ok, 3u);  // max_seq_len examples are admissible
+}
+
+}  // namespace
+}  // namespace fqbert::serve

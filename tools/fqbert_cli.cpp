@@ -9,10 +9,12 @@
 //   fqbert_cli estimate [--device zcu102|zcu111] [--pes N] [--mults M]
 //                       [--seq S]
 //   fqbert_cli serve    --engine fq.bin | --task sst2|mnli [--fast]
+//                       [--listen PORT [--bind ADDR]]
 //                       [--workers N] [--batch B] [--wait-us U]
 //                       [--clients C] [--requests R] [--deadline-ms D]
-//                       [--seq-mix 12,16,24]
-//   fqbert_cli loadgen  same options as serve, plus
+//                       [--seq-mix 12,16,24] [--seed S]
+//   fqbert_cli loadgen  serve options, plus
+//                       [--connect HOST:PORT]
 //                       [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]
 //
 // `train` produces a float checkpoint; `quantize` runs QAT fine-tuning,
@@ -20,9 +22,16 @@
 // `eval` measures integer-engine accuracy; `info` dumps an engine's
 // configuration and size; `estimate` prints accelerator latency /
 // resources / power for BERT-base; `serve` runs the dynamic-batching
-// server under a closed-loop synthetic client and prints the serving
-// report; `loadgen` sweeps batch/worker configurations over the same
-// closed-loop client and prints a throughput table.
+// server — under a closed-loop synthetic client by default, or as a
+// network service on --listen (stop with Ctrl-C); `loadgen` sweeps
+// batch/worker configurations over the closed-loop client, or drives a
+// remote `serve --listen` instance over the wire with --connect.
+//
+// Option parsing is strict: unknown options, stray positionals, and
+// malformed or out-of-range numeric values are all one-line errors with
+// exit code 2 — a typo never silently runs with defaults.
+#include <charconv>
+#include <csignal>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -33,38 +42,14 @@
 #include "core/model_size.h"
 #include "pipeline/pipeline.h"
 #include "serve/loadgen.h"
+#include "serve/net/transport_client.h"
+#include "serve/net/transport_server.h"
 #include "serve/server.h"
 
 using namespace fqbert;
 using namespace fqbert::pipeline;
 
 namespace {
-
-struct Args {
-  std::string command;
-  std::map<std::string, std::string> named;
-  bool flag(const std::string& name) const { return named.count(name) > 0; }
-  std::string get(const std::string& name, const std::string& dflt = "") const {
-    auto it = named.find(name);
-    return it == named.end() ? dflt : it->second;
-  }
-};
-
-Args parse(int argc, char** argv) {
-  Args a;
-  if (argc > 1) a.command = argv[1];
-  for (int i = 2; i < argc; ++i) {
-    std::string key = argv[i];
-    if (key.rfind("--", 0) != 0) continue;
-    key = key.substr(2);
-    if (i + 1 < argc && std::strncmp(argv[i + 1], "--", 2) != 0) {
-      a.named[key] = argv[++i];
-    } else {
-      a.named[key] = "1";
-    }
-  }
-  return a;
-}
 
 int usage() {
   std::fprintf(stderr,
@@ -79,28 +64,175 @@ int usage() {
                "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
                "[--seq S]\n"
                "  serve    --engine fq.bin | --task sst2|mnli [--fast]\n"
+               "           [--listen PORT [--bind ADDR]]\n"
                "           [--workers N] [--batch B] [--wait-us U]\n"
                "           [--clients C] [--requests R] [--deadline-ms D]\n"
-               "           [--seq-mix 12,16,24]\n"
-               "  loadgen  serve options plus [--batch-sweep 1,8,16]\n"
-               "           [--worker-sweep 1,2,4]\n");
+               "           [--seq-mix 12,16,24] [--seed S]\n"
+               "  loadgen  serve options plus [--connect HOST:PORT]\n"
+               "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n");
   return 2;
 }
 
-std::vector<int64_t> parse_int_list(const std::string& csv) {
+/// One-line parse error + usage, exit 2 (satellite contract: malformed
+/// flags never abort via uncaught exceptions or run with defaults).
+[[noreturn]] void parse_fail(const std::string& message) {
+  std::fprintf(stderr, "fqbert_cli: %s\n", message.c_str());
+  usage();
+  std::exit(2);
+}
+
+struct Args {
+  std::string command;
+  std::map<std::string, std::string> named;
+  bool flag(const std::string& name) const { return named.count(name) > 0; }
+  std::string get(const std::string& name, const std::string& dflt = "") const {
+    auto it = named.find(name);
+    return it == named.end() ? dflt : it->second;
+  }
+};
+
+/// Per-subcommand vocabulary: which --options exist and whether they
+/// consume a value. Anything else is rejected.
+struct OptionSpec {
+  const char* name;
+  bool takes_value;
+};
+
+const std::map<std::string, std::vector<OptionSpec>>& command_options() {
+  static const std::map<std::string, std::vector<OptionSpec>> specs = {
+      {"train", {{"task", true}, {"out", true}, {"fast", false}}},
+      {"quantize",
+       {{"task", true},
+        {"model", true},
+        {"out", true},
+        {"bits", true},
+        {"no-clip", false},
+        {"no-softmax-quant", false},
+        {"no-ln-quant", false},
+        {"no-scale-quant", false},
+        {"fast", false}}},
+      {"eval", {{"task", true}, {"engine", true}, {"fast", false}}},
+      {"info", {{"engine", true}}},
+      {"estimate",
+       {{"device", true}, {"pes", true}, {"mults", true}, {"seq", true}}},
+      {"serve",
+       {{"engine", true},
+        {"task", true},
+        {"fast", false},
+        {"listen", true},
+        {"bind", true},
+        {"workers", true},
+        {"batch", true},
+        {"wait-us", true},
+        {"granularity", true},
+        {"clients", true},
+        {"requests", true},
+        {"deadline-ms", true},
+        {"seq-mix", true},
+        {"seed", true}}},
+      {"loadgen",
+       {{"engine", true},
+        {"task", true},
+        {"fast", false},
+        {"connect", true},
+        {"workers", true},
+        {"batch", true},
+        {"wait-us", true},
+        {"granularity", true},
+        {"clients", true},
+        {"requests", true},
+        {"deadline-ms", true},
+        {"seq-mix", true},
+        {"seed", true},
+        {"batch-sweep", true},
+        {"worker-sweep", true}}},
+  };
+  return specs;
+}
+
+/// Strict parse: every token after the subcommand must be a known
+/// --option of that subcommand; valued options always consume the next
+/// token (so negative numbers work as values), flags never do.
+Args parse(int argc, char** argv) {
+  Args a;
+  if (argc > 1) a.command = argv[1];
+  const auto spec_it = command_options().find(a.command);
+  if (spec_it == command_options().end()) return a;  // main() prints usage
+  const std::vector<OptionSpec>& spec = spec_it->second;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string token = argv[i];
+    if (token.rfind("--", 0) != 0)
+      parse_fail(a.command + ": unexpected positional argument '" + token +
+                 "'");
+    const std::string key = token.substr(2);
+    const OptionSpec* opt = nullptr;
+    for (const OptionSpec& s : spec)
+      if (key == s.name) {
+        opt = &s;
+        break;
+      }
+    if (opt == nullptr)
+      parse_fail(a.command + ": unknown option --" + key);
+    if (opt->takes_value) {
+      if (i + 1 >= argc)
+        parse_fail(a.command + ": option --" + key + " needs a value");
+      a.named[key] = argv[++i];
+    } else {
+      a.named[key] = "1";
+    }
+  }
+  return a;
+}
+
+/// Checked integer parse: the whole string must be a number in
+/// [min, max]; anything else is a one-line error + usage, exit 2.
+long long parse_int(const std::string& name, const std::string& value,
+                    long long min, long long max) {
+  long long parsed = 0;
+  const char* begin = value.data();
+  const char* end = begin + value.size();
+  const auto [ptr, ec] = std::from_chars(begin, end, parsed);
+  if (ec != std::errc() || ptr != end || value.empty())
+    parse_fail("--" + name + ": '" + value + "' is not an integer");
+  if (parsed < min || parsed > max)
+    parse_fail("--" + name + ": " + value + " out of range [" +
+               std::to_string(min) + ", " + std::to_string(max) + "]");
+  return parsed;
+}
+
+long long int_opt(const Args& a, const std::string& name, long long dflt,
+                  long long min, long long max) {
+  const auto it = a.named.find(name);
+  return it == a.named.end() ? dflt
+                             : parse_int(name, it->second, min, max);
+}
+
+/// Options that the selected mode of a subcommand would silently
+/// ignore are rejected outright — same contract as unknown options.
+void reject_options(const Args& a, const std::string& mode,
+                    std::initializer_list<const char*> names) {
+  for (const char* name : names)
+    if (a.flag(name))
+      parse_fail(a.command + " " + mode + ": option --" + name +
+                 " does not apply (it would be ignored)");
+}
+
+/// Comma-separated integers with the same checked parse per element.
+/// Defined edge semantics, locked in by tests/test_serve_net.cpp:
+/// empty input and empty elements ("", "12,", ",,") simply contribute
+/// nothing — "" yields an empty list (loadgen then falls back to the
+/// engine's max_seq_len).
+std::vector<int64_t> parse_int_list(const std::string& name,
+                                    const std::string& csv, long long min,
+                                    long long max) {
   std::vector<int64_t> out;
   size_t pos = 0;
-  while (pos < csv.size()) {
+  while (pos <= csv.size()) {
     size_t comma = csv.find(',', pos);
     if (comma == std::string::npos) comma = csv.size();
-    if (comma > pos) {
-      try {
-        out.push_back(std::stoll(csv.substr(pos, comma - pos)));
-      } catch (const std::exception&) {
-        throw std::invalid_argument("not a comma-separated integer list: " +
-                                    csv);
-      }
-    }
+    if (comma > pos)
+      out.push_back(parse_int(name, csv.substr(pos, comma - pos), min, max));
     pos = comma + 1;
   }
   return out;
@@ -131,26 +263,46 @@ std::shared_ptr<const core::FqBertModel> resolve_engine(
 
 serve::ServerConfig server_config_from(const Args& a) {
   serve::ServerConfig cfg;
-  cfg.num_workers = std::stoi(a.get("workers", "2"));
-  cfg.batcher.max_batch = std::stoll(a.get("batch", "8"));
+  cfg.num_workers = static_cast<int>(int_opt(a, "workers", 2, 1, 1024));
+  cfg.batcher.max_batch = int_opt(a, "batch", 8, 1, 4096);
   cfg.batcher.max_wait =
-      serve::Micros(std::stoll(a.get("wait-us", "2000")));
-  cfg.batcher.bucket_granularity = std::stoll(a.get("granularity", "8"));
+      serve::Micros(int_opt(a, "wait-us", 2000, 0, 3600LL * 1000 * 1000));
+  cfg.batcher.bucket_granularity = int_opt(a, "granularity", 8, 1, 4096);
   return cfg;
 }
 
-serve::LoadgenConfig loadgen_config_from(const Args& a,
-                                         const nn::BertConfig& model_cfg) {
+serve::LoadgenConfig loadgen_config_from(const Args& a) {
   serve::LoadgenConfig cfg;
-  cfg.num_clients = std::stoi(a.get("clients", "8"));
-  cfg.requests_per_client = std::stoi(a.get("requests", "200"));
-  cfg.seq_len_mix = parse_int_list(a.get("seq-mix", "12,16,24"));
-  for (int64_t& s : cfg.seq_len_mix)
-    s = std::min(s, model_cfg.max_seq_len);
-  const long long deadline_ms = std::stoll(a.get("deadline-ms", "0"));
+  cfg.num_clients = static_cast<int>(int_opt(a, "clients", 8, 1, 4096));
+  cfg.requests_per_client =
+      static_cast<int>(int_opt(a, "requests", 200, 1, 100000000));
+  // Lengths beyond the engine's max_seq_len are clamped per request by
+  // synth_example, so the mix needs no engine shape here.
+  cfg.seq_len_mix =
+      parse_int_list("seq-mix", a.get("seq-mix", "12,16,24"), 1, 1 << 16);
+  cfg.seed = static_cast<uint64_t>(int_opt(a, "seed", 1, 0, 1LL << 62));
+  const long long deadline_ms =
+      int_opt(a, "deadline-ms", 0, 0, 86400LL * 1000);
   if (deadline_ms > 0)
     cfg.deadline_budget = serve::Micros(deadline_ms * 1000);
   return cfg;
+}
+
+void print_latency_line(const serve::ServeStats::Report& st) {
+  std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f "
+              "ms (queue %.2f ms mean; window of %llu samples)\n",
+              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
+              static_cast<unsigned long long>(st.latency_samples));
+}
+
+void print_balance_line(const serve::ServeStats::Report& st) {
+  std::printf("balance : admitted %llu = completed %llu + timed out %llu + "
+              "failed %llu  [%s]\n",
+              static_cast<unsigned long long>(st.admitted),
+              static_cast<unsigned long long>(st.completed),
+              static_cast<unsigned long long>(st.timed_out),
+              static_cast<unsigned long long>(st.failed),
+              st.accounting_balances() ? "OK" : "MISMATCH");
 }
 
 void print_serve_report(const serve::LoadgenReport& lg,
@@ -166,26 +318,83 @@ void print_serve_report(const serve::LoadgenReport& lg,
               "batches\n",
               lg.throughput_rps(), st.mean_batch_occupancy,
               static_cast<unsigned long long>(st.batches));
-  std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f "
-              "ms (queue %.2f ms mean; window of %llu samples)\n",
-              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
-              static_cast<unsigned long long>(st.latency_samples));
-  std::printf("balance : admitted %llu = completed %llu + timed out %llu + "
-              "failed %llu  [%s]\n",
-              static_cast<unsigned long long>(st.admitted),
-              static_cast<unsigned long long>(st.completed),
-              static_cast<unsigned long long>(st.timed_out),
-              static_cast<unsigned long long>(st.failed),
-              st.accounting_balances() ? "OK" : "MISMATCH");
+  print_latency_line(st);
+  print_balance_line(st);
+}
+
+volatile std::sig_atomic_t g_stop_requested = 0;
+
+void handle_stop_signal(int) { g_stop_requested = 1; }
+
+/// `serve --listen`: run the server as a network service until SIGINT /
+/// SIGTERM, then drain and print the server-side report.
+int run_listen_server(const Args& a, serve::EngineRegistry& registry,
+                      const serve::ServerConfig& scfg) {
+  serve::InferenceServer server(registry, "default", scfg);
+  if (!server.start()) {
+    std::fprintf(stderr, "server failed to start\n");
+    return 1;
+  }
+
+  serve::net::TransportConfig tcfg;
+  tcfg.bind_address = a.get("bind", "127.0.0.1");
+  tcfg.port =
+      static_cast<uint16_t>(int_opt(a, "listen", 0, 0, 65535));
+  serve::net::TransportServer transport(server, tcfg);
+  if (!transport.start()) {
+    std::fprintf(stderr, "transport failed to start\n");
+    return 1;
+  }
+  std::printf("listening on %s:%u — %d workers, max batch %lld, max wait "
+              "%lld us; Ctrl-C to stop\n",
+              tcfg.bind_address.c_str(), transport.port(), scfg.num_workers,
+              static_cast<long long>(scfg.batcher.max_batch),
+              static_cast<long long>(scfg.batcher.max_wait.count()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop_requested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("\nshutting down...\n");
+  transport.stop();
+  server.shutdown(/*drain=*/true);
+  const serve::net::TransportServer::Counters net = transport.counters();
+  std::printf("transport: %llu connections (%llu closed, %llu protocol "
+              "errors, %llu overflow closes), %llu frames in, %llu frames "
+              "out over %.1fs\n",
+              static_cast<unsigned long long>(net.accepted),
+              static_cast<unsigned long long>(net.closed),
+              static_cast<unsigned long long>(net.protocol_errors),
+              static_cast<unsigned long long>(net.overflow_closes),
+              static_cast<unsigned long long>(net.frames_in),
+              static_cast<unsigned long long>(net.frames_out),
+              server.uptime_s());
+  const serve::ServeStats::Report st = server.stats().report();
+  print_latency_line(st);
+  print_balance_line(st);
+  return 0;
 }
 
 int cmd_serve(const Args& a) {
+  // Validate every numeric flag before the (potentially expensive)
+  // engine resolution: a typo must not cost a demo-engine train first.
+  serve::ServerConfig scfg = server_config_from(a);
+  if (a.flag("listen")) {
+    // The network mode has no built-in client loop; accepting its
+    // options would silently ignore them.
+    reject_options(a, "--listen",
+                   {"clients", "requests", "deadline-ms", "seq-mix", "seed"});
+    serve::EngineRegistry registry;
+    if (!resolve_engine(a, registry, "default")) return usage();
+    return run_listen_server(a, registry, scfg);
+  }
+  serve::LoadgenConfig lcfg = loadgen_config_from(a);
+
   serve::EngineRegistry registry;
   auto engine = resolve_engine(a, registry, "default");
   if (!engine) return usage();
-
-  serve::ServerConfig scfg = server_config_from(a);
-  serve::LoadgenConfig lcfg = loadgen_config_from(a, engine->config());
 
   std::printf("serving '%s': %d workers, max batch %lld, max wait %lld us, "
               "%d closed-loop clients x %d requests (hw threads: %u)\n",
@@ -207,16 +416,68 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+/// `loadgen --connect`: drive a remote `serve --listen` across the wire
+/// with the same closed-loop client model.
+int run_remote_loadgen(const Args& a) {
+  // The engine and the serving/sweep knobs live on the remote server;
+  // accepting them here would silently ignore them.
+  reject_options(a, "--connect",
+                 {"engine", "task", "fast", "workers", "batch", "wait-us",
+                  "granularity", "batch-sweep", "worker-sweep"});
+  const std::string target = a.get("connect");
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= target.size())
+    parse_fail("--connect: expected HOST:PORT, got '" + target + "'");
+  const std::string host = target.substr(0, colon);
+  const uint16_t port = static_cast<uint16_t>(
+      parse_int("connect", target.substr(colon + 1), 1, 65535));
+
+  serve::net::TransportClient probe;
+  if (!probe.connect(host, port)) {
+    std::fprintf(stderr, "%s\n", probe.error().c_str());
+    return 1;
+  }
+  const std::optional<nn::BertConfig> info = probe.query_info();
+  if (!info) {
+    std::fprintf(stderr, "info query failed: %s\n", probe.error().c_str());
+    return 1;
+  }
+  probe.close();
+
+  const serve::LoadgenConfig lcfg = loadgen_config_from(a);
+  std::printf("remote loadgen -> %s:%u (engine: L=%lld hidden=%lld "
+              "max_seq=%lld classes=%lld): %d clients x %d requests\n",
+              host.c_str(), port, static_cast<long long>(info->num_layers),
+              static_cast<long long>(info->hidden),
+              static_cast<long long>(info->max_seq_len),
+              static_cast<long long>(info->num_classes), lcfg.num_clients,
+              lcfg.requests_per_client);
+  const serve::LoadgenReport lg =
+      serve::run_loadgen_remote(host, port, *info, lcfg);
+  std::printf("loadgen : %llu sent, %llu ok, %llu rejected, %llu timed out, "
+              "%llu failed in %.2fs (%.1f req/s)\n",
+              static_cast<unsigned long long>(lg.sent),
+              static_cast<unsigned long long>(lg.ok),
+              static_cast<unsigned long long>(lg.rejected),
+              static_cast<unsigned long long>(lg.timed_out),
+              static_cast<unsigned long long>(lg.failed), lg.wall_s,
+              lg.throughput_rps());
+  return lg.failed == 0 ? 0 : 1;
+}
+
 int cmd_loadgen(const Args& a) {
+  if (a.flag("connect")) return run_remote_loadgen(a);
+
+  const std::vector<int64_t> batches =
+      parse_int_list("batch-sweep", a.get("batch-sweep", "1,8,16"), 1, 4096);
+  const std::vector<int64_t> workers =
+      parse_int_list("worker-sweep", a.get("worker-sweep", "1,2"), 1, 1024);
+  serve::LoadgenConfig lcfg = loadgen_config_from(a);
+
   serve::EngineRegistry registry;
   auto engine = resolve_engine(a, registry, "default");
   if (!engine) return usage();
-
-  const std::vector<int64_t> batches =
-      parse_int_list(a.get("batch-sweep", "1,8,16"));
-  const std::vector<int64_t> workers =
-      parse_int_list(a.get("worker-sweep", "1,2"));
-  serve::LoadgenConfig lcfg = loadgen_config_from(a, engine->config());
 
   std::printf("%-8s %-6s %10s %9s %9s %9s %10s\n", "workers", "batch",
               "req/s", "p50 ms", "p95 ms", "p99 ms", "occupancy");
@@ -272,7 +533,7 @@ int cmd_quantize(const Args& a) {
   }
 
   FqQuantConfig cfg = FqQuantConfig::full();
-  cfg.weight_bits = std::stoi(a.get("bits", "4"));
+  cfg.weight_bits = static_cast<int>(int_opt(a, "bits", 4, 2, 8));
   if (a.flag("no-clip")) cfg.clip = quant::ClipMode::kNone;
   if (a.flag("no-softmax-quant")) cfg.quantize_softmax = false;
   if (a.flag("no-ln-quant")) cfg.quantize_layernorm = false;
@@ -340,9 +601,9 @@ int cmd_estimate(const Args& a) {
                               ? accel::FpgaDevice::zcu111()
                               : accel::FpgaDevice::zcu102();
   accel::AcceleratorConfig cfg;
-  cfg.pes_per_pu = std::stoi(a.get("pes", "8"));
-  cfg.bim_mults = std::stoi(a.get("mults", "16"));
-  const int64_t seq = std::stoll(a.get("seq", "128"));
+  cfg.pes_per_pu = static_cast<int>(int_opt(a, "pes", 8, 1, 4096));
+  cfg.bim_mults = static_cast<int>(int_opt(a, "mults", 16, 1, 65536));
+  const int64_t seq = int_opt(a, "seq", 128, 1, 100000);
   const auto rep = accel::evaluate(cfg, dev, nn::BertConfig::bert_base(2), seq);
   std::printf("accelerator estimate on %s, (N,M)=(%d,%d), seq %lld:\n",
               dev.name.c_str(), cfg.pes_per_pu, cfg.bim_mults,
