@@ -1,5 +1,5 @@
 // Network transport overhead: client-observed closed-loop latency of
-// the SAME InferenceServer driven (a) in-process through submit() and
+// the SAME ModelRouter lane driven (a) in-process through submit() and
 // (b) across the loopback TCP transport with TransportClient — the
 // difference is the full cost of the wire path (frame encode/decode,
 // socket syscalls, event loop, completion queue hop). Responses are
@@ -13,7 +13,7 @@
 #include "serve/loadgen.h"
 #include "serve/net/transport_client.h"
 #include "serve/net/transport_server.h"
-#include "serve/server.h"
+#include "serve/router/model_router.h"
 
 namespace {
 
@@ -72,16 +72,17 @@ int main(int argc, char** argv) {
   // Immediate flush: a single closed-loop client would otherwise pay
   // max_wait on every request in BOTH paths, drowning the wire cost
   // this bench isolates.
-  serve::ServerConfig scfg;
-  scfg.num_workers = 1;
-  scfg.batcher.max_batch = 8;
-  scfg.batcher.max_wait = Micros(0);
+  serve::RouterConfig rcfg;
+  rcfg.num_workers = 1;
+  rcfg.batcher.max_batch = 8;
+  rcfg.batcher.max_wait = Micros(0);
 
-  serve::InferenceServer server(registry, "bench", scfg);
-  if (!server.start()) return 1;
+  serve::ModelRouter router(registry, rcfg);
+  if (!router.add_model("bench")) return 1;
+  router.start();
   serve::net::TransportConfig tcfg;
   tcfg.port = 0;
-  serve::net::TransportServer transport(server, tcfg);
+  serve::net::TransportServer transport(router, tcfg);
   if (!transport.start()) return 1;
 
   print_rule();
@@ -96,7 +97,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   for (int i = 0; i < 50; ++i) {
-    (void)server.submit(workload[static_cast<size_t>(i)]).get();
+    (void)router.submit("bench", workload[static_cast<size_t>(i)]).get();
     (void)client.call(workload[static_cast<size_t>(i)]);
   }
 
@@ -108,7 +109,7 @@ int main(int argc, char** argv) {
   local_responses.reserve(workload.size());
   for (const nn::Example& ex : workload) {
     const double s = now_s();
-    local_responses.push_back(server.submit(ex).get());
+    local_responses.push_back(router.submit("bench", ex).get());
     local_us.push_back((now_s() - s) * 1e6);
   }
   const double local_wall = now_s() - t0;
@@ -133,7 +134,7 @@ int main(int argc, char** argv) {
   const double remote_wall = now_s() - t0;
 
   transport.stop();
-  server.shutdown(/*drain=*/true);
+  router.shutdown(/*drain=*/true);
 
   LatencyStats local = summarize(local_us, local_wall);
   LatencyStats remote = summarize(remote_us, remote_wall);

@@ -129,6 +129,22 @@ bool DynamicBatcher::next_batch(std::vector<ServeRequest>& out) {
   }
 }
 
+DynamicBatcher::Poll DynamicBatcher::poll_batch(
+    std::vector<ServeRequest>& out, TimePoint* next_flush) {
+  out.clear();
+  *next_flush = TimePoint::max();
+  // Same closed-before-pump ordering as next_batch: anything admitted
+  // before close() is visible to the pump, so closed + empty pump means
+  // fully drained.
+  const bool closed = queue_.closed();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (aborted_) return Poll::kDrained;  // fail_pending owns the rest
+  pump_locked();
+  if (pop_batch_locked(out, Clock::now(), /*force=*/closed, next_flush))
+    return Poll::kBatch;
+  return closed && pending_ == 0 ? Poll::kDrained : Poll::kIdle;
+}
+
 void DynamicBatcher::fail_pending(RequestStatus status) {
   std::lock_guard<std::mutex> lock(mu_);
   pump_locked();

@@ -37,6 +37,18 @@ class DynamicBatcher {
   /// worker threads.
   bool next_batch(std::vector<ServeRequest>& out);
 
+  /// Non-blocking flavor for callers multiplexing several batchers on
+  /// one worker set (the model router): pump the queue and pop a ready
+  /// batch if one is due. Never sleeps; same flush policy as
+  /// next_batch, including force-flush once the queue is closed.
+  enum class Poll {
+    kBatch,    // `out` holds a batch
+    kIdle,     // nothing due; *next_flush = earliest max-wait expiry
+               // (TimePoint::max() when empty)
+    kDrained,  // queue closed and everything handed out (or aborted)
+  };
+  Poll poll_batch(std::vector<ServeRequest>& out, TimePoint* next_flush);
+
   /// Abort-mode shutdown, step 1: stop handing out batches. Call
   /// BEFORE RequestQueue::close() — otherwise a worker woken by
   /// close() can force-drain the buckets and complete requests the

@@ -18,49 +18,51 @@ void EnginePool::join() {
   workers_.clear();
 }
 
+void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
+                   std::vector<ServeRequest>& batch) {
+  const TimePoint formed = Clock::now();
+  std::vector<const nn::Example*> examples;
+  examples.reserve(batch.size());
+  for (const ServeRequest& req : batch) examples.push_back(&req.example);
+
+  std::vector<Tensor> logits;
+  bool failed = false;
+  try {
+    logits = engine.forward_batch(examples);
+  } catch (const std::exception&) {
+    failed = true;
+  }
+
+  const TimePoint done = Clock::now();
+  stats.record_batch(batch.size());
+  for (size_t i = 0; i < batch.size(); ++i) {
+    ServeRequest& req = batch[i];
+    ServeResponse resp;
+    resp.request_id = req.id;
+    resp.batch_size = static_cast<int32_t>(batch.size());
+    resp.queue_us = std::chrono::duration_cast<Micros>(
+                        formed - req.enqueue_time)
+                        .count();
+    resp.latency_us = std::chrono::duration_cast<Micros>(
+                          done - req.enqueue_time)
+                          .count();
+    if (failed) {
+      resp.status = RequestStatus::kEngineError;
+      stats.record_failure();
+    } else {
+      resp.status = RequestStatus::kOk;
+      const Tensor& l = logits[i];
+      resp.logits.assign(l.data(), l.data() + l.numel());
+      resp.predicted = static_cast<int32_t>(argmax(l.data(), l.numel()));
+      stats.record_response(resp.latency_us, resp.queue_us);
+    }
+    req.promise.set_value(std::move(resp));
+  }
+}
+
 void EnginePool::worker_loop(const core::FqBertModel& engine) {
   std::vector<ServeRequest> batch;
-  std::vector<const nn::Example*> examples;
-  while (batcher_.next_batch(batch)) {
-    const TimePoint formed = Clock::now();
-    examples.clear();
-    for (const ServeRequest& req : batch) examples.push_back(&req.example);
-
-    std::vector<Tensor> logits;
-    bool failed = false;
-    try {
-      logits = engine.forward_batch(examples);
-    } catch (const std::exception&) {
-      failed = true;
-    }
-
-    const TimePoint done = Clock::now();
-    stats_.record_batch(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      ServeRequest& req = batch[i];
-      ServeResponse resp;
-      resp.request_id = req.id;
-      resp.batch_size = static_cast<int32_t>(batch.size());
-      resp.queue_us = std::chrono::duration_cast<Micros>(
-                          formed - req.enqueue_time)
-                          .count();
-      resp.latency_us = std::chrono::duration_cast<Micros>(
-                            done - req.enqueue_time)
-                            .count();
-      if (failed) {
-        resp.status = RequestStatus::kEngineError;
-        stats_.record_failure();
-      } else {
-        resp.status = RequestStatus::kOk;
-        const Tensor& l = logits[i];
-        resp.logits.assign(l.data(), l.data() + l.numel());
-        resp.predicted =
-            static_cast<int32_t>(argmax(l.data(), l.numel()));
-        stats_.record_response(resp.latency_us, resp.queue_us);
-      }
-      req.promise.set_value(std::move(resp));
-    }
-  }
+  while (batcher_.next_batch(batch)) execute_batch(engine, stats_, batch);
 }
 
 }  // namespace fqbert::serve

@@ -15,6 +15,13 @@
 
 namespace fqbert::serve {
 
+/// Execute one formed batch on `engine` and resolve every request's
+/// promise (logits + latency breakdown on success, kEngineError for the
+/// whole batch when the engine throws), recording into `stats`. Shared
+/// by EnginePool workers and the ModelRouter's multiplexed worker set.
+void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
+                   std::vector<ServeRequest>& batch);
+
 class EnginePool {
  public:
   EnginePool(DynamicBatcher& batcher, ServeStats& stats)

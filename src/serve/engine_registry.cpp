@@ -22,6 +22,20 @@ bool EngineRegistry::register_file(const std::string& name,
   return true;
 }
 
+bool EngineRegistry::unregister(const std::string& name) {
+  std::shared_ptr<const core::FqBertModel> doomed;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    // The potentially last reference is dropped outside the lock so a
+    // multi-MB engine destructor never runs under the registry mutex.
+    doomed = std::move(it->second.model);
+    entries_.erase(it);
+  }
+  return true;
+}
+
 std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
     const std::string& name) const {
   std::lock_guard<std::mutex> lock(mu_);

@@ -28,6 +28,11 @@ class EngineRegistry {
   /// Returns false when the file cannot be loaded.
   bool register_file(const std::string& name, const std::string& path);
 
+  /// Remove `name` from the registry. Existing shared_ptr holders keep
+  /// the engine alive; only the name binding disappears. False when the
+  /// name is unknown.
+  bool unregister(const std::string& name);
+
   /// The shared engine instance. nullptr when the name is unknown.
   std::shared_ptr<const core::FqBertModel> get(const std::string& name) const;
 

@@ -18,7 +18,8 @@ struct ClientTally {
       case RequestStatus::kOk: ++ok; break;
       case RequestStatus::kRejectedQueueFull:
       case RequestStatus::kRejectedDeadline:
-      case RequestStatus::kRejectedInvalid: ++rejected; break;
+      case RequestStatus::kRejectedInvalid:
+      case RequestStatus::kRejectedUnknownModel: ++rejected; break;
       case RequestStatus::kTimedOut: ++timed_out; break;
       case RequestStatus::kEngineError:
       case RequestStatus::kShutdown: ++failed; break;
@@ -96,8 +97,16 @@ LoadgenReport run_loadgen(InferenceServer& server,
 LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
                                  const nn::BertConfig& engine_config,
                                  const LoadgenConfig& cfg) {
+  return run_loadgen_remote(host, port,
+                            {RemoteModelTarget{"", engine_config}}, cfg);
+}
+
+LoadgenReport run_loadgen_remote(
+    const std::string& host, uint16_t port,
+    const std::vector<RemoteModelTarget>& models, const LoadgenConfig& cfg) {
   LoadgenReport report;
   std::mutex report_mu;
+  if (models.empty()) return report;
 
   const TimePoint t0 = Clock::now();
   std::vector<std::thread> clients;
@@ -109,15 +118,22 @@ LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
       ClientTally tally;
       for (int i = 0; i < cfg.requests_per_client; ++i) {
         ++tally.sent;
+        // The model draw happens even on skipped iterations so the
+        // request stream per model is reconnect-independent.
+        const RemoteModelTarget& target =
+            models.size() == 1
+                ? models.front()
+                : models[static_cast<size_t>(rng.randint(
+                      0, static_cast<int64_t>(models.size()) - 1))];
         if (!client.connected() && !client.connect(host, port)) {
           ++tally.failed;
           continue;
         }
         const nn::Example ex =
-            synth_example(rng, pick_len(rng, cfg, engine_config),
-                          engine_config);
+            synth_example(rng, pick_len(rng, cfg, target.config),
+                          target.config);
         const std::optional<ServeResponse> resp =
-            client.call(ex, cfg.deadline_budget);
+            client.call(ex, cfg.deadline_budget, target.name);
         if (!resp) {
           // Transport failure; the client closed itself and the next
           // iteration reconnects.

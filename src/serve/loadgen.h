@@ -48,6 +48,14 @@ LoadgenReport run_loadgen(InferenceServer& server,
                           const nn::BertConfig& engine_config,
                           const LoadgenConfig& cfg);
 
+/// One model in a remote multi-model traffic mix: requests carry `name`
+/// on the wire and are synthesized against `config` (each served model
+/// can have a different shape).
+struct RemoteModelTarget {
+  std::string name;  // "" = the server's default model
+  nn::BertConfig config;
+};
+
 /// Remote flavor of run_loadgen: each client thread opens its own
 /// TransportClient connection to a TransportServer at host:port and
 /// runs the same closed loop over the wire. Transport-level failures
@@ -55,6 +63,14 @@ LoadgenReport run_loadgen(InferenceServer& server,
 /// attempted per request.
 LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
                                  const nn::BertConfig& engine_config,
+                                 const LoadgenConfig& cfg);
+
+/// Multi-model traffic mix across the wire: every request picks a model
+/// uniformly (seeded) from `models` and is routed to it by name —
+/// exercising several router lanes from one closed-loop client fleet.
+/// `models` must be non-empty.
+LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
+                                 const std::vector<RemoteModelTarget>& models,
                                  const LoadgenConfig& cfg);
 
 }  // namespace fqbert::serve

@@ -1,5 +1,6 @@
 #include "serve/net/frame.h"
 
+#include <algorithm>
 #include <cstring>
 
 namespace fqbert::serve::net {
@@ -42,6 +43,20 @@ void put_f32(std::vector<uint8_t>& out, float v) {
   put_u32(out, bits);
 }
 
+void put_f64(std::vector<uint8_t>& out, double v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  put_u64(out, bits);
+}
+
+/// u16 length + raw bytes. Callers must have validated the cap; encode
+/// truncates defensively so a frame is never malformed.
+void put_str(std::vector<uint8_t>& out, const std::string& s, uint32_t cap) {
+  const size_t n = std::min<size_t>(s.size(), cap);
+  put_u16(out, static_cast<uint16_t>(n));
+  out.insert(out.end(), s.begin(), s.begin() + static_cast<ptrdiff_t>(n));
+}
+
 /// Bounds-checked sequential reader over one payload. Every take_*
 /// fails (and latches failure) instead of reading past `len`.
 struct Cursor {
@@ -57,6 +72,13 @@ struct Cursor {
   uint8_t take_u8() {
     if (!have(1)) return 0;
     return data[pos++];
+  }
+  uint16_t take_u16() {
+    if (!have(2)) return 0;
+    uint16_t v = static_cast<uint16_t>(
+        data[pos] | (static_cast<uint16_t>(data[pos + 1]) << 8));
+    pos += 2;
+    return v;
   }
   uint32_t take_u32() {
     if (!have(4)) return 0;
@@ -84,14 +106,32 @@ struct Cursor {
     std::memcpy(&v, &bits, sizeof(v));
     return v;
   }
+  double take_f64() {
+    const uint64_t bits = take_u64();
+    double v;
+    std::memcpy(&v, &bits, sizeof(v));
+    return v;
+  }
+  /// u16 length + bytes; fails on a length over `cap` or past the end.
+  bool take_str(std::string* out, uint32_t cap) {
+    const uint16_t n = take_u16();
+    if (!ok || n > cap || !have(n)) {
+      ok = false;
+      return false;
+    }
+    out->assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
   /// Fully consumed and no read ever ran off the end.
   bool done() const { return ok && pos == len; }
 };
 
 /// Patch the payload_len field once the payload size is known.
-void begin_frame(std::vector<uint8_t>& out, FrameType type) {
+void begin_frame(std::vector<uint8_t>& out, FrameType type,
+                 uint8_t version = kProtocolVersion) {
   put_u32(out, kFrameMagic);
-  put_u8(out, kProtocolVersion);
+  put_u8(out, version);
   put_u8(out, static_cast<uint8_t>(type));
   put_u16(out, 0);           // reserved
   put_u32(out, 0);           // payload_len, patched by end_frame
@@ -102,6 +142,28 @@ void end_frame(std::vector<uint8_t>& out, size_t frame_start) {
   for (int i = 0; i < 4; ++i)
     out[frame_start + 8 + static_cast<size_t>(i)] =
         static_cast<uint8_t>(payload >> (8 * i));
+}
+
+void put_config(std::vector<uint8_t>& out, const nn::BertConfig& cfg) {
+  put_i64(out, cfg.vocab_size);
+  put_i64(out, cfg.hidden);
+  put_i64(out, cfg.num_layers);
+  put_i64(out, cfg.num_heads);
+  put_i64(out, cfg.ffn_dim);
+  put_i64(out, cfg.max_seq_len);
+  put_i64(out, cfg.num_segments);
+  put_i64(out, cfg.num_classes);
+}
+
+void take_config(Cursor& c, nn::BertConfig* cfg) {
+  cfg->vocab_size = c.take_i64();
+  cfg->hidden = c.take_i64();
+  cfg->num_layers = c.take_i64();
+  cfg->num_heads = c.take_i64();
+  cfg->ffn_dim = c.take_i64();
+  cfg->max_seq_len = c.take_i64();
+  cfg->num_segments = c.take_i64();
+  cfg->num_classes = c.take_i64();
 }
 
 }  // namespace
@@ -116,38 +178,47 @@ DecodeStatus decode_header(const uint8_t* data, size_t len,
   const uint8_t r0 = c.take_u8();
   const uint8_t r1 = c.take_u8();
   const uint32_t payload_len = c.take_u32();
-  if (magic != kFrameMagic || version != kProtocolVersion || r0 != 0 ||
-      r1 != 0)
+  if (magic != kFrameMagic || version < kMinProtocolVersion ||
+      version > kProtocolVersion || r0 != 0 || r1 != 0)
     return DecodeStatus::kError;
+  // Control-plane types exist only from v2 on; a v1 header declaring
+  // one is a protocol violation, not a silently tolerated frame.
+  const uint8_t last_type = version >= 2 ? kLastFrameType : kLastV1FrameType;
   if (type < static_cast<uint8_t>(FrameType::kInfoRequest) ||
-      type > static_cast<uint8_t>(FrameType::kServeResponse))
+      type > last_type)
     return DecodeStatus::kError;
   if (payload_len > kMaxPayload) return DecodeStatus::kError;
+  out->version = version;
   out->type = static_cast<FrameType>(type);
   out->payload_len = payload_len;
   return DecodeStatus::kFrame;
 }
 
-bool decode_info_response(const uint8_t* payload, size_t len,
-                          WireInfo* out) {
+bool decode_info_request(const uint8_t* payload, size_t len, uint8_t version,
+                         std::string* model_out) {
+  model_out->clear();
+  if (version < 2) return len == 0;  // v1 info request is empty
   Cursor c{payload, len};
-  nn::BertConfig& cfg = out->config;
-  cfg.vocab_size = c.take_i64();
-  cfg.hidden = c.take_i64();
-  cfg.num_layers = c.take_i64();
-  cfg.num_heads = c.take_i64();
-  cfg.ffn_dim = c.take_i64();
-  cfg.max_seq_len = c.take_i64();
-  cfg.num_segments = c.take_i64();
-  cfg.num_classes = c.take_i64();
+  if (!c.take_str(model_out, kMaxNameLen)) return false;
+  return c.done();
+}
+
+bool decode_info_response(const uint8_t* payload, size_t len,
+                          uint8_t version, WireInfo* out) {
+  Cursor c{payload, len};
+  out->model.clear();
+  if (version >= 2 && !c.take_str(&out->model, kMaxNameLen)) return false;
+  take_config(c, &out->config);
   return c.done();
 }
 
 bool decode_serve_request(const uint8_t* payload, size_t len,
-                          WireRequest* out) {
+                          uint8_t version, WireRequest* out) {
   Cursor c{payload, len};
   out->correlation_id = c.take_u64();
   out->deadline_budget_us = c.take_i64();
+  out->model.clear();
+  if (version >= 2 && !c.take_str(&out->model, kMaxNameLen)) return false;
   const uint32_t num_tokens = c.take_u32();
   const uint32_t num_segments = c.take_u32();
   if (!c.ok || num_tokens > kMaxTokens || num_segments > kMaxTokens)
@@ -172,7 +243,7 @@ bool decode_serve_response(const uint8_t* payload, size_t len,
   Cursor c{payload, len};
   out->correlation_id = c.take_u64();
   const uint8_t status = c.take_u8();
-  if (status > static_cast<uint8_t>(RequestStatus::kShutdown)) return false;
+  if (status > static_cast<uint8_t>(kLastRequestStatus)) return false;
   out->response.status = static_cast<RequestStatus>(status);
   out->response.predicted = c.take_i32();
   out->response.queue_us = c.take_i64();
@@ -187,32 +258,101 @@ bool decode_serve_response(const uint8_t* payload, size_t len,
   return c.done();
 }
 
-void encode_info_request(std::vector<uint8_t>& out) {
+bool decode_load_model(const uint8_t* payload, size_t len, std::string* name,
+                       std::string* path) {
+  Cursor c{payload, len};
+  if (!c.take_str(name, kMaxNameLen)) return false;
+  if (!c.take_str(path, kMaxPathLen)) return false;
+  return c.done();
+}
+
+bool decode_unload_model(const uint8_t* payload, size_t len,
+                         std::string* name) {
+  Cursor c{payload, len};
+  if (!c.take_str(name, kMaxNameLen)) return false;
+  return c.done();
+}
+
+bool decode_stats_request(const uint8_t* payload, size_t len,
+                          std::string* name) {
+  Cursor c{payload, len};
+  if (!c.take_str(name, kMaxNameLen)) return false;
+  return c.done();
+}
+
+bool decode_admin_response(const uint8_t* payload, size_t len, bool* ok,
+                           std::string* message) {
+  Cursor c{payload, len};
+  const uint8_t flag = c.take_u8();
+  if (!c.ok || flag > 1) return false;
+  *ok = flag == 1;
+  if (!c.take_str(message, kMaxMessageLen)) return false;
+  return c.done();
+}
+
+bool decode_model_list(const uint8_t* payload, size_t len,
+                       std::vector<std::string>* names) {
+  Cursor c{payload, len};
+  const uint32_t count = c.take_u32();
+  if (!c.ok || count > kMaxModelCount) return false;
+  names->clear();
+  names->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string name;
+    if (!c.take_str(&name, kMaxNameLen)) return false;
+    names->push_back(std::move(name));
+  }
+  return c.done();
+}
+
+bool decode_stats_response(const uint8_t* payload, size_t len,
+                           WireStats* out) {
+  Cursor c{payload, len};
+  if (!c.take_str(&out->model, kMaxNameLen)) return false;
+  ServeStats::Report& r = out->report;
+  r.admitted = c.take_u64();
+  r.rejected_full = c.take_u64();
+  r.rejected_deadline = c.take_u64();
+  r.rejected_invalid = c.take_u64();
+  r.rejected_closed = c.take_u64();
+  r.timed_out = c.take_u64();
+  r.completed = c.take_u64();
+  r.failed = c.take_u64();
+  r.batches = c.take_u64();
+  r.latency_samples = c.take_u64();
+  r.mean_batch_occupancy = c.take_f64();
+  r.mean_queue_ms = c.take_f64();
+  r.p50_ms = c.take_f64();
+  r.p95_ms = c.take_f64();
+  r.p99_ms = c.take_f64();
+  r.max_ms = c.take_f64();
+  return c.done();
+}
+
+void encode_info_request(const std::string& model, std::vector<uint8_t>& out,
+                         uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kInfoRequest);
+  begin_frame(out, FrameType::kInfoRequest, version);
+  if (version >= 2) put_str(out, model, kMaxNameLen);
   end_frame(out, start);
 }
 
-void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out) {
+void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out,
+                          uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kInfoResponse);
-  const nn::BertConfig& cfg = info.config;
-  put_i64(out, cfg.vocab_size);
-  put_i64(out, cfg.hidden);
-  put_i64(out, cfg.num_layers);
-  put_i64(out, cfg.num_heads);
-  put_i64(out, cfg.ffn_dim);
-  put_i64(out, cfg.max_seq_len);
-  put_i64(out, cfg.num_segments);
-  put_i64(out, cfg.num_classes);
+  begin_frame(out, FrameType::kInfoResponse, version);
+  if (version >= 2) put_str(out, info.model, kMaxNameLen);
+  put_config(out, info.config);
   end_frame(out, start);
 }
 
-void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out) {
+void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out,
+                          uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kServeRequest);
+  begin_frame(out, FrameType::kServeRequest, version);
   put_u64(out, req.correlation_id);
   put_i64(out, req.deadline_budget_us);
+  if (version >= 2) put_str(out, req.model, kMaxNameLen);
   put_u32(out, static_cast<uint32_t>(req.example.tokens.size()));
   put_u32(out, static_cast<uint32_t>(req.example.segments.size()));
   for (const int32_t tok : req.example.tokens) put_i32(out, tok);
@@ -221,9 +361,9 @@ void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out) {
 }
 
 void encode_serve_response(const WireResponse& resp,
-                           std::vector<uint8_t>& out) {
+                           std::vector<uint8_t>& out, uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kServeResponse);
+  begin_frame(out, FrameType::kServeResponse, version);
   put_u64(out, resp.correlation_id);
   put_u8(out, static_cast<uint8_t>(resp.response.status));
   put_i32(out, resp.response.predicted);
@@ -232,6 +372,84 @@ void encode_serve_response(const WireResponse& resp,
   put_i32(out, resp.response.batch_size);
   put_u32(out, static_cast<uint32_t>(resp.response.logits.size()));
   for (const float v : resp.response.logits) put_f32(out, v);
+  end_frame(out, start);
+}
+
+void encode_load_model(const std::string& name, const std::string& path,
+                       std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kLoadModel);
+  put_str(out, name, kMaxNameLen);
+  put_str(out, path, kMaxPathLen);
+  end_frame(out, start);
+}
+
+void encode_unload_model(const std::string& name,
+                         std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kUnloadModel);
+  put_str(out, name, kMaxNameLen);
+  end_frame(out, start);
+}
+
+void encode_list_models(std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kListModels);
+  end_frame(out, start);
+}
+
+void encode_stats_request(const std::string& name,
+                          std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kStatsRequest);
+  put_str(out, name, kMaxNameLen);
+  end_frame(out, start);
+}
+
+void encode_admin_response(bool ok, const std::string& message,
+                           std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kAdminResponse);
+  put_u8(out, ok ? 1 : 0);
+  put_str(out, message, kMaxMessageLen);
+  end_frame(out, start);
+}
+
+void encode_model_list(const std::vector<std::string>& names,
+                       std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kModelList);
+  // Mirror decode_model_list's cap: past kMaxModelCount entries the
+  // frame would be rejected by every client, making LIST unusable on a
+  // healthy server — a truncated (but valid) list is strictly better.
+  const size_t count = std::min<size_t>(names.size(), kMaxModelCount);
+  put_u32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) put_str(out, names[i], kMaxNameLen);
+  end_frame(out, start);
+}
+
+void encode_stats_response(const WireStats& stats,
+                           std::vector<uint8_t>& out) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kStatsResponse);
+  put_str(out, stats.model, kMaxNameLen);
+  const ServeStats::Report& r = stats.report;
+  put_u64(out, r.admitted);
+  put_u64(out, r.rejected_full);
+  put_u64(out, r.rejected_deadline);
+  put_u64(out, r.rejected_invalid);
+  put_u64(out, r.rejected_closed);
+  put_u64(out, r.timed_out);
+  put_u64(out, r.completed);
+  put_u64(out, r.failed);
+  put_u64(out, r.batches);
+  put_u64(out, r.latency_samples);
+  put_f64(out, r.mean_batch_occupancy);
+  put_f64(out, r.mean_queue_ms);
+  put_f64(out, r.p50_ms);
+  put_f64(out, r.p95_ms);
+  put_f64(out, r.p99_ms);
+  put_f64(out, r.max_ms);
   end_frame(out, start);
 }
 

@@ -9,20 +9,36 @@
 //
 //   offset  size  field
 //   0       4     magic       0x46514254 ("FQBT", LE)
-//   4       1     version     kProtocolVersion (1)
+//   4       1     version     1 or 2 (kProtocolVersion = 2)
 //   5       1     type        FrameType
 //   6       2     reserved    must be 0
 //   8       4     payload_len bytes following the header (<= kMaxPayload)
 //   12      ...   payload     type-specific, layouts below
 //
+// Version 2 (multi-model router) extends version 1 in two ways:
+//   * serve/info frames carry a model-name string (empty = the server's
+//     default model), so one endpoint serves many engines;
+//   * control-plane frames (types 5..11) hot-load/unload engines and
+//     query the per-model lanes. Control frames exist only in v2 — a v1
+//     header declaring them is a protocol error.
+// Version-1 frames remain fully served (routed to the default model),
+// so old clients keep working against a v2 server.
+//
+// Strings on the wire are u16 length + raw bytes (no terminator), with
+// per-field caps (kMaxNameLen / kMaxPathLen / kMaxMessageLen).
+//
 // Payloads (all integers little-endian, floats as IEEE-754 bit patterns):
 //
-//   kInfoRequest   (client->server)  empty
-//   kInfoResponse  (server->client)  8 x i64: vocab_size, hidden,
+//   kInfoRequest   (client->server)  v1: empty
+//                                    v2: str model
+//   kInfoResponse  (server->client)  v1: 8 x i64: vocab_size, hidden,
 //                                    num_layers, num_heads, ffn_dim,
 //                                    max_seq_len, num_segments, num_classes
+//                                    v2: str model (resolved name), then
+//                                    the same 8 x i64
 //   kServeRequest  (client->server)  u64 correlation_id,
 //                                    i64 deadline_budget_us (0 = none),
+//                                    [v2 only: str model],
 //                                    u32 num_tokens (<= kMaxTokens),
 //                                    u32 num_segments (<= kMaxTokens),
 //                                    i32 tokens[num_tokens],
@@ -36,19 +52,36 @@
 //                                    i64 latency_us, i32 batch_size,
 //                                    u32 num_logits (<= kMaxLogits),
 //                                    f32 logits[num_logits]
+//   kLoadModel     (client->server)  str name, str path      [v2]
+//   kUnloadModel   (client->server)  str name                [v2]
+//   kListModels    (client->server)  empty                   [v2]
+//   kStatsRequest  (client->server)  str name ("" = default) [v2]
+//   kAdminResponse (server->client)  u8 ok, str message      [v2]
+//   kModelList     (server->client)  u32 count (<= kMaxModelCount),
+//                                    count x str name        [v2]
+//   kStatsResponse (server->client)  str name, 10 x u64 (admitted,
+//                                    rejected_full, rejected_deadline,
+//                                    rejected_invalid, rejected_closed,
+//                                    timed_out, completed, failed,
+//                                    batches, latency_samples), 6 x f64
+//                                    (mean_batch_occupancy, mean_queue_ms,
+//                                    p50_ms, p95_ms, p99_ms, max_ms) [v2]
 #pragma once
 
 #include <cstdint>
 #include <cstddef>
+#include <string>
 #include <vector>
 
 #include "nn/bert.h"
 #include "serve/request_queue.h"
+#include "serve/stats.h"
 
 namespace fqbert::serve::net {
 
 inline constexpr uint32_t kFrameMagic = 0x46514254u;  // "FQBT"
-inline constexpr uint8_t kProtocolVersion = 1;
+inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kMinProtocolVersion = 1;
 inline constexpr size_t kHeaderSize = 12;
 /// Hard cap on any payload; a header declaring more is a protocol error
 /// (closes the connection) — the decoder never allocates attacker-sized
@@ -58,36 +91,65 @@ inline constexpr uint32_t kMaxPayload = 1u << 20;
 /// oversized-but-capped examples are rejected by server-side admission).
 inline constexpr uint32_t kMaxTokens = 1u << 16;
 inline constexpr uint32_t kMaxLogits = 1u << 16;
+/// String caps (strings travel as u16 length + bytes).
+inline constexpr uint32_t kMaxNameLen = 256;
+inline constexpr uint32_t kMaxPathLen = 4096;
+inline constexpr uint32_t kMaxMessageLen = 4096;
+inline constexpr uint32_t kMaxModelCount = 1024;
 
 enum class FrameType : uint8_t {
   kInfoRequest = 1,
   kInfoResponse = 2,
   kServeRequest = 3,
   kServeResponse = 4,
+  // Control plane (protocol v2+).
+  kLoadModel = 5,
+  kUnloadModel = 6,
+  kListModels = 7,
+  kStatsRequest = 8,
+  kAdminResponse = 9,
+  kModelList = 10,
+  kStatsResponse = 11,
 };
+inline constexpr uint8_t kLastV1FrameType =
+    static_cast<uint8_t>(FrameType::kServeResponse);
+inline constexpr uint8_t kLastFrameType =
+    static_cast<uint8_t>(FrameType::kStatsResponse);
 
 struct FrameHeader {
+  uint8_t version = kProtocolVersion;
   FrameType type{};
   uint32_t payload_len = 0;
 };
 
 /// Engine shape advertised by the server so a remote client can
-/// synthesize valid examples without the engine file.
+/// synthesize valid examples without the engine file. `model` is the
+/// resolved lane name (empty on v1 frames).
 struct WireInfo {
+  std::string model;
   nn::BertConfig config;
 };
 
 /// One inference request on the wire. `correlation_id` is chosen by the
-/// client and echoed verbatim in the response.
+/// client and echoed verbatim in the response; `model` routes it
+/// (empty = default model; always empty on v1 frames).
 struct WireRequest {
   uint64_t correlation_id = 0;
   int64_t deadline_budget_us = 0;  // 0 = no deadline
+  std::string model;
   nn::Example example;
 };
 
 struct WireResponse {
   uint64_t correlation_id = 0;
   ServeResponse response;
+};
+
+/// Per-model stats snapshot on the wire (subset of ServeStats::Report
+/// that serializes losslessly).
+struct WireStats {
+  std::string model;
+  ServeStats::Report report;
 };
 
 enum class DecodeStatus {
@@ -97,25 +159,58 @@ enum class DecodeStatus {
 };
 
 /// Validate a header prefix. kNeedMore when len < kHeaderSize; kError on
-/// bad magic / version / reserved bits / unknown type / oversized
-/// payload declaration.
+/// bad magic / unsupported version / reserved bits / unknown type (or a
+/// control type on a v1 frame) / oversized payload declaration.
 DecodeStatus decode_header(const uint8_t* data, size_t len, FrameHeader* out);
 
 /// Strict payload decoders: true iff the payload parses AND consumes
 /// exactly `len` bytes (trailing garbage is an error, as is any length
-/// field pointing past the end).
-bool decode_info_response(const uint8_t* payload, size_t len, WireInfo* out);
+/// field pointing past the end). Version-dependent layouts take the
+/// header's version.
+bool decode_info_request(const uint8_t* payload, size_t len, uint8_t version,
+                         std::string* model_out);
+bool decode_info_response(const uint8_t* payload, size_t len,
+                          uint8_t version, WireInfo* out);
 bool decode_serve_request(const uint8_t* payload, size_t len,
-                          WireRequest* out);
+                          uint8_t version, WireRequest* out);
 bool decode_serve_response(const uint8_t* payload, size_t len,
                            WireResponse* out);
+bool decode_load_model(const uint8_t* payload, size_t len, std::string* name,
+                       std::string* path);
+bool decode_unload_model(const uint8_t* payload, size_t len,
+                         std::string* name);
+bool decode_stats_request(const uint8_t* payload, size_t len,
+                          std::string* name);
+bool decode_admin_response(const uint8_t* payload, size_t len, bool* ok,
+                           std::string* message);
+bool decode_model_list(const uint8_t* payload, size_t len,
+                       std::vector<std::string>* names);
+bool decode_stats_response(const uint8_t* payload, size_t len,
+                           WireStats* out);
 
 /// Encoders produce a complete frame (header + payload), appended to
 /// `out` so a caller can coalesce several frames into one write buffer.
-void encode_info_request(std::vector<uint8_t>& out);
-void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out);
-void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out);
+/// Where the layout is version-dependent, `version` selects it (v1
+/// encoders drop the model field — for old-client compatibility tests
+/// and clients pinned to v1).
+void encode_info_request(const std::string& model, std::vector<uint8_t>& out,
+                         uint8_t version = kProtocolVersion);
+void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out,
+                          uint8_t version = kProtocolVersion);
+void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out,
+                          uint8_t version = kProtocolVersion);
 void encode_serve_response(const WireResponse& resp,
+                           std::vector<uint8_t>& out,
+                           uint8_t version = kProtocolVersion);
+void encode_load_model(const std::string& name, const std::string& path,
+                       std::vector<uint8_t>& out);
+void encode_unload_model(const std::string& name, std::vector<uint8_t>& out);
+void encode_list_models(std::vector<uint8_t>& out);
+void encode_stats_request(const std::string& name, std::vector<uint8_t>& out);
+void encode_admin_response(bool ok, const std::string& message,
                            std::vector<uint8_t>& out);
+void encode_model_list(const std::vector<std::string>& names,
+                       std::vector<uint8_t>& out);
+void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out);
 
 }  // namespace fqbert::serve::net

@@ -1,15 +1,62 @@
 #include "serve/net/transport_client.h"
 
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
+#include <sys/time.h>
 #include <unistd.h>
 
 #include <cerrno>
 #include <cstring>
 
 namespace fqbert::serve::net {
+
+namespace {
+
+/// Connect with an optional timeout: non-blocking connect + poll, then
+/// back to blocking mode. 0 on success, -1 (errno-style reason in
+/// *timed_out / errno) otherwise.
+int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen,
+                         Micros timeout, bool* timed_out) {
+  *timed_out = false;
+  if (timeout.count() <= 0) return ::connect(fd, addr, addrlen);
+
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0)
+    return ::connect(fd, addr, addrlen);  // degrade to blocking
+
+  int rc = ::connect(fd, addr, addrlen);
+  if (rc != 0 && errno == EINPROGRESS) {
+    pollfd pfd{fd, POLLOUT, 0};
+    const int timeout_ms = static_cast<int>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(timeout)
+            .count());
+    const int ready = ::poll(&pfd, 1, timeout_ms > 0 ? timeout_ms : 1);
+    if (ready == 0) {
+      *timed_out = true;
+      rc = -1;
+    } else if (ready < 0) {
+      rc = -1;
+    } else {
+      int err = 0;
+      socklen_t err_len = sizeof(err);
+      ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len);
+      if (err != 0) {
+        errno = err;
+        rc = -1;
+      } else {
+        rc = 0;
+      }
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // restore blocking mode
+  return rc;
+}
+
+}  // namespace
 
 TransportClient::~TransportClient() { close(); }
 
@@ -20,8 +67,9 @@ void TransportClient::close() {
   }
 }
 
-bool TransportClient::fail(const std::string& message) {
+bool TransportClient::fail(ClientError kind, const std::string& message) {
   error_ = message;
+  error_kind_ = kind;
   close();
   return false;
 }
@@ -35,24 +83,40 @@ bool TransportClient::connect(const std::string& host, uint16_t port) {
   const std::string port_str = std::to_string(port);
   if (::getaddrinfo(host.c_str(), port_str.c_str(), &hints, &res) != 0 ||
       res == nullptr)
-    return fail("cannot resolve " + host);
+    return fail(ClientError::kConnect, "cannot resolve " + host);
   int fd = -1;
+  bool timed_out = false;
   for (addrinfo* ai = res; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype | SOCK_CLOEXEC,
                   ai->ai_protocol);
     if (fd < 0) continue;
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    if (connect_with_timeout(fd, ai->ai_addr, ai->ai_addrlen,
+                             connect_timeout_, &timed_out) == 0)
+      break;
     ::close(fd);
     fd = -1;
+    if (timed_out) break;  // don't pay the timeout once per address
   }
   ::freeaddrinfo(res);
-  if (fd < 0)
-    return fail("cannot connect to " + host + ":" + port_str + ": " +
-                std::strerror(errno));
+  if (fd < 0) {
+    if (timed_out)
+      return fail(ClientError::kTimedOut,
+                  "connect to " + host + ":" + port_str + " timed out");
+    return fail(ClientError::kConnect, "cannot connect to " + host + ":" +
+                                           port_str + ": " +
+                                           std::strerror(errno));
+  }
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  if (recv_timeout_.count() > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(recv_timeout_.count() / 1'000'000);
+    tv.tv_usec = static_cast<suseconds_t>(recv_timeout_.count() % 1'000'000);
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
   fd_ = fd;
   error_.clear();
+  error_kind_ = ClientError::kNone;
   return true;
 }
 
@@ -66,93 +130,213 @@ bool TransportClient::send_all(const std::vector<uint8_t>& bytes) {
       continue;
     }
     if (n < 0 && errno == EINTR) continue;
-    return fail(std::string("send failed: ") + std::strerror(errno));
+    return fail(ClientError::kIo,
+                std::string("send failed: ") + std::strerror(errno));
   }
   return true;
 }
 
-bool TransportClient::recv_frame(FrameType expect,
+bool TransportClient::recv_exact(uint8_t* out, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    if (r > 0) {
+      got += static_cast<size_t>(r);
+      continue;
+    }
+    if (r == 0)
+      return fail(ClientError::kClosed, "connection closed by server");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK)
+      return fail(ClientError::kTimedOut, "receive timed out");
+    return fail(ClientError::kIo,
+                std::string("recv failed: ") + std::strerror(errno));
+  }
+  return true;
+}
+
+bool TransportClient::recv_frame(FrameHeader* hdr,
                                  std::vector<uint8_t>& payload) {
   uint8_t header[kHeaderSize];
-  size_t got = 0;
-  while (got < kHeaderSize) {
-    const ssize_t n = ::recv(fd_, header + got, kHeaderSize - got, 0);
-    if (n > 0) {
-      got += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return fail(n == 0 ? "connection closed by server"
-                       : std::string("recv failed: ") +
-                             std::strerror(errno));
-  }
+  if (!recv_exact(header, kHeaderSize)) return false;
+  if (decode_header(header, kHeaderSize, hdr) != DecodeStatus::kFrame)
+    return fail(ClientError::kProtocol, "malformed frame header from server");
+  payload.resize(hdr->payload_len);
+  return payload.empty() || recv_exact(payload.data(), payload.size());
+}
+
+bool TransportClient::recv_expected(FrameType expect,
+                                    std::vector<uint8_t>& payload,
+                                    std::string* admin_failure) {
   FrameHeader hdr;
-  if (decode_header(header, kHeaderSize, &hdr) != DecodeStatus::kFrame)
-    return fail("malformed frame header from server");
-  if (hdr.type != expect) return fail("unexpected frame type from server");
-  payload.resize(hdr.payload_len);
-  got = 0;
-  while (got < payload.size()) {
-    const ssize_t n =
-        ::recv(fd_, payload.data() + got, payload.size() - got, 0);
-    if (n > 0) {
-      got += static_cast<size_t>(n);
-      continue;
-    }
-    if (n < 0 && errno == EINTR) continue;
-    return fail(n == 0 ? "connection closed mid-frame"
-                       : std::string("recv failed: ") +
-                             std::strerror(errno));
+  if (!recv_frame(&hdr, payload)) return false;
+  if (hdr.type == expect) return true;
+  if (hdr.type == FrameType::kAdminResponse && admin_failure != nullptr) {
+    // In-band application failure (e.g. unknown model): connection
+    // stays usable; the caller gets the server's message.
+    bool ok = false;
+    std::string message;
+    if (!decode_admin_response(payload.data(), payload.size(), &ok,
+                               &message))
+      return fail(ClientError::kProtocol,
+                  "malformed admin payload from server");
+    *admin_failure = message;
+    error_ = message;
+    error_kind_ = ClientError::kNone;  // not a transport failure
+    return false;
+  }
+  return fail(ClientError::kProtocol, "unexpected frame type from server");
+}
+
+bool TransportClient::require_connected(bool needs_v2) {
+  if (!connected()) {
+    error_ = "not connected";
+    error_kind_ = ClientError::kIo;
+    return false;
+  }
+  if (needs_v2 && version_ < 2) {
+    error_ = "operation requires protocol v2";
+    error_kind_ = ClientError::kProtocol;
+    return false;
   }
   return true;
 }
 
-std::optional<nn::BertConfig> TransportClient::query_info() {
-  if (!connected()) {
-    error_ = "not connected";
-    return std::nullopt;
+bool TransportClient::require_str_fits(const std::string& value,
+                                       uint32_t cap, const char* what) {
+  if (value.size() <= cap) return true;
+  error_ = std::string(what) + " exceeds the wire limit of " +
+           std::to_string(cap) + " bytes";
+  error_kind_ = ClientError::kProtocol;
+  return false;
+}
+
+bool TransportClient::admin_roundtrip(const std::vector<uint8_t>& frame,
+                                      std::string* message) {
+  if (!send_all(frame)) return false;
+  std::vector<uint8_t> payload;
+  if (!recv_expected(FrameType::kAdminResponse, payload)) return false;
+  bool ok = false;
+  std::string msg;
+  if (!decode_admin_response(payload.data(), payload.size(), &ok, &msg))
+    return fail(ClientError::kProtocol, "malformed admin payload from server");
+  if (message) *message = msg;
+  if (!ok) {
+    error_ = msg;
+    error_kind_ = ClientError::kNone;  // server-side admin failure
   }
+  return ok;
+}
+
+std::optional<nn::BertConfig> TransportClient::query_info(
+    const std::string& model) {
+  // A v1 client cannot put the model name on the wire; silently asking
+  // for the default instead would hand back the wrong shape.
+  if (!require_connected(/*needs_v2=*/!model.empty())) return std::nullopt;
+  if (!require_str_fits(model, kMaxNameLen, "model name"))
+    return std::nullopt;
   std::vector<uint8_t> frame;
-  encode_info_request(frame);
+  encode_info_request(model, frame, version_);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
-  if (!recv_frame(FrameType::kInfoResponse, payload)) return std::nullopt;
+  std::string admin_failure;
+  if (!recv_expected(FrameType::kInfoResponse, payload, &admin_failure))
+    return std::nullopt;
   WireInfo info;
-  if (!decode_info_response(payload.data(), payload.size(), &info)) {
-    fail("malformed info payload from server");
+  if (!decode_info_response(payload.data(), payload.size(), version_,
+                            &info)) {
+    fail(ClientError::kProtocol, "malformed info payload from server");
     return std::nullopt;
   }
   return info.config;
 }
 
 std::optional<ServeResponse> TransportClient::call(
-    const nn::Example& example, std::optional<Micros> deadline_budget) {
-  if (!connected()) {
-    error_ = "not connected";
+    const nn::Example& example, std::optional<Micros> deadline_budget,
+    const std::string& model) {
+  if (!require_connected(/*needs_v2=*/!model.empty())) return std::nullopt;
+  if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
-  }
   WireRequest req;
   req.correlation_id = next_correlation_++;
   req.deadline_budget_us = deadline_budget ? deadline_budget->count() : 0;
+  req.model = model;
   req.example = example;
   std::vector<uint8_t> frame;
-  encode_serve_request(req, frame);
+  encode_serve_request(req, frame, version_);
   if (!send_all(frame)) return std::nullopt;
 
   std::vector<uint8_t> payload;
-  if (!recv_frame(FrameType::kServeResponse, payload)) return std::nullopt;
+  if (!recv_expected(FrameType::kServeResponse, payload))
+    return std::nullopt;
   WireResponse wire;
   if (!decode_serve_response(payload.data(), payload.size(), &wire)) {
-    fail("malformed response payload from server");
+    fail(ClientError::kProtocol, "malformed response payload from server");
     return std::nullopt;
   }
   // Synchronous protocol: one request in flight per connection, so a
   // mismatched id means the server answered some other request.
   if (wire.correlation_id != req.correlation_id) {
-    fail("correlation id mismatch from server");
+    fail(ClientError::kProtocol, "correlation id mismatch from server");
     return std::nullopt;
   }
   return wire.response;
+}
+
+bool TransportClient::load_model(const std::string& name,
+                                 const std::string& path,
+                                 std::string* message) {
+  if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_str_fits(name, kMaxNameLen, "model name") ||
+      !require_str_fits(path, kMaxPathLen, "engine path"))
+    return false;
+  std::vector<uint8_t> frame;
+  encode_load_model(name, path, frame);
+  return admin_roundtrip(frame, message);
+}
+
+bool TransportClient::unload_model(const std::string& name,
+                                   std::string* message) {
+  if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_str_fits(name, kMaxNameLen, "model name")) return false;
+  std::vector<uint8_t> frame;
+  encode_unload_model(name, frame);
+  return admin_roundtrip(frame, message);
+}
+
+std::optional<std::vector<std::string>> TransportClient::list_models() {
+  if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
+  std::vector<uint8_t> frame;
+  encode_list_models(frame);
+  if (!send_all(frame)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  if (!recv_expected(FrameType::kModelList, payload)) return std::nullopt;
+  std::vector<std::string> names;
+  if (!decode_model_list(payload.data(), payload.size(), &names)) {
+    fail(ClientError::kProtocol, "malformed model list from server");
+    return std::nullopt;
+  }
+  return names;
+}
+
+std::optional<WireStats> TransportClient::query_stats(
+    const std::string& model) {
+  if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
+  if (!require_str_fits(model, kMaxNameLen, "model name"))
+    return std::nullopt;
+  std::vector<uint8_t> frame;
+  encode_stats_request(model, frame);
+  if (!send_all(frame)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  std::string admin_failure;
+  if (!recv_expected(FrameType::kStatsResponse, payload, &admin_failure))
+    return std::nullopt;
+  WireStats stats;
+  if (!decode_stats_response(payload.data(), payload.size(), &stats)) {
+    fail(ClientError::kProtocol, "malformed stats payload from server");
+    return std::nullopt;
+  }
+  return stats;
 }
 
 }  // namespace fqbert::serve::net

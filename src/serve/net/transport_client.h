@@ -4,12 +4,21 @@
 // bounds-checked codec the server runs, so a misbehaving server cannot
 // make the client read wild lengths either.
 //
-//   TransportClient client;
+//   TransportClient client;                       // speaks protocol v2
+//   client.set_timeouts(Micros(2'000'000), Micros(5'000'000));
 //   if (!client.connect("127.0.0.1", port)) die(client.error());
-//   auto info = client.query_info();              // engine shape
-//   auto resp = client.call(example, Micros(5000));
-//   if (!resp) die(client.error());               // transport failure
+//   auto info = client.query_info("sst2");        // engine shape
+//   auto resp = client.call(example, Micros(5000), "sst2");
+//   if (!resp) {
+//     if (client.error_kind() == ClientError::kTimedOut) retry();
+//     else die(client.error());                   // transport failure
+//   }
 //   // resp->status distinguishes serving-level rejection from success.
+//   client.load_model("mnli", "mnli.bin");        // control plane
+//
+// A client constructed with protocol version 1 emits exactly the
+// pre-router wire format (no model strings, no control frames) — used
+// to prove old clients still get served on the default model.
 #pragma once
 
 #include <cstdint>
@@ -21,13 +30,38 @@
 
 namespace fqbert::serve::net {
 
+/// Where a transport-level failure came from; kTimedOut distinguishes
+/// an expired connect/receive timeout from a dead peer.
+enum class ClientError {
+  kNone,
+  kConnect,   // resolution / connection establishment failed
+  kTimedOut,  // connect or receive timeout expired
+  kClosed,    // peer closed the connection
+  kProtocol,  // malformed or unexpected frame from the server
+  kIo,        // send/recv syscall error
+};
+
 class TransportClient {
  public:
-  TransportClient() = default;
+  /// `protocol_version` pins the wire format (1 = legacy single-model
+  /// frames; model arguments must then be empty and admin calls fail).
+  explicit TransportClient(uint8_t protocol_version = kProtocolVersion)
+      : version_(protocol_version) {}
   ~TransportClient();
 
   TransportClient(const TransportClient&) = delete;
   TransportClient& operator=(const TransportClient&) = delete;
+
+  /// Bound the blocking syscalls. Zero (the default) means block
+  /// forever, preserving the original behavior. The receive timeout
+  /// covers each recv() call of a response, not the whole round trip;
+  /// on expiry the call fails with ClientError::kTimedOut and the
+  /// connection is closed (a half-read stream cannot be resynced).
+  /// Takes effect at the next connect().
+  void set_timeouts(Micros connect_timeout, Micros recv_timeout) {
+    connect_timeout_ = connect_timeout;
+    recv_timeout_ = recv_timeout;
+  }
 
   /// Connect to host:port (IPv4 literal or resolvable name, e.g.
   /// "localhost"). False on failure; see error().
@@ -35,28 +69,73 @@ class TransportClient {
   void close();
   bool connected() const { return fd_ >= 0; }
 
-  /// Ask the server for the engine shape it serves.
-  std::optional<nn::BertConfig> query_info();
+  /// Ask the server for the shape of `model` ("" = its default model).
+  std::optional<nn::BertConfig> query_info(const std::string& model = "");
 
-  /// One blocking inference round trip. nullopt on *transport* failure
-  /// (send/recv error, protocol violation, correlation mismatch — the
-  /// connection is closed); serving-level failures come back as a
-  /// ServeResponse with a non-kOk status.
+  /// One blocking inference round trip against `model` ("" = default).
+  /// nullopt on *transport* failure (send/recv error, timeout, protocol
+  /// violation, correlation mismatch — the connection is closed);
+  /// serving-level failures come back as a ServeResponse with a non-kOk
+  /// status (including kRejectedUnknownModel).
   std::optional<ServeResponse> call(
       const nn::Example& example,
-      std::optional<Micros> deadline_budget = std::nullopt);
+      std::optional<Micros> deadline_budget = std::nullopt,
+      const std::string& model = "");
+
+  // -------------------------------------------------------------------
+  // Control plane (protocol v2). Each returns false / nullopt on
+  // transport failure; admin-level failures (unknown model, unloadable
+  // file) return false with the server's message in *message / error().
+  // -------------------------------------------------------------------
+
+  /// Hot-load a serialized engine file as `name` on the server.
+  bool load_model(const std::string& name, const std::string& path,
+                  std::string* message = nullptr);
+  /// Hot-unload `name` (drains its lane server-side before returning).
+  bool unload_model(const std::string& name, std::string* message = nullptr);
+  /// Names of every model currently served.
+  std::optional<std::vector<std::string>> list_models();
+  /// Per-model serving stats ("" = default model).
+  std::optional<WireStats> query_stats(const std::string& model = "");
 
   const std::string& error() const { return error_; }
+  ClientError error_kind() const { return error_kind_; }
+  uint8_t protocol_version() const { return version_; }
 
  private:
+  /// Latch the "not connected" / "needs protocol v2" preconditions
+  /// shared by every request method.
+  bool require_connected(bool needs_v2);
+  /// A wire string over its cap would be silently truncated by the
+  /// encoder — and then name a DIFFERENT model/path server-side. Fail
+  /// loudly client-side instead.
+  bool require_str_fits(const std::string& value, uint32_t cap,
+                        const char* what);
+  /// Send an admin frame and decode the kAdminResponse round trip:
+  /// true on ok=1; false with the server's message latched (and copied
+  /// to *message) on an in-band failure or transport error.
+  bool admin_roundtrip(const std::vector<uint8_t>& frame,
+                       std::string* message);
   bool send_all(const std::vector<uint8_t>& bytes);
-  /// Read exactly one frame of the expected type into `payload`.
-  bool recv_frame(FrameType expect, std::vector<uint8_t>& payload);
-  bool fail(const std::string& message);  // latch error, close, false
+  /// Read exactly one frame (any type) into hdr/payload.
+  bool recv_frame(FrameHeader* hdr, std::vector<uint8_t>& payload);
+  /// Read one frame of `expect`ed type. When the server answers with an
+  /// in-band kAdminResponse failure instead, returns false with
+  /// kNone/kProtocol semantics controlled by `admin_failure`: the
+  /// connection stays open and *admin_failure receives the message.
+  bool recv_expected(FrameType expect, std::vector<uint8_t>& payload,
+                     std::string* admin_failure = nullptr);
+  bool fail(ClientError kind, const std::string& message);
+  /// recv() with the configured timeout; false on timeout/EOF/error.
+  bool recv_exact(uint8_t* out, size_t n);
 
   int fd_ = -1;
+  uint8_t version_ = kProtocolVersion;
+  Micros connect_timeout_{0};
+  Micros recv_timeout_{0};
   uint64_t next_correlation_ = 1;
   std::string error_;
+  ClientError error_kind_ = ClientError::kNone;
 };
 
 }  // namespace fqbert::serve::net

@@ -42,9 +42,9 @@ bool set_nonblocking(int fd) {
 
 }  // namespace
 
-TransportServer::TransportServer(InferenceServer& server,
+TransportServer::TransportServer(ModelRouter& router,
                                  const TransportConfig& cfg)
-    : server_(server), cfg_(cfg) {
+    : router_(router), cfg_(cfg) {
   if (cfg_.completion_threads < 1) cfg_.completion_threads = 1;
   if (cfg_.max_connections < 1) cfg_.max_connections = 1;
 }
@@ -160,12 +160,27 @@ void TransportServer::completion_loop() {
       w = std::move(waiters_.front());
       waiters_.pop_front();
     }
-    WireResponse wire;
-    wire.correlation_id = w.correlation_id;
-    wire.response = w.fut.get();  // blocks here, never in the event loop
     Completion done;
     done.conn_id = w.conn_id;
-    encode_serve_response(wire, done.bytes);
+    if (w.admin) {
+      // Control-plane job: blocking load (file I/O) or unload (lane
+      // drain) — exactly what these threads exist to keep off the
+      // event loop.
+      done.bytes = w.admin();
+    } else {
+      WireResponse wire;
+      wire.correlation_id = w.correlation_id;
+      wire.response = w.fut.get();  // blocks here, never in the event loop
+      // Statuses minted after v1 must not travel in a v1 frame: an
+      // old client's decoder treats an out-of-range status byte as a
+      // malformed payload and kills the connection. Unknown-model (only
+      // reachable by v1 when the default lane was unloaded) degrades to
+      // the closest v1-era rejection.
+      if (w.version < 2 &&
+          wire.response.status == RequestStatus::kRejectedUnknownModel)
+        wire.response.status = RequestStatus::kRejectedInvalid;
+      encode_serve_response(wire, done.bytes, w.version);
+    }
     {
       std::lock_guard<std::mutex> lock(completions_mu_);
       completions_.push_back(std::move(done));
@@ -329,20 +344,39 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
     }
     switch (hdr.type) {
       case FrameType::kInfoRequest: {
-        if (hdr.payload_len != 0) {
+        std::string model;
+        if (!decode_info_request(payload, hdr.payload_len, hdr.version,
+                                 &model)) {
           ok = false;
           break;
         }
-        WireInfo info;
-        info.config = server_.model_config();
-        encode_info_response(info, conn.out);
+        const std::optional<nn::BertConfig> cfg =
+            router_.model_config(model);
+        if (cfg) {
+          WireInfo info;
+          info.model = model.empty() ? router_.default_model() : model;
+          info.config = *cfg;
+          encode_info_response(info, conn.out, hdr.version);
+        } else if (hdr.version >= 2) {
+          // v2 can express the failure in-band.
+          encode_admin_response(
+              false, "no model named '" + model + "' is being served",
+              conn.out);
+        } else {
+          // v1 cannot (its info response is shape-only and always
+          // "succeeds"); a v1 client asking a router with no default
+          // lane is a protocol-level dead end — close.
+          ok = false;
+          break;
+        }
         std::lock_guard<std::mutex> lock(counters_mu_);
         ++counters_.frames_out;
         break;
       }
       case FrameType::kServeRequest: {
         WireRequest req;
-        if (!decode_serve_request(payload, hdr.payload_len, &req)) {
+        if (!decode_serve_request(payload, hdr.payload_len, hdr.version,
+                                  &req)) {
           ok = false;
           break;
         }
@@ -352,12 +386,90 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
         Waiter w;
         w.conn_id = conn_id;
         w.correlation_id = req.correlation_id;
-        w.fut = server_.submit(std::move(req.example), budget);
+        w.version = hdr.version;
+        w.fut = router_.submit(req.model, std::move(req.example), budget);
         push_waiter(std::move(w));
+        break;
+      }
+      case FrameType::kLoadModel: {
+        std::string name, path;
+        if (!decode_load_model(payload, hdr.payload_len, &name, &path) ||
+            name.empty()) {
+          ok = false;
+          break;
+        }
+        Waiter w;
+        w.conn_id = conn_id;
+        w.admin = [this, name, path]() {
+          std::string error;
+          std::vector<uint8_t> bytes;
+          if (router_.load_model(name, path, &error))
+            encode_admin_response(true, "loaded '" + name + "'", bytes);
+          else
+            encode_admin_response(false, error, bytes);
+          return bytes;
+        };
+        push_waiter(std::move(w));
+        break;
+      }
+      case FrameType::kUnloadModel: {
+        std::string name;
+        if (!decode_unload_model(payload, hdr.payload_len, &name) ||
+            name.empty()) {
+          ok = false;
+          break;
+        }
+        Waiter w;
+        w.conn_id = conn_id;
+        w.admin = [this, name]() {
+          std::string error;
+          std::vector<uint8_t> bytes;
+          if (router_.unload_model(name, &error))
+            encode_admin_response(true, "unloaded '" + name + "'", bytes);
+          else
+            encode_admin_response(false, error, bytes);
+          return bytes;
+        };
+        push_waiter(std::move(w));
+        break;
+      }
+      case FrameType::kListModels: {
+        if (hdr.payload_len != 0) {
+          ok = false;
+          break;
+        }
+        encode_model_list(router_.model_names(), conn.out);
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.frames_out;
+        break;
+      }
+      case FrameType::kStatsRequest: {
+        std::string name;
+        if (!decode_stats_request(payload, hdr.payload_len, &name)) {
+          ok = false;
+          break;
+        }
+        const std::optional<ServeStats::Report> report =
+            router_.stats_report(name);
+        if (report) {
+          WireStats stats;
+          stats.model = name.empty() ? router_.default_model() : name;
+          stats.report = *report;
+          encode_stats_response(stats, conn.out);
+        } else {
+          encode_admin_response(
+              false, "no model named '" + name + "' is being served",
+              conn.out);
+        }
+        std::lock_guard<std::mutex> lock(counters_mu_);
+        ++counters_.frames_out;
         break;
       }
       case FrameType::kInfoResponse:
       case FrameType::kServeResponse:
+      case FrameType::kAdminResponse:
+      case FrameType::kModelList:
+      case FrameType::kStatsResponse:
         ok = false;  // server-bound streams must not carry responses
         break;
     }

@@ -1,30 +1,37 @@
 // TransportServer: the socket front end of the serving stack. One
 // poll(2) event-loop thread owns the listening socket and every
 // connection (non-blocking accept / reads into per-connection buffers /
-// buffered writes); decoded requests are dispatched through
-// InferenceServer::submit(), and the returned futures are waited on by
-// a small pool of completion threads that push encoded responses onto a
-// completion queue and nudge the event loop through a wakeup pipe — the
-// loop itself never blocks on inference.
+// buffered writes); decoded requests are routed through
+// ModelRouter::submit() by the model name they carry, and the returned
+// futures are waited on by a small pool of completion threads that push
+// encoded responses onto a completion queue and nudge the event loop
+// through a wakeup pipe — the loop itself never blocks on inference.
+// Control-plane frames (LOAD_MODEL / UNLOAD_MODEL) also run on the
+// completion threads, since loading reads files and unloading drains a
+// lane; LIST_MODELS / STATS are answered inline (cheap map reads).
 //
-//   InferenceServer server(registry, "default", cfg);
-//   server.start();
-//   TransportServer transport(server, {.port = 9000});
+//   ModelRouter router(registry, cfg);
+//   router.add_model("sst2");
+//   router.start();
+//   TransportServer transport(router, {.port = 9000});
 //   transport.start();                 // returns once listening
 //   ... clients connect with TransportClient / loadgen --connect ...
 //   transport.stop();                  // close sockets, join threads
-//   server.shutdown();
+//   router.shutdown();
 //
 // Protocol errors (bad magic/version, oversized or short payloads) close
 // the offending connection immediately; the server itself stays up. A
 // client that disconnects before its response arrives simply has the
-// response dropped (tracked by connection generation ids).
+// response dropped (tracked by connection generation ids). Version-1
+// frames are served on the router's default model; responses to them
+// are encoded as v1 frames, so pre-router clients never see v2 bytes.
 #pragma once
 
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <string>
@@ -32,7 +39,7 @@
 #include <vector>
 
 #include "serve/net/frame.h"
-#include "serve/server.h"
+#include "serve/router/model_router.h"
 
 namespace fqbert::serve::net {
 
@@ -43,13 +50,14 @@ struct TransportConfig {
   int listen_backlog = 64;
   /// Accepted connections above this are closed immediately.
   size_t max_connections = 256;
-  /// Threads blocking on submit() futures (the event loop never does).
+  /// Threads blocking on submit() futures and admin operations (the
+  /// event loop never does).
   int completion_threads = 2;
 };
 
 class TransportServer {
  public:
-  TransportServer(InferenceServer& server, const TransportConfig& cfg = {});
+  TransportServer(ModelRouter& router, const TransportConfig& cfg = {});
   ~TransportServer();
 
   TransportServer(const TransportServer&) = delete;
@@ -57,12 +65,12 @@ class TransportServer {
 
   /// Bind + listen + spawn the event loop and completion threads.
   /// False (with a message on stderr) when the socket cannot be bound.
-  /// The InferenceServer must already be start()ed.
+  /// The ModelRouter must already be start()ed.
   bool start();
 
   /// Close the listener and every connection, then join all threads.
   /// Safe to call twice. Completion threads drain in-flight futures
-  /// before exiting, so call stop() while the InferenceServer is still
+  /// before exiting, so call stop() while the ModelRouter is still
   /// able to complete them (running, or after a draining shutdown).
   void stop();
 
@@ -88,12 +96,17 @@ class TransportServer {
     size_t out_pos = 0;        // written prefix of `out`
   };
 
-  /// A response future in flight, tagged with the connection it must be
-  /// delivered to (by id: the connection may die first).
+  /// Work parked on a completion thread, tagged with the connection its
+  /// result must be delivered to (by id: the connection may die first).
+  /// Either a response future in flight (serve path) or an admin job —
+  /// a callable performing a blocking control-plane operation and
+  /// returning the encoded response frame.
   struct Waiter {
     uint64_t conn_id = 0;
     uint64_t correlation_id = 0;
     std::future<ServeResponse> fut;
+    uint8_t version = kProtocolVersion;  // response encoding version
+    std::function<std::vector<uint8_t>()> admin;  // set => admin job
   };
 
   /// An encoded response ready for the event loop to enqueue.
@@ -115,7 +128,7 @@ class TransportServer {
   void push_waiter(Waiter&& w);
   void wake_event_loop();
 
-  InferenceServer& server_;
+  ModelRouter& router_;
   TransportConfig cfg_;
   int listen_fd_ = -1;
   int wake_rd_ = -1, wake_wr_ = -1;  // self-pipe: completions -> poll()

@@ -11,6 +11,7 @@ const char* request_status_name(RequestStatus s) {
     case RequestStatus::kTimedOut: return "timed-out";
     case RequestStatus::kEngineError: return "engine-error";
     case RequestStatus::kShutdown: return "shutdown";
+    case RequestStatus::kRejectedUnknownModel: return "rejected-unknown-model";
   }
   return "unknown";
 }
@@ -22,6 +23,7 @@ const char* admit_result_name(AdmitResult r) {
     case AdmitResult::kDeadlineExpired: return "deadline-expired";
     case AdmitResult::kInvalidExample: return "invalid-example";
     case AdmitResult::kClosed: return "closed";
+    case AdmitResult::kUnknownModel: return "unknown-model";
   }
   return "unknown";
 }

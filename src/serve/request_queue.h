@@ -21,7 +21,9 @@ using Clock = std::chrono::steady_clock;
 using TimePoint = Clock::time_point;
 using Micros = std::chrono::microseconds;
 
-/// Terminal status delivered through the response future.
+/// Terminal status delivered through the response future. Appended-only:
+/// the values travel the wire as u8, so reordering would break protocol
+/// compatibility.
 enum class RequestStatus {
   kOk,
   kRejectedQueueFull,
@@ -30,7 +32,10 @@ enum class RequestStatus {
   kTimedOut,          // admitted, but expired before an engine ran it
   kEngineError,       // engine threw while executing this batch
   kShutdown,          // server aborted without draining
+  kRejectedUnknownModel,  // router: no lane serves the requested model
 };
+inline constexpr RequestStatus kLastRequestStatus =
+    RequestStatus::kRejectedUnknownModel;
 
 const char* request_status_name(RequestStatus s);
 
@@ -63,6 +68,7 @@ enum class AdmitResult {
   kDeadlineExpired,
   kInvalidExample,
   kClosed,
+  kUnknownModel,  // router: the named model has no serving lane
 };
 
 const char* admit_result_name(AdmitResult r);

@@ -1,0 +1,351 @@
+#include "serve/router/model_router.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace fqbert::serve {
+
+namespace {
+
+int64_t now_ns() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+/// Cap on any worker park so a lost wakeup can only add bounded
+/// latency, mirroring DynamicBatcher::next_batch's own cap.
+constexpr auto kWorkerParkCap = std::chrono::milliseconds(50);
+
+void set_error(std::string* error, const std::string& message) {
+  if (error) *error = message;
+}
+
+}  // namespace
+
+ModelRouter::ModelRouter(EngineRegistry& registry, const RouterConfig& cfg)
+    : registry_(registry), cfg_(cfg) {
+  if (cfg_.num_workers < 1) cfg_.num_workers = 1;
+}
+
+ModelRouter::~ModelRouter() { shutdown(/*drain=*/true); }
+
+bool ModelRouter::start() {
+  if (started_.exchange(true)) return true;
+  workers_.reserve(static_cast<size_t>(cfg_.num_workers));
+  for (int w = 0; w < cfg_.num_workers; ++w)
+    workers_.emplace_back(
+        [this, w] { worker_loop(static_cast<size_t>(w)); });
+  start_ns_ = now_ns();
+  return true;
+}
+
+void ModelRouter::shutdown(bool drain) {
+  if (!started_ || stopped_.exchange(true)) return;
+  // Refuse new lanes and snapshot the existing ones in ONE critical
+  // section: a load_model racing this shutdown either lands before the
+  // snapshot (its queue gets closed below) or fails — never a lane the
+  // workers would poll forever waiting for it to drain.
+  std::vector<std::shared_ptr<Lane>> lanes;
+  {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    accepting_lanes_ = false;
+    lanes.reserve(lanes_.size());
+    for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
+  }
+  // Same ordering discipline as InferenceServer::shutdown: in abort
+  // mode, stop batch handout BEFORE the close() wakeups, and fail
+  // leftovers only after the workers are gone.
+  if (!drain)
+    for (const auto& lane : lanes) lane->batcher.abort();
+  for (const auto& lane : lanes) lane->queue.close();
+  stopping_ = true;
+  wake_workers();
+  for (std::thread& t : workers_)
+    if (t.joinable()) t.join();
+  if (!drain)
+    for (const auto& lane : lanes)
+      lane->batcher.fail_pending(RequestStatus::kShutdown);
+  stop_ns_ = now_ns();
+}
+
+bool ModelRouter::insert_lane(
+    const std::string& name,
+    std::shared_ptr<const core::FqBertModel> engine, std::string* error) {
+  auto lane = std::make_shared<Lane>(name, std::move(engine), cfg_);
+  {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    if (!accepting_lanes_) {
+      set_error(error, "router is shutting down");
+      return false;
+    }
+    if (lanes_.count(name) > 0) {
+      set_error(error, "model '" + name + "' is already being served");
+      return false;
+    }
+    if (default_model_.empty()) default_model_ = name;
+    lanes_.emplace(name, std::move(lane));
+  }
+  wake_workers();  // workers must start polling the new lane
+  return true;
+}
+
+bool ModelRouter::add_model(const std::string& name, std::string* error) {
+  std::shared_ptr<const core::FqBertModel> engine = registry_.get(name);
+  if (!engine) {
+    set_error(error, "model '" + name + "' is not in the engine registry");
+    return false;
+  }
+  return insert_lane(name, std::move(engine), error);
+}
+
+bool ModelRouter::load_model(const std::string& name,
+                             const std::string& path, std::string* error) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  if (has_model(name)) {
+    set_error(error, "model '" + name + "' is already being served");
+    return false;
+  }
+  // The expensive file load happens here, on the control-plane thread;
+  // live lanes never notice.
+  if (!registry_.register_file(name, path)) {
+    set_error(error,
+              "cannot load engine file '" + path + "' for model '" + name +
+                  "'");
+    return false;
+  }
+  if (!add_model(name, error)) {
+    // Lane refused (e.g. shutdown raced in): don't leave the name
+    // dangling in the registry — unless some lane does serve it.
+    if (!has_model(name)) registry_.unregister(name);
+    return false;
+  }
+  return true;
+}
+
+bool ModelRouter::lane_drained(const Lane& lane) {
+  // Order-independent given inflight is raised before poll_batch: a
+  // request is always visible in the queue, the buckets, or under a
+  // nonzero inflight (see Lane::inflight).
+  return lane.queue.size() == 0 && lane.batcher.pending() == 0 &&
+         lane.inflight.load() == 0;
+}
+
+bool ModelRouter::unload_model(const std::string& name, std::string* error) {
+  std::lock_guard<std::mutex> admin(admin_mu_);
+  std::shared_ptr<Lane> lane = find_lane(name);
+  if (!lane) {
+    set_error(error, "model '" + name + "' is not being served");
+    return false;
+  }
+
+  // Stop admissions; in-flight and queued work still completes (a
+  // closed queue force-flushes partial buckets on the next poll).
+  lane->closing = true;
+  lane->queue.close();
+  wake_workers();
+
+  if (running()) {
+    // Drain: other lanes keep serving — only this caller blocks. The
+    // timed re-check makes a lost notify cost latency, never a hang.
+    std::unique_lock<std::mutex> lock(lanes_mu_);
+    while (!lane_drained(*lane))
+      drain_cv_.wait_for(lock, std::chrono::milliseconds(20));
+  } else {
+    // No workers will ever run this lane's work (never started, or
+    // already shut down): fail whatever is parked instead of hanging.
+    lane->batcher.abort();
+    lane->batcher.fail_pending(RequestStatus::kShutdown);
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(lanes_mu_);
+    lanes_.erase(name);
+  }
+  registry_.unregister(name);
+  return true;
+}
+
+std::future<ServeResponse> ModelRouter::submit(
+    const std::string& model, nn::Example example,
+    std::optional<Micros> deadline_budget, AdmitResult* admit) {
+  ServeRequest req;
+  req.id = next_id_.fetch_add(1);
+  req.example = std::move(example);
+  req.enqueue_time = Clock::now();
+  if (deadline_budget) req.deadline = req.enqueue_time + *deadline_budget;
+  std::future<ServeResponse> fut = req.promise.get_future();
+
+  std::shared_ptr<Lane> lane;
+  if (running()) lane = find_lane(model);
+
+  AdmitResult result = AdmitResult::kClosed;
+  if (!running()) {
+    result = AdmitResult::kClosed;
+  } else if (!lane) {
+    result = AdmitResult::kUnknownModel;
+  } else if (lane->closing) {
+    result = AdmitResult::kClosed;
+  } else if (!example_valid_for(req.example, lane->config)) {
+    result = AdmitResult::kInvalidExample;
+  } else {
+    result = lane->queue.submit(std::move(req));
+  }
+  if (admit) *admit = result;
+
+  ServeResponse resp;
+  resp.request_id = req.id;
+  switch (result) {
+    case AdmitResult::kOk:
+      lane->stats.record_admitted();
+      wake_workers();
+      return fut;
+    case AdmitResult::kQueueFull:
+      lane->stats.record_rejected_full();
+      resp.status = RequestStatus::kRejectedQueueFull;
+      break;
+    case AdmitResult::kDeadlineExpired:
+      lane->stats.record_rejected_deadline();
+      resp.status = RequestStatus::kRejectedDeadline;
+      break;
+    case AdmitResult::kInvalidExample:
+      lane->stats.record_rejected_invalid();
+      resp.status = RequestStatus::kRejectedInvalid;
+      break;
+    case AdmitResult::kClosed:
+      if (lane) lane->stats.record_rejected_closed();
+      resp.status = RequestStatus::kShutdown;
+      break;
+    case AdmitResult::kUnknownModel:
+      unknown_rejected_.fetch_add(1);
+      resp.status = RequestStatus::kRejectedUnknownModel;
+      break;
+  }
+  req.promise.set_value(std::move(resp));
+  return fut;
+}
+
+void ModelRouter::worker_loop(size_t worker_index) {
+  std::vector<ServeRequest> batch;
+  size_t rr = worker_index;  // stagger the lane scan start per worker
+  for (;;) {
+    const std::vector<std::shared_ptr<Lane>> lanes = snapshot_lanes();
+
+    // Epoch read BEFORE polling: a submit that lands mid-scan bumps the
+    // epoch, so the wait below falls through and we re-scan.
+    uint64_t epoch;
+    {
+      std::lock_guard<std::mutex> lock(wake_mu_);
+      epoch = work_epoch_;
+    }
+
+    bool executed = false;
+    bool all_drained = true;
+    TimePoint next_flush = TimePoint::max();
+    for (size_t k = 0; k < lanes.size() && !executed; ++k) {
+      Lane& lane = *lanes[(rr + k) % lanes.size()];
+      lane.inflight.fetch_add(1);
+      TimePoint lane_flush = TimePoint::max();
+      const DynamicBatcher::Poll poll =
+          lane.batcher.poll_batch(batch, &lane_flush);
+      if (poll == DynamicBatcher::Poll::kBatch) {
+        execute_batch(*lane.engine, lane.stats, batch);
+        executed = true;
+      }
+      lane.inflight.fetch_sub(1);
+      if (lane.closing) {
+        // unload_model may be parked on this lane's drain.
+        std::lock_guard<std::mutex> lock(lanes_mu_);
+        drain_cv_.notify_all();
+      }
+      if (poll != DynamicBatcher::Poll::kDrained) all_drained = false;
+      if (poll == DynamicBatcher::Poll::kIdle)
+        next_flush = std::min(next_flush, lane_flush);
+    }
+    ++rr;
+    if (executed) continue;  // scan again from the next lane
+    if (stopping_ && all_drained) return;
+
+    const TimePoint cap = Clock::now() + kWorkerParkCap;
+    std::unique_lock<std::mutex> lock(wake_mu_);
+    wake_cv_.wait_until(lock, std::min(next_flush, cap), [&] {
+      return work_epoch_ != epoch || stopping_.load();
+    });
+  }
+}
+
+void ModelRouter::wake_workers() {
+  {
+    std::lock_guard<std::mutex> lock(wake_mu_);
+    ++work_epoch_;
+  }
+  wake_cv_.notify_all();
+}
+
+std::vector<std::shared_ptr<ModelRouter::Lane>> ModelRouter::snapshot_lanes()
+    const {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  std::vector<std::shared_ptr<Lane>> out;
+  out.reserve(lanes_.size());
+  for (const auto& [name, lane] : lanes_) out.push_back(lane);
+  return out;
+}
+
+std::shared_ptr<ModelRouter::Lane> ModelRouter::find_lane(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  const std::string& resolved = name.empty() ? default_model_ : name;
+  auto it = lanes_.find(resolved);
+  return it == lanes_.end() ? nullptr : it->second;
+}
+
+bool ModelRouter::has_model(const std::string& name) const {
+  return find_lane(name) != nullptr;
+}
+
+std::vector<std::string> ModelRouter::model_names() const {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  std::vector<std::string> out;
+  out.reserve(lanes_.size());
+  for (const auto& [name, lane] : lanes_) out.push_back(name);
+  return out;
+}
+
+std::optional<nn::BertConfig> ModelRouter::model_config(
+    const std::string& name) const {
+  const std::shared_ptr<Lane> lane = find_lane(name);
+  if (!lane) return std::nullopt;
+  return lane->config;
+}
+
+std::optional<ServeStats::Report> ModelRouter::stats_report(
+    const std::string& name) const {
+  const std::shared_ptr<Lane> lane = find_lane(name);
+  if (!lane) return std::nullopt;
+  return lane->stats.report();
+}
+
+std::vector<std::pair<std::string, ServeStats::Report>>
+ModelRouter::all_stats() const {
+  std::vector<std::shared_ptr<Lane>> lanes = snapshot_lanes();
+  std::vector<std::pair<std::string, ServeStats::Report>> out;
+  out.reserve(lanes.size());
+  for (const auto& lane : lanes)
+    out.emplace_back(lane->name, lane->stats.report());
+  return out;
+}
+
+std::string ModelRouter::default_model() const {
+  std::lock_guard<std::mutex> lock(lanes_mu_);
+  return default_model_;
+}
+
+double ModelRouter::uptime_s() const {
+  const int64_t start = start_ns_;
+  if (start == 0) return 0.0;
+  const int64_t stop = stop_ns_;
+  const int64_t end = stop != 0 ? stop : now_ns();
+  return static_cast<double>(end - start) / 1e9;
+}
+
+}  // namespace fqbert::serve

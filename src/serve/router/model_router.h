@@ -1,0 +1,194 @@
+// ModelRouter: multi-tenant serving facade. Fronts N named engines in
+// ONE process — each model gets its own serving lane (RequestQueue +
+// DynamicBatcher + per-model ServeStats) and all lanes are multiplexed
+// onto one shared worker set, so K models cost K weight copies but only
+// one thread pool. Requests carry the model name; the empty name routes
+// to the default model (the first lane added), which is how protocol-v1
+// clients keep working.
+//
+//   EngineRegistry registry;
+//   registry.register_file("sst2", "sst2.bin");
+//   ModelRouter router(registry, cfg);
+//   router.add_model("sst2");
+//   router.start();
+//   auto fut = router.submit("sst2", example, Micros(50'000));
+//   router.load_model("mnli", "mnli.bin");     // hot, under live traffic
+//   router.unload_model("sst2");               // drains ONLY that lane
+//   router.shutdown(/*drain=*/true);
+//
+// Hot load/unload: load_model() reads the engine file and publishes the
+// lane without pausing other models; unload_model() closes the lane's
+// admission queue, waits until its queued + batched + in-flight work has
+// fully completed (other lanes keep serving throughout), then removes
+// the lane and unregisters the name. Admission, execution, and stats are
+// strictly per-lane, so each lane's `admitted == completed + timed_out +
+// failed` balances independently.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/engine_pool.h"
+#include "serve/engine_registry.h"
+#include "serve/server.h"
+
+namespace fqbert::serve {
+
+struct RouterConfig {
+  /// Shared worker threads executing batches across ALL lanes.
+  int num_workers = 2;
+  /// Per-lane admission queue and batching policy (every lane gets its
+  /// own instances with these settings).
+  RequestQueueConfig queue;
+  BatcherConfig batcher;
+};
+
+class ModelRouter {
+ public:
+  explicit ModelRouter(EngineRegistry& registry, const RouterConfig& cfg = {});
+  ~ModelRouter();
+
+  ModelRouter(const ModelRouter&) = delete;
+  ModelRouter& operator=(const ModelRouter&) = delete;
+
+  /// Spawn the shared workers. Lanes may be added before or after; a
+  /// router with zero lanes idles until load_model()/add_model().
+  bool start();
+
+  /// Stop every lane and join the workers. drain=true completes all
+  /// admitted work first; drain=false fails it with kShutdown.
+  /// Idempotent.
+  void shutdown(bool drain = true);
+
+  /// Open a serving lane for an engine already in the registry. False
+  /// (with *error set) when the name is unknown to the registry or a
+  /// lane already serves it. The first lane added becomes the default
+  /// model.
+  bool add_model(const std::string& name, std::string* error = nullptr);
+
+  /// Hot-load: read a serialized engine file, publish it in the
+  /// registry under `name`, and open its lane — all without touching
+  /// other lanes. False when the name is already served or the file
+  /// cannot be loaded.
+  bool load_model(const std::string& name, const std::string& path,
+                  std::string* error = nullptr);
+
+  /// Hot-unload: stop admissions on the lane, drain its queued and
+  /// in-flight work (every admitted request reaches a terminal state),
+  /// then drop the lane and unregister the name. Other lanes serve
+  /// uninterrupted. False when no lane serves `name`.
+  bool unload_model(const std::string& name, std::string* error = nullptr);
+
+  /// Route one request to `model` ("" = default model). The returned
+  /// future always completes; rejections (unknown model, queue full,
+  /// dead deadline, malformed example, closed lane) resolve immediately
+  /// with the corresponding status.
+  std::future<ServeResponse> submit(const std::string& model,
+                                    nn::Example example,
+                                    std::optional<Micros> deadline_budget =
+                                        std::nullopt,
+                                    AdmitResult* admit = nullptr);
+
+  bool has_model(const std::string& name) const;
+  std::vector<std::string> model_names() const;
+  /// Engine shape of a served model ("" = default). nullopt when the
+  /// name has no lane.
+  std::optional<nn::BertConfig> model_config(const std::string& name) const;
+  /// Per-lane stats snapshot ("" = default). nullopt when no lane.
+  std::optional<ServeStats::Report> stats_report(
+      const std::string& name) const;
+  /// (name, report) for every lane, name-ordered.
+  std::vector<std::pair<std::string, ServeStats::Report>> all_stats() const;
+
+  /// Name the empty model id routes to ("" when no lane was ever
+  /// added). Unloading the default leaves the name dangling — v1/empty
+  /// requests then get kRejectedUnknownModel until it is reloaded.
+  std::string default_model() const;
+
+  /// Requests rejected because no lane served their model name (these
+  /// have no lane to count them in).
+  uint64_t unknown_model_rejections() const { return unknown_rejected_; }
+
+  size_t num_workers() const { return workers_.size(); }
+  bool running() const { return started_ && !stopped_; }
+  double uptime_s() const;
+
+ private:
+  /// One model's serving lane. Owned via shared_ptr so workers can hold
+  /// a snapshot across an unload (the lane object outlives its map
+  /// entry until the last worker drops it).
+  struct Lane {
+    Lane(std::string model_name,
+         std::shared_ptr<const core::FqBertModel> model,
+         const RouterConfig& cfg)
+        : name(std::move(model_name)),
+          engine(std::move(model)),
+          config(engine->config()),
+          queue(cfg.queue),
+          batcher(queue, cfg.batcher, &stats) {}
+
+    const std::string name;
+    const std::shared_ptr<const core::FqBertModel> engine;
+    const nn::BertConfig config;
+    ServeStats stats;
+    RequestQueue queue;
+    DynamicBatcher batcher;
+    /// Workers parked on this lane's poll/execute window. Incremented
+    /// BEFORE poll_batch so (queue empty && batcher empty && inflight
+    /// == 0) can never be observed while a popped batch is unresolved.
+    std::atomic<int> inflight{0};
+    std::atomic<bool> closing{false};
+  };
+
+  void worker_loop(size_t worker_index);
+  std::vector<std::shared_ptr<Lane>> snapshot_lanes() const;
+  std::shared_ptr<Lane> find_lane(const std::string& name) const;
+  bool insert_lane(const std::string& name,
+                   std::shared_ptr<const core::FqBertModel> engine,
+                   std::string* error);
+  /// Bump the work epoch and wake every worker (new request / new lane /
+  /// closing lane / shutdown).
+  void wake_workers();
+  /// True once the lane holds no queued, batched, or in-flight work.
+  static bool lane_drained(const Lane& lane);
+
+  EngineRegistry& registry_;
+  RouterConfig cfg_;
+
+  mutable std::mutex lanes_mu_;
+  std::map<std::string, std::shared_ptr<Lane>> lanes_;
+  /// Cleared (under lanes_mu_) at the top of shutdown(), atomically
+  /// with the lane snapshot whose queues shutdown closes — so a racing
+  /// load_model can never publish a lane shutdown would miss.
+  bool accepting_lanes_ = true;
+  std::string default_model_;
+  /// Signaled by workers when a closing lane's work recedes;
+  /// unload_model waits on it under lanes_mu_.
+  std::condition_variable drain_cv_;
+
+  /// Serializes load/unload against each other (the data plane never
+  /// takes this).
+  std::mutex admin_mu_;
+
+  std::mutex wake_mu_;
+  std::condition_variable wake_cv_;
+  uint64_t work_epoch_ = 0;
+
+  std::vector<std::thread> workers_;
+  std::atomic<uint64_t> next_id_{1};
+  std::atomic<uint64_t> unknown_rejected_{0};
+  std::atomic<int64_t> start_ns_{0};
+  std::atomic<int64_t> stop_ns_{0};
+  std::atomic<bool> started_{false};
+  std::atomic<bool> stopped_{false};
+  std::atomic<bool> stopping_{false};
+};
+
+}  // namespace fqbert::serve

@@ -40,14 +40,14 @@ bool InferenceServer::start() {
   return true;
 }
 
-bool InferenceServer::valid_example(const nn::Example& ex) const {
+bool example_valid_for(const nn::Example& ex, const nn::BertConfig& cfg) {
   const int64_t len = static_cast<int64_t>(ex.tokens.size());
-  if (len < 1 || len > model_config_.max_seq_len) return false;
+  if (len < 1 || len > cfg.max_seq_len) return false;
   if (ex.segments.size() != ex.tokens.size()) return false;
   for (const int32_t tok : ex.tokens)
-    if (tok < 0 || tok >= model_config_.vocab_size) return false;
+    if (tok < 0 || tok >= cfg.vocab_size) return false;
   for (const int32_t seg : ex.segments)
-    if (seg < 0 || seg >= model_config_.num_segments) return false;
+    if (seg < 0 || seg >= cfg.num_segments) return false;
   return true;
 }
 
@@ -65,8 +65,9 @@ std::future<ServeResponse> InferenceServer::submit(
   // happens on kOk), so the promise below is still ours to fail.
   AdmitResult result = AdmitResult::kClosed;
   if (running()) {
-    result = valid_example(req.example) ? queue_.submit(std::move(req))
-                                        : AdmitResult::kInvalidExample;
+    result = example_valid_for(req.example, model_config_)
+                 ? queue_.submit(std::move(req))
+                 : AdmitResult::kInvalidExample;
   }
   if (admit) *admit = result;
 
@@ -91,6 +92,9 @@ std::future<ServeResponse> InferenceServer::submit(
     case AdmitResult::kClosed:
       stats_.record_rejected_closed();
       resp.status = RequestStatus::kShutdown;
+      break;
+    case AdmitResult::kUnknownModel:  // router-only; unreachable here
+      resp.status = RequestStatus::kRejectedUnknownModel;
       break;
   }
   req.promise.set_value(std::move(resp));

@@ -26,6 +26,11 @@ struct ServerConfig {
   BatcherConfig batcher;
 };
 
+/// True when `ex` is well-formed for an engine of shape `cfg`
+/// (non-empty, within max_seq_len, ids in range, segments aligned).
+/// Shared by InferenceServer and ModelRouter admission.
+bool example_valid_for(const nn::Example& ex, const nn::BertConfig& cfg);
+
 class InferenceServer {
  public:
   InferenceServer(EngineRegistry& registry, std::string engine_name,
@@ -65,10 +70,6 @@ class InferenceServer {
   double uptime_s() const;
 
  private:
-  /// True when `ex` is well-formed for the engine this server runs
-  /// (non-empty, within max_seq_len, ids in range, segments aligned).
-  bool valid_example(const nn::Example& ex) const;
-
   EngineRegistry& registry_;
   std::string engine_name_;
   ServerConfig cfg_;

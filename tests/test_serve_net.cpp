@@ -16,6 +16,7 @@
 #include "serve/loadgen.h"
 #include "serve/net/transport_client.h"
 #include "serve/net/transport_server.h"
+#include "serve/router/model_router.h"
 #include "serve/server.h"
 
 namespace fqbert::serve {
@@ -64,27 +65,33 @@ EngineFixture& fixture() {
   return f;
 }
 
-/// In-process server + transport on an ephemeral loopback port.
+/// In-process router (one "tiny" lane = the default model) + transport
+/// on an ephemeral loopback port.
 struct NetFixture {
   EngineRegistry registry;
-  std::unique_ptr<InferenceServer> server;
+  std::unique_ptr<ModelRouter> router;
   std::unique_ptr<net::TransportServer> transport;
 
   explicit NetFixture(ServerConfig cfg = {}) {
     registry.register_model("tiny", fixture().engine);
-    server = std::make_unique<InferenceServer>(registry, "tiny", cfg);
-    EXPECT_TRUE(server->start());
+    RouterConfig rcfg;
+    rcfg.num_workers = cfg.num_workers;
+    rcfg.queue = cfg.queue;
+    rcfg.batcher = cfg.batcher;
+    router = std::make_unique<ModelRouter>(registry, rcfg);
+    EXPECT_TRUE(router->add_model("tiny"));
+    EXPECT_TRUE(router->start());
     net::TransportConfig tcfg;
     tcfg.port = 0;  // ephemeral
-    transport = std::make_unique<net::TransportServer>(*server, tcfg);
+    transport = std::make_unique<net::TransportServer>(*router, tcfg);
     EXPECT_TRUE(transport->start());
   }
 
   ~NetFixture() {
     // Transport first: its completion threads drain in-flight futures,
-    // which needs a server that still completes them.
+    // which needs a router that still completes them.
     transport->stop();
-    server->shutdown(/*drain=*/true);
+    router->shutdown(/*drain=*/true);
   }
 
   uint16_t port() const { return transport->port(); }
@@ -166,6 +173,7 @@ TEST(FrameCodec, ServeRequestRoundTripsExactly) {
   net::WireRequest req;
   req.correlation_id = 0xDEADBEEFCAFEBABEull;
   req.deadline_budget_us = 123456789;
+  req.model = "tiny";
   Rng rng(1);
   req.example = synth_example(rng, 17, fixture().config);
   std::vector<uint8_t> frame;
@@ -175,14 +183,44 @@ TEST(FrameCodec, ServeRequestRoundTripsExactly) {
   ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
             net::DecodeStatus::kFrame);
   ASSERT_EQ(hdr.type, net::FrameType::kServeRequest);
+  ASSERT_EQ(hdr.version, net::kProtocolVersion);
   ASSERT_EQ(frame.size(), net::kHeaderSize + hdr.payload_len);
   net::WireRequest back;
   ASSERT_TRUE(net::decode_serve_request(frame.data() + net::kHeaderSize,
-                                        hdr.payload_len, &back));
+                                        hdr.payload_len, hdr.version, &back));
   EXPECT_EQ(back.correlation_id, req.correlation_id);
   EXPECT_EQ(back.deadline_budget_us, req.deadline_budget_us);
+  EXPECT_EQ(back.model, req.model);
   EXPECT_EQ(back.example.tokens, req.example.tokens);
   EXPECT_EQ(back.example.segments, req.example.segments);
+}
+
+TEST(FrameCodec, V1ServeRequestRoundTripsWithoutModel) {
+  net::WireRequest req;
+  req.correlation_id = 99;
+  req.deadline_budget_us = 1000;
+  Rng rng(4);
+  req.example = synth_example(rng, 9, fixture().config);
+  std::vector<uint8_t> frame;
+  net::encode_serve_request(req, frame, /*version=*/1);
+
+  net::FrameHeader hdr;
+  ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
+            net::DecodeStatus::kFrame);
+  ASSERT_EQ(hdr.version, 1);
+  net::WireRequest back;
+  back.model = "stale";  // must be cleared by a v1 decode
+  ASSERT_TRUE(net::decode_serve_request(frame.data() + net::kHeaderSize,
+                                        hdr.payload_len, hdr.version, &back));
+  EXPECT_EQ(back.correlation_id, req.correlation_id);
+  EXPECT_TRUE(back.model.empty());
+  EXPECT_EQ(back.example.tokens, req.example.tokens);
+  // A v1 frame carrying a control type is a header-level error.
+  std::vector<uint8_t> control;
+  net::encode_list_models(control);
+  control[4] = 1;  // rewrite version to 1
+  EXPECT_EQ(net::decode_header(control.data(), control.size(), &hdr),
+            net::DecodeStatus::kError);
 }
 
 TEST(FrameCodec, ServeResponseRoundTripsBitExactLogits) {
@@ -217,7 +255,7 @@ TEST(FrameCodec, ServeResponseRoundTripsBitExactLogits) {
 
 TEST(FrameCodec, HeaderRejectsCorruption) {
   std::vector<uint8_t> frame;
-  net::encode_info_request(frame);
+  net::encode_info_request("", frame);
   net::FrameHeader hdr;
   ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
             net::DecodeStatus::kFrame);
@@ -252,27 +290,39 @@ TEST(FrameCodec, PayloadDecodersRejectLyingLengths) {
   net::encode_serve_request(req, frame);
   const uint8_t* payload = frame.data() + net::kHeaderSize;
   const size_t len = frame.size() - net::kHeaderSize;
+  constexpr uint8_t kV = net::kProtocolVersion;
   net::WireRequest out;
 
   // Truncated payload.
-  EXPECT_FALSE(net::decode_serve_request(payload, len - 1, &out));
+  EXPECT_FALSE(net::decode_serve_request(payload, len - 1, kV, &out));
   // Trailing garbage beyond the declared arrays.
   std::vector<uint8_t> padded(payload, payload + len);
   padded.push_back(0);
-  EXPECT_FALSE(net::decode_serve_request(padded.data(), padded.size(), &out));
-  // num_tokens lying about the remaining bytes (field at offset 16).
+  EXPECT_FALSE(
+      net::decode_serve_request(padded.data(), padded.size(), kV, &out));
+  // num_tokens lying about the remaining bytes (the field sits at
+  // offset 18 in a v2 payload with an empty model string: u64 + i64 +
+  // u16 string length).
   std::vector<uint8_t> lying(payload, payload + len);
-  lying[16] = static_cast<uint8_t>(lying[16] + 1);
-  EXPECT_FALSE(net::decode_serve_request(lying.data(), lying.size(), &out));
+  lying[18] = static_cast<uint8_t>(lying[18] + 1);
+  EXPECT_FALSE(
+      net::decode_serve_request(lying.data(), lying.size(), kV, &out));
   // Absurd num_tokens must fail before any allocation-sized resize.
   std::vector<uint8_t> absurd(payload, payload + len);
-  absurd[16] = 0xFF;
-  absurd[17] = 0xFF;
   absurd[18] = 0xFF;
-  absurd[19] = 0x7F;
-  EXPECT_FALSE(net::decode_serve_request(absurd.data(), absurd.size(), &out));
+  absurd[19] = 0xFF;
+  absurd[20] = 0xFF;
+  absurd[21] = 0x7F;
+  EXPECT_FALSE(
+      net::decode_serve_request(absurd.data(), absurd.size(), kV, &out));
+  // A model-string length running past the payload end.
+  std::vector<uint8_t> overrun(payload, payload + len);
+  overrun[16] = 0xFF;
+  overrun[17] = 0x00;  // claims a 255-byte model name
+  EXPECT_FALSE(
+      net::decode_serve_request(overrun.data(), overrun.size(), kV, &out));
   // Empty payload.
-  EXPECT_FALSE(net::decode_serve_request(payload, 0, &out));
+  EXPECT_FALSE(net::decode_serve_request(payload, 0, kV, &out));
 }
 
 // ---------------------------------------------------------------------------
@@ -323,8 +373,9 @@ TEST(TransportLoopback, ResponsesBitIdenticalToInProcessAcrossThreads) {
           continue;
         }
         // The wire response must carry bit-identical logits to an
-        // in-process submit of the very same example.
-        auto local = net.server->submit(ex).get();
+        // in-process submit of the very same example (routed through
+        // the empty name -> default lane).
+        auto local = net.router->submit("", ex).get();
         if (local.status != RequestStatus::kOk ||
             local.logits.size() != remote->logits.size()) {
           ++mismatches[c];
@@ -399,21 +450,21 @@ TEST(TransportLoopback, MalformedFramesCloseConnectionServerStaysUp) {
   // Right magic, wrong version.
   {
     std::vector<uint8_t> f;
-    net::encode_info_request(f);
+    net::encode_info_request("", f);
     f[4] = 99;
     hostile.push_back(f);
   }
   // Reserved bits set.
   {
     std::vector<uint8_t> f;
-    net::encode_info_request(f);
+    net::encode_info_request("", f);
     f[6] = 1;
     hostile.push_back(f);
   }
   // Oversized payload declaration (> kMaxPayload).
   {
     std::vector<uint8_t> f;
-    net::encode_info_request(f);
+    net::encode_info_request("", f);
     f[8] = 0xFF;
     f[9] = 0xFF;
     f[10] = 0xFF;
@@ -428,15 +479,30 @@ TEST(TransportLoopback, MalformedFramesCloseConnectionServerStaysUp) {
     req.example = synth_example(rng, 8, fixture().config);
     std::vector<uint8_t> f;
     net::encode_serve_request(req, f);
-    f[net::kHeaderSize + 16] += 2;  // num_tokens += 2, arrays unchanged
+    // num_tokens += 2, arrays unchanged (offset 18: u64 + i64 + empty
+    // model string).
+    f[net::kHeaderSize + 18] += 2;
     hostile.push_back(f);
   }
-  // Info request with a non-empty payload.
+  // Info request whose model-string length points past the payload.
   {
     std::vector<uint8_t> f;
-    net::encode_info_request(f);
+    net::encode_info_request("", f);
     f[8] = 4;  // declare 4 payload bytes
-    f.insert(f.end(), {1, 2, 3, 4});
+    f.insert(f.end(), {0xFF, 0x00, 3, 4});  // strlen 255 > remaining
+    hostile.push_back(f);
+  }
+  // v1 frame carrying a v2-only control type.
+  {
+    std::vector<uint8_t> f;
+    net::encode_list_models(f);
+    f[4] = 1;
+    hostile.push_back(f);
+  }
+  // Load-model frame with an empty model name.
+  {
+    std::vector<uint8_t> f;
+    net::encode_load_model("", "/tmp/nope.bin", f);
     hostile.push_back(f);
   }
   // A response frame sent client->server (illegal direction).
@@ -470,7 +536,7 @@ TEST(TransportLoopback, TruncatedFramesThenDisconnectLeaveServerUp) {
   // Valid header declaring 100 payload bytes, only 10 delivered.
   {
     std::vector<uint8_t> f;
-    net::encode_info_request(f);
+    net::encode_info_request("", f);
     f[8] = 100;
     f.insert(f.end(), 10, 0x00);
     RawConn conn;
@@ -503,8 +569,9 @@ TEST(TransportLoopback, ClientDisconnectBeforeResponseDropsItQuietly) {
   // The request still completes server-side; the response is dropped on
   // the floor instead of crashing the loop or leaking the connection.
   expect_server_alive(net);
-  const auto report = net.server->stats().report();
-  EXPECT_TRUE(report.accounting_balances());
+  const auto report = net.router->stats_report("tiny");
+  ASSERT_TRUE(report.has_value());
+  EXPECT_TRUE(report->accounting_balances());
   EXPECT_EQ(net.transport->counters().protocol_errors, 0u);
 }
 

@@ -44,6 +44,7 @@
 #include "serve/loadgen.h"
 #include "serve/net/transport_client.h"
 #include "serve/net/transport_server.h"
+#include "serve/router/model_router.h"
 #include "serve/server.h"
 
 using namespace fqbert;
@@ -54,7 +55,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fqbert_cli <train|quantize|eval|info|estimate|serve|"
-               "loadgen> [options]\n"
+               "loadgen|admin> [options]\n"
                "  train    --task sst2|mnli --out model.bin [--fast]\n"
                "  quantize --task sst2|mnli --model model.bin --out fq.bin\n"
                "           [--bits N] [--no-clip] [--no-softmax-quant]\n"
@@ -64,12 +65,17 @@ int usage() {
                "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
                "[--seq S]\n"
                "  serve    --engine fq.bin | --task sst2|mnli [--fast]\n"
-               "           [--listen PORT [--bind ADDR]]\n"
+               "           [--listen PORT [--bind ADDR]\n"
+               "            [--model NAME=FILE ...]]   (multi-model router)\n"
                "           [--workers N] [--batch B] [--wait-us U]\n"
                "           [--clients C] [--requests R] [--deadline-ms D]\n"
                "           [--seq-mix 12,16,24] [--seed S]\n"
-               "  loadgen  serve options plus [--connect HOST:PORT]\n"
-               "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n");
+               "  loadgen  serve options plus [--connect HOST:PORT\n"
+               "           [--model NAME ...]]  (multi-model traffic mix)\n"
+               "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n"
+               "  admin    --connect HOST:PORT [--timeout-ms T]\n"
+               "           [--load NAME=FILE ...] [--unload NAME ...]\n"
+               "           [--list] [--stats NAME ...]\n");
   return 2;
 }
 
@@ -83,11 +89,19 @@ int usage() {
 
 struct Args {
   std::string command;
-  std::map<std::string, std::string> named;
+  /// Every occurrence of each option, in command-line order (repeatable
+  /// options like `--model name=path` keep them all; single-valued
+  /// options read the last, so later flags win).
+  std::map<std::string, std::vector<std::string>> named;
   bool flag(const std::string& name) const { return named.count(name) > 0; }
   std::string get(const std::string& name, const std::string& dflt = "") const {
     auto it = named.find(name);
-    return it == named.end() ? dflt : it->second;
+    return it == named.end() ? dflt : it->second.back();
+  }
+  const std::vector<std::string>& values(const std::string& name) const {
+    static const std::vector<std::string> empty;
+    auto it = named.find(name);
+    return it == named.end() ? empty : it->second;
   }
 };
 
@@ -121,6 +135,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"fast", false},
         {"listen", true},
         {"bind", true},
+        {"model", true},
         {"workers", true},
         {"batch", true},
         {"wait-us", true},
@@ -135,6 +150,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"task", true},
         {"fast", false},
         {"connect", true},
+        {"model", true},
         {"workers", true},
         {"batch", true},
         {"wait-us", true},
@@ -146,6 +162,13 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"seed", true},
         {"batch-sweep", true},
         {"worker-sweep", true}}},
+      {"admin",
+       {{"connect", true},
+        {"timeout-ms", true},
+        {"load", true},
+        {"unload", true},
+        {"list", false},
+        {"stats", true}}},
   };
   return specs;
 }
@@ -177,9 +200,9 @@ Args parse(int argc, char** argv) {
     if (opt->takes_value) {
       if (i + 1 >= argc)
         parse_fail(a.command + ": option --" + key + " needs a value");
-      a.named[key] = argv[++i];
+      a.named[key].push_back(argv[++i]);
     } else {
-      a.named[key] = "1";
+      a.named[key] = {"1"};
     }
   }
   return a;
@@ -205,7 +228,7 @@ long long int_opt(const Args& a, const std::string& name, long long dflt,
                   long long min, long long max) {
   const auto it = a.named.find(name);
   return it == a.named.end() ? dflt
-                             : parse_int(name, it->second, min, max);
+                             : parse_int(name, it->second.back(), min, max);
 }
 
 /// Options that the selected mode of a subcommand would silently
@@ -326,30 +349,106 @@ volatile std::sig_atomic_t g_stop_requested = 0;
 
 void handle_stop_signal(int) { g_stop_requested = 1; }
 
-/// `serve --listen`: run the server as a network service until SIGINT /
-/// SIGTERM, then drain and print the server-side report.
-int run_listen_server(const Args& a, serve::EngineRegistry& registry,
-                      const serve::ServerConfig& scfg) {
-  serve::InferenceServer server(registry, "default", scfg);
-  if (!server.start()) {
-    std::fprintf(stderr, "server failed to start\n");
-    return 1;
+/// Split a `NAME=VALUE` option ("--load sst2=fq.bin", "--model m=f.bin").
+void parse_name_value(const std::string& option, const std::string& token,
+                      std::string* name, std::string* value) {
+  const size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size())
+    parse_fail("--" + option + ": expected NAME=FILE, got '" + token + "'");
+  *name = token.substr(0, eq);
+  *value = token.substr(eq + 1);
+}
+
+/// Split `HOST:PORT` for --connect.
+void parse_host_port(const std::string& target, std::string* host,
+                     uint16_t* port) {
+  const size_t colon = target.rfind(':');
+  if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size())
+    parse_fail("--connect: expected HOST:PORT, got '" + target + "'");
+  *host = target.substr(0, colon);
+  *port = static_cast<uint16_t>(
+      parse_int("connect", target.substr(colon + 1), 1, 65535));
+}
+
+/// Per-lane accounting table for the shutdown report: one row per
+/// model, each of which must balance independently.
+void print_per_model_table(const serve::ModelRouter& router) {
+  const auto stats = router.all_stats();
+  std::printf("%-16s %10s %10s %10s %8s %8s %8s %9s\n", "model", "admitted",
+              "completed", "timed-out", "failed", "p50 ms", "p95 ms",
+              "balance");
+  for (const auto& [name, st] : stats)
+    std::printf("%-16s %10llu %10llu %10llu %8llu %8.2f %8.2f %9s\n",
+                name.c_str(), static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.timed_out),
+                static_cast<unsigned long long>(st.failed), st.p50_ms,
+                st.p95_ms, st.accounting_balances() ? "OK" : "MISMATCH");
+  if (router.unknown_model_rejections() > 0)
+    std::printf("(+%llu requests rejected for unknown model names)\n",
+                static_cast<unsigned long long>(
+                    router.unknown_model_rejections()));
+}
+
+/// `serve --listen`: run the multi-model router as a network service
+/// until SIGINT / SIGTERM, then drain and print the per-model report.
+/// Lanes come from repeated `--model name=path`, or from
+/// --engine/--task as the single model "default"; more can be
+/// hot-loaded at runtime through `fqbert_cli admin`.
+int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
+  serve::EngineRegistry registry;
+  serve::RouterConfig rcfg;
+  rcfg.num_workers = scfg.num_workers;
+  rcfg.queue = scfg.queue;
+  rcfg.batcher = scfg.batcher;
+  serve::ModelRouter router(registry, rcfg);
+
+  const std::vector<std::string>& model_specs = a.values("model");
+  if (!model_specs.empty()) {
+    if (a.flag("engine") || a.flag("task"))
+      parse_fail("serve --listen: --model cannot be combined with "
+                 "--engine/--task (the latter define the single model "
+                 "'default')");
+    // --fast only shapes --task demo training; with --model files it
+    // would be silently ignored.
+    reject_options(a, "--model", {"fast"});
+    for (const std::string& spec : model_specs) {
+      std::string name, path;
+      parse_name_value("model", spec, &name, &path);
+      std::string error;
+      if (!router.load_model(name, path, &error)) {
+        std::fprintf(stderr, "%s\n", error.c_str());
+        return 1;
+      }
+    }
+  } else {
+    if (!resolve_engine(a, registry, "default")) return usage();
+    std::string error;
+    if (!router.add_model("default", &error)) {
+      std::fprintf(stderr, "%s\n", error.c_str());
+      return 1;
+    }
   }
+  router.start();
 
   serve::net::TransportConfig tcfg;
   tcfg.bind_address = a.get("bind", "127.0.0.1");
   tcfg.port =
       static_cast<uint16_t>(int_opt(a, "listen", 0, 0, 65535));
-  serve::net::TransportServer transport(server, tcfg);
+  serve::net::TransportServer transport(router, tcfg);
   if (!transport.start()) {
     std::fprintf(stderr, "transport failed to start\n");
     return 1;
   }
-  std::printf("listening on %s:%u — %d workers, max batch %lld, max wait "
-              "%lld us; Ctrl-C to stop\n",
-              tcfg.bind_address.c_str(), transport.port(), scfg.num_workers,
-              static_cast<long long>(scfg.batcher.max_batch),
-              static_cast<long long>(scfg.batcher.max_wait.count()));
+  std::string names;
+  for (const std::string& n : router.model_names())
+    names += (names.empty() ? "" : ", ") + n;
+  std::printf("listening on %s:%u — models [%s] (default: %s), %d workers, "
+              "max batch %lld, max wait %lld us; Ctrl-C to stop\n",
+              tcfg.bind_address.c_str(), transport.port(), names.c_str(),
+              router.default_model().c_str(), rcfg.num_workers,
+              static_cast<long long>(rcfg.batcher.max_batch),
+              static_cast<long long>(rcfg.batcher.max_wait.count()));
   std::fflush(stdout);
 
   std::signal(SIGINT, handle_stop_signal);
@@ -359,7 +458,7 @@ int run_listen_server(const Args& a, serve::EngineRegistry& registry,
 
   std::printf("\nshutting down...\n");
   transport.stop();
-  server.shutdown(/*drain=*/true);
+  router.shutdown(/*drain=*/true);
   const serve::net::TransportServer::Counters net = transport.counters();
   std::printf("transport: %llu connections (%llu closed, %llu protocol "
               "errors, %llu overflow closes), %llu frames in, %llu frames "
@@ -370,10 +469,8 @@ int run_listen_server(const Args& a, serve::EngineRegistry& registry,
               static_cast<unsigned long long>(net.overflow_closes),
               static_cast<unsigned long long>(net.frames_in),
               static_cast<unsigned long long>(net.frames_out),
-              server.uptime_s());
-  const serve::ServeStats::Report st = server.stats().report();
-  print_latency_line(st);
-  print_balance_line(st);
+              router.uptime_s());
+  print_per_model_table(router);
   return 0;
 }
 
@@ -386,10 +483,10 @@ int cmd_serve(const Args& a) {
     // options would silently ignore them.
     reject_options(a, "--listen",
                    {"clients", "requests", "deadline-ms", "seq-mix", "seed"});
-    serve::EngineRegistry registry;
-    if (!resolve_engine(a, registry, "default")) return usage();
-    return run_listen_server(a, registry, scfg);
+    return run_listen_server(a, scfg);
   }
+  // --model defines router lanes; only the network mode runs the router.
+  reject_options(a, "(closed-loop)", {"model"});
   serve::LoadgenConfig lcfg = loadgen_config_from(a);
 
   serve::EngineRegistry registry;
@@ -417,44 +514,57 @@ int cmd_serve(const Args& a) {
 }
 
 /// `loadgen --connect`: drive a remote `serve --listen` across the wire
-/// with the same closed-loop client model.
+/// with the same closed-loop client model. Repeated `--model NAME`
+/// options build a multi-model traffic mix over the router's lanes (no
+/// --model = the server's default model).
 int run_remote_loadgen(const Args& a) {
   // The engine and the serving/sweep knobs live on the remote server;
   // accepting them here would silently ignore them.
   reject_options(a, "--connect",
                  {"engine", "task", "fast", "workers", "batch", "wait-us",
                   "granularity", "batch-sweep", "worker-sweep"});
-  const std::string target = a.get("connect");
-  const size_t colon = target.rfind(':');
-  if (colon == std::string::npos || colon == 0 ||
-      colon + 1 >= target.size())
-    parse_fail("--connect: expected HOST:PORT, got '" + target + "'");
-  const std::string host = target.substr(0, colon);
-  const uint16_t port = static_cast<uint16_t>(
-      parse_int("connect", target.substr(colon + 1), 1, 65535));
+  std::string host;
+  uint16_t port = 0;
+  parse_host_port(a.get("connect"), &host, &port);
 
+  // Probe each target model's shape (bounded waits: a dead or hung
+  // server fails the probe instead of blocking loadgen forever).
   serve::net::TransportClient probe;
+  probe.set_timeouts(serve::Micros(5'000'000), serve::Micros(30'000'000));
   if (!probe.connect(host, port)) {
     std::fprintf(stderr, "%s\n", probe.error().c_str());
     return 1;
   }
-  const std::optional<nn::BertConfig> info = probe.query_info();
-  if (!info) {
-    std::fprintf(stderr, "info query failed: %s\n", probe.error().c_str());
-    return 1;
+  std::vector<std::string> mix = a.values("model");
+  if (mix.empty()) mix.push_back("");  // the server's default model
+  std::vector<serve::RemoteModelTarget> targets;
+  for (const std::string& name : mix) {
+    const std::optional<nn::BertConfig> info = probe.query_info(name);
+    if (!info) {
+      std::fprintf(stderr, "info query for model '%s' failed: %s\n",
+                   name.c_str(), probe.error().c_str());
+      return 1;
+    }
+    targets.push_back({name, *info});
   }
   probe.close();
 
   const serve::LoadgenConfig lcfg = loadgen_config_from(a);
-  std::printf("remote loadgen -> %s:%u (engine: L=%lld hidden=%lld "
-              "max_seq=%lld classes=%lld): %d clients x %d requests\n",
-              host.c_str(), port, static_cast<long long>(info->num_layers),
-              static_cast<long long>(info->hidden),
-              static_cast<long long>(info->max_seq_len),
-              static_cast<long long>(info->num_classes), lcfg.num_clients,
-              lcfg.requests_per_client);
+  std::string names;
+  for (const auto& t : targets)
+    names += (names.empty() ? "" : ", ") +
+             (t.name.empty() ? std::string("<default>") : t.name);
+  std::printf("remote loadgen -> %s:%u (models: %s; first engine: L=%lld "
+              "hidden=%lld max_seq=%lld classes=%lld): %d clients x %d "
+              "requests\n",
+              host.c_str(), port, names.c_str(),
+              static_cast<long long>(targets.front().config.num_layers),
+              static_cast<long long>(targets.front().config.hidden),
+              static_cast<long long>(targets.front().config.max_seq_len),
+              static_cast<long long>(targets.front().config.num_classes),
+              lcfg.num_clients, lcfg.requests_per_client);
   const serve::LoadgenReport lg =
-      serve::run_loadgen_remote(host, port, *info, lcfg);
+      serve::run_loadgen_remote(host, port, targets, lcfg);
   std::printf("loadgen : %llu sent, %llu ok, %llu rejected, %llu timed out, "
               "%llu failed in %.2fs (%.1f req/s)\n",
               static_cast<unsigned long long>(lg.sent),
@@ -466,8 +576,98 @@ int run_remote_loadgen(const Args& a) {
   return lg.failed == 0 ? 0 : 1;
 }
 
+/// `admin --connect`: drive the router's control plane over the wire.
+/// Executes loads, then unloads, then --list, then --stats queries;
+/// exit 0 only when every operation succeeded.
+int cmd_admin(const Args& a) {
+  if (!a.flag("connect")) return usage();
+  std::string host;
+  uint16_t port = 0;
+  parse_host_port(a.get("connect"), &host, &port);
+  const long long timeout_ms =
+      int_opt(a, "timeout-ms", 30000, 0, 3600LL * 1000);
+
+  serve::net::TransportClient client;
+  // Loads read engine files and unloads drain lanes server-side, so the
+  // receive timeout must cover real work — but a hung server must not
+  // hang the admin CLI.
+  client.set_timeouts(serve::Micros(timeout_ms * 1000),
+                      serve::Micros(timeout_ms * 1000));
+  if (!client.connect(host, port)) {
+    std::fprintf(stderr, "%s\n", client.error().c_str());
+    return 1;
+  }
+
+  bool all_ok = true;
+  for (const std::string& spec : a.values("load")) {
+    std::string name, path;
+    parse_name_value("load", spec, &name, &path);
+    std::string message;
+    const bool ok = client.load_model(name, path, &message);
+    std::printf("load %s: %s\n", name.c_str(),
+                ok ? message.c_str()
+                   : (message.empty() ? client.error().c_str()
+                                      : message.c_str()));
+    all_ok = all_ok && ok;
+    if (!client.connected()) break;  // transport gone; stop cleanly
+  }
+  for (const std::string& name : a.values("unload")) {
+    std::string message;
+    const bool ok = client.unload_model(name, &message);
+    std::printf("unload %s: %s\n", name.c_str(),
+                ok ? message.c_str()
+                   : (message.empty() ? client.error().c_str()
+                                      : message.c_str()));
+    all_ok = all_ok && ok;
+    if (!client.connected()) break;
+  }
+  if (a.flag("list") && client.connected()) {
+    const auto names = client.list_models();
+    if (!names) {
+      std::fprintf(stderr, "list failed: %s\n", client.error().c_str());
+      all_ok = false;
+    } else {
+      std::printf("%zu model(s) served:\n", names->size());
+      for (const std::string& name : *names)
+        std::printf("  %s\n", name.c_str());
+    }
+  }
+  for (const std::string& name : a.values("stats")) {
+    if (!client.connected()) break;
+    const auto stats = client.query_stats(name);
+    if (!stats) {
+      std::fprintf(stderr, "stats %s: %s\n", name.c_str(),
+                   client.error().c_str());
+      all_ok = false;
+      continue;
+    }
+    const serve::ServeStats::Report& st = stats->report;
+    std::printf("stats %s: admitted %llu, completed %llu, timed out %llu, "
+                "failed %llu, batches %llu (occupancy %.2f) [%s]\n",
+                stats->model.c_str(),
+                static_cast<unsigned long long>(st.admitted),
+                static_cast<unsigned long long>(st.completed),
+                static_cast<unsigned long long>(st.timed_out),
+                static_cast<unsigned long long>(st.failed),
+                static_cast<unsigned long long>(st.batches),
+                st.mean_batch_occupancy,
+                st.accounting_balances() ? "OK" : "MISMATCH");
+    std::printf("  latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max "
+                "%.2f ms (queue %.2f ms mean; %llu samples)\n",
+                st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
+                static_cast<unsigned long long>(st.latency_samples));
+  }
+  if (!client.connected() && all_ok) {
+    std::fprintf(stderr, "connection lost: %s\n", client.error().c_str());
+    all_ok = false;
+  }
+  return all_ok ? 0 : 1;
+}
+
 int cmd_loadgen(const Args& a) {
   if (a.flag("connect")) return run_remote_loadgen(a);
+  // The traffic mix routes by model name over the wire only.
+  reject_options(a, "(local)", {"model"});
 
   const std::vector<int64_t> batches =
       parse_int_list("batch-sweep", a.get("batch-sweep", "1,8,16"), 1, 4096);
@@ -631,6 +831,7 @@ int main(int argc, char** argv) {
     if (a.command == "estimate") return cmd_estimate(a);
     if (a.command == "serve") return cmd_serve(a);
     if (a.command == "loadgen") return cmd_loadgen(a);
+    if (a.command == "admin") return cmd_admin(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
