@@ -1,9 +1,11 @@
 // Network transport overhead: client-observed closed-loop latency of
-// the SAME ModelRouter lane driven (a) in-process through submit() and
-// (b) across the loopback TCP transport with TransportClient — the
-// difference is the full cost of the wire path (frame encode/decode,
-// socket syscalls, event loop, completion queue hop). Responses are
-// verified identical between the two paths while measuring.
+// the SAME ModelRouter lane driven (a) in-process through submit(),
+// (b) across the loopback TCP transport over ONE persistent
+// TransportClient connection — the wire cost loadgen's per-thread
+// persistent clients pay — and (c) reconnecting per request, the
+// pre-PR-4 loadgen behavior kept here as a guardrail: the bench FAILS
+// if the persistent path's p50 ever stops beating the reconnecting
+// path. Responses are verified identical across paths while measuring.
 //
 //   ./build/bench/bench_net_overhead [--fast]
 #include <algorithm>
@@ -133,18 +135,38 @@ int main(int argc, char** argv) {
   }
   const double remote_wall = now_s() - t0;
 
+  // (c) loopback TCP, reconnecting per request (the pre-persistent
+  // loadgen behavior): connect + round trip + teardown every time.
+  std::vector<double> reconnect_us;
+  reconnect_us.reserve(workload.size());
+  uint64_t reconnect_failures = 0;
+  t0 = now_s();
+  for (size_t i = 0; i < workload.size(); ++i) {
+    serve::net::TransportClient per_request;
+    const double s = now_s();
+    const bool ok = per_request.connect("127.0.0.1", transport.port()) &&
+                    per_request.call(workload[i]).has_value();
+    reconnect_us.push_back((now_s() - s) * 1e6);
+    if (!ok) ++reconnect_failures;
+  }
+  const double reconnect_wall = now_s() - t0;
+
   transport.stop();
   router.shutdown(/*drain=*/true);
 
   LatencyStats local = summarize(local_us, local_wall);
   LatencyStats remote = summarize(remote_us, remote_wall);
+  LatencyStats reconnect = summarize(reconnect_us, reconnect_wall);
   print_rule();
   std::printf("%-22s %10s %10s %10s %10s\n", "path", "p50 us", "p99 us",
               "mean us", "req/s");
   std::printf("%-22s %10.1f %10.1f %10.1f %10.1f\n", "in-process submit()",
               local.p50_us, local.p99_us, local.mean_us, local.rps);
-  std::printf("%-22s %10.1f %10.1f %10.1f %10.1f\n", "loopback transport",
+  std::printf("%-22s %10.1f %10.1f %10.1f %10.1f\n", "loopback persistent",
               remote.p50_us, remote.p99_us, remote.mean_us, remote.rps);
+  std::printf("%-22s %10.1f %10.1f %10.1f %10.1f\n", "loopback reconnect",
+              reconnect.p50_us, reconnect.p99_us, reconnect.mean_us,
+              reconnect.rps);
   print_rule();
   std::printf("loopback overhead: p50 %+.1f us (%.2fx), mean %+.1f us; "
               "responses: %llu transport failures, %llu mismatches vs "
@@ -154,5 +176,17 @@ int main(int argc, char** argv) {
               remote.mean_us - local.mean_us,
               static_cast<unsigned long long>(failures),
               static_cast<unsigned long long>(mismatches));
-  return failures == 0 && mismatches == 0 ? 0 : 1;
+  std::printf("persistent connection saves %+.1f us p50 vs "
+              "reconnect-per-request (%llu reconnect failures)\n",
+              reconnect.p50_us - remote.p50_us,
+              static_cast<unsigned long long>(reconnect_failures));
+  const bool persistent_wins = remote.p50_us < reconnect.p50_us;
+  if (!persistent_wins)
+    std::printf("FAIL: persistent p50 (%.1f us) did not beat "
+                "reconnect-per-request p50 (%.1f us)\n",
+                remote.p50_us, reconnect.p50_us);
+  return failures == 0 && mismatches == 0 && reconnect_failures == 0 &&
+                 persistent_wins
+             ? 0
+             : 1;
 }

@@ -56,11 +56,12 @@ struct RemoteModelTarget {
   nn::BertConfig config;
 };
 
-/// Remote flavor of run_loadgen: each client thread opens its own
-/// TransportClient connection to a TransportServer at host:port and
-/// runs the same closed loop over the wire. Transport-level failures
-/// (connect/send/recv/protocol) count as `failed`; one reconnect is
-/// attempted per request.
+/// Remote flavor of run_loadgen: each client thread keeps ONE
+/// persistent TransportClient connection to host:port for its whole
+/// closed loop (reconnect-on-error only — per-request reconnects cost
+/// ~25 us p50 on loopback; bench_net_overhead asserts the persistent
+/// path wins). Transport-level failures (connect/send/recv/protocol)
+/// count as `failed` and the next iteration reconnects.
 LoadgenReport run_loadgen_remote(const std::string& host, uint16_t port,
                                  const nn::BertConfig& engine_config,
                                  const LoadgenConfig& cfg);

@@ -1,0 +1,101 @@
+#include "serve/net/client_pool.h"
+
+namespace fqbert::serve::net {
+
+void ClientPool::Handle::discard() {
+  if (pool_ != nullptr && client_ != nullptr) pool_->forget(client_.get());
+  client_.reset();
+  pool_ = nullptr;
+}
+
+void ClientPool::Handle::release() {
+  if (pool_ != nullptr && client_ != nullptr)
+    pool_->give_back(std::move(client_));
+  client_.reset();
+  pool_ = nullptr;
+}
+
+ClientPool::ClientPool(std::string host, uint16_t port,
+                       const ClientPoolConfig& cfg)
+    : host_(std::move(host)), port_(port), cfg_(cfg) {}
+
+ClientPool::Handle ClientPool::checkout(std::string* error) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (closed_) {
+      if (error != nullptr) *error = "pool is shut down";
+      return Handle();
+    }
+    if (!idle_.empty()) {
+      std::unique_ptr<TransportClient> client = std::move(idle_.back());
+      idle_.pop_back();
+      ++stats_.reused;
+      outstanding_.insert(client.get());
+      return Handle(this, std::move(client), /*reused=*/true);
+    }
+  }
+  auto client = std::make_unique<TransportClient>(cfg_.protocol_version);
+  client->set_timeouts(cfg_.connect_timeout, cfg_.recv_timeout);
+  if (!client->connect(host_, port_)) {
+    if (error != nullptr) *error = client->error();
+    return Handle();
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (closed_) {
+    // shutdown_all ran while we were dialing: this connection would
+    // escape the sweep, so it must not be leased.
+    if (error != nullptr) *error = "pool is shut down";
+    return Handle();
+  }
+  ++stats_.created;
+  outstanding_.insert(client.get());
+  return Handle(this, std::move(client), /*reused=*/false);
+}
+
+void ClientPool::give_back(std::unique_ptr<TransportClient> client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.erase(client.get());
+  // The reuse rule: only a connection whose last operation left the
+  // stream aligned (connected, no transport-level error latched) may
+  // serve another request. Everything else is already closed or
+  // untrustworthy — drop it.
+  if (client->connected() && client->error_kind() == ClientError::kNone &&
+      idle_.size() < cfg_.capacity) {
+    idle_.push_back(std::move(client));
+    ++stats_.pooled;
+  } else {
+    ++stats_.discarded;
+  }
+}
+
+void ClientPool::forget(TransportClient* client) {
+  std::lock_guard<std::mutex> lock(mu_);
+  outstanding_.erase(client);
+  ++stats_.discarded;
+}
+
+void ClientPool::clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  idle_.clear();
+}
+
+void ClientPool::shutdown_all() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = true;
+  for (const auto& client : idle_) client->shutdown_socket();
+  for (TransportClient* client : outstanding_) client->shutdown_socket();
+}
+
+void ClientPool::reopen() {
+  std::lock_guard<std::mutex> lock(mu_);
+  closed_ = false;
+}
+
+ClientPool::Stats ClientPool::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.idle = idle_.size();
+  return s;
+}
+
+}  // namespace fqbert::serve::net

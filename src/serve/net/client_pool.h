@@ -1,0 +1,158 @@
+// ClientPool: persistent TransportClient connections to ONE backend
+// endpoint, shared by many proxy threads. checkout() hands back an
+// exclusively-owned connection (reusing a warm idle one when possible),
+// and the RAII Handle returns it at scope exit — but only when it is
+// provably reusable.
+//
+// Reuse-after-error rules (the invariant the shard proxy's failover
+// correctness rests on):
+//   * a client is pooled back ONLY when it is still connected() and its
+//     error_kind() is ClientError::kNone — i.e. the last operation
+//     either succeeded or failed purely in-band (an admin-level
+//     failure, which consumes its whole frame and leaves the stream
+//     aligned);
+//   * any transport-level failure (connect/send/recv error, timeout,
+//     protocol violation) already closed the socket inside
+//     TransportClient, and the handle discards it — a connection that
+//     timed out mid-frame is desynchronized and must never carry a
+//     second request;
+//   * Handle::discard() force-drops a connection the caller no longer
+//     trusts (e.g. an unexpected frame type from the backend).
+//
+// An idle pooled connection can still have been closed by the peer
+// while parked; the next call on it fails fast and the caller retries
+// with a fresh checkout (the shard proxy folds this into its failover
+// loop).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/net/transport_client.h"
+
+namespace fqbert::serve::net {
+
+struct ClientPoolConfig {
+  /// Idle connections kept warm; checkouts beyond this still succeed
+  /// (a transient connection is made) but are not pooled on return.
+  size_t capacity = 4;
+  Micros connect_timeout{2'000'000};
+  /// Whole-frame receive budget applied to every pooled connection.
+  Micros recv_timeout{30'000'000};
+  uint8_t protocol_version = kProtocolVersion;
+};
+
+class ClientPool {
+ public:
+  ClientPool(std::string host, uint16_t port,
+             const ClientPoolConfig& cfg = {});
+
+  ClientPool(const ClientPool&) = delete;
+  ClientPool& operator=(const ClientPool&) = delete;
+
+  /// Exclusive lease on one connection. Destroying the handle returns
+  /// the client to the pool iff it passes the reuse rules above.
+  class Handle {
+   public:
+    Handle() = default;
+    Handle(ClientPool* pool, std::unique_ptr<TransportClient> client,
+           bool reused)
+        : pool_(pool), client_(std::move(client)), reused_(reused) {}
+    ~Handle() { release(); }
+
+    Handle(Handle&& other) noexcept
+        : pool_(other.pool_),
+          client_(std::move(other.client_)),
+          reused_(other.reused_) {
+      other.pool_ = nullptr;
+    }
+    Handle& operator=(Handle&& other) noexcept {
+      if (this != &other) {
+        release();
+        pool_ = other.pool_;
+        client_ = std::move(other.client_);
+        reused_ = other.reused_;
+        other.pool_ = nullptr;
+      }
+      return *this;
+    }
+    Handle(const Handle&) = delete;
+    Handle& operator=(const Handle&) = delete;
+
+    explicit operator bool() const { return client_ != nullptr; }
+    TransportClient* operator->() const { return client_.get(); }
+    TransportClient& operator*() const { return *client_; }
+
+    /// True when this lease came from the idle pool rather than a
+    /// fresh dial. A reused connection may have been closed by the
+    /// peer while parked, so its failure says nothing about the
+    /// backend's health — callers should retry on a fresh checkout
+    /// before treating the backend as unreachable.
+    bool reused() const { return reused_; }
+
+    /// Drop the connection now; it will not be pooled.
+    void discard();
+
+   private:
+    void release();
+
+    ClientPool* pool_ = nullptr;
+    std::unique_ptr<TransportClient> client_;
+    bool reused_ = false;
+  };
+
+  /// Reuse an idle connection or dial a new one. An empty handle (and
+  /// *error, when given) on connection failure.
+  Handle checkout(std::string* error = nullptr);
+
+  /// Drop every idle connection (e.g. the backend is being retired).
+  void clear();
+
+  /// Half-close EVERY connection — idle and checked-out alike — so
+  /// threads blocked mid-call on a leased connection fail promptly
+  /// (proxy shutdown must not wait out a full call timeout). Also
+  /// CLOSES the pool: subsequent checkouts fail fast instead of
+  /// dialing fresh connections the sweep would miss. reopen() undoes
+  /// the closure (a proxy being start()ed again).
+  void shutdown_all();
+  void reopen();
+
+  struct Stats {
+    uint64_t created = 0;    // fresh connections dialed
+    uint64_t reused = 0;     // checkouts served from the idle pool
+    uint64_t pooled = 0;     // returns that passed the reuse rules
+    uint64_t discarded = 0;  // returns dropped (broken or over capacity)
+    size_t idle = 0;
+  };
+  Stats stats() const;
+
+  const std::string& host() const { return host_; }
+  uint16_t port() const { return port_; }
+
+ private:
+  friend class Handle;
+  /// Handle destructor path: apply the reuse rules.
+  void give_back(std::unique_ptr<TransportClient> client);
+  /// Handle::discard path: drop the lease bookkeeping.
+  void forget(TransportClient* client);
+
+  const std::string host_;
+  const uint16_t port_;
+  const ClientPoolConfig cfg_;
+
+  mutable std::mutex mu_;
+  // LIFO: the most recently used connection is the least likely to have
+  // been idle-closed by the peer.
+  std::vector<std::unique_ptr<TransportClient>> idle_;
+  /// Connections currently leased out (for shutdown_all; entries are
+  /// owned by their Handle, this only observes them).
+  std::set<TransportClient*> outstanding_;
+  bool closed_ = false;  // set by shutdown_all; checkouts refuse
+  Stats stats_;
+};
+
+}  // namespace fqbert::serve::net

@@ -329,6 +329,70 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
   return c.done();
 }
 
+bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
+                        uint64_t* correlation_id, std::string* model) {
+  Cursor c{payload, len};
+  *correlation_id = c.take_u64();
+  (void)c.take_i64();  // deadline budget: forwarded, not interpreted
+  model->clear();
+  if (version >= 2 && !c.take_str(model, kMaxNameLen)) return false;
+  const uint32_t num_tokens = c.take_u32();
+  const uint32_t num_segments = c.take_u32();
+  if (!c.ok || num_tokens > kMaxTokens || num_segments > kMaxTokens)
+    return false;
+  // Arithmetic-only array check: the remaining bytes must be exactly
+  // the declared i32 arrays. No element is read.
+  return len - c.pos == (static_cast<size_t>(num_tokens) +
+                         static_cast<size_t>(num_segments)) *
+                            4;
+}
+
+bool peek_serve_response(const uint8_t* payload, size_t len,
+                         uint64_t* correlation_id, RequestStatus* status) {
+  Cursor c{payload, len};
+  *correlation_id = c.take_u64();
+  const uint8_t s = c.take_u8();
+  if (!c.ok || s > static_cast<uint8_t>(kLastRequestStatus)) return false;
+  *status = static_cast<RequestStatus>(s);
+  return true;
+}
+
+bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
+                                 const std::string& model,
+                                 std::vector<uint8_t>* out) {
+  FrameHeader hdr;
+  if (decode_header(frame, frame_len, &hdr) != DecodeStatus::kFrame ||
+      hdr.type != FrameType::kServeRequest ||
+      frame_len != kHeaderSize + hdr.payload_len ||
+      model.size() > kMaxNameLen)
+    return false;
+  const uint8_t* payload = frame + kHeaderSize;
+  Cursor c{payload, hdr.payload_len};
+  (void)c.take_u64();
+  (void)c.take_i64();
+  std::string old_model;
+  if (hdr.version >= 2 && !c.take_str(&old_model, kMaxNameLen)) return false;
+  if (!c.ok) return false;
+  // `c.pos` now sits right after the old model field; everything from
+  // there on (counts + arrays) is carried over byte-for-byte.
+  out->clear();
+  const size_t start = out->size();
+  begin_frame(*out, FrameType::kServeRequest, /*version=*/2);
+  out->insert(out->end(), payload, payload + 16);  // correlation + deadline
+  put_str(*out, model, kMaxNameLen);
+  out->insert(out->end(), payload + c.pos, payload + hdr.payload_len);
+  end_frame(*out, start);
+  return true;
+}
+
+void encode_frame_header(const FrameHeader& hdr, std::vector<uint8_t>& out) {
+  put_u32(out, kFrameMagic);
+  put_u8(out, hdr.version);
+  put_u8(out, static_cast<uint8_t>(hdr.type));
+  put_u16(out, 0);
+  put_u32(out, hdr.payload_len);
+}
+
 void encode_info_request(const std::string& model, std::vector<uint8_t>& out,
                          uint8_t version) {
   const size_t start = out.size();

@@ -188,6 +188,39 @@ bool decode_model_list(const uint8_t* payload, size_t len,
 bool decode_stats_response(const uint8_t* payload, size_t len,
                            WireStats* out);
 
+// ---------------------------------------------------------------------------
+// Shallow forwarding helpers (shard proxy). A routing proxy needs the
+// model name and correlation id of a serve frame — not its token
+// arrays — so these peek at the payload prefix in O(1) and validate the
+// declared array sizes arithmetically without materializing them. A
+// frame that passes peek_serve_request is structurally safe to forward
+// verbatim to a backend whose decoder runs the full strict decode.
+// ---------------------------------------------------------------------------
+
+/// Read correlation id + model name off a serve-request payload and
+/// check (without decoding them) that the declared token/segment arrays
+/// account for exactly the remaining bytes. False on any violation.
+bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
+                        uint64_t* correlation_id, std::string* model);
+
+/// Read correlation id + status off a serve-response payload (the
+/// fields a proxy needs for failover decisions), leaving logits alone.
+bool peek_serve_response(const uint8_t* payload, size_t len,
+                         uint64_t* correlation_id, RequestStatus* status);
+
+/// Rebuild a complete serve-request frame with its model field replaced
+/// by `model`, preserving the token/segment bytes untouched (they are
+/// memcpy'd, not re-decoded). Version-1 input frames are upgraded to
+/// version 2 (the only way to carry a model name). False when the input
+/// is not a well-formed serve-request frame. `out` is overwritten.
+bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
+                                 const std::string& model,
+                                 std::vector<uint8_t>* out);
+
+/// Append just a 12-byte header for `hdr` (a proxy re-emitting a
+/// relayed payload under a different protocol version).
+void encode_frame_header(const FrameHeader& hdr, std::vector<uint8_t>& out);
+
 /// Encoders produce a complete frame (header + payload), appended to
 /// `out` so a caller can coalesce several frames into one write buffer.
 /// Where the layout is version-dependent, `version` selects it (v1

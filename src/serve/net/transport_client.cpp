@@ -9,6 +9,7 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <cstring>
 
@@ -61,10 +62,16 @@ int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen,
 TransportClient::~TransportClient() { close(); }
 
 void TransportClient::close() {
+  std::lock_guard<std::mutex> lock(fd_mu_);
   if (fd_ >= 0) {
     ::close(fd_);
     fd_ = -1;
   }
+}
+
+void TransportClient::shutdown_socket() {
+  std::lock_guard<std::mutex> lock(fd_mu_);
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
 }
 
 bool TransportClient::fail(ClientError kind, const std::string& message) {
@@ -109,22 +116,32 @@ bool TransportClient::connect(const std::string& host, uint16_t port) {
   const int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   if (recv_timeout_.count() > 0) {
+    // Backstop only: the whole-frame deadline in recv_frame gates each
+    // recv() with poll(), so this per-recv timer normally never fires.
+    // It exists for the rare spurious-readiness wakeup, where a recv()
+    // after POLLIN would otherwise block past the deadline.
     timeval tv{};
     tv.tv_sec = static_cast<time_t>(recv_timeout_.count() / 1'000'000);
     tv.tv_usec = static_cast<suseconds_t>(recv_timeout_.count() % 1'000'000);
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
-  fd_ = fd;
+  {
+    std::lock_guard<std::mutex> lock(fd_mu_);
+    fd_ = fd;
+  }
   error_.clear();
   error_kind_ = ClientError::kNone;
   return true;
 }
 
 bool TransportClient::send_all(const std::vector<uint8_t>& bytes) {
+  return send_all(bytes.data(), bytes.size());
+}
+
+bool TransportClient::send_all(const uint8_t* data, size_t len) {
   size_t sent = 0;
-  while (sent < bytes.size()) {
-    const ssize_t n = ::send(fd_, bytes.data() + sent, bytes.size() - sent,
-                             MSG_NOSIGNAL);
+  while (sent < len) {
+    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -136,9 +153,37 @@ bool TransportClient::send_all(const std::vector<uint8_t>& bytes) {
   return true;
 }
 
-bool TransportClient::recv_exact(uint8_t* out, size_t n) {
+bool TransportClient::recv_exact(uint8_t* out, size_t n,
+                                 TimePoint deadline) {
   size_t got = 0;
   while (got < n) {
+    if (deadline != TimePoint{}) {
+      // The deadline spans the whole frame, so a peer trickling one
+      // byte per interval cannot reset the budget: wait only for the
+      // time remaining, then recv whatever arrived. The wait is
+      // rounded UP to a millisecond — truncation would burn the final
+      // sub-ms of any budget (and all of a 1 ms budget) without ever
+      // polling, timing out on data already sitting in the buffer.
+      const int64_t remaining_us =
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              deadline - Clock::now())
+              .count();
+      if (remaining_us <= 0)
+        return fail(ClientError::kTimedOut,
+                    "receive timed out mid-frame; connection closed");
+      const int timeout_ms = static_cast<int>(
+          std::min<int64_t>((remaining_us + 999) / 1000, 3'600'000));
+      pollfd pfd{fd_, POLLIN, 0};
+      const int ready = ::poll(&pfd, 1, timeout_ms);
+      if (ready == 0)
+        return fail(ClientError::kTimedOut,
+                    "receive timed out mid-frame; connection closed");
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return fail(ClientError::kIo,
+                    std::string("poll failed: ") + std::strerror(errno));
+      }
+    }
     const ssize_t r = ::recv(fd_, out + got, n - got, 0);
     if (r > 0) {
       got += static_cast<size_t>(r);
@@ -157,12 +202,33 @@ bool TransportClient::recv_exact(uint8_t* out, size_t n) {
 
 bool TransportClient::recv_frame(FrameHeader* hdr,
                                  std::vector<uint8_t>& payload) {
+  // One budget for the entire frame: started when we begin waiting for
+  // the header, charged across header AND payload reads.
+  const TimePoint deadline = recv_timeout_.count() > 0
+                                 ? Clock::now() + recv_timeout_
+                                 : TimePoint{};
   uint8_t header[kHeaderSize];
-  if (!recv_exact(header, kHeaderSize)) return false;
+  if (!recv_exact(header, kHeaderSize, deadline)) return false;
   if (decode_header(header, kHeaderSize, hdr) != DecodeStatus::kFrame)
     return fail(ClientError::kProtocol, "malformed frame header from server");
   payload.resize(hdr->payload_len);
-  return payload.empty() || recv_exact(payload.data(), payload.size());
+  return payload.empty() ||
+         recv_exact(payload.data(), payload.size(), deadline);
+}
+
+bool TransportClient::send_raw(const std::vector<uint8_t>& frames) {
+  return send_raw(frames.data(), frames.size());
+}
+
+bool TransportClient::send_raw(const uint8_t* data, size_t len) {
+  if (!require_connected(/*needs_v2=*/false)) return false;
+  return send_all(data, len);
+}
+
+bool TransportClient::recv_raw(FrameHeader* hdr,
+                               std::vector<uint8_t>& payload) {
+  if (!require_connected(/*needs_v2=*/false)) return false;
+  return recv_frame(hdr, payload);
 }
 
 bool TransportClient::recv_expected(FrameType expect,

@@ -22,6 +22,7 @@
 #pragma once
 
 #include <cstdint>
+#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
@@ -54,10 +55,14 @@ class TransportClient {
 
   /// Bound the blocking syscalls. Zero (the default) means block
   /// forever, preserving the original behavior. The receive timeout
-  /// covers each recv() call of a response, not the whole round trip;
-  /// on expiry the call fails with ClientError::kTimedOut and the
-  /// connection is closed (a half-read stream cannot be resynced).
-  /// Takes effect at the next connect().
+  /// bounds each WHOLE response frame (header + payload), measured from
+  /// the first byte awaited: a peer that stalls — or trickles bytes to
+  /// reset a naive per-recv() timer — cannot hold a call hostage past
+  /// the budget. On expiry the call fails with ClientError::kTimedOut
+  /// and the connection is closed immediately: a stream abandoned
+  /// mid-frame is desynchronized, and reusing it would hand a later
+  /// call stale payload bytes as a fresh header. Takes effect at the
+  /// next connect().
   void set_timeouts(Micros connect_timeout, Micros recv_timeout) {
     connect_timeout_ = connect_timeout;
     recv_timeout_ = recv_timeout;
@@ -67,6 +72,12 @@ class TransportClient {
   /// "localhost"). False on failure; see error().
   bool connect(const std::string& host, uint16_t port);
   void close();
+  /// Half-close the socket from ANOTHER thread to abort a blocked
+  /// send/recv (a proxy shutting down while a forward is in flight):
+  /// the owner's blocked call fails promptly and closes the client as
+  /// usual. Guarded against a concurrent close(), so a recycled
+  /// descriptor number is never touched.
+  void shutdown_socket();
   bool connected() const { return fd_ >= 0; }
 
   /// Ask the server for the shape of `model` ("" = its default model).
@@ -98,6 +109,22 @@ class TransportClient {
   /// Per-model serving stats ("" = default model).
   std::optional<WireStats> query_stats(const std::string& model = "");
 
+  // -------------------------------------------------------------------
+  // Raw frame I/O (shard proxy forwarding path): ship pre-encoded frame
+  // bytes and receive one frame without interpreting its payload. The
+  // same failure rules apply — any transport error (including a receive
+  // timeout mid-frame) closes the connection.
+  // -------------------------------------------------------------------
+
+  /// Send one or more pre-encoded frames verbatim. The pointer flavor
+  /// lets a proxy forward bytes straight out of its receive buffer
+  /// without an intermediate copy.
+  bool send_raw(const std::vector<uint8_t>& frames);
+  bool send_raw(const uint8_t* data, size_t len);
+  /// Receive exactly one frame of any type (header validated, payload
+  /// bytes untouched), bounded by the whole-frame receive timeout.
+  bool recv_raw(FrameHeader* hdr, std::vector<uint8_t>& payload);
+
   const std::string& error() const { return error_; }
   ClientError error_kind() const { return error_kind_; }
   uint8_t protocol_version() const { return version_; }
@@ -117,6 +144,7 @@ class TransportClient {
   bool admin_roundtrip(const std::vector<uint8_t>& frame,
                        std::string* message);
   bool send_all(const std::vector<uint8_t>& bytes);
+  bool send_all(const uint8_t* data, size_t len);
   /// Read exactly one frame (any type) into hdr/payload.
   bool recv_frame(FrameHeader* hdr, std::vector<uint8_t>& payload);
   /// Read one frame of `expect`ed type. When the server answers with an
@@ -126,9 +154,14 @@ class TransportClient {
   bool recv_expected(FrameType expect, std::vector<uint8_t>& payload,
                      std::string* admin_failure = nullptr);
   bool fail(ClientError kind, const std::string& message);
-  /// recv() with the configured timeout; false on timeout/EOF/error.
-  bool recv_exact(uint8_t* out, size_t n);
+  /// recv() bounded by `deadline` (the whole-frame budget; a default-
+  /// constructed TimePoint means no bound). False on timeout/EOF/error;
+  /// every failure closes the connection.
+  bool recv_exact(uint8_t* out, size_t n, TimePoint deadline);
 
+  /// Guards fd_ writes (close/connect) against cross-thread
+  /// shutdown_socket(); the owner thread's send/recv use fd_ freely.
+  std::mutex fd_mu_;
   int fd_ = -1;
   uint8_t version_ = kProtocolVersion;
   Micros connect_timeout_{0};

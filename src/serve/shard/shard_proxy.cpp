@@ -1,0 +1,706 @@
+#include "serve/shard/shard_proxy.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+namespace fqbert::serve::shard {
+
+namespace {
+
+/// Poll tick for the accept and per-connection loops: how quickly
+/// stop() is observed when a socket is silent.
+constexpr int kLoopTickMs = 100;
+
+/// Retryable serve outcomes: the backend answered, but with a status
+/// that means "this replica cannot serve right now" (draining shutdown,
+/// engine failure) rather than a verdict about the request itself.
+/// Inference is idempotent, so the next replica gets a clean try.
+bool status_is_retryable(RequestStatus s) {
+  return s == RequestStatus::kShutdown || s == RequestStatus::kEngineError;
+}
+
+}  // namespace
+
+const char* backend_state_name(BackendState s) {
+  switch (s) {
+    case BackendState::kHealthy: return "healthy";
+    case BackendState::kSuspect: return "suspect";
+    case BackendState::kDown: return "down";
+  }
+  return "?";
+}
+
+ShardProxy::ShardProxy(const ShardProxyConfig& cfg) : cfg_(cfg) {
+  if (cfg_.max_connections < 1) cfg_.max_connections = 1;
+  if (cfg_.suspect_after < 1) cfg_.suspect_after = 1;
+  if (cfg_.down_after < cfg_.suspect_after) cfg_.down_after = cfg_.suspect_after;
+  if (cfg_.recover_after < 1) cfg_.recover_after = 1;
+}
+
+ShardProxy::~ShardProxy() { stop(); }
+
+bool ShardProxy::add_backend(const std::string& host, uint16_t port,
+                             const std::vector<std::string>& models,
+                             std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (running_) return fail("cannot add a backend to a running proxy");
+  if (models.empty())
+    return fail("backend " + host + ":" + std::to_string(port) +
+                " declares no models");
+  for (const auto& b : backends_)
+    if (b->host == host && b->port == port)
+      return fail("backend " + b->address + " declared twice");
+  std::set<std::string> seen;
+  for (const std::string& model : models) {
+    if (model.empty()) return fail("empty model name in backend declaration");
+    if (model.size() > net::kMaxNameLen)
+      return fail("model name '" + model + "' exceeds the wire limit");
+    if (!seen.insert(model).second)
+      return fail("model '" + model + "' repeated within one backend");
+  }
+
+  net::ClientPoolConfig pool_cfg;
+  pool_cfg.capacity = cfg_.pool_capacity;
+  pool_cfg.connect_timeout = cfg_.connect_timeout;
+  pool_cfg.recv_timeout = cfg_.call_timeout;
+  auto backend = std::make_unique<Backend>(host, port, models, pool_cfg);
+  backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
+  for (const std::string& model : models)
+    placement_[model].push_back(backend.get());
+  if (default_model_.empty()) default_model_ = models.front();
+  backends_.push_back(std::move(backend));
+  return true;
+}
+
+bool ShardProxy::start() {
+  if (running_) return true;
+  if (backends_.empty()) {
+    std::fprintf(stderr, "shard proxy: no backends declared\n");
+    return false;
+  }
+
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    std::perror("shard proxy: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(cfg_.port);
+  if (::inet_pton(AF_INET, cfg_.bind_address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "shard proxy: bad bind address %s\n",
+                 cfg_.bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, cfg_.listen_backlog) != 0) {
+    std::perror("shard proxy: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  stopping_ = false;
+  for (auto& b : backends_) b->pool.reopen();  // undo a prior stop()
+  running_ = true;
+  accept_thread_ = std::thread([this] { accept_loop(); });
+  health_thread_ = std::thread([this] { health_loop(); });
+  return true;
+}
+
+void ShardProxy::stop() {
+  if (!running_) return;
+  {
+    // Set under the cv mutex: notifying between the health loop's
+    // predicate check and its sleep would otherwise be a lost wakeup
+    // (stop() would stall a full health_interval).
+    std::lock_guard<std::mutex> lock(health_cv_mu_);
+    stopping_ = true;
+  }
+  health_cv_.notify_all();
+  if (health_thread_.joinable()) health_thread_.join();
+  if (accept_thread_.joinable()) accept_thread_.join();
+
+  // Abort in-flight forwards FIRST: a connection thread blocked on a
+  // backend recv would otherwise hold stop() for up to call_timeout.
+  for (auto& b : backends_) b->pool.shutdown_all();
+
+  std::map<uint64_t, std::thread> threads;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    // Wake per-connection threads blocked in poll/recv on their client
+    // socket; each closes its own fd on exit.
+    for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
+    threads.swap(conn_threads_);
+  }
+  for (auto& [id, t] : threads)
+    if (t.joinable()) t.join();
+
+  for (auto& b : backends_) {
+    b->pool.clear();
+    std::lock_guard<std::mutex> lock(b->health_mu);
+    b->health.close();
+  }
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+std::vector<std::string> ShardProxy::model_names() const {
+  std::vector<std::string> names;
+  names.reserve(placement_.size());
+  for (const auto& [name, replicas] : placement_) names.push_back(name);
+  return names;
+}
+
+std::vector<ShardProxy::BackendStatus> ShardProxy::backend_status() const {
+  std::vector<BackendStatus> out;
+  out.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    BackendStatus s;
+    s.address = b->address;
+    s.models = b->models;
+    std::lock_guard<std::mutex> lock(b->mu);
+    s.state = b->state;
+    s.health_ok = b->health_ok;
+    s.health_failed = b->health_failed;
+    s.forwarded = b->forwarded;
+    s.forward_failures = b->forward_failures;
+    s.recoveries = b->recoveries;
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+ShardProxy::Counters ShardProxy::counters() const {
+  Counters c;
+  c.accepted = accepted_;
+  c.served = served_;
+  c.failovers = failovers_;
+  c.exhausted = exhausted_;
+  c.unknown_model = unknown_model_;
+  c.protocol_errors = protocol_errors_;
+  c.admin_frames = admin_frames_;
+  c.health_transitions = health_transitions_;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Health checking and the backend state machine
+// ---------------------------------------------------------------------------
+
+void ShardProxy::note_outcome(Backend& backend, bool success,
+                              bool health_probe) {
+  std::lock_guard<std::mutex> lock(backend.mu);
+  if (success) {
+    if (health_probe)
+      ++backend.health_ok;
+    else
+      ++backend.forwarded;
+    backend.fail_streak = 0;
+    ++backend.ok_streak;
+    if (backend.state != BackendState::kHealthy &&
+        backend.ok_streak >= cfg_.recover_after) {
+      backend.state = BackendState::kHealthy;
+      ++backend.recoveries;
+      ++health_transitions_;
+    }
+  } else {
+    if (health_probe)
+      ++backend.health_failed;
+    else
+      ++backend.forward_failures;
+    backend.ok_streak = 0;
+    ++backend.fail_streak;
+    if (backend.state == BackendState::kHealthy &&
+        backend.fail_streak >= cfg_.suspect_after) {
+      backend.state = BackendState::kSuspect;
+      ++health_transitions_;
+    }
+    if (backend.state != BackendState::kDown &&
+        backend.fail_streak >= cfg_.down_after) {
+      backend.state = BackendState::kDown;
+      ++health_transitions_;
+    }
+  }
+}
+
+BackendState ShardProxy::backend_state(const Backend& backend) const {
+  std::lock_guard<std::mutex> lock(backend.mu);
+  return backend.state;
+}
+
+void ShardProxy::run_health_round() {
+  // Probe concurrently: serially, one blackholed backend would burn
+  // its whole health_timeout before the NEXT backend is even looked
+  // at, coupling every backend's detection latency to the slowest.
+  std::vector<std::thread> probes;
+  probes.reserve(backends_.size());
+  for (const auto& b : backends_) {
+    probes.emplace_back([this, backend = b.get()] {
+      bool ok = false;
+      {
+        std::lock_guard<std::mutex> lock(backend->health_mu);
+        if (!backend->health.connected())
+          backend->health.connect(backend->host, backend->port);
+        if (backend->health.connected()) {
+          // The ping asks for the backend's default model shape. A
+          // backend with no default lane answers in-band (error_kind
+          // stays kNone, connection stays aligned) — its TRANSPORT is
+          // healthy, which is all the proxy's state machine judges.
+          const auto info = backend->health.query_info("");
+          ok = info.has_value() ||
+               (backend->health.connected() &&
+                backend->health.error_kind() == net::ClientError::kNone);
+        }
+      }
+      note_outcome(*backend, ok, /*health_probe=*/true);
+    });
+  }
+  for (std::thread& t : probes) t.join();
+}
+
+void ShardProxy::check_backends_now() { run_health_round(); }
+
+void ShardProxy::health_loop() {
+  std::unique_lock<std::mutex> lock(health_cv_mu_);
+  while (!stopping_) {
+    health_cv_.wait_for(lock, cfg_.health_interval,
+                        [this] { return stopping_.load(); });
+    if (stopping_) break;
+    lock.unlock();
+    run_health_round();
+    lock.lock();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Front-side socket plumbing
+// ---------------------------------------------------------------------------
+
+void ShardProxy::accept_loop() {
+  while (!stopping_) {
+    // Reap finished connection threads (they cannot join themselves).
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      for (const uint64_t id : finished_conns_) {
+        auto it = conn_threads_.find(id);
+        if (it != conn_threads_.end()) {
+          it->second.join();
+          conn_threads_.erase(it);
+        }
+      }
+      finished_conns_.clear();
+    }
+
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kLoopTickMs);
+    if (ready <= 0) continue;
+    const int fd =
+        ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    {
+      std::lock_guard<std::mutex> lock(conns_mu_);
+      if (conn_fds_.size() >= cfg_.max_connections) {
+        ::close(fd);
+        continue;
+      }
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const uint64_t id = next_conn_id_++;
+      conn_fds_[id] = fd;
+      conn_threads_[id] = std::thread([this, id, fd] {
+        serve_connection(id, fd);
+        // Erase the map entry and close the fd under ONE lock hold:
+        // stop() iterates conn_fds_ to shutdown() live sockets, and a
+        // close outside the lock could free the fd number for reuse
+        // while stop() still holds it.
+        std::lock_guard<std::mutex> exit_lock(conns_mu_);
+        conn_fds_.erase(id);
+        ::close(fd);
+        finished_conns_.push_back(id);
+      });
+      ++accepted_;
+    }
+  }
+}
+
+void ShardProxy::serve_connection(uint64_t conn_id, int fd) {
+  (void)conn_id;
+  std::vector<uint8_t> in;
+  std::vector<uint8_t> buf(64 * 1024);
+  bool ok = true;
+  while (ok && !stopping_) {
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kLoopTickMs);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    if (ready == 0) continue;
+    const ssize_t n = ::recv(fd, buf.data(), buf.size(), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      break;
+    }
+    in.insert(in.end(), buf.data(), buf.data() + n);
+
+    size_t pos = 0;
+    while (ok) {
+      net::FrameHeader hdr;
+      const net::DecodeStatus st =
+          net::decode_header(in.data() + pos, in.size() - pos, &hdr);
+      if (st == net::DecodeStatus::kNeedMore) break;
+      if (st == net::DecodeStatus::kError) {
+        ++protocol_errors_;
+        ok = false;
+        break;
+      }
+      const size_t frame_len = net::kHeaderSize + hdr.payload_len;
+      if (in.size() - pos < frame_len) break;
+      ok = handle_frame(fd, hdr, in.data() + pos, frame_len);
+      if (ok) pos += frame_len;
+    }
+    if (pos > 0) in.erase(in.begin(), in.begin() + pos);
+  }
+  // The fd is closed by the spawning lambda (under conns_mu_, together
+  // with the conn_fds_ erase) — not here, where it would race stop().
+}
+
+bool ShardProxy::send_to_client(int fd, const std::vector<uint8_t>& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + sent, bytes.size() - sent,
+                             MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+// ---------------------------------------------------------------------------
+// Frame dispatch
+// ---------------------------------------------------------------------------
+
+bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
+                              const uint8_t* frame, size_t frame_len) {
+  const uint8_t* payload = frame + net::kHeaderSize;
+  const size_t len = hdr.payload_len;
+  switch (hdr.type) {
+    case net::FrameType::kServeRequest:
+      return handle_serve(fd, hdr, frame, frame_len);
+    case net::FrameType::kInfoRequest:
+      return handle_info(fd, hdr, payload, len);
+    case net::FrameType::kListModels:
+      return handle_list(fd, hdr, len);
+    case net::FrameType::kStatsRequest:
+      return handle_stats(fd, payload, len);
+    case net::FrameType::kLoadModel:
+    case net::FrameType::kUnloadModel: {
+      // Placement is explicit; mutating a backend's model set behind
+      // the table's back would desynchronize routing. Refused in-band.
+      std::string a, b;
+      const bool parsed =
+          hdr.type == net::FrameType::kLoadModel
+              ? net::decode_load_model(payload, len, &a, &b)
+              : net::decode_unload_model(payload, len, &a);
+      if (!parsed) {
+        ++protocol_errors_;
+        return false;
+      }
+      ++admin_frames_;
+      std::vector<uint8_t> out;
+      net::encode_admin_response(
+          false,
+          "LOAD/UNLOAD is not routed through the shard proxy; target the "
+          "backend directly and keep the placement table in sync",
+          out);
+      return send_to_client(fd, out);
+    }
+    case net::FrameType::kInfoResponse:
+    case net::FrameType::kServeResponse:
+    case net::FrameType::kAdminResponse:
+    case net::FrameType::kModelList:
+    case net::FrameType::kStatsResponse:
+      ++protocol_errors_;  // proxy-bound streams must not carry responses
+      return false;
+  }
+  ++protocol_errors_;
+  return false;
+}
+
+std::vector<ShardProxy::Backend*> ShardProxy::candidates_for(
+    const std::string& model) const {
+  auto it = placement_.find(model);
+  if (it == placement_.end()) return {};
+  std::vector<Backend*> order;
+  order.reserve(it->second.size());
+  for (Backend* b : it->second)
+    if (backend_state(*b) != BackendState::kDown) order.push_back(b);
+  for (Backend* b : it->second)
+    if (backend_state(*b) == BackendState::kDown) order.push_back(b);
+  return order;
+}
+
+bool ShardProxy::forward_serve_once(Backend& backend, const uint8_t* frame,
+                                    size_t frame_len,
+                                    uint64_t expect_correlation,
+                                    net::FrameHeader* rhdr,
+                                    std::vector<uint8_t>& rpayload) {
+  return with_backend_conn(backend, [&](net::ClientPool::Handle& conn) {
+    if (!conn->send_raw(frame, frame_len)) return false;
+    if (!conn->recv_raw(rhdr, rpayload)) return false;
+    if (rhdr->type != net::FrameType::kServeResponse) {
+      conn.discard();  // backend speaking out of turn: do not reuse
+      return false;
+    }
+    uint64_t corr = 0;
+    RequestStatus status{};
+    if (!net::peek_serve_response(rpayload.data(), rpayload.size(), &corr,
+                                  &status) ||
+        corr != expect_correlation) {
+      conn.discard();
+      return false;
+    }
+    return true;
+  });
+}
+
+void ShardProxy::synthesize_serve_response(int fd, uint8_t client_version,
+                                           uint64_t correlation_id,
+                                           RequestStatus status) {
+  if (client_version < 2 && status == RequestStatus::kRejectedUnknownModel)
+    status = RequestStatus::kRejectedInvalid;  // v1-era status range
+  net::WireResponse wire;
+  wire.correlation_id = correlation_id;
+  wire.response.status = status;
+  std::vector<uint8_t> out;
+  net::encode_serve_response(wire, out, client_version);
+  send_to_client(fd, out);
+}
+
+bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
+                              const uint8_t* frame, size_t frame_len) {
+  const uint8_t* payload = frame + net::kHeaderSize;
+  uint64_t correlation = 0;
+  std::string model;
+  if (!net::peek_serve_request(payload, hdr.payload_len, hdr.version,
+                               &correlation, &model)) {
+    // Malformed frames are stopped HERE: forwarding them would make the
+    // backend condemn a pooled connection per hostile client frame.
+    ++protocol_errors_;
+    return false;
+  }
+  const std::string& resolved = model.empty() ? default_model_ : model;
+
+  std::vector<Backend*> replicas = candidates_for(resolved);
+  if (replicas.empty()) {
+    ++unknown_model_;
+    synthesize_serve_response(fd, hdr.version, correlation,
+                              RequestStatus::kRejectedUnknownModel);
+    return true;
+  }
+
+  // Forward verbatim (no copy) when the frame already names the model;
+  // splice the resolved name in (and upgrade v1 to v2) when it does
+  // not. Token bytes are never re-decoded either way.
+  std::vector<uint8_t> rewritten;
+  const uint8_t* send_data = frame;
+  size_t send_len = frame_len;
+  if (model.empty()) {
+    if (!net::rewrite_serve_request_model(frame, frame_len, resolved,
+                                          &rewritten)) {
+      ++protocol_errors_;
+      return false;
+    }
+    send_data = rewritten.data();
+    send_len = rewritten.size();
+  }
+
+  int attempts = 0;
+  for (Backend* backend : replicas) {
+    if (stopping_) break;  // shutdown: fail terminal, don't keep trying
+    net::FrameHeader rhdr;
+    std::vector<uint8_t> rpayload;
+    if (!forward_serve_once(*backend, send_data, send_len, correlation,
+                            &rhdr, rpayload)) {
+      note_outcome(*backend, false, /*health_probe=*/false);
+      ++attempts;
+      continue;
+    }
+    uint64_t rcorr = 0;
+    RequestStatus status{};
+    net::peek_serve_response(rpayload.data(), rpayload.size(), &rcorr,
+                             &status);  // validated in forward_serve_once
+    if (status_is_retryable(status)) {
+      note_outcome(*backend, false, /*health_probe=*/false);
+      ++attempts;
+      continue;
+    }
+    note_outcome(*backend, true, /*health_probe=*/false);
+
+    // Relay. v1 clients get a v1 header and a v1-era status byte (the
+    // payload layout is version-independent).
+    if (hdr.version < 2 &&
+        status == RequestStatus::kRejectedUnknownModel &&
+        rpayload.size() > 8)
+      rpayload[8] = static_cast<uint8_t>(RequestStatus::kRejectedInvalid);
+    std::vector<uint8_t> out;
+    net::FrameHeader relay = rhdr;
+    relay.version = hdr.version;
+    net::encode_frame_header(relay, out);
+    out.insert(out.end(), rpayload.begin(), rpayload.end());
+    ++served_;
+    if (attempts > 0) ++failovers_;
+    return send_to_client(fd, out);
+  }
+
+  // Every replica failed; the client still gets a terminal response
+  // (never a hang, never a dropped connection).
+  ++exhausted_;
+  synthesize_serve_response(fd, hdr.version, correlation,
+                            RequestStatus::kEngineError);
+  return true;
+}
+
+bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
+                             const uint8_t* payload, size_t len) {
+  std::string model;
+  if (!net::decode_info_request(payload, len, hdr.version, &model)) {
+    ++protocol_errors_;
+    return false;
+  }
+  const std::string& resolved = model.empty() ? default_model_ : model;
+  for (Backend* backend : candidates_for(resolved)) {
+    std::optional<nn::BertConfig> config;
+    const bool transport_ok =
+        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
+          config = conn->query_info(resolved);
+          // In-band "no such model" leaves the transport healthy;
+          // anything else condemned the connection already.
+          return config.has_value() ||
+                 (conn->connected() &&
+                  conn->error_kind() == net::ClientError::kNone);
+        });
+    note_outcome(*backend, transport_ok, /*health_probe=*/false);
+    if (config) {
+      net::WireInfo info;
+      info.model = resolved;
+      info.config = *config;
+      std::vector<uint8_t> out;
+      net::encode_info_response(info, out, hdr.version);
+      return send_to_client(fd, out);
+    }
+  }
+  if (hdr.version >= 2) {
+    std::vector<uint8_t> out;
+    net::encode_admin_response(
+        false, "no reachable backend serves model '" + resolved + "'", out);
+    return send_to_client(fd, out);
+  }
+  // v1 cannot carry an in-band failure on the info path — same dead end
+  // as a router with no default lane: close.
+  return false;
+}
+
+bool ShardProxy::handle_list(int fd, const net::FrameHeader& hdr,
+                             size_t payload_len) {
+  (void)hdr;
+  if (payload_len != 0) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  std::set<std::string> names;
+  bool any_backend = false;
+  for (const auto& backend : backends_) {
+    if (backend_state(*backend) == BackendState::kDown) continue;
+    std::optional<std::vector<std::string>> list;
+    const bool transport_ok =
+        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
+          list = conn->list_models();
+          return list.has_value();
+        });
+    note_outcome(*backend, transport_ok, /*health_probe=*/false);
+    if (!list) continue;
+    any_backend = true;
+    names.insert(list->begin(), list->end());
+  }
+  std::vector<uint8_t> out;
+  if (!any_backend) {
+    net::encode_admin_response(false, "no backend reachable", out);
+  } else {
+    net::encode_model_list(std::vector<std::string>(names.begin(),
+                                                    names.end()),
+                           out);
+  }
+  return send_to_client(fd, out);
+}
+
+bool ShardProxy::handle_stats(int fd, const uint8_t* payload, size_t len) {
+  std::string name;
+  if (!net::decode_stats_request(payload, len, &name)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  const std::string& resolved = name.empty() ? default_model_ : name;
+  std::vector<Backend*> replicas = candidates_for(resolved);
+  std::vector<ServeStats::Report> reports;
+  for (Backend* backend : replicas) {
+    std::optional<net::WireStats> stats;
+    const bool transport_ok =
+        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
+          stats = conn->query_stats(resolved);
+          return stats.has_value() ||
+                 (conn->connected() &&
+                  conn->error_kind() == net::ClientError::kNone);
+        });
+    note_outcome(*backend, transport_ok, /*health_probe=*/false);
+    if (stats) reports.push_back(stats->report);
+  }
+  std::vector<uint8_t> out;
+  if (reports.empty()) {
+    net::encode_admin_response(
+        false,
+        replicas.empty()
+            ? "no model named '" + resolved + "' is in the placement table"
+            : "no reachable backend reports stats for '" + resolved + "'",
+        out);
+  } else {
+    net::WireStats agg;
+    agg.model = resolved;
+    agg.report = ServeStats::aggregate(reports);
+    net::encode_stats_response(agg, out);
+  }
+  return send_to_client(fd, out);
+}
+
+}  // namespace fqbert::serve::shard

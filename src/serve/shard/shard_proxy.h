@@ -1,0 +1,278 @@
+// ShardProxy: the multi-host routing layer. A thin TCP proxy that
+// speaks the exact same frame protocol as TransportServer on its front
+// side, and fronts N backend TransportServers (each a ModelRouter on
+// its own host/port) from an EXPLICIT placement table:
+//
+//   model name -> ordered backend list (primary first, replicas after)
+//
+// built from per-backend model declarations (`add_backend(host, port,
+// {"sst2", "mnli"})`). Clients — TransportClient, `loadgen --connect`,
+// `admin --connect` — need no change: to them the proxy looks like one
+// big router serving the union of every backend's models.
+//
+//   ShardProxy proxy(cfg);
+//   proxy.add_backend("10.0.0.1", 9000, {"sst2", "mnli"});
+//   proxy.add_backend("10.0.0.2", 9000, {"mnli", "qqp"});   // mnli x2
+//   proxy.start();            // listens; health checks begin
+//   ... clients connect to proxy.port() ...
+//   proxy.stop();
+//
+// Forwarding: serve frames are routed by the model name peeked from the
+// payload prefix and forwarded VERBATIM over a pooled persistent
+// TransportClient connection (token arrays are never re-decoded; only
+// empty-model / protocol-v1 frames are rewritten — a byte splice — to
+// carry the proxy's default model, the first model of the first
+// backend). The response frame is relayed back equally untouched,
+// modulo a header-version patch for v1 clients.
+//
+// Health + failover: a background thread pings every backend (info
+// frame with a short timeout) on a fixed interval; data-path outcomes
+// feed the same state machine:
+//
+//   healthy --[suspect_after consecutive failures]--> suspect
+//   suspect --[down_after total consecutive failures]--> down
+//   any     --[recover_after consecutive successes]--> healthy (recovery)
+//
+// A serve request tries its model's replicas in placement order,
+// non-down backends first; a transport-level failure (dead connection,
+// timeout) or a kShutdown/kEngineError response triggers failover to
+// the next replica instead of surfacing the failure — serve requests
+// are idempotent (pure inference), so a retry is always safe. Only when
+// every replica fails does the client see a synthesized kEngineError
+// response (never a hung connection).
+//
+// Control plane through the proxy: LIST_MODELS fans out to every
+// reachable backend and returns the union; STATS(name) fans out to the
+// model's replicas and returns the ServeStats::Report::aggregate of
+// their reports. LOAD/UNLOAD are refused in-band — placement is
+// explicit, so engine management must target a backend directly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/net/client_pool.h"
+#include "serve/net/frame.h"
+
+namespace fqbert::serve::shard {
+
+enum class BackendState { kHealthy, kSuspect, kDown };
+const char* backend_state_name(BackendState s);
+
+struct ShardProxyConfig {
+  std::string bind_address = "127.0.0.1";
+  /// Front-side TCP port; 0 binds an ephemeral port (see port()).
+  uint16_t port = 0;
+  int listen_backlog = 64;
+  /// Client connections above this are closed at accept.
+  size_t max_connections = 256;
+  /// Warm backend connections kept per backend (checkouts beyond this
+  /// still work, transiently).
+  size_t pool_capacity = 4;
+  /// Dial timeout for backend connections.
+  Micros connect_timeout{2'000'000};
+  /// Whole-frame receive budget for one forwarded call; on expiry the
+  /// backend connection is condemned and the request fails over.
+  Micros call_timeout{30'000'000};
+  /// Health-check cadence and per-ping budget.
+  Micros health_interval{500'000};
+  Micros health_timeout{1'000'000};
+  /// State-machine thresholds (consecutive outcomes, health checks and
+  /// data-path calls alike).
+  int suspect_after = 1;
+  int down_after = 3;
+  int recover_after = 2;
+};
+
+class ShardProxy {
+ public:
+  explicit ShardProxy(const ShardProxyConfig& cfg = {});
+  ~ShardProxy();
+
+  ShardProxy(const ShardProxy&) = delete;
+  ShardProxy& operator=(const ShardProxy&) = delete;
+
+  /// Declare a backend and the models it serves (placement order =
+  /// call order = failover order). Before start() only. False (with
+  /// *error) on a duplicate host:port, an empty model list, or a model
+  /// repeated within the same backend; the same model on DIFFERENT
+  /// backends is replication, the entire point.
+  bool add_backend(const std::string& host, uint16_t port,
+                   const std::vector<std::string>& models,
+                   std::string* error = nullptr);
+
+  /// Bind + listen + spawn the accept and health-check threads. False
+  /// (message on stderr) when no backend was added or the socket
+  /// cannot be bound.
+  bool start();
+
+  /// Close the listener and every client connection, join all threads,
+  /// and drop pooled backend connections. Safe to call twice.
+  void stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+  /// Name the empty model id routes to: the first model of the first
+  /// backend ("" before any add_backend).
+  const std::string& default_model() const { return default_model_; }
+  /// Every model in the placement table, name-ordered.
+  std::vector<std::string> model_names() const;
+
+  /// Run one synchronous health round now (tests; the background
+  /// thread keeps its own cadence).
+  void check_backends_now();
+
+  struct BackendStatus {
+    std::string address;  // "host:port"
+    BackendState state = BackendState::kHealthy;
+    std::vector<std::string> models;
+    uint64_t health_ok = 0, health_failed = 0;
+    uint64_t forwarded = 0;         // successful data-path calls
+    uint64_t forward_failures = 0;  // failed data-path calls
+    uint64_t recoveries = 0;        // down/suspect -> healthy transitions
+  };
+  std::vector<BackendStatus> backend_status() const;
+
+  struct Counters {
+    uint64_t accepted = 0;
+    uint64_t served = 0;           // serve frames relayed with a response
+    uint64_t failovers = 0;        // responses served by a non-first try
+    uint64_t exhausted = 0;        // all replicas failed -> synthesized
+    uint64_t unknown_model = 0;    // no placement entry for the name
+    uint64_t protocol_errors = 0;  // client connections closed on decode
+    uint64_t admin_frames = 0;     // LIST/STATS/LOAD/UNLOAD handled
+    uint64_t health_transitions = 0;  // state-machine edges taken
+  };
+  Counters counters() const;
+
+ private:
+  struct Backend {
+    Backend(std::string host_in, uint16_t port_in,
+            std::vector<std::string> models_in,
+            const net::ClientPoolConfig& pool_cfg)
+        : host(std::move(host_in)),
+          port(port_in),
+          address(host + ":" + std::to_string(port)),
+          models(std::move(models_in)),
+          pool(host, port, pool_cfg) {}
+
+    const std::string host;
+    const uint16_t port;
+    const std::string address;
+    const std::vector<std::string> models;
+    net::ClientPool pool;
+
+    /// Dedicated ping connection (health thread + check_backends_now).
+    std::mutex health_mu;
+    net::TransportClient health;
+
+    mutable std::mutex mu;  // state machine + counters below
+    BackendState state = BackendState::kHealthy;
+    int fail_streak = 0;
+    int ok_streak = 0;
+    uint64_t health_ok = 0, health_failed = 0;
+    uint64_t forwarded = 0, forward_failures = 0, recoveries = 0;
+  };
+
+  void accept_loop();
+  void health_loop();
+  void run_health_round();
+  void serve_connection(uint64_t conn_id, int fd);
+  /// Dispatch one complete frame. False closes the client connection.
+  bool handle_frame(int fd, const net::FrameHeader& hdr,
+                    const uint8_t* frame, size_t frame_len);
+  bool handle_serve(int fd, const net::FrameHeader& hdr,
+                    const uint8_t* frame, size_t frame_len);
+  bool handle_info(int fd, const net::FrameHeader& hdr,
+                   const uint8_t* payload, size_t len);
+  bool handle_list(int fd, const net::FrameHeader& hdr, size_t payload_len);
+  bool handle_stats(int fd, const uint8_t* payload, size_t len);
+
+  /// Run `op` against one of `backend`'s pooled connections. A REUSED
+  /// connection may have died while parked in the pool, so a FAST
+  /// failure on it (peer closed / reset: kClosed, kIo) says nothing
+  /// about the backend: the stale lease is discarded and `op` re-runs
+  /// on another checkout, until it succeeds or fails on a
+  /// freshly-dialed connection (the genuine verdict). A TIMEOUT or
+  /// protocol violation is never retried — the peer is alive and
+  /// misbehaving, and re-paying call_timeout once per parked
+  /// connection would turn one wedged backend into minutes of stall.
+  /// `op` returns transport-level success; in-band application
+  /// failures count as success here.
+  template <typename Op>
+  bool with_backend_conn(Backend& backend, Op&& op) {
+    for (;;) {
+      if (stopping_) return false;  // shutting down: no (re-)dials
+      net::ClientPool::Handle conn = backend.pool.checkout();
+      if (!conn) return false;  // fresh dial failed: backend unreachable
+      const bool was_reused = conn.reused();
+      if (op(conn)) return true;
+      if (stopping_) return false;  // shutdown aborted the call: no re-dial
+      if (!was_reused) return false;
+      const net::ClientError kind =
+          conn ? conn->error_kind() : net::ClientError::kProtocol;
+      if (kind != net::ClientError::kClosed &&
+          kind != net::ClientError::kIo)
+        return false;
+    }
+  }
+
+  /// One forwarding attempt of a serve frame against one backend
+  /// (stale pooled connections internally retried via
+  /// with_backend_conn). On success the response frame is in
+  /// rhdr/rpayload.
+  bool forward_serve_once(Backend& backend, const uint8_t* frame,
+                          size_t frame_len, uint64_t expect_correlation,
+                          net::FrameHeader* rhdr,
+                          std::vector<uint8_t>& rpayload);
+
+  /// Replicas for `model` in placement order, non-down first (a down
+  /// backend is still tried last — health data may be stale).
+  std::vector<Backend*> candidates_for(const std::string& model) const;
+
+  void note_outcome(Backend& backend, bool success, bool health_probe);
+  BackendState backend_state(const Backend& backend) const;
+
+  bool send_to_client(int fd, const std::vector<uint8_t>& bytes);
+  void synthesize_serve_response(int fd, uint8_t client_version,
+                                 uint64_t correlation_id,
+                                 RequestStatus status);
+
+  ShardProxyConfig cfg_;
+  std::vector<std::unique_ptr<Backend>> backends_;
+  /// Immutable after start(): model -> replicas in placement order.
+  std::map<std::string, std::vector<Backend*>> placement_;
+  std::string default_model_;
+
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+
+  std::thread accept_thread_;
+  std::thread health_thread_;
+
+  std::mutex conns_mu_;
+  std::map<uint64_t, int> conn_fds_;
+  std::map<uint64_t, std::thread> conn_threads_;
+  std::vector<uint64_t> finished_conns_;  // reaped by the accept loop
+  uint64_t next_conn_id_ = 1;
+
+  std::mutex health_cv_mu_;
+  std::condition_variable health_cv_;
+
+  std::atomic<uint64_t> accepted_{0}, served_{0}, failovers_{0};
+  std::atomic<uint64_t> exhausted_{0}, unknown_model_{0};
+  std::atomic<uint64_t> protocol_errors_{0}, admin_frames_{0};
+  std::atomic<uint64_t> health_transitions_{0};
+};
+
+}  // namespace fqbert::serve::shard

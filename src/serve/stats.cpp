@@ -72,6 +72,44 @@ void ServeStats::record_response(int64_t latency_us, int64_t queue_us) {
   }
 }
 
+ServeStats::Report ServeStats::aggregate(const std::vector<Report>& parts) {
+  Report agg;
+  double queue_ms_weighted = 0.0, occupancy_weighted = 0.0;
+  double p50_weighted = 0.0, p95_weighted = 0.0, p99_weighted = 0.0;
+  for (const Report& r : parts) {
+    agg.admitted += r.admitted;
+    agg.rejected_full += r.rejected_full;
+    agg.rejected_deadline += r.rejected_deadline;
+    agg.rejected_invalid += r.rejected_invalid;
+    agg.rejected_closed += r.rejected_closed;
+    agg.timed_out += r.timed_out;
+    agg.completed += r.completed;
+    agg.failed += r.failed;
+    agg.batches += r.batches;
+    agg.latency_samples += r.latency_samples;
+    queue_ms_weighted += r.mean_queue_ms * static_cast<double>(r.completed);
+    occupancy_weighted +=
+        r.mean_batch_occupancy * static_cast<double>(r.batches);
+    const double w = static_cast<double>(r.latency_samples);
+    p50_weighted += r.p50_ms * w;
+    p95_weighted += r.p95_ms * w;
+    p99_weighted += r.p99_ms * w;
+    agg.max_ms = std::max(agg.max_ms, r.max_ms);
+  }
+  if (agg.completed > 0)
+    agg.mean_queue_ms = queue_ms_weighted / static_cast<double>(agg.completed);
+  if (agg.batches > 0)
+    agg.mean_batch_occupancy =
+        occupancy_weighted / static_cast<double>(agg.batches);
+  if (agg.latency_samples > 0) {
+    const double w = static_cast<double>(agg.latency_samples);
+    agg.p50_ms = p50_weighted / w;
+    agg.p95_ms = p95_weighted / w;
+    agg.p99_ms = p99_weighted / w;
+  }
+  return agg;
+}
+
 ServeStats::Report ServeStats::report() const {
   std::lock_guard<std::mutex> lock(mu_);
   Report r;

@@ -54,6 +54,15 @@ class ServeStats {
     }
   };
 
+  /// Merge per-replica reports into one shard-level view (the proxy's
+  /// STATS fan-out): counters sum exactly (so the aggregate balances
+  /// iff every part does); mean_queue_ms / mean_batch_occupancy are
+  /// re-weighted by completions / batches; p50/p95/p99 are
+  /// sample-weighted means of the replica percentiles — an
+  /// approximation (exact shard-wide quantiles need a mergeable
+  /// sketch; see ROADMAP) — and max_ms is the true max.
+  static Report aggregate(const std::vector<Report>& parts);
+
   void record_admitted();
   void record_rejected_full();
   void record_rejected_deadline();

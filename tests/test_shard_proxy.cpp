@@ -1,0 +1,741 @@
+// Shard proxy tests: forwarding helpers (peek / model rewrite without
+// re-decoding payloads), ClientPool reuse-after-error rules, the proxy
+// end-to-end (K models split across 2 backends bit-identical to one
+// router holding all K, failover across a backend death with zero
+// client-visible failures, v1 clients, admin LIST/STATS fan-out,
+// health state machine down->recovered), and the TransportClient
+// recv-timeout regression suite (a connection that times out mid-frame
+// is condemned — never reused into reading stale bytes — and a
+// trickling peer cannot stretch the whole-frame budget).
+#include <gtest/gtest.h>
+
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstring>
+#include <functional>
+#include <thread>
+
+#include "serve/loadgen.h"
+#include "serve/net/client_pool.h"
+#include "serve/net/transport_client.h"
+#include "serve/net/transport_server.h"
+#include "serve/router/model_router.h"
+#include "serve/server.h"
+#include "serve/shard/shard_proxy.h"
+
+namespace fqbert::serve {
+namespace {
+
+using core::FqBertModel;
+using core::FqQuantConfig;
+using core::QatBert;
+using nn::BertConfig;
+using nn::BertModel;
+using nn::Example;
+
+BertConfig tiny_config() {
+  BertConfig c;
+  c.vocab_size = 128;
+  c.hidden = 16;
+  c.num_layers = 2;
+  c.num_heads = 2;
+  c.ffn_dim = 32;
+  c.max_seq_len = 32;
+  c.num_classes = 2;
+  return c;
+}
+
+std::shared_ptr<const FqBertModel> build_engine(uint64_t seed) {
+  const BertConfig config = tiny_config();
+  Rng rng(seed);
+  BertModel model(config, rng);
+  QatBert qat(model, FqQuantConfig::full());
+  std::vector<Example> calib;
+  Rng data_rng(seed * 31 + 7);
+  for (int i = 0; i < 12; ++i)
+    calib.push_back(synth_example(data_rng, 4 + (i % 3) * 6, config));
+  qat.calibrate(calib);
+  return std::make_shared<const FqBertModel>(FqBertModel::convert(qat));
+}
+
+/// Three distinct-weight engines shared by every test (built once).
+struct Engines {
+  BertConfig config = tiny_config();
+  std::shared_ptr<const FqBertModel> e0 = build_engine(42);
+  std::shared_ptr<const FqBertModel> e1 = build_engine(43);
+  std::shared_ptr<const FqBertModel> e2 = build_engine(44);
+};
+
+Engines& engines() {
+  static Engines e;
+  return e;
+}
+
+using NamedEngine =
+    std::pair<std::string, std::shared_ptr<const FqBertModel>>;
+
+/// One in-process "backend host": ModelRouter + TransportServer on an
+/// ephemeral (or explicitly reused) loopback port.
+struct BackendHost {
+  EngineRegistry registry;
+  std::unique_ptr<ModelRouter> router;
+  std::unique_ptr<net::TransportServer> transport;
+  bool stopped = false;
+
+  explicit BackendHost(const std::vector<NamedEngine>& models,
+                       uint16_t fixed_port = 0) {
+    RouterConfig rcfg;
+    rcfg.num_workers = 1;
+    rcfg.batcher.max_batch = 4;
+    rcfg.batcher.max_wait = Micros(200);
+    router = std::make_unique<ModelRouter>(registry, rcfg);
+    for (const auto& [name, engine] : models) {
+      registry.register_model(name, engine);
+      EXPECT_TRUE(router->add_model(name));
+    }
+    EXPECT_TRUE(router->start());
+    net::TransportConfig tcfg;
+    tcfg.port = fixed_port;
+    transport = std::make_unique<net::TransportServer>(*router, tcfg);
+    EXPECT_TRUE(transport->start());
+  }
+
+  uint16_t port() const { return transport->port(); }
+
+  /// Simulate the host dying: transport torn down, router drained.
+  void kill() {
+    if (stopped) return;
+    transport->stop();
+    router->shutdown(/*drain=*/true);
+    stopped = true;
+  }
+
+  ~BackendHost() { kill(); }
+};
+
+shard::ShardProxyConfig fast_proxy_config() {
+  shard::ShardProxyConfig cfg;
+  cfg.connect_timeout = Micros(500'000);
+  cfg.call_timeout = Micros(5'000'000);
+  cfg.health_interval = Micros(50'000);
+  cfg.health_timeout = Micros(500'000);
+  cfg.suspect_after = 1;
+  cfg.down_after = 2;
+  cfg.recover_after = 2;
+  return cfg;
+}
+
+/// Raw single-connection server whose behavior is scripted by the test
+/// (stalls, trickles) — things a real TransportServer never does.
+struct StallServer {
+  int listen_fd = -1;
+  uint16_t port = 0;
+  std::thread thread;
+
+  explicit StallServer(std::function<void(int)> session) {
+    listen_fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(listen_fd, 0);
+    const int one = 1;
+    ::setsockopt(listen_fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = 0;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::bind(listen_fd, reinterpret_cast<sockaddr*>(&addr),
+                     sizeof(addr)),
+              0);
+    EXPECT_EQ(::listen(listen_fd, 4), 0);
+    sockaddr_in bound{};
+    socklen_t len = sizeof(bound);
+    ::getsockname(listen_fd, reinterpret_cast<sockaddr*>(&bound), &len);
+    port = ntohs(bound.sin_port);
+    thread = std::thread([this, session = std::move(session)] {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd >= 0) {
+        session(fd);
+        ::close(fd);
+      }
+    });
+  }
+
+  ~StallServer() {
+    ::close(listen_fd);
+    if (thread.joinable()) thread.join();
+  }
+};
+
+std::vector<uint8_t> ok_response_frame(uint64_t correlation,
+                                       size_t num_logits) {
+  net::WireResponse resp;
+  resp.correlation_id = correlation;
+  resp.response.status = RequestStatus::kOk;
+  resp.response.predicted = 1;
+  resp.response.logits.assign(num_logits, 0.5f);
+  std::vector<uint8_t> out;
+  net::encode_serve_response(resp, out);
+  return out;
+}
+
+void expect_bit_identical(const ServeResponse& local,
+                          const std::optional<ServeResponse>& remote,
+                          int* mismatches) {
+  if (!remote || remote->status != RequestStatus::kOk ||
+      local.status != RequestStatus::kOk ||
+      local.logits.size() != remote->logits.size() ||
+      local.predicted != remote->predicted) {
+    ++*mismatches;
+    return;
+  }
+  for (size_t i = 0; i < local.logits.size(); ++i)
+    if (local.logits[i] != remote->logits[i]) ++*mismatches;
+}
+
+// ---------------------------------------------------------------------------
+// Forwarding helpers: peek / rewrite without re-decoding token arrays
+// ---------------------------------------------------------------------------
+
+TEST(FrameForwarding, PeekReadsRoutingFieldsAndValidatesCounts) {
+  net::WireRequest req;
+  req.correlation_id = 0xFEEDFACEull;
+  req.deadline_budget_us = 1234;
+  req.model = "m1";
+  Rng rng(3);
+  req.example = synth_example(rng, 11, engines().config);
+  std::vector<uint8_t> frame;
+  net::encode_serve_request(req, frame);
+
+  uint64_t corr = 0;
+  std::string model;
+  ASSERT_TRUE(net::peek_serve_request(frame.data() + net::kHeaderSize,
+                                      frame.size() - net::kHeaderSize,
+                                      net::kProtocolVersion, &corr, &model));
+  EXPECT_EQ(corr, req.correlation_id);
+  EXPECT_EQ(model, "m1");
+
+  // A lying token count must fail the peek (offset 16 + 2 + 2 = 20 for
+  // a 2-byte model string: u64 + i64 + u16 len + "m1").
+  std::vector<uint8_t> lying = frame;
+  lying[net::kHeaderSize + 20] += 1;
+  EXPECT_FALSE(net::peek_serve_request(lying.data() + net::kHeaderSize,
+                                       lying.size() - net::kHeaderSize,
+                                       net::kProtocolVersion, &corr, &model));
+}
+
+TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
+  Rng rng(4);
+  net::WireRequest req;
+  req.correlation_id = 99;
+  req.deadline_budget_us = 777;
+  req.example = synth_example(rng, 9, engines().config);
+
+  for (const uint8_t version : {uint8_t{1}, uint8_t{2}}) {
+    std::vector<uint8_t> frame;
+    net::encode_serve_request(req, frame, version);
+    std::vector<uint8_t> rewritten;
+    ASSERT_TRUE(net::rewrite_serve_request_model(frame.data(), frame.size(),
+                                                 "routed", &rewritten));
+    net::FrameHeader hdr;
+    ASSERT_EQ(net::decode_header(rewritten.data(), rewritten.size(), &hdr),
+              net::DecodeStatus::kFrame);
+    EXPECT_EQ(hdr.version, 2);  // v1 inputs upgraded
+    net::WireRequest back;
+    ASSERT_TRUE(net::decode_serve_request(
+        rewritten.data() + net::kHeaderSize, hdr.payload_len, hdr.version,
+        &back));
+    EXPECT_EQ(back.model, "routed");
+    EXPECT_EQ(back.correlation_id, req.correlation_id);
+    EXPECT_EQ(back.deadline_budget_us, req.deadline_budget_us);
+    EXPECT_EQ(back.example.tokens, req.example.tokens);
+    EXPECT_EQ(back.example.segments, req.example.segments);
+  }
+
+  // Non-serve frames are refused.
+  std::vector<uint8_t> info;
+  net::encode_info_request("", info);
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(net::rewrite_serve_request_model(info.data(), info.size(),
+                                                "routed", &out));
+}
+
+// ---------------------------------------------------------------------------
+// ClientPool reuse rules
+// ---------------------------------------------------------------------------
+
+TEST(ClientPoolRules, ReusesAlignedConnectionsDiscardsBrokenOnes) {
+  BackendHost host({{"m0", engines().e0}});
+  net::ClientPoolConfig cfg;
+  cfg.capacity = 2;
+  cfg.recv_timeout = Micros(5'000'000);
+  net::ClientPool pool("127.0.0.1", host.port(), cfg);
+  Rng rng(9);
+  const Example ex = synth_example(rng, 8, engines().config);
+
+  {
+    net::ClientPool::Handle h = pool.checkout();
+    ASSERT_TRUE(bool(h));
+    const auto resp = h->call(ex, std::nullopt, "m0");
+    ASSERT_TRUE(resp.has_value()) << h->error();
+    EXPECT_EQ(resp->status, RequestStatus::kOk);
+  }  // aligned -> pooled
+  net::ClientPool::Stats s = pool.stats();
+  EXPECT_EQ(s.created, 1u);
+  EXPECT_EQ(s.pooled, 1u);
+  EXPECT_EQ(s.idle, 1u);
+
+  {
+    net::ClientPool::Handle h = pool.checkout();
+    ASSERT_TRUE(bool(h));
+    // An in-band admin failure consumes its whole frame: the stream is
+    // still aligned, so the connection stays reusable.
+    EXPECT_FALSE(h->query_stats("no-such-model").has_value());
+    EXPECT_EQ(h->error_kind(), net::ClientError::kNone);
+    EXPECT_TRUE(h->connected());
+  }
+  s = pool.stats();
+  EXPECT_EQ(s.reused, 1u);
+  EXPECT_EQ(s.pooled, 2u);
+  EXPECT_EQ(s.idle, 1u);
+
+  {
+    net::ClientPool::Handle h = pool.checkout();
+    ASSERT_TRUE(bool(h));
+    h->close();  // transport gone: must never be pooled again
+  }
+  s = pool.stats();
+  EXPECT_EQ(s.discarded, 1u);
+  EXPECT_EQ(s.idle, 0u);
+
+  // Returns beyond capacity are dropped, not hoarded.
+  {
+    net::ClientPool::Handle a = pool.checkout();
+    net::ClientPool::Handle b = pool.checkout();
+    net::ClientPool::Handle c = pool.checkout();
+    ASSERT_TRUE(bool(a) && bool(b) && bool(c));
+  }
+  s = pool.stats();
+  EXPECT_LE(s.idle, 2u);
+  EXPECT_GE(s.discarded, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Proxy end-to-end
+// ---------------------------------------------------------------------------
+
+TEST(ShardProxy, BitIdenticalToSingleRouterAcrossBackends) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"m1", fx.e1}});
+  BackendHost b({{"m1", fx.e1}, {"m2", fx.e2}});
+
+  // Reference: ONE router holding all three models in-process.
+  EngineRegistry ref_registry;
+  ref_registry.register_model("m0", fx.e0);
+  ref_registry.register_model("m1", fx.e1);
+  ref_registry.register_model("m2", fx.e2);
+  RouterConfig rcfg;
+  rcfg.num_workers = 1;
+  ModelRouter reference(ref_registry, rcfg);
+  ASSERT_TRUE(reference.add_model("m0"));
+  ASSERT_TRUE(reference.add_model("m1"));
+  ASSERT_TRUE(reference.add_model("m2"));
+  ASSERT_TRUE(reference.start());
+
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "m1"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m1", "m2"}));
+  ASSERT_TRUE(proxy.start());
+  EXPECT_EQ(proxy.default_model(), "m0");
+  EXPECT_EQ(proxy.model_names(),
+            (std::vector<std::string>{"m0", "m1", "m2"}));
+
+  constexpr int kClients = 2, kPerClient = 30;
+  const char* models[3] = {"m0", "m1", "m2"};
+  std::vector<int> mismatches(kClients, 0);
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      net::TransportClient client;
+      if (!client.connect("127.0.0.1", proxy.port())) {
+        mismatches[static_cast<size_t>(c)] = kPerClient;
+        return;
+      }
+      Rng rng(900 + c);
+      for (int i = 0; i < kPerClient; ++i) {
+        const std::string model = models[(c + i) % 3];
+        const Example ex =
+            synth_example(rng, 2 + rng.randint(0, 30), engines().config);
+        const auto remote = client.call(ex, std::nullopt, model);
+        const ServeResponse local = reference.submit(model, ex).get();
+        expect_bit_identical(local, remote,
+                             &mismatches[static_cast<size_t>(c)]);
+      }
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int c = 0; c < kClients; ++c) EXPECT_EQ(mismatches[c], 0);
+
+  const shard::ShardProxy::Counters counters = proxy.counters();
+  EXPECT_EQ(counters.served, kClients * kPerClient);
+  EXPECT_EQ(counters.exhausted, 0u);
+  EXPECT_EQ(counters.unknown_model, 0u);
+  EXPECT_EQ(counters.protocol_errors, 0u);
+
+  proxy.stop();
+  reference.shutdown(/*drain=*/true);
+}
+
+TEST(ShardProxy, FailoverOnBackendDeathZeroClientVisibleFailures) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"shared", fx.e1}});
+  BackendHost b({{"shared", fx.e1}});
+
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "shared"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"shared"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port())) << client.error();
+  Rng rng(17);
+  for (int i = 0; i < 40; ++i) {
+    if (i == 15) a.kill();  // primary replica dies mid-load
+    const Example ex = synth_example(rng, 8, fx.config);
+    const auto resp = client.call(ex, std::nullopt, "shared");
+    ASSERT_TRUE(resp.has_value()) << "request " << i << ": "
+                                  << client.error();
+    EXPECT_EQ(resp->status, RequestStatus::kOk) << "request " << i;
+  }
+  const shard::ShardProxy::Counters counters = proxy.counters();
+  EXPECT_EQ(counters.served, 40u);
+  EXPECT_EQ(counters.exhausted, 0u);
+  EXPECT_GE(counters.failovers, 1u);  // the death was absorbed, observed
+
+  // A model whose ONLY replica died still gets a terminal response —
+  // synthesized kEngineError — never a hang or a dropped connection.
+  const auto orphan =
+      client.call(synth_example(rng, 8, fx.config), std::nullopt, "m0");
+  ASSERT_TRUE(orphan.has_value()) << client.error();
+  EXPECT_EQ(orphan->status, RequestStatus::kEngineError);
+  EXPECT_GE(proxy.counters().exhausted, 1u);
+
+  // The dead backend's state machine reflects the failures.
+  const auto status = proxy.backend_status();
+  ASSERT_EQ(status.size(), 2u);
+  EXPECT_NE(status[0].state, shard::BackendState::kHealthy);
+  EXPECT_GE(status[0].forward_failures, 1u);
+  EXPECT_GE(status[1].forwarded, 1u);
+}
+
+TEST(ShardProxy, UnknownModelRejectedInBandConnectionStaysUsable) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(21);
+  const Example ex = synth_example(rng, 8, fx.config);
+  const auto bad = client.call(ex, std::nullopt, "nope");
+  ASSERT_TRUE(bad.has_value()) << client.error();
+  EXPECT_EQ(bad->status, RequestStatus::kRejectedUnknownModel);
+  EXPECT_EQ(proxy.counters().unknown_model, 1u);
+
+  const auto good = client.call(ex, std::nullopt, "m0");
+  ASSERT_TRUE(good.has_value()) << client.error();
+  EXPECT_EQ(good->status, RequestStatus::kOk);
+}
+
+TEST(ShardProxy, V1ClientServedOnDefaultModelBitIdentically) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}});
+  BackendHost b({{"m0", fx.e0}});  // replica
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient v1(/*protocol_version=*/1);
+  ASSERT_TRUE(v1.connect("127.0.0.1", proxy.port())) << v1.error();
+  const auto info = v1.query_info();
+  ASSERT_TRUE(info.has_value()) << v1.error();
+  EXPECT_EQ(info->hidden, fx.config.hidden);
+  EXPECT_EQ(info->max_seq_len, fx.config.max_seq_len);
+
+  Rng rng(33);
+  for (int i = 0; i < 5; ++i) {
+    const Example ex = synth_example(rng, 6 + i, fx.config);
+    const auto resp = v1.call(ex);
+    ASSERT_TRUE(resp.has_value()) << v1.error();
+    ASSERT_EQ(resp->status, RequestStatus::kOk);
+    const Tensor expect = fx.e0->forward(ex);
+    ASSERT_EQ(static_cast<size_t>(expect.numel()), resp->logits.size());
+    for (int64_t j = 0; j < expect.numel(); ++j)
+      EXPECT_EQ(expect[j], resp->logits[static_cast<size_t>(j)]);
+  }
+}
+
+TEST(ShardProxy, AdminFanOutListStatsAndRefusedLoad) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"m1", fx.e1}});
+  BackendHost b({{"m1", fx.e1}, {"m2", fx.e2}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "m1"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m1", "m2"}));
+  ASSERT_TRUE(proxy.start());
+
+  // Put traffic on m1 on BOTH backends directly, so the fan-out has
+  // something non-trivial to aggregate.
+  Rng rng(55);
+  for (const uint16_t port : {a.port(), b.port()}) {
+    net::TransportClient direct;
+    ASSERT_TRUE(direct.connect("127.0.0.1", port));
+    for (int i = 0; i < 3; ++i) {
+      const auto resp = direct.call(synth_example(rng, 8, fx.config),
+                                    std::nullopt, "m1");
+      ASSERT_TRUE(resp.has_value() && resp->status == RequestStatus::kOk);
+    }
+  }
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+
+  // LIST fans out and returns the union of backend model sets.
+  const auto list = client.list_models();
+  ASSERT_TRUE(list.has_value()) << client.error();
+  EXPECT_EQ(*list, (std::vector<std::string>{"m0", "m1", "m2"}));
+
+  // STATS fans out to m1's replicas and sums their counters.
+  const auto stats = client.query_stats("m1");
+  ASSERT_TRUE(stats.has_value()) << client.error();
+  const uint64_t truth_admitted = a.router->stats_report("m1")->admitted +
+                                  b.router->stats_report("m1")->admitted;
+  EXPECT_EQ(stats->model, "m1");
+  EXPECT_EQ(stats->report.admitted, truth_admitted);
+  EXPECT_EQ(stats->report.admitted, 6u);
+  EXPECT_TRUE(stats->report.accounting_balances());
+
+  // LOAD/UNLOAD are refused in-band; the connection stays usable.
+  std::string message;
+  EXPECT_FALSE(client.load_model("x", "/tmp/nope.bin", &message));
+  EXPECT_NE(message.find("not routed"), std::string::npos) << message;
+  EXPECT_EQ(client.error_kind(), net::ClientError::kNone);
+  EXPECT_FALSE(client.unload_model("m1", &message));
+  EXPECT_TRUE(client.connected());
+
+  // STATS for a name outside the placement table fails in-band.
+  EXPECT_FALSE(client.query_stats("zzz").has_value());
+  EXPECT_EQ(client.error_kind(), net::ClientError::kNone);
+  EXPECT_TRUE(client.list_models().has_value());  // still usable
+}
+
+TEST(ShardProxy, HealthStateMachineMarksDownAndRecovers) {
+  Engines& fx = engines();
+  auto host = std::make_unique<BackendHost>(
+      std::vector<NamedEngine>{{"m0", fx.e0}});
+  const uint16_t backend_port = host->port();
+
+  shard::ShardProxyConfig cfg = fast_proxy_config();
+  cfg.health_interval = Micros(3'600'000'000);  // driven manually below
+  cfg.health_timeout = Micros(300'000);
+  cfg.connect_timeout = Micros(300'000);
+  shard::ShardProxy proxy(cfg);
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", backend_port, {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  proxy.check_backends_now();
+  auto status = proxy.backend_status();
+  EXPECT_EQ(status[0].state, shard::BackendState::kHealthy);
+  EXPECT_GE(status[0].health_ok, 1u);
+
+  host->kill();
+  host.reset();
+  proxy.check_backends_now();  // failure 1 -> suspect (suspect_after=1)
+  EXPECT_EQ(proxy.backend_status()[0].state, shard::BackendState::kSuspect);
+  proxy.check_backends_now();  // failure 2 -> down (down_after=2)
+  EXPECT_EQ(proxy.backend_status()[0].state, shard::BackendState::kDown);
+
+  // While down, a serve request still gets a terminal response (the
+  // down backend is tried as a last resort, fails, synthesized error).
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(61);
+  const auto down_resp =
+      client.call(synth_example(rng, 8, fx.config), std::nullopt, "m0");
+  ASSERT_TRUE(down_resp.has_value()) << client.error();
+  EXPECT_EQ(down_resp->status, RequestStatus::kEngineError);
+
+  // Backend returns on the SAME port: recover_after successes flip it
+  // back to healthy and count a recovery.
+  host = std::make_unique<BackendHost>(
+      std::vector<NamedEngine>{{"m0", fx.e0}}, backend_port);
+  ASSERT_EQ(host->port(), backend_port);
+  proxy.check_backends_now();
+  proxy.check_backends_now();
+  status = proxy.backend_status();
+  EXPECT_EQ(status[0].state, shard::BackendState::kHealthy);
+  EXPECT_GE(status[0].recoveries, 1u);
+  EXPECT_GE(proxy.counters().health_transitions, 3u);
+
+  const auto resp =
+      client.call(synth_example(rng, 8, fx.config), std::nullopt, "m0");
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kOk);
+
+  proxy.stop();
+}
+
+TEST(ShardProxy, StaleParkedConnectionsNeverFailRequestsOrHealth) {
+  Engines& fx = engines();
+  auto host = std::make_unique<BackendHost>(
+      std::vector<NamedEngine>{{"m0", fx.e0}});
+  const uint16_t backend_port = host->port();
+
+  shard::ShardProxyConfig cfg = fast_proxy_config();
+  cfg.health_interval = Micros(3'600'000'000);  // no background repair
+  shard::ShardProxy proxy(cfg);
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", backend_port, {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(71);
+  const Example ex = synth_example(rng, 8, fx.config);
+  const auto warm = client.call(ex, std::nullopt, "m0");
+  ASSERT_TRUE(warm.has_value() && warm->status == RequestStatus::kOk);
+
+  // Restart the backend on the same port: the connection parked in the
+  // proxy's pool is now dead, but that says nothing about the backend.
+  host->kill();
+  host = std::make_unique<BackendHost>(
+      std::vector<NamedEngine>{{"m0", fx.e0}}, backend_port);
+  ASSERT_EQ(host->port(), backend_port);
+
+  // The stale lease must be discarded and retried on a fresh dial —
+  // no synthesized failure, no forward_failures, no health downgrade.
+  const auto resp = client.call(ex, std::nullopt, "m0");
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kOk);
+  EXPECT_EQ(proxy.counters().exhausted, 0u);
+  EXPECT_EQ(proxy.counters().failovers, 0u);
+  const auto status = proxy.backend_status();
+  EXPECT_EQ(status[0].forward_failures, 0u);
+  EXPECT_EQ(status[0].state, shard::BackendState::kHealthy);
+}
+
+TEST(ShardProxy, LoadgenDrivesTheProxyUnchanged) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"m1", fx.e1}});
+  BackendHost b({{"m1", fx.e1}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "m1"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m1"}));
+  ASSERT_TRUE(proxy.start());
+
+  LoadgenConfig lcfg;
+  lcfg.num_clients = 3;
+  lcfg.requests_per_client = 30;
+  const std::vector<RemoteModelTarget> targets = {{"m0", fx.config},
+                                                  {"m1", fx.config}};
+  const LoadgenReport lg =
+      run_loadgen_remote("127.0.0.1", proxy.port(), targets, lcfg);
+  EXPECT_EQ(lg.sent, 90u);
+  EXPECT_EQ(lg.ok, 90u);
+  EXPECT_EQ(lg.failed, 0u);
+  EXPECT_EQ(lg.rejected, 0u);
+}
+
+TEST(ShardProxy, RejectsBadPlacementDeclarations) {
+  shard::ShardProxy proxy;
+  std::string error;
+  EXPECT_TRUE(proxy.add_backend("127.0.0.1", 19001, {"m0"}, &error));
+  EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19001, {"m1"}, &error));
+  EXPECT_NE(error.find("twice"), std::string::npos);
+  EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19002, {}, &error));
+  EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19003, {"a", "a"}, &error));
+  EXPECT_NE(error.find("repeated"), std::string::npos);
+  EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19004, {""}, &error));
+}
+
+// ---------------------------------------------------------------------------
+// TransportClient recv-timeout regression (satellite bugfix): a timeout
+// mid-frame condemns the connection, and a trickling peer cannot
+// stretch the budget.
+// ---------------------------------------------------------------------------
+
+TEST(TransportTimeoutRegression, MidFrameTimeoutCondemnsTheConnection) {
+  std::atomic<bool> release{false};
+  StallServer server([&](int fd) {
+    uint8_t buf[4096];
+    (void)!::recv(fd, buf, sizeof(buf), 0);  // the request frame
+    const std::vector<uint8_t> frame = ok_response_frame(1, 4);
+    // Header plus all but the last 4 payload bytes, then stall.
+    (void)!::send(fd, frame.data(), frame.size() - 4, MSG_NOSIGNAL);
+    while (!release)
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    // The bytes a desynchronized client would misread as a fresh
+    // stream: the stalled frame's tail plus a complete second frame.
+    (void)!::send(fd, frame.data() + frame.size() - 4, 4, MSG_NOSIGNAL);
+    const std::vector<uint8_t> second = ok_response_frame(2, 4);
+    (void)!::send(fd, second.data(), second.size(), MSG_NOSIGNAL);
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  });
+
+  net::TransportClient client;
+  client.set_timeouts(Micros(1'000'000), Micros(200'000));
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port)) << client.error();
+  Rng rng(5);
+  const Example ex = synth_example(rng, 8, engines().config);
+  const auto resp = client.call(ex);
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_EQ(client.error_kind(), net::ClientError::kTimedOut);
+  // The half-read stream is condemned: closed, never reused.
+  EXPECT_FALSE(client.connected());
+
+  release = true;
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // A second call must refuse up front — NOT read the stale tail bytes
+  // as a fresh header (which a reused socket would have produced).
+  const auto resp2 = client.call(ex);
+  EXPECT_FALSE(resp2.has_value());
+  EXPECT_EQ(client.error_kind(), net::ClientError::kIo);
+  EXPECT_EQ(client.error(), "not connected");
+}
+
+TEST(TransportTimeoutRegression, TricklingPeerCannotStretchTheFrameBudget) {
+  std::atomic<bool> stop{false};
+  StallServer server([&](int fd) {
+    uint8_t buf[4096];
+    (void)!::recv(fd, buf, sizeof(buf), 0);
+    // ~300 bytes delivered one per 20 ms: a per-recv() timeout would
+    // reset every byte and hold the call for ~6 s; the whole-frame
+    // budget must cut it off at ~250 ms.
+    const std::vector<uint8_t> frame = ok_response_frame(1, 64);
+    for (size_t i = 0; i < frame.size() && !stop; ++i) {
+      if (::send(fd, frame.data() + i, 1, MSG_NOSIGNAL) != 1) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    }
+  });
+
+  net::TransportClient client;
+  client.set_timeouts(Micros(1'000'000), Micros(250'000));
+  ASSERT_TRUE(client.connect("127.0.0.1", server.port)) << client.error();
+  Rng rng(6);
+  const auto t0 = std::chrono::steady_clock::now();
+  const auto resp = client.call(synth_example(rng, 8, engines().config));
+  const double elapsed_s =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  stop = true;
+  EXPECT_FALSE(resp.has_value());
+  EXPECT_EQ(client.error_kind(), net::ClientError::kTimedOut);
+  EXPECT_FALSE(client.connected());
+  EXPECT_LT(elapsed_s, 1.5) << "per-recv timeout reset by the trickle";
+}
+
+}  // namespace
+}  // namespace fqbert::serve

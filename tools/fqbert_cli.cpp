@@ -16,6 +16,10 @@
 //   fqbert_cli loadgen  serve options, plus
 //                       [--connect HOST:PORT]
 //                       [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]
+//   fqbert_cli proxy    --listen PORT [--bind ADDR]
+//                       --backend HOST:PORT=model[,model...] ...
+//                       [--pool N] [--health-interval-ms I]
+//                       [--health-timeout-ms T] [--call-timeout-ms C]
 //
 // `train` produces a float checkpoint; `quantize` runs QAT fine-tuning,
 // calibration and conversion, then saves the deployable integer engine;
@@ -25,7 +29,10 @@
 // server — under a closed-loop synthetic client by default, or as a
 // network service on --listen (stop with Ctrl-C); `loadgen` sweeps
 // batch/worker configurations over the closed-loop client, or drives a
-// remote `serve --listen` instance over the wire with --connect.
+// remote `serve --listen` instance over the wire with --connect;
+// `proxy` runs the shard-aware routing proxy in front of N backend
+// `serve --listen` hosts (explicit placement table, health checks,
+// failover — clients connect to it exactly as to a single server).
 //
 // Option parsing is strict: unknown options, stray positionals, and
 // malformed or out-of-range numeric values are all one-line errors with
@@ -35,6 +42,7 @@
 #include <cstdio>
 #include <cstring>
 #include <map>
+#include <set>
 #include <string>
 #include <thread>
 
@@ -46,6 +54,7 @@
 #include "serve/net/transport_server.h"
 #include "serve/router/model_router.h"
 #include "serve/server.h"
+#include "serve/shard/shard_proxy.h"
 
 using namespace fqbert;
 using namespace fqbert::pipeline;
@@ -55,7 +64,7 @@ namespace {
 int usage() {
   std::fprintf(stderr,
                "usage: fqbert_cli <train|quantize|eval|info|estimate|serve|"
-               "loadgen|admin> [options]\n"
+               "loadgen|admin|proxy> [options]\n"
                "  train    --task sst2|mnli --out model.bin [--fast]\n"
                "  quantize --task sst2|mnli --model model.bin --out fq.bin\n"
                "           [--bits N] [--no-clip] [--no-softmax-quant]\n"
@@ -75,7 +84,11 @@ int usage() {
                "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n"
                "  admin    --connect HOST:PORT [--timeout-ms T]\n"
                "           [--load NAME=FILE ...] [--unload NAME ...]\n"
-               "           [--list] [--stats NAME ...]\n");
+               "           [--list] [--stats NAME ...]\n"
+               "  proxy    --listen PORT [--bind ADDR]\n"
+               "           --backend HOST:PORT=model[,model...] ...\n"
+               "           [--pool N] [--health-interval-ms I]\n"
+               "           [--health-timeout-ms T] [--call-timeout-ms C]\n");
   return 2;
 }
 
@@ -169,6 +182,15 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"unload", true},
         {"list", false},
         {"stats", true}}},
+      {"proxy",
+       {{"listen", true},
+        {"bind", true},
+        {"backend", true},
+        {"pool", true},
+        {"health-interval-ms", true},
+        {"health-timeout-ms", true},
+        {"call-timeout-ms", true},
+        {"connect-timeout-ms", true}}},
   };
   return specs;
 }
@@ -359,15 +381,15 @@ void parse_name_value(const std::string& option, const std::string& token,
   *value = token.substr(eq + 1);
 }
 
-/// Split `HOST:PORT` for --connect.
+/// Split `HOST:PORT` (--connect, and the address half of --backend).
 void parse_host_port(const std::string& target, std::string* host,
-                     uint16_t* port) {
+                     uint16_t* port, const std::string& option = "connect") {
   const size_t colon = target.rfind(':');
   if (colon == std::string::npos || colon == 0 || colon + 1 >= target.size())
-    parse_fail("--connect: expected HOST:PORT, got '" + target + "'");
+    parse_fail("--" + option + ": expected HOST:PORT, got '" + target + "'");
   *host = target.substr(0, colon);
   *port = static_cast<uint16_t>(
-      parse_int("connect", target.substr(colon + 1), 1, 65535));
+      parse_int(option, target.substr(colon + 1), 1, 65535));
 }
 
 /// Per-lane accounting table for the shutdown report: one row per
@@ -412,9 +434,22 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
     // --fast only shapes --task demo training; with --model files it
     // would be silently ignored.
     reject_options(a, "--model", {"fast"});
+    // Parse (and validate) ALL specs before loading the first engine:
+    // a duplicated NAME is an argv error ("last one wins" would
+    // silently serve a different engine than half the command line
+    // says), and it must not cost an engine load first.
+    std::vector<std::pair<std::string, std::string>> models;
+    std::set<std::string> model_names;
     for (const std::string& spec : model_specs) {
       std::string name, path;
       parse_name_value("model", spec, &name, &path);
+      if (!model_names.insert(name).second)
+        parse_fail("--model: model '" + name +
+                   "' given more than once (each NAME maps to exactly one "
+                   "FILE)");
+      models.emplace_back(std::move(name), std::move(path));
+    }
+    for (const auto& [name, path] : models) {
       std::string error;
       if (!router.load_model(name, path, &error)) {
         std::fprintf(stderr, "%s\n", error.c_str());
@@ -664,6 +699,112 @@ int cmd_admin(const Args& a) {
   return all_ok ? 0 : 1;
 }
 
+/// `proxy`: run the shard-aware routing proxy in front of N backend
+/// `serve --listen` hosts until SIGINT / SIGTERM, then print the
+/// forwarding counters and the final backend health table.
+int cmd_proxy(const Args& a) {
+  const std::vector<std::string>& backend_specs = a.values("backend");
+  if (backend_specs.empty())
+    parse_fail("proxy: at least one --backend HOST:PORT=model[,model...] "
+               "is required");
+  // A proxy on a random ephemeral port is unreachable by the clients
+  // it exists for; usage declares --listen PORT required, so enforce it.
+  if (!a.flag("listen"))
+    parse_fail("proxy: --listen PORT is required");
+
+  serve::shard::ShardProxyConfig cfg;
+  cfg.bind_address = a.get("bind", "127.0.0.1");
+  // Minimum 1: --listen 0 would bind a random ephemeral port, which is
+  // exactly the unreachable-proxy mistake requiring --listen prevents.
+  cfg.port = static_cast<uint16_t>(int_opt(a, "listen", 0, 1, 65535));
+  cfg.pool_capacity =
+      static_cast<size_t>(int_opt(a, "pool", 4, 1, 1024));
+  cfg.health_interval = serve::Micros(
+      int_opt(a, "health-interval-ms", 500, 1, 3600LL * 1000) * 1000);
+  cfg.health_timeout = serve::Micros(
+      int_opt(a, "health-timeout-ms", 1000, 1, 3600LL * 1000) * 1000);
+  cfg.call_timeout = serve::Micros(
+      int_opt(a, "call-timeout-ms", 30000, 1, 3600LL * 1000) * 1000);
+  cfg.connect_timeout = serve::Micros(
+      int_opt(a, "connect-timeout-ms", 2000, 1, 3600LL * 1000) * 1000);
+
+  serve::shard::ShardProxy proxy(cfg);
+  std::set<std::string> seen_addresses;
+  for (const std::string& spec : backend_specs) {
+    std::string address, model_csv;
+    parse_name_value("backend", spec, &address, &model_csv);
+    if (!seen_addresses.insert(address).second)
+      parse_fail("--backend: backend '" + address + "' given more than once");
+    std::string host;
+    uint16_t port = 0;
+    parse_host_port(address, &host, &port, "backend");
+    // Comma-split model list; empty elements and duplicates within one
+    // backend are argv errors, not silently-dropped entries.
+    std::vector<std::string> models;
+    size_t pos = 0;
+    while (pos <= model_csv.size()) {
+      size_t comma = model_csv.find(',', pos);
+      if (comma == std::string::npos) comma = model_csv.size();
+      if (comma == pos)
+        parse_fail("--backend: empty model name in '" + spec + "'");
+      models.push_back(model_csv.substr(pos, comma - pos));
+      pos = comma + 1;
+    }
+    std::string error;
+    if (!proxy.add_backend(host, port, models, &error))
+      parse_fail("--backend: " + error);
+  }
+  if (!proxy.start()) {
+    std::fprintf(stderr, "proxy failed to start\n");
+    return 1;
+  }
+
+  std::printf("shard proxy on %s:%u — %zu backend(s), default model '%s', "
+              "health every %lld ms; Ctrl-C to stop\n",
+              cfg.bind_address.c_str(), proxy.port(), backend_specs.size(),
+              proxy.default_model().c_str(),
+              static_cast<long long>(cfg.health_interval.count() / 1000));
+  for (const auto& b : proxy.backend_status()) {
+    std::string models;
+    for (const std::string& m : b.models)
+      models += (models.empty() ? "" : ", ") + m;
+    std::printf("  backend %-22s [%s]\n", b.address.c_str(), models.c_str());
+  }
+  std::fflush(stdout);
+
+  std::signal(SIGINT, handle_stop_signal);
+  std::signal(SIGTERM, handle_stop_signal);
+  while (!g_stop_requested)
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  std::printf("\nshutting down...\n");
+  proxy.stop();
+  const serve::shard::ShardProxy::Counters c = proxy.counters();
+  std::printf("proxy   : %llu connections, %llu served (%llu failovers, "
+              "%llu exhausted, %llu unknown model), %llu admin frames, "
+              "%llu protocol errors, %llu health transitions\n",
+              static_cast<unsigned long long>(c.accepted),
+              static_cast<unsigned long long>(c.served),
+              static_cast<unsigned long long>(c.failovers),
+              static_cast<unsigned long long>(c.exhausted),
+              static_cast<unsigned long long>(c.unknown_model),
+              static_cast<unsigned long long>(c.admin_frames),
+              static_cast<unsigned long long>(c.protocol_errors),
+              static_cast<unsigned long long>(c.health_transitions));
+  std::printf("%-22s %-8s %10s %10s %10s %10s %6s\n", "backend", "state",
+              "forwarded", "fwd-fail", "health-ok", "health-bad", "recov");
+  for (const auto& b : proxy.backend_status())
+    std::printf("%-22s %-8s %10llu %10llu %10llu %10llu %6llu\n",
+                b.address.c_str(),
+                serve::shard::backend_state_name(b.state),
+                static_cast<unsigned long long>(b.forwarded),
+                static_cast<unsigned long long>(b.forward_failures),
+                static_cast<unsigned long long>(b.health_ok),
+                static_cast<unsigned long long>(b.health_failed),
+                static_cast<unsigned long long>(b.recoveries));
+  return 0;
+}
+
 int cmd_loadgen(const Args& a) {
   if (a.flag("connect")) return run_remote_loadgen(a);
   // The traffic mix routes by model name over the wire only.
@@ -832,6 +973,7 @@ int main(int argc, char** argv) {
     if (a.command == "serve") return cmd_serve(a);
     if (a.command == "loadgen") return cmd_loadgen(a);
     if (a.command == "admin") return cmd_admin(a);
+    if (a.command == "proxy") return cmd_proxy(a);
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
     return 1;
