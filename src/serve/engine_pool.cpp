@@ -27,6 +27,7 @@ void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
 
   std::vector<Tensor> logits;
   bool failed = false;
+  const TimePoint start = Clock::now();
   try {
     logits = engine.forward_batch(examples);
   } catch (const std::exception&) {
@@ -35,17 +36,26 @@ void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
 
   const TimePoint done = Clock::now();
   stats.record_batch(batch.size());
+  const auto rel_us = [](TimePoint t, TimePoint base) {
+    return std::chrono::duration_cast<Micros>(t - base).count();
+  };
   for (size_t i = 0; i < batch.size(); ++i) {
     ServeRequest& req = batch[i];
     ServeResponse resp;
     resp.request_id = req.id;
     resp.batch_size = static_cast<int32_t>(batch.size());
-    resp.queue_us = std::chrono::duration_cast<Micros>(
-                        formed - req.enqueue_time)
-                        .count();
-    resp.latency_us = std::chrono::duration_cast<Micros>(
-                          done - req.enqueue_time)
-                          .count();
+    resp.queue_us = rel_us(formed, req.enqueue_time);
+    resp.latency_us = rel_us(done, req.enqueue_time);
+    if (req.trace_id != 0) {
+      resp.trace_id = req.trace_id;
+      resp.admitted_at = req.enqueue_time;
+      resp.trace = {
+          {TraceStage::kAdmitted, 0},
+          {TraceStage::kBatchFormed, rel_us(formed, req.enqueue_time)},
+          {TraceStage::kWorkerStart, rel_us(start, req.enqueue_time)},
+          {TraceStage::kWorkerEnd, rel_us(done, req.enqueue_time)},
+      };
+    }
     if (failed) {
       resp.status = RequestStatus::kEngineError;
       stats.record_failure();

@@ -1,6 +1,7 @@
 #include "serve/loadgen.h"
 
 #include <algorithm>
+#include <iterator>
 #include <thread>
 
 #include "serve/net/transport_client.h"
@@ -12,10 +13,15 @@ namespace {
 /// Per-client tallies, merged into the shared report once per thread.
 struct ClientTally {
   uint64_t sent = 0, ok = 0, rejected = 0, timed_out = 0, failed = 0;
+  QuantileSketch latency_us;
+  std::vector<TraceSample> traces;
 
-  void count(RequestStatus status) {
+  void count(RequestStatus status, int64_t wall_us) {
     switch (status) {
-      case RequestStatus::kOk: ++ok; break;
+      case RequestStatus::kOk:
+        ++ok;
+        latency_us.record(wall_us);
+        break;
       case RequestStatus::kRejectedQueueFull:
       case RequestStatus::kRejectedDeadline:
       case RequestStatus::kRejectedInvalid:
@@ -26,15 +32,23 @@ struct ClientTally {
     }
   }
 
-  void merge_into(LoadgenReport& report, std::mutex& mu) const {
+  void merge_into(LoadgenReport& report, std::mutex& mu) {
     std::lock_guard<std::mutex> lock(mu);
     report.sent += sent;
     report.ok += ok;
     report.rejected += rejected;
     report.timed_out += timed_out;
     report.failed += failed;
+    report.latency_us.merge(latency_us);
+    report.traces.insert(report.traces.end(),
+                         std::make_move_iterator(traces.begin()),
+                         std::make_move_iterator(traces.end()));
   }
 };
+
+int64_t us_since(TimePoint t0) {
+  return std::chrono::duration_cast<Micros>(Clock::now() - t0).count();
+}
 
 int64_t pick_len(Rng& rng, const LoadgenConfig& cfg,
                  const nn::BertConfig& engine_config) {
@@ -82,9 +96,11 @@ LoadgenReport run_loadgen(InferenceServer& server,
         nn::Example ex =
             synth_example(rng, pick_len(rng, cfg, engine_config),
                           engine_config);
+        const TimePoint sent_at = Clock::now();
         auto fut = server.submit(std::move(ex), cfg.deadline_budget);
         ++tally.sent;
-        tally.count(fut.get().status);  // closed loop
+        const RequestStatus status = fut.get().status;  // closed loop
+        tally.count(status, us_since(sent_at));
       }
       tally.merge_into(report, report_mu);
     });
@@ -132,15 +148,24 @@ LoadgenReport run_loadgen_remote(
         const nn::Example ex =
             synth_example(rng, pick_len(rng, cfg, target.config),
                           target.config);
+        // Every trace_every-th request per client carries a minted
+        // trace id; its response comes back with per-stage timestamps.
+        const bool traced =
+            cfg.trace_every > 0 && i % cfg.trace_every == 0;
+        const uint64_t trace_id = traced ? mint_trace_id() : 0;
+        const TimePoint sent_at = Clock::now();
         const std::optional<ServeResponse> resp =
-            client.call(ex, cfg.deadline_budget, target.name);
+            client.call(ex, cfg.deadline_budget, target.name, trace_id);
         if (!resp) {
           // Transport failure; the client closed itself and the next
           // iteration reconnects.
           ++tally.failed;
           continue;
         }
-        tally.count(resp->status);
+        const int64_t wall = us_since(sent_at);
+        tally.count(resp->status, wall);
+        if (traced && resp->trace_id != 0 && !resp->trace.empty())
+          tally.traces.push_back({resp->trace_id, wall, resp->trace});
       }
       tally.merge_into(report, report_mu);
     });

@@ -5,7 +5,9 @@
 // bench_serve_throughput.
 #pragma once
 
+#include "serve/quantile_sketch.h"
 #include "serve/server.h"
+#include "serve/trace.h"
 #include "tensor/rng.h"
 
 namespace fqbert::serve {
@@ -18,6 +20,21 @@ struct LoadgenConfig {
   std::vector<int64_t> seq_len_mix{12, 16, 24};
   std::optional<Micros> deadline_budget;
   uint64_t seed = 1;
+  /// Remote runs: trace every Nth request per client (a minted trace id
+  /// rides the v3 frame; the response's per-stage timestamps land in
+  /// LoadgenReport::traces). 0 disables sampling.
+  int trace_every = 0;
+};
+
+/// One sampled end-to-end trace: the id, the client-observed wall
+/// latency, and every stage the serving path stamped (admission /
+/// batch / worker on a direct connection; plus the proxy hop's
+/// received / forward / retry / response stages when routed through
+/// one — a failover is visible as a kProxyRetry between forwards).
+struct TraceSample {
+  uint64_t trace_id = 0;
+  int64_t wall_us = 0;
+  std::vector<TraceEvent> stages;
 };
 
 struct LoadgenReport {
@@ -27,10 +44,17 @@ struct LoadgenReport {
   uint64_t timed_out = 0;  // admitted but expired in queue
   uint64_t failed = 0;     // shutdown / engine error
   double wall_s = 0.0;
+  /// Client-observed latency of every kOk response, in the same
+  /// mergeable sketch the server uses — so the client can print an
+  /// exact-to-relative-error p99.9 no matter how long the run was.
+  QuantileSketch latency_us;
+  /// Sampled traces (trace_every > 0, remote runs only).
+  std::vector<TraceSample> traces;
 
   double throughput_rps() const {
     return wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;
   }
+  double latency_ms(double q) const { return latency_us.quantile_ms(q); }
 };
 
 /// Random token sequence shaped like the engine's inputs (token 0

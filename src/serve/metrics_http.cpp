@@ -1,0 +1,181 @@
+#include "serve/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+namespace fqbert::serve {
+
+namespace {
+
+/// Poll tick for the accept loop: how quickly stop() is observed.
+constexpr int kLoopTickMs = 100;
+
+/// Whole-request read budget. A scraper sends its GET in one segment;
+/// anything that takes longer is not a scraper.
+constexpr int kRequestTimeoutMs = 2000;
+
+/// Request size cap: a metrics GET fits in a fraction of this, and the
+/// endpoint must not buffer an unbounded request body.
+constexpr size_t kMaxRequestBytes = 8 * 1024;
+
+bool send_all(int fd, const std::string& bytes) {
+  size_t sent = 0;
+  while (sent < bytes.size()) {
+    const ssize_t n =
+        ::send(fd, bytes.data() + sent, bytes.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+std::string http_response(const char* status_line, const char* content_type,
+                          const std::string& body) {
+  std::string out;
+  out.reserve(body.size() + 128);
+  out += "HTTP/1.1 ";
+  out += status_line;
+  out += "\r\nContent-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: ";
+  out += std::to_string(body.size());
+  out += "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+}  // namespace
+
+MetricsHttpServer::MetricsHttpServer(Renderer renderer)
+    : renderer_(std::move(renderer)) {}
+
+MetricsHttpServer::~MetricsHttpServer() { stop(); }
+
+bool MetricsHttpServer::start(const std::string& bind_address,
+                              uint16_t port) {
+  if (running_) return true;
+  listen_fd_ = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    std::perror("metrics: socket");
+    return false;
+  }
+  const int one = 1;
+  ::setsockopt(listen_fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, bind_address.c_str(), &addr.sin_addr) != 1) {
+    std::fprintf(stderr, "metrics: bad bind address %s\n",
+                 bind_address.c_str());
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+          0 ||
+      ::listen(listen_fd_, 16) != 0) {
+    std::perror("metrics: bind/listen");
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return false;
+  }
+  sockaddr_in bound{};
+  socklen_t bound_len = sizeof(bound);
+  ::getsockname(listen_fd_, reinterpret_cast<sockaddr*>(&bound), &bound_len);
+  port_ = ntohs(bound.sin_port);
+
+  stopping_ = false;
+  running_ = true;
+  thread_ = std::thread([this] { serve_loop(); });
+  return true;
+}
+
+void MetricsHttpServer::stop() {
+  if (!running_) return;
+  stopping_ = true;
+  if (thread_.joinable()) thread_.join();
+  ::close(listen_fd_);
+  listen_fd_ = -1;
+  running_ = false;
+}
+
+void MetricsHttpServer::serve_loop() {
+  while (!stopping_) {
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kLoopTickMs);
+    if (ready <= 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    handle_connection(fd);
+    ::close(fd);
+  }
+}
+
+void MetricsHttpServer::handle_connection(int fd) {
+  // Read until the end of the request head (blank line), a bound, or
+  // the deadline. The body, if a client sends one, is ignored: the
+  // response is written and the connection closed regardless.
+  std::string req;
+  char buf[2048];
+  while (req.find("\r\n\r\n") == std::string::npos &&
+         req.find("\n\n") == std::string::npos) {
+    if (req.size() >= kMaxRequestBytes || stopping_) return;
+    pollfd pfd{fd, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, kRequestTimeoutMs);
+    if (ready <= 0) return;
+    const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
+    if (n == 0) break;
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return;
+    }
+    req.append(buf, static_cast<size_t>(n));
+  }
+
+  // Request line: METHOD SP PATH SP VERSION. Anything shorter than a
+  // full line is a hangup mid-request: no answer owed.
+  const size_t eol = req.find_first_of("\r\n");
+  if (eol == std::string::npos) return;
+  const std::string line = req.substr(0, eol);
+  const size_t sp1 = line.find(' ');
+  const size_t sp2 = sp1 == std::string::npos ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+  if (sp1 == std::string::npos || sp2 == std::string::npos) {
+    send_all(fd, http_response("400 Bad Request", "text/plain",
+                               "bad request\n"));
+    return;
+  }
+  const std::string method = line.substr(0, sp1);
+  std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
+  const size_t query = path.find('?');
+  if (query != std::string::npos) path.resize(query);
+
+  if (method != "GET") {
+    send_all(fd, http_response("405 Method Not Allowed", "text/plain",
+                               "only GET is served here\n"));
+    return;
+  }
+  if (path != "/metrics") {
+    send_all(fd, http_response("404 Not Found", "text/plain",
+                               "try /metrics\n"));
+    return;
+  }
+  send_all(fd, http_response("200 OK", "text/plain; version=0.0.4",
+                             renderer_ ? renderer_() : std::string()));
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,67 @@
+// MetricsHttpServer: a dependency-free HTTP responder for the
+// Prometheus text exposition endpoint. It speaks exactly enough
+// HTTP/1.1 for a scraper: parse one GET request line, answer
+// `/metrics` with `text/plain; version=0.0.4` (the render callback is
+// invoked fresh per scrape), 404 anything else, 405 non-GET methods,
+// close. No keep-alive, no chunking, no headers beyond the three a
+// scraper needs — observability must not drag an HTTP library into a
+// serving binary.
+//
+//   MetricsHttpServer metrics([&] { return render_router_metrics(r); });
+//   metrics.start("127.0.0.1", 9900);          // 0 = ephemeral port
+//   ... curl http://127.0.0.1:9900/metrics ...
+//   metrics.stop();
+//
+// Scrapes are handled sequentially on the listener thread: a scrape is
+// rare (seconds apart) and cheap, so connection concurrency would buy
+// nothing and cost thread management. A slow-loris client cannot wedge
+// the endpoint: request reads are bounded by a short deadline and a
+// small size cap, after which the connection is dropped.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <thread>
+
+namespace fqbert::serve {
+
+class MetricsHttpServer {
+ public:
+  /// Called once per successful scrape; returns the full exposition
+  /// body. Must be safe to call from the listener thread.
+  using Renderer = std::function<std::string()>;
+
+  explicit MetricsHttpServer(Renderer renderer);
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind + listen + spawn the listener thread. Port 0 binds an
+  /// ephemeral port (see port()). False with a message on stderr when
+  /// the socket cannot be bound.
+  bool start(const std::string& bind_address, uint16_t port);
+
+  /// Close the listener and join the thread. Safe to call twice.
+  void stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_; }
+
+ private:
+  void serve_loop();
+  /// Read one request (bounded), answer it, close. Never throws; a
+  /// malformed or slow client just loses its connection.
+  void handle_connection(int fd);
+
+  Renderer renderer_;
+  int listen_fd_ = -1;
+  std::atomic<uint16_t> port_{0};
+  std::atomic<bool> running_{false};
+  std::atomic<bool> stopping_{false};
+  std::thread thread_;
+};
+
+}  // namespace fqbert::serve

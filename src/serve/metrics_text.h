@@ -1,0 +1,50 @@
+// Prometheus text-exposition renderers: turn a ModelRouter's or a
+// ShardProxy's instantaneous state into the plain-text format every
+// scraper understands (`text/plain; version=0.0.4`). Pure functions —
+// the HTTP plumbing lives in metrics_http.h, so the renderers can be
+// unit-tested by string inspection without a socket in sight.
+//
+// Metric families (all prefixed `fqbert_`):
+//   serve (per model label):
+//     fqbert_requests_total{model,outcome}   counter, outcome one of
+//         admitted|completed|failed|timed_out|rejected_full|
+//         rejected_deadline|rejected_invalid|rejected_closed
+//     fqbert_batches_total{model}            counter
+//     fqbert_batch_occupancy{model}          gauge (mean requests/batch)
+//     fqbert_queue_depth{model}              gauge (queued + batching)
+//     fqbert_queue_ms_mean{model}            gauge
+//     fqbert_latency_ms{model,quantile}      summary (.5/.95/.99/.999)
+//     fqbert_latency_ms_count{model}         lifetime sample count
+//     fqbert_latency_max_ms{model}           gauge (exact)
+//     fqbert_unknown_model_rejections_total  counter
+//     fqbert_uptime_seconds / fqbert_workers gauges
+//   proxy:
+//     fqbert_proxy_*_total                   the ShardProxy counters
+//     fqbert_backend_state{backend,state}    one-hot gauge
+//     fqbert_backend_health_checks_total{backend,result}
+//     fqbert_backend_forwards_total{backend,result}
+//     fqbert_backend_recoveries_total{backend}
+//     plus the same fqbert_requests_total / fqbert_latency_ms families
+//     as serve, aggregated fleet-wide via exact sketch merges.
+#pragma once
+
+#include <string>
+
+namespace fqbert::serve {
+
+class ModelRouter;
+
+namespace shard {
+class ShardProxy;
+}
+
+/// Exposition body for one serving process (per-lane counters,
+/// quantiles, queue depths, batch occupancy).
+std::string render_router_metrics(const ModelRouter& router);
+
+/// Exposition body for a shard proxy: proxy counters, per-backend
+/// health, and fleet-wide per-model stats (blocking STATS fan-out to
+/// the backends — scrape-path cost, not data-path).
+std::string render_proxy_metrics(shard::ShardProxy& proxy);
+
+}  // namespace fqbert::serve

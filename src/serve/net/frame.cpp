@@ -217,6 +217,7 @@ bool decode_serve_request(const uint8_t* payload, size_t len,
   Cursor c{payload, len};
   out->correlation_id = c.take_u64();
   out->deadline_budget_us = c.take_i64();
+  out->trace_id = version >= 3 ? c.take_u64() : 0;
   out->model.clear();
   if (version >= 2 && !c.take_str(&out->model, kMaxNameLen)) return false;
   const uint32_t num_tokens = c.take_u32();
@@ -238,8 +239,31 @@ bool decode_serve_request(const uint8_t* payload, size_t len,
   return c.done();
 }
 
+namespace {
+
+/// The v3 trailing trace section: u64 trace_id, u8 num_stages,
+/// num_stages x (u8 stage, i64 t_us). Strict on stage codes.
+bool take_trace_section(Cursor& c, uint64_t* trace_id,
+                        std::vector<TraceEvent>* stages) {
+  *trace_id = c.take_u64();
+  const uint8_t num_stages = c.take_u8();
+  if (!c.ok || num_stages > kMaxTraceStages) return false;
+  if (c.len - c.pos < static_cast<size_t>(num_stages) * 9) return false;
+  stages->clear();
+  stages->reserve(num_stages);
+  for (uint8_t i = 0; i < num_stages; ++i) {
+    const uint8_t stage = c.take_u8();
+    const int64_t t_us = c.take_i64();
+    if (stage > kLastTraceStage) return false;
+    stages->push_back({static_cast<TraceStage>(stage), t_us});
+  }
+  return c.ok;
+}
+
+}  // namespace
+
 bool decode_serve_response(const uint8_t* payload, size_t len,
-                           WireResponse* out) {
+                           uint8_t version, WireResponse* out) {
   Cursor c{payload, len};
   out->correlation_id = c.take_u64();
   const uint8_t status = c.take_u8();
@@ -251,10 +275,21 @@ bool decode_serve_response(const uint8_t* payload, size_t len,
   out->response.batch_size = c.take_i32();
   const uint32_t num_logits = c.take_u32();
   if (!c.ok || num_logits > kMaxLogits) return false;
-  if (len - c.pos != static_cast<size_t>(num_logits) * 4) return false;
+  const size_t logits_bytes = static_cast<size_t>(num_logits) * 4;
+  if (version >= 3) {
+    // Logits plus at least the fixed trace prefix (u64 + u8).
+    if (len - c.pos < logits_bytes + 9) return false;
+  } else {
+    if (len - c.pos != logits_bytes) return false;
+  }
   out->response.logits.resize(num_logits);
   for (uint32_t i = 0; i < num_logits; ++i)
     out->response.logits[i] = c.take_f32();
+  out->response.trace_id = 0;
+  out->response.trace.clear();
+  if (version >= 3 &&
+      !take_trace_section(c, &out->response.trace_id, &out->response.trace))
+    return false;
   return c.done();
 }
 
@@ -306,7 +341,7 @@ bool decode_model_list(const uint8_t* payload, size_t len,
 }
 
 bool decode_stats_response(const uint8_t* payload, size_t len,
-                           WireStats* out) {
+                           uint8_t version, WireStats* out) {
   Cursor c{payload, len};
   if (!c.take_str(&out->model, kMaxNameLen)) return false;
   ServeStats::Report& r = out->report;
@@ -326,14 +361,38 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
   r.p95_ms = c.take_f64();
   r.p99_ms = c.take_f64();
   r.max_ms = c.take_f64();
+  r.p999_ms = 0.0;
+  r.latency_sketch = QuantileSketch();
+  if (version >= 3) {
+    r.p999_ms = c.take_f64();
+    const double alpha = c.take_f64();
+    const uint64_t zero_count = c.take_u64();
+    const int64_t max_us = c.take_i64();
+    const uint32_t num_buckets = c.take_u32();
+    if (!c.ok || num_buckets > kMaxSketchBuckets) return false;
+    if (!(alpha > 0.0 && alpha < 1.0)) return false;  // NaN rejects too
+    if (len - c.pos != static_cast<size_t>(num_buckets) * 12) return false;
+    std::vector<std::pair<int32_t, uint64_t>> buckets;
+    buckets.reserve(num_buckets);
+    for (uint32_t i = 0; i < num_buckets; ++i) {
+      const int32_t index = c.take_i32();
+      const uint64_t cnt = c.take_u64();
+      buckets.emplace_back(index, cnt);
+    }
+    if (!c.ok) return false;
+    r.latency_sketch =
+        QuantileSketch::from_parts(alpha, zero_count, max_us, buckets);
+  }
   return c.done();
 }
 
 bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
-                        uint64_t* correlation_id, std::string* model) {
+                        uint64_t* correlation_id, uint64_t* trace_id,
+                        std::string* model) {
   Cursor c{payload, len};
   *correlation_id = c.take_u64();
   (void)c.take_i64();  // deadline budget: forwarded, not interpreted
+  *trace_id = version >= 3 ? c.take_u64() : 0;
   model->clear();
   if (version >= 2 && !c.take_str(model, kMaxNameLen)) return false;
   const uint32_t num_tokens = c.take_u32();
@@ -357,8 +416,42 @@ bool peek_serve_response(const uint8_t* payload, size_t len,
   return true;
 }
 
+bool split_serve_response_trace(const uint8_t* payload, size_t len,
+                                size_t* trace_start, uint64_t* trace_id,
+                                std::vector<TraceEvent>* stages) {
+  Cursor c{payload, len};
+  (void)c.take_u64();  // correlation
+  const uint8_t status = c.take_u8();
+  if (!c.ok || status > static_cast<uint8_t>(kLastRequestStatus))
+    return false;
+  (void)c.take_i32();  // predicted
+  (void)c.take_i64();  // queue_us
+  (void)c.take_i64();  // latency_us
+  (void)c.take_i32();  // batch_size
+  const uint32_t num_logits = c.take_u32();
+  if (!c.ok || num_logits > kMaxLogits) return false;
+  const size_t logits_bytes = static_cast<size_t>(num_logits) * 4;
+  if (len - c.pos < logits_bytes + 9) return false;
+  c.pos += logits_bytes;  // skip, don't materialize
+  *trace_start = c.pos;
+  if (!take_trace_section(c, trace_id, stages)) return false;
+  return c.done();
+}
+
+void encode_trace_section(uint64_t trace_id,
+                          const std::vector<TraceEvent>& stages,
+                          std::vector<uint8_t>& out) {
+  const size_t n = std::min<size_t>(stages.size(), kMaxTraceStages);
+  put_u64(out, trace_id);
+  put_u8(out, static_cast<uint8_t>(n));
+  for (size_t i = 0; i < n; ++i) {
+    put_u8(out, static_cast<uint8_t>(stages[i].stage));
+    put_i64(out, stages[i].t_us);
+  }
+}
+
 bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
-                                 const std::string& model,
+                                 const std::string& model, uint64_t trace_id,
                                  std::vector<uint8_t>* out) {
   FrameHeader hdr;
   if (decode_header(frame, frame_len, &hdr) != DecodeStatus::kFrame ||
@@ -370,6 +463,7 @@ bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
   Cursor c{payload, hdr.payload_len};
   (void)c.take_u64();
   (void)c.take_i64();
+  const uint64_t old_trace = hdr.version >= 3 ? c.take_u64() : 0;
   std::string old_model;
   if (hdr.version >= 2 && !c.take_str(&old_model, kMaxNameLen)) return false;
   if (!c.ok) return false;
@@ -377,8 +471,9 @@ bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
   // there on (counts + arrays) is carried over byte-for-byte.
   out->clear();
   const size_t start = out->size();
-  begin_frame(*out, FrameType::kServeRequest, /*version=*/2);
+  begin_frame(*out, FrameType::kServeRequest, /*version=*/3);
   out->insert(out->end(), payload, payload + 16);  // correlation + deadline
+  put_u64(*out, old_trace != 0 ? old_trace : trace_id);
   put_str(*out, model, kMaxNameLen);
   out->insert(out->end(), payload + c.pos, payload + hdr.payload_len);
   end_frame(*out, start);
@@ -416,6 +511,7 @@ void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out,
   begin_frame(out, FrameType::kServeRequest, version);
   put_u64(out, req.correlation_id);
   put_i64(out, req.deadline_budget_us);
+  if (version >= 3) put_u64(out, req.trace_id);
   if (version >= 2) put_str(out, req.model, kMaxNameLen);
   put_u32(out, static_cast<uint32_t>(req.example.tokens.size()));
   put_u32(out, static_cast<uint32_t>(req.example.segments.size()));
@@ -436,6 +532,8 @@ void encode_serve_response(const WireResponse& resp,
   put_i32(out, resp.response.batch_size);
   put_u32(out, static_cast<uint32_t>(resp.response.logits.size()));
   for (const float v : resp.response.logits) put_f32(out, v);
+  if (version >= 3)
+    encode_trace_section(resp.response.trace_id, resp.response.trace, out);
   end_frame(out, start);
 }
 
@@ -456,16 +554,16 @@ void encode_unload_model(const std::string& name,
   end_frame(out, start);
 }
 
-void encode_list_models(std::vector<uint8_t>& out) {
+void encode_list_models(std::vector<uint8_t>& out, uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kListModels);
+  begin_frame(out, FrameType::kListModels, std::max<uint8_t>(version, 2));
   end_frame(out, start);
 }
 
 void encode_stats_request(const std::string& name,
-                          std::vector<uint8_t>& out) {
+                          std::vector<uint8_t>& out, uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kStatsRequest);
+  begin_frame(out, FrameType::kStatsRequest, std::max<uint8_t>(version, 2));
   put_str(out, name, kMaxNameLen);
   end_frame(out, start);
 }
@@ -492,10 +590,10 @@ void encode_model_list(const std::vector<std::string>& names,
   end_frame(out, start);
 }
 
-void encode_stats_response(const WireStats& stats,
-                           std::vector<uint8_t>& out) {
+void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
+                           uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kStatsResponse);
+  begin_frame(out, FrameType::kStatsResponse, version);
   put_str(out, stats.model, kMaxNameLen);
   const ServeStats::Report& r = stats.report;
   put_u64(out, r.admitted);
@@ -514,6 +612,22 @@ void encode_stats_response(const WireStats& stats,
   put_f64(out, r.p95_ms);
   put_f64(out, r.p99_ms);
   put_f64(out, r.max_ms);
+  if (version >= 3) {
+    put_f64(out, r.p999_ms);
+    const QuantileSketch& s = r.latency_sketch;
+    put_f64(out, s.alpha());
+    put_u64(out, s.zero_count());
+    put_i64(out, s.max_us());
+    const size_t count =
+        std::min<size_t>(s.buckets().size(), kMaxSketchBuckets);
+    put_u32(out, static_cast<uint32_t>(count));
+    size_t written = 0;
+    for (const auto& [index, cnt] : s.buckets()) {
+      if (written++ == count) break;
+      put_i32(out, index);
+      put_u64(out, cnt);
+    }
+  }
   end_frame(out, start);
 }
 

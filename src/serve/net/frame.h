@@ -9,7 +9,7 @@
 //
 //   offset  size  field
 //   0       4     magic       0x46514254 ("FQBT", LE)
-//   4       1     version     1 or 2 (kProtocolVersion = 2)
+//   4       1     version     1, 2 or 3 (kProtocolVersion = 3)
 //   5       1     type        FrameType
 //   6       2     reserved    must be 0
 //   8       4     payload_len bytes following the header (<= kMaxPayload)
@@ -19,10 +19,20 @@
 //   * serve/info frames carry a model-name string (empty = the server's
 //     default model), so one endpoint serves many engines;
 //   * control-plane frames (types 5..11) hot-load/unload engines and
-//     query the per-model lanes. Control frames exist only in v2 — a v1
+//     query the per-model lanes. Control frames exist only in v2+ — a v1
 //     header declaring them is a protocol error.
-// Version-1 frames remain fully served (routed to the default model),
-// so old clients keep working against a v2 server.
+// Version 3 (observability) adds request tracing and exact-mergeable
+// stats:
+//   * serve requests carry a u64 trace id (0 = unset; the first
+//     v3-speaking hop mints one);
+//   * serve responses carry a trailing trace section (trace id + per-
+//     stage timestamps) AFTER the logits, so a relaying proxy can strip
+//     or splice it without re-encoding the logits;
+//   * stats responses append p99.9 and the full latency sketch (alpha,
+//     zero count, exact max, log-buckets), making fan-out aggregation
+//     exact instead of sample-weighted.
+// Version-1/2 frames remain fully served, so old clients keep working
+// against a v3 server.
 //
 // Strings on the wire are u16 length + raw bytes (no terminator), with
 // per-field caps (kMaxNameLen / kMaxPathLen / kMaxMessageLen).
@@ -38,7 +48,8 @@
 //                                    the same 8 x i64
 //   kServeRequest  (client->server)  u64 correlation_id,
 //                                    i64 deadline_budget_us (0 = none),
-//                                    [v2 only: str model],
+//                                    [v3+: u64 trace_id (0 = unset)],
+//                                    [v2+: str model],
 //                                    u32 num_tokens (<= kMaxTokens),
 //                                    u32 num_segments (<= kMaxTokens),
 //                                    i32 tokens[num_tokens],
@@ -51,7 +62,12 @@
 //                                    i32 predicted, i64 queue_us,
 //                                    i64 latency_us, i32 batch_size,
 //                                    u32 num_logits (<= kMaxLogits),
-//                                    f32 logits[num_logits]
+//                                    f32 logits[num_logits],
+//                                    [v3+ trailing trace section:
+//                                    u64 trace_id, u8 num_stages
+//                                    (<= kMaxTraceStages), num_stages x
+//                                    (u8 stage <= kLastTraceStage,
+//                                    i64 t_us)]
 //   kLoadModel     (client->server)  str name, str path      [v2]
 //   kUnloadModel   (client->server)  str name                [v2]
 //   kListModels    (client->server)  empty                   [v2]
@@ -65,7 +81,12 @@
 //                                    timed_out, completed, failed,
 //                                    batches, latency_samples), 6 x f64
 //                                    (mean_batch_occupancy, mean_queue_ms,
-//                                    p50_ms, p95_ms, p99_ms, max_ms) [v2]
+//                                    p50_ms, p95_ms, p99_ms, max_ms) [v2+]
+//                                    [v3+: f64 p999_ms, then the latency
+//                                    sketch: f64 alpha (in (0,1)),
+//                                    u64 zero_count, i64 max_us,
+//                                    u32 num_buckets (<= kMaxSketchBuckets),
+//                                    num_buckets x (i32 index, u64 count)]
 #pragma once
 
 #include <cstdint>
@@ -76,11 +97,12 @@
 #include "nn/bert.h"
 #include "serve/request_queue.h"
 #include "serve/stats.h"
+#include "serve/trace.h"
 
 namespace fqbert::serve::net {
 
 inline constexpr uint32_t kFrameMagic = 0x46514254u;  // "FQBT"
-inline constexpr uint8_t kProtocolVersion = 2;
+inline constexpr uint8_t kProtocolVersion = 3;
 inline constexpr uint8_t kMinProtocolVersion = 1;
 inline constexpr size_t kHeaderSize = 12;
 /// Hard cap on any payload; a header declaring more is a protocol error
@@ -96,6 +118,12 @@ inline constexpr uint32_t kMaxNameLen = 256;
 inline constexpr uint32_t kMaxPathLen = 4096;
 inline constexpr uint32_t kMaxMessageLen = 4096;
 inline constexpr uint32_t kMaxModelCount = 1024;
+/// Trace stages per response. A request crosses a handful of stages per
+/// hop; even a proxy retrying across many replicas stays far below this.
+inline constexpr uint32_t kMaxTraceStages = 64;
+/// Sketch buckets per stats response. With the default 1% relative
+/// error the full int64 microsecond range spans ~2200 buckets.
+inline constexpr uint32_t kMaxSketchBuckets = 4096;
 
 enum class FrameType : uint8_t {
   kInfoRequest = 1,
@@ -132,10 +160,12 @@ struct WireInfo {
 
 /// One inference request on the wire. `correlation_id` is chosen by the
 /// client and echoed verbatim in the response; `model` routes it
-/// (empty = default model; always empty on v1 frames).
+/// (empty = default model; always empty on v1 frames). `trace_id` is 0
+/// on v1/v2 frames and on v3 frames whose sender declined to trace.
 struct WireRequest {
   uint64_t correlation_id = 0;
   int64_t deadline_budget_us = 0;  // 0 = no deadline
+  uint64_t trace_id = 0;           // 0 = unset (v3+)
   std::string model;
   nn::Example example;
 };
@@ -174,7 +204,7 @@ bool decode_info_response(const uint8_t* payload, size_t len,
 bool decode_serve_request(const uint8_t* payload, size_t len,
                           uint8_t version, WireRequest* out);
 bool decode_serve_response(const uint8_t* payload, size_t len,
-                           WireResponse* out);
+                           uint8_t version, WireResponse* out);
 bool decode_load_model(const uint8_t* payload, size_t len, std::string* name,
                        std::string* path);
 bool decode_unload_model(const uint8_t* payload, size_t len,
@@ -186,7 +216,7 @@ bool decode_admin_response(const uint8_t* payload, size_t len, bool* ok,
 bool decode_model_list(const uint8_t* payload, size_t len,
                        std::vector<std::string>* names);
 bool decode_stats_response(const uint8_t* payload, size_t len,
-                           WireStats* out);
+                           uint8_t version, WireStats* out);
 
 // ---------------------------------------------------------------------------
 // Shallow forwarding helpers (shard proxy). A routing proxy needs the
@@ -197,24 +227,43 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
 // verbatim to a backend whose decoder runs the full strict decode.
 // ---------------------------------------------------------------------------
 
-/// Read correlation id + model name off a serve-request payload and
-/// check (without decoding them) that the declared token/segment arrays
-/// account for exactly the remaining bytes. False on any violation.
+/// Read correlation id, trace id and model name off a serve-request
+/// payload and check (without decoding them) that the declared
+/// token/segment arrays account for exactly the remaining bytes.
+/// `trace_id` reads 0 for v1/v2 frames. False on any violation.
 bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
-                        uint64_t* correlation_id, std::string* model);
+                        uint64_t* correlation_id, uint64_t* trace_id,
+                        std::string* model);
 
 /// Read correlation id + status off a serve-response payload (the
 /// fields a proxy needs for failover decisions), leaving logits alone.
 bool peek_serve_response(const uint8_t* payload, size_t len,
                          uint64_t* correlation_id, RequestStatus* status);
 
+/// Locate and decode the trailing trace section of a v3 serve-response
+/// payload: `trace_start` gets the payload offset where the section
+/// begins (so a relay can truncate there for a v1/v2 client or splice a
+/// rebuilt section for a v3 one). Strictly validated like the full
+/// decoder. False when the payload is not a well-formed v3 response.
+bool split_serve_response_trace(const uint8_t* payload, size_t len,
+                                size_t* trace_start, uint64_t* trace_id,
+                                std::vector<TraceEvent>* stages);
+
+/// Append a serve-response trace section (u64 trace_id, u8 num_stages,
+/// stages) to `out`, truncating at kMaxTraceStages.
+void encode_trace_section(uint64_t trace_id,
+                          const std::vector<TraceEvent>& stages,
+                          std::vector<uint8_t>& out);
+
 /// Rebuild a complete serve-request frame with its model field replaced
 /// by `model`, preserving the token/segment bytes untouched (they are
-/// memcpy'd, not re-decoded). Version-1 input frames are upgraded to
-/// version 2 (the only way to carry a model name). False when the input
-/// is not a well-formed serve-request frame. `out` is overwritten.
+/// memcpy'd, not re-decoded). Input frames of any supported version are
+/// emitted as version 3; the input's trace id is preserved when nonzero,
+/// otherwise `trace_id` is stamped (pass mint_trace_id() to start a
+/// trace at the rewriting hop). False when the input is not a
+/// well-formed serve-request frame. `out` is overwritten.
 bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
-                                 const std::string& model,
+                                 const std::string& model, uint64_t trace_id,
                                  std::vector<uint8_t>* out);
 
 /// Append just a 12-byte header for `hdr` (a proxy re-emitting a
@@ -238,12 +287,19 @@ void encode_serve_response(const WireResponse& resp,
 void encode_load_model(const std::string& name, const std::string& path,
                        std::vector<uint8_t>& out);
 void encode_unload_model(const std::string& name, std::vector<uint8_t>& out);
-void encode_list_models(std::vector<uint8_t>& out);
-void encode_stats_request(const std::string& name, std::vector<uint8_t>& out);
+/// v2+ control frames. `version` lets a pinned-v2 client ask in its own
+/// dialect (the server answers in the request's version, so asking in
+/// v3 would bounce a sketch suffix off a v2 decoder); values below 2
+/// are clamped up to 2.
+void encode_list_models(std::vector<uint8_t>& out,
+                        uint8_t version = kProtocolVersion);
+void encode_stats_request(const std::string& name, std::vector<uint8_t>& out,
+                          uint8_t version = kProtocolVersion);
 void encode_admin_response(bool ok, const std::string& message,
                            std::vector<uint8_t>& out);
 void encode_model_list(const std::vector<std::string>& names,
                        std::vector<uint8_t>& out);
-void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out);
+void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
+                           uint8_t version = kProtocolVersion);
 
 }  // namespace fqbert::serve::net

@@ -319,13 +319,14 @@ std::optional<nn::BertConfig> TransportClient::query_info(
 
 std::optional<ServeResponse> TransportClient::call(
     const nn::Example& example, std::optional<Micros> deadline_budget,
-    const std::string& model) {
+    const std::string& model, uint64_t trace_id) {
   if (!require_connected(/*needs_v2=*/!model.empty())) return std::nullopt;
   if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
   WireRequest req;
   req.correlation_id = next_correlation_++;
   req.deadline_budget_us = deadline_budget ? deadline_budget->count() : 0;
+  req.trace_id = version_ >= 3 ? trace_id : 0;
   req.model = model;
   req.example = example;
   std::vector<uint8_t> frame;
@@ -336,7 +337,8 @@ std::optional<ServeResponse> TransportClient::call(
   if (!recv_expected(FrameType::kServeResponse, payload))
     return std::nullopt;
   WireResponse wire;
-  if (!decode_serve_response(payload.data(), payload.size(), &wire)) {
+  if (!decode_serve_response(payload.data(), payload.size(), version_,
+                             &wire)) {
     fail(ClientError::kProtocol, "malformed response payload from server");
     return std::nullopt;
   }
@@ -373,7 +375,7 @@ bool TransportClient::unload_model(const std::string& name,
 std::optional<std::vector<std::string>> TransportClient::list_models() {
   if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
   std::vector<uint8_t> frame;
-  encode_list_models(frame);
+  encode_list_models(frame, version_);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
   if (!recv_expected(FrameType::kModelList, payload)) return std::nullopt;
@@ -391,14 +393,15 @@ std::optional<WireStats> TransportClient::query_stats(
   if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
   std::vector<uint8_t> frame;
-  encode_stats_request(model, frame);
+  encode_stats_request(model, frame, version_);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
   std::string admin_failure;
   if (!recv_expected(FrameType::kStatsResponse, payload, &admin_failure))
     return std::nullopt;
   WireStats stats;
-  if (!decode_stats_response(payload.data(), payload.size(), &stats)) {
+  if (!decode_stats_response(payload.data(), payload.size(), version_,
+                             &stats)) {
     fail(ClientError::kProtocol, "malformed stats payload from server");
     return std::nullopt;
   }

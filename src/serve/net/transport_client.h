@@ -87,11 +87,14 @@ class TransportClient {
   /// nullopt on *transport* failure (send/recv error, timeout, protocol
   /// violation, correlation mismatch — the connection is closed);
   /// serving-level failures come back as a ServeResponse with a non-kOk
-  /// status (including kRejectedUnknownModel).
+  /// status (including kRejectedUnknownModel). A nonzero `trace_id`
+  /// (mint_trace_id()) requests end-to-end tracing on a v3 connection:
+  /// the response's `trace` then carries per-stage timestamps. Ignored
+  /// on a version-pinned v1/v2 client (no wire field to carry it).
   std::optional<ServeResponse> call(
       const nn::Example& example,
       std::optional<Micros> deadline_budget = std::nullopt,
-      const std::string& model = "");
+      const std::string& model = "", uint64_t trace_id = 0);
 
   // -------------------------------------------------------------------
   // Control plane (protocol v2). Each returns false / nullopt on

@@ -179,6 +179,14 @@ void TransportServer::completion_loop() {
       if (w.version < 2 &&
           wire.response.status == RequestStatus::kRejectedUnknownModel)
         wire.response.status = RequestStatus::kRejectedInvalid;
+      // Traced requests get a final admission-relative stamp here, the
+      // moment the response is handed to the transport.
+      if (!wire.response.trace.empty())
+        wire.response.trace.push_back(
+            {TraceStage::kResponded,
+             std::chrono::duration_cast<Micros>(Clock::now() -
+                                                wire.response.admitted_at)
+                 .count()});
       encode_serve_response(wire, done.bytes, w.version);
     }
     {
@@ -387,7 +395,8 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
         w.conn_id = conn_id;
         w.correlation_id = req.correlation_id;
         w.version = hdr.version;
-        w.fut = router_.submit(req.model, std::move(req.example), budget);
+        w.fut = router_.submit(req.model, std::move(req.example), budget,
+                               /*admit=*/nullptr, req.trace_id);
         push_waiter(std::move(w));
         break;
       }
@@ -455,7 +464,7 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
           WireStats stats;
           stats.model = name.empty() ? router_.default_model() : name;
           stats.report = *report;
-          encode_stats_response(stats, conn.out);
+          encode_stats_response(stats, conn.out, hdr.version);
         } else {
           encode_admin_response(
               false, "no model named '" + name + "' is being served",

@@ -1,0 +1,94 @@
+#include "serve/quantile_sketch.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace fqbert::serve {
+
+QuantileSketch::QuantileSketch(double alpha)
+    : alpha_(alpha > 0.0 && alpha < 1.0 ? alpha : kDefaultAlpha) {
+  log_gamma_ = std::log((1.0 + alpha_) / (1.0 - alpha_));
+}
+
+QuantileSketch QuantileSketch::from_parts(
+    double alpha, uint64_t zero_count, int64_t max_us,
+    const std::vector<std::pair<int32_t, uint64_t>>& buckets) {
+  QuantileSketch s(alpha);
+  s.zero_count_ = zero_count;
+  s.count_ = zero_count;
+  s.max_us_ = max_us;
+  for (const auto& [index, cnt] : buckets) {
+    if (cnt == 0) continue;
+    s.buckets_[index] += cnt;
+    s.count_ += cnt;
+  }
+  return s;
+}
+
+int32_t QuantileSketch::bucket_index(int64_t value_us) const {
+  // value_us >= 1 here (non-positive goes to the zero bucket).
+  return static_cast<int32_t>(
+      std::ceil(std::log(static_cast<double>(value_us)) / log_gamma_));
+}
+
+int64_t QuantileSketch::bucket_value(int32_t index) const {
+  // Geometric midpoint of (gamma^(i-1), gamma^i].
+  const double v =
+      std::exp((static_cast<double>(index) - 0.5) * log_gamma_);
+  return static_cast<int64_t>(std::llround(v));
+}
+
+void QuantileSketch::record(int64_t value_us) {
+  ++count_;
+  max_us_ = std::max(max_us_, value_us);
+  if (value_us <= 0) {
+    ++zero_count_;
+    return;
+  }
+  ++buckets_[bucket_index(value_us)];
+}
+
+void QuantileSketch::merge(const QuantileSketch& other) {
+  if (other.count_ == 0) return;
+  max_us_ = std::max(max_us_, other.max_us_);
+  if (alpha_ == other.alpha_) {
+    zero_count_ += other.zero_count_;
+    count_ += other.count_;
+    for (const auto& [index, cnt] : other.buckets_) buckets_[index] += cnt;
+    return;
+  }
+  // Mismatched alphas: re-bucket the other sketch's representative
+  // values. Counts stay exact; the exact-merge guarantee does not.
+  zero_count_ += other.zero_count_;
+  count_ += other.zero_count_;
+  for (const auto& [index, cnt] : other.buckets_) {
+    buckets_[bucket_index(other.bucket_value(index))] += cnt;
+    count_ += cnt;
+  }
+}
+
+int64_t QuantileSketch::quantile_us(double q) const {
+  if (count_ == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  if (q >= 1.0) return max_us_;
+  // Rank of the target sample among count_ values (0-based), zero
+  // bucket first, then log buckets in increasing index order.
+  const uint64_t rank = static_cast<uint64_t>(
+      q * static_cast<double>(count_ - 1));
+  if (rank < zero_count_) return 0;
+  uint64_t seen = zero_count_;
+  for (const auto& [index, cnt] : buckets_) {
+    seen += cnt;
+    if (rank < seen) return std::min(bucket_value(index), max_us_);
+  }
+  return max_us_;
+}
+
+void QuantileSketch::clear() {
+  zero_count_ = 0;
+  count_ = 0;
+  max_us_ = 0;
+  buckets_.clear();
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,88 @@
+// Mergeable quantile sketch (DDSketch-style) for fleet-wide latency
+// percentiles. Values are mapped into logarithmic buckets whose
+// boundaries are powers of gamma = (1+alpha)/(1-alpha); the bucket for
+// a value v > 0 is ceil(log(v)/log(gamma)), which guarantees any value
+// reported back from a bucket is within relative error alpha of the
+// true value. Because bucketing is a pure function of (value, alpha),
+// merging two sketches (summing bucket counts) is bit-for-bit identical
+// to building one sketch over the pooled samples — the property the
+// proxy's STATS fan-out needs for exact shard-wide quantiles.
+//
+// Memory is O(number of distinct buckets): with alpha = 0.01 a latency
+// range of 1us..100s spans ~930 buckets, so a sketch costs a few KB
+// regardless of how many samples it has absorbed. Non-positive values
+// (latency clock glitches) are counted in a dedicated zero bucket.
+//
+// Not thread-safe; ServeStats guards its sketch with the collector
+// mutex.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace fqbert::serve {
+
+class QuantileSketch {
+ public:
+  static constexpr double kDefaultAlpha = 0.01;  // 1% relative error
+
+  explicit QuantileSketch(double alpha = kDefaultAlpha);
+
+  /// Rebuild a sketch from its serialized parts (the wire STATS path).
+  /// Bucket indices out of order or duplicated are tolerated (counts
+  /// merge), so a hostile peer can waste memory only up to the decoder's
+  /// bucket-count cap, never corrupt quantiles structurally.
+  static QuantileSketch from_parts(double alpha, uint64_t zero_count,
+                                   int64_t max_us,
+                                   const std::vector<std::pair<int32_t, uint64_t>>& buckets);
+
+  void record(int64_t value_us);
+
+  /// Sum bucket counts. Requires matching alpha (same bucketing
+  /// function); mismatched-alpha merges fall back to re-recording the
+  /// other sketch's bucket midpoints, preserving counts but not the
+  /// exact-merge guarantee. All in-tree sketches share kDefaultAlpha.
+  void merge(const QuantileSketch& other);
+
+  /// Total recorded values (including the zero bucket).
+  uint64_t count() const { return count_; }
+
+  /// Quantile in microseconds, q in [0, 1]. Returns 0 for an empty
+  /// sketch. q == 1 returns the exact tracked max.
+  int64_t quantile_us(double q) const;
+
+  double quantile_ms(double q) const {
+    return static_cast<double>(quantile_us(q)) / 1000.0;
+  }
+
+  double alpha() const { return alpha_; }
+  uint64_t zero_count() const { return zero_count_; }
+  int64_t max_us() const { return max_us_; }
+  const std::map<int32_t, uint64_t>& buckets() const { return buckets_; }
+
+  void clear();
+
+  bool operator==(const QuantileSketch& other) const {
+    return alpha_ == other.alpha_ && zero_count_ == other.zero_count_ &&
+           max_us_ == other.max_us_ && count_ == other.count_ &&
+           buckets_ == other.buckets_;
+  }
+
+ private:
+  int32_t bucket_index(int64_t value_us) const;
+  /// Representative value for a bucket: the geometric midpoint
+  /// gamma^(i - 1/2), which is within alpha of every value the bucket
+  /// can hold.
+  int64_t bucket_value(int32_t index) const;
+
+  double alpha_;
+  double log_gamma_;  // log((1+alpha)/(1-alpha)), cached
+  uint64_t zero_count_ = 0;
+  uint64_t count_ = 0;
+  int64_t max_us_ = 0;  // exact max, not bucket-rounded
+  std::map<int32_t, uint64_t> buckets_;
+};
+
+}  // namespace fqbert::serve

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "nn/bert.h"
+#include "serve/trace.h"
 
 namespace fqbert::serve {
 
@@ -47,10 +48,17 @@ struct ServeResponse {
   int64_t queue_us = 0;    // admission -> batch formation
   int64_t latency_us = 0;  // admission -> response
   int32_t batch_size = 0;  // occupancy of the batch this request rode in
+  uint64_t trace_id = 0;   // 0 = request was not traced
+  // Per-stage timestamps (us, relative to admission) when traced.
+  std::vector<TraceEvent> trace;
+  // Admission instant, so a later hop (the transport completion path)
+  // can stamp admission-relative stages. Process-local; never wired.
+  TimePoint admitted_at{};
 };
 
 struct ServeRequest {
   uint64_t id = 0;
+  uint64_t trace_id = 0;  // 0 = untraced; carried into the response
   nn::Example example;
   TimePoint enqueue_time{};
   std::optional<TimePoint> deadline;  // absolute wall deadline

@@ -168,9 +168,11 @@ bool ModelRouter::unload_model(const std::string& name, std::string* error) {
 
 std::future<ServeResponse> ModelRouter::submit(
     const std::string& model, nn::Example example,
-    std::optional<Micros> deadline_budget, AdmitResult* admit) {
+    std::optional<Micros> deadline_budget, AdmitResult* admit,
+    uint64_t trace_id) {
   ServeRequest req;
   req.id = next_id_.fetch_add(1);
+  req.trace_id = trace_id;
   req.example = std::move(example);
   req.enqueue_time = Clock::now();
   if (deadline_budget) req.deadline = req.enqueue_time + *deadline_budget;
@@ -195,6 +197,7 @@ std::future<ServeResponse> ModelRouter::submit(
 
   ServeResponse resp;
   resp.request_id = req.id;
+  resp.trace_id = trace_id;
   switch (result) {
     case AdmitResult::kOk:
       lane->stats.record_admitted();
@@ -332,6 +335,17 @@ ModelRouter::all_stats() const {
   out.reserve(lanes.size());
   for (const auto& lane : lanes)
     out.emplace_back(lane->name, lane->stats.report());
+  return out;
+}
+
+std::vector<std::pair<std::string, size_t>> ModelRouter::queue_depths()
+    const {
+  std::vector<std::shared_ptr<Lane>> lanes = snapshot_lanes();
+  std::vector<std::pair<std::string, size_t>> out;
+  out.reserve(lanes.size());
+  for (const auto& lane : lanes)
+    out.emplace_back(lane->name,
+                     lane->queue.size() + lane->batcher.pending());
   return out;
 }
 

@@ -89,12 +89,15 @@ class ModelRouter {
   /// Route one request to `model` ("" = default model). The returned
   /// future always completes; rejections (unknown model, queue full,
   /// dead deadline, malformed example, closed lane) resolve immediately
-  /// with the corresponding status.
+  /// with the corresponding status. A nonzero `trace_id` marks the
+  /// request traced: its response carries per-stage timestamps
+  /// (admission, batch formation, worker start/end) under that id.
   std::future<ServeResponse> submit(const std::string& model,
                                     nn::Example example,
                                     std::optional<Micros> deadline_budget =
                                         std::nullopt,
-                                    AdmitResult* admit = nullptr);
+                                    AdmitResult* admit = nullptr,
+                                    uint64_t trace_id = 0);
 
   bool has_model(const std::string& name) const;
   std::vector<std::string> model_names() const;
@@ -106,6 +109,10 @@ class ModelRouter {
       const std::string& name) const;
   /// (name, report) for every lane, name-ordered.
   std::vector<std::pair<std::string, ServeStats::Report>> all_stats() const;
+
+  /// Instantaneous per-lane backlog (admission queue + batcher pending),
+  /// name-ordered. A point-in-time gauge for the metrics endpoint.
+  std::vector<std::pair<std::string, size_t>> queue_depths() const;
 
   /// Name the empty model id routes to ("" when no lane was ever
   /// added). Unloading the default leaves the name dangling — v1/empty

@@ -421,7 +421,7 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
     case net::FrameType::kListModels:
       return handle_list(fd, hdr, len);
     case net::FrameType::kStatsRequest:
-      return handle_stats(fd, payload, len);
+      return handle_stats(fd, hdr, payload, len);
     case net::FrameType::kLoadModel:
     case net::FrameType::kUnloadModel: {
       // Placement is explicit; mutating a backend's model set behind
@@ -508,11 +508,17 @@ void ShardProxy::synthesize_serve_response(int fd, uint8_t client_version,
 
 bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
                               const uint8_t* frame, size_t frame_len) {
+  const TimePoint received_at = Clock::now();
+  const auto rel_now = [&received_at] {
+    return std::chrono::duration_cast<Micros>(Clock::now() - received_at)
+        .count();
+  };
   const uint8_t* payload = frame + net::kHeaderSize;
   uint64_t correlation = 0;
+  uint64_t trace_id = 0;
   std::string model;
   if (!net::peek_serve_request(payload, hdr.payload_len, hdr.version,
-                               &correlation, &model)) {
+                               &correlation, &trace_id, &model)) {
     // Malformed frames are stopped HERE: forwarding them would make the
     // backend condemn a pooled connection per hostile client frame.
     ++protocol_errors_;
@@ -528,15 +534,19 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     return true;
   }
 
-  // Forward verbatim (no copy) when the frame already names the model;
-  // splice the resolved name in (and upgrade v1 to v2) when it does
-  // not. Token bytes are never re-decoded either way.
+  // Backends are always spoken to in v3. A v3 frame that already names
+  // its model is forwarded verbatim (no copy, token bytes never
+  // re-decoded); empty-model and pre-v3 frames are rewritten — a byte
+  // splice — to carry the resolved model plus a trace id: the client's
+  // when it sent one, a freshly minted one otherwise, so the proxy hop
+  // of every request is traceable even for v1/v2 clients.
   std::vector<uint8_t> rewritten;
   const uint8_t* send_data = frame;
   size_t send_len = frame_len;
-  if (model.empty()) {
+  if (model.empty() || hdr.version < 3) {
+    if (trace_id == 0) trace_id = mint_trace_id();
     if (!net::rewrite_serve_request_model(frame, frame_len, resolved,
-                                          &rewritten)) {
+                                          trace_id, &rewritten)) {
       ++protocol_errors_;
       return false;
     }
@@ -545,8 +555,10 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   }
 
   int attempts = 0;
+  std::vector<int64_t> forward_times;  // rel. to receipt, one per attempt
   for (Backend* backend : replicas) {
     if (stopping_) break;  // shutdown: fail terminal, don't keep trying
+    forward_times.push_back(rel_now());
     net::FrameHeader rhdr;
     std::vector<uint8_t> rpayload;
     if (!forward_serve_once(*backend, send_data, send_len, correlation,
@@ -564,10 +576,49 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
       ++attempts;
       continue;
     }
+    // A v3 response must carry a well-formed trailing trace section
+    // (possibly empty); one that does not is a protocol violation and
+    // fails over like any other bad response.
+    size_t trace_start = rpayload.size();
+    uint64_t backend_trace = 0;
+    std::vector<TraceEvent> backend_stages;
+    if (rhdr.version >= 3 &&
+        !net::split_serve_response_trace(rpayload.data(), rpayload.size(),
+                                         &trace_start, &backend_trace,
+                                         &backend_stages)) {
+      note_outcome(*backend, false, /*health_probe=*/false);
+      ++attempts;
+      continue;
+    }
     note_outcome(*backend, true, /*health_probe=*/false);
 
-    // Relay. v1 clients get a v1 header and a v1-era status byte (the
-    // payload layout is version-independent).
+    // Relay. v3 tracing clients get the backend's stages spliced into
+    // this hop's timeline (t = 0 at frame receipt): receipt, every
+    // forward attempt — retries included, which is how a failover shows
+    // up in one trace — then the backend stages shifted to the
+    // successful forward's instant, then the response relay. Pre-v3
+    // clients get the trace section stripped byte-exactly; v1 clients
+    // additionally get a v1-era status byte.
+    if (rhdr.version >= 3) {
+      if (hdr.version >= 3 && trace_id != 0) {
+        std::vector<TraceEvent> merged;
+        merged.push_back({TraceStage::kProxyReceived, 0});
+        for (size_t i = 0; i < forward_times.size(); ++i)
+          merged.push_back({i == 0 ? TraceStage::kProxyForward
+                                   : TraceStage::kProxyRetry,
+                            forward_times[i]});
+        const int64_t shift = forward_times.back();
+        for (TraceEvent ev : backend_stages) {
+          ev.t_us += shift;
+          merged.push_back(ev);
+        }
+        merged.push_back({TraceStage::kProxyResponse, rel_now()});
+        rpayload.resize(trace_start);
+        net::encode_trace_section(trace_id, merged, rpayload);
+      } else if (hdr.version < 3) {
+        rpayload.resize(trace_start);
+      }
+    }
     if (hdr.version < 2 &&
         status == RequestStatus::kRejectedUnknownModel &&
         rpayload.size() > 8)
@@ -575,6 +626,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     std::vector<uint8_t> out;
     net::FrameHeader relay = rhdr;
     relay.version = hdr.version;
+    relay.payload_len = static_cast<uint32_t>(rpayload.size());
     net::encode_frame_header(relay, out);
     out.insert(out.end(), rpayload.begin(), rpayload.end());
     ++served_;
@@ -664,7 +716,37 @@ bool ShardProxy::handle_list(int fd, const net::FrameHeader& hdr,
   return send_to_client(fd, out);
 }
 
-bool ShardProxy::handle_stats(int fd, const uint8_t* payload, size_t len) {
+std::vector<ServeStats::Report> ShardProxy::collect_reports(
+    const std::string& model) {
+  std::vector<ServeStats::Report> reports;
+  for (Backend* backend : candidates_for(model)) {
+    std::optional<net::WireStats> stats;
+    const bool transport_ok =
+        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
+          stats = conn->query_stats(model);
+          return stats.has_value() ||
+                 (conn->connected() &&
+                  conn->error_kind() == net::ClientError::kNone);
+        });
+    note_outcome(*backend, transport_ok, /*health_probe=*/false);
+    if (stats) reports.push_back(std::move(stats->report));
+  }
+  return reports;
+}
+
+std::vector<std::pair<std::string, ServeStats::Report>>
+ShardProxy::aggregate_stats() {
+  std::vector<std::pair<std::string, ServeStats::Report>> out;
+  for (const auto& [name, replicas] : placement_) {
+    std::vector<ServeStats::Report> reports = collect_reports(name);
+    if (!reports.empty())
+      out.emplace_back(name, ServeStats::aggregate(reports));
+  }
+  return out;
+}
+
+bool ShardProxy::handle_stats(int fd, const net::FrameHeader& hdr,
+                              const uint8_t* payload, size_t len) {
   std::string name;
   if (!net::decode_stats_request(payload, len, &name)) {
     ++protocol_errors_;
@@ -672,33 +754,24 @@ bool ShardProxy::handle_stats(int fd, const uint8_t* payload, size_t len) {
   }
   ++admin_frames_;
   const std::string& resolved = name.empty() ? default_model_ : name;
-  std::vector<Backend*> replicas = candidates_for(resolved);
-  std::vector<ServeStats::Report> reports;
-  for (Backend* backend : replicas) {
-    std::optional<net::WireStats> stats;
-    const bool transport_ok =
-        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
-          stats = conn->query_stats(resolved);
-          return stats.has_value() ||
-                 (conn->connected() &&
-                  conn->error_kind() == net::ClientError::kNone);
-        });
-    note_outcome(*backend, transport_ok, /*health_probe=*/false);
-    if (stats) reports.push_back(stats->report);
-  }
+  std::vector<ServeStats::Report> reports = collect_reports(resolved);
   std::vector<uint8_t> out;
   if (reports.empty()) {
     net::encode_admin_response(
         false,
-        replicas.empty()
+        placement_.count(resolved) == 0
             ? "no model named '" + resolved + "' is in the placement table"
             : "no reachable backend reports stats for '" + resolved + "'",
         out);
   } else {
+    // The pooled clients speak v3, so each report arrives with its
+    // lane's quantile sketch and the aggregate's quantiles are EXACT
+    // (merge of sketches == sketch of the pooled samples). Encoded at
+    // the client's version: pre-v3 clients get the sketchless prefix.
     net::WireStats agg;
     agg.model = resolved;
     agg.report = ServeStats::aggregate(reports);
-    net::encode_stats_response(agg, out);
+    net::encode_stats_response(agg, out, hdr.version);
   }
   return send_to_client(fd, out);
 }

@@ -18,12 +18,18 @@
 //   proxy.stop();
 //
 // Forwarding: serve frames are routed by the model name peeked from the
-// payload prefix and forwarded VERBATIM over a pooled persistent
-// TransportClient connection (token arrays are never re-decoded; only
-// empty-model / protocol-v1 frames are rewritten — a byte splice — to
-// carry the proxy's default model, the first model of the first
-// backend). The response frame is relayed back equally untouched,
-// modulo a header-version patch for v1 clients.
+// payload prefix. Backends are always spoken to in protocol v3: a v3
+// frame that already names a model is forwarded VERBATIM over a pooled
+// persistent TransportClient connection (token arrays are never
+// re-decoded); empty-model and pre-v3 frames are rewritten — a byte
+// splice — to carry the resolved model and a trace id (the client's
+// when it sent one, a freshly minted one otherwise, so every request
+// is traceable even from v1/v2 clients). On relay the backend's
+// trailing trace section is spliced into the proxy hop's timeline
+// (kProxyReceived / kProxyForward / kProxyRetry per attempt, backend
+// stages shifted to the forward instant, kProxyResponse last) for v3
+// clients, or stripped byte-exactly for v1/v2 clients; logits bytes
+// are never touched either way.
 //
 // Health + failover: a background thread pings every backend (info
 // frame with a short timeout) on a fixed interval; data-path outcomes
@@ -43,8 +49,10 @@
 //
 // Control plane through the proxy: LIST_MODELS fans out to every
 // reachable backend and returns the union; STATS(name) fans out to the
-// model's replicas and returns the ServeStats::Report::aggregate of
-// their reports. LOAD/UNLOAD are refused in-band — placement is
+// model's replicas and returns the ServeStats::aggregate of their
+// reports — the replicas' quantile sketches merge exactly, so the
+// fleet-wide p50/p95/p99/p99.9 equal a sketch built from the pooled
+// per-request samples, not a weighted average of per-shard quantiles. LOAD/UNLOAD are refused in-band — placement is
 // explicit, so engine management must target a backend directly.
 #pragma once
 
@@ -153,6 +161,13 @@ class ShardProxy {
   };
   Counters counters() const;
 
+  /// Fleet-wide stats: for every model in the placement table, fan the
+  /// STATS query out to its replicas and merge the reports (exact
+  /// quantiles via the merged sketches). Models with no reachable
+  /// replica are omitted. Blocking network fan-out — this is the
+  /// /metrics scrape path, not the data path.
+  std::vector<std::pair<std::string, ServeStats::Report>> aggregate_stats();
+
  private:
   struct Backend {
     Backend(std::string host_in, uint16_t port_in,
@@ -194,7 +209,8 @@ class ShardProxy {
   bool handle_info(int fd, const net::FrameHeader& hdr,
                    const uint8_t* payload, size_t len);
   bool handle_list(int fd, const net::FrameHeader& hdr, size_t payload_len);
-  bool handle_stats(int fd, const uint8_t* payload, size_t len);
+  bool handle_stats(int fd, const net::FrameHeader& hdr,
+                    const uint8_t* payload, size_t len);
 
   /// Run `op` against one of `backend`'s pooled connections. A REUSED
   /// connection may have died while parked in the pool, so a FAST
@@ -237,6 +253,10 @@ class ShardProxy {
   /// Replicas for `model` in placement order, non-down first (a down
   /// backend is still tried last — health data may be stale).
   std::vector<Backend*> candidates_for(const std::string& model) const;
+
+  /// Query every reachable replica of `model` for its stats report
+  /// (outcomes feed the health state machine like any data-path call).
+  std::vector<ServeStats::Report> collect_reports(const std::string& model);
 
   void note_outcome(Backend& backend, bool success, bool health_probe);
   BackendState backend_state(const Backend& backend) const;

@@ -4,21 +4,6 @@
 
 namespace fqbert::serve {
 
-namespace {
-
-double quantile_ms(const std::vector<int64_t>& sorted_us, double q) {
-  if (sorted_us.empty()) return 0.0;
-  const double pos = q * static_cast<double>(sorted_us.size() - 1);
-  const size_t lo = static_cast<size_t>(pos);
-  const size_t hi = std::min(lo + 1, sorted_us.size() - 1);
-  const double frac = pos - static_cast<double>(lo);
-  const double us = static_cast<double>(sorted_us[lo]) * (1.0 - frac) +
-                    static_cast<double>(sorted_us[hi]) * frac;
-  return us / 1000.0;
-}
-
-}  // namespace
-
 void ServeStats::record_admitted() {
   std::lock_guard<std::mutex> lock(mu_);
   ++admitted_;
@@ -64,18 +49,14 @@ void ServeStats::record_response(int64_t latency_us, int64_t queue_us) {
   std::lock_guard<std::mutex> lock(mu_);
   ++completed_;
   queue_us_sum_ += queue_us;
-  if (latencies_us_.size() < latency_window_) {
-    latencies_us_.push_back(latency_us);
-  } else {
-    latencies_us_[latency_next_] = latency_us;
-    latency_next_ = (latency_next_ + 1) % latency_window_;
-  }
+  latencies_us_.record(latency_us);
 }
 
 ServeStats::Report ServeStats::aggregate(const std::vector<Report>& parts) {
   Report agg;
   double queue_ms_weighted = 0.0, occupancy_weighted = 0.0;
-  double p50_weighted = 0.0, p95_weighted = 0.0, p99_weighted = 0.0;
+  double p50_weighted = 0.0, p95_weighted = 0.0;
+  double p99_weighted = 0.0, p999_weighted = 0.0;
   for (const Report& r : parts) {
     agg.admitted += r.admitted;
     agg.rejected_full += r.rejected_full;
@@ -94,18 +75,31 @@ ServeStats::Report ServeStats::aggregate(const std::vector<Report>& parts) {
     p50_weighted += r.p50_ms * w;
     p95_weighted += r.p95_ms * w;
     p99_weighted += r.p99_ms * w;
+    p999_weighted += r.p999_ms * w;
     agg.max_ms = std::max(agg.max_ms, r.max_ms);
+    agg.latency_sketch.merge(r.latency_sketch);
   }
   if (agg.completed > 0)
     agg.mean_queue_ms = queue_ms_weighted / static_cast<double>(agg.completed);
   if (agg.batches > 0)
     agg.mean_batch_occupancy =
         occupancy_weighted / static_cast<double>(agg.batches);
-  if (agg.latency_samples > 0) {
+  if (agg.latency_sketch.count() >= agg.latency_samples &&
+      agg.latency_sketch.count() > 0) {
+    // Every part carried its sketch: exact-mergeable quantiles,
+    // identical to a single sketch over the pooled samples.
+    agg.p50_ms = agg.latency_sketch.quantile_ms(0.50);
+    agg.p95_ms = agg.latency_sketch.quantile_ms(0.95);
+    agg.p99_ms = agg.latency_sketch.quantile_ms(0.99);
+    agg.p999_ms = agg.latency_sketch.quantile_ms(0.999);
+  } else if (agg.latency_samples > 0) {
+    // At least one part claimed samples without shipping a sketch (a
+    // pre-v3 wire report): fall back to sample-weighted means.
     const double w = static_cast<double>(agg.latency_samples);
     agg.p50_ms = p50_weighted / w;
     agg.p95_ms = p95_weighted / w;
     agg.p99_ms = p99_weighted / w;
+    agg.p999_ms = p999_weighted / w;
   }
   return agg;
 }
@@ -121,7 +115,7 @@ ServeStats::Report ServeStats::report() const {
   r.timed_out = timed_out_;
   r.completed = completed_;
   r.failed = failed_;
-  r.latency_samples = latencies_us_.size();
+  r.latency_samples = latencies_us_.count();
   r.batches = batches_;
   r.mean_batch_occupancy =
       batches_ > 0 ? static_cast<double>(batched_requests_) /
@@ -131,13 +125,12 @@ ServeStats::Report ServeStats::report() const {
                         ? static_cast<double>(queue_us_sum_) /
                               static_cast<double>(r.completed) / 1000.0
                         : 0.0;
-  std::vector<int64_t> sorted = latencies_us_;
-  std::sort(sorted.begin(), sorted.end());
-  r.p50_ms = quantile_ms(sorted, 0.50);
-  r.p95_ms = quantile_ms(sorted, 0.95);
-  r.p99_ms = quantile_ms(sorted, 0.99);
-  r.max_ms = sorted.empty() ? 0.0
-                            : static_cast<double>(sorted.back()) / 1000.0;
+  r.p50_ms = latencies_us_.quantile_ms(0.50);
+  r.p95_ms = latencies_us_.quantile_ms(0.95);
+  r.p99_ms = latencies_us_.quantile_ms(0.99);
+  r.p999_ms = latencies_us_.quantile_ms(0.999);
+  r.max_ms = static_cast<double>(latencies_us_.max_us()) / 1000.0;
+  r.latency_sketch = latencies_us_;
   return r;
 }
 
@@ -149,7 +142,6 @@ void ServeStats::reset() {
   completed_ = 0;
   queue_us_sum_ = 0;
   latencies_us_.clear();
-  latency_next_ = 0;
 }
 
 }  // namespace fqbert::serve

@@ -3,15 +3,15 @@
 // worker pool; everything is mutex-guarded and cheap enough to sit on
 // the request path.
 //
-// Latency samples live in a bounded sliding window (default 64Ki
-// samples, configurable per collector), so a server that stays up for
-// millions of requests holds O(window) memory and report() costs
-// O(window log window) regardless of history length. The tradeoff:
-// percentiles describe the most recent `latency_window` completions
-// rather than all-time history — for a long-running server that is
-// usually the more useful number anyway (it tracks current load), but
-// max_ms is likewise windowed. Counters (admitted / completed / failed /
-// timed out / rejected) remain exact over the full lifetime.
+// Latency lives in a mergeable DDSketch-style quantile sketch (see
+// quantile_sketch.h): O(log-range) memory regardless of history length,
+// every quantile within the sketch's relative error (default 1%) of the
+// true lifetime quantile, and — the property the shard proxy's STATS
+// fan-out relies on — merging per-replica sketches is bit-for-bit
+// identical to sketching the pooled samples, so `aggregate` yields
+// exact shard-wide quantiles instead of sample-weighted guesses.
+// Counters (admitted / completed / failed / timed out / rejected)
+// remain exact over the full lifetime, as does max_ms.
 #pragma once
 
 #include <cstddef>
@@ -19,14 +19,14 @@
 #include <mutex>
 #include <vector>
 
+#include "serve/quantile_sketch.h"
+
 namespace fqbert::serve {
 
 class ServeStats {
  public:
-  static constexpr size_t kDefaultLatencyWindow = 1 << 16;
-
-  explicit ServeStats(size_t latency_window = kDefaultLatencyWindow)
-      : latency_window_(latency_window > 0 ? latency_window : 1) {}
+  explicit ServeStats(double alpha = QuantileSketch::kDefaultAlpha)
+      : latencies_us_(alpha) {}
 
   struct Report {
     uint64_t admitted = 0;
@@ -38,11 +38,17 @@ class ServeStats {
     uint64_t completed = 0;   // exact lifetime count (not windowed)
     uint64_t failed = 0;      // engine error or shutdown-failed
     uint64_t batches = 0;
-    uint64_t latency_samples = 0;  // samples behind the percentiles
+    uint64_t latency_samples = 0;  // lifetime samples behind the sketch
     double mean_batch_occupancy = 0.0;  // batched requests / batches
     double mean_queue_ms = 0.0;         // admission -> batch formation
-    // Quantiles over the most recent latency_samples completions.
-    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, max_ms = 0.0;
+    // Lifetime quantiles, within the sketch's relative error.
+    double p50_ms = 0.0, p95_ms = 0.0, p99_ms = 0.0, p999_ms = 0.0;
+    double max_ms = 0.0;  // exact, not bucket-rounded
+    // The sketch the quantiles came from; carried so aggregate() can
+    // merge exactly and the v3 STATS wire format can ship it. A report
+    // decoded from a v1/v2 peer has an empty sketch but non-zero
+    // quantile fields.
+    QuantileSketch latency_sketch;
 
     double throughput_rps(double wall_s) const {
       return wall_s > 0.0 ? static_cast<double>(completed) / wall_s : 0.0;
@@ -57,10 +63,13 @@ class ServeStats {
   /// Merge per-replica reports into one shard-level view (the proxy's
   /// STATS fan-out): counters sum exactly (so the aggregate balances
   /// iff every part does); mean_queue_ms / mean_batch_occupancy are
-  /// re-weighted by completions / batches; p50/p95/p99 are
-  /// sample-weighted means of the replica percentiles — an
-  /// approximation (exact shard-wide quantiles need a mergeable
-  /// sketch; see ROADMAP) — and max_ms is the true max.
+  /// re-weighted by completions / batches; quantiles come from the
+  /// MERGED latency sketches, so they are exactly what a single
+  /// collector over the pooled samples would report. Parts whose
+  /// sketch is empty but that claim samples (reports decoded from a
+  /// pre-sketch wire peer) degrade those quantiles to the old
+  /// sample-weighted mean, flagged by latency_samples exceeding the
+  /// merged sketch count.
   static Report aggregate(const std::vector<Report>& parts);
 
   void record_admitted();
@@ -79,16 +88,13 @@ class ServeStats {
   void reset();
 
  private:
-  const size_t latency_window_;
   mutable std::mutex mu_;
   uint64_t admitted_ = 0, rejected_full_ = 0, rejected_deadline_ = 0;
   uint64_t rejected_invalid_ = 0, rejected_closed_ = 0;
   uint64_t timed_out_ = 0, failed_ = 0, batches_ = 0, batched_requests_ = 0;
   uint64_t completed_ = 0;
   int64_t queue_us_sum_ = 0;
-  // Ring buffer of the last latency_window_ response latencies.
-  std::vector<int64_t> latencies_us_;
-  size_t latency_next_ = 0;
+  QuantileSketch latencies_us_;
 };
 
 }  // namespace fqbert::serve

@@ -1,5 +1,5 @@
 // Frame decoder fuzz: a seeded, deterministic corpus of valid frames of
-// every type and BOTH protocol versions is mutated (byte flips,
+// every type and ALL protocol versions is mutated (byte flips,
 // truncations, extensions, length-field scribbles) and fed through
 // exactly the decode path the server and client run — decode_header
 // followed by the type-appropriate payload decoder. The property under
@@ -41,8 +41,21 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
       return decode_serve_request(payload, len, hdr.version, &req);
     }
     case FrameType::kServeResponse: {
+      // The proxy-side splitter runs on the same raw bytes as the
+      // client-side decoder; fuzz both (they must agree on validity
+      // for v3 frames, and the splitter must be equally bounds-safe).
       WireResponse resp;
-      return decode_serve_response(payload, len, &resp);
+      const bool decoded =
+          decode_serve_response(payload, len, hdr.version, &resp);
+      if (hdr.version >= 3) {
+        size_t trace_start = 0;
+        uint64_t trace_id = 0;
+        std::vector<TraceEvent> stages;
+        const bool split = split_serve_response_trace(
+            payload, len, &trace_start, &trace_id, &stages);
+        EXPECT_EQ(decoded, split);
+      }
+      return decoded;
     }
     case FrameType::kLoadModel: {
       std::string name, path;
@@ -69,7 +82,7 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
     }
     case FrameType::kStatsResponse: {
       WireStats stats;
-      return decode_stats_response(payload, len, &stats);
+      return decode_stats_response(payload, len, hdr.version, &stats);
     }
   }
   return false;
@@ -93,17 +106,19 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   cfg.max_seq_len = 32;
   cfg.num_classes = 2;
 
-  for (const uint8_t version : {uint8_t{1}, uint8_t{2}}) {
-    encode_info_request(version == 2 ? "sst2" : "", fresh(), version);
+  for (const uint8_t version : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
+    encode_info_request(version >= 2 ? "sst2" : "", fresh(), version);
     WireInfo info;
-    info.model = version == 2 ? "sst2" : "";
+    info.model = version >= 2 ? "sst2" : "";
     info.config = cfg;
     encode_info_response(info, fresh(), version);
     for (const int tokens : {1, 7, 64}) {
       WireRequest req;
       req.correlation_id = rng.randint(0, 1 << 30);
       req.deadline_budget_us = rng.randint(0, 1'000'000);
-      req.model = version == 2 ? "model-name" : "";
+      req.trace_id =
+          version >= 3 ? static_cast<uint64_t>(rng.randint(1, 1 << 30)) : 0;
+      req.model = version >= 2 ? "model-name" : "";
       for (int i = 0; i < tokens; ++i) {
         req.example.tokens.push_back(
             static_cast<int32_t>(rng.randint(0, 127)));
@@ -120,6 +135,21 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
     resp.response.batch_size = 4;
     for (int i = 0; i < 3; ++i)
       resp.response.logits.push_back(0.5f * static_cast<float>(i));
+    if (version >= 3) {
+      // Both flavors: an untraced v3 response (empty section) and a
+      // fully stamped proxy-spliced timeline.
+      encode_serve_response(resp, fresh(), version);
+      resp.response.trace_id = static_cast<uint64_t>(rng.randint(1, 1 << 30));
+      resp.response.trace = {{TraceStage::kProxyReceived, 0},
+                             {TraceStage::kProxyForward, 12},
+                             {TraceStage::kProxyRetry, 900},
+                             {TraceStage::kAdmitted, 910},
+                             {TraceStage::kBatchFormed, 1450},
+                             {TraceStage::kWorkerStart, 1500},
+                             {TraceStage::kWorkerEnd, 3200},
+                             {TraceStage::kResponded, 3250},
+                             {TraceStage::kProxyResponse, 3400}};
+    }
     encode_serve_response(resp, fresh(), version);
   }
   encode_load_model("mnli", "/models/mnli-int4.bin", fresh());
@@ -136,7 +166,13 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   stats.report.timed_out = 1;
   stats.report.p50_ms = 2.5;
   stats.report.p95_ms = 7.25;
-  encode_stats_response(stats, fresh());
+  encode_stats_response(stats, fresh(), /*version=*/2);
+  // v3 carries the quantile sketch; populate real buckets so mutations
+  // hit the bucket count, indices, alpha and zero-count fields.
+  for (int i = 0; i < 200; ++i)
+    stats.report.latency_sketch.record(rng.randint(1, 5'000'000));
+  stats.report.p999_ms = stats.report.latency_sketch.quantile_ms(0.999);
+  encode_stats_response(stats, fresh(), /*version=*/3);
   return corpus;
 }
 
@@ -206,11 +242,15 @@ TEST(FrameFuzz, PureRandomBlobsNeverDecode) {
 
 TEST(FrameFuzz, HeaderFieldScribblesAreHandledByteExactly) {
   // Every single-byte value in every header position, against a valid
-  // v2 serve request: decode must return kFrame / kNeedMore / kError
-  // deterministically and payload decoding must stay in bounds.
+  // default-version (v3, trace-carrying) serve request: decode must
+  // return kFrame / kNeedMore / kError deterministically and payload
+  // decoding must stay in bounds. The version-byte sweep in particular
+  // re-reads the v3 payload with v1/v2 offsets — exactly the confusion
+  // a hostile client can cause — and must merely reject.
   Rng rng(11);
   WireRequest req;
   req.correlation_id = 5;
+  req.trace_id = 77;
   req.model = "m";
   req.example.tokens = {1, 2, 3};
   req.example.segments = {0, 0, 0};
@@ -218,6 +258,33 @@ TEST(FrameFuzz, HeaderFieldScribblesAreHandledByteExactly) {
   encode_serve_request(req, frame);
   ASSERT_TRUE(decode_anything(frame));
   for (size_t pos = 0; pos < kHeaderSize; ++pos) {
+    for (int value = 0; value < 256; ++value) {
+      std::vector<uint8_t> mutated = frame;
+      mutated[pos] = static_cast<uint8_t>(value);
+      (void)decode_anything(mutated);  // bounds-safety is the assertion
+    }
+  }
+}
+
+TEST(FrameFuzz, TraceSectionScribblesStayInBounds) {
+  // Same byte-exact sweep over the TRACE SECTION of a v3 serve
+  // response: stage count, stage codes and timestamps each get every
+  // value, and the decoder + splitter must agree and stay in bounds.
+  WireResponse resp;
+  resp.correlation_id = 9;
+  resp.response.status = RequestStatus::kOk;
+  resp.response.logits = {0.1f, 0.9f};
+  resp.response.trace_id = 4242;
+  resp.response.trace = {{TraceStage::kAdmitted, 0},
+                         {TraceStage::kWorkerEnd, 1500}};
+  std::vector<uint8_t> frame;
+  encode_serve_response(resp, frame);
+  ASSERT_TRUE(decode_anything(frame));
+  // logits start at payload offset 37; the trace section follows them.
+  const size_t trace_begin =
+      kHeaderSize + 37 + 4 * resp.response.logits.size();
+  ASSERT_LT(trace_begin, frame.size());
+  for (size_t pos = trace_begin; pos < frame.size(); ++pos) {
     for (int value = 0; value < 256; ++value) {
       std::vector<uint8_t> mutated = frame;
       mutated[pos] = static_cast<uint8_t>(value);

@@ -1,0 +1,211 @@
+// QuantileSketch semantics: the merge laws the fleet-wide STATS
+// aggregation leans on (associativity, commutativity, identity of the
+// empty sketch, merge-of-parts == sketch-of-pool bit-for-bit), the
+// relative-error guarantee checked against a sorted-sample oracle, the
+// zero/negative bucket, exact max tracking, and the v3 wire round trip
+// through encode/decode_stats_response.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "serve/net/frame.h"
+#include "serve/quantile_sketch.h"
+#include "serve/stats.h"
+#include "tensor/rng.h"
+
+namespace fqbert::serve {
+namespace {
+
+/// Exact quantile oracle: nearest-rank over the sorted samples.
+int64_t oracle_quantile(std::vector<int64_t> samples, double q) {
+  if (samples.empty()) return 0;
+  std::sort(samples.begin(), samples.end());
+  const size_t rank = static_cast<size_t>(
+      std::min<double>(static_cast<double>(samples.size()) - 1.0,
+                       std::max(0.0, q * static_cast<double>(samples.size()) -
+                                         0.5)));
+  return samples[rank];
+}
+
+std::vector<int64_t> lognormal_ish_samples(uint64_t seed, int n) {
+  // Heavy-ish tail without needing a real distribution: mix three
+  // deterministic bands so quantiles land in different buckets.
+  Rng rng(seed);
+  std::vector<int64_t> out;
+  out.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const int64_t band = rng.randint(0, 99);
+    if (band < 80)
+      out.push_back(rng.randint(100, 2'000));          // body
+    else if (band < 97)
+      out.push_back(rng.randint(2'000, 50'000));       // shoulder
+    else
+      out.push_back(rng.randint(50'000, 2'000'000));   // tail
+  }
+  return out;
+}
+
+TEST(QuantileSketch, RelativeErrorBoundAgainstSortedOracle) {
+  const std::vector<int64_t> samples = lognormal_ish_samples(7, 20'000);
+  QuantileSketch sketch;
+  for (const int64_t v : samples) sketch.record(v);
+  ASSERT_EQ(sketch.count(), samples.size());
+
+  for (const double q : {0.01, 0.10, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99,
+                         0.999}) {
+    const double truth = static_cast<double>(oracle_quantile(samples, q));
+    const double got = static_cast<double>(sketch.quantile_us(q));
+    // The guarantee is relative: |got - truth| <= alpha * truth, padded
+    // slightly for the nearest-rank vs bucket-boundary convention gap.
+    EXPECT_NEAR(got, truth, 2.5 * sketch.alpha() * truth + 1.0)
+        << "q=" << q;
+  }
+  // q == 1 is the exact max, not a bucket representative.
+  EXPECT_EQ(sketch.quantile_us(1.0),
+            *std::max_element(samples.begin(), samples.end()));
+}
+
+TEST(QuantileSketch, MergeOfPartsIsBitForBitTheSketchOfThePool) {
+  const std::vector<int64_t> samples = lognormal_ish_samples(11, 9'000);
+
+  QuantileSketch pooled;
+  for (const int64_t v : samples) pooled.record(v);
+
+  // Split three ways, sketch each part, merge.
+  QuantileSketch parts[3];
+  for (size_t i = 0; i < samples.size(); ++i)
+    parts[i % 3].record(samples[i]);
+
+  QuantileSketch merged;
+  merged.merge(parts[0]);
+  merged.merge(parts[1]);
+  merged.merge(parts[2]);
+  EXPECT_TRUE(merged == pooled);
+
+  // Commutativity: any merge order yields the identical sketch.
+  QuantileSketch reversed;
+  reversed.merge(parts[2]);
+  reversed.merge(parts[1]);
+  reversed.merge(parts[0]);
+  EXPECT_TRUE(reversed == pooled);
+
+  // Associativity: (a + b) + c == a + (b + c).
+  QuantileSketch ab;
+  ab.merge(parts[0]);
+  ab.merge(parts[1]);
+  QuantileSketch ab_c = ab;
+  ab_c.merge(parts[2]);
+  QuantileSketch bc;
+  bc.merge(parts[1]);
+  bc.merge(parts[2]);
+  QuantileSketch a_bc = parts[0];
+  a_bc.merge(bc);
+  EXPECT_TRUE(ab_c == a_bc);
+  EXPECT_TRUE(ab_c == pooled);
+}
+
+TEST(QuantileSketch, EmptySketchIsTheMergeIdentity) {
+  QuantileSketch some;
+  some.record(123);
+  some.record(456'789);
+  const QuantileSketch before = some;
+
+  QuantileSketch empty;
+  EXPECT_EQ(empty.count(), 0u);
+  EXPECT_EQ(empty.quantile_us(0.5), 0);
+
+  some.merge(empty);  // right identity
+  EXPECT_TRUE(some == before);
+
+  QuantileSketch other;
+  other.merge(before);  // left identity
+  EXPECT_TRUE(other == before);
+
+  QuantileSketch both;
+  both.merge(empty);  // empty + empty stays empty
+  EXPECT_EQ(both.count(), 0u);
+}
+
+TEST(QuantileSketch, ZeroAndNegativeValuesLandInTheZeroBucket) {
+  QuantileSketch sketch;
+  sketch.record(0);
+  sketch.record(-5);  // clock glitch
+  sketch.record(1'000);
+  EXPECT_EQ(sketch.count(), 3u);
+  EXPECT_EQ(sketch.zero_count(), 2u);
+  // Two of three samples are <= 0, so the median is the zero bucket.
+  EXPECT_EQ(sketch.quantile_us(0.5), 0);
+  EXPECT_EQ(sketch.quantile_us(1.0), 1'000);
+
+  // An all-zero sketch has well-defined quantiles.
+  QuantileSketch zeros;
+  zeros.record(0);
+  zeros.record(0);
+  EXPECT_EQ(zeros.quantile_us(0.99), 0);
+  EXPECT_EQ(zeros.max_us(), 0);
+}
+
+TEST(QuantileSketch, SurvivesTheV3StatsWireRoundTrip) {
+  net::WireStats stats;
+  stats.model = "m1";
+  ServeStats collector;
+  Rng rng(13);
+  for (int i = 0; i < 3'000; ++i) {
+    collector.record_admitted();
+    collector.record_batch(2);
+    collector.record_response(rng.randint(50, 500'000), 10);
+  }
+  stats.report = collector.report();
+  ASSERT_GT(stats.report.latency_sketch.count(), 0u);
+
+  std::vector<uint8_t> frame;
+  net::encode_stats_response(stats, frame);
+  net::FrameHeader hdr;
+  ASSERT_EQ(net::decode_header(frame.data(), frame.size(), &hdr),
+            net::DecodeStatus::kFrame);
+  net::WireStats back;
+  ASSERT_TRUE(net::decode_stats_response(frame.data() + net::kHeaderSize,
+                                         hdr.payload_len, hdr.version,
+                                         &back));
+  // The decoded sketch is the same object, bucket for bucket — a
+  // STATS fan-out over the wire merges as exactly as an in-process one.
+  EXPECT_TRUE(back.report.latency_sketch == stats.report.latency_sketch);
+  EXPECT_EQ(back.report.p999_ms, stats.report.p999_ms);
+  EXPECT_EQ(back.report.max_ms, stats.report.max_ms);
+
+  // A v2 encode has no sketch: the decoded report falls back to the
+  // quantile fields alone and flags itself via the empty sketch.
+  std::vector<uint8_t> v2frame;
+  net::encode_stats_response(stats, v2frame, /*version=*/2);
+  net::FrameHeader v2hdr;
+  ASSERT_EQ(net::decode_header(v2frame.data(), v2frame.size(), &v2hdr),
+            net::DecodeStatus::kFrame);
+  net::WireStats v2back;
+  ASSERT_TRUE(net::decode_stats_response(v2frame.data() + net::kHeaderSize,
+                                         v2hdr.payload_len, v2hdr.version,
+                                         &v2back));
+  EXPECT_EQ(v2back.report.latency_sketch.count(), 0u);
+  EXPECT_EQ(v2back.report.p50_ms, stats.report.p50_ms);
+  EXPECT_EQ(v2back.report.latency_samples, stats.report.latency_samples);
+}
+
+TEST(QuantileSketch, FromPartsToleratesHostileBucketLists) {
+  // Duplicated and out-of-order indices merge rather than corrupt.
+  const QuantileSketch rebuilt = QuantileSketch::from_parts(
+      QuantileSketch::kDefaultAlpha, /*zero_count=*/1, /*max_us=*/10'000,
+      {{50, 2}, {10, 1}, {50, 3}, {-3, 4}});
+  EXPECT_EQ(rebuilt.count(), 1u + 2u + 1u + 3u + 4u);
+  EXPECT_EQ(rebuilt.buckets().at(50), 5u);
+  EXPECT_EQ(rebuilt.max_us(), 10'000);
+  int64_t prev = 0;
+  for (const double q : {0.1, 0.5, 0.9, 0.99, 1.0}) {
+    const int64_t v = rebuilt.quantile_us(q);
+    EXPECT_GE(v, prev);
+    prev = v;
+  }
+}
+
+}  // namespace
+}  // namespace fqbert::serve

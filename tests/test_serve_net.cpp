@@ -240,7 +240,7 @@ TEST(FrameCodec, ServeResponseRoundTripsBitExactLogits) {
             net::DecodeStatus::kFrame);
   net::WireResponse back;
   ASSERT_TRUE(net::decode_serve_response(frame.data() + net::kHeaderSize,
-                                         hdr.payload_len, &back));
+                                         hdr.payload_len, hdr.version, &back));
   EXPECT_EQ(back.correlation_id, 7u);
   EXPECT_EQ(back.response.status, RequestStatus::kOk);
   ASSERT_EQ(back.response.logits.size(), resp.response.logits.size());
@@ -301,24 +301,24 @@ TEST(FrameCodec, PayloadDecodersRejectLyingLengths) {
   EXPECT_FALSE(
       net::decode_serve_request(padded.data(), padded.size(), kV, &out));
   // num_tokens lying about the remaining bytes (the field sits at
-  // offset 18 in a v2 payload with an empty model string: u64 + i64 +
-  // u16 string length).
+  // offset 26 in a v3 payload with an empty model string: u64 corr +
+  // i64 deadline + u64 trace + u16 string length).
   std::vector<uint8_t> lying(payload, payload + len);
-  lying[18] = static_cast<uint8_t>(lying[18] + 1);
+  lying[26] = static_cast<uint8_t>(lying[26] + 1);
   EXPECT_FALSE(
       net::decode_serve_request(lying.data(), lying.size(), kV, &out));
   // Absurd num_tokens must fail before any allocation-sized resize.
   std::vector<uint8_t> absurd(payload, payload + len);
-  absurd[18] = 0xFF;
-  absurd[19] = 0xFF;
-  absurd[20] = 0xFF;
-  absurd[21] = 0x7F;
+  absurd[26] = 0xFF;
+  absurd[27] = 0xFF;
+  absurd[28] = 0xFF;
+  absurd[29] = 0x7F;
   EXPECT_FALSE(
       net::decode_serve_request(absurd.data(), absurd.size(), kV, &out));
   // A model-string length running past the payload end.
   std::vector<uint8_t> overrun(payload, payload + len);
-  overrun[16] = 0xFF;
-  overrun[17] = 0x00;  // claims a 255-byte model name
+  overrun[24] = 0xFF;
+  overrun[25] = 0x00;  // claims a 255-byte model name
   EXPECT_FALSE(
       net::decode_serve_request(overrun.data(), overrun.size(), kV, &out));
   // Empty payload.
@@ -426,8 +426,8 @@ TEST(TransportLoopback, PipelinedRequestsOnOneConnectionAllAnswered) {
     std::vector<uint8_t> payload(hdr.payload_len);
     ASSERT_TRUE(conn.recv_exact(payload.data(), payload.size()));
     net::WireResponse resp;
-    ASSERT_TRUE(
-        net::decode_serve_response(payload.data(), payload.size(), &resp));
+    ASSERT_TRUE(net::decode_serve_response(payload.data(), payload.size(),
+                                           hdr.version, &resp));
     got[resp.correlation_id] = resp.response;
   }
   ASSERT_EQ(got.size(), 3u);
@@ -439,6 +439,75 @@ TEST(TransportLoopback, PipelinedRequestsOnOneConnectionAllAnswered) {
     for (int64_t j = 0; j < expect.numel(); ++j)
       EXPECT_EQ(expect[j], got[id].logits[static_cast<size_t>(j)]);
   }
+}
+
+TEST(TransportLoopback, V1AndV2PinnedClientsServedByV3Server) {
+  NetFixture net;
+  Rng rng(77);
+  const Example ex = synth_example(rng, 8, fixture().config);
+  const Tensor expect = fixture().engine->forward(ex);
+  for (const uint8_t version : {uint8_t{1}, uint8_t{2}}) {
+    net::TransportClient client(version);
+    ASSERT_TRUE(client.connect("127.0.0.1", net.port())) << client.error();
+    const auto resp = client.call(ex);
+    ASSERT_TRUE(resp.has_value())
+        << "v" << int(version) << ": " << client.error();
+    EXPECT_EQ(resp->status, RequestStatus::kOk);
+    ASSERT_EQ(static_cast<size_t>(expect.numel()), resp->logits.size());
+    for (int64_t j = 0; j < expect.numel(); ++j)
+      EXPECT_EQ(expect[j], resp->logits[static_cast<size_t>(j)]);
+    // Pre-v3 peers never see the trace section.
+    EXPECT_EQ(resp->trace_id, 0u);
+    EXPECT_TRUE(resp->trace.empty());
+    // v2 clients can still read stats off the v3 server; the sketch
+    // extension is a v3-only suffix (STATS itself is a v2+ control
+    // frame, so v1 has no stats path to break).
+    if (version >= 2) {
+      const auto stats = client.query_stats();
+      ASSERT_TRUE(stats.has_value()) << client.error();
+      EXPECT_GE(stats->report.completed, 1u);
+      EXPECT_EQ(stats->report.latency_sketch.count(), 0u);  // v2 wire
+    }
+  }
+  EXPECT_EQ(net.transport->counters().protocol_errors, 0u);
+}
+
+TEST(TransportLoopback, TracedRequestCarriesMonotonicStages) {
+  NetFixture net;
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", net.port())) << client.error();
+  Rng rng(78);
+  const Example ex = synth_example(rng, 8, fixture().config);
+
+  const uint64_t tid = mint_trace_id();
+  ASSERT_NE(tid, 0u);
+  const TimePoint sent_at = Clock::now();
+  const auto resp = client.call(ex, std::nullopt, "", tid);
+  const int64_t wall_us =
+      std::chrono::duration_cast<Micros>(Clock::now() - sent_at).count();
+  ASSERT_TRUE(resp.has_value()) << client.error();
+  EXPECT_EQ(resp->status, RequestStatus::kOk);
+  EXPECT_EQ(resp->trace_id, tid);
+
+  // Admission -> batch -> worker start/end -> responded, timestamps
+  // relative to admission, never decreasing, and bounded by the wall
+  // latency the client itself observed.
+  ASSERT_GE(resp->trace.size(), 4u);
+  EXPECT_EQ(resp->trace.front().stage, TraceStage::kAdmitted);
+  EXPECT_EQ(resp->trace.front().t_us, 0);
+  EXPECT_EQ(resp->trace.back().stage, TraceStage::kResponded);
+  int64_t prev = 0;
+  for (const TraceEvent& ev : resp->trace) {
+    EXPECT_GE(ev.t_us, prev);
+    prev = ev.t_us;
+  }
+  EXPECT_LE(prev, wall_us);
+
+  // Untraced requests on the same connection stay untraced.
+  const auto plain = client.call(ex);
+  ASSERT_TRUE(plain.has_value()) << client.error();
+  EXPECT_EQ(plain->trace_id, 0u);
+  EXPECT_TRUE(plain->trace.empty());
 }
 
 TEST(TransportLoopback, MalformedFramesCloseConnectionServerStaysUp) {
@@ -479,9 +548,9 @@ TEST(TransportLoopback, MalformedFramesCloseConnectionServerStaysUp) {
     req.example = synth_example(rng, 8, fixture().config);
     std::vector<uint8_t> f;
     net::encode_serve_request(req, f);
-    // num_tokens += 2, arrays unchanged (offset 18: u64 + i64 + empty
-    // model string).
-    f[net::kHeaderSize + 18] += 2;
+    // num_tokens += 2, arrays unchanged (offset 26: u64 corr + i64
+    // deadline + u64 trace + empty model string).
+    f[net::kHeaderSize + 26] += 2;
     hostile.push_back(f);
   }
   // Info request whose model-string length points past the payload.

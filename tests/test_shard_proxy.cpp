@@ -2,7 +2,8 @@
 // re-decoding payloads), ClientPool reuse-after-error rules, the proxy
 // end-to-end (K models split across 2 backends bit-identical to one
 // router holding all K, failover across a backend death with zero
-// client-visible failures, v1 clients, admin LIST/STATS fan-out,
+// client-visible failures, v1 clients, admin LIST/STATS fan-out with
+// exact-mergeable quantile sketches, trace splicing across a failover,
 // health state machine down->recovered), and the TransportClient
 // recv-timeout regression suite (a connection that times out mid-frame
 // is condemned — never reused into reading stale bytes — and a
@@ -203,26 +204,32 @@ TEST(FrameForwarding, PeekReadsRoutingFieldsAndValidatesCounts) {
   req.correlation_id = 0xFEEDFACEull;
   req.deadline_budget_us = 1234;
   req.model = "m1";
+  req.trace_id = 0xABCDull;
   Rng rng(3);
   req.example = synth_example(rng, 11, engines().config);
   std::vector<uint8_t> frame;
   net::encode_serve_request(req, frame);
 
   uint64_t corr = 0;
+  uint64_t trace = 0;
   std::string model;
   ASSERT_TRUE(net::peek_serve_request(frame.data() + net::kHeaderSize,
                                       frame.size() - net::kHeaderSize,
-                                      net::kProtocolVersion, &corr, &model));
+                                      net::kProtocolVersion, &corr, &trace,
+                                      &model));
   EXPECT_EQ(corr, req.correlation_id);
+  EXPECT_EQ(trace, req.trace_id);
   EXPECT_EQ(model, "m1");
 
-  // A lying token count must fail the peek (offset 16 + 2 + 2 = 20 for
-  // a 2-byte model string: u64 + i64 + u16 len + "m1").
+  // A lying token count must fail the peek (offset 24 + 2 + 2 = 28 for
+  // a 2-byte model string in a v3 payload: u64 corr + i64 deadline +
+  // u64 trace + u16 len + "m1").
   std::vector<uint8_t> lying = frame;
-  lying[net::kHeaderSize + 20] += 1;
+  lying[net::kHeaderSize + 28] += 1;
   EXPECT_FALSE(net::peek_serve_request(lying.data() + net::kHeaderSize,
                                        lying.size() - net::kHeaderSize,
-                                       net::kProtocolVersion, &corr, &model));
+                                       net::kProtocolVersion, &corr, &trace,
+                                       &model));
 }
 
 TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
@@ -236,12 +243,13 @@ TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
     std::vector<uint8_t> frame;
     net::encode_serve_request(req, frame, version);
     std::vector<uint8_t> rewritten;
-    ASSERT_TRUE(net::rewrite_serve_request_model(frame.data(), frame.size(),
-                                                 "routed", &rewritten));
+    ASSERT_TRUE(net::rewrite_serve_request_model(
+        frame.data(), frame.size(), "routed", /*trace_id=*/0x1234,
+        &rewritten));
     net::FrameHeader hdr;
     ASSERT_EQ(net::decode_header(rewritten.data(), rewritten.size(), &hdr),
               net::DecodeStatus::kFrame);
-    EXPECT_EQ(hdr.version, 2);  // v1 inputs upgraded
+    EXPECT_EQ(hdr.version, 3);  // v1/v2 inputs upgraded
     net::WireRequest back;
     ASSERT_TRUE(net::decode_serve_request(
         rewritten.data() + net::kHeaderSize, hdr.payload_len, hdr.version,
@@ -249,8 +257,32 @@ TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
     EXPECT_EQ(back.model, "routed");
     EXPECT_EQ(back.correlation_id, req.correlation_id);
     EXPECT_EQ(back.deadline_budget_us, req.deadline_budget_us);
+    // Pre-v3 frames have no trace field: the proxy-minted id is stamped.
+    EXPECT_EQ(back.trace_id, 0x1234u);
     EXPECT_EQ(back.example.tokens, req.example.tokens);
     EXPECT_EQ(back.example.segments, req.example.segments);
+  }
+
+  // A v3 frame that already carries a client trace id keeps it: the
+  // rewrite only fills the field when the client left it zero.
+  {
+    req.trace_id = 0xBEEFull;
+    std::vector<uint8_t> frame;
+    net::encode_serve_request(req, frame);
+    std::vector<uint8_t> rewritten;
+    ASSERT_TRUE(net::rewrite_serve_request_model(
+        frame.data(), frame.size(), "routed", /*trace_id=*/0x1234,
+        &rewritten));
+    net::FrameHeader hdr;
+    ASSERT_EQ(net::decode_header(rewritten.data(), rewritten.size(), &hdr),
+              net::DecodeStatus::kFrame);
+    net::WireRequest back;
+    ASSERT_TRUE(net::decode_serve_request(
+        rewritten.data() + net::kHeaderSize, hdr.payload_len, hdr.version,
+        &back));
+    EXPECT_EQ(back.trace_id, 0xBEEFull);
+    EXPECT_EQ(back.model, "routed");
+    req.trace_id = 0;
   }
 
   // Non-serve frames are refused.
@@ -258,7 +290,8 @@ TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
   net::encode_info_request("", info);
   std::vector<uint8_t> out;
   EXPECT_FALSE(net::rewrite_serve_request_model(info.data(), info.size(),
-                                                "routed", &out));
+                                                "routed", /*trace_id=*/1,
+                                                &out));
 }
 
 // ---------------------------------------------------------------------------
@@ -531,6 +564,138 @@ TEST(ShardProxy, AdminFanOutListStatsAndRefusedLoad) {
   EXPECT_FALSE(client.query_stats("zzz").has_value());
   EXPECT_EQ(client.error_kind(), net::ClientError::kNone);
   EXPECT_TRUE(client.list_models().has_value());  // still usable
+}
+
+TEST(ShardProxy, StatsFanOutQuantilesExactlyMergeBackendSketches) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"m1", fx.e1}});
+  BackendHost b({{"m1", fx.e1}, {"m2", fx.e2}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "m1"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m1", "m2"}));
+  ASSERT_TRUE(proxy.start());
+
+  // Traffic on every model through the proxy, plus direct traffic on
+  // m1's replicas so its two shards hold genuinely different samples.
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(83);
+  const char* models[3] = {"m0", "m1", "m2"};
+  for (int i = 0; i < 45; ++i) {
+    const auto resp = client.call(
+        synth_example(rng, 2 + rng.randint(0, 30), fx.config), std::nullopt,
+        models[i % 3]);
+    ASSERT_TRUE(resp.has_value()) << client.error();
+    ASSERT_EQ(resp->status, RequestStatus::kOk);
+  }
+  for (const uint16_t port : {a.port(), b.port()}) {
+    net::TransportClient direct;
+    ASSERT_TRUE(direct.connect("127.0.0.1", port));
+    for (int i = 0; i < 5; ++i) {
+      const auto resp = direct.call(synth_example(rng, 8, fx.config),
+                                    std::nullopt, "m1");
+      ASSERT_TRUE(resp.has_value() && resp->status == RequestStatus::kOk);
+    }
+  }
+
+  // For each model: merge the per-backend sketches locally (ground
+  // truth read straight off the routers) and demand the proxy's
+  // fanned-out aggregate match bit-for-bit — merge of sketches must
+  // equal the sketch of the pooled samples, including over the wire.
+  for (const char* model : models) {
+    QuantileSketch merged;
+    uint64_t admitted = 0, samples = 0;
+    for (BackendHost* host : {&a, &b}) {
+      const auto part = host->router->stats_report(model);
+      if (!part.has_value()) continue;
+      merged.merge(part->latency_sketch);
+      admitted += part->admitted;
+      samples += part->latency_samples;
+    }
+    ASSERT_GT(samples, 0u) << model;
+
+    const auto agg = client.query_stats(model);
+    ASSERT_TRUE(agg.has_value()) << model << ": " << client.error();
+    EXPECT_EQ(agg->report.admitted, admitted);
+    EXPECT_EQ(agg->report.latency_samples, samples);
+    EXPECT_TRUE(agg->report.accounting_balances());
+    EXPECT_TRUE(agg->report.latency_sketch == merged) << model;
+    EXPECT_EQ(agg->report.p50_ms, merged.quantile_ms(0.50)) << model;
+    EXPECT_EQ(agg->report.p95_ms, merged.quantile_ms(0.95)) << model;
+    EXPECT_EQ(agg->report.p99_ms, merged.quantile_ms(0.99)) << model;
+    EXPECT_EQ(agg->report.p999_ms, merged.quantile_ms(0.999)) << model;
+    EXPECT_EQ(agg->report.max_ms, merged.quantile_ms(1.0)) << model;
+  }
+}
+
+TEST(ShardProxy, TraceSurvivesFailoverWithMonotonicStages) {
+  Engines& fx = engines();
+  BackendHost a({{"shared", fx.e1}});
+  BackendHost b({{"shared", fx.e1}});
+
+  shard::ShardProxyConfig cfg = fast_proxy_config();
+  cfg.health_interval = Micros(3'600'000'000);  // no background repair:
+  // the dead backend stays eligible, so the forward attempt on it
+  // deterministically fails over inside the traced request.
+  shard::ShardProxy proxy(cfg);
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"shared"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"shared"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(91);
+
+  // Healthy path first: the proxy splices its own stages around the
+  // backend's, one id end-to-end.
+  const uint64_t warm_id = mint_trace_id();
+  const auto warm = client.call(synth_example(rng, 8, fx.config),
+                                std::nullopt, "shared", warm_id);
+  ASSERT_TRUE(warm.has_value()) << client.error();
+  ASSERT_EQ(warm->status, RequestStatus::kOk);
+  EXPECT_EQ(warm->trace_id, warm_id);
+  ASSERT_GE(warm->trace.size(), 6u);
+  EXPECT_EQ(warm->trace.front().stage, TraceStage::kProxyReceived);
+  EXPECT_EQ(warm->trace.front().t_us, 0);
+  EXPECT_EQ(warm->trace.back().stage, TraceStage::kProxyResponse);
+
+  // Kill every backend the proxy might try first, then trace through
+  // the failover. Up to a handful of attempts in case the rotation
+  // starts on the surviving replica.
+  a.kill();
+  bool saw_retry = false;
+  for (int i = 0; i < 6 && !saw_retry; ++i) {
+    const uint64_t tid = mint_trace_id();
+    const TimePoint sent_at = Clock::now();
+    const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                  std::nullopt, "shared", tid);
+    const int64_t wall_us =
+        std::chrono::duration_cast<Micros>(Clock::now() - sent_at).count();
+    ASSERT_TRUE(resp.has_value()) << client.error();
+    ASSERT_EQ(resp->status, RequestStatus::kOk);
+    EXPECT_EQ(resp->trace_id, tid);
+    ASSERT_FALSE(resp->trace.empty());
+
+    int64_t prev = 0;
+    int admissions = 0, forwards = 0;
+    for (const TraceEvent& ev : resp->trace) {
+      EXPECT_GE(ev.t_us, prev);  // one monotonic spliced timeline
+      prev = ev.t_us;
+      if (ev.stage == TraceStage::kAdmitted) ++admissions;
+      if (ev.stage == TraceStage::kProxyForward ||
+          ev.stage == TraceStage::kProxyRetry)
+        ++forwards;
+      if (ev.stage == TraceStage::kProxyRetry) saw_retry = true;
+    }
+    EXPECT_LE(prev, wall_us);  // stages fit the client-observed wall
+    EXPECT_EQ(resp->trace.front().stage, TraceStage::kProxyReceived);
+    EXPECT_EQ(resp->trace.back().stage, TraceStage::kProxyResponse);
+    // Only the SUCCESSFUL attempt's backend stages are spliced in.
+    EXPECT_EQ(admissions, 1);
+    EXPECT_GE(forwards, 1);
+  }
+  EXPECT_TRUE(saw_retry) << "no traced request observed the failover";
+  EXPECT_GE(proxy.counters().failovers, 1u);
 }
 
 TEST(ShardProxy, HealthStateMachineMarksDownAndRecovers) {

@@ -1,9 +1,11 @@
-// ServeStats under concurrency (the ROADMAP flags the 64Ki latency
-// ring as a soft spot): snapshots taken while many writers hammer the
-// collector must not tear, crash, or corrupt the ring (run under
-// ASan/UBSan in CI), and the windowed percentiles must stay inside the
-// recorded value range. Plus unit coverage for the shard-level
-// Report::aggregate merge the proxy's STATS fan-out uses.
+// ServeStats under concurrency: snapshots taken while many writers
+// hammer the collector must not tear, crash, or corrupt the latency
+// sketch (run under ASan/UBSan in CI), and every intermediate report's
+// quantiles must stay inside the recorded value range (within the
+// sketch's relative error). Plus unit coverage for the shard-level
+// Report::aggregate merge the proxy's STATS fan-out uses — both the
+// exact sketch-merge path and the sample-weighted fallback for reports
+// decoded from pre-sketch wire peers.
 #include <gtest/gtest.h>
 
 #include <atomic>
@@ -19,8 +21,16 @@ TEST(StatsStress, ConcurrentRecordersAndSnapshotsStayConsistent) {
   constexpr int kReaders = 2;
   constexpr uint64_t kOpsPerWriter = 20'000;
   constexpr int64_t kMinLatency = 100, kMaxLatency = 5'000;
+  // Sketch quantiles are within alpha relative error of true ones, so
+  // range checks get a matching margin.
+  const double kLo =
+      static_cast<double>(kMinLatency) / 1000.0 *
+      (1.0 - 2.0 * QuantileSketch::kDefaultAlpha);
+  const double kHi =
+      static_cast<double>(kMaxLatency) / 1000.0 *
+      (1.0 + 2.0 * QuantileSketch::kDefaultAlpha);
 
-  ServeStats stats(/*latency_window=*/1024);
+  ServeStats stats;
   std::atomic<bool> done{false};
   std::atomic<uint64_t> snapshots{0};
 
@@ -35,14 +45,16 @@ TEST(StatsStress, ConcurrentRecordersAndSnapshotsStayConsistent) {
         // Terminal states never exceed admissions (each writer admits
         // BEFORE recording the terminal outcome).
         ASSERT_GE(rep.admitted, rep.completed + rep.timed_out + rep.failed);
-        ASSERT_LE(rep.latency_samples, 1024u);
-        // Percentiles are interpolations over recorded values only.
+        // Lifetime sketch: one sample per completion, no window.
+        ASSERT_EQ(rep.latency_samples, rep.latency_sketch.count());
+        ASSERT_LE(rep.latency_samples, rep.completed);
         if (rep.latency_samples > 0) {
-          ASSERT_GE(rep.p50_ms, static_cast<double>(kMinLatency) / 1000.0);
-          ASSERT_LE(rep.max_ms, static_cast<double>(kMaxLatency) / 1000.0);
+          ASSERT_GE(rep.p50_ms, kLo);
+          ASSERT_LE(rep.max_ms, kHi);
           ASSERT_LE(rep.p50_ms, rep.p95_ms);
           ASSERT_LE(rep.p95_ms, rep.p99_ms);
-          ASSERT_LE(rep.p99_ms, rep.max_ms);
+          ASSERT_LE(rep.p99_ms, rep.p999_ms);
+          ASSERT_LE(rep.p999_ms, rep.max_ms);
         }
       }
     });
@@ -82,27 +94,69 @@ TEST(StatsStress, ConcurrentRecordersAndSnapshotsStayConsistent) {
   const ServeStats::Report total = stats.report();
   EXPECT_EQ(total.admitted, kWriters * kOpsPerWriter);
   EXPECT_TRUE(total.accounting_balances());
-  EXPECT_EQ(total.latency_samples, 1024u);  // window, not history
+  // Lifetime samples: every completion is in the sketch, not a window.
+  EXPECT_EQ(total.latency_samples, total.completed);
+  EXPECT_EQ(total.latency_sketch.count(), total.completed);
   EXPECT_GT(total.completed, 0u);
   EXPECT_GT(total.timed_out, 0u);
   EXPECT_GT(total.failed, 0u);
 }
 
-TEST(StatsStress, WindowWrapsWithoutLosingCounterExactness) {
-  ServeStats stats(/*latency_window=*/64);
+TEST(StatsStress, LifetimeQuantilesTrackTheWholeStream) {
+  ServeStats stats;
   for (int i = 0; i < 1000; ++i) {
     stats.record_admitted();
     stats.record_response(1000 + i, 10);
   }
   const ServeStats::Report rep = stats.report();
-  EXPECT_EQ(rep.completed, 1000u);         // exact lifetime counter
-  EXPECT_EQ(rep.latency_samples, 64u);     // bounded window
-  // The window holds the most recent samples: percentiles reflect the
-  // tail of the stream, not its start.
-  EXPECT_GE(rep.p50_ms, (1000.0 + 936.0) / 1000.0);
+  EXPECT_EQ(rep.completed, 1000u);          // exact lifetime counter
+  EXPECT_EQ(rep.latency_samples, 1000u);    // sketch covers ALL samples
+  // True p50 of 1000..1999 us is ~1500 us; the sketch is within its
+  // relative error of that — unlike the old 64Ki ring, early samples
+  // are never evicted.
+  EXPECT_NEAR(rep.p50_ms, 1.5, 1.5 * 3.0 * QuantileSketch::kDefaultAlpha);
+  // Max is tracked exactly, not bucket-rounded.
+  EXPECT_DOUBLE_EQ(rep.max_ms, 1.999);
 }
 
-TEST(StatsAggregate, SumsCountersAndWeightsQuantiles) {
+TEST(StatsAggregate, MergedSketchQuantilesEqualPooledSamples) {
+  // Two replicas record disjoint halves of one sample stream; the
+  // aggregate must be bit-for-bit the single collector over the pool.
+  ServeStats shard_a, shard_b, pooled;
+  for (int i = 0; i < 5000; ++i) {
+    const int64_t latency = 50 + (i * 977) % 20000;
+    ServeStats& shard = (i % 2 == 0) ? shard_a : shard_b;
+    shard.record_admitted();
+    shard.record_batch(2);
+    shard.record_response(latency, latency / 4);
+    pooled.record_admitted();
+    pooled.record_batch(2);
+    pooled.record_response(latency, latency / 4);
+  }
+  const ServeStats::Report agg =
+      ServeStats::aggregate({shard_a.report(), shard_b.report()});
+  const ServeStats::Report truth = pooled.report();
+  EXPECT_TRUE(agg.latency_sketch == truth.latency_sketch);
+  EXPECT_EQ(agg.p50_ms, truth.p50_ms);
+  EXPECT_EQ(agg.p95_ms, truth.p95_ms);
+  EXPECT_EQ(agg.p99_ms, truth.p99_ms);
+  EXPECT_EQ(agg.p999_ms, truth.p999_ms);
+  EXPECT_EQ(agg.max_ms, truth.max_ms);
+  EXPECT_EQ(agg.latency_samples, truth.latency_samples);
+  EXPECT_TRUE(agg.accounting_balances());
+
+  // Merging in an idle replica changes nothing.
+  ServeStats idle;
+  const ServeStats::Report with_idle = ServeStats::aggregate(
+      {shard_a.report(), idle.report(), shard_b.report()});
+  EXPECT_TRUE(with_idle.latency_sketch == truth.latency_sketch);
+  EXPECT_EQ(with_idle.p999_ms, truth.p999_ms);
+}
+
+TEST(StatsAggregate, SumsCountersAndFallsBackForSketchlessPeers) {
+  // Reports hand-built WITHOUT sketches model a pre-sketch wire peer:
+  // counters still sum exactly; quantiles degrade to the old
+  // sample-weighted merge.
   ServeStats::Report a;
   a.admitted = 10;
   a.completed = 8;
@@ -115,6 +169,7 @@ TEST(StatsAggregate, SumsCountersAndWeightsQuantiles) {
   a.p50_ms = 2.0;
   a.p95_ms = 4.0;
   a.p99_ms = 5.0;
+  a.p999_ms = 5.5;
   a.max_ms = 6.0;
 
   ServeStats::Report b;
@@ -129,6 +184,7 @@ TEST(StatsAggregate, SumsCountersAndWeightsQuantiles) {
   b.p50_ms = 4.0;
   b.p95_ms = 8.0;
   b.p99_ms = 9.0;
+  b.p999_ms = 9.5;
   b.max_ms = 5.0;
 
   const ServeStats::Report agg = ServeStats::aggregate({a, b});

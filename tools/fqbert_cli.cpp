@@ -37,6 +37,7 @@
 // Option parsing is strict: unknown options, stray positionals, and
 // malformed or out-of-range numeric values are all one-line errors with
 // exit code 2 — a typo never silently runs with defaults.
+#include <algorithm>
 #include <charconv>
 #include <csignal>
 #include <cstdio>
@@ -50,11 +51,14 @@
 #include "core/model_size.h"
 #include "pipeline/pipeline.h"
 #include "serve/loadgen.h"
+#include "serve/metrics_http.h"
+#include "serve/metrics_text.h"
 #include "serve/net/transport_client.h"
 #include "serve/net/transport_server.h"
 #include "serve/router/model_router.h"
 #include "serve/server.h"
 #include "serve/shard/shard_proxy.h"
+#include "serve/trace.h"
 
 using namespace fqbert;
 using namespace fqbert::pipeline;
@@ -74,18 +78,19 @@ int usage() {
                "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
                "[--seq S]\n"
                "  serve    --engine fq.bin | --task sst2|mnli [--fast]\n"
-               "           [--listen PORT [--bind ADDR]\n"
+               "           [--listen PORT [--bind ADDR] [--metrics PORT]\n"
                "            [--model NAME=FILE ...]]   (multi-model router)\n"
                "           [--workers N] [--batch B] [--wait-us U]\n"
                "           [--clients C] [--requests R] [--deadline-ms D]\n"
                "           [--seq-mix 12,16,24] [--seed S]\n"
                "  loadgen  serve options plus [--connect HOST:PORT\n"
                "           [--model NAME ...]]  (multi-model traffic mix)\n"
+               "           [--trace-every N]    (per-stage trace samples)\n"
                "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n"
                "  admin    --connect HOST:PORT [--timeout-ms T]\n"
                "           [--load NAME=FILE ...] [--unload NAME ...]\n"
                "           [--list] [--stats NAME ...]\n"
-               "  proxy    --listen PORT [--bind ADDR]\n"
+               "  proxy    --listen PORT [--bind ADDR] [--metrics PORT]\n"
                "           --backend HOST:PORT=model[,model...] ...\n"
                "           [--pool N] [--health-interval-ms I]\n"
                "           [--health-timeout-ms T] [--call-timeout-ms C]\n");
@@ -148,6 +153,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"fast", false},
         {"listen", true},
         {"bind", true},
+        {"metrics", true},
         {"model", true},
         {"workers", true},
         {"batch", true},
@@ -173,6 +179,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"deadline-ms", true},
         {"seq-mix", true},
         {"seed", true},
+        {"trace-every", true},
         {"batch-sweep", true},
         {"worker-sweep", true}}},
       {"admin",
@@ -185,6 +192,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
       {"proxy",
        {{"listen", true},
         {"bind", true},
+        {"metrics", true},
         {"backend", true},
         {"pool", true},
         {"health-interval-ms", true},
@@ -326,6 +334,8 @@ serve::LoadgenConfig loadgen_config_from(const Args& a) {
   cfg.seq_len_mix =
       parse_int_list("seq-mix", a.get("seq-mix", "12,16,24"), 1, 1 << 16);
   cfg.seed = static_cast<uint64_t>(int_opt(a, "seed", 1, 0, 1LL << 62));
+  cfg.trace_every =
+      static_cast<int>(int_opt(a, "trace-every", 0, 0, 100000000));
   const long long deadline_ms =
       int_opt(a, "deadline-ms", 0, 0, 86400LL * 1000);
   if (deadline_ms > 0)
@@ -334,10 +344,53 @@ serve::LoadgenConfig loadgen_config_from(const Args& a) {
 }
 
 void print_latency_line(const serve::ServeStats::Report& st) {
-  std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max %.2f "
-              "ms (queue %.2f ms mean; window of %llu samples)\n",
-              st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
+  std::printf("latency : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, p99.9 %.2f "
+              "ms, max %.2f ms (queue %.2f ms mean; %llu lifetime samples)\n",
+              st.p50_ms, st.p95_ms, st.p99_ms, st.p999_ms, st.max_ms,
+              st.mean_queue_ms,
               static_cast<unsigned long long>(st.latency_samples));
+}
+
+/// Per-stage breakdown of the loadgen's sampled traces: a few full
+/// example timelines, then the mean offset of every stage seen. Stage
+/// offsets are relative to each hop's first event, so through a proxy
+/// the backend stages already sit inside the proxy timeline.
+void print_trace_samples(const serve::LoadgenReport& lg) {
+  if (lg.traces.empty()) return;
+  const size_t show = std::min<size_t>(3, lg.traces.size());
+  std::printf("traces  : %zu sampled, first %zu shown\n", lg.traces.size(),
+              show);
+  for (size_t i = 0; i < show; ++i) {
+    const serve::TraceSample& t = lg.traces[i];
+    std::printf("  trace %016llx (wall %lld us):",
+                static_cast<unsigned long long>(t.trace_id),
+                static_cast<long long>(t.wall_us));
+    for (const serve::TraceEvent& ev : t.stages)
+      std::printf(" %s +%lld", serve::trace_stage_name(ev.stage),
+                  static_cast<long long>(ev.t_us));
+    std::printf(" us\n");
+  }
+  // Mean offset per stage across every sample, in stage-code order
+  // (receipt -> forward -> admission -> batch -> worker -> response).
+  int64_t sum[serve::kLastTraceStage + 1] = {};
+  uint64_t n[serve::kLastTraceStage + 1] = {};
+  for (const serve::TraceSample& t : lg.traces)
+    for (const serve::TraceEvent& ev : t.stages) {
+      const auto s = static_cast<size_t>(ev.stage);
+      if (s <= serve::kLastTraceStage) {
+        sum[s] += ev.t_us;
+        ++n[s];
+      }
+    }
+  std::printf("  stage means:");
+  for (size_t s = 0; s <= serve::kLastTraceStage; ++s)
+    if (n[s] > 0)
+      std::printf(" %s %.0f us (n=%llu)",
+                  serve::trace_stage_name(
+                      static_cast<serve::TraceStage>(s)),
+                  static_cast<double>(sum[s]) / static_cast<double>(n[s]),
+                  static_cast<unsigned long long>(n[s]));
+  std::printf("\n");
 }
 
 void print_balance_line(const serve::ServeStats::Report& st) {
@@ -475,6 +528,20 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
     std::fprintf(stderr, "transport failed to start\n");
     return 1;
   }
+
+  serve::MetricsHttpServer metrics(
+      [&router] { return serve::render_router_metrics(router); });
+  if (a.flag("metrics")) {
+    const auto metrics_port =
+        static_cast<uint16_t>(int_opt(a, "metrics", 0, 0, 65535));
+    if (!metrics.start(tcfg.bind_address, metrics_port)) {
+      std::fprintf(stderr, "metrics endpoint failed to start\n");
+      return 1;
+    }
+    std::printf("metrics on http://%s:%u/metrics\n", tcfg.bind_address.c_str(),
+                metrics.port());
+  }
+
   std::string names;
   for (const std::string& n : router.model_names())
     names += (names.empty() ? "" : ", ") + n;
@@ -492,6 +559,7 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   std::printf("\nshutting down...\n");
+  metrics.stop();
   transport.stop();
   router.shutdown(/*drain=*/true);
   const serve::net::TransportServer::Counters net = transport.counters();
@@ -520,8 +588,9 @@ int cmd_serve(const Args& a) {
                    {"clients", "requests", "deadline-ms", "seq-mix", "seed"});
     return run_listen_server(a, scfg);
   }
-  // --model defines router lanes; only the network mode runs the router.
-  reject_options(a, "(closed-loop)", {"model"});
+  // --model defines router lanes and --metrics scrapes a live service;
+  // only the network mode runs either.
+  reject_options(a, "(closed-loop)", {"model", "metrics"});
   serve::LoadgenConfig lcfg = loadgen_config_from(a);
 
   serve::EngineRegistry registry;
@@ -608,6 +677,14 @@ int run_remote_loadgen(const Args& a) {
               static_cast<unsigned long long>(lg.timed_out),
               static_cast<unsigned long long>(lg.failed), lg.wall_s,
               lg.throughput_rps());
+  if (lg.latency_us.count() > 0)
+    std::printf("client  : p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, p99.9 "
+                "%.2f ms, max %.2f ms (%llu ok responses)\n",
+                lg.latency_ms(0.50), lg.latency_ms(0.95), lg.latency_ms(0.99),
+                lg.latency_ms(0.999),
+                static_cast<double>(lg.latency_us.max_us()) / 1000.0,
+                static_cast<unsigned long long>(lg.latency_us.count()));
+  print_trace_samples(lg);
   return lg.failed == 0 ? 0 : 1;
 }
 
@@ -687,9 +764,10 @@ int cmd_admin(const Args& a) {
                 static_cast<unsigned long long>(st.batches),
                 st.mean_batch_occupancy,
                 st.accounting_balances() ? "OK" : "MISMATCH");
-    std::printf("  latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, max "
-                "%.2f ms (queue %.2f ms mean; %llu samples)\n",
-                st.p50_ms, st.p95_ms, st.p99_ms, st.max_ms, st.mean_queue_ms,
+    std::printf("  latency: p50 %.2f ms, p95 %.2f ms, p99 %.2f ms, p99.9 "
+                "%.2f ms, max %.2f ms (queue %.2f ms mean; %llu samples)\n",
+                st.p50_ms, st.p95_ms, st.p99_ms, st.p999_ms, st.max_ms,
+                st.mean_queue_ms,
                 static_cast<unsigned long long>(st.latency_samples));
   }
   if (!client.connected() && all_ok) {
@@ -759,6 +837,19 @@ int cmd_proxy(const Args& a) {
     return 1;
   }
 
+  serve::MetricsHttpServer metrics(
+      [&proxy] { return serve::render_proxy_metrics(proxy); });
+  if (a.flag("metrics")) {
+    const auto metrics_port =
+        static_cast<uint16_t>(int_opt(a, "metrics", 0, 0, 65535));
+    if (!metrics.start(cfg.bind_address, metrics_port)) {
+      std::fprintf(stderr, "metrics endpoint failed to start\n");
+      return 1;
+    }
+    std::printf("metrics on http://%s:%u/metrics\n", cfg.bind_address.c_str(),
+                metrics.port());
+  }
+
   std::printf("shard proxy on %s:%u — %zu backend(s), default model '%s', "
               "health every %lld ms; Ctrl-C to stop\n",
               cfg.bind_address.c_str(), proxy.port(), backend_specs.size(),
@@ -778,6 +869,7 @@ int cmd_proxy(const Args& a) {
     std::this_thread::sleep_for(std::chrono::milliseconds(100));
 
   std::printf("\nshutting down...\n");
+  metrics.stop();
   proxy.stop();
   const serve::shard::ShardProxy::Counters c = proxy.counters();
   std::printf("proxy   : %llu connections, %llu served (%llu failovers, "
@@ -807,8 +899,9 @@ int cmd_proxy(const Args& a) {
 
 int cmd_loadgen(const Args& a) {
   if (a.flag("connect")) return run_remote_loadgen(a);
-  // The traffic mix routes by model name over the wire only.
-  reject_options(a, "(local)", {"model"});
+  // The traffic mix routes by model name — and trace ids ride v3
+  // frames — over the wire only.
+  reject_options(a, "(local)", {"model", "trace-every"});
 
   const std::vector<int64_t> batches =
       parse_int_list("batch-sweep", a.get("batch-sweep", "1,8,16"), 1, 4096);
