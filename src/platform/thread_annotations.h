@@ -1,0 +1,122 @@
+// Clang thread-safety-analysis vocabulary for the serving stack, plus
+// the annotated Mutex / MutexLock wrappers the stack locks with.
+//
+// Every mutex-protected member in src/serve is declared GUARDED_BY its
+// mutex and every lock-assuming helper carries REQUIRES, so a
+//     clang++ -Wthread-safety -Werror
+// build (the `static-analysis` CI job) proves each lock-protection
+// invariant at compile time: a member read outside its lock is a build
+// break, not a latent race. Under GCC (which has no thread-safety
+// attributes) every macro expands to nothing and Mutex degrades to a
+// plain std::mutex wrapper, so the annotations cost non-clang builds
+// nothing.
+//
+// The macro names follow the Clang documentation's capability spelling
+// (https://clang.llvm.org/docs/ThreadSafetyAnalysis.html); they are
+// #ifndef-guarded so a TU that already picked up another project's
+// copies keeps compiling.
+//
+// Analysis rules of thumb used across src/serve:
+//   * members: `T x_ GUARDED_BY(mu_);`
+//   * private helpers called with the lock held: `void f() REQUIRES(mu_);`
+//   * public entry points that take the lock themselves need no
+//     annotation — MutexLock's ACQUIRE/RELEASE tells the analysis.
+//   * condition-variable waits use MutexLock::native(); wait PREDICATES
+//     must not be lambdas touching guarded members (the analysis treats
+//     a lambda body as an unannotated function), so guarded-state waits
+//     are written as explicit loops around cv.wait_*.
+#pragma once
+
+#include <mutex>
+
+#if defined(__clang__) && defined(__has_attribute)
+#if __has_attribute(capability)
+#define FQBERT_THREAD_ANNOTATION(x) __attribute__((x))
+#endif
+#endif
+#ifndef FQBERT_THREAD_ANNOTATION
+#define FQBERT_THREAD_ANNOTATION(x)  // not Clang: annotations vanish
+#endif
+
+#ifndef CAPABILITY
+#define CAPABILITY(x) FQBERT_THREAD_ANNOTATION(capability(x))
+#endif
+#ifndef SCOPED_CAPABILITY
+#define SCOPED_CAPABILITY FQBERT_THREAD_ANNOTATION(scoped_lockable)
+#endif
+#ifndef GUARDED_BY
+#define GUARDED_BY(x) FQBERT_THREAD_ANNOTATION(guarded_by(x))
+#endif
+#ifndef PT_GUARDED_BY
+#define PT_GUARDED_BY(x) FQBERT_THREAD_ANNOTATION(pt_guarded_by(x))
+#endif
+#ifndef ACQUIRE
+#define ACQUIRE(...) FQBERT_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#endif
+#ifndef RELEASE
+#define RELEASE(...) FQBERT_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#endif
+#ifndef TRY_ACQUIRE
+#define TRY_ACQUIRE(...) \
+  FQBERT_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#endif
+#ifndef REQUIRES
+#define REQUIRES(...) FQBERT_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#endif
+#ifndef EXCLUDES
+#define EXCLUDES(...) FQBERT_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#endif
+#ifndef ASSERT_CAPABILITY
+#define ASSERT_CAPABILITY(x) FQBERT_THREAD_ANNOTATION(assert_capability(x))
+#endif
+#ifndef RETURN_CAPABILITY
+#define RETURN_CAPABILITY(x) FQBERT_THREAD_ANNOTATION(lock_returned(x))
+#endif
+#ifndef NO_THREAD_SAFETY_ANALYSIS
+#define NO_THREAD_SAFETY_ANALYSIS \
+  FQBERT_THREAD_ANNOTATION(no_thread_safety_analysis)
+#endif
+
+namespace fqbert {
+
+/// std::mutex with the `capability` attribute, so GUARDED_BY / REQUIRES
+/// can name it. Same cost, same semantics; native() exposes the
+/// underlying std::mutex for std::condition_variable interop only —
+/// never lock through native() directly, the analysis cannot see it.
+class CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() ACQUIRE() { mu_.lock(); }
+  void unlock() RELEASE() { mu_.unlock(); }
+  bool try_lock() TRY_ACQUIRE(true) { return mu_.try_lock(); }
+
+  std::mutex& native() { return mu_; }
+
+ private:
+  std::mutex mu_;
+};
+
+/// RAII lock over Mutex, visible to the analysis as a scoped
+/// capability. Holds a std::unique_lock so condition-variable waits
+/// work through native(): cv.wait(lock.native()) releases and
+/// reacquires the mutex, which the analysis models as the capability
+/// being held across the wait — exactly the invariant the surrounding
+/// code relies on.
+class SCOPED_CAPABILITY MutexLock {
+ public:
+  explicit MutexLock(Mutex& mu) ACQUIRE(mu) : lock_(mu.native()) {}
+  ~MutexLock() RELEASE() {}
+
+  MutexLock(const MutexLock&) = delete;
+  MutexLock& operator=(const MutexLock&) = delete;
+
+  std::unique_lock<std::mutex>& native() { return lock_; }
+
+ private:
+  std::unique_lock<std::mutex> lock_;
+};
+
+}  // namespace fqbert

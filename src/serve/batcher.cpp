@@ -10,7 +10,7 @@ int64_t DynamicBatcher::bucket_of(int64_t seq_len) const {
 }
 
 size_t DynamicBatcher::pending() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_;
 }
 
@@ -99,7 +99,7 @@ bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
 }
 
 void DynamicBatcher::abort() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   aborted_ = true;
 }
 
@@ -112,7 +112,7 @@ bool DynamicBatcher::next_batch(std::vector<ServeRequest>& out) {
     const bool closed = queue_.closed();
     TimePoint next_flush = TimePoint::max();
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       // Aborting: pending work is fail_pending's to resolve, not ours.
       if (aborted_) return false;
       pump_locked();
@@ -137,7 +137,7 @@ DynamicBatcher::Poll DynamicBatcher::poll_batch(
   // before close() is visible to the pump, so closed + empty pump means
   // fully drained.
   const bool closed = queue_.closed();
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (aborted_) return Poll::kDrained;  // fail_pending owns the rest
   pump_locked();
   if (pop_batch_locked(out, Clock::now(), /*force=*/closed, next_flush))
@@ -146,7 +146,7 @@ DynamicBatcher::Poll DynamicBatcher::poll_batch(
 }
 
 void DynamicBatcher::fail_pending(RequestStatus status) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   pump_locked();
   const TimePoint now = Clock::now();
   for (auto& [len, bucket] : buckets_) {

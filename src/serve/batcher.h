@@ -66,21 +66,21 @@ class DynamicBatcher {
 
  private:
   /// Move newly queued requests into their buckets (mu_ held).
-  void pump_locked();
+  void pump_locked() REQUIRES(mu_);
   /// Pop a ready batch (mu_ held). When nothing is ready, returns false
   /// and sets *next_flush to the earliest max-wait expiry (or
   /// TimePoint::max() when idle). `force` flushes any non-empty bucket
   /// regardless of wait time (drain mode).
   bool pop_batch_locked(std::vector<ServeRequest>& out, TimePoint now,
-                        bool force, TimePoint* next_flush);
+                        bool force, TimePoint* next_flush) REQUIRES(mu_);
 
   RequestQueue& queue_;
   BatcherConfig cfg_;
   ServeStats* stats_;
-  mutable std::mutex mu_;
-  std::map<int64_t, std::deque<ServeRequest>> buckets_;
-  size_t pending_ = 0;
-  bool aborted_ = false;
+  mutable Mutex mu_;
+  std::map<int64_t, std::deque<ServeRequest>> buckets_ GUARDED_BY(mu_);
+  size_t pending_ GUARDED_BY(mu_) = 0;
+  bool aborted_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fqbert::serve

@@ -4,7 +4,7 @@ namespace fqbert::serve {
 
 void EngineRegistry::register_model(
     const std::string& name, std::shared_ptr<const core::FqBertModel> model) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[name] = Entry{std::move(model), ""};
 }
 
@@ -17,7 +17,7 @@ bool EngineRegistry::register_file(const std::string& name,
   } catch (const std::exception&) {
     return false;
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   entries_[name] = Entry{std::move(proto), path};
   return true;
 }
@@ -25,7 +25,7 @@ bool EngineRegistry::register_file(const std::string& name,
 bool EngineRegistry::unregister(const std::string& name) {
   std::shared_ptr<const core::FqBertModel> doomed;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) return false;
     // The potentially last reference is dropped outside the lock so a
@@ -38,24 +38,24 @@ bool EngineRegistry::unregister(const std::string& name) {
 
 std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? nullptr : it->second.model;
 }
 
 std::string EngineRegistry::source_path(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   auto it = entries_.find(name);
   return it == entries_.end() ? "" : it->second.path;
 }
 
 bool EngineRegistry::contains(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return entries_.count(name) > 0;
 }
 
 std::vector<std::string> EngineRegistry::names() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   std::vector<std::string> out;
   out.reserve(entries_.size());
   for (const auto& [name, entry] : entries_) out.push_back(name);

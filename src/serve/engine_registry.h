@@ -8,11 +8,11 @@
 
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/fq_bert.h"
+#include "platform/thread_annotations.h"
 
 namespace fqbert::serve {
 
@@ -48,8 +48,8 @@ class EngineRegistry {
     std::shared_ptr<const core::FqBertModel> model;
     std::string path;  // empty for in-memory entries
   };
-  mutable std::mutex mu_;
-  std::map<std::string, Entry> entries_;
+  mutable Mutex mu_;
+  std::map<std::string, Entry> entries_ GUARDED_BY(mu_);
 };
 
 }  // namespace fqbert::serve

@@ -4,6 +4,7 @@
 #include <iterator>
 #include <thread>
 
+#include "platform/thread_annotations.h"
 #include "serve/net/transport_client.h"
 
 namespace fqbert::serve {
@@ -32,8 +33,8 @@ struct ClientTally {
     }
   }
 
-  void merge_into(LoadgenReport& report, std::mutex& mu) {
-    std::lock_guard<std::mutex> lock(mu);
+  void merge_into(LoadgenReport& report, Mutex& mu) {
+    MutexLock lock(mu);
     report.sent += sent;
     report.ok += ok;
     report.rejected += rejected;
@@ -83,7 +84,7 @@ LoadgenReport run_loadgen(InferenceServer& server,
                           const nn::BertConfig& engine_config,
                           const LoadgenConfig& cfg) {
   LoadgenReport report;
-  std::mutex report_mu;
+  Mutex report_mu;
 
   const TimePoint t0 = Clock::now();
   std::vector<std::thread> clients;
@@ -121,7 +122,7 @@ LoadgenReport run_loadgen_remote(
     const std::string& host, uint16_t port,
     const std::vector<RemoteModelTarget>& models, const LoadgenConfig& cfg) {
   LoadgenReport report;
-  std::mutex report_mu;
+  Mutex report_mu;
   if (models.empty()) return report;
 
   const TimePoint t0 = Clock::now();

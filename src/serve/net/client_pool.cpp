@@ -21,7 +21,7 @@ ClientPool::ClientPool(std::string host, uint16_t port,
 
 ClientPool::Handle ClientPool::checkout(std::string* error) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     if (closed_) {
       if (error != nullptr) *error = "pool is shut down";
       return Handle();
@@ -40,7 +40,7 @@ ClientPool::Handle ClientPool::checkout(std::string* error) {
     if (error != nullptr) *error = client->error();
     return Handle();
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) {
     // shutdown_all ran while we were dialing: this connection would
     // escape the sweep, so it must not be leased.
@@ -53,7 +53,7 @@ ClientPool::Handle ClientPool::checkout(std::string* error) {
 }
 
 void ClientPool::give_back(std::unique_ptr<TransportClient> client) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   outstanding_.erase(client.get());
   // The reuse rule: only a connection whose last operation left the
   // stream aligned (connected, no transport-level error latched) may
@@ -69,30 +69,30 @@ void ClientPool::give_back(std::unique_ptr<TransportClient> client) {
 }
 
 void ClientPool::forget(TransportClient* client) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   outstanding_.erase(client);
   ++stats_.discarded;
 }
 
 void ClientPool::clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   idle_.clear();
 }
 
 void ClientPool::shutdown_all() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   for (const auto& client : idle_) client->shutdown_socket();
   for (TransportClient* client : outstanding_) client->shutdown_socket();
 }
 
 void ClientPool::reopen() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = false;
 }
 
 ClientPool::Stats ClientPool::stats() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Stats s = stats_;
   s.idle = idle_.size();
   return s;

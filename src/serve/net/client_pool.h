@@ -27,11 +27,11 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <set>
 #include <string>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/net/transport_client.h"
 
 namespace fqbert::serve::net {
@@ -144,15 +144,15 @@ class ClientPool {
   const uint16_t port_;
   const ClientPoolConfig cfg_;
 
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   // LIFO: the most recently used connection is the least likely to have
   // been idle-closed by the peer.
-  std::vector<std::unique_ptr<TransportClient>> idle_;
+  std::vector<std::unique_ptr<TransportClient>> idle_ GUARDED_BY(mu_);
   /// Connections currently leased out (for shutdown_all; entries are
   /// owned by their Handle, this only observes them).
-  std::set<TransportClient*> outstanding_;
-  bool closed_ = false;  // set by shutdown_all; checkouts refuse
-  Stats stats_;
+  std::set<TransportClient*> outstanding_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;  // set by shutdown_all
+  Stats stats_ GUARDED_BY(mu_);
 };
 
 }  // namespace fqbert::serve::net

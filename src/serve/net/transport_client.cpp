@@ -62,16 +62,15 @@ int connect_with_timeout(int fd, const sockaddr* addr, socklen_t addrlen,
 TransportClient::~TransportClient() { close(); }
 
 void TransportClient::close() {
-  std::lock_guard<std::mutex> lock(fd_mu_);
-  if (fd_ >= 0) {
-    ::close(fd_);
-    fd_ = -1;
-  }
+  MutexLock lock(fd_mu_);
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) ::close(fd);
 }
 
 void TransportClient::shutdown_socket() {
-  std::lock_guard<std::mutex> lock(fd_mu_);
-  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+  MutexLock lock(fd_mu_);
+  const int fd = fd_.load(std::memory_order_acquire);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 bool TransportClient::fail(ClientError kind, const std::string& message) {
@@ -126,8 +125,8 @@ bool TransportClient::connect(const std::string& host, uint16_t port) {
     ::setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   }
   {
-    std::lock_guard<std::mutex> lock(fd_mu_);
-    fd_ = fd;
+    MutexLock lock(fd_mu_);
+    fd_.store(fd, std::memory_order_release);
   }
   error_.clear();
   error_kind_ = ClientError::kNone;
@@ -141,7 +140,8 @@ bool TransportClient::send_all(const std::vector<uint8_t>& bytes) {
 bool TransportClient::send_all(const uint8_t* data, size_t len) {
   size_t sent = 0;
   while (sent < len) {
-    const ssize_t n = ::send(fd_, data + sent, len - sent, MSG_NOSIGNAL);
+    const ssize_t n = ::send(fd_.load(std::memory_order_acquire), data + sent,
+                             len - sent, MSG_NOSIGNAL);
     if (n > 0) {
       sent += static_cast<size_t>(n);
       continue;
@@ -173,7 +173,7 @@ bool TransportClient::recv_exact(uint8_t* out, size_t n,
                     "receive timed out mid-frame; connection closed");
       const int timeout_ms = static_cast<int>(
           std::min<int64_t>((remaining_us + 999) / 1000, 3'600'000));
-      pollfd pfd{fd_, POLLIN, 0};
+      pollfd pfd{fd_.load(std::memory_order_acquire), POLLIN, 0};
       const int ready = ::poll(&pfd, 1, timeout_ms);
       if (ready == 0)
         return fail(ClientError::kTimedOut,
@@ -184,7 +184,8 @@ bool TransportClient::recv_exact(uint8_t* out, size_t n,
                     std::string("poll failed: ") + std::strerror(errno));
       }
     }
-    const ssize_t r = ::recv(fd_, out + got, n - got, 0);
+    const ssize_t r =
+        ::recv(fd_.load(std::memory_order_acquire), out + got, n - got, 0);
     if (r > 0) {
       got += static_cast<size_t>(r);
       continue;

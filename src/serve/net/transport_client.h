@@ -21,12 +21,13 @@
 // to prove old clients still get served on the default model.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/net/frame.h"
 
 namespace fqbert::serve::net {
@@ -78,7 +79,9 @@ class TransportClient {
   /// usual. Guarded against a concurrent close(), so a recycled
   /// descriptor number is never touched.
   void shutdown_socket();
-  bool connected() const { return fd_ >= 0; }
+  bool connected() const {
+    return fd_.load(std::memory_order_acquire) >= 0;
+  }
 
   /// Ask the server for the shape of `model` ("" = its default model).
   std::optional<nn::BertConfig> query_info(const std::string& model = "");
@@ -162,10 +165,14 @@ class TransportClient {
   /// every failure closes the connection.
   bool recv_exact(uint8_t* out, size_t n, TimePoint deadline);
 
-  /// Guards fd_ writes (close/connect) against cross-thread
-  /// shutdown_socket(); the owner thread's send/recv use fd_ freely.
-  std::mutex fd_mu_;
-  int fd_ = -1;
+  /// Guards fd_ lifecycle transitions (connect/close) against a
+  /// cross-thread shutdown_socket(), so a recycled descriptor number is
+  /// never shut down. fd_ itself is atomic — NOT guarded — because the
+  /// owner thread's send/recv loops read it lock-free while a failing
+  /// call (or a concurrent shutdown_socket) races with close(); a plain
+  /// int here is a TSan-visible data race.
+  Mutex fd_mu_;
+  std::atomic<int> fd_{-1};
   uint8_t version_ = kProtocolVersion;
   Micros connect_timeout_{0};
   Micros recv_timeout_{0};

@@ -102,7 +102,12 @@ bool TransportServer::start() {
   wake_wr_ = pipe_fds[1];
 
   stopping_ = false;
-  waiters_closed_ = false;
+  {
+    // Completion threads from a previous start() are joined, but the
+    // lock keeps the analysis (and any future restart path) honest.
+    MutexLock lock(waiters_mu_);
+    waiters_closed_ = false;
+  }
   running_ = true;
   loop_thread_ = std::thread([this] { event_loop(); });
   for (int i = 0; i < cfg_.completion_threads; ++i)
@@ -118,7 +123,7 @@ void TransportServer::stop() {
   {
     // Completion threads drain every in-flight future (the event loop
     // is gone, so their responses are dropped), then exit.
-    std::lock_guard<std::mutex> lock(waiters_mu_);
+    MutexLock lock(waiters_mu_);
     waiters_closed_ = true;
   }
   waiters_cv_.notify_all();
@@ -131,7 +136,7 @@ void TransportServer::stop() {
 }
 
 TransportServer::Counters TransportServer::counters() const {
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(counters_mu_);
   return counters_;
 }
 
@@ -143,7 +148,7 @@ void TransportServer::wake_event_loop() {
 
 void TransportServer::push_waiter(Waiter&& w) {
   {
-    std::lock_guard<std::mutex> lock(waiters_mu_);
+    MutexLock lock(waiters_mu_);
     waiters_.push_back(std::move(w));
   }
   waiters_cv_.notify_one();
@@ -153,9 +158,11 @@ void TransportServer::completion_loop() {
   for (;;) {
     Waiter w;
     {
-      std::unique_lock<std::mutex> lock(waiters_mu_);
-      waiters_cv_.wait(lock,
-                       [this] { return waiters_closed_ || !waiters_.empty(); });
+      MutexLock lock(waiters_mu_);
+      // Explicit loop: a lambda predicate reading waiters_ would be
+      // opaque to the thread-safety analysis.
+      while (!waiters_closed_ && waiters_.empty())
+        waiters_cv_.wait(lock.native());
       if (waiters_.empty()) return;  // closed and drained
       w = std::move(waiters_.front());
       waiters_.pop_front();
@@ -190,7 +197,7 @@ void TransportServer::completion_loop() {
       encode_serve_response(wire, done.bytes, w.version);
     }
     {
-      std::lock_guard<std::mutex> lock(completions_mu_);
+      MutexLock lock(completions_mu_);
       completions_.push_back(std::move(done));
     }
     wake_event_loop();
@@ -231,7 +238,7 @@ void TransportServer::event_loop() {
       }
       std::deque<Completion> done;
       {
-        std::lock_guard<std::mutex> lock(completions_mu_);
+        MutexLock lock(completions_mu_);
         done.swap(completions_);
       }
       for (Completion& c : done) {
@@ -240,12 +247,12 @@ void TransportServer::event_loop() {
         it->second.out.insert(it->second.out.end(), c.bytes.begin(),
                               c.bytes.end());
         {
-          std::lock_guard<std::mutex> lock(counters_mu_);
+          MutexLock lock(counters_mu_);
           ++counters_.frames_out;
         }
         if (it->second.out.size() - it->second.out_pos > kMaxWriteBuffer) {
           {
-            std::lock_guard<std::mutex> lock(counters_mu_);
+            MutexLock lock(counters_mu_);
             ++counters_.overflow_closes;
           }
           close_connection(c.conn_id);
@@ -293,7 +300,7 @@ void TransportServer::accept_ready() {
     Connection conn;
     conn.fd = fd;
     conns_.emplace(next_conn_id_++, std::move(conn));
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    MutexLock lock(counters_mu_);
     ++counters_.accepted;
   }
 }
@@ -318,14 +325,14 @@ bool TransportServer::service_reads(Connection& conn, uint64_t conn_id) {
   // poll re-arms, the remainder is read next iteration — fairness over
   // greed.
   if (!drain_frames(conn, conn_id)) {
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    MutexLock lock(counters_mu_);
     ++counters_.protocol_errors;
     return false;
   }
   if (conn.out.size() - conn.out_pos > kMaxWriteBuffer) {
     // Backpressure, not wire corruption: the peer writes requests but
     // never reads responses. Counted apart from protocol errors.
-    std::lock_guard<std::mutex> lock(counters_mu_);
+    MutexLock lock(counters_mu_);
     ++counters_.overflow_closes;
     return false;
   }
@@ -347,7 +354,7 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
     if (conn.in.size() - pos < kHeaderSize + hdr.payload_len) break;
     const uint8_t* payload = conn.in.data() + pos + kHeaderSize;
     {
-      std::lock_guard<std::mutex> lock(counters_mu_);
+      MutexLock lock(counters_mu_);
       ++counters_.frames_in;
     }
     switch (hdr.type) {
@@ -377,7 +384,7 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
           ok = false;
           break;
         }
-        std::lock_guard<std::mutex> lock(counters_mu_);
+        MutexLock lock(counters_mu_);
         ++counters_.frames_out;
         break;
       }
@@ -448,7 +455,7 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
           break;
         }
         encode_model_list(router_.model_names(), conn.out);
-        std::lock_guard<std::mutex> lock(counters_mu_);
+        MutexLock lock(counters_mu_);
         ++counters_.frames_out;
         break;
       }
@@ -470,7 +477,7 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
               false, "no model named '" + name + "' is being served",
               conn.out);
         }
-        std::lock_guard<std::mutex> lock(counters_mu_);
+        MutexLock lock(counters_mu_);
         ++counters_.frames_out;
         break;
       }
@@ -510,7 +517,7 @@ void TransportServer::close_connection(uint64_t conn_id) {
   if (it == conns_.end()) return;
   ::close(it->second.fd);
   conns_.erase(it);
-  std::lock_guard<std::mutex> lock(counters_mu_);
+  MutexLock lock(counters_mu_);
   ++counters_.closed;
 }
 

@@ -33,11 +33,11 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/net/frame.h"
 #include "serve/router/model_router.h"
 
@@ -146,16 +146,16 @@ class TransportServer {
   // co.), so a full queue cannot busy-spin the poll loop.
   TimePoint accept_backoff_until_{};
 
-  std::mutex waiters_mu_;
+  Mutex waiters_mu_;
   std::condition_variable waiters_cv_;
-  std::deque<Waiter> waiters_;
-  bool waiters_closed_ = false;
+  std::deque<Waiter> waiters_ GUARDED_BY(waiters_mu_);
+  bool waiters_closed_ GUARDED_BY(waiters_mu_) = false;
 
-  std::mutex completions_mu_;
-  std::deque<Completion> completions_;
+  Mutex completions_mu_;
+  std::deque<Completion> completions_ GUARDED_BY(completions_mu_);
 
-  mutable std::mutex counters_mu_;
-  Counters counters_;
+  mutable Mutex counters_mu_;
+  Counters counters_ GUARDED_BY(counters_mu_);
 };
 
 }  // namespace fqbert::serve::net

@@ -29,7 +29,7 @@ const char* admit_result_name(AdmitResult r) {
 }
 
 AdmitResult RequestQueue::submit(ServeRequest&& req) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (closed_) return AdmitResult::kClosed;
   if (req.expired(Clock::now())) return AdmitResult::kDeadlineExpired;
   if (pending_.size() >= cfg_.capacity) return AdmitResult::kQueueFull;
@@ -39,7 +39,7 @@ AdmitResult RequestQueue::submit(ServeRequest&& req) {
 }
 
 void RequestQueue::drain_into(std::vector<ServeRequest>& out) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   while (!pending_.empty()) {
     out.push_back(std::move(pending_.front()));
     pending_.pop_front();
@@ -47,25 +47,30 @@ void RequestQueue::drain_into(std::vector<ServeRequest>& out) {
 }
 
 bool RequestQueue::wait_until(TimePoint until) {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait_until(lock, until,
-                 [this] { return !pending_.empty() || closed_; });
+  MutexLock lock(mu_);
+  // Explicit loop instead of the predicate overload: the predicate
+  // would be a lambda reading guarded members, opaque to the
+  // thread-safety analysis.
+  while (pending_.empty() && !closed_) {
+    if (cv_.wait_until(lock.native(), until) == std::cv_status::timeout)
+      break;
+  }
   return !pending_.empty();
 }
 
 void RequestQueue::close() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   closed_ = true;
   cv_.notify_all();
 }
 
 bool RequestQueue::closed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return closed_;
 }
 
 size_t RequestQueue::size() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return pending_.size();
 }
 

@@ -9,11 +9,11 @@
 #include <cstdint>
 #include <deque>
 #include <future>
-#include <mutex>
 #include <optional>
 #include <vector>
 
 #include "nn/bert.h"
+#include "platform/thread_annotations.h"
 #include "serve/trace.h"
 
 namespace fqbert::serve {
@@ -110,10 +110,10 @@ class RequestQueue {
 
  private:
   RequestQueueConfig cfg_;
-  mutable std::mutex mu_;
+  mutable Mutex mu_;
   std::condition_variable cv_;
-  std::deque<ServeRequest> pending_;
-  bool closed_ = false;
+  std::deque<ServeRequest> pending_ GUARDED_BY(mu_);
+  bool closed_ GUARDED_BY(mu_) = false;
 };
 
 }  // namespace fqbert::serve

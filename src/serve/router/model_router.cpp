@@ -48,7 +48,7 @@ void ModelRouter::shutdown(bool drain) {
   // workers would poll forever waiting for it to drain.
   std::vector<std::shared_ptr<Lane>> lanes;
   {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    MutexLock lock(lanes_mu_);
     accepting_lanes_ = false;
     lanes.reserve(lanes_.size());
     for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
@@ -74,7 +74,7 @@ bool ModelRouter::insert_lane(
     std::shared_ptr<const core::FqBertModel> engine, std::string* error) {
   auto lane = std::make_shared<Lane>(name, std::move(engine), cfg_);
   {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    MutexLock lock(lanes_mu_);
     if (!accepting_lanes_) {
       set_error(error, "router is shutting down");
       return false;
@@ -101,7 +101,7 @@ bool ModelRouter::add_model(const std::string& name, std::string* error) {
 
 bool ModelRouter::load_model(const std::string& name,
                              const std::string& path, std::string* error) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   if (has_model(name)) {
     set_error(error, "model '" + name + "' is already being served");
     return false;
@@ -132,7 +132,7 @@ bool ModelRouter::lane_drained(const Lane& lane) {
 }
 
 bool ModelRouter::unload_model(const std::string& name, std::string* error) {
-  std::lock_guard<std::mutex> admin(admin_mu_);
+  MutexLock admin(admin_mu_);
   std::shared_ptr<Lane> lane = find_lane(name);
   if (!lane) {
     set_error(error, "model '" + name + "' is not being served");
@@ -148,9 +148,9 @@ bool ModelRouter::unload_model(const std::string& name, std::string* error) {
   if (running()) {
     // Drain: other lanes keep serving — only this caller blocks. The
     // timed re-check makes a lost notify cost latency, never a hang.
-    std::unique_lock<std::mutex> lock(lanes_mu_);
+    MutexLock lock(lanes_mu_);
     while (!lane_drained(*lane))
-      drain_cv_.wait_for(lock, std::chrono::milliseconds(20));
+      drain_cv_.wait_for(lock.native(), std::chrono::milliseconds(20));
   } else {
     // No workers will ever run this lane's work (never started, or
     // already shut down): fail whatever is parked instead of hanging.
@@ -159,7 +159,7 @@ bool ModelRouter::unload_model(const std::string& name, std::string* error) {
   }
 
   {
-    std::lock_guard<std::mutex> lock(lanes_mu_);
+    MutexLock lock(lanes_mu_);
     lanes_.erase(name);
   }
   registry_.unregister(name);
@@ -238,7 +238,7 @@ void ModelRouter::worker_loop(size_t worker_index) {
     // epoch, so the wait below falls through and we re-scan.
     uint64_t epoch;
     {
-      std::lock_guard<std::mutex> lock(wake_mu_);
+      MutexLock lock(wake_mu_);
       epoch = work_epoch_;
     }
 
@@ -258,7 +258,7 @@ void ModelRouter::worker_loop(size_t worker_index) {
       lane.inflight.fetch_sub(1);
       if (lane.closing) {
         // unload_model may be parked on this lane's drain.
-        std::lock_guard<std::mutex> lock(lanes_mu_);
+        MutexLock lock(lanes_mu_);
         drain_cv_.notify_all();
       }
       if (poll != DynamicBatcher::Poll::kDrained) all_drained = false;
@@ -270,16 +270,20 @@ void ModelRouter::worker_loop(size_t worker_index) {
     if (stopping_ && all_drained) return;
 
     const TimePoint cap = Clock::now() + kWorkerParkCap;
-    std::unique_lock<std::mutex> lock(wake_mu_);
-    wake_cv_.wait_until(lock, std::min(next_flush, cap), [&] {
-      return work_epoch_ != epoch || stopping_.load();
-    });
+    MutexLock lock(wake_mu_);
+    // Explicit loop: a lambda predicate reading work_epoch_ would be
+    // opaque to the thread-safety analysis.
+    while (work_epoch_ == epoch && !stopping_) {
+      if (wake_cv_.wait_until(lock.native(), std::min(next_flush, cap)) ==
+          std::cv_status::timeout)
+        break;
+    }
   }
 }
 
 void ModelRouter::wake_workers() {
   {
-    std::lock_guard<std::mutex> lock(wake_mu_);
+    MutexLock lock(wake_mu_);
     ++work_epoch_;
   }
   wake_cv_.notify_all();
@@ -287,7 +291,7 @@ void ModelRouter::wake_workers() {
 
 std::vector<std::shared_ptr<ModelRouter::Lane>> ModelRouter::snapshot_lanes()
     const {
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  MutexLock lock(lanes_mu_);
   std::vector<std::shared_ptr<Lane>> out;
   out.reserve(lanes_.size());
   for (const auto& [name, lane] : lanes_) out.push_back(lane);
@@ -296,7 +300,7 @@ std::vector<std::shared_ptr<ModelRouter::Lane>> ModelRouter::snapshot_lanes()
 
 std::shared_ptr<ModelRouter::Lane> ModelRouter::find_lane(
     const std::string& name) const {
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  MutexLock lock(lanes_mu_);
   const std::string& resolved = name.empty() ? default_model_ : name;
   auto it = lanes_.find(resolved);
   return it == lanes_.end() ? nullptr : it->second;
@@ -307,7 +311,7 @@ bool ModelRouter::has_model(const std::string& name) const {
 }
 
 std::vector<std::string> ModelRouter::model_names() const {
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  MutexLock lock(lanes_mu_);
   std::vector<std::string> out;
   out.reserve(lanes_.size());
   for (const auto& [name, lane] : lanes_) out.push_back(name);
@@ -350,7 +354,7 @@ std::vector<std::pair<std::string, size_t>> ModelRouter::queue_depths()
 }
 
 std::string ModelRouter::default_model() const {
-  std::lock_guard<std::mutex> lock(lanes_mu_);
+  MutexLock lock(lanes_mu_);
   return default_model_;
 }
 

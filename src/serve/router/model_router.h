@@ -29,12 +29,12 @@
 #include <condition_variable>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/engine_pool.h"
 #include "serve/engine_registry.h"
 #include "serve/server.h"
@@ -169,24 +169,24 @@ class ModelRouter {
   EngineRegistry& registry_;
   RouterConfig cfg_;
 
-  mutable std::mutex lanes_mu_;
-  std::map<std::string, std::shared_ptr<Lane>> lanes_;
+  mutable Mutex lanes_mu_;
+  std::map<std::string, std::shared_ptr<Lane>> lanes_ GUARDED_BY(lanes_mu_);
   /// Cleared (under lanes_mu_) at the top of shutdown(), atomically
   /// with the lane snapshot whose queues shutdown closes — so a racing
   /// load_model can never publish a lane shutdown would miss.
-  bool accepting_lanes_ = true;
-  std::string default_model_;
+  bool accepting_lanes_ GUARDED_BY(lanes_mu_) = true;
+  std::string default_model_ GUARDED_BY(lanes_mu_);
   /// Signaled by workers when a closing lane's work recedes;
   /// unload_model waits on it under lanes_mu_.
   std::condition_variable drain_cv_;
 
   /// Serializes load/unload against each other (the data plane never
   /// takes this).
-  std::mutex admin_mu_;
+  Mutex admin_mu_;
 
-  std::mutex wake_mu_;
+  Mutex wake_mu_;
   std::condition_variable wake_cv_;
-  uint64_t work_epoch_ = 0;
+  uint64_t work_epoch_ GUARDED_BY(wake_mu_) = 0;
 
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> next_id_{1};

@@ -77,7 +77,12 @@ bool ShardProxy::add_backend(const std::string& host, uint16_t port,
   pool_cfg.connect_timeout = cfg_.connect_timeout;
   pool_cfg.recv_timeout = cfg_.call_timeout;
   auto backend = std::make_unique<Backend>(host, port, models, pool_cfg);
-  backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
+  {
+    // Pre-start, single-threaded — locked only to satisfy the
+    // thread-safety analysis, which cannot see the publication order.
+    MutexLock lock(backend->health_mu);
+    backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
+  }
   for (const std::string& model : models)
     placement_[model].push_back(backend.get());
   if (default_model_.empty()) default_model_ = models.front();
@@ -136,7 +141,7 @@ void ShardProxy::stop() {
     // Set under the cv mutex: notifying between the health loop's
     // predicate check and its sleep would otherwise be a lost wakeup
     // (stop() would stall a full health_interval).
-    std::lock_guard<std::mutex> lock(health_cv_mu_);
+    MutexLock lock(health_cv_mu_);
     stopping_ = true;
   }
   health_cv_.notify_all();
@@ -149,7 +154,7 @@ void ShardProxy::stop() {
 
   std::map<uint64_t, std::thread> threads;
   {
-    std::lock_guard<std::mutex> lock(conns_mu_);
+    MutexLock lock(conns_mu_);
     // Wake per-connection threads blocked in poll/recv on their client
     // socket; each closes its own fd on exit.
     for (const auto& [id, fd] : conn_fds_) ::shutdown(fd, SHUT_RDWR);
@@ -160,7 +165,7 @@ void ShardProxy::stop() {
 
   for (auto& b : backends_) {
     b->pool.clear();
-    std::lock_guard<std::mutex> lock(b->health_mu);
+    MutexLock lock(b->health_mu);
     b->health.close();
   }
   ::close(listen_fd_);
@@ -182,7 +187,7 @@ std::vector<ShardProxy::BackendStatus> ShardProxy::backend_status() const {
     BackendStatus s;
     s.address = b->address;
     s.models = b->models;
-    std::lock_guard<std::mutex> lock(b->mu);
+    MutexLock lock(b->mu);
     s.state = b->state;
     s.health_ok = b->health_ok;
     s.health_failed = b->health_failed;
@@ -213,7 +218,7 @@ ShardProxy::Counters ShardProxy::counters() const {
 
 void ShardProxy::note_outcome(Backend& backend, bool success,
                               bool health_probe) {
-  std::lock_guard<std::mutex> lock(backend.mu);
+  MutexLock lock(backend.mu);
   if (success) {
     if (health_probe)
       ++backend.health_ok;
@@ -248,7 +253,7 @@ void ShardProxy::note_outcome(Backend& backend, bool success,
 }
 
 BackendState ShardProxy::backend_state(const Backend& backend) const {
-  std::lock_guard<std::mutex> lock(backend.mu);
+  MutexLock lock(backend.mu);
   return backend.state;
 }
 
@@ -262,7 +267,7 @@ void ShardProxy::run_health_round() {
     probes.emplace_back([this, backend = b.get()] {
       bool ok = false;
       {
-        std::lock_guard<std::mutex> lock(backend->health_mu);
+        MutexLock lock(backend->health_mu);
         if (!backend->health.connected())
           backend->health.connect(backend->host, backend->port);
         if (backend->health.connected()) {
@@ -285,14 +290,17 @@ void ShardProxy::run_health_round() {
 void ShardProxy::check_backends_now() { run_health_round(); }
 
 void ShardProxy::health_loop() {
-  std::unique_lock<std::mutex> lock(health_cv_mu_);
-  while (!stopping_) {
-    health_cv_.wait_for(lock, cfg_.health_interval,
-                        [this] { return stopping_.load(); });
-    if (stopping_) break;
-    lock.unlock();
+  for (;;) {
+    {
+      MutexLock lock(health_cv_mu_);
+      if (stopping_) return;
+      // The predicate reads only the atomic stopping_ (no guarded
+      // state), so the lambda is safe under the thread-safety analysis.
+      health_cv_.wait_for(lock.native(), cfg_.health_interval,
+                          [this] { return stopping_.load(); });
+      if (stopping_) return;
+    }
     run_health_round();
-    lock.lock();
   }
 }
 
@@ -304,7 +312,7 @@ void ShardProxy::accept_loop() {
   while (!stopping_) {
     // Reap finished connection threads (they cannot join themselves).
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       for (const uint64_t id : finished_conns_) {
         auto it = conn_threads_.find(id);
         if (it != conn_threads_.end()) {
@@ -322,7 +330,7 @@ void ShardProxy::accept_loop() {
         ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
     if (fd < 0) continue;
     {
-      std::lock_guard<std::mutex> lock(conns_mu_);
+      MutexLock lock(conns_mu_);
       if (conn_fds_.size() >= cfg_.max_connections) {
         ::close(fd);
         continue;
@@ -337,7 +345,7 @@ void ShardProxy::accept_loop() {
         // stop() iterates conn_fds_ to shutdown() live sockets, and a
         // close outside the lock could free the fd number for reuse
         // while stop() still holds it.
-        std::lock_guard<std::mutex> exit_lock(conns_mu_);
+        MutexLock exit_lock(conns_mu_);
         conn_fds_.erase(id);
         ::close(fd);
         finished_conns_.push_back(id);
@@ -411,6 +419,7 @@ bool ShardProxy::send_to_client(int fd, const std::vector<uint8_t>& bytes) {
 
 bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
                               const uint8_t* frame, size_t frame_len) {
+  // lint-wire: complete frame — decode_header validated payload_len
   const uint8_t* payload = frame + net::kHeaderSize;
   const size_t len = hdr.payload_len;
   switch (hdr.type) {
@@ -513,6 +522,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     return std::chrono::duration_cast<Micros>(Clock::now() - received_at)
         .count();
   };
+  // lint-wire: same complete-frame guarantee as handle_frame.
   const uint8_t* payload = frame + net::kHeaderSize;
   uint64_t correlation = 0;
   uint64_t trace_id = 0;
@@ -622,6 +632,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     if (hdr.version < 2 &&
         status == RequestStatus::kRejectedUnknownModel &&
         rpayload.size() > 8)
+      // lint-wire: fixed-offset status-byte splice, size-guarded above.
       rpayload[8] = static_cast<uint8_t>(RequestStatus::kRejectedInvalid);
     std::vector<uint8_t> out;
     net::FrameHeader relay = rhdr;

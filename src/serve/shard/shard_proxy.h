@@ -61,11 +61,11 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/net/client_pool.h"
 #include "serve/net/frame.h"
 
@@ -186,15 +186,18 @@ class ShardProxy {
     net::ClientPool pool;
 
     /// Dedicated ping connection (health thread + check_backends_now).
-    std::mutex health_mu;
-    net::TransportClient health;
+    Mutex health_mu;
+    net::TransportClient health GUARDED_BY(health_mu);
 
-    mutable std::mutex mu;  // state machine + counters below
-    BackendState state = BackendState::kHealthy;
-    int fail_streak = 0;
-    int ok_streak = 0;
-    uint64_t health_ok = 0, health_failed = 0;
-    uint64_t forwarded = 0, forward_failures = 0, recoveries = 0;
+    mutable Mutex mu;  // state machine + counters below
+    BackendState state GUARDED_BY(mu) = BackendState::kHealthy;
+    int fail_streak GUARDED_BY(mu) = 0;
+    int ok_streak GUARDED_BY(mu) = 0;
+    uint64_t health_ok GUARDED_BY(mu) = 0;
+    uint64_t health_failed GUARDED_BY(mu) = 0;
+    uint64_t forwarded GUARDED_BY(mu) = 0;
+    uint64_t forward_failures GUARDED_BY(mu) = 0;
+    uint64_t recoveries GUARDED_BY(mu) = 0;
   };
 
   void accept_loop();
@@ -280,13 +283,16 @@ class ShardProxy {
   std::thread accept_thread_;
   std::thread health_thread_;
 
-  std::mutex conns_mu_;
-  std::map<uint64_t, int> conn_fds_;
-  std::map<uint64_t, std::thread> conn_threads_;
-  std::vector<uint64_t> finished_conns_;  // reaped by the accept loop
-  uint64_t next_conn_id_ = 1;
+  Mutex conns_mu_;
+  std::map<uint64_t, int> conn_fds_ GUARDED_BY(conns_mu_);
+  std::map<uint64_t, std::thread> conn_threads_ GUARDED_BY(conns_mu_);
+  /// Reaped by the accept loop.
+  std::vector<uint64_t> finished_conns_ GUARDED_BY(conns_mu_);
+  uint64_t next_conn_id_ GUARDED_BY(conns_mu_) = 1;
 
-  std::mutex health_cv_mu_;
+  /// Orders stop()'s stopping_ store against the health loop's
+  /// check-then-wait (lost-wakeup prevention); guards no data.
+  Mutex health_cv_mu_;
   std::condition_variable health_cv_;
 
   std::atomic<uint64_t> accepted_{0}, served_{0}, failovers_{0};

@@ -5,48 +5,48 @@
 namespace fqbert::serve {
 
 void ServeStats::record_admitted() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++admitted_;
 }
 
 void ServeStats::record_rejected_full() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++rejected_full_;
 }
 
 void ServeStats::record_rejected_deadline() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++rejected_deadline_;
 }
 
 void ServeStats::record_rejected_invalid() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++rejected_invalid_;
 }
 
 void ServeStats::record_rejected_closed() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++rejected_closed_;
 }
 
 void ServeStats::record_timeout() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++timed_out_;
 }
 
 void ServeStats::record_failure() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++failed_;
 }
 
 void ServeStats::record_batch(size_t batch_size) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++batches_;
   batched_requests_ += batch_size;
 }
 
 void ServeStats::record_response(int64_t latency_us, int64_t queue_us) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   ++completed_;
   queue_us_sum_ += queue_us;
   latencies_us_.record(latency_us);
@@ -105,7 +105,7 @@ ServeStats::Report ServeStats::aggregate(const std::vector<Report>& parts) {
 }
 
 ServeStats::Report ServeStats::report() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   Report r;
   r.admitted = admitted_;
   r.rejected_full = rejected_full_;
@@ -135,7 +135,7 @@ ServeStats::Report ServeStats::report() const {
 }
 
 void ServeStats::reset() {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   admitted_ = rejected_full_ = rejected_deadline_ = 0;
   rejected_invalid_ = rejected_closed_ = 0;
   timed_out_ = failed_ = batches_ = batched_requests_ = 0;

@@ -16,9 +16,9 @@
 
 #include <cstddef>
 #include <cstdint>
-#include <mutex>
 #include <vector>
 
+#include "platform/thread_annotations.h"
 #include "serve/quantile_sketch.h"
 
 namespace fqbert::serve {
@@ -88,13 +88,19 @@ class ServeStats {
   void reset();
 
  private:
-  mutable std::mutex mu_;
-  uint64_t admitted_ = 0, rejected_full_ = 0, rejected_deadline_ = 0;
-  uint64_t rejected_invalid_ = 0, rejected_closed_ = 0;
-  uint64_t timed_out_ = 0, failed_ = 0, batches_ = 0, batched_requests_ = 0;
-  uint64_t completed_ = 0;
-  int64_t queue_us_sum_ = 0;
-  QuantileSketch latencies_us_;
+  mutable Mutex mu_;
+  uint64_t admitted_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_full_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_deadline_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_invalid_ GUARDED_BY(mu_) = 0;
+  uint64_t rejected_closed_ GUARDED_BY(mu_) = 0;
+  uint64_t timed_out_ GUARDED_BY(mu_) = 0;
+  uint64_t failed_ GUARDED_BY(mu_) = 0;
+  uint64_t batches_ GUARDED_BY(mu_) = 0;
+  uint64_t batched_requests_ GUARDED_BY(mu_) = 0;
+  uint64_t completed_ GUARDED_BY(mu_) = 0;
+  int64_t queue_us_sum_ GUARDED_BY(mu_) = 0;
+  QuantileSketch latencies_us_ GUARDED_BY(mu_);
 };
 
 }  // namespace fqbert::serve

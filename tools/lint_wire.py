@@ -1,0 +1,209 @@
+#!/usr/bin/env python3
+"""Wire-safety linter for the frame protocol.
+
+The serving stack's hard-won rule: raw buffer access on NETWORK BYTES —
+memcpy in or out of a wire buffer, subscripting a payload/frame pointer,
+pointer arithmetic on one — is allowed only inside
+src/serve/net/frame.cpp, whose readers bounds-check every length against
+the remaining buffer before touching a byte. Everywhere else in
+src/serve must go through frame.cpp's encode_*/decode_*/peek_* API, so a
+malformed length can never index past a buffer outside the one file
+built to be suspicious.
+
+Checked patterns (in src/serve/**/*.{cpp,h}, except net/frame.cpp):
+
+  * ``memcpy(`` / ``std::memcpy(``            any raw copy
+  * ``<wire-name>[``                          subscript on a wire buffer
+  * ``<wire-name> +`` / ``+ <wire-name>``     pointer arithmetic on one
+
+where <wire-name> is an identifier conventionally holding network bytes:
+payload, frame, rpayload, wire_bytes.
+
+A site that is genuinely safe (e.g. splitting header from payload AFTER
+decode_header validated the frame length) carries a waiver — on the
+same line or the line directly above:
+
+    // lint-wire: <reason>
+
+The reason is mandatory; a bare waiver is itself a violation. CI runs
+this linter on every push (the static-analysis job) and ctest registers
+it as `lint_wire`; `--self-test` proves the linter still catches a
+seeded violation (`lint_wire_selftest`).
+
+Exit status: 0 clean, 1 violations found, 2 usage/internal error.
+"""
+
+import argparse
+import os
+import re
+import sys
+import tempfile
+
+# Identifiers that hold network bytes by convention across src/serve.
+WIRE_NAMES = r"(?:payload|frame|rpayload|wire_bytes)"
+
+# Each pattern must match OUTSIDE comments/strings (handled by stripping
+# below). Word boundaries keep e.g. `frame_len` or `FrameHeader` clean.
+PATTERNS = [
+    (re.compile(r"\bmemcpy\s*\("), "memcpy on raw bytes"),
+    (re.compile(rf"\b{WIRE_NAMES}\s*\["), "subscript on a wire buffer"),
+    (re.compile(rf"\b{WIRE_NAMES}\s*\+(?!\+)"), "pointer arithmetic on a wire buffer"),
+    (re.compile(rf"(?<!\+)\+\s*{WIRE_NAMES}\b"), "pointer arithmetic on a wire buffer"),
+]
+
+WAIVER = re.compile(r"//\s*lint-wire:\s*(?P<reason>.*?)\s*$")
+
+# The one file allowed to touch raw wire bytes.
+EXEMPT = os.path.join("src", "serve", "net", "frame.cpp")
+
+STRING_OR_CHAR = re.compile(r'"(?:[^"\\]|\\.)*"|\'(?:[^\'\\]|\\.)*\'')
+LINE_COMMENT = re.compile(r"//.*$")
+
+
+def strip_code(line: str, in_block_comment: bool):
+    """Return (code-only text, still-in-block-comment) for one line."""
+    out = []
+    i = 0
+    while i < len(line):
+        if in_block_comment:
+            end = line.find("*/", i)
+            if end < 0:
+                return "".join(out), True
+            i = end + 2
+            in_block_comment = False
+            continue
+        start = line.find("/*", i)
+        if start < 0:
+            out.append(line[i:])
+            break
+        out.append(line[i:start])
+        i = start + 2
+        in_block_comment = True
+    code = "".join(out)
+    code = STRING_OR_CHAR.sub('""', code)
+    code = LINE_COMMENT.sub("", code)
+    return code, in_block_comment
+
+
+def lint_file(path: str, display_path: str):
+    """Return a list of (line_no, message) violations for one file."""
+    violations = []
+    try:
+        with open(path, encoding="utf-8") as f:
+            lines = f.read().splitlines()
+    except OSError as e:
+        return [(0, f"unreadable: {e}")]
+
+    in_block = False
+    prev_raw = ""
+    for no, raw in enumerate(lines, start=1):
+        code, in_block = strip_code(raw, in_block)
+        waiver = WAIVER.search(raw) or WAIVER.search(prev_raw)
+        prev_raw = raw
+        hits = [msg for pat, msg in PATTERNS if pat.search(code)]
+        if not hits:
+            # A waiver with nothing to waive on this or the next line is
+            # noise that rots; flag the bare ones on their own line.
+            if WAIVER.search(raw) and not code.strip():
+                nxt, _ = strip_code(lines[no] if no < len(lines) else "", in_block)
+                if not any(p.search(nxt) for p, _ in PATTERNS):
+                    violations.append((no, "waiver without a waivable site"))
+            continue
+        if waiver:
+            if not waiver.group("reason"):
+                violations.append((no, "waiver missing its reason"))
+            continue
+        for msg in hits:
+            violations.append(
+                (no, f"{msg} outside {EXEMPT} (waive with '// lint-wire: <reason>' if safe)")
+            )
+    return [(n, m) for n, m in violations]
+
+
+def lint_tree(root: str):
+    serve_dir = os.path.join(root, "src", "serve")
+    if not os.path.isdir(serve_dir):
+        print(f"lint_wire: no such directory: {serve_dir}", file=sys.stderr)
+        return 2
+    failures = 0
+    for dirpath, _dirnames, filenames in sorted(os.walk(serve_dir)):
+        for name in sorted(filenames):
+            if not name.endswith((".cpp", ".h")):
+                continue
+            path = os.path.join(dirpath, name)
+            rel = os.path.relpath(path, root)
+            if rel == EXEMPT:
+                continue
+            for line_no, msg in lint_file(path, rel):
+                print(f"{rel}:{line_no}: {msg}")
+                failures += 1
+    if failures:
+        print(f"lint_wire: {failures} violation(s)", file=sys.stderr)
+        return 1
+    return 0
+
+
+SELF_TEST_CASES = [
+    # (source, expect_clean)
+    ("std::memcpy(out, payload, len);\n", False),
+    ("uint32_t v = payload[4];\n", False),
+    ("const uint8_t* body = frame + kHeaderSize;\n", False),
+    # Waived with a reason: allowed.
+    (
+        "// lint-wire: header already validated by decode_header\n"
+        "const uint8_t* body = frame + kHeaderSize;\n",
+        True,
+    ),
+    # Waiver without a reason: still a violation.
+    ("uint32_t v = payload[4];  // lint-wire:\n", False),
+    # Patterns inside comments/strings must not fire.
+    ('// memcpy(payload, x, n) is forbidden here\nconst char* s = "payload[0]";\n', True),
+    # Innocent identifiers sharing a prefix.
+    ("size_t frame_len = hdr.payload_len; ++frames; f(frame_len + 1);\n", True),
+]
+
+
+def self_test():
+    failed = 0
+    for idx, (source, expect_clean) in enumerate(SELF_TEST_CASES):
+        with tempfile.TemporaryDirectory() as tmp:
+            path = os.path.join(tmp, "case.cpp")
+            with open(path, "w", encoding="utf-8") as f:
+                f.write(source)
+            violations = lint_file(path, "case.cpp")
+            clean = not violations
+            if clean != expect_clean:
+                failed += 1
+                print(
+                    f"self-test case {idx}: expected "
+                    f"{'clean' if expect_clean else 'violation'}, got "
+                    f"{violations or 'clean'}\n  source: {source!r}",
+                    file=sys.stderr,
+                )
+    if failed:
+        print(f"lint_wire self-test: {failed} case(s) failed", file=sys.stderr)
+        return 1
+    print(f"lint_wire self-test: all {len(SELF_TEST_CASES)} cases passed")
+    return 0
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root",
+        default=os.path.dirname(os.path.dirname(os.path.abspath(__file__))),
+        help="repository root (default: the checkout containing this script)",
+    )
+    parser.add_argument(
+        "--self-test",
+        action="store_true",
+        help="verify the linter catches seeded violations, then exit",
+    )
+    args = parser.parse_args(argv)
+    if args.self_test:
+        return self_test()
+    return lint_tree(args.root)
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
