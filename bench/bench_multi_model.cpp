@@ -231,9 +231,9 @@ int main(int argc, char** argv) {
               dedicated_wall / router_wall,
               static_cast<unsigned long long>(mismatches.load()));
   bool balanced = true;
-  for (const auto& [name, st] : router.all_stats()) {
+  for (const auto& [name, lane_tier, st] : router.all_stats()) {
     if (!st.accounting_balances()) {
-      std::printf("UNBALANCED lane %s\n", name.c_str());
+      std::printf("UNBALANCED lane %s@int%d\n", name.c_str(), lane_tier);
       balanced = false;
     }
   }

@@ -52,11 +52,12 @@ int main() {
       if (c == 0) {
         // RMS reconstruction error of the first layer's query weights.
         const auto& ql = engine.encoder_layers()[0].wq;
+        const std::vector<int8_t> codes = ql.narrow_codes();
         const Tensor& w = model.layers[0]->attn.wq.weight.value;
         double sq = 0;
         for (int64_t i = 0; i < w.numel(); ++i) {
           const double back =
-              ql.w_codes16[static_cast<size_t>(i)] / ql.w_scale;
+              codes[static_cast<size_t>(i)] / ql.w_scale;
           sq += (back - w[i]) * (back - w[i]);
         }
         rms = std::sqrt(sq / static_cast<double>(w.numel()));

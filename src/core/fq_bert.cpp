@@ -43,10 +43,11 @@ QuantLinear make_quant_linear(const nn::Linear& lin, double in_scale,
   q.out_scale = out_scale;
   q.w_scale = weight_scale_of(lin.weight.value, cfg);
 
-  q.w_codes16.resize(static_cast<size_t>(q.out * q.in));
+  std::vector<int8_t> codes(static_cast<size_t>(q.out * q.in));
   for (int64_t i = 0; i < lin.weight.value.numel(); ++i)
-    q.w_codes16[static_cast<size_t>(i)] = static_cast<int16_t>(
+    codes[static_cast<size_t>(i)] = static_cast<int8_t>(
         quant::quantize_value(lin.weight.value[i], q.w_scale, cfg.weight_bits));
+  q.set_codes(codes);
 
   // Eq. 4: biases on the accumulator grid s_in * s_w.
   q.bias_q.resize(static_cast<size_t>(q.out));
@@ -98,18 +99,40 @@ void QuantLinear::forward_i8(const std::vector<int8_t>& x,
                              std::vector<int8_t>& y, int64_t rows,
                              std::vector<int32_t>& acc,
                              std::vector<int16_t>& panel) const {
-  int_matmul_wt_panel(x, w_codes16, acc, rows, in, out, panel);
+  // Width dispatch to the templated panel kernel: both instantiations
+  // widen every weight to int32 in the multiply, so the narrow (int8)
+  // and wide (int16) resident layouts are bit-identical.
+  if (narrow_storage())
+    int_matmul_wt_panel(x, narrow_data(), acc, rows, in, out, panel);
+  else
+    int_matmul_wt_panel(x, wide_data(), acc, rows, in, out, panel);
   requantize_i8(acc, bias_q, rq, y, rows, out);
 }
 
 void QuantLinear::set_codes(const std::vector<int8_t>& codes) {
-  w_codes16.assign(codes.begin(), codes.end());
+  w_map8 = nullptr;
+  w_map16 = nullptr;
+  if (narrow_storage()) {
+    w_own8 = codes;
+    w_own16.clear();
+    w_own16.shrink_to_fit();
+  } else {
+    w_own16.assign(codes.begin(), codes.end());
+    w_own8.clear();
+    w_own8.shrink_to_fit();
+  }
 }
 
 std::vector<int8_t> QuantLinear::narrow_codes() const {
-  std::vector<int8_t> codes(w_codes16.size());
-  for (size_t i = 0; i < codes.size(); ++i)
-    codes[i] = static_cast<int8_t>(w_codes16[i]);
+  const auto n = static_cast<size_t>(in * out);
+  std::vector<int8_t> codes(n);
+  if (narrow_storage()) {
+    const int8_t* src = narrow_data();
+    std::copy(src, src + n, codes.begin());
+  } else {
+    const int16_t* src = wide_data();
+    for (size_t i = 0; i < n; ++i) codes[i] = static_cast<int8_t>(src[i]);
+  }
   return codes;
 }
 
@@ -353,13 +376,6 @@ FqBertModel FqBertModel::convert(QatBert& qat) {
     dst.ffn2 = make_quant_linear(src.ffn2, dst.ffn_mid_scale,
                                  dst.ffn_out_scale, cfg);
 
-    const double score_scale =
-        dst.q_scale * dst.k_scale *
-        std::sqrt(static_cast<double>(dst.head_dim));
-    dst.softmax = std::make_unique<quant::IntSoftmax>(score_scale);
-    dst.gelu = std::make_unique<quant::IntGelu>(dst.pre_gelu_scale,
-                                                dst.ffn_mid_scale);
-
     dst.ln1_gamma = maybe_fixed_grid(src.ln1.gamma.value,
                                      cfg.quantize_layernorm, ln_grid);
     dst.ln1_beta = maybe_fixed_grid(src.ln1.beta.value,
@@ -368,19 +384,7 @@ FqBertModel FqBertModel::convert(QatBert& qat) {
                                      cfg.quantize_layernorm, ln_grid);
     dst.ln2_beta = maybe_fixed_grid(src.ln2.beta.value,
                                     cfg.quantize_layernorm, ln_grid);
-    dst.ln1 = std::make_unique<quant::IntLayerNorm>(dst.ln1_gamma,
-                                                    dst.ln1_beta,
-                                                    dst.ffn_in_scale);
-    dst.ln2 = std::make_unique<quant::IntLayerNorm>(dst.ln2_gamma,
-                                                    dst.ln2_beta,
-                                                    dst.out_scale);
-
-    dst.ctx_rq =
-        Requantizer::from_scale(dst.ctx_scale / (255.0 * dst.v_scale));
-    dst.res1_rq =
-        Requantizer::from_scale(dst.attn_out_scale / dst.in_scale);
-    dst.res2_rq =
-        Requantizer::from_scale(dst.ffn_out_scale / dst.ffn_in_scale);
+    rebuild_derived_kernels(dst);
   }
 
   out.emb_scale_ = out.layers_.empty()
@@ -534,6 +538,146 @@ double FqBertModel::accuracy(const std::vector<nn::Example>& data) const {
 
 quant::SizeReport FqBertModel::size_report() const {
   return model_size_report(config_, quant_config_);
+}
+
+void rebuild_derived_kernels(FqEncoderLayer& layer) {
+  const double score_scale =
+      layer.q_scale * layer.k_scale *
+      std::sqrt(static_cast<double>(layer.head_dim));
+  layer.softmax = std::make_unique<quant::IntSoftmax>(score_scale);
+  layer.gelu = std::make_unique<quant::IntGelu>(layer.pre_gelu_scale,
+                                                layer.ffn_mid_scale);
+  layer.ln1 = std::make_unique<quant::IntLayerNorm>(layer.ln1_gamma,
+                                                    layer.ln1_beta,
+                                                    layer.ffn_in_scale);
+  layer.ln2 = std::make_unique<quant::IntLayerNorm>(layer.ln2_gamma,
+                                                    layer.ln2_beta,
+                                                    layer.out_scale);
+  layer.ctx_rq =
+      Requantizer::from_scale(layer.ctx_scale / (255.0 * layer.v_scale));
+  layer.res1_rq =
+      Requantizer::from_scale(layer.attn_out_scale / layer.in_scale);
+  layer.res2_rq =
+      Requantizer::from_scale(layer.ffn_out_scale / layer.ffn_in_scale);
+}
+
+namespace {
+
+/// Rescale one quantized linear layer onto a new bit-width's grid.
+/// The weight scale moves by qmax(new)/qmax(old) so the represented
+/// float range is preserved; codes and biases are re-rounded by the
+/// exact factor the scale actually moved (which differs from the pure
+/// ratio when 8-bit scale quantization re-snaps it).
+QuantLinear derive_quant_linear(const QuantLinear& src, int new_bits,
+                                const FqQuantConfig& cfg) {
+  QuantLinear q;
+  q.in = src.in;
+  q.out = src.out;
+  q.weight_bits = new_bits;
+  q.in_scale = src.in_scale;
+  q.out_scale = src.out_scale;
+
+  const double ratio =
+      static_cast<double>(quant::qmax_signed(new_bits)) /
+      static_cast<double>(quant::qmax_signed(src.weight_bits));
+  double s_new = src.w_scale * ratio;
+  if (cfg.quantize_scales) s_new = quantize_scale_8bit(s_new);
+  q.w_scale = s_new;
+  const double factor = s_new / src.w_scale;
+
+  const std::vector<int8_t> old_codes = src.narrow_codes();
+  std::vector<int8_t> codes(old_codes.size());
+  const int64_t qmax = quant::qmax_signed(new_bits);
+  for (size_t i = 0; i < old_codes.size(); ++i) {
+    const auto scaled = static_cast<int64_t>(
+        std::nearbyint(static_cast<double>(old_codes[i]) * factor));
+    codes[i] = static_cast<int8_t>(
+        std::max(-qmax, std::min(qmax, scaled)));
+  }
+  q.set_codes(codes);
+
+  q.bias_q.resize(src.bias_q.size());
+  for (size_t i = 0; i < src.bias_q.size(); ++i)
+    q.bias_q[i] = static_cast<int32_t>(
+        std::nearbyint(static_cast<double>(src.bias_q[i]) * factor));
+
+  // Eq. 5 on the new weight grid.
+  q.rq = Requantizer::from_scale(q.out_scale / (q.in_scale * q.w_scale));
+  return q;
+}
+
+}  // namespace
+
+FqBertModel FqBertModel::derive_tier(int new_bits) const {
+  if (new_bits < 2 || new_bits > 8)
+    throw std::invalid_argument(
+        "derive_tier: weight bits must be in [2, 8]");
+
+  FqBertModel out;
+  out.config_ = config_;
+  out.quant_config_ = quant_config_;
+  out.quant_config_.weight_bits = new_bits;
+  out.weight_bits_ = new_bits;
+
+  // The CPU-side front and head are float-compute over already
+  // dequantized tables; the tier's bit-width governs the encoder's
+  // integer weights, so these carry over unchanged.
+  out.tok_table_ = tok_table_;
+  out.pos_table_ = pos_table_;
+  out.seg_table_ = seg_table_;
+  out.emb_ln_gamma_ = emb_ln_gamma_;
+  out.emb_ln_beta_ = emb_ln_beta_;
+  out.emb_scale_ = emb_scale_;
+  out.pooler_w_ = pooler_w_;
+  out.classifier_w_ = classifier_w_;
+  out.pooler_b_ = pooler_b_;
+  out.classifier_b_ = classifier_b_;
+
+  out.layers_.resize(layers_.size());
+  for (size_t l = 0; l < layers_.size(); ++l) {
+    const FqEncoderLayer& src = layers_[l];
+    FqEncoderLayer& dst = out.layers_[l];
+    dst.hidden = src.hidden;
+    dst.ffn_dim = src.ffn_dim;
+    dst.num_heads = src.num_heads;
+    dst.head_dim = src.head_dim;
+    dst.use_int_softmax = src.use_int_softmax;
+    dst.use_int_layernorm = src.use_int_layernorm;
+    dst.in_scale = src.in_scale;
+    dst.q_scale = src.q_scale;
+    dst.k_scale = src.k_scale;
+    dst.v_scale = src.v_scale;
+    dst.ctx_scale = src.ctx_scale;
+    dst.attn_out_scale = src.attn_out_scale;
+    dst.ffn_in_scale = src.ffn_in_scale;
+    dst.pre_gelu_scale = src.pre_gelu_scale;
+    dst.ffn_mid_scale = src.ffn_mid_scale;
+    dst.ffn_out_scale = src.ffn_out_scale;
+    dst.out_scale = src.out_scale;
+    dst.ln1_gamma = src.ln1_gamma;
+    dst.ln1_beta = src.ln1_beta;
+    dst.ln2_gamma = src.ln2_gamma;
+    dst.ln2_beta = src.ln2_beta;
+
+    dst.wq = derive_quant_linear(src.wq, new_bits, out.quant_config_);
+    dst.wk = derive_quant_linear(src.wk, new_bits, out.quant_config_);
+    dst.wv = derive_quant_linear(src.wv, new_bits, out.quant_config_);
+    dst.wo = derive_quant_linear(src.wo, new_bits, out.quant_config_);
+    dst.ffn1 = derive_quant_linear(src.ffn1, new_bits, out.quant_config_);
+    dst.ffn2 = derive_quant_linear(src.ffn2, new_bits, out.quant_config_);
+
+    rebuild_derived_kernels(dst);
+  }
+  return out;
+}
+
+size_t FqBertModel::resident_weight_bytes() const {
+  size_t total = 0;
+  for (const FqEncoderLayer& layer : layers_)
+    for (const QuantLinear* q : {&layer.wq, &layer.wk, &layer.wv, &layer.wo,
+                                 &layer.ffn1, &layer.ffn2})
+      total += q->weight_bytes();
+  return total;
 }
 
 }  // namespace fqbert::core

@@ -24,6 +24,7 @@
 #include "core/fq_config.h"
 #include "core/int_kernels.h"
 #include "core/qat.h"
+#include "platform/mapped_file.h"
 #include "quant/int_gelu.h"
 #include "quant/int_layernorm.h"
 #include "quant/int_softmax.h"
@@ -48,21 +49,44 @@ struct FqBatchScratch {
 /// A quantized linear layer: int8 activations x int4/int8 weights ->
 /// int32 accumulators -> requantized int8 outputs.
 ///
-/// Weights are stored once, pre-widened to int16 (`w_codes16`) — the
-/// operand format of the panel kernel that every inference path runs
-/// through. The int8 code values themselves are preserved exactly
-/// (widening is value-preserving), so `narrow_codes()` reconstructs the
-/// nibble-packable codes for serialization, size accounting and the
-/// accelerator simulator without keeping a second copy resident.
+/// Weights are resident in the NARROWEST width the panel kernel can
+/// consume for the layer's bit-width: int8 codes when weight_bits <= 4
+/// (half the memory of the old always-int16 layout — the property that
+/// lets an int4 tier serve next to an int8 tier at ~half the resident
+/// weight bytes), int16 codes otherwise. Widening is value-preserving,
+/// so both storage widths produce bit-identical accumulators.
+///
+/// Storage is either OWNED (w_own8/w_own16, filled by conversion,
+/// stream load, or tier derivation) or a MAPPED VIEW (w_map8/w_map16,
+/// pointing into a read-only mmap of an FQBERT02 engine file; the
+/// mapping is kept alive by the owning FqBertModel). Accessors pick
+/// whichever is active; a mapped view takes precedence.
 struct QuantLinear {
   int64_t in = 0, out = 0;
   int weight_bits = 4;
-  std::vector<int16_t> w_codes16;  // [out, in] row-major, int8-range values
-  std::vector<int32_t> bias_q;     // round(bias * s_in * s_w), Eq. 4
+  std::vector<int8_t> w_own8;    // [out, in] row-major (weight_bits <= 4)
+  std::vector<int16_t> w_own16;  // [out, in] row-major (weight_bits > 4)
+  const int8_t* w_map8 = nullptr;    // view into a mapped engine file
+  const int16_t* w_map16 = nullptr;  // (both null unless mmap-loaded)
+  std::vector<int32_t> bias_q;   // round(bias * s_in * s_w), Eq. 4
   double w_scale = 1.0;
   double in_scale = 1.0;
   double out_scale = 1.0;
   quant::Requantizer rq;  // s_out / (s_in * s_w), Eq. 5
+
+  /// True when the resident width for this bit-width is int8.
+  bool narrow_storage() const { return weight_bits <= 4; }
+  const int8_t* narrow_data() const {
+    return w_map8 != nullptr ? w_map8 : w_own8.data();
+  }
+  const int16_t* wide_data() const {
+    return w_map16 != nullptr ? w_map16 : w_own16.data();
+  }
+  /// Resident bytes of the weight codes (owned or mapped).
+  size_t weight_bytes() const {
+    const auto n = static_cast<size_t>(in * out);
+    return narrow_storage() ? n : n * sizeof(int16_t);
+  }
 
   /// x: int8 codes [rows, in] on in_scale -> y: int8 codes [rows, out]
   /// through the panel kernel. Reentrant-const (thread-local scratch).
@@ -75,11 +99,12 @@ struct QuantLinear {
                   int64_t rows, std::vector<int32_t>& acc,
                   std::vector<int16_t>& panel) const;
 
-  /// Install the trained/loaded int8 weight codes (widens into
-  /// w_codes16, the only resident copy).
+  /// Install the trained/loaded int8 weight codes into the resident
+  /// width selected by weight_bits (drops any mapped view).
   void set_codes(const std::vector<int8_t>& codes);
 
-  /// The int8 weight codes, narrowed back from w_codes16 (exact).
+  /// The int8 weight codes, narrowed/copied from the resident store
+  /// (exact: every code fits int8 for any supported bit-width).
   std::vector<int8_t> narrow_codes() const;
 
   /// Packed (2-per-byte) weight bytes for size accounting / streaming.
@@ -202,6 +227,36 @@ class FqBertModel {
   bool save(const std::string& path) const;
   static FqBertModel load(const std::string& path);
 
+  /// Serialize in the mmap-ready FQBERT02 layout: weight arrays stored
+  /// in their kernel-resident width, 64-byte aligned, so load_mapped
+  /// can point the engine straight at the file pages.
+  bool save_mapped(const std::string& path) const;
+  /// Zero-copy load of an FQBERT02 file: weights stay in the page
+  /// cache (PROT_READ, MAP_SHARED mapping held for the model's
+  /// lifetime — N processes loading one file share one physical copy);
+  /// only the small sections (scales, embeddings, LN parameters,
+  /// biases) are parsed into owned memory. Hot LOAD cost is O(page
+  /// faults), not O(read + widen).
+  static FqBertModel load_mapped(const std::string& path);
+  /// Sniff the magic and dispatch: FQBERT01 -> load (stream),
+  /// FQBERT02 -> load_mapped (zero-copy). The registry's entry point.
+  static FqBertModel load_any(const std::string& path);
+
+  /// Derive a lower-precision tier from this engine using the
+  /// quantizer's range math: each layer's weight codes and bias are
+  /// rescaled onto the new bit-width's grid (scale ratio
+  /// qmax(new)/qmax(old), re-applying 8-bit scale quantization when the
+  /// config asks for it) and the requantizers/kernels are rebuilt.
+  /// `new_bits` must be in [2, 8]; deriving at the engine's own
+  /// bit-width returns an identical engine. The result is a normal
+  /// owned-storage engine (an int4 derivation is ~half the resident
+  /// weight bytes of its int8 parent).
+  FqBertModel derive_tier(int new_bits) const;
+
+  /// Resident bytes of every weight-code store (owned or mapped) —
+  /// the number the per-tier memory accounting reports.
+  size_t resident_weight_bytes() const;
+
  private:
   nn::BertConfig config_;
   FqQuantConfig quant_config_;
@@ -219,6 +274,16 @@ class FqBertModel {
 
   // Size bookkeeping of the low-bit parameter stores.
   int weight_bits_ = 4;
+
+  // Alive iff this engine was load_mapped(): owns the read-only mmap
+  // that every layer's w_map8/w_map16 view points into.
+  std::shared_ptr<const platform::MappedFile> mapping_;
 };
+
+/// Rebuild the derived integer kernels (softmax / GELU / LayerNorm /
+/// residual + context requantizers) of one encoder layer from its
+/// scales and LN parameters. Shared by stream load, mapped load and
+/// tier derivation; conversion builds the same recipe inline.
+void rebuild_derived_kernels(FqEncoderLayer& layer);
 
 }  // namespace fqbert::core

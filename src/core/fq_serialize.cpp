@@ -1,13 +1,30 @@
 // Binary (de)serialization of the quantized engine.
 //
-// Format: magic + version, model/quant configs, the CPU-side float
-// tables, then per layer: activation scales and each QuantLinear with
-// int4-packed weight codes. The integer kernels (softmax LUT, GELU LUT,
-// IntLayerNorm, requantizers) are deterministic functions of the stored
-// scales and are rebuilt at load, so a round-trip engine is bit-exact.
+// Two on-disk formats share the metadata layout:
+//
+//   FQBERT01 — streamed. Weight codes travel int4-packed inline; load()
+//   reads and unpacks them into owned storage.
+//
+//   FQBERT02 — mapped. The file is [magic | u64 weights_base | metadata
+//   | weight region]. Each QuantLinear's metadata record carries a
+//   relative offset into the weight region instead of inline codes, and
+//   the region stores the arrays in their KERNEL-RESIDENT width (int8
+//   for weight_bits <= 4, int16 above), 64-byte aligned. load_mapped()
+//   mmaps the file read-only and points the engine's weight views
+//   straight into the mapping: loading is O(page faults), and every
+//   process serving the same file shares one physical copy of the
+//   weight pages.
+//
+// The integer kernels (softmax LUT, GELU LUT, IntLayerNorm,
+// requantizers) are deterministic functions of the stored scales and
+// are rebuilt at load, so a round-trip engine is bit-exact in both
+// formats.
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <memory>
+#include <sstream>
 
 #include "core/fq_bert.h"
 
@@ -16,6 +33,10 @@ namespace fqbert::core {
 namespace {
 
 constexpr char kMagic[8] = {'F', 'Q', 'B', 'E', 'R', 'T', '0', '1'};
+constexpr char kMagicMapped[8] = {'F', 'Q', 'B', 'E', 'R', 'T', '0', '2'};
+constexpr size_t kWeightAlign = 64;
+
+size_t align_up(size_t v, size_t a) { return (v + a - 1) / a * a; }
 
 template <typename T>
 void write_pod(std::ostream& os, const T& v) {
@@ -45,13 +66,54 @@ std::vector<T> read_vec(std::istream& is) {
   return v;
 }
 
+/// Bounds-checked cursor over the mapped file's metadata section. Any
+/// overrun poisons `ok` and subsequent reads return zero values, so the
+/// caller can validate once at the end (mirrors how istream sticks in a
+/// failed state).
+struct ByteReader {
+  const uint8_t* p = nullptr;
+  size_t n = 0;
+  size_t off = 0;
+  bool ok = true;
+
+  bool take(void* dst, size_t bytes) {
+    if (!ok || bytes > n - off) {
+      ok = false;
+      return false;
+    }
+    std::memcpy(dst, p + off, bytes);
+    off += bytes;
+    return true;
+  }
+};
+
+template <typename T>
+T read_pod(ByteReader& r) {
+  T v{};
+  r.take(&v, sizeof(T));
+  return v;
+}
+
+template <typename T>
+std::vector<T> read_vec(ByteReader& r) {
+  const auto count = read_pod<uint64_t>(r);
+  if (!r.ok || count > (r.n - r.off) / sizeof(T)) {
+    r.ok = false;
+    return {};
+  }
+  std::vector<T> v(static_cast<size_t>(count));
+  r.take(v.data(), static_cast<size_t>(count) * sizeof(T));
+  return v;
+}
+
 void write_tensor(std::ostream& os, const Tensor& t) {
   write_pod<uint64_t>(os, t.rank());
   for (size_t i = 0; i < t.rank(); ++i) write_pod<int64_t>(os, t.dim(i));
   write_vec(os, t.storage());
 }
 
-Tensor read_tensor(std::istream& is) {
+template <typename Reader>
+Tensor read_tensor(Reader& is) {
   const auto rank = read_pod<uint64_t>(is);
   Shape shape(rank);
   for (auto& d : shape) d = read_pod<int64_t>(is);
@@ -66,7 +128,7 @@ void write_quant_linear(std::ostream& os, const QuantLinear& q) {
   write_pod<double>(os, q.in_scale);
   write_pod<double>(os, q.out_scale);
   // Weights travel packed (the deployable format streams nibbles).
-  write_pod<uint64_t>(os, q.w_codes16.size());
+  write_pod<uint64_t>(os, static_cast<uint64_t>(q.in * q.out));
   write_vec(os, q.packed_weights());
   write_vec(os, q.bias_q);
 }
@@ -92,13 +154,29 @@ QuantLinear read_quant_linear(std::istream& is) {
   return q;
 }
 
+/// FQBERT02 QuantLinear record: same scalar prefix as v1, then the
+/// weight blob's relative offset in the weight region instead of the
+/// inline packed codes.
+void write_quant_linear_mapped(std::ostream& os, const QuantLinear& q,
+                               uint64_t rel_offset) {
+  write_pod<int64_t>(os, q.in);
+  write_pod<int64_t>(os, q.out);
+  write_pod<int32_t>(os, q.weight_bits);
+  write_pod<double>(os, q.w_scale);
+  write_pod<double>(os, q.in_scale);
+  write_pod<double>(os, q.out_scale);
+  write_pod<uint64_t>(os, rel_offset);
+  write_vec(os, q.bias_q);
+}
+
 void write_config(std::ostream& os, const nn::BertConfig& c) {
   for (int64_t v : {c.vocab_size, c.hidden, c.num_layers, c.num_heads,
                     c.ffn_dim, c.max_seq_len, c.num_segments, c.num_classes})
     write_pod<int64_t>(os, v);
 }
 
-nn::BertConfig read_config(std::istream& is) {
+template <typename Reader>
+nn::BertConfig read_config(Reader& is) {
   nn::BertConfig c;
   c.vocab_size = read_pod<int64_t>(is);
   c.hidden = read_pod<int64_t>(is);
@@ -122,7 +200,8 @@ void write_fq_config(std::ostream& os, const FqQuantConfig& q) {
   write_pod<uint8_t>(os, q.quantize_layernorm ? 1 : 0);
 }
 
-FqQuantConfig read_fq_config(std::istream& is) {
+template <typename Reader>
+FqQuantConfig read_fq_config(Reader& is) {
   FqQuantConfig q;
   q.weight_bits = read_pod<int32_t>(is);
   q.act_bits = read_pod<int32_t>(is);
@@ -212,21 +291,8 @@ FqBertModel FqBertModel::load(const std::string& path) {
     l.ln1_beta = read_vec<float>(is);
     l.ln2_gamma = read_vec<float>(is);
     l.ln2_beta = read_vec<float>(is);
-
-    // Rebuild the derived integer kernels.
-    l.softmax = std::make_unique<quant::IntSoftmax>(
-        l.q_scale * l.k_scale * std::sqrt(static_cast<double>(l.head_dim)));
-    l.gelu = std::make_unique<quant::IntGelu>(l.pre_gelu_scale,
-                                              l.ffn_mid_scale);
-    l.ln1 = std::make_unique<quant::IntLayerNorm>(l.ln1_gamma, l.ln1_beta,
-                                                  l.ffn_in_scale);
-    l.ln2 = std::make_unique<quant::IntLayerNorm>(l.ln2_gamma, l.ln2_beta,
-                                                  l.out_scale);
-    l.ctx_rq =
-        quant::Requantizer::from_scale(l.ctx_scale / (255.0 * l.v_scale));
-    l.res1_rq = quant::Requantizer::from_scale(l.attn_out_scale / l.in_scale);
-    l.res2_rq =
-        quant::Requantizer::from_scale(l.ffn_out_scale / l.ffn_in_scale);
+    // The derived integer kernels are functions of the scales above.
+    rebuild_derived_kernels(l);
   }
 
   m.pooler_w_ = read_tensor(is);
@@ -235,6 +301,189 @@ FqBertModel FqBertModel::load(const std::string& path) {
   m.classifier_b_ = read_vec<float>(is);
   if (!is) throw std::runtime_error("truncated FQ-BERT model file: " + path);
   return m;
+}
+
+bool FqBertModel::save_mapped(const std::string& path) const {
+  // Pass 1: lay out the weight region. Each blob lands 64-byte aligned
+  // at a relative offset, stored in its kernel-resident width, so a
+  // mapped view of it is usable with zero rewriting.
+  std::vector<const QuantLinear*> linears;
+  for (const FqEncoderLayer& l : layers_)
+    for (const QuantLinear* q :
+         {&l.wq, &l.wk, &l.wv, &l.wo, &l.ffn1, &l.ffn2})
+      linears.push_back(q);
+  std::vector<uint64_t> rel(linears.size());
+  size_t region = 0;
+  for (size_t i = 0; i < linears.size(); ++i) {
+    region = align_up(region, kWeightAlign);
+    rel[i] = region;
+    region += linears[i]->weight_bytes();
+  }
+
+  // Pass 2: metadata (v1 field order, mapped QuantLinear records) into
+  // a memory buffer so weights_base is known before anything hits disk.
+  std::ostringstream meta;
+  write_config(meta, config_);
+  write_fq_config(meta, quant_config_);
+  write_pod<double>(meta, emb_scale_);
+  write_tensor(meta, tok_table_);
+  write_tensor(meta, pos_table_);
+  write_tensor(meta, seg_table_);
+  write_vec(meta, emb_ln_gamma_);
+  write_vec(meta, emb_ln_beta_);
+  write_pod<uint64_t>(meta, layers_.size());
+  size_t li = 0;
+  for (const FqEncoderLayer& l : layers_) {
+    for (double s : {l.in_scale, l.q_scale, l.k_scale, l.v_scale,
+                     l.ctx_scale, l.attn_out_scale, l.ffn_in_scale,
+                     l.pre_gelu_scale, l.ffn_mid_scale, l.ffn_out_scale,
+                     l.out_scale})
+      write_pod<double>(meta, s);
+    for (const QuantLinear* q :
+         {&l.wq, &l.wk, &l.wv, &l.wo, &l.ffn1, &l.ffn2})
+      write_quant_linear_mapped(meta, *q, rel[li++]);
+    write_vec(meta, l.ln1_gamma);
+    write_vec(meta, l.ln1_beta);
+    write_vec(meta, l.ln2_gamma);
+    write_vec(meta, l.ln2_beta);
+  }
+  write_tensor(meta, pooler_w_);
+  write_tensor(meta, classifier_w_);
+  write_vec(meta, pooler_b_);
+  write_vec(meta, classifier_b_);
+  const std::string meta_bytes = meta.str();
+
+  const uint64_t weights_base = align_up(
+      sizeof(kMagicMapped) + sizeof(uint64_t) + meta_bytes.size(),
+      kWeightAlign);
+  std::ofstream os(path, std::ios::binary);
+  if (!os) return false;
+  os.write(kMagicMapped, sizeof(kMagicMapped));
+  write_pod<uint64_t>(os, weights_base);
+  os.write(meta_bytes.data(),
+           static_cast<std::streamsize>(meta_bytes.size()));
+  const auto pad_to = [&os](uint64_t from, uint64_t to) {
+    static constexpr char zeros[kWeightAlign] = {};
+    for (uint64_t at = from; at < to; at += sizeof(zeros))
+      os.write(zeros, static_cast<std::streamsize>(
+                          std::min<uint64_t>(sizeof(zeros), to - at)));
+  };
+  pad_to(sizeof(kMagicMapped) + sizeof(uint64_t) + meta_bytes.size(),
+         weights_base);
+  uint64_t cursor = 0;
+  for (size_t i = 0; i < linears.size(); ++i) {
+    pad_to(cursor, rel[i]);
+    const QuantLinear& q = *linears[i];
+    const char* bytes = q.narrow_storage()
+                            ? reinterpret_cast<const char*>(q.narrow_data())
+                            : reinterpret_cast<const char*>(q.wide_data());
+    os.write(bytes, static_cast<std::streamsize>(q.weight_bytes()));
+    cursor = rel[i] + q.weight_bytes();
+  }
+  return static_cast<bool>(os);
+}
+
+FqBertModel FqBertModel::load_mapped(const std::string& path) {
+  auto mapping = std::make_shared<platform::MappedFile>();
+  if (!mapping->open(path)) throw std::runtime_error(mapping->error());
+  const uint8_t* base = mapping->data();
+  const size_t file_size = mapping->size();
+  constexpr size_t kPrefix = sizeof(kMagicMapped) + sizeof(uint64_t);
+  if (file_size < kPrefix ||
+      std::memcmp(base, kMagicMapped, sizeof(kMagicMapped)) != 0)
+    throw std::runtime_error("not an FQBERT02 engine file: " + path);
+  uint64_t weights_base = 0;
+  std::memcpy(&weights_base, base + sizeof(kMagicMapped),
+              sizeof(weights_base));
+  if (weights_base < kPrefix || weights_base > file_size)
+    throw std::runtime_error("corrupt FQBERT02 engine file: " + path);
+  const size_t region_size = file_size - static_cast<size_t>(weights_base);
+
+  ByteReader is{base + kPrefix, static_cast<size_t>(weights_base) - kPrefix,
+                0, true};
+  FqBertModel m;
+  m.config_ = read_config(is);
+  m.quant_config_ = read_fq_config(is);
+  m.weight_bits_ = m.quant_config_.weight_bits;
+  m.emb_scale_ = read_pod<double>(is);
+  m.tok_table_ = read_tensor(is);
+  m.pos_table_ = read_tensor(is);
+  m.seg_table_ = read_tensor(is);
+  m.emb_ln_gamma_ = read_vec<float>(is);
+  m.emb_ln_beta_ = read_vec<float>(is);
+
+  const auto n_layers = read_pod<uint64_t>(is);
+  if (!is.ok || n_layers > (1u << 20))
+    throw std::runtime_error("corrupt FQBERT02 engine file: " + path);
+  m.layers_.resize(static_cast<size_t>(n_layers));
+  for (FqEncoderLayer& l : m.layers_) {
+    l.hidden = m.config_.hidden;
+    l.ffn_dim = m.config_.ffn_dim;
+    l.num_heads = m.config_.num_heads;
+    l.head_dim = m.config_.head_dim();
+    l.use_int_softmax = m.quant_config_.quantize_softmax;
+    l.use_int_layernorm = m.quant_config_.quantize_layernorm;
+    for (double* s : {&l.in_scale, &l.q_scale, &l.k_scale, &l.v_scale,
+                      &l.ctx_scale, &l.attn_out_scale, &l.ffn_in_scale,
+                      &l.pre_gelu_scale, &l.ffn_mid_scale, &l.ffn_out_scale,
+                      &l.out_scale})
+      *s = read_pod<double>(is);
+    for (QuantLinear* qp : {&l.wq, &l.wk, &l.wv, &l.wo, &l.ffn1, &l.ffn2}) {
+      QuantLinear q;
+      q.in = read_pod<int64_t>(is);
+      q.out = read_pod<int64_t>(is);
+      q.weight_bits = read_pod<int32_t>(is);
+      q.w_scale = read_pod<double>(is);
+      q.in_scale = read_pod<double>(is);
+      q.out_scale = read_pod<double>(is);
+      const auto rel = read_pod<uint64_t>(is);
+      q.bias_q = read_vec<int32_t>(is);
+      if (!is.ok || q.in < 0 || q.out < 0 ||
+          (q.out != 0 &&
+           q.in > static_cast<int64_t>(SIZE_MAX / 2) / q.out))
+        throw std::runtime_error("corrupt FQBERT02 engine file: " + path);
+      const size_t elems = static_cast<size_t>(q.in * q.out);
+      const size_t width = q.weight_bits <= 4 ? 1 : sizeof(int16_t);
+      if (rel % kWeightAlign != 0 || rel > region_size ||
+          elems > (region_size - static_cast<size_t>(rel)) / width)
+        throw std::runtime_error("corrupt FQBERT02 engine file: " + path);
+      const uint8_t* wptr = base + weights_base + rel;
+      if (q.narrow_storage())
+        q.w_map8 = reinterpret_cast<const int8_t*>(wptr);
+      else
+        q.w_map16 = reinterpret_cast<const int16_t*>(wptr);
+      q.rq = quant::Requantizer::from_scale(q.out_scale /
+                                            (q.in_scale * q.w_scale));
+      *qp = std::move(q);
+    }
+    l.ln1_gamma = read_vec<float>(is);
+    l.ln1_beta = read_vec<float>(is);
+    l.ln2_gamma = read_vec<float>(is);
+    l.ln2_beta = read_vec<float>(is);
+    rebuild_derived_kernels(l);
+  }
+
+  m.pooler_w_ = read_tensor(is);
+  m.classifier_w_ = read_tensor(is);
+  m.pooler_b_ = read_vec<float>(is);
+  m.classifier_b_ = read_vec<float>(is);
+  if (!is.ok)
+    throw std::runtime_error("truncated FQBERT02 engine file: " + path);
+  // The weight views above stay valid exactly as long as this mapping
+  // does; the model owns it (and copies of the model share it).
+  m.mapping_ = std::move(mapping);
+  return m;
+}
+
+FqBertModel FqBertModel::load_any(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  if (!is) throw std::runtime_error("cannot open " + path);
+  char magic[8] = {};
+  is.read(magic, sizeof(magic));
+  const bool mapped =
+      is && std::memcmp(magic, kMagicMapped, sizeof(kMagicMapped)) == 0;
+  is.close();
+  return mapped ? load_mapped(path) : load(path);
 }
 
 }  // namespace fqbert::core

@@ -23,13 +23,17 @@ void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
   }
 }
 
-void int_matmul_wt_panel(const std::vector<int8_t>& a,
-                         const std::vector<int16_t>& w16,
-                         std::vector<int32_t>& acc, int64_t m, int64_t k,
-                         int64_t n, std::vector<int16_t>& panel) {
+namespace {
+
+/// The panel kernel body, parametric in the weight element type. Both
+/// instantiations produce identical accumulators for identical weight
+/// VALUES: every weight element is widened to int32 before the multiply.
+template <typename WT>
+void panel_impl(const std::vector<int8_t>& a, const WT* wbase,
+                std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n,
+                std::vector<int16_t>& panel) {
   constexpr int64_t kPanelRows = 4;
   assert(static_cast<int64_t>(a.size()) == m * k);
-  assert(static_cast<int64_t>(w16.size()) == n * k);
   acc.resize(static_cast<size_t>(m * n));
   if (m >= kPanelRows) panel.resize(static_cast<size_t>(kPanelRows * k));
 
@@ -46,8 +50,8 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
     // every weight load feeds four activation rows.
     int64_t j = 0;
     for (; j + 2 <= n; j += 2) {
-      const int16_t* w0 = w16.data() + j * k;
-      const int16_t* w1 = w0 + k;
+      const WT* w0 = wbase + j * k;
+      const WT* w1 = w0 + k;
       int32_t s00 = 0, s01 = 0, s10 = 0, s11 = 0;
       int32_t s20 = 0, s21 = 0, s30 = 0, s31 = 0;
       for (int64_t p = 0; p < k; ++p) {
@@ -73,7 +77,7 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
       c3[0] = s30; c3[1] = s31;
     }
     for (; j < n; ++j) {
-      const int16_t* wrow = w16.data() + j * k;
+      const WT* wrow = wbase + j * k;
       int32_t s0 = 0, s1 = 0, s2 = 0, s3 = 0;
       for (int64_t p = 0; p < k; ++p) {
         const int32_t wv = wrow[p];
@@ -99,8 +103,8 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
     const int8_t* a1 = a0 + k;
     int64_t j = 0;
     for (; j + 2 <= n; j += 2) {
-      const int16_t* w0 = w16.data() + j * k;
-      const int16_t* w1 = w0 + k;
+      const WT* w0 = wbase + j * k;
+      const WT* w1 = w0 + k;
       int32_t s00 = 0, s01 = 0, s10 = 0, s11 = 0;
       for (int64_t p = 0; p < k; ++p) {
         const int32_t w0v = w0[p], w1v = w1[p];
@@ -117,7 +121,7 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
       acc[static_cast<size_t>((i + 1) * n + j + 1)] = s11;
     }
     for (; j < n; ++j) {
-      const int16_t* wrow = w16.data() + j * k;
+      const WT* wrow = wbase + j * k;
       int32_t s0 = 0, s1 = 0;
       for (int64_t p = 0; p < k; ++p) {
         const int32_t wv = wrow[p];
@@ -133,8 +137,8 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
     const int8_t* arow = a.data() + i * k;
     int64_t j = 0;
     for (; j + 2 <= n; j += 2) {
-      const int16_t* w0 = w16.data() + j * k;
-      const int16_t* w1 = w0 + k;
+      const WT* w0 = wbase + j * k;
+      const WT* w1 = w0 + k;
       int32_t s0 = 0, s1 = 0;
       for (int64_t p = 0; p < k; ++p) {
         const int32_t av = static_cast<int16_t>(arow[p]);
@@ -145,13 +149,35 @@ void int_matmul_wt_panel(const std::vector<int8_t>& a,
       acc[static_cast<size_t>(i * n + j + 1)] = s1;
     }
     for (; j < n; ++j) {
-      const int16_t* wrow = w16.data() + j * k;
+      const WT* wrow = wbase + j * k;
       int32_t s = 0;
       for (int64_t p = 0; p < k; ++p)
         s += static_cast<int16_t>(arow[p]) * static_cast<int32_t>(wrow[p]);
       acc[static_cast<size_t>(i * n + j)] = s;
     }
   }
+}
+
+}  // namespace
+
+void int_matmul_wt_panel(const std::vector<int8_t>& a, const int16_t* w16,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel) {
+  panel_impl(a, w16, acc, m, k, n, panel);
+}
+
+void int_matmul_wt_panel(const std::vector<int8_t>& a, const int8_t* w8,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel) {
+  panel_impl(a, w8, acc, m, k, n, panel);
+}
+
+void int_matmul_wt_panel(const std::vector<int8_t>& a,
+                         const std::vector<int16_t>& w16,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel) {
+  assert(static_cast<int64_t>(w16.size()) == n * k);
+  panel_impl(a, w16.data(), acc, m, k, n, panel);
 }
 
 void int_matmul_pv(const std::vector<int32_t>& p, const std::vector<int8_t>& v,

@@ -22,14 +22,23 @@ void int_matmul_wt(const std::vector<int8_t>& a, const std::vector<int8_t>& w,
                    std::vector<int32_t>& acc, int64_t m, int64_t k, int64_t n);
 
 /// Row-panel blocked kernel used by every inference path (single-request
-/// and batched): weights arrive pre-widened to int16 (done once per
-/// layer at conversion / load time) and activations are widened one
+/// and batched): weights arrive in their resident width — int8 codes for
+/// bit-widths <= 4, int16 for wider — and activations are widened one
 /// 4-row panel at a time into `panel`, so the inner loops compile to
 /// widening multiply-adds and every weight load is shared by four rows.
 /// Remainder rows (m % 4, including the m < 4 short-sequence case) are
 /// specialized to read activations directly, without panel staging or
 /// padding. Bit-identical to int_matmul_wt — integer dot products are
-/// exact under reordering (accumulators stay far below int32 range).
+/// exact under reordering (accumulators stay far below int32 range), and
+/// widening int8 weights is value-preserving, so both widths agree. The
+/// pointer overloads carry no weight-size check; callers pass arrays of
+/// exactly n*k elements (the vector overload asserts it).
+void int_matmul_wt_panel(const std::vector<int8_t>& a, const int16_t* w16,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel);
+void int_matmul_wt_panel(const std::vector<int8_t>& a, const int8_t* w8,
+                         std::vector<int32_t>& acc, int64_t m, int64_t k,
+                         int64_t n, std::vector<int16_t>& panel);
 void int_matmul_wt_panel(const std::vector<int8_t>& a,
                          const std::vector<int16_t>& w16,
                          std::vector<int32_t>& acc, int64_t m, int64_t k,

@@ -1,0 +1,56 @@
+#include "platform/mapped_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace fqbert::platform {
+
+MappedFile::~MappedFile() { close(); }
+
+bool MappedFile::open(const std::string& path) {
+  close();
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    error_ = "cannot open " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  struct stat st {};
+  if (::fstat(fd, &st) != 0) {
+    error_ = "cannot stat " + path + ": " + std::strerror(errno);
+    ::close(fd);
+    return false;
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    // mmap(0) is EINVAL; an empty file is a valid (empty) mapping.
+    ::close(fd);
+    data_ = reinterpret_cast<const uint8_t*>(&size_);
+    size_ = 0;
+    return true;
+  }
+  // MAP_SHARED on a read-only mapping: the pages are the page cache's,
+  // shared physically across every process mapping this file.
+  void* mapped = ::mmap(nullptr, size, PROT_READ, MAP_SHARED, fd, 0);
+  ::close(fd);  // the mapping keeps its own reference
+  if (mapped == MAP_FAILED) {
+    error_ = "cannot mmap " + path + ": " + std::strerror(errno);
+    return false;
+  }
+  data_ = static_cast<const uint8_t*>(mapped);
+  size_ = size;
+  return true;
+}
+
+void MappedFile::close() {
+  if (data_ != nullptr && size_ > 0)
+    ::munmap(const_cast<uint8_t*>(data_), size_);
+  data_ = nullptr;
+  size_ = 0;
+}
+
+}  // namespace fqbert::platform

@@ -22,6 +22,7 @@ void DynamicBatcher::pump_locked() {
     if (req.expired(now)) {
       ServeResponse resp;
       resp.request_id = req.id;
+      resp.tier = req.tier;
       resp.status = RequestStatus::kTimedOut;
       resp.latency_us = std::chrono::duration_cast<Micros>(
                             now - req.enqueue_time)
@@ -83,6 +84,7 @@ bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
       if (req.expired(now)) {
         ServeResponse resp;
         resp.request_id = req.id;
+        resp.tier = req.tier;
         resp.status = RequestStatus::kTimedOut;
         resp.latency_us = std::chrono::duration_cast<Micros>(
                               now - req.enqueue_time)
@@ -153,6 +155,7 @@ void DynamicBatcher::fail_pending(RequestStatus status) {
     for (ServeRequest& req : bucket) {
       ServeResponse resp;
       resp.request_id = req.id;
+      resp.tier = req.tier;
       resp.status = status;
       resp.latency_us = std::chrono::duration_cast<Micros>(
                             now - req.enqueue_time)

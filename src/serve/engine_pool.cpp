@@ -43,6 +43,7 @@ void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
     ServeRequest& req = batch[i];
     ServeResponse resp;
     resp.request_id = req.id;
+    resp.tier = req.tier;
     resp.batch_size = static_cast<int32_t>(batch.size());
     resp.queue_us = rel_us(formed, req.enqueue_time);
     resp.latency_us = rel_us(done, req.enqueue_time);

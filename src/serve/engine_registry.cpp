@@ -2,10 +2,25 @@
 
 namespace fqbert::serve {
 
+std::shared_ptr<const core::FqBertModel> EngineRegistry::bind(
+    const std::string& name, int bits,
+    std::shared_ptr<const core::FqBertModel> model, const std::string& path) {
+  MutexLock lock(mu_);
+  ModelEntry& me = entries_[name];
+  if (me.tiers.empty()) me.default_bits = bits;
+  std::shared_ptr<const core::FqBertModel> displaced;
+  auto it = me.tiers.find(bits);
+  if (it != me.tiers.end()) displaced = std::move(it->second.model);
+  me.tiers[bits] = Entry{std::move(model), path};
+  return displaced;
+}
+
 void EngineRegistry::register_model(
     const std::string& name, std::shared_ptr<const core::FqBertModel> model) {
-  MutexLock lock(mu_);
-  entries_[name] = Entry{std::move(model), ""};
+  const int bits = model->quant_config().weight_bits;
+  // A replaced engine's last reference may be dropped here, outside the
+  // lock, so a multi-MB destructor never runs under the registry mutex.
+  auto displaced = bind(name, bits, std::move(model), "");
 }
 
 bool EngineRegistry::register_file(const std::string& name,
@@ -13,45 +28,111 @@ bool EngineRegistry::register_file(const std::string& name,
   std::shared_ptr<const core::FqBertModel> proto;
   try {
     proto = std::make_shared<const core::FqBertModel>(
-        core::FqBertModel::load(path));
+        core::FqBertModel::load_any(path));
   } catch (const std::exception&) {
     return false;
   }
-  MutexLock lock(mu_);
-  entries_[name] = Entry{std::move(proto), path};
+  const int bits = proto->quant_config().weight_bits;
+  auto displaced = bind(name, bits, std::move(proto), path);
+  return true;
+}
+
+bool EngineRegistry::register_derived(const std::string& name, int bits) {
+  std::shared_ptr<const core::FqBertModel> base = get(name);
+  if (base == nullptr || bits < 2 || bits > 8) return false;
+  std::shared_ptr<const core::FqBertModel> derived;
+  try {
+    derived = std::make_shared<const core::FqBertModel>(
+        base->derive_tier(bits));
+  } catch (const std::exception&) {
+    return false;
+  }
+  auto displaced = bind(name, bits, std::move(derived), "");
   return true;
 }
 
 bool EngineRegistry::unregister(const std::string& name) {
-  std::shared_ptr<const core::FqBertModel> doomed;
+  std::map<int, Entry> doomed;
   {
     MutexLock lock(mu_);
     auto it = entries_.find(name);
     if (it == entries_.end()) return false;
-    // The potentially last reference is dropped outside the lock so a
-    // multi-MB engine destructor never runs under the registry mutex.
-    doomed = std::move(it->second.model);
+    // The potentially last references are dropped outside the lock so
+    // multi-MB engine destructors never run under the registry mutex.
+    doomed = std::move(it->second.tiers);
     entries_.erase(it);
   }
   return true;
 }
 
-std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
-    const std::string& name) const {
-  MutexLock lock(mu_);
-  auto it = entries_.find(name);
-  return it == entries_.end() ? nullptr : it->second.model;
+bool EngineRegistry::unregister_tier(const std::string& name, int bits) {
+  std::shared_ptr<const core::FqBertModel> doomed;
+  {
+    MutexLock lock(mu_);
+    auto it = entries_.find(name);
+    if (it == entries_.end()) return false;
+    ModelEntry& me = it->second;
+    auto tit = me.tiers.find(bits == 0 ? me.default_bits : bits);
+    if (tit == me.tiers.end()) return false;
+    doomed = std::move(tit->second.model);
+    const int removed = tit->first;
+    me.tiers.erase(tit);
+    if (me.tiers.empty()) {
+      entries_.erase(it);
+    } else if (me.default_bits == removed) {
+      me.default_bits = me.tiers.begin()->first;
+    }
+  }
+  return true;
 }
 
-std::string EngineRegistry::source_path(const std::string& name) const {
+std::shared_ptr<const core::FqBertModel> EngineRegistry::get(
+    const std::string& name, int bits) const {
   MutexLock lock(mu_);
   auto it = entries_.find(name);
-  return it == entries_.end() ? "" : it->second.path;
+  if (it == entries_.end()) return nullptr;
+  const ModelEntry& me = it->second;
+  auto tit = me.tiers.find(bits == 0 ? me.default_bits : bits);
+  return tit == me.tiers.end() ? nullptr : tit->second.model;
+}
+
+int EngineRegistry::default_tier(const std::string& name) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  return it == entries_.end() ? 0 : it->second.default_bits;
+}
+
+std::vector<int> EngineRegistry::tiers(const std::string& name) const {
+  MutexLock lock(mu_);
+  std::vector<int> out;
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return out;
+  out.reserve(it->second.tiers.size());
+  for (const auto& [bits, entry] : it->second.tiers) out.push_back(bits);
+  return out;
+}
+
+std::string EngineRegistry::source_path(const std::string& name,
+                                        int bits) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return "";
+  const ModelEntry& me = it->second;
+  auto tit = me.tiers.find(bits == 0 ? me.default_bits : bits);
+  return tit == me.tiers.end() ? "" : tit->second.path;
 }
 
 bool EngineRegistry::contains(const std::string& name) const {
   MutexLock lock(mu_);
   return entries_.count(name) > 0;
+}
+
+bool EngineRegistry::contains(const std::string& name, int bits) const {
+  MutexLock lock(mu_);
+  auto it = entries_.find(name);
+  if (it == entries_.end()) return false;
+  return it->second.tiers.count(bits == 0 ? it->second.default_bits : bits) >
+         0;
 }
 
 std::vector<std::string> EngineRegistry::names() const {

@@ -26,7 +26,8 @@ struct ClientTally {
       case RequestStatus::kRejectedQueueFull:
       case RequestStatus::kRejectedDeadline:
       case RequestStatus::kRejectedInvalid:
-      case RequestStatus::kRejectedUnknownModel: ++rejected; break;
+      case RequestStatus::kRejectedUnknownModel:
+      case RequestStatus::kRejectedUnknownTier: ++rejected; break;
       case RequestStatus::kTimedOut: ++timed_out; break;
       case RequestStatus::kEngineError:
       case RequestStatus::kShutdown: ++failed; break;
@@ -156,7 +157,8 @@ LoadgenReport run_loadgen_remote(
         const uint64_t trace_id = traced ? mint_trace_id() : 0;
         const TimePoint sent_at = Clock::now();
         const std::optional<ServeResponse> resp =
-            client.call(ex, cfg.deadline_budget, target.name, trace_id);
+            client.call(ex, cfg.deadline_budget, target.name, trace_id,
+                        target.tier);
         if (!resp) {
           // Transport failure; the client closed itself and the next
           // iteration reconnects.

@@ -73,11 +73,13 @@ LoadgenReport run_loadgen(InferenceServer& server,
                           const LoadgenConfig& cfg);
 
 /// One model in a remote multi-model traffic mix: requests carry `name`
-/// on the wire and are synthesized against `config` (each served model
-/// can have a different shape).
+/// (and, when non-zero, the precision `tier`) on the wire and are
+/// synthesized against `config` (each served model can have a
+/// different shape).
 struct RemoteModelTarget {
   std::string name;  // "" = the server's default model
   nn::BertConfig config;
+  uint8_t tier = 0;  // weight bit-width; 0 = the model's default tier
 };
 
 /// Remote flavor of run_loadgen: each client thread keeps ONE

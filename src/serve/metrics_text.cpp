@@ -72,15 +72,17 @@ void sample_f64(std::string& out, const char* name, const std::string& labels,
   out += '\n';
 }
 
-std::string model_label(const std::string& model) {
-  return "model=\"" + escape_label(model) + "\"";
+std::string model_label(const std::string& model, int tier) {
+  return "model=\"" + escape_label(model) + "\",tier=\"" +
+         std::to_string(tier) + "\"";
 }
 
-/// The per-model serve families shared by the router renderer and the
-/// proxy's fleet-wide aggregate.
-void render_model_reports(
-    std::string& out,
-    const std::vector<std::pair<std::string, ServeStats::Report>>& stats) {
+/// The per-(model, tier) serve families shared by the router renderer
+/// and the proxy's fleet-wide aggregate. Rows need .model / .tier /
+/// .report (ModelRouter::LaneStats, shard::ShardProxy::TierStats).
+template <typename Row>
+void render_model_reports(std::string& out,
+                          const std::vector<Row>& stats) {
   head(out, "fqbert_requests_total",
        "Requests by terminal outcome (admitted = "
        "completed + failed + timed_out holds per model)",
@@ -98,28 +100,30 @@ void render_model_reports(
       {"rejected_invalid", &ServeStats::Report::rejected_invalid},
       {"rejected_closed", &ServeStats::Report::rejected_closed},
   };
-  for (const auto& [model, report] : stats)
+  for (const Row& row : stats)
     for (const auto& o : kOutcomes)
       sample_u64(out, "fqbert_requests_total",
-                 model_label(model) + ",outcome=\"" + o.outcome + "\"",
-                 report.*o.field);
+                 model_label(row.model, row.tier) + ",outcome=\"" +
+                     o.outcome + "\"",
+                 row.report.*o.field);
 
   head(out, "fqbert_batches_total", "Batches executed", "counter");
-  for (const auto& [model, report] : stats)
-    sample_u64(out, "fqbert_batches_total", model_label(model),
-               report.batches);
+  for (const Row& row : stats)
+    sample_u64(out, "fqbert_batches_total", model_label(row.model, row.tier),
+               row.report.batches);
 
   head(out, "fqbert_batch_occupancy", "Mean requests per executed batch",
        "gauge");
-  for (const auto& [model, report] : stats)
-    sample_f64(out, "fqbert_batch_occupancy", model_label(model),
-               report.mean_batch_occupancy);
+  for (const Row& row : stats)
+    sample_f64(out, "fqbert_batch_occupancy",
+               model_label(row.model, row.tier),
+               row.report.mean_batch_occupancy);
 
   head(out, "fqbert_queue_ms_mean",
        "Mean admission-to-batch-formation wait in milliseconds", "gauge");
-  for (const auto& [model, report] : stats)
-    sample_f64(out, "fqbert_queue_ms_mean", model_label(model),
-               report.mean_queue_ms);
+  for (const Row& row : stats)
+    sample_f64(out, "fqbert_queue_ms_mean", model_label(row.model, row.tier),
+               row.report.mean_queue_ms);
 
   head(out, "fqbert_latency_ms",
        "End-to-end serve latency quantiles in milliseconds "
@@ -134,20 +138,21 @@ void render_model_reports(
       {"0.99", &ServeStats::Report::p99_ms},
       {"0.999", &ServeStats::Report::p999_ms},
   };
-  for (const auto& [model, report] : stats) {
+  for (const Row& row : stats) {
     for (const auto& q : kQuantiles)
       sample_f64(out, "fqbert_latency_ms",
-                 model_label(model) + ",quantile=\"" + q.q + "\"",
-                 report.*q.field);
-    sample_u64(out, "fqbert_latency_ms_count", model_label(model),
-               report.latency_samples);
+                 model_label(row.model, row.tier) + ",quantile=\"" + q.q +
+                     "\"",
+                 row.report.*q.field);
+    sample_u64(out, "fqbert_latency_ms_count",
+               model_label(row.model, row.tier), row.report.latency_samples);
   }
 
   head(out, "fqbert_latency_max_ms",
        "Maximum observed serve latency in milliseconds (exact)", "gauge");
-  for (const auto& [model, report] : stats)
-    sample_f64(out, "fqbert_latency_max_ms", model_label(model),
-               report.max_ms);
+  for (const Row& row : stats)
+    sample_f64(out, "fqbert_latency_max_ms", model_label(row.model, row.tier),
+               row.report.max_ms);
 }
 
 }  // namespace
@@ -159,13 +164,20 @@ std::string render_router_metrics(const ModelRouter& router) {
 
   head(out, "fqbert_queue_depth",
        "Instantaneous backlog: admission queue + batcher pending", "gauge");
-  for (const auto& [model, depth] : router.queue_depths())
-    sample_u64(out, "fqbert_queue_depth", model_label(model), depth);
+  for (const auto& d : router.queue_depths())
+    sample_u64(out, "fqbert_queue_depth", model_label(d.model, d.tier),
+               d.depth);
 
   head(out, "fqbert_unknown_model_rejections_total",
        "Requests naming a model no lane serves", "counter");
   sample_u64(out, "fqbert_unknown_model_rejections_total", "",
              router.unknown_model_rejections());
+
+  head(out, "fqbert_unknown_tier_rejections_total",
+       "Requests naming a precision tier their model does not serve",
+       "counter");
+  sample_u64(out, "fqbert_unknown_tier_rejections_total", "",
+             router.unknown_tier_rejections());
 
   head(out, "fqbert_workers", "Shared worker threads", "gauge");
   sample_u64(out, "fqbert_workers", "", router.num_workers());
@@ -189,6 +201,7 @@ std::string render_proxy_metrics(shard::ShardProxy& proxy) {
       {"fqbert_proxy_failovers_total", c.failovers},
       {"fqbert_proxy_exhausted_total", c.exhausted},
       {"fqbert_proxy_unknown_model_total", c.unknown_model},
+      {"fqbert_proxy_unknown_tier_total", c.unknown_tier},
       {"fqbert_proxy_protocol_errors_total", c.protocol_errors},
       {"fqbert_proxy_admin_frames_total", c.admin_frames},
       {"fqbert_proxy_health_transitions_total", c.health_transitions},

@@ -4,20 +4,25 @@
 // the HTTP plumbing lives in metrics_http.h, so the renderers can be
 // unit-tested by string inspection without a socket in sight.
 //
-// Metric families (all prefixed `fqbert_`):
-//   serve (per model label):
-//     fqbert_requests_total{model,outcome}   counter, outcome one of
+// Metric families (all prefixed `fqbert_`). Every per-model family
+// carries a `tier` label — the lane's weight bit-width (so one logical
+// model served at int8 and int4 scrapes as two series; the
+// counter-balance invariant admitted = completed + failed + timed_out
+// holds per (model, tier) row):
+//   serve (per model,tier label):
+//     fqbert_requests_total{model,tier,outcome}  counter, outcome one of
 //         admitted|completed|failed|timed_out|rejected_full|
 //         rejected_deadline|rejected_invalid|rejected_closed
-//     fqbert_batches_total{model}            counter
-//     fqbert_batch_occupancy{model}          gauge (mean requests/batch)
-//     fqbert_queue_depth{model}              gauge (queued + batching)
-//     fqbert_queue_ms_mean{model}            gauge
-//     fqbert_latency_ms{model,quantile}      summary (.5/.95/.99/.999)
-//     fqbert_latency_ms_count{model}         lifetime sample count
-//     fqbert_latency_max_ms{model}           gauge (exact)
-//     fqbert_unknown_model_rejections_total  counter
-//     fqbert_uptime_seconds / fqbert_workers gauges
+//     fqbert_batches_total{model,tier}           counter
+//     fqbert_batch_occupancy{model,tier}         gauge (mean reqs/batch)
+//     fqbert_queue_depth{model,tier}             gauge (queued + batching)
+//     fqbert_queue_ms_mean{model,tier}           gauge
+//     fqbert_latency_ms{model,tier,quantile}     summary (.5/.95/.99/.999)
+//     fqbert_latency_ms_count{model,tier}        lifetime sample count
+//     fqbert_latency_max_ms{model,tier}          gauge (exact)
+//     fqbert_unknown_model_rejections_total      counter
+//     fqbert_unknown_tier_rejections_total       counter
+//     fqbert_uptime_seconds / fqbert_workers     gauges
 //   proxy:
 //     fqbert_proxy_*_total                   the ShardProxy counters
 //     fqbert_backend_state{backend,state}    one-hot gauge

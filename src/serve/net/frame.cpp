@@ -195,11 +195,17 @@ DecodeStatus decode_header(const uint8_t* data, size_t len,
 }
 
 bool decode_info_request(const uint8_t* payload, size_t len, uint8_t version,
-                         std::string* model_out) {
+                         std::string* model_out, uint8_t* tier) {
   model_out->clear();
+  if (tier) *tier = 0;
   if (version < 2) return len == 0;  // v1 info request is empty
   Cursor c{payload, len};
   if (!c.take_str(model_out, kMaxNameLen)) return false;
+  if (version >= 4) {
+    const uint8_t t = c.take_u8();
+    if (!c.ok || !wire_tier_valid(t)) return false;
+    if (tier) *tier = t;
+  }
   return c.done();
 }
 
@@ -207,7 +213,12 @@ bool decode_info_response(const uint8_t* payload, size_t len,
                           uint8_t version, WireInfo* out) {
   Cursor c{payload, len};
   out->model.clear();
+  out->tier = 0;
   if (version >= 2 && !c.take_str(&out->model, kMaxNameLen)) return false;
+  if (version >= 4) {
+    out->tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(out->tier)) return false;
+  }
   take_config(c, &out->config);
   return c.done();
 }
@@ -218,6 +229,11 @@ bool decode_serve_request(const uint8_t* payload, size_t len,
   out->correlation_id = c.take_u64();
   out->deadline_budget_us = c.take_i64();
   out->trace_id = version >= 3 ? c.take_u64() : 0;
+  out->tier = 0;
+  if (version >= 4) {
+    out->tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(out->tier)) return false;
+  }
   out->model.clear();
   if (version >= 2 && !c.take_str(&out->model, kMaxNameLen)) return false;
   const uint32_t num_tokens = c.take_u32();
@@ -277,8 +293,10 @@ bool decode_serve_response(const uint8_t* payload, size_t len,
   if (!c.ok || num_logits > kMaxLogits) return false;
   const size_t logits_bytes = static_cast<size_t>(num_logits) * 4;
   if (version >= 3) {
-    // Logits plus at least the fixed trace prefix (u64 + u8).
-    if (len - c.pos < logits_bytes + 9) return false;
+    // Logits plus at least the fixed trace prefix (u64 + u8), plus the
+    // trailing resolved-tier byte from v4 on.
+    const size_t tail = version >= 4 ? 10 : 9;
+    if (len - c.pos < logits_bytes + tail) return false;
   } else {
     if (len - c.pos != logits_bytes) return false;
   }
@@ -290,28 +308,51 @@ bool decode_serve_response(const uint8_t* payload, size_t len,
   if (version >= 3 &&
       !take_trace_section(c, &out->response.trace_id, &out->response.trace))
     return false;
+  out->response.tier = 0;
+  if (version >= 4) {
+    out->response.tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(out->response.tier)) return false;
+  }
   return c.done();
 }
 
-bool decode_load_model(const uint8_t* payload, size_t len, std::string* name,
-                       std::string* path) {
+namespace {
+
+/// The v4 trailing tier byte shared by the control frames: absent
+/// before v4 (reads 0), strictly validated from v4 on.
+bool take_tier_suffix(Cursor& c, uint8_t version, uint8_t* tier) {
+  *tier = 0;
+  if (version < 4) return true;
+  const uint8_t t = c.take_u8();
+  if (!c.ok || !wire_tier_valid(t)) return false;
+  *tier = t;
+  return true;
+}
+
+}  // namespace
+
+bool decode_load_model(const uint8_t* payload, size_t len, uint8_t version,
+                       std::string* name, std::string* path, uint8_t* tier) {
   Cursor c{payload, len};
   if (!c.take_str(name, kMaxNameLen)) return false;
   if (!c.take_str(path, kMaxPathLen)) return false;
+  if (!take_tier_suffix(c, version, tier)) return false;
   return c.done();
 }
 
-bool decode_unload_model(const uint8_t* payload, size_t len,
-                         std::string* name) {
+bool decode_unload_model(const uint8_t* payload, size_t len, uint8_t version,
+                         std::string* name, uint8_t* tier) {
   Cursor c{payload, len};
   if (!c.take_str(name, kMaxNameLen)) return false;
+  if (!take_tier_suffix(c, version, tier)) return false;
   return c.done();
 }
 
-bool decode_stats_request(const uint8_t* payload, size_t len,
-                          std::string* name) {
+bool decode_stats_request(const uint8_t* payload, size_t len, uint8_t version,
+                          std::string* name, uint8_t* tier) {
   Cursor c{payload, len};
   if (!c.take_str(name, kMaxNameLen)) return false;
+  if (!take_tier_suffix(c, version, tier)) return false;
   return c.done();
 }
 
@@ -325,17 +366,21 @@ bool decode_admin_response(const uint8_t* payload, size_t len, bool* ok,
   return c.done();
 }
 
-bool decode_model_list(const uint8_t* payload, size_t len,
-                       std::vector<std::string>* names) {
+bool decode_model_list(const uint8_t* payload, size_t len, uint8_t version,
+                       std::vector<WireModelEntry>* entries) {
   Cursor c{payload, len};
   const uint32_t count = c.take_u32();
   if (!c.ok || count > kMaxModelCount) return false;
-  names->clear();
-  names->reserve(count);
+  entries->clear();
+  entries->reserve(count);
   for (uint32_t i = 0; i < count; ++i) {
-    std::string name;
-    if (!c.take_str(&name, kMaxNameLen)) return false;
-    names->push_back(std::move(name));
+    WireModelEntry entry;
+    if (!c.take_str(&entry.name, kMaxNameLen)) return false;
+    if (version >= 4) {
+      entry.tier = c.take_u8();
+      if (!c.ok || !wire_tier_valid(entry.tier)) return false;
+    }
+    entries->push_back(std::move(entry));
   }
   return c.done();
 }
@@ -344,6 +389,11 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
                            uint8_t version, WireStats* out) {
   Cursor c{payload, len};
   if (!c.take_str(&out->model, kMaxNameLen)) return false;
+  out->tier = 0;
+  if (version >= 4) {
+    out->tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(out->tier)) return false;
+  }
   ServeStats::Report& r = out->report;
   r.admitted = c.take_u64();
   r.rejected_full = c.take_u64();
@@ -388,11 +438,16 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
 
 bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
                         uint64_t* correlation_id, uint64_t* trace_id,
-                        std::string* model) {
+                        uint8_t* tier, std::string* model) {
   Cursor c{payload, len};
   *correlation_id = c.take_u64();
   (void)c.take_i64();  // deadline budget: forwarded, not interpreted
   *trace_id = version >= 3 ? c.take_u64() : 0;
+  *tier = 0;
+  if (version >= 4) {
+    *tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(*tier)) return false;
+  }
   model->clear();
   if (version >= 2 && !c.take_str(model, kMaxNameLen)) return false;
   const uint32_t num_tokens = c.take_u32();
@@ -417,8 +472,11 @@ bool peek_serve_response(const uint8_t* payload, size_t len,
 }
 
 bool split_serve_response_trace(const uint8_t* payload, size_t len,
-                                size_t* trace_start, uint64_t* trace_id,
-                                std::vector<TraceEvent>* stages) {
+                                uint8_t version, size_t* trace_start,
+                                uint64_t* trace_id,
+                                std::vector<TraceEvent>* stages,
+                                uint8_t* tier) {
+  if (tier) *tier = 0;
   Cursor c{payload, len};
   (void)c.take_u64();  // correlation
   const uint8_t status = c.take_u8();
@@ -431,10 +489,16 @@ bool split_serve_response_trace(const uint8_t* payload, size_t len,
   const uint32_t num_logits = c.take_u32();
   if (!c.ok || num_logits > kMaxLogits) return false;
   const size_t logits_bytes = static_cast<size_t>(num_logits) * 4;
-  if (len - c.pos < logits_bytes + 9) return false;
+  const size_t tail = version >= 4 ? 10 : 9;
+  if (len - c.pos < logits_bytes + tail) return false;
   c.pos += logits_bytes;  // skip, don't materialize
   *trace_start = c.pos;
   if (!take_trace_section(c, trace_id, stages)) return false;
+  if (version >= 4) {
+    const uint8_t t = c.take_u8();
+    if (!c.ok || !wire_tier_valid(t)) return false;
+    if (tier) *tier = t;
+  }
   return c.done();
 }
 
@@ -452,28 +516,36 @@ void encode_trace_section(uint64_t trace_id,
 
 bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
                                  const std::string& model, uint64_t trace_id,
-                                 std::vector<uint8_t>* out) {
+                                 std::vector<uint8_t>* out, uint8_t tier) {
   FrameHeader hdr;
   if (decode_header(frame, frame_len, &hdr) != DecodeStatus::kFrame ||
       hdr.type != FrameType::kServeRequest ||
       frame_len != kHeaderSize + hdr.payload_len ||
-      model.size() > kMaxNameLen)
+      model.size() > kMaxNameLen || !wire_tier_valid(tier))
     return false;
   const uint8_t* payload = frame + kHeaderSize;
   Cursor c{payload, hdr.payload_len};
   (void)c.take_u64();
   (void)c.take_i64();
   const uint64_t old_trace = hdr.version >= 3 ? c.take_u64() : 0;
+  uint8_t old_tier = 0;
+  if (hdr.version >= 4) {
+    old_tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(old_tier)) return false;
+  }
   std::string old_model;
   if (hdr.version >= 2 && !c.take_str(&old_model, kMaxNameLen)) return false;
   if (!c.ok) return false;
   // `c.pos` now sits right after the old model field; everything from
-  // there on (counts + arrays) is carried over byte-for-byte.
+  // there on (counts + arrays) is carried over byte-for-byte. The
+  // output is always emitted in the v4 dialect; `tier` overrides the
+  // incoming tier when non-zero (a placement decision at this hop).
   out->clear();
   const size_t start = out->size();
-  begin_frame(*out, FrameType::kServeRequest, /*version=*/3);
+  begin_frame(*out, FrameType::kServeRequest, /*version=*/4);
   out->insert(out->end(), payload, payload + 16);  // correlation + deadline
   put_u64(*out, old_trace != 0 ? old_trace : trace_id);
+  put_u8(*out, tier != 0 ? tier : old_tier);
   put_str(*out, model, kMaxNameLen);
   out->insert(out->end(), payload + c.pos, payload + hdr.payload_len);
   end_frame(*out, start);
@@ -489,10 +561,11 @@ void encode_frame_header(const FrameHeader& hdr, std::vector<uint8_t>& out) {
 }
 
 void encode_info_request(const std::string& model, std::vector<uint8_t>& out,
-                         uint8_t version) {
+                         uint8_t version, uint8_t tier) {
   const size_t start = out.size();
   begin_frame(out, FrameType::kInfoRequest, version);
   if (version >= 2) put_str(out, model, kMaxNameLen);
+  if (version >= 4) put_u8(out, tier);
   end_frame(out, start);
 }
 
@@ -501,6 +574,7 @@ void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out,
   const size_t start = out.size();
   begin_frame(out, FrameType::kInfoResponse, version);
   if (version >= 2) put_str(out, info.model, kMaxNameLen);
+  if (version >= 4) put_u8(out, info.tier);
   put_config(out, info.config);
   end_frame(out, start);
 }
@@ -512,6 +586,7 @@ void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out,
   put_u64(out, req.correlation_id);
   put_i64(out, req.deadline_budget_us);
   if (version >= 3) put_u64(out, req.trace_id);
+  if (version >= 4) put_u8(out, req.tier);
   if (version >= 2) put_str(out, req.model, kMaxNameLen);
   put_u32(out, static_cast<uint32_t>(req.example.tokens.size()));
   put_u32(out, static_cast<uint32_t>(req.example.segments.size()));
@@ -534,23 +609,31 @@ void encode_serve_response(const WireResponse& resp,
   for (const float v : resp.response.logits) put_f32(out, v);
   if (version >= 3)
     encode_trace_section(resp.response.trace_id, resp.response.trace, out);
+  // Resolved tier rides as the very last payload byte so a relay can
+  // still truncate at the trace boundary for older clients.
+  if (version >= 4) put_u8(out, resp.response.tier);
   end_frame(out, start);
 }
 
 void encode_load_model(const std::string& name, const std::string& path,
-                       std::vector<uint8_t>& out) {
+                       std::vector<uint8_t>& out, uint8_t version,
+                       uint8_t tier) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kLoadModel);
+  const uint8_t v = std::max<uint8_t>(version, 2);
+  begin_frame(out, FrameType::kLoadModel, v);
   put_str(out, name, kMaxNameLen);
   put_str(out, path, kMaxPathLen);
+  if (v >= 4) put_u8(out, tier);
   end_frame(out, start);
 }
 
-void encode_unload_model(const std::string& name,
-                         std::vector<uint8_t>& out) {
+void encode_unload_model(const std::string& name, std::vector<uint8_t>& out,
+                         uint8_t version, uint8_t tier) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kUnloadModel);
+  const uint8_t v = std::max<uint8_t>(version, 2);
+  begin_frame(out, FrameType::kUnloadModel, v);
   put_str(out, name, kMaxNameLen);
+  if (v >= 4) put_u8(out, tier);
   end_frame(out, start);
 }
 
@@ -560,11 +643,13 @@ void encode_list_models(std::vector<uint8_t>& out, uint8_t version) {
   end_frame(out, start);
 }
 
-void encode_stats_request(const std::string& name,
-                          std::vector<uint8_t>& out, uint8_t version) {
+void encode_stats_request(const std::string& name, std::vector<uint8_t>& out,
+                          uint8_t version, uint8_t tier) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kStatsRequest, std::max<uint8_t>(version, 2));
+  const uint8_t v = std::max<uint8_t>(version, 2);
+  begin_frame(out, FrameType::kStatsRequest, v);
   put_str(out, name, kMaxNameLen);
+  if (v >= 4) put_u8(out, tier);
   end_frame(out, start);
 }
 
@@ -577,16 +662,20 @@ void encode_admin_response(bool ok, const std::string& message,
   end_frame(out, start);
 }
 
-void encode_model_list(const std::vector<std::string>& names,
-                       std::vector<uint8_t>& out) {
+void encode_model_list(const std::vector<WireModelEntry>& entries,
+                       std::vector<uint8_t>& out, uint8_t version) {
   const size_t start = out.size();
-  begin_frame(out, FrameType::kModelList);
+  const uint8_t v = std::max<uint8_t>(version, 2);
+  begin_frame(out, FrameType::kModelList, v);
   // Mirror decode_model_list's cap: past kMaxModelCount entries the
   // frame would be rejected by every client, making LIST unusable on a
   // healthy server — a truncated (but valid) list is strictly better.
-  const size_t count = std::min<size_t>(names.size(), kMaxModelCount);
+  const size_t count = std::min<size_t>(entries.size(), kMaxModelCount);
   put_u32(out, static_cast<uint32_t>(count));
-  for (size_t i = 0; i < count; ++i) put_str(out, names[i], kMaxNameLen);
+  for (size_t i = 0; i < count; ++i) {
+    put_str(out, entries[i].name, kMaxNameLen);
+    if (v >= 4) put_u8(out, entries[i].tier);
+  }
   end_frame(out, start);
 }
 
@@ -595,6 +684,7 @@ void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
   const size_t start = out.size();
   begin_frame(out, FrameType::kStatsResponse, version);
   put_str(out, stats.model, kMaxNameLen);
+  if (version >= 4) put_u8(out, stats.tier);
   const ServeStats::Report& r = stats.report;
   put_u64(out, r.admitted);
   put_u64(out, r.rejected_full);

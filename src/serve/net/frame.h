@@ -9,7 +9,7 @@
 //
 //   offset  size  field
 //   0       4     magic       0x46514254 ("FQBT", LE)
-//   4       1     version     1, 2 or 3 (kProtocolVersion = 3)
+//   4       1     version     1..4 (kProtocolVersion = 4)
 //   5       1     type        FrameType
 //   6       2     reserved    must be 0
 //   8       4     payload_len bytes following the header (<= kMaxPayload)
@@ -31,8 +31,26 @@
 //   * stats responses append p99.9 and the full latency sketch (alpha,
 //     zero count, exact max, log-buckets), making fan-out aggregation
 //     exact instead of sample-weighted.
-// Version-1/2 frames remain fully served, so old clients keep working
-// against a v3 server.
+// Version 4 (precision tiers) adds a TIER to the model identity: a
+// tier travels as one u8 holding the engine's weight_bits (0 = the
+// model's default tier; valid values are 0 and 2..8 — anything else is
+// a decode error):
+//   * serve requests carry a u8 tier between the trace id and the
+//     model string; serve responses append the RESOLVED tier as the
+//     very last payload byte (after the trace section, so a relay can
+//     still truncate at the trace boundary for old clients);
+//   * info request/response carry a u8 tier after the model string;
+//   * kLoadModel grows a trailing u8 tier (0 = the file's native
+//     bits; other values derive that tier from the loaded engine),
+//     kUnloadModel a trailing u8 tier (0 = every tier of the name),
+//     kStatsRequest/kStatsResponse a u8 tier after the name, and
+//     kModelList entries become (str name, u8 tier) pairs;
+//   * a tier the server does not serve is rejected with
+//     kRejectedUnknownTier (degraded to kRejectedUnknownModel for
+//     pre-v4 clients, and further to kRejectedInvalid for v1).
+// Version-1/2/3 frames remain fully served, so old clients keep
+// working against a v4 server (they simply always ride the default
+// tier).
 //
 // Strings on the wire are u16 length + raw bytes (no terminator), with
 // per-field caps (kMaxNameLen / kMaxPathLen / kMaxMessageLen).
@@ -41,14 +59,18 @@
 //
 //   kInfoRequest   (client->server)  v1: empty
 //                                    v2: str model
+//                                    v4: str model, u8 tier
 //   kInfoResponse  (server->client)  v1: 8 x i64: vocab_size, hidden,
 //                                    num_layers, num_heads, ffn_dim,
 //                                    max_seq_len, num_segments, num_classes
 //                                    v2: str model (resolved name), then
 //                                    the same 8 x i64
+//                                    v4: str model, u8 tier (resolved
+//                                    weight_bits), then the 8 x i64
 //   kServeRequest  (client->server)  u64 correlation_id,
 //                                    i64 deadline_budget_us (0 = none),
 //                                    [v3+: u64 trace_id (0 = unset)],
+//                                    [v4+: u8 tier (0 = default)],
 //                                    [v2+: str model],
 //                                    u32 num_tokens (<= kMaxTokens),
 //                                    u32 num_segments (<= kMaxTokens),
@@ -68,14 +90,21 @@
 //                                    (<= kMaxTraceStages), num_stages x
 //                                    (u8 stage <= kLastTraceStage,
 //                                    i64 t_us)]
+//                                    [v4+: u8 tier (resolved weight_bits)
+//                                    as the FINAL payload byte]
 //   kLoadModel     (client->server)  str name, str path      [v2]
+//                                    [v4+: u8 tier (0 = file's native)]
 //   kUnloadModel   (client->server)  str name                [v2]
+//                                    [v4+: u8 tier (0 = all tiers)]
 //   kListModels    (client->server)  empty                   [v2]
 //   kStatsRequest  (client->server)  str name ("" = default) [v2]
+//                                    [v4+: u8 tier]
 //   kAdminResponse (server->client)  u8 ok, str message      [v2]
 //   kModelList     (server->client)  u32 count (<= kMaxModelCount),
 //                                    count x str name        [v2]
-//   kStatsResponse (server->client)  str name, 10 x u64 (admitted,
+//                                    v4: count x (str name, u8 tier)
+//   kStatsResponse (server->client)  str name, [v4+: u8 tier],
+//                                    10 x u64 (admitted,
 //                                    rejected_full, rejected_deadline,
 //                                    rejected_invalid, rejected_closed,
 //                                    timed_out, completed, failed,
@@ -102,7 +131,7 @@
 namespace fqbert::serve::net {
 
 inline constexpr uint32_t kFrameMagic = 0x46514254u;  // "FQBT"
-inline constexpr uint8_t kProtocolVersion = 3;
+inline constexpr uint8_t kProtocolVersion = 4;
 inline constexpr uint8_t kMinProtocolVersion = 1;
 inline constexpr size_t kHeaderSize = 12;
 /// Hard cap on any payload; a header declaring more is a protocol error
@@ -124,6 +153,14 @@ inline constexpr uint32_t kMaxTraceStages = 64;
 /// Sketch buckets per stats response. With the default 1% relative
 /// error the full int64 microsecond range spans ~2200 buckets.
 inline constexpr uint32_t kMaxSketchBuckets = 4096;
+
+/// A tier on the wire: u8 weight_bits, 0 = the model's default tier.
+/// Anything outside {0, 2..8} is a decode error — it can only come
+/// from a buggy or hostile peer, never a future widening (a new width
+/// would ship as a new protocol version).
+inline constexpr bool wire_tier_valid(uint8_t tier) {
+  return tier == 0 || (tier >= 2 && tier <= 8);
+}
 
 enum class FrameType : uint8_t {
   kInfoRequest = 1,
@@ -155,6 +192,7 @@ struct FrameHeader {
 /// resolved lane name (empty on v1 frames).
 struct WireInfo {
   std::string model;
+  uint8_t tier = 0;  // resolved weight_bits (0 on pre-v4 frames)
   nn::BertConfig config;
 };
 
@@ -166,6 +204,7 @@ struct WireRequest {
   uint64_t correlation_id = 0;
   int64_t deadline_budget_us = 0;  // 0 = no deadline
   uint64_t trace_id = 0;           // 0 = unset (v3+)
+  uint8_t tier = 0;                // weight_bits, 0 = default (v4+)
   std::string model;
   nn::Example example;
 };
@@ -179,7 +218,15 @@ struct WireResponse {
 /// that serializes losslessly).
 struct WireStats {
   std::string model;
+  uint8_t tier = 0;  // weight_bits of the lane (0 on pre-v4 frames)
   ServeStats::Report report;
+};
+
+/// One kModelList entry: a served lane. Pre-v4 frames carry names
+/// only; their entries decode with tier 0.
+struct WireModelEntry {
+  std::string name;
+  uint8_t tier = 0;
 };
 
 enum class DecodeStatus {
@@ -198,23 +245,23 @@ DecodeStatus decode_header(const uint8_t* data, size_t len, FrameHeader* out);
 /// field pointing past the end). Version-dependent layouts take the
 /// header's version.
 bool decode_info_request(const uint8_t* payload, size_t len, uint8_t version,
-                         std::string* model_out);
+                         std::string* model_out, uint8_t* tier = nullptr);
 bool decode_info_response(const uint8_t* payload, size_t len,
                           uint8_t version, WireInfo* out);
 bool decode_serve_request(const uint8_t* payload, size_t len,
                           uint8_t version, WireRequest* out);
 bool decode_serve_response(const uint8_t* payload, size_t len,
                            uint8_t version, WireResponse* out);
-bool decode_load_model(const uint8_t* payload, size_t len, std::string* name,
-                       std::string* path);
-bool decode_unload_model(const uint8_t* payload, size_t len,
-                         std::string* name);
-bool decode_stats_request(const uint8_t* payload, size_t len,
-                          std::string* name);
+bool decode_load_model(const uint8_t* payload, size_t len, uint8_t version,
+                       std::string* name, std::string* path, uint8_t* tier);
+bool decode_unload_model(const uint8_t* payload, size_t len, uint8_t version,
+                         std::string* name, uint8_t* tier);
+bool decode_stats_request(const uint8_t* payload, size_t len, uint8_t version,
+                          std::string* name, uint8_t* tier);
 bool decode_admin_response(const uint8_t* payload, size_t len, bool* ok,
                            std::string* message);
-bool decode_model_list(const uint8_t* payload, size_t len,
-                       std::vector<std::string>* names);
+bool decode_model_list(const uint8_t* payload, size_t len, uint8_t version,
+                       std::vector<WireModelEntry>* entries);
 bool decode_stats_response(const uint8_t* payload, size_t len,
                            uint8_t version, WireStats* out);
 
@@ -227,27 +274,33 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
 // verbatim to a backend whose decoder runs the full strict decode.
 // ---------------------------------------------------------------------------
 
-/// Read correlation id, trace id and model name off a serve-request
-/// payload and check (without decoding them) that the declared
-/// token/segment arrays account for exactly the remaining bytes.
-/// `trace_id` reads 0 for v1/v2 frames. False on any violation.
+/// Read correlation id, trace id, tier and model name off a
+/// serve-request payload and check (without decoding them) that the
+/// declared token/segment arrays account for exactly the remaining
+/// bytes. `trace_id` reads 0 for v1/v2 frames; `tier` reads 0 for
+/// pre-v4 frames. False on any violation.
 bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
                         uint64_t* correlation_id, uint64_t* trace_id,
-                        std::string* model);
+                        uint8_t* tier, std::string* model);
 
 /// Read correlation id + status off a serve-response payload (the
 /// fields a proxy needs for failover decisions), leaving logits alone.
 bool peek_serve_response(const uint8_t* payload, size_t len,
                          uint64_t* correlation_id, RequestStatus* status);
 
-/// Locate and decode the trailing trace section of a v3 serve-response
-/// payload: `trace_start` gets the payload offset where the section
-/// begins (so a relay can truncate there for a v1/v2 client or splice a
-/// rebuilt section for a v3 one). Strictly validated like the full
-/// decoder. False when the payload is not a well-formed v3 response.
+/// Locate and decode the trailing trace section of a v3/v4
+/// serve-response payload: `trace_start` gets the payload offset where
+/// the section begins (so a relay can truncate there for a v1/v2
+/// client or splice a rebuilt section for a v3+ one). On v4 payloads
+/// the final tier byte (which sits AFTER the trace section) is
+/// validated and returned via `tier`; v3 payloads leave it 0. Strictly
+/// validated like the full decoder. False when the payload is not a
+/// well-formed response of `version`.
 bool split_serve_response_trace(const uint8_t* payload, size_t len,
-                                size_t* trace_start, uint64_t* trace_id,
-                                std::vector<TraceEvent>* stages);
+                                uint8_t version, size_t* trace_start,
+                                uint64_t* trace_id,
+                                std::vector<TraceEvent>* stages,
+                                uint8_t* tier = nullptr);
 
 /// Append a serve-response trace section (u64 trace_id, u8 num_stages,
 /// stages) to `out`, truncating at kMaxTraceStages.
@@ -264,7 +317,8 @@ void encode_trace_section(uint64_t trace_id,
 /// well-formed serve-request frame. `out` is overwritten.
 bool rewrite_serve_request_model(const uint8_t* frame, size_t frame_len,
                                  const std::string& model, uint64_t trace_id,
-                                 std::vector<uint8_t>* out);
+                                 std::vector<uint8_t>* out,
+                                 uint8_t tier = 0);
 
 /// Append just a 12-byte header for `hdr` (a proxy re-emitting a
 /// relayed payload under a different protocol version).
@@ -276,7 +330,8 @@ void encode_frame_header(const FrameHeader& hdr, std::vector<uint8_t>& out);
 /// encoders drop the model field — for old-client compatibility tests
 /// and clients pinned to v1).
 void encode_info_request(const std::string& model, std::vector<uint8_t>& out,
-                         uint8_t version = kProtocolVersion);
+                         uint8_t version = kProtocolVersion,
+                         uint8_t tier = 0);
 void encode_info_response(const WireInfo& info, std::vector<uint8_t>& out,
                           uint8_t version = kProtocolVersion);
 void encode_serve_request(const WireRequest& req, std::vector<uint8_t>& out,
@@ -285,8 +340,11 @@ void encode_serve_response(const WireResponse& resp,
                            std::vector<uint8_t>& out,
                            uint8_t version = kProtocolVersion);
 void encode_load_model(const std::string& name, const std::string& path,
-                       std::vector<uint8_t>& out);
-void encode_unload_model(const std::string& name, std::vector<uint8_t>& out);
+                       std::vector<uint8_t>& out,
+                       uint8_t version = kProtocolVersion, uint8_t tier = 0);
+void encode_unload_model(const std::string& name, std::vector<uint8_t>& out,
+                         uint8_t version = kProtocolVersion,
+                         uint8_t tier = 0);
 /// v2+ control frames. `version` lets a pinned-v2 client ask in its own
 /// dialect (the server answers in the request's version, so asking in
 /// v3 would bounce a sketch suffix off a v2 decoder); values below 2
@@ -294,11 +352,13 @@ void encode_unload_model(const std::string& name, std::vector<uint8_t>& out);
 void encode_list_models(std::vector<uint8_t>& out,
                         uint8_t version = kProtocolVersion);
 void encode_stats_request(const std::string& name, std::vector<uint8_t>& out,
-                          uint8_t version = kProtocolVersion);
+                          uint8_t version = kProtocolVersion,
+                          uint8_t tier = 0);
 void encode_admin_response(bool ok, const std::string& message,
                            std::vector<uint8_t>& out);
-void encode_model_list(const std::vector<std::string>& names,
-                       std::vector<uint8_t>& out);
+void encode_model_list(const std::vector<WireModelEntry>& entries,
+                       std::vector<uint8_t>& out,
+                       uint8_t version = kProtocolVersion);
 void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
                            uint8_t version = kProtocolVersion);
 

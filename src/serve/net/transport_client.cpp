@@ -278,6 +278,21 @@ bool TransportClient::require_str_fits(const std::string& value,
   return false;
 }
 
+bool TransportClient::require_tier_fits(uint8_t tier) {
+  if (tier == 0) return true;
+  if (version_ < 4) {
+    error_ = "tier selection requires protocol v4";
+    error_kind_ = ClientError::kProtocol;
+    return false;
+  }
+  if (!wire_tier_valid(tier)) {
+    error_ = "tier must be a weight bit-width in [2, 8]";
+    error_kind_ = ClientError::kProtocol;
+    return false;
+  }
+  return true;
+}
+
 bool TransportClient::admin_roundtrip(const std::vector<uint8_t>& frame,
                                       std::string* message) {
   if (!send_all(frame)) return false;
@@ -296,14 +311,16 @@ bool TransportClient::admin_roundtrip(const std::vector<uint8_t>& frame,
 }
 
 std::optional<nn::BertConfig> TransportClient::query_info(
-    const std::string& model) {
+    const std::string& model, uint8_t tier) {
   // A v1 client cannot put the model name on the wire; silently asking
-  // for the default instead would hand back the wrong shape.
+  // for the default instead would hand back the wrong shape. Same for a
+  // pre-v4 client and a tier.
   if (!require_connected(/*needs_v2=*/!model.empty())) return std::nullopt;
+  if (!require_tier_fits(tier)) return std::nullopt;
   if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
   std::vector<uint8_t> frame;
-  encode_info_request(model, frame, version_);
+  encode_info_request(model, frame, version_, tier);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
   std::string admin_failure;
@@ -320,14 +337,16 @@ std::optional<nn::BertConfig> TransportClient::query_info(
 
 std::optional<ServeResponse> TransportClient::call(
     const nn::Example& example, std::optional<Micros> deadline_budget,
-    const std::string& model, uint64_t trace_id) {
+    const std::string& model, uint64_t trace_id, uint8_t tier) {
   if (!require_connected(/*needs_v2=*/!model.empty())) return std::nullopt;
+  if (!require_tier_fits(tier)) return std::nullopt;
   if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
   WireRequest req;
   req.correlation_id = next_correlation_++;
   req.deadline_budget_us = deadline_budget ? deadline_budget->count() : 0;
   req.trace_id = version_ >= 3 ? trace_id : 0;
+  req.tier = tier;
   req.model = model;
   req.example = example;
   std::vector<uint8_t> frame;
@@ -354,47 +373,63 @@ std::optional<ServeResponse> TransportClient::call(
 
 bool TransportClient::load_model(const std::string& name,
                                  const std::string& path,
-                                 std::string* message) {
+                                 std::string* message, uint8_t tier) {
   if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_tier_fits(tier)) return false;
   if (!require_str_fits(name, kMaxNameLen, "model name") ||
       !require_str_fits(path, kMaxPathLen, "engine path"))
     return false;
   std::vector<uint8_t> frame;
-  encode_load_model(name, path, frame);
+  encode_load_model(name, path, frame, version_, tier);
   return admin_roundtrip(frame, message);
 }
 
 bool TransportClient::unload_model(const std::string& name,
-                                   std::string* message) {
+                                   std::string* message, uint8_t tier) {
   if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_tier_fits(tier)) return false;
   if (!require_str_fits(name, kMaxNameLen, "model name")) return false;
   std::vector<uint8_t> frame;
-  encode_unload_model(name, frame);
+  encode_unload_model(name, frame, version_, tier);
   return admin_roundtrip(frame, message);
 }
 
 std::optional<std::vector<std::string>> TransportClient::list_models() {
+  const std::optional<std::vector<WireModelEntry>> entries =
+      list_models_tiered();
+  if (!entries) return std::nullopt;
+  std::vector<std::string> names;
+  for (const WireModelEntry& entry : *entries)
+    if (names.empty() || names.back() != entry.name)
+      names.push_back(entry.name);  // tiers of one model are adjacent
+  return names;
+}
+
+std::optional<std::vector<WireModelEntry>>
+TransportClient::list_models_tiered() {
   if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
   std::vector<uint8_t> frame;
   encode_list_models(frame, version_);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
   if (!recv_expected(FrameType::kModelList, payload)) return std::nullopt;
-  std::vector<std::string> names;
-  if (!decode_model_list(payload.data(), payload.size(), &names)) {
+  std::vector<WireModelEntry> entries;
+  if (!decode_model_list(payload.data(), payload.size(), version_,
+                         &entries)) {
     fail(ClientError::kProtocol, "malformed model list from server");
     return std::nullopt;
   }
-  return names;
+  return entries;
 }
 
 std::optional<WireStats> TransportClient::query_stats(
-    const std::string& model) {
+    const std::string& model, uint8_t tier) {
   if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
+  if (!require_tier_fits(tier)) return std::nullopt;
   if (!require_str_fits(model, kMaxNameLen, "model name"))
     return std::nullopt;
   std::vector<uint8_t> frame;
-  encode_stats_request(model, frame, version_);
+  encode_stats_request(model, frame, version_, tier);
   if (!send_all(frame)) return std::nullopt;
   std::vector<uint8_t> payload;
   std::string admin_failure;

@@ -84,20 +84,27 @@ class TransportClient {
   }
 
   /// Ask the server for the shape of `model` ("" = its default model).
-  std::optional<nn::BertConfig> query_info(const std::string& model = "");
+  /// A nonzero `tier` (weight bits, v4 connections only) names one of
+  /// its precision tiers; 0 = the model's default tier.
+  std::optional<nn::BertConfig> query_info(const std::string& model = "",
+                                           uint8_t tier = 0);
 
   /// One blocking inference round trip against `model` ("" = default).
   /// nullopt on *transport* failure (send/recv error, timeout, protocol
   /// violation, correlation mismatch — the connection is closed);
   /// serving-level failures come back as a ServeResponse with a non-kOk
-  /// status (including kRejectedUnknownModel). A nonzero `trace_id`
-  /// (mint_trace_id()) requests end-to-end tracing on a v3 connection:
-  /// the response's `trace` then carries per-stage timestamps. Ignored
-  /// on a version-pinned v1/v2 client (no wire field to carry it).
+  /// status (including kRejectedUnknownModel / kRejectedUnknownTier). A
+  /// nonzero `trace_id` (mint_trace_id()) requests end-to-end tracing
+  /// on a v3+ connection: the response's `trace` then carries per-stage
+  /// timestamps. Ignored on a version-pinned v1/v2 client (no wire
+  /// field to carry it). A nonzero `tier` (weight bits) asks for that
+  /// precision tier of the model on a v4 connection; on older pinned
+  /// versions it cannot travel and the call fails client-side.
   std::optional<ServeResponse> call(
       const nn::Example& example,
       std::optional<Micros> deadline_budget = std::nullopt,
-      const std::string& model = "", uint64_t trace_id = 0);
+      const std::string& model = "", uint64_t trace_id = 0,
+      uint8_t tier = 0);
 
   // -------------------------------------------------------------------
   // Control plane (protocol v2). Each returns false / nullopt on
@@ -105,15 +112,27 @@ class TransportClient {
   // file) return false with the server's message in *message / error().
   // -------------------------------------------------------------------
 
-  /// Hot-load a serialized engine file as `name` on the server.
+  /// Hot-load a serialized engine file as `name` on the server. On a
+  /// v4 connection a nonzero `tier` asks the server to serve the engine
+  /// at that bit-width (deriving it when it differs from the file's
+  /// native width); an empty `path` with nonzero `tier` mints the tier
+  /// from the model's already-loaded default engine.
   bool load_model(const std::string& name, const std::string& path,
-                  std::string* message = nullptr);
-  /// Hot-unload `name` (drains its lane server-side before returning).
-  bool unload_model(const std::string& name, std::string* message = nullptr);
-  /// Names of every model currently served.
+                  std::string* message = nullptr, uint8_t tier = 0);
+  /// Hot-unload `name` (drains its lane(s) server-side before
+  /// returning). Nonzero `tier` (v4) drains only that tier's lane; 0
+  /// unloads every tier.
+  bool unload_model(const std::string& name, std::string* message = nullptr,
+                    uint8_t tier = 0);
+  /// Names of every model currently served (deduplicated across tiers).
   std::optional<std::vector<std::string>> list_models();
-  /// Per-model serving stats ("" = default model).
-  std::optional<WireStats> query_stats(const std::string& model = "");
+  /// Every served (model, tier) row. On a pre-v4 connection tiers read
+  /// 0 (the wire has no tier column).
+  std::optional<std::vector<WireModelEntry>> list_models_tiered();
+  /// Per-model serving stats ("" = default model; tier 0 = its default
+  /// tier, nonzero = that tier's lane on a v4 connection).
+  std::optional<WireStats> query_stats(const std::string& model = "",
+                                       uint8_t tier = 0);
 
   // -------------------------------------------------------------------
   // Raw frame I/O (shard proxy forwarding path): ship pre-encoded frame
@@ -144,6 +163,10 @@ class TransportClient {
   /// loudly client-side instead.
   bool require_str_fits(const std::string& value, uint32_t cap,
                         const char* what);
+  /// A nonzero tier has no wire field before v4 (dropping it silently
+  /// would serve the wrong precision) and must be a representable
+  /// weight bit-width.
+  bool require_tier_fits(uint8_t tier);
   /// Send an admin frame and decode the kAdminResponse round trip:
   /// true on ok=1; false with the server's message latched (and copied
   /// to *message) on an in-band failure or transport error.

@@ -180,9 +180,13 @@ void TransportServer::completion_loop() {
       wire.response = w.fut.get();  // blocks here, never in the event loop
       // Statuses minted after v1 must not travel in a v1 frame: an
       // old client's decoder treats an out-of-range status byte as a
-      // malformed payload and kills the connection. Unknown-model (only
-      // reachable by v1 when the default lane was unloaded) degrades to
-      // the closest v1-era rejection.
+      // malformed payload and kills the connection. Unknown-tier (v4)
+      // degrades to unknown-model for v2/v3 clients, and unknown-model
+      // (only reachable by v1 when the default lane was unloaded)
+      // degrades further to the closest v1-era rejection.
+      if (w.version < 4 &&
+          wire.response.status == RequestStatus::kRejectedUnknownTier)
+        wire.response.status = RequestStatus::kRejectedUnknownModel;
       if (w.version < 2 &&
           wire.response.status == RequestStatus::kRejectedUnknownModel)
         wire.response.status = RequestStatus::kRejectedInvalid;
@@ -360,22 +364,30 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
     switch (hdr.type) {
       case FrameType::kInfoRequest: {
         std::string model;
+        uint8_t tier = 0;
         if (!decode_info_request(payload, hdr.payload_len, hdr.version,
-                                 &model)) {
+                                 &model, &tier)) {
           ok = false;
           break;
         }
         const std::optional<nn::BertConfig> cfg =
-            router_.model_config(model);
+            router_.model_config(model, tier);
         if (cfg) {
           WireInfo info;
           info.model = model.empty() ? router_.default_model() : model;
+          info.tier = tier != 0
+                          ? tier
+                          : static_cast<uint8_t>(router_.default_tier(model));
           info.config = *cfg;
           encode_info_response(info, conn.out, hdr.version);
         } else if (hdr.version >= 2) {
           // v2 can express the failure in-band.
           encode_admin_response(
-              false, "no model named '" + model + "' is being served",
+              false,
+              tier != 0 && router_.has_model(model)
+                  ? "model '" + model + "' does not serve tier int" +
+                        std::to_string(static_cast<int>(tier))
+                  : "no model named '" + model + "' is being served",
               conn.out);
         } else {
           // v1 cannot (its info response is shape-only and always
@@ -403,23 +415,25 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
         w.correlation_id = req.correlation_id;
         w.version = hdr.version;
         w.fut = router_.submit(req.model, std::move(req.example), budget,
-                               /*admit=*/nullptr, req.trace_id);
+                               /*admit=*/nullptr, req.trace_id, req.tier);
         push_waiter(std::move(w));
         break;
       }
       case FrameType::kLoadModel: {
         std::string name, path;
-        if (!decode_load_model(payload, hdr.payload_len, &name, &path) ||
+        uint8_t tier = 0;
+        if (!decode_load_model(payload, hdr.payload_len, hdr.version, &name,
+                               &path, &tier) ||
             name.empty()) {
           ok = false;
           break;
         }
         Waiter w;
         w.conn_id = conn_id;
-        w.admin = [this, name, path]() {
+        w.admin = [this, name, path, tier]() {
           std::string error;
           std::vector<uint8_t> bytes;
-          if (router_.load_model(name, path, &error))
+          if (router_.load_model(name, path, &error, tier))
             encode_admin_response(true, "loaded '" + name + "'", bytes);
           else
             encode_admin_response(false, error, bytes);
@@ -430,17 +444,19 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
       }
       case FrameType::kUnloadModel: {
         std::string name;
-        if (!decode_unload_model(payload, hdr.payload_len, &name) ||
+        uint8_t tier = 0;
+        if (!decode_unload_model(payload, hdr.payload_len, hdr.version,
+                                 &name, &tier) ||
             name.empty()) {
           ok = false;
           break;
         }
         Waiter w;
         w.conn_id = conn_id;
-        w.admin = [this, name]() {
+        w.admin = [this, name, tier]() {
           std::string error;
           std::vector<uint8_t> bytes;
-          if (router_.unload_model(name, &error))
+          if (router_.unload_model(name, &error, tier))
             encode_admin_response(true, "unloaded '" + name + "'", bytes);
           else
             encode_admin_response(false, error, bytes);
@@ -454,22 +470,38 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
           ok = false;
           break;
         }
-        encode_model_list(router_.model_names(), conn.out);
+        // v4 gets one row per served (model, tier); older dialects get
+        // one row per model name (their frame has no tier column).
+        std::vector<WireModelEntry> entries;
+        for (const std::string& name : router_.model_names()) {
+          if (hdr.version >= 4) {
+            for (const int bits : router_.served_tiers(name))
+              entries.push_back({name, static_cast<uint8_t>(bits)});
+          } else {
+            entries.push_back({name, 0});
+          }
+        }
+        encode_model_list(entries, conn.out, hdr.version);
         MutexLock lock(counters_mu_);
         ++counters_.frames_out;
         break;
       }
       case FrameType::kStatsRequest: {
         std::string name;
-        if (!decode_stats_request(payload, hdr.payload_len, &name)) {
+        uint8_t tier = 0;
+        if (!decode_stats_request(payload, hdr.payload_len, hdr.version,
+                                  &name, &tier)) {
           ok = false;
           break;
         }
         const std::optional<ServeStats::Report> report =
-            router_.stats_report(name);
+            router_.stats_report(name, tier);
         if (report) {
           WireStats stats;
           stats.model = name.empty() ? router_.default_model() : name;
+          stats.tier = tier != 0
+                           ? tier
+                           : static_cast<uint8_t>(router_.default_tier(name));
           stats.report = *report;
           encode_stats_response(stats, conn.out, hdr.version);
         } else {

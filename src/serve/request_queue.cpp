@@ -12,6 +12,7 @@ const char* request_status_name(RequestStatus s) {
     case RequestStatus::kEngineError: return "engine-error";
     case RequestStatus::kShutdown: return "shutdown";
     case RequestStatus::kRejectedUnknownModel: return "rejected-unknown-model";
+    case RequestStatus::kRejectedUnknownTier: return "rejected-unknown-tier";
   }
   return "unknown";
 }
@@ -24,6 +25,7 @@ const char* admit_result_name(AdmitResult r) {
     case AdmitResult::kInvalidExample: return "invalid-example";
     case AdmitResult::kClosed: return "closed";
     case AdmitResult::kUnknownModel: return "unknown-model";
+    case AdmitResult::kUnknownTier: return "unknown-tier";
   }
   return "unknown";
 }

@@ -34,9 +34,10 @@ enum class RequestStatus {
   kEngineError,       // engine threw while executing this batch
   kShutdown,          // server aborted without draining
   kRejectedUnknownModel,  // router: no lane serves the requested model
+  kRejectedUnknownTier,   // router: model known, requested tier is not
 };
 inline constexpr RequestStatus kLastRequestStatus =
-    RequestStatus::kRejectedUnknownModel;
+    RequestStatus::kRejectedUnknownTier;
 
 const char* request_status_name(RequestStatus s);
 
@@ -48,6 +49,7 @@ struct ServeResponse {
   int64_t queue_us = 0;    // admission -> batch formation
   int64_t latency_us = 0;  // admission -> response
   int32_t batch_size = 0;  // occupancy of the batch this request rode in
+  uint8_t tier = 0;        // weight_bits of the lane that served it
   uint64_t trace_id = 0;   // 0 = request was not traced
   // Per-stage timestamps (us, relative to admission) when traced.
   std::vector<TraceEvent> trace;
@@ -58,6 +60,7 @@ struct ServeResponse {
 
 struct ServeRequest {
   uint64_t id = 0;
+  uint8_t tier = 0;       // weight_bits of the lane this request rides
   uint64_t trace_id = 0;  // 0 = untraced; carried into the response
   nn::Example example;
   TimePoint enqueue_time{};
@@ -77,6 +80,7 @@ enum class AdmitResult {
   kInvalidExample,
   kClosed,
   kUnknownModel,  // router: the named model has no serving lane
+  kUnknownTier,   // router: model known, requested tier is not served
 };
 
 const char* admit_result_name(AdmitResult r);

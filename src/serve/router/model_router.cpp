@@ -21,6 +21,10 @@ void set_error(std::string* error, const std::string& message) {
   if (error) *error = message;
 }
 
+std::string lane_label(const std::string& name, int bits) {
+  return "model '" + name + "' tier int" + std::to_string(bits);
+}
+
 }  // namespace
 
 ModelRouter::ModelRouter(EngineRegistry& registry, const RouterConfig& cfg)
@@ -51,7 +55,7 @@ void ModelRouter::shutdown(bool drain) {
     MutexLock lock(lanes_mu_);
     accepting_lanes_ = false;
     lanes.reserve(lanes_.size());
-    for (const auto& [name, lane] : lanes_) lanes.push_back(lane);
+    for (const auto& [key, lane] : lanes_) lanes.push_back(lane);
   }
   // Same ordering discipline as InferenceServer::shutdown: in abort
   // mode, stop batch handout BEFORE the close() wakeups, and fail
@@ -70,54 +74,123 @@ void ModelRouter::shutdown(bool drain) {
 }
 
 bool ModelRouter::insert_lane(
-    const std::string& name,
+    const std::string& name, int bits,
     std::shared_ptr<const core::FqBertModel> engine, std::string* error) {
-  auto lane = std::make_shared<Lane>(name, std::move(engine), cfg_);
+  auto lane = std::make_shared<Lane>(name, bits, std::move(engine), cfg_);
   {
     MutexLock lock(lanes_mu_);
     if (!accepting_lanes_) {
       set_error(error, "router is shutting down");
       return false;
     }
-    if (lanes_.count(name) > 0) {
-      set_error(error, "model '" + name + "' is already being served");
+    const LaneKey key{name, bits};
+    if (lanes_.count(key) > 0) {
+      set_error(error, lane_label(name, bits) + " is already being served");
       return false;
     }
     if (default_model_.empty()) default_model_ = name;
-    lanes_.emplace(name, std::move(lane));
+    default_tier_.emplace(name, bits);  // no-op when the model has lanes
+    lanes_.emplace(key, std::move(lane));
   }
   wake_workers();  // workers must start polling the new lane
   return true;
 }
 
 bool ModelRouter::add_model(const std::string& name, std::string* error) {
-  std::shared_ptr<const core::FqBertModel> engine = registry_.get(name);
-  if (!engine) {
+  const std::vector<int> tiers = registry_.tiers(name);
+  if (tiers.empty()) {
     set_error(error, "model '" + name + "' is not in the engine registry");
     return false;
   }
-  return insert_lane(name, std::move(engine), error);
+  // Open the default tier's lane first so it becomes the model's
+  // tier-0 target, then every sibling tier.
+  std::vector<int> ordered;
+  ordered.push_back(registry_.default_tier(name));
+  for (int bits : tiers)
+    if (bits != ordered.front()) ordered.push_back(bits);
+  for (int bits : ordered) {
+    std::shared_ptr<const core::FqBertModel> engine =
+        registry_.get(name, bits);
+    if (!engine) {
+      set_error(error, lane_label(name, bits) + " vanished from the registry");
+      return false;
+    }
+    if (!insert_lane(name, bits, std::move(engine), error)) return false;
+  }
+  return true;
 }
 
-bool ModelRouter::load_model(const std::string& name,
-                             const std::string& path, std::string* error) {
+bool ModelRouter::add_tier(const std::string& name, int bits,
+                           std::string* error) {
+  std::shared_ptr<const core::FqBertModel> engine = registry_.get(name, bits);
+  if (!engine) {
+    set_error(error, lane_label(name, bits) + " is not in the engine registry");
+    return false;
+  }
+  const int resolved = bits == 0 ? registry_.default_tier(name) : bits;
+  return insert_lane(name, resolved, std::move(engine), error);
+}
+
+bool ModelRouter::load_model(const std::string& name, const std::string& path,
+                             std::string* error, int bits) {
   MutexLock admin(admin_mu_);
-  if (has_model(name)) {
-    set_error(error, "model '" + name + "' is already being served");
+  if (path.empty()) {
+    // Derive-only load: mint `bits` from the model's registered
+    // default tier.
+    if (bits == 0) {
+      set_error(error, "deriving a tier for '" + name +
+                           "' requires an explicit bit-width");
+      return false;
+    }
+    if (has_tier(name, bits)) {
+      set_error(error, lane_label(name, bits) + " is already being served");
+      return false;
+    }
+    if (!registry_.register_derived(name, bits)) {
+      set_error(error, "cannot derive " + lane_label(name, bits) +
+                           " (model unknown or bits out of [2, 8])");
+      return false;
+    }
+    if (!add_tier(name, bits, error)) {
+      if (!has_tier(name, bits)) registry_.unregister_tier(name, bits);
+      return false;
+    }
+    return true;
+  }
+
+  if (bits != 0 && has_tier(name, bits)) {
+    set_error(error, lane_label(name, bits) + " is already being served");
     return false;
   }
   // The expensive file load happens here, on the control-plane thread;
-  // live lanes never notice.
+  // live lanes never notice. FQBERT02 files mmap in O(page faults).
+  // Re-registering a (name, tier) that is already bound REPLACES the
+  // registry binding; a lane serving the old engine keeps it alive
+  // through its own shared_ptr.
   if (!registry_.register_file(name, path)) {
-    set_error(error,
-              "cannot load engine file '" + path + "' for model '" + name +
-                  "'");
+    set_error(error, "cannot load engine file '" + path + "' for model '" +
+                         name + "'");
     return false;
   }
-  if (!add_model(name, error)) {
-    // Lane refused (e.g. shutdown raced in): don't leave the name
+  const int native = registry_.get(name)
+                         ? registry_.get(name)->quant_config().weight_bits
+                         : 0;
+  int target = bits == 0 ? native : bits;
+  if (bits != 0 && bits != native && !registry_.contains(name, bits)) {
+    if (!registry_.register_derived(name, bits)) {
+      set_error(error, "cannot derive " + lane_label(name, bits) +
+                           " from '" + path + "'");
+      return false;
+    }
+  }
+  if (has_tier(name, target)) {
+    set_error(error, lane_label(name, target) + " is already being served");
+    return false;
+  }
+  if (!add_tier(name, target, error)) {
+    // Lane refused (e.g. shutdown raced in): don't leave the tier
     // dangling in the registry — unless some lane does serve it.
-    if (!has_model(name)) registry_.unregister(name);
+    if (!has_tier(name, target)) registry_.unregister_tier(name, target);
     return false;
   }
   return true;
@@ -131,14 +204,7 @@ bool ModelRouter::lane_drained(const Lane& lane) {
          lane.inflight.load() == 0;
 }
 
-bool ModelRouter::unload_model(const std::string& name, std::string* error) {
-  MutexLock admin(admin_mu_);
-  std::shared_ptr<Lane> lane = find_lane(name);
-  if (!lane) {
-    set_error(error, "model '" + name + "' is not being served");
-    return false;
-  }
-
+void ModelRouter::retire_lane(const std::shared_ptr<Lane>& lane) {
   // Stop admissions; in-flight and queued work still completes (a
   // closed queue force-flushes partial buckets on the next poll).
   lane->closing = true;
@@ -160,16 +226,57 @@ bool ModelRouter::unload_model(const std::string& name, std::string* error) {
 
   {
     MutexLock lock(lanes_mu_);
-    lanes_.erase(name);
+    lanes_.erase(LaneKey{lane->name, lane->tier});
+    // Re-point the model's default tier at the lowest survivor, or
+    // forget the model entirely when its last lane is gone.
+    auto dt = default_tier_.find(lane->name);
+    if (dt != default_tier_.end()) {
+      int lowest = 0;
+      for (const auto& [key, other] : lanes_) {
+        if (key.first != lane->name) continue;
+        if (lowest == 0 || key.second < lowest) lowest = key.second;
+      }
+      if (lowest == 0) {
+        default_tier_.erase(dt);
+      } else if (dt->second == lane->tier) {
+        dt->second = lowest;
+      }
+    }
   }
-  registry_.unregister(name);
+}
+
+bool ModelRouter::unload_model(const std::string& name, std::string* error,
+                               int bits) {
+  MutexLock admin(admin_mu_);
+  std::vector<std::shared_ptr<Lane>> doomed;
+  {
+    MutexLock lock(lanes_mu_);
+    const std::string& resolved = name.empty() ? default_model_ : name;
+    for (const auto& [key, lane] : lanes_) {
+      if (key.first != resolved) continue;
+      if (bits == 0 || key.second == bits) doomed.push_back(lane);
+    }
+  }
+  if (doomed.empty()) {
+    set_error(error, bits == 0
+                         ? "model '" + name + "' is not being served"
+                         : lane_label(name, bits) + " is not being served");
+    return false;
+  }
+  for (const auto& lane : doomed) {
+    retire_lane(lane);
+    if (bits != 0) {
+      registry_.unregister_tier(lane->name, lane->tier);
+    }
+  }
+  if (bits == 0) registry_.unregister(doomed.front()->name);
   return true;
 }
 
 std::future<ServeResponse> ModelRouter::submit(
     const std::string& model, nn::Example example,
     std::optional<Micros> deadline_budget, AdmitResult* admit,
-    uint64_t trace_id) {
+    uint64_t trace_id, int tier) {
   ServeRequest req;
   req.id = next_id_.fetch_add(1);
   req.trace_id = trace_id;
@@ -179,18 +286,26 @@ std::future<ServeResponse> ModelRouter::submit(
   std::future<ServeResponse> fut = req.promise.get_future();
 
   std::shared_ptr<Lane> lane;
-  if (running()) lane = find_lane(model);
+  bool model_known = false;
+  if (running()) {
+    lane = find_lane(model, tier, &model_known);
+    if (!lane && model_known &&
+        cfg_.tier_fallback == TierFallback::kFallbackToDefault)
+      lane = find_lane(model, 0);
+  }
 
   AdmitResult result = AdmitResult::kClosed;
   if (!running()) {
     result = AdmitResult::kClosed;
   } else if (!lane) {
-    result = AdmitResult::kUnknownModel;
+    result = model_known ? AdmitResult::kUnknownTier
+                         : AdmitResult::kUnknownModel;
   } else if (lane->closing) {
     result = AdmitResult::kClosed;
   } else if (!example_valid_for(req.example, lane->config)) {
     result = AdmitResult::kInvalidExample;
   } else {
+    req.tier = static_cast<uint8_t>(lane->tier);
     result = lane->queue.submit(std::move(req));
   }
   if (admit) *admit = result;
@@ -198,6 +313,7 @@ std::future<ServeResponse> ModelRouter::submit(
   ServeResponse resp;
   resp.request_id = req.id;
   resp.trace_id = trace_id;
+  resp.tier = lane ? static_cast<uint8_t>(lane->tier) : 0;
   switch (result) {
     case AdmitResult::kOk:
       lane->stats.record_admitted();
@@ -222,6 +338,10 @@ std::future<ServeResponse> ModelRouter::submit(
     case AdmitResult::kUnknownModel:
       unknown_rejected_.fetch_add(1);
       resp.status = RequestStatus::kRejectedUnknownModel;
+      break;
+    case AdmitResult::kUnknownTier:
+      unknown_tier_rejected_.fetch_add(1);
+      resp.status = RequestStatus::kRejectedUnknownTier;
       break;
   }
   req.promise.set_value(std::move(resp));
@@ -294,68 +414,92 @@ std::vector<std::shared_ptr<ModelRouter::Lane>> ModelRouter::snapshot_lanes()
   MutexLock lock(lanes_mu_);
   std::vector<std::shared_ptr<Lane>> out;
   out.reserve(lanes_.size());
-  for (const auto& [name, lane] : lanes_) out.push_back(lane);
+  for (const auto& [key, lane] : lanes_) out.push_back(lane);
   return out;
 }
 
 std::shared_ptr<ModelRouter::Lane> ModelRouter::find_lane(
-    const std::string& name) const {
+    const std::string& name, int bits, bool* model_known) const {
   MutexLock lock(lanes_mu_);
   const std::string& resolved = name.empty() ? default_model_ : name;
-  auto it = lanes_.find(resolved);
+  auto dt = default_tier_.find(resolved);
+  if (model_known) *model_known = dt != default_tier_.end();
+  if (dt == default_tier_.end()) return nullptr;
+  const int tier = bits == 0 ? dt->second : bits;
+  auto it = lanes_.find(LaneKey{resolved, tier});
   return it == lanes_.end() ? nullptr : it->second;
 }
 
 bool ModelRouter::has_model(const std::string& name) const {
-  return find_lane(name) != nullptr;
+  bool model_known = false;
+  find_lane(name, 0, &model_known);
+  return model_known;
+}
+
+bool ModelRouter::has_tier(const std::string& name, int bits) const {
+  return find_lane(name, bits) != nullptr;
 }
 
 std::vector<std::string> ModelRouter::model_names() const {
   MutexLock lock(lanes_mu_);
   std::vector<std::string> out;
-  out.reserve(lanes_.size());
-  for (const auto& [name, lane] : lanes_) out.push_back(name);
+  for (const auto& [key, lane] : lanes_)
+    if (out.empty() || out.back() != key.first) out.push_back(key.first);
+  return out;
+}
+
+std::vector<int> ModelRouter::served_tiers(const std::string& name) const {
+  MutexLock lock(lanes_mu_);
+  const std::string& resolved = name.empty() ? default_model_ : name;
+  std::vector<int> out;
+  for (const auto& [key, lane] : lanes_)
+    if (key.first == resolved) out.push_back(key.second);
   return out;
 }
 
 std::optional<nn::BertConfig> ModelRouter::model_config(
-    const std::string& name) const {
-  const std::shared_ptr<Lane> lane = find_lane(name);
+    const std::string& name, int bits) const {
+  const std::shared_ptr<Lane> lane = find_lane(name, bits);
   if (!lane) return std::nullopt;
   return lane->config;
 }
 
 std::optional<ServeStats::Report> ModelRouter::stats_report(
-    const std::string& name) const {
-  const std::shared_ptr<Lane> lane = find_lane(name);
+    const std::string& name, int bits) const {
+  const std::shared_ptr<Lane> lane = find_lane(name, bits);
   if (!lane) return std::nullopt;
   return lane->stats.report();
 }
 
-std::vector<std::pair<std::string, ServeStats::Report>>
-ModelRouter::all_stats() const {
+std::vector<ModelRouter::LaneStats> ModelRouter::all_stats() const {
   std::vector<std::shared_ptr<Lane>> lanes = snapshot_lanes();
-  std::vector<std::pair<std::string, ServeStats::Report>> out;
+  std::vector<LaneStats> out;
   out.reserve(lanes.size());
   for (const auto& lane : lanes)
-    out.emplace_back(lane->name, lane->stats.report());
+    out.push_back(LaneStats{lane->name, lane->tier, lane->stats.report()});
   return out;
 }
 
-std::vector<std::pair<std::string, size_t>> ModelRouter::queue_depths()
-    const {
+std::vector<ModelRouter::LaneDepth> ModelRouter::queue_depths() const {
   std::vector<std::shared_ptr<Lane>> lanes = snapshot_lanes();
-  std::vector<std::pair<std::string, size_t>> out;
+  std::vector<LaneDepth> out;
   out.reserve(lanes.size());
   for (const auto& lane : lanes)
-    out.emplace_back(lane->name,
-                     lane->queue.size() + lane->batcher.pending());
+    out.push_back(LaneDepth{lane->name, lane->tier,
+                            lane->queue.size() + lane->batcher.pending()});
   return out;
 }
 
 std::string ModelRouter::default_model() const {
   MutexLock lock(lanes_mu_);
   return default_model_;
+}
+
+int ModelRouter::default_tier(const std::string& name) const {
+  MutexLock lock(lanes_mu_);
+  const std::string& resolved = name.empty() ? default_model_ : name;
+  auto it = default_tier_.find(resolved);
+  return it == default_tier_.end() ? 0 : it->second;
 }
 
 double ModelRouter::uptime_s() const {

@@ -1,28 +1,37 @@
 // ModelRouter: multi-tenant serving facade. Fronts N named engines in
-// ONE process — each model gets its own serving lane (RequestQueue +
-// DynamicBatcher + per-model ServeStats) and all lanes are multiplexed
-// onto one shared worker set, so K models cost K weight copies but only
-// one thread pool. Requests carry the model name; the empty name routes
-// to the default model (the first lane added), which is how protocol-v1
-// clients keep working.
+// ONE process — and each name is served at one or more PRECISION
+// TIERS. A serving lane is keyed by (model, tier): its own
+// RequestQueue + DynamicBatcher + ServeStats around that tier's
+// engine, with every lane multiplexed onto one shared worker set, so
+// K lanes cost K engine bindings (tiers derived from one checkpoint
+// share nothing but are individually mmap-shareable) and only one
+// thread pool. Requests carry the model name AND a tier (weight_bits;
+// 0 = the model's default tier); the empty name routes to the default
+// model (the first lane added), which is how protocol-v1 clients keep
+// working.
 //
 //   EngineRegistry registry;
-//   registry.register_file("sst2", "sst2.bin");
+//   registry.register_file("sst2", "sst2.bin");   // native int8
+//   registry.register_derived("sst2", 4);         // int4 sibling
 //   ModelRouter router(registry, cfg);
-//   router.add_model("sst2");
+//   router.add_model("sst2");        // lanes for every registered tier
 //   router.start();
-//   auto fut = router.submit("sst2", example, Micros(50'000));
-//   router.load_model("mnli", "mnli.bin");     // hot, under live traffic
-//   router.unload_model("sst2");               // drains ONLY that lane
+//   auto fut = router.submit("sst2", ex, Micros(50'000),
+//                            nullptr, 0, /*tier=*/4);
+//   router.load_model("mnli", "mnli.bin");       // hot, native tier
+//   router.load_model("sst2", "", nullptr, 2);   // hot, derive int2
+//   router.unload_model("sst2", nullptr, 4);     // drains ONLY int4
+//   router.unload_model("sst2");                 // drains all tiers
 //   router.shutdown(/*drain=*/true);
 //
-// Hot load/unload: load_model() reads the engine file and publishes the
-// lane without pausing other models; unload_model() closes the lane's
-// admission queue, waits until its queued + batched + in-flight work has
-// fully completed (other lanes keep serving throughout), then removes
-// the lane and unregisters the name. Admission, execution, and stats are
-// strictly per-lane, so each lane's `admitted == completed + timed_out +
-// failed` balances independently.
+// Hot load/unload: load_model() publishes the tier's engine and lane
+// without pausing other lanes; unload_model() closes the target
+// lane(s)' admission queues, waits until their queued + batched +
+// in-flight work has fully completed (other lanes keep serving
+// throughout, including sibling tiers of the same model), then removes
+// the lane(s) and the registry binding. Admission, execution, and
+// stats are strictly per-lane, so each (model, tier)'s `admitted ==
+// completed + timed_out + failed` balances independently.
 #pragma once
 
 #include <atomic>
@@ -32,6 +41,7 @@
 #include <optional>
 #include <string>
 #include <thread>
+#include <utility>
 #include <vector>
 
 #include "platform/thread_annotations.h"
@@ -41,6 +51,12 @@
 
 namespace fqbert::serve {
 
+/// What to do with a request naming a tier the model does not serve.
+enum class TierFallback {
+  kStrict,             // reject with kRejectedUnknownTier
+  kFallbackToDefault,  // serve it on the model's default tier
+};
+
 struct RouterConfig {
   /// Shared worker threads executing batches across ALL lanes.
   int num_workers = 2;
@@ -48,10 +64,23 @@ struct RouterConfig {
   /// own instances with these settings).
   RequestQueueConfig queue;
   BatcherConfig batcher;
+  TierFallback tier_fallback = TierFallback::kStrict;
 };
 
 class ModelRouter {
  public:
+  /// Per-lane stats row: which model, which tier, the lane's report.
+  struct LaneStats {
+    std::string model;
+    int tier = 0;
+    ServeStats::Report report;
+  };
+  struct LaneDepth {
+    std::string model;
+    int tier = 0;
+    size_t depth = 0;
+  };
+
   explicit ModelRouter(EngineRegistry& registry, const RouterConfig& cfg = {});
   ~ModelRouter();
 
@@ -67,81 +96,114 @@ class ModelRouter {
   /// Idempotent.
   void shutdown(bool drain = true);
 
-  /// Open a serving lane for an engine already in the registry. False
-  /// (with *error set) when the name is unknown to the registry or a
-  /// lane already serves it. The first lane added becomes the default
-  /// model.
+  /// Open serving lanes for EVERY registered tier of a model already
+  /// in the registry. False (with *error set) when the name is unknown
+  /// to the registry or any lane already serves it. The first model
+  /// added becomes the default model.
   bool add_model(const std::string& name, std::string* error = nullptr);
 
-  /// Hot-load: read a serialized engine file, publish it in the
-  /// registry under `name`, and open its lane — all without touching
-  /// other lanes. False when the name is already served or the file
-  /// cannot be loaded.
+  /// Open a lane for one (name, bits) tier already in the registry
+  /// (bits 0 = the registry's default tier for the name). False when
+  /// that tier is unknown or its lane already exists.
+  bool add_tier(const std::string& name, int bits,
+                std::string* error = nullptr);
+
+  /// Hot-load one tier under live traffic. With a path: read the
+  /// engine file (mmap zero-copy for FQBERT02), publish it in the
+  /// registry under `name`, and open its lane. bits 0 serves the
+  /// file's native tier; bits != native derives that tier from the
+  /// loaded engine first. With an empty path: derive `bits` from the
+  /// model's already-registered default tier. Other lanes — including
+  /// sibling tiers of `name` — never pause. False when the target
+  /// (name, tier) lane already exists or loading/derivation fails.
   bool load_model(const std::string& name, const std::string& path,
-                  std::string* error = nullptr);
+                  std::string* error = nullptr, int bits = 0);
 
-  /// Hot-unload: stop admissions on the lane, drain its queued and
-  /// in-flight work (every admitted request reaches a terminal state),
-  /// then drop the lane and unregister the name. Other lanes serve
-  /// uninterrupted. False when no lane serves `name`.
-  bool unload_model(const std::string& name, std::string* error = nullptr);
+  /// Hot-unload: stop admissions on the target lane(s), drain their
+  /// queued and in-flight work (every admitted request reaches a
+  /// terminal state), then drop the lane(s) and registry binding(s).
+  /// bits 0 unloads EVERY tier of `name`; bits != 0 unloads that tier
+  /// only, and sibling tiers serve uninterrupted. False when nothing
+  /// matches.
+  bool unload_model(const std::string& name, std::string* error = nullptr,
+                    int bits = 0);
 
-  /// Route one request to `model` ("" = default model). The returned
-  /// future always completes; rejections (unknown model, queue full,
-  /// dead deadline, malformed example, closed lane) resolve immediately
-  /// with the corresponding status. A nonzero `trace_id` marks the
-  /// request traced: its response carries per-stage timestamps
-  /// (admission, batch formation, worker start/end) under that id.
+  /// Route one request to (model, tier). "" = default model; tier 0 =
+  /// the model's default tier; a tier the model does not serve is
+  /// rejected or falls back per RouterConfig::tier_fallback. The
+  /// returned future always completes; rejections (unknown model,
+  /// unknown tier, queue full, dead deadline, malformed example,
+  /// closed lane) resolve immediately with the corresponding status.
+  /// A nonzero `trace_id` marks the request traced: its response
+  /// carries per-stage timestamps (admission, batch formation, worker
+  /// start/end) under that id. The response's `tier` field reports the
+  /// weight_bits that actually served the request.
   std::future<ServeResponse> submit(const std::string& model,
                                     nn::Example example,
                                     std::optional<Micros> deadline_budget =
                                         std::nullopt,
                                     AdmitResult* admit = nullptr,
-                                    uint64_t trace_id = 0);
+                                    uint64_t trace_id = 0, int tier = 0);
 
+  /// True when any tier of `name` has a lane (tier-specific overload
+  /// below).
   bool has_model(const std::string& name) const;
+  bool has_tier(const std::string& name, int bits) const;
   std::vector<std::string> model_names() const;
-  /// Engine shape of a served model ("" = default). nullopt when the
-  /// name has no lane.
-  std::optional<nn::BertConfig> model_config(const std::string& name) const;
-  /// Per-lane stats snapshot ("" = default). nullopt when no lane.
-  std::optional<ServeStats::Report> stats_report(
-      const std::string& name) const;
-  /// (name, report) for every lane, name-ordered.
-  std::vector<std::pair<std::string, ServeStats::Report>> all_stats() const;
+  /// Ascending tiers currently served for `name` ("" = default model).
+  std::vector<int> served_tiers(const std::string& name) const;
+  /// Engine shape of a served model ("" = default; tier 0 = default
+  /// tier). nullopt when the lane does not exist.
+  std::optional<nn::BertConfig> model_config(const std::string& name,
+                                             int bits = 0) const;
+  /// Per-lane stats snapshot ("" = default; tier 0 = default tier).
+  /// nullopt when no lane.
+  std::optional<ServeStats::Report> stats_report(const std::string& name,
+                                                 int bits = 0) const;
+  /// One row per lane, (name, tier)-ordered.
+  std::vector<LaneStats> all_stats() const;
 
-  /// Instantaneous per-lane backlog (admission queue + batcher pending),
-  /// name-ordered. A point-in-time gauge for the metrics endpoint.
-  std::vector<std::pair<std::string, size_t>> queue_depths() const;
+  /// Instantaneous per-lane backlog (admission queue + batcher
+  /// pending), (name, tier)-ordered. A point-in-time gauge for the
+  /// metrics endpoint.
+  std::vector<LaneDepth> queue_depths() const;
 
   /// Name the empty model id routes to ("" when no lane was ever
   /// added). Unloading the default leaves the name dangling — v1/empty
   /// requests then get kRejectedUnknownModel until it is reloaded.
   std::string default_model() const;
+  /// Tier that tier-0 requests for `name` ride ("" = default model; 0
+  /// when the model has no lanes).
+  int default_tier(const std::string& name) const;
 
   /// Requests rejected because no lane served their model name (these
   /// have no lane to count them in).
   uint64_t unknown_model_rejections() const { return unknown_rejected_; }
+  /// Requests rejected because the model is served but not at the
+  /// requested tier (strict fallback policy only).
+  uint64_t unknown_tier_rejections() const { return unknown_tier_rejected_; }
 
   size_t num_workers() const { return workers_.size(); }
   bool running() const { return started_ && !stopped_; }
   double uptime_s() const;
 
  private:
-  /// One model's serving lane. Owned via shared_ptr so workers can hold
-  /// a snapshot across an unload (the lane object outlives its map
-  /// entry until the last worker drops it).
+  /// One (model, tier) serving lane. Owned via shared_ptr so workers
+  /// can hold a snapshot across an unload (the lane object outlives
+  /// its map entry until the last worker drops it).
   struct Lane {
-    Lane(std::string model_name,
+    Lane(std::string model_name, int tier_bits,
          std::shared_ptr<const core::FqBertModel> model,
          const RouterConfig& cfg)
         : name(std::move(model_name)),
+          tier(tier_bits),
           engine(std::move(model)),
           config(engine->config()),
           queue(cfg.queue),
           batcher(queue, cfg.batcher, &stats) {}
 
     const std::string name;
+    const int tier;  // weight_bits this lane serves
     const std::shared_ptr<const core::FqBertModel> engine;
     const nn::BertConfig config;
     ServeStats stats;
@@ -153,13 +215,21 @@ class ModelRouter {
     std::atomic<int> inflight{0};
     std::atomic<bool> closing{false};
   };
+  using LaneKey = std::pair<std::string, int>;
 
   void worker_loop(size_t worker_index);
   std::vector<std::shared_ptr<Lane>> snapshot_lanes() const;
-  std::shared_ptr<Lane> find_lane(const std::string& name) const;
-  bool insert_lane(const std::string& name,
+  /// Resolve (name, bits) to a lane. Strict: no cross-tier fallback
+  /// (that policy is applied in submit()). `model_known` reports
+  /// whether ANY tier of the resolved name has a lane, so the caller
+  /// can distinguish unknown-model from unknown-tier.
+  std::shared_ptr<Lane> find_lane(const std::string& name, int bits,
+                                  bool* model_known = nullptr) const;
+  bool insert_lane(const std::string& name, int bits,
                    std::shared_ptr<const core::FqBertModel> engine,
                    std::string* error);
+  /// Close + drain + erase one lane (admin_mu_ held by caller).
+  void retire_lane(const std::shared_ptr<Lane>& lane);
   /// Bump the work epoch and wake every worker (new request / new lane /
   /// closing lane / shutdown).
   void wake_workers();
@@ -170,7 +240,11 @@ class ModelRouter {
   RouterConfig cfg_;
 
   mutable Mutex lanes_mu_;
-  std::map<std::string, std::shared_ptr<Lane>> lanes_ GUARDED_BY(lanes_mu_);
+  std::map<LaneKey, std::shared_ptr<Lane>> lanes_ GUARDED_BY(lanes_mu_);
+  /// Tier a bits-0 request rides, per model (first tier whose lane was
+  /// added; re-pointed at the lowest remaining tier when that lane is
+  /// unloaded).
+  std::map<std::string, int> default_tier_ GUARDED_BY(lanes_mu_);
   /// Cleared (under lanes_mu_) at the top of shutdown(), atomically
   /// with the lane snapshot whose queues shutdown closes — so a racing
   /// load_model can never publish a lane shutdown would miss.
@@ -191,6 +265,7 @@ class ModelRouter {
   std::vector<std::thread> workers_;
   std::atomic<uint64_t> next_id_{1};
   std::atomic<uint64_t> unknown_rejected_{0};
+  std::atomic<uint64_t> unknown_tier_rejected_{0};
   std::atomic<int64_t> start_ns_{0};
   std::atomic<int64_t> stop_ns_{0};
   std::atomic<bool> started_{false};

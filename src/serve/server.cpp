@@ -96,6 +96,9 @@ std::future<ServeResponse> InferenceServer::submit(
     case AdmitResult::kUnknownModel:  // router-only; unreachable here
       resp.status = RequestStatus::kRejectedUnknownModel;
       break;
+    case AdmitResult::kUnknownTier:  // router-only; unreachable here
+      resp.status = RequestStatus::kRejectedUnknownTier;
+      break;
   }
   req.promise.set_value(std::move(resp));
   return fut;

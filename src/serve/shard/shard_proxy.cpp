@@ -11,7 +11,9 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <functional>
 #include <set>
+#include <utility>
 
 namespace fqbert::serve::shard {
 
@@ -27,6 +29,24 @@ constexpr int kLoopTickMs = 100;
 /// Inference is idempotent, so the next replica gets a clean try.
 bool status_is_retryable(RequestStatus s) {
   return s == RequestStatus::kShutdown || s == RequestStatus::kEngineError;
+}
+
+/// Split "name@int4" / "name@4" into (name, tier); a bare name reads
+/// tier 0 (the backend's default tier). False on a malformed suffix.
+bool parse_model_spec(const std::string& spec, std::string* name,
+                      int* tier) {
+  const size_t at = spec.rfind('@');
+  if (at == std::string::npos) {
+    *name = spec;
+    *tier = 0;
+    return true;
+  }
+  *name = spec.substr(0, at);
+  std::string t = spec.substr(at + 1);
+  if (t.rfind("int", 0) == 0) t = t.substr(3);
+  if (t.size() != 1 || t[0] < '2' || t[0] > '8') return false;
+  *tier = t[0] - '0';
+  return !name->empty();
 }
 
 }  // namespace
@@ -63,13 +83,21 @@ bool ShardProxy::add_backend(const std::string& host, uint16_t port,
   for (const auto& b : backends_)
     if (b->host == host && b->port == port)
       return fail("backend " + b->address + " declared twice");
-  std::set<std::string> seen;
-  for (const std::string& model : models) {
-    if (model.empty()) return fail("empty model name in backend declaration");
-    if (model.size() > net::kMaxNameLen)
-      return fail("model name '" + model + "' exceeds the wire limit");
-    if (!seen.insert(model).second)
-      return fail("model '" + model + "' repeated within one backend");
+  std::set<std::pair<std::string, int>> seen;
+  std::vector<std::pair<std::string, int>> parsed;
+  parsed.reserve(models.size());
+  for (const std::string& spec : models) {
+    std::string name;
+    int tier = 0;
+    if (spec.empty()) return fail("empty model name in backend declaration");
+    if (!parse_model_spec(spec, &name, &tier))
+      return fail("malformed tier suffix in '" + spec +
+                  "' (expected name, name@intN or name@N, N in [2, 8])");
+    if (name.size() > net::kMaxNameLen)
+      return fail("model name '" + name + "' exceeds the wire limit");
+    if (!seen.insert({name, tier}).second)
+      return fail("model '" + spec + "' repeated within one backend");
+    parsed.emplace_back(std::move(name), tier);
   }
 
   net::ClientPoolConfig pool_cfg;
@@ -83,9 +111,9 @@ bool ShardProxy::add_backend(const std::string& host, uint16_t port,
     MutexLock lock(backend->health_mu);
     backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
   }
-  for (const std::string& model : models)
-    placement_[model].push_back(backend.get());
-  if (default_model_.empty()) default_model_ = models.front();
+  for (const auto& [name, tier] : parsed)
+    placement_[name].push_back({backend.get(), tier});
+  if (default_model_.empty()) default_model_ = parsed.front().first;
   backends_.push_back(std::move(backend));
   return true;
 }
@@ -206,6 +234,7 @@ ShardProxy::Counters ShardProxy::counters() const {
   c.failovers = failovers_;
   c.exhausted = exhausted_;
   c.unknown_model = unknown_model_;
+  c.unknown_tier = unknown_tier_;
   c.protocol_errors = protocol_errors_;
   c.admin_frames = admin_frames_;
   c.health_transitions = health_transitions_;
@@ -436,10 +465,13 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
       // Placement is explicit; mutating a backend's model set behind
       // the table's back would desynchronize routing. Refused in-band.
       std::string a, b;
+      uint8_t tier = 0;
       const bool parsed =
           hdr.type == net::FrameType::kLoadModel
-              ? net::decode_load_model(payload, len, &a, &b)
-              : net::decode_unload_model(payload, len, &a);
+              ? net::decode_load_model(payload, len, hdr.version, &a, &b,
+                                       &tier)
+              : net::decode_unload_model(payload, len, hdr.version, &a,
+                                         &tier);
       if (!parsed) {
         ++protocol_errors_;
         return false;
@@ -466,15 +498,36 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
 }
 
 std::vector<ShardProxy::Backend*> ShardProxy::candidates_for(
-    const std::string& model) const {
+    const std::string& model, uint8_t tier) const {
   auto it = placement_.find(model);
   if (it == placement_.end()) return {};
+  // Preference groups. A tiered request tries entries pinned to that
+  // exact tier first, then generic entries (an undeclared replica may
+  // still carry the tier, and answers kRejectedUnknownTier if not);
+  // entries pinned to a DIFFERENT tier are never candidates. A
+  // default-tier request prefers generic entries but falls back to
+  // pinned ones — they serve the model too, at whatever their default
+  // lane runs. Within each group, non-down before down; a backend
+  // appears at most once even if several of its entries match.
   std::vector<Backend*> order;
   order.reserve(it->second.size());
-  for (Backend* b : it->second)
-    if (backend_state(*b) != BackendState::kDown) order.push_back(b);
-  for (Backend* b : it->second)
-    if (backend_state(*b) == BackendState::kDown) order.push_back(b);
+  std::set<Backend*> taken;
+  const auto add_group = [&](const std::function<bool(int)>& match) {
+    for (const bool want_up : {true, false})
+      for (const Placed& p : it->second) {
+        if (!match(p.tier)) continue;
+        const bool up = backend_state(*p.backend) != BackendState::kDown;
+        if (up != want_up) continue;
+        if (taken.insert(p.backend).second) order.push_back(p.backend);
+      }
+  };
+  if (tier == 0) {
+    add_group([](int t) { return t == 0; });
+    add_group([](int t) { return t != 0; });
+  } else {
+    add_group([&](int t) { return t == tier; });
+    add_group([](int t) { return t == 0; });
+  }
   return order;
 }
 
@@ -505,6 +558,8 @@ bool ShardProxy::forward_serve_once(Backend& backend, const uint8_t* frame,
 void ShardProxy::synthesize_serve_response(int fd, uint8_t client_version,
                                            uint64_t correlation_id,
                                            RequestStatus status) {
+  if (client_version < 4 && status == RequestStatus::kRejectedUnknownTier)
+    status = RequestStatus::kRejectedUnknownModel;  // tier statuses are v4
   if (client_version < 2 && status == RequestStatus::kRejectedUnknownModel)
     status = RequestStatus::kRejectedInvalid;  // v1-era status range
   net::WireResponse wire;
@@ -526,9 +581,10 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   const uint8_t* payload = frame + net::kHeaderSize;
   uint64_t correlation = 0;
   uint64_t trace_id = 0;
+  uint8_t tier = 0;
   std::string model;
   if (!net::peek_serve_request(payload, hdr.payload_len, hdr.version,
-                               &correlation, &trace_id, &model)) {
+                               &correlation, &trace_id, &tier, &model)) {
     // Malformed frames are stopped HERE: forwarding them would make the
     // backend condemn a pooled connection per hostile client frame.
     ++protocol_errors_;
@@ -536,18 +592,26 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   }
   const std::string& resolved = model.empty() ? default_model_ : model;
 
-  std::vector<Backend*> replicas = candidates_for(resolved);
+  std::vector<Backend*> replicas = candidates_for(resolved, tier);
   if (replicas.empty()) {
-    ++unknown_model_;
+    // Distinguish "no such model" from "model exists, but nothing in
+    // the placement table can carry that precision tier".
+    const bool known_model = placement_.count(resolved) != 0;
+    if (known_model)
+      ++unknown_tier_;
+    else
+      ++unknown_model_;
     synthesize_serve_response(fd, hdr.version, correlation,
-                              RequestStatus::kRejectedUnknownModel);
+                              known_model
+                                  ? RequestStatus::kRejectedUnknownTier
+                                  : RequestStatus::kRejectedUnknownModel);
     return true;
   }
 
-  // Backends are always spoken to in v3. A v3 frame that already names
-  // its model is forwarded verbatim (no copy, token bytes never
-  // re-decoded); empty-model and pre-v3 frames are rewritten — a byte
-  // splice — to carry the resolved model plus a trace id: the client's
+  // A frame that already names its model (v3/v4) is forwarded verbatim
+  // (no copy, token bytes never re-decoded); empty-model and pre-v3
+  // frames are rewritten — a byte splice to a v4 frame — to carry the
+  // resolved model, the request's tier, and a trace id: the client's
   // when it sent one, a freshly minted one otherwise, so the proxy hop
   // of every request is traceable even for v1/v2 clients.
   std::vector<uint8_t> rewritten;
@@ -556,7 +620,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   if (model.empty() || hdr.version < 3) {
     if (trace_id == 0) trace_id = mint_trace_id();
     if (!net::rewrite_serve_request_model(frame, frame_len, resolved,
-                                          trace_id, &rewritten)) {
+                                          trace_id, &rewritten, tier)) {
       ++protocol_errors_;
       return false;
     }
@@ -565,6 +629,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   }
 
   int attempts = 0;
+  bool saw_unknown_tier = false;
   std::vector<int64_t> forward_times;  // rel. to receipt, one per attempt
   for (Backend* backend : replicas) {
     if (stopping_) break;  // shutdown: fail terminal, don't keep trying
@@ -581,6 +646,16 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     RequestStatus status{};
     net::peek_serve_response(rpayload.data(), rpayload.size(), &rcorr,
                              &status);  // validated in forward_serve_once
+    if (status == RequestStatus::kRejectedUnknownTier) {
+      // The replica is healthy — it just does not carry this tier
+      // (replicas may pin different tier subsets). Try the next
+      // candidate; remember the verdict so exhaustion reports
+      // unknown-tier rather than engine failure.
+      note_outcome(*backend, true, /*health_probe=*/false);
+      saw_unknown_tier = true;
+      ++attempts;
+      continue;
+    }
     if (status_is_retryable(status)) {
       note_outcome(*backend, false, /*health_probe=*/false);
       ++attempts;
@@ -592,10 +667,12 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     size_t trace_start = rpayload.size();
     uint64_t backend_trace = 0;
     std::vector<TraceEvent> backend_stages;
+    uint8_t backend_tier = 0;
     if (rhdr.version >= 3 &&
         !net::split_serve_response_trace(rpayload.data(), rpayload.size(),
-                                         &trace_start, &backend_trace,
-                                         &backend_stages)) {
+                                         rhdr.version, &trace_start,
+                                         &backend_trace, &backend_stages,
+                                         &backend_tier)) {
       note_outcome(*backend, false, /*health_probe=*/false);
       ++attempts;
       continue;
@@ -625,6 +702,10 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
         merged.push_back({TraceStage::kProxyResponse, rel_now()});
         rpayload.resize(trace_start);
         net::encode_trace_section(trace_id, merged, rpayload);
+        // Re-append the resolved-tier byte the trace rebuild truncated
+        // (the v4 layout places it after the trace section).
+        if (rhdr.version >= 4 && hdr.version >= 4)
+          rpayload.push_back(backend_tier);
       } else if (hdr.version < 3) {
         rpayload.resize(trace_start);
       }
@@ -646,7 +727,15 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   }
 
   // Every replica failed; the client still gets a terminal response
-  // (never a hang, never a dropped connection).
+  // (never a hang, never a dropped connection). If at least one healthy
+  // replica answered "no such tier", that — not engine failure — is the
+  // fleet's verdict.
+  if (saw_unknown_tier) {
+    ++unknown_tier_;
+    synthesize_serve_response(fd, hdr.version, correlation,
+                              RequestStatus::kRejectedUnknownTier);
+    return true;
+  }
   ++exhausted_;
   synthesize_serve_response(fd, hdr.version, correlation,
                             RequestStatus::kEngineError);
@@ -656,17 +745,18 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
 bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
                              const uint8_t* payload, size_t len) {
   std::string model;
-  if (!net::decode_info_request(payload, len, hdr.version, &model)) {
+  uint8_t tier = 0;
+  if (!net::decode_info_request(payload, len, hdr.version, &model, &tier)) {
     ++protocol_errors_;
     return false;
   }
   const std::string& resolved = model.empty() ? default_model_ : model;
-  for (Backend* backend : candidates_for(resolved)) {
+  for (Backend* backend : candidates_for(resolved, tier)) {
     std::optional<nn::BertConfig> config;
     const bool transport_ok =
         with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
-          config = conn->query_info(resolved);
-          // In-band "no such model" leaves the transport healthy;
+          config = conn->query_info(resolved, tier);
+          // In-band "no such model/tier" leaves the transport healthy;
           // anything else condemned the connection already.
           return config.has_value() ||
                  (conn->connected() &&
@@ -676,6 +766,7 @@ bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
     if (config) {
       net::WireInfo info;
       info.model = resolved;
+      info.tier = tier;
       info.config = *config;
       std::vector<uint8_t> out;
       net::encode_info_response(info, out, hdr.version);
@@ -683,9 +774,10 @@ bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
     }
   }
   if (hdr.version >= 2) {
+    std::string msg = "no reachable backend serves model '" + resolved + "'";
+    if (tier != 0) msg += " at tier int" + std::to_string(tier);
     std::vector<uint8_t> out;
-    net::encode_admin_response(
-        false, "no reachable backend serves model '" + resolved + "'", out);
+    net::encode_admin_response(false, msg, out);
     return send_to_client(fd, out);
   }
   // v1 cannot carry an in-band failure on the info path — same dead end
@@ -695,46 +787,58 @@ bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
 
 bool ShardProxy::handle_list(int fd, const net::FrameHeader& hdr,
                              size_t payload_len) {
-  (void)hdr;
   if (payload_len != 0) {
     ++protocol_errors_;
     return false;
   }
   ++admin_frames_;
-  std::set<std::string> names;
+  // Union of every reachable backend's (model, tier) rows. v4 clients
+  // see the tier column; pre-v4 clients see each name once, as before.
+  std::set<std::pair<std::string, uint8_t>> entries;
   bool any_backend = false;
   for (const auto& backend : backends_) {
     if (backend_state(*backend) == BackendState::kDown) continue;
-    std::optional<std::vector<std::string>> list;
+    std::optional<std::vector<net::WireModelEntry>> list;
     const bool transport_ok =
         with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
-          list = conn->list_models();
+          list = conn->list_models_tiered();
           return list.has_value();
         });
     note_outcome(*backend, transport_ok, /*health_probe=*/false);
     if (!list) continue;
     any_backend = true;
-    names.insert(list->begin(), list->end());
+    for (const net::WireModelEntry& e : *list)
+      entries.insert({e.name, e.tier});
   }
   std::vector<uint8_t> out;
   if (!any_backend) {
     net::encode_admin_response(false, "no backend reachable", out);
   } else {
-    net::encode_model_list(std::vector<std::string>(names.begin(),
-                                                    names.end()),
-                           out);
+    std::vector<net::WireModelEntry> rows;
+    rows.reserve(entries.size());
+    for (const auto& [name, entry_tier] : entries) {
+      if (hdr.version < 4) {
+        // Tiers of one model are adjacent in the ordered set, so a
+        // names-only view is a single dedupe pass.
+        if (!rows.empty() && rows.back().name == name) continue;
+        rows.push_back({name, 0});
+      } else {
+        rows.push_back({name, entry_tier});
+      }
+    }
+    net::encode_model_list(rows, out, hdr.version);
   }
   return send_to_client(fd, out);
 }
 
 std::vector<ServeStats::Report> ShardProxy::collect_reports(
-    const std::string& model) {
+    const std::string& model, uint8_t tier) {
   std::vector<ServeStats::Report> reports;
-  for (Backend* backend : candidates_for(model)) {
+  for (Backend* backend : candidates_for(model, tier)) {
     std::optional<net::WireStats> stats;
     const bool transport_ok =
         with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
-          stats = conn->query_stats(model);
+          stats = conn->query_stats(model, tier);
           return stats.has_value() ||
                  (conn->connected() &&
                   conn->error_kind() == net::ClientError::kNone);
@@ -745,13 +849,20 @@ std::vector<ServeStats::Report> ShardProxy::collect_reports(
   return reports;
 }
 
-std::vector<std::pair<std::string, ServeStats::Report>>
-ShardProxy::aggregate_stats() {
-  std::vector<std::pair<std::string, ServeStats::Report>> out;
+std::vector<ShardProxy::TierStats> ShardProxy::aggregate_stats() {
+  std::vector<TierStats> out;
   for (const auto& [name, replicas] : placement_) {
-    std::vector<ServeStats::Report> reports = collect_reports(name);
-    if (!reports.empty())
-      out.emplace_back(name, ServeStats::aggregate(reports));
+    // One fleet row per (model, declared tier). Generic declarations
+    // aggregate under tier 0 — the default lane's bit-width is the
+    // backend's business, not the placement table's.
+    std::set<int> tiers;
+    for (const Placed& p : replicas) tiers.insert(p.tier);
+    for (const int tier : tiers) {
+      std::vector<ServeStats::Report> reports =
+          collect_reports(name, static_cast<uint8_t>(tier));
+      if (!reports.empty())
+        out.push_back({name, tier, ServeStats::aggregate(reports)});
+    }
   }
   return out;
 }
@@ -759,28 +870,32 @@ ShardProxy::aggregate_stats() {
 bool ShardProxy::handle_stats(int fd, const net::FrameHeader& hdr,
                               const uint8_t* payload, size_t len) {
   std::string name;
-  if (!net::decode_stats_request(payload, len, &name)) {
+  uint8_t tier = 0;
+  if (!net::decode_stats_request(payload, len, hdr.version, &name, &tier)) {
     ++protocol_errors_;
     return false;
   }
   ++admin_frames_;
   const std::string& resolved = name.empty() ? default_model_ : name;
-  std::vector<ServeStats::Report> reports = collect_reports(resolved);
+  std::vector<ServeStats::Report> reports = collect_reports(resolved, tier);
   std::vector<uint8_t> out;
   if (reports.empty()) {
+    std::string what = "'" + resolved + "'";
+    if (tier != 0) what += " at tier int" + std::to_string(tier);
     net::encode_admin_response(
         false,
         placement_.count(resolved) == 0
             ? "no model named '" + resolved + "' is in the placement table"
-            : "no reachable backend reports stats for '" + resolved + "'",
+            : "no reachable backend reports stats for " + what,
         out);
   } else {
-    // The pooled clients speak v3, so each report arrives with its
+    // The pooled clients speak v4, so each report arrives with its
     // lane's quantile sketch and the aggregate's quantiles are EXACT
     // (merge of sketches == sketch of the pooled samples). Encoded at
     // the client's version: pre-v3 clients get the sketchless prefix.
     net::WireStats agg;
     agg.model = resolved;
+    agg.tier = tier;
     agg.report = ServeStats::aggregate(reports);
     net::encode_stats_response(agg, out, hdr.version);
   }

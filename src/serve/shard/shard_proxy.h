@@ -5,31 +5,39 @@
 //
 //   model name -> ordered backend list (primary first, replicas after)
 //
-// built from per-backend model declarations (`add_backend(host, port,
-// {"sst2", "mnli"})`). Clients — TransportClient, `loadgen --connect`,
-// `admin --connect` — need no change: to them the proxy looks like one
-// big router serving the union of every backend's models.
+// built from per-backend model declarations. A declaration names a
+// model and optionally pins a precision tier (`"mnli"` = the backend's
+// default tier, `"mnli@int4"` / `"mnli@4"` = only that tier), so
+// replicas of one logical model may carry different tier subsets.
+// Clients — TransportClient, `loadgen --connect`, `admin --connect` —
+// need no change: to them the proxy looks like one big router serving
+// the union of every backend's (model, tier) pairs.
 //
 //   ShardProxy proxy(cfg);
-//   proxy.add_backend("10.0.0.1", 9000, {"sst2", "mnli"});
-//   proxy.add_backend("10.0.0.2", 9000, {"mnli", "qqp"});   // mnli x2
+//   proxy.add_backend("10.0.0.1", 9000, {"sst2", "mnli@8"});
+//   proxy.add_backend("10.0.0.2", 9000, {"mnli@4", "qqp"});  // mnli x2
 //   proxy.start();            // listens; health checks begin
 //   ... clients connect to proxy.port() ...
 //   proxy.stop();
 //
-// Forwarding: serve frames are routed by the model name peeked from the
-// payload prefix. Backends are always spoken to in protocol v3: a v3
-// frame that already names a model is forwarded VERBATIM over a pooled
-// persistent TransportClient connection (token arrays are never
-// re-decoded); empty-model and pre-v3 frames are rewritten — a byte
-// splice — to carry the resolved model and a trace id (the client's
-// when it sent one, a freshly minted one otherwise, so every request
-// is traceable even from v1/v2 clients). On relay the backend's
-// trailing trace section is spliced into the proxy hop's timeline
-// (kProxyReceived / kProxyForward / kProxyRetry per attempt, backend
-// stages shifted to the forward instant, kProxyResponse last) for v3
-// clients, or stripped byte-exactly for v1/v2 clients; logits bytes
-// are never touched either way.
+// Forwarding: serve frames are routed by the (model name, tier) peeked
+// from the payload prefix (tier 0 for pre-v4 clients = the default
+// tier). Placement prefers replicas pinned to the requested tier, then
+// generic (unpinned) replicas; a generic replica that turns out not to
+// serve the tier answers kRejectedUnknownTier, which fails over like a
+// transport error. A v3/v4 frame that already names a model is
+// forwarded VERBATIM over a pooled persistent TransportClient
+// connection (token arrays are never re-decoded); empty-model and
+// pre-v3 frames are rewritten — a byte splice — to the v4 dialect
+// carrying the resolved model, the client's tier (or 0) and a trace id
+// (the client's when it sent one, a freshly minted one otherwise, so
+// every request is traceable even from v1/v2 clients). On relay the
+// backend's trailing trace section is spliced into the proxy hop's
+// timeline (kProxyReceived / kProxyForward / kProxyRetry per attempt,
+// backend stages shifted to the forward instant, kProxyResponse last)
+// for v3+ clients — a v4 client additionally keeps the resolved-tier
+// byte that trails the trace — or stripped byte-exactly for v1/v2
+// clients; logits bytes are never touched either way.
 //
 // Health + failover: a background thread pings every backend (info
 // frame with a short timeout) on a fixed interval; data-path outcomes
@@ -108,10 +116,12 @@ class ShardProxy {
   ShardProxy& operator=(const ShardProxy&) = delete;
 
   /// Declare a backend and the models it serves (placement order =
-  /// call order = failover order). Before start() only. False (with
-  /// *error) on a duplicate host:port, an empty model list, or a model
-  /// repeated within the same backend; the same model on DIFFERENT
-  /// backends is replication, the entire point.
+  /// call order = failover order). Each entry is `name` (the backend's
+  /// default tier) or `name@intN` / `name@N` (only that precision
+  /// tier). Before start() only. False (with *error) on a duplicate
+  /// host:port, an empty model list, a malformed tier suffix, or a
+  /// (model, tier) pair repeated within the same backend; the same
+  /// model on DIFFERENT backends is replication, the entire point.
   bool add_backend(const std::string& host, uint16_t port,
                    const std::vector<std::string>& models,
                    std::string* error = nullptr);
@@ -155,18 +165,27 @@ class ShardProxy {
     uint64_t failovers = 0;        // responses served by a non-first try
     uint64_t exhausted = 0;        // all replicas failed -> synthesized
     uint64_t unknown_model = 0;    // no placement entry for the name
+    uint64_t unknown_tier = 0;     // model placed, but not at that tier
     uint64_t protocol_errors = 0;  // client connections closed on decode
     uint64_t admin_frames = 0;     // LIST/STATS/LOAD/UNLOAD handled
     uint64_t health_transitions = 0;  // state-machine edges taken
   };
   Counters counters() const;
 
-  /// Fleet-wide stats: for every model in the placement table, fan the
-  /// STATS query out to its replicas and merge the reports (exact
-  /// quantiles via the merged sketches). Models with no reachable
-  /// replica are omitted. Blocking network fan-out — this is the
-  /// /metrics scrape path, not the data path.
-  std::vector<std::pair<std::string, ServeStats::Report>> aggregate_stats();
+  /// One fleet-wide stats row: a model at one declared tier (0 = the
+  /// replicas' default tier, i.e. an unpinned placement entry).
+  struct TierStats {
+    std::string model;
+    int tier = 0;
+    ServeStats::Report report;
+  };
+
+  /// Fleet-wide stats: for every (model, declared tier) in the
+  /// placement table, fan the STATS query out to its replicas and merge
+  /// the reports (exact quantiles via the merged sketches). Rows with
+  /// no reachable replica are omitted. Blocking network fan-out — this
+  /// is the /metrics scrape path, not the data path.
+  std::vector<TierStats> aggregate_stats();
 
  private:
   struct Backend {
@@ -182,6 +201,7 @@ class ShardProxy {
     const std::string host;
     const uint16_t port;
     const std::string address;
+    /// Declarations as given ("name" / "name@intN"), for status views.
     const std::vector<std::string> models;
     net::ClientPool pool;
 
@@ -253,13 +273,19 @@ class ShardProxy {
                           net::FrameHeader* rhdr,
                           std::vector<uint8_t>& rpayload);
 
-  /// Replicas for `model` in placement order, non-down first (a down
-  /// backend is still tried last — health data may be stale).
-  std::vector<Backend*> candidates_for(const std::string& model) const;
+  /// Replicas for (`model`, `tier`) in placement order: entries pinned
+  /// to the requested tier first, then unpinned (generic) entries —
+  /// within each group non-down before down (a down backend is still
+  /// tried last — health data may be stale). Tier 0 prefers generic
+  /// entries over pinned ones. Each backend appears at most once.
+  std::vector<Backend*> candidates_for(const std::string& model,
+                                       uint8_t tier) const;
 
-  /// Query every reachable replica of `model` for its stats report
-  /// (outcomes feed the health state machine like any data-path call).
-  std::vector<ServeStats::Report> collect_reports(const std::string& model);
+  /// Query every reachable replica of (`model`, `tier`) for its stats
+  /// report (outcomes feed the health state machine like any data-path
+  /// call).
+  std::vector<ServeStats::Report> collect_reports(const std::string& model,
+                                                  uint8_t tier);
 
   void note_outcome(Backend& backend, bool success, bool health_probe);
   BackendState backend_state(const Backend& backend) const;
@@ -271,8 +297,14 @@ class ShardProxy {
 
   ShardProxyConfig cfg_;
   std::vector<std::unique_ptr<Backend>> backends_;
-  /// Immutable after start(): model -> replicas in placement order.
-  std::map<std::string, std::vector<Backend*>> placement_;
+  /// One placement entry: a backend serving the model, optionally
+  /// pinned to one precision tier (0 = the backend's default tier).
+  struct Placed {
+    Backend* backend = nullptr;
+    int tier = 0;
+  };
+  /// Immutable after start(): model -> entries in placement order.
+  std::map<std::string, std::vector<Placed>> placement_;
   std::string default_model_;
 
   int listen_fd_ = -1;
@@ -297,6 +329,7 @@ class ShardProxy {
 
   std::atomic<uint64_t> accepted_{0}, served_{0}, failovers_{0};
   std::atomic<uint64_t> exhausted_{0}, unknown_model_{0};
+  std::atomic<uint64_t> unknown_tier_{0};
   std::atomic<uint64_t> protocol_errors_{0}, admin_frames_{0};
   std::atomic<uint64_t> health_transitions_{0};
 };

@@ -105,12 +105,15 @@ TEST(EngineEdge, EightBitWeightsAlsoWork) {
   q.weight_bits = 8;
   FqBertModel e = build_engine(edge_config(1, 8, 2, 16), data, q);
   for (const auto& layer : e.encoder_layers()) {
-    for (int16_t c : layer.wq.w_codes16) {
+    const std::vector<int8_t> codes = layer.wq.narrow_codes();
+    for (int8_t c : codes) {
       EXPECT_GE(c, -127);
       EXPECT_LE(c, 127);
     }
-    // 8-bit codes are NOT nibble-packed.
-    EXPECT_EQ(layer.wq.packed_weights().size(), layer.wq.w_codes16.size());
+    // 8-bit codes live in int16 resident storage and are NOT
+    // nibble-packed on the wire.
+    EXPECT_FALSE(layer.wq.narrow_storage());
+    EXPECT_EQ(layer.wq.packed_weights().size(), codes.size());
   }
   EXPECT_TRUE(std::isfinite(e.forward(data[0])[0]));
 }
@@ -121,7 +124,7 @@ TEST(EngineEdge, TwoBitWeightsRunAndSaturateGracefully) {
   q.weight_bits = 2;
   FqBertModel e = build_engine(edge_config(1, 8, 2, 16), data, q);
   for (const auto& layer : e.encoder_layers())
-    for (int16_t c : layer.wq.w_codes16) {
+    for (int8_t c : layer.wq.narrow_codes()) {
       EXPECT_GE(c, -1);
       EXPECT_LE(c, 1);
     }

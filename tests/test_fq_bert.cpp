@@ -208,15 +208,14 @@ TEST(FqEngine, WeightCodesWithinInt4Grid) {
   for (const auto& layer : engine.encoder_layers()) {
     for (const auto* ql : {&layer.wq, &layer.wk, &layer.wv, &layer.wo,
                            &layer.ffn1, &layer.ffn2}) {
-      for (int16_t c : ql->w_codes16) {
+      const std::vector<int8_t> codes = ql->narrow_codes();
+      ASSERT_EQ(codes.size(), static_cast<size_t>(ql->in * ql->out));
+      for (int8_t c : codes) {
         EXPECT_GE(c, -7);
         EXPECT_LE(c, 7);
       }
-      // narrow_codes() reconstructs the int8 codes exactly.
-      const std::vector<int8_t> codes = ql->narrow_codes();
-      ASSERT_EQ(codes.size(), ql->w_codes16.size());
-      for (size_t i = 0; i < codes.size(); ++i)
-        EXPECT_EQ(static_cast<int16_t>(codes[i]), ql->w_codes16[i]);
+      // int4 weights sit in 1-byte resident storage.
+      EXPECT_TRUE(ql->narrow_storage());
       // Packed form halves the byte count.
       EXPECT_EQ(ql->packed_weights().size(), (codes.size() + 1) / 2);
     }

@@ -43,7 +43,7 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
     case FrameType::kServeResponse: {
       // The proxy-side splitter runs on the same raw bytes as the
       // client-side decoder; fuzz both (they must agree on validity
-      // for v3 frames, and the splitter must be equally bounds-safe).
+      // for v3+ frames, and the splitter must be equally bounds-safe).
       WireResponse resp;
       const bool decoded =
           decode_serve_response(payload, len, hdr.version, &resp);
@@ -51,25 +51,31 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
         size_t trace_start = 0;
         uint64_t trace_id = 0;
         std::vector<TraceEvent> stages;
+        uint8_t tier = 0;
         const bool split = split_serve_response_trace(
-            payload, len, &trace_start, &trace_id, &stages);
+            payload, len, hdr.version, &trace_start, &trace_id, &stages,
+            &tier);
         EXPECT_EQ(decoded, split);
       }
       return decoded;
     }
     case FrameType::kLoadModel: {
       std::string name, path;
-      return decode_load_model(payload, len, &name, &path);
+      uint8_t tier = 0;
+      return decode_load_model(payload, len, hdr.version, &name, &path,
+                               &tier);
     }
     case FrameType::kUnloadModel: {
       std::string name;
-      return decode_unload_model(payload, len, &name);
+      uint8_t tier = 0;
+      return decode_unload_model(payload, len, hdr.version, &name, &tier);
     }
     case FrameType::kListModels:
       return len == 0;
     case FrameType::kStatsRequest: {
       std::string name;
-      return decode_stats_request(payload, len, &name);
+      uint8_t tier = 0;
+      return decode_stats_request(payload, len, hdr.version, &name, &tier);
     }
     case FrameType::kAdminResponse: {
       bool ok = false;
@@ -77,8 +83,8 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
       return decode_admin_response(payload, len, &ok, &message);
     }
     case FrameType::kModelList: {
-      std::vector<std::string> names;
-      return decode_model_list(payload, len, &names);
+      std::vector<WireModelEntry> entries;
+      return decode_model_list(payload, len, hdr.version, &entries);
     }
     case FrameType::kStatsResponse: {
       WireStats stats;
@@ -106,10 +112,13 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   cfg.max_seq_len = 32;
   cfg.num_classes = 2;
 
-  for (const uint8_t version : {uint8_t{1}, uint8_t{2}, uint8_t{3}}) {
-    encode_info_request(version >= 2 ? "sst2" : "", fresh(), version);
+  for (const uint8_t version : {uint8_t{1}, uint8_t{2}, uint8_t{3},
+                                uint8_t{4}}) {
+    encode_info_request(version >= 2 ? "sst2" : "", fresh(), version,
+                        version >= 4 ? uint8_t{4} : uint8_t{0});
     WireInfo info;
     info.model = version >= 2 ? "sst2" : "";
+    info.tier = version >= 4 ? 8 : 0;
     info.config = cfg;
     encode_info_response(info, fresh(), version);
     for (const int tokens : {1, 7, 64}) {
@@ -118,6 +127,7 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
       req.deadline_budget_us = rng.randint(0, 1'000'000);
       req.trace_id =
           version >= 3 ? static_cast<uint64_t>(rng.randint(1, 1 << 30)) : 0;
+      req.tier = version >= 4 ? uint8_t{4} : uint8_t{0};
       req.model = version >= 2 ? "model-name" : "";
       for (int i = 0; i < tokens; ++i) {
         req.example.tokens.push_back(
@@ -133,10 +143,11 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
     resp.response.queue_us = 42;
     resp.response.latency_us = 99;
     resp.response.batch_size = 4;
+    resp.response.tier = version >= 4 ? 4 : 0;
     for (int i = 0; i < 3; ++i)
       resp.response.logits.push_back(0.5f * static_cast<float>(i));
     if (version >= 3) {
-      // Both flavors: an untraced v3 response (empty section) and a
+      // Both flavors: an untraced v3+ response (empty section) and a
       // fully stamped proxy-spliced timeline.
       encode_serve_response(resp, fresh(), version);
       resp.response.trace_id = static_cast<uint64_t>(rng.randint(1, 1 << 30));
@@ -152,13 +163,24 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
     }
     encode_serve_response(resp, fresh(), version);
   }
-  encode_load_model("mnli", "/models/mnli-int4.bin", fresh());
-  encode_unload_model("mnli", fresh());
+  // Control frames: the pre-v4 layout (no tier suffix) and the v4 one,
+  // including a derive-only LOAD (empty path + explicit tier).
+  encode_load_model("mnli", "/models/mnli-int4.bin", fresh(),
+                    /*version=*/3);
+  encode_load_model("mnli", "/models/mnli-int4.bin", fresh(),
+                    /*version=*/4, /*tier=*/4);
+  encode_load_model("mnli", "", fresh(), /*version=*/4, /*tier=*/4);
+  encode_unload_model("mnli", fresh(), /*version=*/3);
+  encode_unload_model("mnli", fresh(), /*version=*/4, /*tier=*/4);
   encode_list_models(fresh());
-  encode_stats_request("sst2", fresh());
+  encode_stats_request("sst2", fresh(), /*version=*/3);
+  encode_stats_request("sst2", fresh(), /*version=*/4, /*tier=*/8);
   encode_admin_response(true, "loaded 'mnli'", fresh());
   encode_admin_response(false, "no such model", fresh());
-  encode_model_list({"sst2", "mnli", "qqp"}, fresh());
+  encode_model_list({{"sst2", 0}, {"mnli", 0}, {"qqp", 0}}, fresh(),
+                    /*version=*/3);
+  encode_model_list({{"sst2", 8}, {"sst2", 4}, {"qqp", 8}}, fresh(),
+                    /*version=*/4);
   WireStats stats;
   stats.model = "sst2";
   stats.report.admitted = 100;
@@ -167,12 +189,14 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   stats.report.p50_ms = 2.5;
   stats.report.p95_ms = 7.25;
   encode_stats_response(stats, fresh(), /*version=*/2);
-  // v3 carries the quantile sketch; populate real buckets so mutations
+  // v3+ carries the quantile sketch; populate real buckets so mutations
   // hit the bucket count, indices, alpha and zero-count fields.
   for (int i = 0; i < 200; ++i)
     stats.report.latency_sketch.record(rng.randint(1, 5'000'000));
   stats.report.p999_ms = stats.report.latency_sketch.quantile_ms(0.999);
   encode_stats_response(stats, fresh(), /*version=*/3);
+  stats.tier = 4;  // v4: per-tier stats rows
+  encode_stats_response(stats, fresh(), /*version=*/4);
   return corpus;
 }
 
@@ -242,15 +266,16 @@ TEST(FrameFuzz, PureRandomBlobsNeverDecode) {
 
 TEST(FrameFuzz, HeaderFieldScribblesAreHandledByteExactly) {
   // Every single-byte value in every header position, against a valid
-  // default-version (v3, trace-carrying) serve request: decode must
-  // return kFrame / kNeedMore / kError deterministically and payload
-  // decoding must stay in bounds. The version-byte sweep in particular
-  // re-reads the v3 payload with v1/v2 offsets — exactly the confusion
-  // a hostile client can cause — and must merely reject.
+  // default-version (v4, trace- and tier-carrying) serve request:
+  // decode must return kFrame / kNeedMore / kError deterministically
+  // and payload decoding must stay in bounds. The version-byte sweep in
+  // particular re-reads the v4 payload with v1–v3 offsets — exactly the
+  // confusion a hostile client can cause — and must merely reject.
   Rng rng(11);
   WireRequest req;
   req.correlation_id = 5;
   req.trace_id = 77;
+  req.tier = 4;
   req.model = "m";
   req.example.tokens = {1, 2, 3};
   req.example.segments = {0, 0, 0};
@@ -267,14 +292,16 @@ TEST(FrameFuzz, HeaderFieldScribblesAreHandledByteExactly) {
 }
 
 TEST(FrameFuzz, TraceSectionScribblesStayInBounds) {
-  // Same byte-exact sweep over the TRACE SECTION of a v3 serve
-  // response: stage count, stage codes and timestamps each get every
-  // value, and the decoder + splitter must agree and stay in bounds.
+  // Same byte-exact sweep over the TRACE SECTION (and, in v4, the
+  // trailing resolved-tier byte) of a serve response: stage count,
+  // stage codes, timestamps and the tier each get every value, and the
+  // decoder + splitter must agree and stay in bounds.
   WireResponse resp;
   resp.correlation_id = 9;
   resp.response.status = RequestStatus::kOk;
   resp.response.logits = {0.1f, 0.9f};
   resp.response.trace_id = 4242;
+  resp.response.tier = 8;
   resp.response.trace = {{TraceStage::kAdmitted, 0},
                          {TraceStage::kWorkerEnd, 1500}};
   std::vector<uint8_t> frame;
@@ -290,6 +317,39 @@ TEST(FrameFuzz, TraceSectionScribblesStayInBounds) {
       mutated[pos] = static_cast<uint8_t>(value);
       (void)decode_anything(mutated);  // bounds-safety is the assertion
     }
+  }
+}
+
+TEST(FrameFuzz, HostileTierValuesAreRejected) {
+  // The v4 serve-request tier byte sits right after the trace id
+  // (payload offset 24). Sweep it through every value: only 0 (default
+  // tier) and the weight bit-widths 2..8 may decode; 1 and 9..255 are
+  // hostile and must be rejected by decoder and proxy-side peek alike.
+  WireRequest req;
+  req.correlation_id = 5;
+  req.trace_id = 77;
+  req.tier = 4;
+  req.model = "m";
+  req.example.tokens = {1, 2, 3};
+  req.example.segments = {0, 0, 0};
+  std::vector<uint8_t> frame;
+  encode_serve_request(req, frame);
+  constexpr size_t kTierPos = kHeaderSize + 24;
+  ASSERT_EQ(frame[kTierPos], 4u);
+  for (int value = 0; value < 256; ++value) {
+    std::vector<uint8_t> mutated = frame;
+    mutated[kTierPos] = static_cast<uint8_t>(value);
+    const bool valid = wire_tier_valid(static_cast<uint8_t>(value));
+    EXPECT_EQ(valid, value == 0 || (value >= 2 && value <= 8));
+    EXPECT_EQ(decode_anything(mutated), valid) << "tier byte " << value;
+    uint64_t corr = 0, trace = 0;
+    uint8_t tier = 0;
+    std::string model;
+    EXPECT_EQ(peek_serve_request(mutated.data() + kHeaderSize,
+                                 mutated.size() - kHeaderSize,
+                                 /*version=*/4, &corr, &trace, &tier,
+                                 &model),
+              valid);
   }
 }
 

@@ -230,8 +230,11 @@ TEST(MetricsText, RouterExpositionIsValidAndBalances) {
   const std::string text = render_router_metrics(router);
   expect_valid_exposition(text);
 
+  // Lanes scrape as (model, tier) rows; FqQuantConfig::full() engines
+  // carry 4-bit weights, so the default lane scrapes as tier="4".
   for (const char* model : {"m0", "m1"}) {
-    const std::string m = std::string("{model=\"") + model + "\"";
+    const std::string m =
+        std::string("{model=\"") + model + "\",tier=\"4\"";
     const auto admitted =
         series_value(text, "fqbert_requests_total" + m +
                                ",outcome=\"admitted\"}");
@@ -286,9 +289,9 @@ TEST(MetricsText, EndToEndScrapeOverHttpMatchesRouterState) {
   ASSERT_NE(body_at, std::string::npos);
   const std::string body = response.substr(body_at + 4);
   expect_valid_exposition(body);
-  EXPECT_EQ(series_value(
-                body,
-                "fqbert_requests_total{model=\"m0\",outcome=\"completed\"}"),
+  EXPECT_EQ(series_value(body,
+                         "fqbert_requests_total{model=\"m0\",tier=\"4\","
+                         "outcome=\"completed\"}"),
             7.0);
 
   metrics.stop();
@@ -346,12 +349,14 @@ TEST(MetricsText, ProxyExpositionCoversBackendsAndFleetQuantiles) {
 
   // Fleet-wide per-model stats rode in via the STATS fan-out: the
   // completed count across both backends is every loadgen success.
-  EXPECT_EQ(series_value(
-                text,
-                "fqbert_requests_total{model=\"m0\",outcome=\"completed\"}"),
+  // Generic (un-pinned) placement declarations aggregate under
+  // tier="0" — the backend's default lane.
+  EXPECT_EQ(series_value(text,
+                         "fqbert_requests_total{model=\"m0\",tier=\"0\","
+                         "outcome=\"completed\"}"),
             20.0);
   EXPECT_TRUE(series_value(
-      text, "fqbert_latency_ms{model=\"m0\",quantile=\"0.999\"}"));
+      text, "fqbert_latency_ms{model=\"m0\",tier=\"0\",quantile=\"0.999\"}"));
 
   proxy.stop();
   router_a.shutdown(true);

@@ -145,7 +145,7 @@ TEST(ModelRouter, TwoModelsBitIdenticalToDedicatedServers) {
   server_a.shutdown();
   server_b.shutdown();
   router.shutdown();
-  for (const auto& [name, st] : router.all_stats()) {
+  for (const auto& [name, lane_tier, st] : router.all_stats()) {
     EXPECT_TRUE(st.accounting_balances()) << name;
     EXPECT_EQ(st.completed, kPerModel) << name;
   }
@@ -331,7 +331,7 @@ TEST(ModelRouterWire, HotLoadUnloadUnderLiveTraffic) {
   // Every surviving lane balances; the A/B lanes were never disturbed.
   const auto stats = router.all_stats();
   ASSERT_EQ(stats.size(), 2u);
-  for (const auto& [name, st] : stats) {
+  for (const auto& [name, lane_tier, st] : stats) {
     EXPECT_TRUE(st.accounting_balances())
         << name << ": admitted " << st.admitted << " completed "
         << st.completed << " timed_out " << st.timed_out << " failed "

@@ -74,7 +74,7 @@ TEST(Serialize, PreservesConfigAndScales) {
     const auto& b = f.engine->encoder_layers()[l];
     EXPECT_DOUBLE_EQ(a.in_scale, b.in_scale);
     EXPECT_DOUBLE_EQ(a.out_scale, b.out_scale);
-    EXPECT_EQ(a.wq.w_codes16, b.wq.w_codes16);
+    EXPECT_EQ(a.wq.narrow_codes(), b.wq.narrow_codes());
     EXPECT_EQ(a.ffn2.bias_q, b.ffn2.bias_q);
   }
   std::remove(path.c_str());

@@ -212,24 +212,26 @@ TEST(FrameForwarding, PeekReadsRoutingFieldsAndValidatesCounts) {
 
   uint64_t corr = 0;
   uint64_t trace = 0;
+  uint8_t tier = 0;
   std::string model;
   ASSERT_TRUE(net::peek_serve_request(frame.data() + net::kHeaderSize,
                                       frame.size() - net::kHeaderSize,
                                       net::kProtocolVersion, &corr, &trace,
-                                      &model));
+                                      &tier, &model));
   EXPECT_EQ(corr, req.correlation_id);
   EXPECT_EQ(trace, req.trace_id);
+  EXPECT_EQ(tier, req.tier);
   EXPECT_EQ(model, "m1");
 
-  // A lying token count must fail the peek (offset 24 + 2 + 2 = 28 for
-  // a 2-byte model string in a v3 payload: u64 corr + i64 deadline +
-  // u64 trace + u16 len + "m1").
+  // A lying token count must fail the peek (offset 25 + 2 + 2 = 29 for
+  // a 2-byte model string in a v4 payload: u64 corr + i64 deadline +
+  // u64 trace + u8 tier + u16 len + "m1").
   std::vector<uint8_t> lying = frame;
-  lying[net::kHeaderSize + 28] += 1;
+  lying[net::kHeaderSize + 29] += 1;
   EXPECT_FALSE(net::peek_serve_request(lying.data() + net::kHeaderSize,
                                        lying.size() - net::kHeaderSize,
                                        net::kProtocolVersion, &corr, &trace,
-                                       &model));
+                                       &tier, &model));
 }
 
 TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
@@ -249,7 +251,7 @@ TEST(FrameForwarding, RewritePreservesExampleBytesAndUpgradesV1) {
     net::FrameHeader hdr;
     ASSERT_EQ(net::decode_header(rewritten.data(), rewritten.size(), &hdr),
               net::DecodeStatus::kFrame);
-    EXPECT_EQ(hdr.version, 3);  // v1/v2 inputs upgraded
+    EXPECT_EQ(hdr.version, 4);  // v1/v2 inputs upgraded
     net::WireRequest back;
     ASSERT_TRUE(net::decode_serve_request(
         rewritten.data() + net::kHeaderSize, hdr.payload_len, hdr.version,

@@ -71,27 +71,30 @@ int usage() {
                "loadgen|admin|proxy> [options]\n"
                "  train    --task sst2|mnli --out model.bin [--fast]\n"
                "  quantize --task sst2|mnli --model model.bin --out fq.bin\n"
-               "           [--bits N] [--no-clip] [--no-softmax-quant]\n"
-               "           [--no-ln-quant] [--no-scale-quant] [--fast]\n"
+               "           [--bits N] [--mapped] [--no-clip]\n"
+               "           [--no-softmax-quant] [--no-ln-quant]\n"
+               "           [--no-scale-quant] [--fast]\n"
                "  eval     --task sst2|mnli --engine fq.bin\n"
                "  info     --engine fq.bin\n"
                "  estimate [--device zcu102|zcu111] [--pes N] [--mults M] "
                "[--seq S]\n"
                "  serve    --engine fq.bin | --task sst2|mnli [--fast]\n"
                "           [--listen PORT [--bind ADDR] [--metrics PORT]\n"
-               "            [--model NAME=FILE ...]]   (multi-model router)\n"
+               "            [--model NAME=FILE[@int8,int4...] ...]\n"
+               "            [--tier-fallback strict|default]]\n"
                "           [--workers N] [--batch B] [--wait-us U]\n"
                "           [--clients C] [--requests R] [--deadline-ms D]\n"
                "           [--seq-mix 12,16,24] [--seed S]\n"
                "  loadgen  serve options plus [--connect HOST:PORT\n"
-               "           [--model NAME ...]]  (multi-model traffic mix)\n"
+               "           [--model NAME ...] [--tier N]]\n"
                "           [--trace-every N]    (per-stage trace samples)\n"
                "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n"
                "  admin    --connect HOST:PORT [--timeout-ms T]\n"
-               "           [--load NAME=FILE ...] [--unload NAME ...]\n"
-               "           [--list] [--stats NAME ...]\n"
+               "           [--load NAME=FILE[@intN] ...] (empty FILE derives)\n"
+               "           [--unload NAME[@intN] ...]\n"
+               "           [--list] [--stats NAME[@intN] ...]\n"
                "  proxy    --listen PORT [--bind ADDR] [--metrics PORT]\n"
-               "           --backend HOST:PORT=model[,model...] ...\n"
+               "           --backend HOST:PORT=model[@intN][,model...] ...\n"
                "           [--pool N] [--health-interval-ms I]\n"
                "           [--health-timeout-ms T] [--call-timeout-ms C]\n");
   return 2;
@@ -138,6 +141,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"model", true},
         {"out", true},
         {"bits", true},
+        {"mapped", false},
         {"no-clip", false},
         {"no-softmax-quant", false},
         {"no-ln-quant", false},
@@ -155,6 +159,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"bind", true},
         {"metrics", true},
         {"model", true},
+        {"tier-fallback", true},
         {"workers", true},
         {"batch", true},
         {"wait-us", true},
@@ -170,6 +175,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"fast", false},
         {"connect", true},
         {"model", true},
+        {"tier", true},
         {"workers", true},
         {"batch", true},
         {"wait-us", true},
@@ -434,6 +440,26 @@ void parse_name_value(const std::string& option, const std::string& token,
   *value = token.substr(eq + 1);
 }
 
+/// Split a trailing precision-tier suffix off `token`: "X@int4" and
+/// "X@4" yield (X, 4); no '@' yields (token, 0). A malformed suffix is
+/// an argv error — tiers are weight bit-widths in [2, 8].
+void parse_tier_suffix(const std::string& option, const std::string& token,
+                       std::string* base, int* tier) {
+  const size_t at = token.rfind('@');
+  if (at == std::string::npos) {
+    *base = token;
+    *tier = 0;
+    return;
+  }
+  *base = token.substr(0, at);
+  std::string t = token.substr(at + 1);
+  if (t.rfind("int", 0) == 0) t = t.substr(3);
+  if (t.size() != 1 || t[0] < '2' || t[0] > '8')
+    parse_fail("--" + option + ": malformed tier suffix in '" + token +
+               "' (expected @intN or @N with N in [2, 8])");
+  *tier = t[0] - '0';
+}
+
 /// Split `HOST:PORT` (--connect, and the address half of --backend).
 void parse_host_port(const std::string& target, std::string* host,
                      uint16_t* port, const std::string& option = "connect") {
@@ -446,23 +472,30 @@ void parse_host_port(const std::string& target, std::string* host,
 }
 
 /// Per-lane accounting table for the shutdown report: one row per
-/// model, each of which must balance independently.
+/// (model, tier) lane, each of which must balance independently.
 void print_per_model_table(const serve::ModelRouter& router) {
   const auto stats = router.all_stats();
-  std::printf("%-16s %10s %10s %10s %8s %8s %8s %9s\n", "model", "admitted",
+  std::printf("%-20s %10s %10s %10s %8s %8s %8s %9s\n", "lane", "admitted",
               "completed", "timed-out", "failed", "p50 ms", "p95 ms",
               "balance");
-  for (const auto& [name, st] : stats)
-    std::printf("%-16s %10llu %10llu %10llu %8llu %8.2f %8.2f %9s\n",
-                name.c_str(), static_cast<unsigned long long>(st.admitted),
+  for (const auto& row : stats) {
+    const std::string lane = row.model + "@int" + std::to_string(row.tier);
+    const auto& st = row.report;
+    std::printf("%-20s %10llu %10llu %10llu %8llu %8.2f %8.2f %9s\n",
+                lane.c_str(), static_cast<unsigned long long>(st.admitted),
                 static_cast<unsigned long long>(st.completed),
                 static_cast<unsigned long long>(st.timed_out),
                 static_cast<unsigned long long>(st.failed), st.p50_ms,
                 st.p95_ms, st.accounting_balances() ? "OK" : "MISMATCH");
+  }
   if (router.unknown_model_rejections() > 0)
     std::printf("(+%llu requests rejected for unknown model names)\n",
                 static_cast<unsigned long long>(
                     router.unknown_model_rejections()));
+  if (router.unknown_tier_rejections() > 0)
+    std::printf("(+%llu requests rejected for unserved precision tiers)\n",
+                static_cast<unsigned long long>(
+                    router.unknown_tier_rejections()));
 }
 
 /// `serve --listen`: run the multi-model router as a network service
@@ -476,6 +509,12 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
   rcfg.num_workers = scfg.num_workers;
   rcfg.queue = scfg.queue;
   rcfg.batcher = scfg.batcher;
+  const std::string fallback = a.get("tier-fallback", "strict");
+  if (fallback == "default")
+    rcfg.tier_fallback = serve::TierFallback::kFallbackToDefault;
+  else if (fallback != "strict")
+    parse_fail("--tier-fallback: expected 'strict' or 'default', got '" +
+               fallback + "'");
   serve::ModelRouter router(registry, rcfg);
 
   const std::vector<std::string>& model_specs = a.values("model");
@@ -490,23 +529,65 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
     // Parse (and validate) ALL specs before loading the first engine:
     // a duplicated NAME is an argv error ("last one wins" would
     // silently serve a different engine than half the command line
-    // says), and it must not cost an engine load first.
-    std::vector<std::pair<std::string, std::string>> models;
+    // says), and it must not cost an engine load first. A spec may
+    // carry a tier list — `sst2=fq.bin@int8,int4` serves the file's
+    // checkpoint as int8 AND an int4 tier derived from it.
+    struct ModelSpec {
+      std::string name;
+      std::string path;
+      std::vector<int> tiers;  // empty = the file's native tier only
+    };
+    std::vector<ModelSpec> models;
     std::set<std::string> model_names;
     for (const std::string& spec : model_specs) {
-      std::string name, path;
-      parse_name_value("model", spec, &name, &path);
+      std::string name, value;
+      parse_name_value("model", spec, &name, &value);
       if (!model_names.insert(name).second)
         parse_fail("--model: model '" + name +
                    "' given more than once (each NAME maps to exactly one "
                    "FILE)");
-      models.emplace_back(std::move(name), std::move(path));
+      ModelSpec m;
+      m.name = std::move(name);
+      const size_t at = value.find('@');
+      m.path = value.substr(0, at);
+      if (m.path.empty())
+        parse_fail("--model: empty FILE in '" + spec + "'");
+      if (at != std::string::npos) {
+        std::set<int> seen_tiers;
+        std::string csv = value.substr(at + 1);
+        size_t pos = 0;
+        while (pos <= csv.size()) {
+          size_t comma = csv.find(',', pos);
+          if (comma == std::string::npos) comma = csv.size();
+          std::string base;
+          int tier = 0;
+          std::string element("@");
+          element += csv.substr(pos, comma - pos);
+          parse_tier_suffix("model", element, &base, &tier);
+          if (!seen_tiers.insert(tier).second)
+            parse_fail("--model: tier int" + std::to_string(tier) +
+                       " repeated in '" + spec + "'");
+          m.tiers.push_back(tier);
+          pos = comma + 1;
+        }
+      }
+      models.push_back(std::move(m));
     }
-    for (const auto& [name, path] : models) {
+    for (const auto& m : models) {
       std::string error;
-      if (!router.load_model(name, path, &error)) {
+      // First listed tier loads from the file (derived there if it is
+      // not the checkpoint's native width); the rest are minted from
+      // the registered default without re-reading the file.
+      const int first = m.tiers.empty() ? 0 : m.tiers.front();
+      if (!router.load_model(m.name, m.path, &error, first)) {
         std::fprintf(stderr, "%s\n", error.c_str());
         return 1;
+      }
+      for (size_t i = 1; i < m.tiers.size(); ++i) {
+        if (!router.load_model(m.name, "", &error, m.tiers[i])) {
+          std::fprintf(stderr, "%s\n", error.c_str());
+          return 1;
+        }
       }
     }
   } else {
@@ -543,8 +624,12 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
   }
 
   std::string names;
-  for (const std::string& n : router.model_names())
-    names += (names.empty() ? "" : ", ") + n;
+  for (const std::string& n : router.model_names()) {
+    std::string tiers;
+    for (const int t : router.served_tiers(n))
+      tiers += (tiers.empty() ? "" : ",") + ("int" + std::to_string(t));
+    names += (names.empty() ? "" : ", ") + n + "@" + tiers;
+  }
   std::printf("listening on %s:%u — models [%s] (default: %s), %d workers, "
               "max batch %lld, max wait %lld us; Ctrl-C to stop\n",
               tcfg.bind_address.c_str(), transport.port(), names.c_str(),
@@ -639,17 +724,26 @@ int run_remote_loadgen(const Args& a) {
     std::fprintf(stderr, "%s\n", probe.error().c_str());
     return 1;
   }
+  // --tier pins every request in the mix to one precision tier (the
+  // per-model shape probe validates the server actually serves it).
+  const auto tier =
+      static_cast<uint8_t>(int_opt(a, "tier", 0, 0, 8));
+  if (tier == 1)
+    parse_fail("--tier: 1 is not a weight bit-width (use 0 for the "
+               "default tier, or 2..8)");
   std::vector<std::string> mix = a.values("model");
   if (mix.empty()) mix.push_back("");  // the server's default model
   std::vector<serve::RemoteModelTarget> targets;
   for (const std::string& name : mix) {
-    const std::optional<nn::BertConfig> info = probe.query_info(name);
+    const std::optional<nn::BertConfig> info = probe.query_info(name, tier);
     if (!info) {
-      std::fprintf(stderr, "info query for model '%s' failed: %s\n",
-                   name.c_str(), probe.error().c_str());
+      const std::string tier_note =
+          tier != 0 ? " tier int" + std::to_string(tier) : std::string();
+      std::fprintf(stderr, "info query for model '%s'%s failed: %s\n",
+                   name.c_str(), tier_note.c_str(), probe.error().c_str());
       return 1;
     }
-    targets.push_back({name, *info});
+    targets.push_back({name, *info, tier});
   }
   probe.close();
 
@@ -712,21 +806,32 @@ int cmd_admin(const Args& a) {
 
   bool all_ok = true;
   for (const std::string& spec : a.values("load")) {
-    std::string name, path;
-    parse_name_value("load", spec, &name, &path);
+    std::string name, value, path;
+    int tier = 0;
+    parse_name_value("load", spec, &name, &value);
+    // `sst2=fq.bin@int4` loads/derives that tier; `sst2=@int4` derives
+    // it server-side from the model's already-loaded default tier.
+    parse_tier_suffix("load", value, &path, &tier);
+    if (path.empty() && tier == 0)
+      parse_fail("--load: '" + spec + "' names neither a FILE nor a tier");
     std::string message;
-    const bool ok = client.load_model(name, path, &message);
-    std::printf("load %s: %s\n", name.c_str(),
+    const bool ok = client.load_model(name, path, &message,
+                                      static_cast<uint8_t>(tier));
+    std::printf("load %s: %s\n", spec.c_str(),
                 ok ? message.c_str()
                    : (message.empty() ? client.error().c_str()
                                       : message.c_str()));
     all_ok = all_ok && ok;
     if (!client.connected()) break;  // transport gone; stop cleanly
   }
-  for (const std::string& name : a.values("unload")) {
+  for (const std::string& spec : a.values("unload")) {
+    std::string name;
+    int tier = 0;
+    parse_tier_suffix("unload", spec, &name, &tier);
     std::string message;
-    const bool ok = client.unload_model(name, &message);
-    std::printf("unload %s: %s\n", name.c_str(),
+    const bool ok = client.unload_model(name, &message,
+                                        static_cast<uint8_t>(tier));
+    std::printf("unload %s: %s\n", spec.c_str(),
                 ok ? message.c_str()
                    : (message.empty() ? client.error().c_str()
                                       : message.c_str()));
@@ -734,29 +839,40 @@ int cmd_admin(const Args& a) {
     if (!client.connected()) break;
   }
   if (a.flag("list") && client.connected()) {
-    const auto names = client.list_models();
-    if (!names) {
+    const auto entries = client.list_models_tiered();
+    if (!entries) {
       std::fprintf(stderr, "list failed: %s\n", client.error().c_str());
       all_ok = false;
     } else {
-      std::printf("%zu model(s) served:\n", names->size());
-      for (const std::string& name : *names)
-        std::printf("  %s\n", name.c_str());
+      std::printf("%zu serving lane(s):\n", entries->size());
+      for (const auto& e : *entries)
+        if (e.tier != 0)
+          std::printf("  %s@int%u\n", e.name.c_str(), e.tier);
+        else
+          std::printf("  %s\n", e.name.c_str());
     }
   }
-  for (const std::string& name : a.values("stats")) {
+  for (const std::string& spec : a.values("stats")) {
     if (!client.connected()) break;
-    const auto stats = client.query_stats(name);
+    std::string name;
+    int tier = 0;
+    parse_tier_suffix("stats", spec, &name, &tier);
+    const auto stats = client.query_stats(name,
+                                          static_cast<uint8_t>(tier));
     if (!stats) {
-      std::fprintf(stderr, "stats %s: %s\n", name.c_str(),
+      std::fprintf(stderr, "stats %s: %s\n", spec.c_str(),
                    client.error().c_str());
       all_ok = false;
       continue;
     }
     const serve::ServeStats::Report& st = stats->report;
+    const std::string lane =
+        stats->tier != 0
+            ? stats->model + "@int" + std::to_string(stats->tier)
+            : stats->model;
     std::printf("stats %s: admitted %llu, completed %llu, timed out %llu, "
                 "failed %llu, batches %llu (occupancy %.2f) [%s]\n",
-                stats->model.c_str(),
+                lane.c_str(),
                 static_cast<unsigned long long>(st.admitted),
                 static_cast<unsigned long long>(st.completed),
                 static_cast<unsigned long long>(st.timed_out),
@@ -975,11 +1091,17 @@ int cmd_quantize(const Args& a) {
 
   std::printf("QAT fine-tuning (w%d/a%d)...\n", cfg.weight_bits, cfg.act_bits);
   core::FqBertModel engine = quantize_pipeline(model, task, cfg, fast);
-  if (!engine.save(out)) {
+  // --mapped writes the FQBERT02 mmap layout (weights 64-byte aligned
+  // after the metadata), so serving loads it zero-copy and N server
+  // processes share one physical copy of the weight pages.
+  const bool ok = a.flag("mapped") ? engine.save_mapped(out)
+                                   : engine.save(out);
+  if (!ok) {
     std::fprintf(stderr, "cannot write %s\n", out.c_str());
     return 1;
   }
-  std::printf("quantized engine saved to %s (eval acc %.2f%%)\n", out.c_str(),
+  std::printf("quantized engine saved to %s%s (eval acc %.2f%%)\n",
+              out.c_str(), a.flag("mapped") ? " (mmap layout)" : "",
               engine.accuracy(task.eval));
   return 0;
 }
@@ -989,7 +1111,7 @@ int cmd_eval(const Args& a) {
   const std::string engine_path = a.get("engine");
   if (task_name.empty() || engine_path.empty()) return usage();
   TaskData task = make_named_task(task_name, a.flag("fast"));
-  core::FqBertModel engine = core::FqBertModel::load(engine_path);
+  core::FqBertModel engine = core::FqBertModel::load_any(engine_path);
   std::printf("%s accuracy: %.2f%% (eval), %.2f%% (train)\n",
               task.name.c_str(), engine.accuracy(task.eval),
               engine.accuracy(task.train));
@@ -1002,7 +1124,7 @@ int cmd_eval(const Args& a) {
 int cmd_info(const Args& a) {
   const std::string engine_path = a.get("engine");
   if (engine_path.empty()) return usage();
-  core::FqBertModel engine = core::FqBertModel::load(engine_path);
+  core::FqBertModel engine = core::FqBertModel::load_any(engine_path);
   const auto& c = engine.config();
   const auto& q = engine.quant_config();
   std::printf("FQ-BERT engine: %s\n", engine_path.c_str());
