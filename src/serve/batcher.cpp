@@ -1,8 +1,19 @@
 #include "serve/batcher.h"
 
 #include <algorithm>
+#include <cstring>
+
+#include "serve/flight_recorder.h"
 
 namespace fqbert::serve {
+
+void DynamicBatcher::set_event_tag(std::string_view model, uint8_t tier) {
+  const size_t n = std::min(model.size(), sizeof(event_tag_) - 1);
+  // lint-wire: bounded copy into a process-local tag buffer, no wire data
+  std::memcpy(event_tag_, model.data(), n);
+  event_tag_[n] = '\0';
+  event_tier_ = tier;
+}
 
 int64_t DynamicBatcher::bucket_of(int64_t seq_len) const {
   const int64_t g = std::max<int64_t>(1, cfg_.bucket_granularity);
@@ -27,8 +38,12 @@ void DynamicBatcher::pump_locked() {
       resp.latency_us = std::chrono::duration_cast<Micros>(
                             now - req.enqueue_time)
                             .count();
+      const uint64_t age_us = static_cast<uint64_t>(resp.latency_us);
       req.promise.set_value(std::move(resp));
       if (stats_) stats_->record_timeout();
+      FlightRecorder::instance().record(
+          FlightEventType::kRequestTimedOut, event_tag_, req.trace_id,
+          req.tier, 0, 0, age_us);
       continue;
     }
     buckets_[bucket_of(req.seq_len())].push_back(std::move(req));
@@ -75,6 +90,7 @@ bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
     }
     if (chosen == buckets_.end()) return false;
 
+    const int64_t bucket_key = chosen->first;
     std::deque<ServeRequest>& bucket = chosen->second;
     while (!bucket.empty() &&
            static_cast<int64_t>(out.size()) < cfg_.max_batch) {
@@ -89,14 +105,36 @@ bool DynamicBatcher::pop_batch_locked(std::vector<ServeRequest>& out,
         resp.latency_us = std::chrono::duration_cast<Micros>(
                               now - req.enqueue_time)
                               .count();
+        const uint64_t age_us = static_cast<uint64_t>(resp.latency_us);
         req.promise.set_value(std::move(resp));
         if (stats_) stats_->record_timeout();
+        FlightRecorder::instance().record(
+            FlightEventType::kRequestTimedOut, event_tag_, req.trace_id,
+            req.tier, 0, 0, age_us);
         continue;
       }
       out.push_back(std::move(req));
     }
     if (bucket.empty()) buckets_.erase(chosen);
-    if (!out.empty()) return true;
+    if (!out.empty()) {
+      // Journal the formed batch: size, bucket, and how long its oldest
+      // request waited — the numbers a p99 postmortem starts from.
+      uint64_t trace = 0;
+      for (const ServeRequest& r : out)
+        if (r.trace_id != 0) {
+          trace = r.trace_id;
+          break;
+        }
+      const int64_t wait_us = std::chrono::duration_cast<Micros>(
+                                  now - out.front().enqueue_time)
+                                  .count();
+      FlightRecorder::instance().record(
+          FlightEventType::kBatchFormed, event_tag_, trace, event_tier_,
+          static_cast<uint16_t>(std::min<int64_t>(bucket_key, 0xFFFF)),
+          static_cast<uint32_t>(out.size()),
+          static_cast<uint64_t>(std::max<int64_t>(wait_us, 0)));
+      return true;
+    }
   }
 }
 

@@ -7,6 +7,7 @@
 #pragma once
 
 #include <map>
+#include <string_view>
 
 #include "serve/request_queue.h"
 #include "serve/stats.h"
@@ -64,6 +65,12 @@ class DynamicBatcher {
   int64_t bucket_of(int64_t seq_len) const;
   size_t pending() const;
 
+  /// Identity stamped on this batcher's flight-recorder events
+  /// (kBatchFormed / kRequestTimedOut). Call once at lane construction,
+  /// before any traffic — the fields are read without a lock on the
+  /// batching hot path.
+  void set_event_tag(std::string_view model, uint8_t tier);
+
  private:
   /// Move newly queued requests into their buckets (mu_ held).
   void pump_locked() REQUIRES(mu_);
@@ -77,6 +84,9 @@ class DynamicBatcher {
   RequestQueue& queue_;
   BatcherConfig cfg_;
   ServeStats* stats_;
+  /// Journal identity; written only by set_event_tag before traffic.
+  char event_tag_[24] = "default";
+  uint8_t event_tier_ = 0;
   mutable Mutex mu_;
   std::map<int64_t, std::deque<ServeRequest>> buckets_ GUARDED_BY(mu_);
   size_t pending_ GUARDED_BY(mu_) = 0;

@@ -1,0 +1,197 @@
+#include "serve/debug_text.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "serve/router/model_router.h"
+
+namespace fqbert::serve {
+
+namespace {
+
+void append_u64_field(std::string& out, const char* key, uint64_t v,
+                      bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":";
+  out += std::to_string(v);
+}
+
+void append_str_field(std::string& out, const char* key,
+                      std::string_view v, bool first = false) {
+  if (!first) out += ',';
+  out += '"';
+  out += key;
+  out += "\":\"";
+  out += json_escape(v);
+  out += '"';
+}
+
+}  // namespace
+
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(c) & 0xFF);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+uint64_t debug_query_u64(std::string_view query, std::string_view key,
+                         uint64_t fallback) {
+  size_t pos = 0;
+  while (pos < query.size()) {
+    size_t end = query.find('&', pos);
+    if (end == std::string_view::npos) end = query.size();
+    const std::string_view pair = query.substr(pos, end - pos);
+    const size_t eq = pair.find('=');
+    if (eq != std::string_view::npos && pair.substr(0, eq) == key) {
+      const std::string_view value = pair.substr(eq + 1);
+      if (value.empty()) return fallback;
+      uint64_t parsed = 0;
+      for (const char c : value) {
+        if (c < '0' || c > '9') return fallback;
+        parsed = parsed * 10 + static_cast<uint64_t>(c - '0');
+      }
+      return parsed;
+    }
+    pos = end + 1;
+  }
+  return fallback;
+}
+
+std::string render_debug_events(const FlightRecorder& recorder,
+                                uint64_t since_ns, size_t max_events) {
+  const std::vector<FlightEvent> events =
+      recorder.snapshot(since_ns, max_events);
+  std::string out;
+  out.reserve(events.size() * 160 + 64);
+  out += "{\"now_ns\":";
+  out += std::to_string(flight_now_ns());
+  out += ",\"count\":";
+  out += std::to_string(events.size());
+  out += ",\"events\":[";
+  bool first_event = true;
+  for (const FlightEvent& ev : events) {
+    if (!first_event) out += ',';
+    first_event = false;
+    out += '{';
+    append_u64_field(out, "t_ns", ev.t_ns, /*first=*/true);
+    append_str_field(out, "type",
+                     flight_event_type_name(
+                         static_cast<FlightEventType>(ev.type)));
+    append_str_field(out, "tag", ev.tag);
+    append_u64_field(out, "tier", ev.tier);
+    // Decimal string: a u64 trace id does not survive a double.
+    append_str_field(out, "trace_id", std::to_string(ev.trace_id));
+    append_u64_field(out, "detail", ev.detail);
+    append_u64_field(out, "a", ev.a);
+    append_u64_field(out, "b", ev.b);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_debug_slow(const FlightRecorder& recorder) {
+  const std::vector<SlowExemplar> exemplars = recorder.slow_exemplars();
+  std::string out;
+  out.reserve(exemplars.size() * 256 + 64);
+  out += "{\"threshold_us\":";
+  out += std::to_string(recorder.slow_threshold_us());
+  out += ",\"exemplars\":[";
+  bool first_ex = true;
+  for (const SlowExemplar& ex : exemplars) {
+    if (!first_ex) out += ',';
+    first_ex = false;
+    out += '{';
+    append_str_field(out, "trace_id", std::to_string(ex.trace_id),
+                     /*first=*/true);
+    append_str_field(out, "model", ex.model);
+    append_u64_field(out, "tier", ex.tier);
+    out += ",\"latency_us\":";
+    out += std::to_string(ex.latency_us);
+    out += ",\"stages\":[";
+    bool first_stage = true;
+    for (const TraceEvent& stage : ex.stages) {
+      if (!first_stage) out += ',';
+      first_stage = false;
+      out += "{\"stage\":\"";
+      out += trace_stage_name(stage.stage);
+      out += "\",\"t_us\":";
+      out += std::to_string(stage.t_us);
+      out += '}';
+    }
+    out += "]}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_debug_lanes(const ModelRouter& router) {
+  const std::vector<ModelRouter::LaneDepth> lanes = router.queue_depths();
+  std::string out;
+  out.reserve(lanes.size() * 96 + 32);
+  out += "{\"lanes\":[";
+  bool first_lane = true;
+  for (const ModelRouter::LaneDepth& lane : lanes) {
+    if (!first_lane) out += ',';
+    first_lane = false;
+    out += '{';
+    append_str_field(out, "model", lane.model, /*first=*/true);
+    append_u64_field(out, "tier", lane.tier);
+    out += ",\"depth\":";
+    out += std::to_string(lane.depth);
+    out += ",\"inflight\":";
+    out += std::to_string(lane.inflight);
+    out += ",\"high_watermark\":";
+    out += std::to_string(lane.high_watermark);
+    out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::vector<net::WireEvent> wire_events(const FlightRecorder& recorder,
+                                        uint64_t since_ns,
+                                        uint32_t max_events) {
+  const size_t cap =
+      max_events == 0
+          ? FlightRecorder::kDefaultSnapshotMax
+          : std::min<size_t>(max_events, net::kMaxDumpEvents);
+  const std::vector<FlightEvent> events = recorder.snapshot(since_ns, cap);
+  std::vector<net::WireEvent> out;
+  out.reserve(events.size());
+  for (const FlightEvent& ev : events) {
+    net::WireEvent w;
+    w.t_ns = ev.t_ns;
+    w.trace_id = ev.trace_id;
+    w.type = ev.type;
+    w.tier = ev.tier;
+    w.detail = ev.detail;
+    w.a = ev.a;
+    w.b = ev.b;
+    w.tag = ev.tag;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace fqbert::serve

@@ -1,0 +1,56 @@
+// JSON renderers for the /debug introspection plane served by
+// MetricsHttpServer, plus the FlightEvent -> wire conversion shared by
+// the transport's and the proxy's DUMP_EVENTS handlers. Like the
+// Prometheus renderers in metrics_text.h these are pure functions of a
+// snapshot: dependency-free string building, safe to call from the
+// metrics listener thread while the serving stack runs hot.
+//
+//   /debug/events?since_ns=N&max=K  recent journal events, oldest first
+//   /debug/slow                     retained slow-request exemplars with
+//                                   full per-stage trace breakdowns
+//   /debug/lanes                    per-(model,tier) queue depth /
+//                                   inflight / high-watermark snapshot
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "serve/flight_recorder.h"
+#include "serve/net/frame.h"
+
+namespace fqbert::serve {
+
+class ModelRouter;
+
+/// {"now_ns":...,"events":[...]} — events with t_ns >= since_ns, at
+/// most max_events most recent, timestamp order. Trace ids are decimal
+/// strings (u64 does not survive an IEEE double).
+std::string render_debug_events(const FlightRecorder& recorder,
+                                uint64_t since_ns, size_t max_events);
+
+/// {"threshold_us":...,"exemplars":[...]} — slowest first, each with
+/// its per-stage relative-microsecond breakdown.
+std::string render_debug_slow(const FlightRecorder& recorder);
+
+/// {"lanes":[...]} — one entry per live (model, tier) lane: current
+/// queue depth, in-flight batch count, and the lifetime queue-depth
+/// high-watermark.
+std::string render_debug_lanes(const ModelRouter& router);
+
+/// Journal snapshot in wire form for a kEventDump response.
+/// max_events == 0 means the default snapshot cap.
+std::vector<net::WireEvent> wire_events(const FlightRecorder& recorder,
+                                        uint64_t since_ns,
+                                        uint32_t max_events);
+
+/// Parse `key` out of an HTTP query string ("a=1&b=2"); `fallback`
+/// when absent or malformed.
+uint64_t debug_query_u64(std::string_view query, std::string_view key,
+                         uint64_t fallback);
+
+/// Minimal JSON string escaping (quotes, backslash, control chars) for
+/// model names and tags that came from CLI input.
+std::string json_escape(std::string_view s);
+
+}  // namespace fqbert::serve

@@ -1,5 +1,8 @@
 #include "serve/engine_pool.h"
 
+#include <algorithm>
+
+#include "serve/flight_recorder.h"
 #include "tensor/tensor_ops.h"
 
 namespace fqbert::serve {
@@ -19,11 +22,17 @@ void EnginePool::join() {
 }
 
 void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
-                   std::vector<ServeRequest>& batch) {
+                   std::vector<ServeRequest>& batch,
+                   const std::string& model) {
   const TimePoint formed = Clock::now();
   std::vector<const nn::Example*> examples;
   examples.reserve(batch.size());
   for (const ServeRequest& req : batch) examples.push_back(&req.example);
+
+  FlightRecorder& recorder = FlightRecorder::instance();
+  const uint8_t batch_tier = batch.empty() ? 0 : batch.front().tier;
+  recorder.record(FlightEventType::kWorkerStart, model, 0, batch_tier, 0,
+                  static_cast<uint32_t>(batch.size()));
 
   std::vector<Tensor> logits;
   bool failed = false;
@@ -39,6 +48,10 @@ void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
   const auto rel_us = [](TimePoint t, TimePoint base) {
     return std::chrono::duration_cast<Micros>(t - base).count();
   };
+  recorder.record(FlightEventType::kWorkerEnd, model, 0, batch_tier, 0,
+                  static_cast<uint32_t>(batch.size()),
+                  static_cast<uint64_t>(std::max<int64_t>(
+                      rel_us(done, start), 0)));
   for (size_t i = 0; i < batch.size(); ++i) {
     ServeRequest& req = batch[i];
     ServeResponse resp;
@@ -66,6 +79,17 @@ void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
       resp.logits.assign(l.data(), l.data() + l.numel());
       resp.predicted = static_cast<int32_t>(argmax(l.data(), l.numel()));
       stats.record_response(resp.latency_us, resp.queue_us);
+      // Retain a slow exemplar with its full stage breakdown, built
+      // here even for untraced requests (the timestamps exist either
+      // way; only the candidacy check rides the hot path).
+      if (recorder.slow_candidate(resp.latency_us)) {
+        recorder.note_slow(
+            model, resp.tier, req.trace_id, resp.latency_us,
+            {{TraceStage::kAdmitted, 0},
+             {TraceStage::kBatchFormed, rel_us(formed, req.enqueue_time)},
+             {TraceStage::kWorkerStart, rel_us(start, req.enqueue_time)},
+             {TraceStage::kWorkerEnd, rel_us(done, req.enqueue_time)}});
+      }
     }
     req.promise.set_value(std::move(resp));
   }

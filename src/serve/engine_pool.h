@@ -19,8 +19,11 @@ namespace fqbert::serve {
 /// promise (logits + latency breakdown on success, kEngineError for the
 /// whole batch when the engine throws), recording into `stats`. Shared
 /// by EnginePool workers and the ModelRouter's multiplexed worker set.
+/// `model` tags the flight-recorder worker events and any retained
+/// slow-request exemplars.
 void execute_batch(const core::FqBertModel& engine, ServeStats& stats,
-                   std::vector<ServeRequest>& batch);
+                   std::vector<ServeRequest>& batch,
+                   const std::string& model = "default");
 
 class EnginePool {
  public:

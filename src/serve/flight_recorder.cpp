@@ -1,0 +1,344 @@
+#include "serve/flight_recorder.h"
+
+#include <cerrno>
+#include <csignal>
+#include <cstdio>
+#include <cstring>
+#include <ctime>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "serve/build_info.h"
+
+namespace fqbert::serve {
+
+namespace {
+
+const char* const kEventTypeNames[] = {
+    "admitted",         // kRequestAdmitted
+    "rejected",         // kRequestRejected
+    "timed_out",        // kRequestTimedOut
+    "batch_formed",     // kBatchFormed
+    "worker_start",     // kWorkerStart
+    "worker_end",       // kWorkerEnd
+    "queue_hwm",        // kQueueHighWatermark
+    "model_loaded",     // kModelLoaded
+    "model_unloaded",   // kModelUnloaded
+    "lane_drained",     // kLaneDrained
+    "health_transition",  // kHealthTransition
+    "failover_retry",   // kFailoverRetry
+};
+static_assert(sizeof(kEventTypeNames) / sizeof(kEventTypeNames[0]) ==
+                  kLastFlightEventType + 1,
+              "event name table out of sync with FlightEventType");
+
+/// Crash banner, preformatted at recorder construction so the signal
+/// handler only ever write(2)s static memory.
+char g_crash_banner[512];
+
+std::atomic<bool> g_crash_handler_installed{false};
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe output: write(2) plus hand-rolled decimal/hex
+// formatting into stack buffers. No stdio, no allocation, no locks.
+// ---------------------------------------------------------------------------
+
+void write_all(int fd, const char* data, size_t len) {
+  while (len > 0) {
+    const ssize_t n = ::write(fd, data, len);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      return;  // a failing postmortem write has nowhere to report
+    }
+    data += n;
+    len -= static_cast<size_t>(n);
+  }
+}
+
+/// Bounded append of a C string into buf; returns the new cursor.
+size_t append_str(char* buf, size_t cap, size_t pos, const char* s) {
+  while (*s != '\0' && pos + 1 < cap) buf[pos++] = *s++;
+  return pos;
+}
+
+size_t append_u64(char* buf, size_t cap, size_t pos, uint64_t v) {
+  char digits[20];
+  size_t n = 0;
+  do {
+    digits[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  while (n > 0 && pos + 1 < cap) buf[pos++] = digits[--n];
+  return pos;
+}
+
+size_t append_hex64(char* buf, size_t cap, size_t pos, uint64_t v) {
+  static const char* kHex = "0123456789abcdef";
+  pos = append_str(buf, cap, pos, "0x");
+  bool started = false;
+  for (int shift = 60; shift >= 0; shift -= 4) {
+    const unsigned nibble = (v >> shift) & 0xF;
+    if (!started && nibble == 0 && shift != 0) continue;
+    started = true;
+    if (pos + 1 < cap) buf[pos++] = kHex[nibble];
+  }
+  return pos;
+}
+
+extern "C" void fqbert_crash_signal_handler(int sig) {
+  FlightRecorder::instance().dump_to_fd(STDERR_FILENO);
+  // SA_RESETHAND restored the default disposition when we entered, so
+  // re-raising terminates with the original signal (core dump intact).
+  ::raise(sig);
+}
+
+}  // namespace
+
+const char* flight_event_type_name(FlightEventType type) {
+  const uint8_t t = static_cast<uint8_t>(type);
+  return t <= kLastFlightEventType ? kEventTypeNames[t] : "unknown";
+}
+
+uint64_t flight_now_ns() {
+  timespec ts{};
+  ::clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1000000000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+FlightRecorder::FlightRecorder() {
+  // Normal (non-signal) context: formatting with snprintf is fine, and
+  // the handler later only writes the finished buffer.
+  std::snprintf(g_crash_banner, sizeof(g_crash_banner),
+                "==== FQBERT FLIGHT RECORDER DUMP ====\nbuild: %s\n",
+                build_info_string().c_str());
+}
+
+FlightRecorder& FlightRecorder::instance() {
+  // Leaked on purpose: the journal must outlive every other static so
+  // crash dumps during teardown still work.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+FlightRecorder::Ring* FlightRecorder::claim_ring() {
+  struct Handle {
+    Ring* ring = nullptr;
+    bool owns = false;
+    ~Handle() {
+      // Release for reuse; the events stay readable after the thread
+      // dies — a crashed worker's tail is exactly what a postmortem
+      // wants.
+      if (ring != nullptr && owns)
+        ring->claimed.store(false, std::memory_order_release);
+    }
+  };
+  thread_local Handle handle;
+  if (handle.ring != nullptr) return handle.ring;
+
+  MutexLock lock(claim_mu_);
+  const size_t n = num_rings_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    Ring* ring = rings_[i].load(std::memory_order_acquire);
+    bool expected = false;
+    if (ring != nullptr &&
+        ring->claimed.compare_exchange_strong(expected, true)) {
+      handle.ring = ring;
+      handle.owns = true;
+      return ring;
+    }
+  }
+  if (n < kMaxRings) {
+    Ring* ring = new Ring();  // never freed; registry is append-only
+    ring->claimed.store(true, std::memory_order_relaxed);
+    rings_[n].store(ring, std::memory_order_release);
+    num_rings_.store(n + 1, std::memory_order_release);
+    handle.ring = ring;
+    handle.owns = true;
+    return ring;
+  }
+  // More live threads than kMaxRings: share ring 0. Contended but
+  // correct (every append locks), and far beyond any real deployment.
+  handle.ring = rings_[0].load(std::memory_order_acquire);
+  handle.owns = false;
+  return handle.ring;
+}
+
+void FlightRecorder::record(FlightEventType type, std::string_view tag,
+                            uint64_t trace_id, uint8_t tier, uint16_t detail,
+                            uint32_t a, uint64_t b) {
+  if (!enabled_.load(std::memory_order_relaxed)) return;
+  Ring* ring = claim_ring();
+  FlightEvent ev;
+  ev.t_ns = flight_now_ns();
+  ev.trace_id = trace_id;
+  ev.type = static_cast<uint8_t>(type);
+  ev.tier = tier;
+  ev.detail = detail;
+  ev.a = a;
+  ev.b = b;
+  const size_t n = std::min(tag.size(), sizeof(ev.tag) - 1);
+  // lint-wire: bounded copy into the journal slot's tag, no wire data
+  std::memcpy(ev.tag, tag.data(), n);
+  ev.tag[n] = '\0';
+
+  MutexLock lock(ring->mu);
+  const uint64_t seq = ring->seq.load(std::memory_order_relaxed);
+  ring->slots[seq % kRingCapacity] = ev;
+  ring->seq.store(seq + 1, std::memory_order_release);
+}
+
+void FlightRecorder::copy_ring(const Ring& ring, uint64_t since_ns,
+                               std::vector<FlightEvent>* out) const {
+  MutexLock lock(ring.mu);
+  const uint64_t seq = ring.seq.load(std::memory_order_relaxed);
+  const size_t count = static_cast<size_t>(
+      std::min<uint64_t>(seq, kRingCapacity));
+  for (size_t i = 0; i < count; ++i) {
+    const FlightEvent& ev =
+        ring.slots[(seq - count + i) % kRingCapacity];
+    if (ev.t_ns >= since_ns) out->push_back(ev);
+  }
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot(uint64_t since_ns,
+                                                  size_t max_events) const {
+  std::vector<FlightEvent> events;
+  const size_t n = num_rings_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring != nullptr) copy_ring(*ring, since_ns, &events);
+  }
+  std::stable_sort(events.begin(), events.end(),
+                   [](const FlightEvent& x, const FlightEvent& y) {
+                     return x.t_ns < y.t_ns;
+                   });
+  if (max_events > 0 && events.size() > max_events)
+    events.erase(events.begin(),
+                 events.end() - static_cast<ptrdiff_t>(max_events));
+  return events;
+}
+
+bool FlightRecorder::slow_candidate(int64_t latency_us) const {
+  if (!enabled_.load(std::memory_order_relaxed)) return false;
+  if (latency_us < slow_threshold_us_.load(std::memory_order_relaxed))
+    return false;
+  return latency_us >= slow_floor_us_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::note_slow(const std::string& model, uint8_t tier,
+                               uint64_t trace_id, int64_t latency_us,
+                               std::vector<TraceEvent> stages) {
+  if (latency_us < slow_threshold_us_.load(std::memory_order_relaxed))
+    return;
+  MutexLock lock(slow_mu_);
+  if (slow_.size() >= kSlowK) {
+    if (latency_us <= slow_.back().latency_us) return;
+    slow_.pop_back();
+  }
+  SlowExemplar ex;
+  ex.trace_id = trace_id;
+  ex.latency_us = latency_us;
+  ex.tier = tier;
+  ex.model = model;
+  ex.stages = std::move(stages);
+  const auto pos = std::upper_bound(
+      slow_.begin(), slow_.end(), latency_us,
+      [](int64_t v, const SlowExemplar& e) { return v > e.latency_us; });
+  slow_.insert(pos, std::move(ex));
+  if (slow_.size() >= kSlowK)
+    slow_floor_us_.store(slow_.back().latency_us,
+                         std::memory_order_relaxed);
+}
+
+std::vector<SlowExemplar> FlightRecorder::slow_exemplars() const {
+  MutexLock lock(slow_mu_);
+  return slow_;
+}
+
+void FlightRecorder::set_slow_threshold_us(int64_t threshold_us) {
+  slow_threshold_us_.store(threshold_us, std::memory_order_relaxed);
+}
+
+int64_t FlightRecorder::slow_threshold_us() const {
+  return slow_threshold_us_.load(std::memory_order_relaxed);
+}
+
+void FlightRecorder::clear_slow_exemplars() {
+  MutexLock lock(slow_mu_);
+  slow_.clear();
+  slow_floor_us_.store(0, std::memory_order_relaxed);
+}
+
+void FlightRecorder::install_crash_handler() {
+  bool expected = false;
+  if (!g_crash_handler_installed.compare_exchange_strong(expected, true))
+    return;
+  struct sigaction sa{};
+  sa.sa_handler = &fqbert_crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  // One shot: the disposition resets to default on entry, so the
+  // re-raise inside the handler terminates instead of recursing.
+  sa.sa_flags = SA_RESETHAND;
+  ::sigaction(SIGSEGV, &sa, nullptr);
+  ::sigaction(SIGABRT, &sa, nullptr);
+  ::sigaction(SIGBUS, &sa, nullptr);
+}
+
+void FlightRecorder::dump_ring_unlocked(const Ring& ring, int fd,
+                                        size_t max_per_ring) const {
+  const uint64_t seq = ring.seq.load(std::memory_order_acquire);
+  const size_t held = static_cast<size_t>(
+      std::min<uint64_t>(seq, kRingCapacity));
+  const size_t count = std::min(held, max_per_ring);
+  for (size_t i = 0; i < count; ++i) {
+    const FlightEvent& ev =
+        ring.slots[(seq - count + i) % kRingCapacity];
+    char line[256];
+    size_t pos = 0;
+    pos = append_str(line, sizeof(line), pos, "  t_ns=");
+    pos = append_u64(line, sizeof(line), pos, ev.t_ns);
+    pos = append_str(line, sizeof(line), pos, " type=");
+    pos = append_str(line, sizeof(line), pos,
+                     flight_event_type_name(
+                         static_cast<FlightEventType>(ev.type)));
+    pos = append_str(line, sizeof(line), pos, " tag=");
+    pos = append_str(line, sizeof(line), pos, ev.tag);
+    pos = append_str(line, sizeof(line), pos, " tier=");
+    pos = append_u64(line, sizeof(line), pos, ev.tier);
+    pos = append_str(line, sizeof(line), pos, " trace=");
+    pos = append_hex64(line, sizeof(line), pos, ev.trace_id);
+    pos = append_str(line, sizeof(line), pos, " detail=");
+    pos = append_u64(line, sizeof(line), pos, ev.detail);
+    pos = append_str(line, sizeof(line), pos, " a=");
+    pos = append_u64(line, sizeof(line), pos, ev.a);
+    pos = append_str(line, sizeof(line), pos, " b=");
+    pos = append_u64(line, sizeof(line), pos, ev.b);
+    pos = append_str(line, sizeof(line), pos, "\n");
+    write_all(fd, line, pos);
+  }
+}
+
+void FlightRecorder::dump_to_fd(int fd, size_t max_per_ring) const {
+  write_all(fd, g_crash_banner, std::strlen(g_crash_banner));
+  const size_t n = num_rings_.load(std::memory_order_acquire);
+  for (size_t i = 0; i < n; ++i) {
+    const Ring* ring = rings_[i].load(std::memory_order_acquire);
+    if (ring == nullptr) continue;
+    char head[64];
+    size_t pos = 0;
+    pos = append_str(head, sizeof(head), pos, "ring ");
+    pos = append_u64(head, sizeof(head), pos, i);
+    pos = append_str(head, sizeof(head), pos, " events=");
+    pos = append_u64(head, sizeof(head), pos,
+                     ring->seq.load(std::memory_order_acquire));
+    pos = append_str(head, sizeof(head), pos, ":\n");
+    write_all(fd, head, pos);
+    dump_ring_unlocked(*ring, fd, max_per_ring);
+  }
+  const char* tail = "==== END FLIGHT RECORDER DUMP ====\n";
+  write_all(fd, tail, std::strlen(tail));
+}
+
+}  // namespace fqbert::serve

@@ -16,6 +16,7 @@ struct ClientTally {
   uint64_t sent = 0, ok = 0, rejected = 0, timed_out = 0, failed = 0;
   QuantileSketch latency_us;
   std::vector<TraceSample> traces;
+  std::vector<RequestRecord> records;
 
   void count(RequestStatus status, int64_t wall_us) {
     switch (status) {
@@ -45,6 +46,9 @@ struct ClientTally {
     report.traces.insert(report.traces.end(),
                          std::make_move_iterator(traces.begin()),
                          std::make_move_iterator(traces.end()));
+    report.records.insert(report.records.end(),
+                          std::make_move_iterator(records.begin()),
+                          std::make_move_iterator(records.end()));
   }
 };
 
@@ -101,8 +105,12 @@ LoadgenReport run_loadgen(InferenceServer& server,
         const TimePoint sent_at = Clock::now();
         auto fut = server.submit(std::move(ex), cfg.deadline_budget);
         ++tally.sent;
-        const RequestStatus status = fut.get().status;  // closed loop
-        tally.count(status, us_since(sent_at));
+        const ServeResponse resp = fut.get();  // closed loop
+        const int64_t wall = us_since(sent_at);
+        tally.count(resp.status, wall);
+        if (cfg.collect_records)
+          tally.records.push_back(
+              {resp.trace_id, "", resp.tier, resp.status, wall, resp.trace});
       }
       tally.merge_into(report, report_mu);
     });
@@ -145,6 +153,9 @@ LoadgenReport run_loadgen_remote(
                       0, static_cast<int64_t>(models.size()) - 1))];
         if (!client.connected() && !client.connect(host, port)) {
           ++tally.failed;
+          if (cfg.collect_records)
+            tally.records.push_back({0, target.name, target.tier,
+                                     RequestStatus::kEngineError, 0, {}});
           continue;
         }
         const nn::Example ex =
@@ -163,12 +174,20 @@ LoadgenReport run_loadgen_remote(
           // Transport failure; the client closed itself and the next
           // iteration reconnects.
           ++tally.failed;
+          if (cfg.collect_records)
+            tally.records.push_back({trace_id, target.name, target.tier,
+                                     RequestStatus::kEngineError,
+                                     us_since(sent_at),
+                                     {}});
           continue;
         }
         const int64_t wall = us_since(sent_at);
         tally.count(resp->status, wall);
         if (traced && resp->trace_id != 0 && !resp->trace.empty())
           tally.traces.push_back({resp->trace_id, wall, resp->trace});
+        if (cfg.collect_records)
+          tally.records.push_back({resp->trace_id, target.name, resp->tier,
+                                   resp->status, wall, resp->trace});
       }
       tally.merge_into(report, report_mu);
     });

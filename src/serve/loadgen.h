@@ -24,6 +24,10 @@ struct LoadgenConfig {
   /// rides the v3 frame; the response's per-stage timestamps land in
   /// LoadgenReport::traces). 0 disables sampling.
   int trace_every = 0;
+  /// Keep one RequestRecord per request in LoadgenReport::records (the
+  /// `--latency-csv` feed). Off by default: a long run's rows would
+  /// otherwise grow the report unboundedly for nothing.
+  bool collect_records = false;
 };
 
 /// One sampled end-to-end trace: the id, the client-observed wall
@@ -34,6 +38,19 @@ struct LoadgenConfig {
 struct TraceSample {
   uint64_t trace_id = 0;
   int64_t wall_us = 0;
+  std::vector<TraceEvent> stages;
+};
+
+/// One per-request row (collect_records): identity, outcome, wall
+/// latency, and — when the request rode a trace id — its per-stage
+/// timestamps. A transport-level failure records kEngineError with no
+/// stages.
+struct RequestRecord {
+  uint64_t trace_id = 0;
+  std::string model;  // "" = the server's default model
+  uint8_t tier = 0;
+  RequestStatus status = RequestStatus::kOk;
+  int64_t latency_us = 0;
   std::vector<TraceEvent> stages;
 };
 
@@ -50,6 +67,9 @@ struct LoadgenReport {
   QuantileSketch latency_us;
   /// Sampled traces (trace_every > 0, remote runs only).
   std::vector<TraceSample> traces;
+  /// Every request's row (collect_records only), client order within a
+  /// thread, threads interleaved by completion.
+  std::vector<RequestRecord> records;
 
   double throughput_rps() const {
     return wall_s > 0.0 ? static_cast<double>(ok) / wall_s : 0.0;

@@ -7,9 +7,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <utility>
 
 namespace fqbert::serve {
 
@@ -17,14 +20,6 @@ namespace {
 
 /// Poll tick for the accept loop: how quickly stop() is observed.
 constexpr int kLoopTickMs = 100;
-
-/// Whole-request read budget. A scraper sends its GET in one segment;
-/// anything that takes longer is not a scraper.
-constexpr int kRequestTimeoutMs = 2000;
-
-/// Request size cap: a metrics GET fits in a fraction of this, and the
-/// endpoint must not buffer an unbounded request body.
-constexpr size_t kMaxRequestBytes = 8 * 1024;
 
 bool send_all(int fd, const std::string& bytes) {
   size_t sent = 0;
@@ -60,6 +55,12 @@ std::string http_response(const char* status_line, const char* content_type,
 
 MetricsHttpServer::MetricsHttpServer(Renderer renderer)
     : renderer_(std::move(renderer)) {}
+
+void MetricsHttpServer::add_endpoint(const std::string& path,
+                                     Handler handler,
+                                     const std::string& content_type) {
+  endpoints_[path] = Endpoint{std::move(handler), content_type};
+}
 
 MetricsHttpServer::~MetricsHttpServer() { stop(); }
 
@@ -128,15 +129,32 @@ void MetricsHttpServer::serve_loop() {
 void MetricsHttpServer::handle_connection(int fd) {
   // Read until the end of the request head (blank line), a bound, or
   // the deadline. The body, if a client sends one, is ignored: the
-  // response is written and the connection closed regardless.
+  // response is written and the connection closed regardless. The
+  // deadline is ABSOLUTE for the whole read — a slow-loris client
+  // trickling one byte per poll cannot reset it.
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(limits_.request_deadline_ms);
   std::string req;
   char buf[2048];
   while (req.find("\r\n\r\n") == std::string::npos &&
          req.find("\n\n") == std::string::npos) {
-    if (req.size() >= kMaxRequestBytes || stopping_) return;
+    if (req.size() >= limits_.max_request_bytes || stopping_) return;
+    // An over-long request LINE is dropped as soon as it exceeds its
+    // own cap, long before the head cap.
+    if (req.find_first_of("\r\n") == std::string::npos &&
+        req.size() > limits_.max_request_line)
+      return;
+    const auto remaining = std::chrono::duration_cast<
+        std::chrono::milliseconds>(deadline - std::chrono::steady_clock::now())
+        .count();
+    if (remaining <= 0) return;
     pollfd pfd{fd, POLLIN, 0};
-    const int ready = ::poll(&pfd, 1, kRequestTimeoutMs);
-    if (ready <= 0) return;
+    const int ready = ::poll(
+        &pfd, 1,
+        static_cast<int>(std::min<long long>(remaining, kLoopTickMs)));
+    if (ready < 0 && errno != EINTR) return;
+    if (ready <= 0) continue;  // tick: re-check deadline and stopping_
     const ssize_t n = ::recv(fd, buf, sizeof(buf), 0);
     if (n == 0) break;
     if (n < 0) {
@@ -150,6 +168,7 @@ void MetricsHttpServer::handle_connection(int fd) {
   // full line is a hangup mid-request: no answer owed.
   const size_t eol = req.find_first_of("\r\n");
   if (eol == std::string::npos) return;
+  if (eol > limits_.max_request_line) return;
   const std::string line = req.substr(0, eol);
   const size_t sp1 = line.find(' ');
   const size_t sp2 = sp1 == std::string::npos ? std::string::npos
@@ -161,21 +180,32 @@ void MetricsHttpServer::handle_connection(int fd) {
   }
   const std::string method = line.substr(0, sp1);
   std::string path = line.substr(sp1 + 1, sp2 - sp1 - 1);
-  const size_t query = path.find('?');
-  if (query != std::string::npos) path.resize(query);
+  std::string query;
+  const size_t qmark = path.find('?');
+  if (qmark != std::string::npos) {
+    query = path.substr(qmark + 1);
+    path.resize(qmark);
+  }
 
   if (method != "GET") {
     send_all(fd, http_response("405 Method Not Allowed", "text/plain",
                                "only GET is served here\n"));
     return;
   }
-  if (path != "/metrics") {
+  if (path == "/metrics") {
+    send_all(fd, http_response("200 OK", "text/plain; version=0.0.4",
+                               renderer_ ? renderer_() : std::string()));
+    return;
+  }
+  const auto it = endpoints_.find(path);
+  if (it == endpoints_.end()) {
     send_all(fd, http_response("404 Not Found", "text/plain",
                                "try /metrics\n"));
     return;
   }
-  send_all(fd, http_response("200 OK", "text/plain; version=0.0.4",
-                             renderer_ ? renderer_() : std::string()));
+  send_all(fd, http_response("200 OK", it->second.content_type.c_str(),
+                             it->second.handler ? it->second.handler(query)
+                                                : std::string()));
 }
 
 }  // namespace fqbert::serve

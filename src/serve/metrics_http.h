@@ -15,29 +15,63 @@
 // Scrapes are handled sequentially on the listener thread: a scrape is
 // rare (seconds apart) and cheap, so connection concurrency would buy
 // nothing and cost thread management. A slow-loris client cannot wedge
-// the endpoint: request reads are bounded by a short deadline and a
-// small size cap, after which the connection is dropped.
+// the endpoint: the WHOLE request read is bounded by one absolute
+// deadline (trickling bytes does not reset it), the request head by a
+// size cap, and the request line by its own tighter cap — any breach
+// drops the connection.
+//
+// Beyond /metrics, extra GET endpoints (the /debug introspection
+// plane) can be registered before start(): each maps a path to a
+// handler receiving the raw query string and returning the body.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <map>
 #include <string>
 #include <thread>
 
 namespace fqbert::serve {
+
+/// Read-side hardening knobs for the HTTP listener.
+struct HttpLimits {
+  /// Absolute budget for reading ONE whole request head, measured from
+  /// accept. A slow-loris client trickling bytes cannot extend it.
+  int request_deadline_ms = 2000;
+  /// Request-head size cap (the endpoint never buffers a body).
+  size_t max_request_bytes = 8 * 1024;
+  /// Tighter cap on the request LINE alone: a real scraper's GET line
+  /// is well under this, so an over-long line is dropped before the
+  /// head cap is anywhere near.
+  size_t max_request_line = 1024;
+};
 
 class MetricsHttpServer {
  public:
   /// Called once per successful scrape; returns the full exposition
   /// body. Must be safe to call from the listener thread.
   using Renderer = std::function<std::string()>;
+  /// Handler for an extra GET endpoint: receives the raw query string
+  /// (bytes after '?', empty when absent), returns the response body.
+  /// Must be safe to call from the listener thread.
+  using Handler = std::function<std::string(const std::string& query)>;
 
   explicit MetricsHttpServer(Renderer renderer);
   ~MetricsHttpServer();
 
   MetricsHttpServer(const MetricsHttpServer&) = delete;
   MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Register an extra GET endpoint (e.g. "/debug/events"). Call
+  /// before start() only — the routing table is read without a lock on
+  /// the listener thread.
+  void add_endpoint(const std::string& path, Handler handler,
+                    const std::string& content_type = "application/json");
+
+  /// Override the read-hardening limits. Call before start() only.
+  void set_limits(const HttpLimits& limits) { limits_ = limits; }
+  const HttpLimits& limits() const { return limits_; }
 
   /// Bind + listen + spawn the listener thread. Port 0 binds an
   /// ephemeral port (see port()). False with a message on stderr when
@@ -56,7 +90,15 @@ class MetricsHttpServer {
   /// malformed or slow client just loses its connection.
   void handle_connection(int fd);
 
+  struct Endpoint {
+    Handler handler;
+    std::string content_type;
+  };
+
   Renderer renderer_;
+  /// Immutable after start() (read lock-free by the listener thread).
+  std::map<std::string, Endpoint> endpoints_;
+  HttpLimits limits_;
   int listen_fd_ = -1;
   std::atomic<uint16_t> port_{0};
   std::atomic<bool> running_{false};

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "serve/build_info.h"
 #include "serve/router/model_router.h"
 #include "serve/shard/shard_proxy.h"
 
@@ -75,6 +76,21 @@ void sample_f64(std::string& out, const char* name, const std::string& labels,
 std::string model_label(const std::string& model, int tier) {
   return "model=\"" + escape_label(model) + "\",tier=\"" +
          std::to_string(tier) + "\"";
+}
+
+/// The build-identity gauge every exposition leads with: constant 1,
+/// all the identity in the labels — the standard Prometheus idiom for
+/// joining fleet metrics to a binary version.
+void render_build_info(std::string& out) {
+  head(out, "fqbert_build_info",
+       "Build identity of this binary (constant 1; identity in labels)",
+       "gauge");
+  sample_u64(out, "fqbert_build_info",
+             "version=\"" + escape_label(build_version()) + "\",git_sha=\"" +
+                 escape_label(build_git_sha()) + "\",compiler=\"" +
+                 escape_label(build_compiler()) + "\",sanitizer=\"" +
+                 escape_label(build_sanitizer()) + "\"",
+             1);
 }
 
 /// The per-(model, tier) serve families shared by the router renderer
@@ -160,6 +176,7 @@ void render_model_reports(std::string& out,
 std::string render_router_metrics(const ModelRouter& router) {
   std::string out;
   out.reserve(4096);
+  render_build_info(out);
   render_model_reports(out, router.all_stats());
 
   head(out, "fqbert_queue_depth",
@@ -191,6 +208,7 @@ std::string render_router_metrics(const ModelRouter& router) {
 std::string render_proxy_metrics(shard::ShardProxy& proxy) {
   std::string out;
   out.reserve(4096);
+  render_build_info(out);
 
   const auto c = proxy.counters();
   static constexpr const char* kHelp =

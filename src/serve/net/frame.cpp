@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "serve/flight_recorder.h"
+
 namespace fqbert::serve::net {
 
 namespace {
@@ -436,6 +438,44 @@ bool decode_stats_response(const uint8_t* payload, size_t len,
   return c.done();
 }
 
+bool decode_dump_events(const uint8_t* payload, size_t len,
+                        uint64_t* since_ns, uint32_t* max_events) {
+  Cursor c{payload, len};
+  *since_ns = c.take_u64();
+  *max_events = c.take_u32();
+  if (!c.ok || *max_events > kMaxDumpEvents) return false;
+  return c.done();
+}
+
+bool decode_event_dump(const uint8_t* payload, size_t len,
+                       std::vector<WireEvent>* events) {
+  Cursor c{payload, len};
+  const uint32_t count = c.take_u32();
+  if (!c.ok || count > kMaxDumpEvents) return false;
+  // A-priori size floor (fixed fields + the 2-byte tag length each) so
+  // a lying count cannot trigger a large reserve before the per-event
+  // reads fail.
+  if (len - c.pos < static_cast<size_t>(count) * 34) return false;
+  events->clear();
+  events->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireEvent ev;
+    ev.t_ns = c.take_u64();
+    ev.trace_id = c.take_u64();
+    ev.type = c.take_u8();
+    ev.tier = c.take_u8();
+    ev.detail = c.take_u16();
+    ev.a = c.take_u32();
+    ev.b = c.take_u64();
+    if (!c.ok || ev.type > kLastFlightEventType ||
+        !wire_tier_valid(ev.tier))
+      return false;
+    if (!c.take_str(&ev.tag, kMaxNameLen)) return false;
+    events->push_back(std::move(ev));
+  }
+  return c.done();
+}
+
 bool peek_serve_request(const uint8_t* payload, size_t len, uint8_t version,
                         uint64_t* correlation_id, uint64_t* trace_id,
                         uint8_t* tier, std::string* model) {
@@ -717,6 +757,38 @@ void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
       put_i32(out, index);
       put_u64(out, cnt);
     }
+  }
+  end_frame(out, start);
+}
+
+void encode_dump_events(uint64_t since_ns, uint32_t max_events,
+                        std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kDumpEvents, std::max<uint8_t>(version, 2));
+  put_u64(out, since_ns);
+  put_u32(out, std::min(max_events, kMaxDumpEvents));
+  end_frame(out, start);
+}
+
+void encode_event_dump(const std::vector<WireEvent>& events,
+                       std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kEventDump, std::max<uint8_t>(version, 2));
+  // Keep the MOST RECENT kMaxDumpEvents when over the cap: the tail of
+  // the journal is the part a postmortem wants.
+  const size_t count = std::min<size_t>(events.size(), kMaxDumpEvents);
+  const size_t first = events.size() - count;
+  put_u32(out, static_cast<uint32_t>(count));
+  for (size_t i = first; i < events.size(); ++i) {
+    const WireEvent& ev = events[i];
+    put_u64(out, ev.t_ns);
+    put_u64(out, ev.trace_id);
+    put_u8(out, ev.type);
+    put_u8(out, ev.tier);
+    put_u16(out, ev.detail);
+    put_u32(out, ev.a);
+    put_u64(out, ev.b);
+    put_str(out, ev.tag, kMaxNameLen);
   }
   end_frame(out, start);
 }

@@ -52,6 +52,12 @@
 // working against a v4 server (they simply always ride the default
 // tier).
 //
+// The flight-recorder control pair (types 12/13) rides the v2+ control
+// plane like LOAD/UNLOAD/STATS: kDumpEvents asks for the server's
+// journal tail, kEventDump answers with typed binary events (a proxy
+// fans the request out and merges backend journals with its own —
+// timestamps are CLOCK_MONOTONIC so same-host merges order correctly).
+//
 // Strings on the wire are u16 length + raw bytes (no terminator), with
 // per-field caps (kMaxNameLen / kMaxPathLen / kMaxMessageLen).
 //
@@ -116,6 +122,15 @@
 //                                    u64 zero_count, i64 max_us,
 //                                    u32 num_buckets (<= kMaxSketchBuckets),
 //                                    num_buckets x (i32 index, u64 count)]
+//   kDumpEvents    (client->server)  u64 since_ns (0 = everything),
+//                                    u32 max_events (0 = server default,
+//                                    capped at kMaxDumpEvents)   [v2]
+//   kEventDump     (server->client)  u32 count (<= kMaxDumpEvents),
+//                                    count x (u64 t_ns, u64 trace_id,
+//                                    u8 type (a FlightEventType),
+//                                    u8 tier (wire_tier_valid),
+//                                    u16 detail, u32 a, u64 b,
+//                                    str tag (<= kMaxNameLen))    [v2]
 #pragma once
 
 #include <cstdint>
@@ -153,6 +168,9 @@ inline constexpr uint32_t kMaxTraceStages = 64;
 /// Sketch buckets per stats response. With the default 1% relative
 /// error the full int64 microsecond range spans ~2200 buckets.
 inline constexpr uint32_t kMaxSketchBuckets = 4096;
+/// Journal events per kEventDump frame. 4096 events at ~40 bytes each
+/// stays well inside kMaxPayload even with full-length tags.
+inline constexpr uint32_t kMaxDumpEvents = 4096;
 
 /// A tier on the wire: u8 weight_bits, 0 = the model's default tier.
 /// Anything outside {0, 2..8} is a decode error — it can only come
@@ -175,11 +193,13 @@ enum class FrameType : uint8_t {
   kAdminResponse = 9,
   kModelList = 10,
   kStatsResponse = 11,
+  kDumpEvents = 12,
+  kEventDump = 13,
 };
 inline constexpr uint8_t kLastV1FrameType =
     static_cast<uint8_t>(FrameType::kServeResponse);
 inline constexpr uint8_t kLastFrameType =
-    static_cast<uint8_t>(FrameType::kStatsResponse);
+    static_cast<uint8_t>(FrameType::kEventDump);
 
 struct FrameHeader {
   uint8_t version = kProtocolVersion;
@@ -229,6 +249,20 @@ struct WireModelEntry {
   uint8_t tier = 0;
 };
 
+/// One flight-recorder journal entry on the wire (kEventDump). Field
+/// meanings mirror serve::FlightEvent; `type` is validated against
+/// kLastFlightEventType on decode.
+struct WireEvent {
+  uint64_t t_ns = 0;
+  uint64_t trace_id = 0;
+  uint8_t type = 0;
+  uint8_t tier = 0;
+  uint16_t detail = 0;
+  uint32_t a = 0;
+  uint64_t b = 0;
+  std::string tag;
+};
+
 enum class DecodeStatus {
   kNeedMore,  // not enough bytes yet; read more and retry
   kFrame,     // a complete, valid frame is available
@@ -264,6 +298,10 @@ bool decode_model_list(const uint8_t* payload, size_t len, uint8_t version,
                        std::vector<WireModelEntry>* entries);
 bool decode_stats_response(const uint8_t* payload, size_t len,
                            uint8_t version, WireStats* out);
+bool decode_dump_events(const uint8_t* payload, size_t len,
+                        uint64_t* since_ns, uint32_t* max_events);
+bool decode_event_dump(const uint8_t* payload, size_t len,
+                       std::vector<WireEvent>* events);
 
 // ---------------------------------------------------------------------------
 // Shallow forwarding helpers (shard proxy). A routing proxy needs the
@@ -361,5 +399,13 @@ void encode_model_list(const std::vector<WireModelEntry>& entries,
                        uint8_t version = kProtocolVersion);
 void encode_stats_response(const WireStats& stats, std::vector<uint8_t>& out,
                            uint8_t version = kProtocolVersion);
+void encode_dump_events(uint64_t since_ns, uint32_t max_events,
+                        std::vector<uint8_t>& out,
+                        uint8_t version = kProtocolVersion);
+/// Truncates at kMaxDumpEvents (mirroring the decoder's cap, like
+/// encode_model_list).
+void encode_event_dump(const std::vector<WireEvent>& events,
+                       std::vector<uint8_t>& out,
+                       uint8_t version = kProtocolVersion);
 
 }  // namespace fqbert::serve::net

@@ -444,4 +444,22 @@ std::optional<WireStats> TransportClient::query_stats(
   return stats;
 }
 
+std::optional<std::vector<WireEvent>> TransportClient::dump_events(
+    uint64_t since_ns, uint32_t max_events) {
+  if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
+  std::vector<uint8_t> frame;
+  encode_dump_events(since_ns, max_events, frame, version_);
+  if (!send_all(frame)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  std::string admin_failure;
+  if (!recv_expected(FrameType::kEventDump, payload, &admin_failure))
+    return std::nullopt;
+  std::vector<WireEvent> events;
+  if (!decode_event_dump(payload.data(), payload.size(), &events)) {
+    fail(ClientError::kProtocol, "malformed event dump from server");
+    return std::nullopt;
+  }
+  return events;
+}
+
 }  // namespace fqbert::serve::net

@@ -133,6 +133,13 @@ class TransportClient {
   /// tier, nonzero = that tier's lane on a v4 connection).
   std::optional<WireStats> query_stats(const std::string& model = "",
                                        uint8_t tier = 0);
+  /// Pull the server's flight-recorder journal: events with timestamp
+  /// > `since_ns` (0 = everything retained), newest-biased, at most
+  /// `max_events` rows (0 = the server's default cap). Through a proxy
+  /// this fans out and merges every backend's journal with the proxy's
+  /// own.
+  std::optional<std::vector<WireEvent>> dump_events(uint64_t since_ns = 0,
+                                                    uint32_t max_events = 0);
 
   // -------------------------------------------------------------------
   // Raw frame I/O (shard proxy forwarding path): ship pre-encoded frame

@@ -14,6 +14,9 @@
 #include <cstring>
 #include <utility>
 
+#include "serve/debug_text.h"
+#include "serve/flight_recorder.h"
+
 namespace fqbert::serve::net {
 
 namespace {
@@ -513,11 +516,30 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
         ++counters_.frames_out;
         break;
       }
+      case FrameType::kDumpEvents: {
+        // Flight-recorder dump: answered inline like LIST/STATS — the
+        // snapshot is lock-light and never touches the data plane.
+        uint64_t since_ns = 0;
+        uint32_t max_events = 0;
+        if (hdr.version < 2 ||
+            !decode_dump_events(payload, hdr.payload_len, &since_ns,
+                                &max_events)) {
+          ok = false;
+          break;
+        }
+        encode_event_dump(
+            wire_events(FlightRecorder::instance(), since_ns, max_events),
+            conn.out, hdr.version);
+        MutexLock lock(counters_mu_);
+        ++counters_.frames_out;
+        break;
+      }
       case FrameType::kInfoResponse:
       case FrameType::kServeResponse:
       case FrameType::kAdminResponse:
       case FrameType::kModelList:
       case FrameType::kStatsResponse:
+      case FrameType::kEventDump:
         ok = false;  // server-bound streams must not carry responses
         break;
     }

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <chrono>
 
+#include "serve/flight_recorder.h"
+
 namespace fqbert::serve {
 
 namespace {
@@ -77,6 +79,9 @@ bool ModelRouter::insert_lane(
     const std::string& name, int bits,
     std::shared_ptr<const core::FqBertModel> engine, std::string* error) {
   auto lane = std::make_shared<Lane>(name, bits, std::move(engine), cfg_);
+  // Stamp the lane identity on its batcher BEFORE publication so every
+  // kBatchFormed / kRequestTimedOut journal entry names its lane.
+  lane->batcher.set_event_tag(name, static_cast<uint8_t>(bits));
   {
     MutexLock lock(lanes_mu_);
     if (!accepting_lanes_) {
@@ -92,6 +97,8 @@ bool ModelRouter::insert_lane(
     default_tier_.emplace(name, bits);  // no-op when the model has lanes
     lanes_.emplace(key, std::move(lane));
   }
+  FlightRecorder::instance().record(FlightEventType::kModelLoaded, name, 0,
+                                    static_cast<uint8_t>(bits));
   wake_workers();  // workers must start polling the new lane
   return true;
 }
@@ -210,6 +217,7 @@ void ModelRouter::retire_lane(const std::shared_ptr<Lane>& lane) {
   lane->closing = true;
   lane->queue.close();
   wake_workers();
+  const uint64_t drain_start_ns = flight_now_ns();
 
   if (running()) {
     // Drain: other lanes keep serving — only this caller blocks. The
@@ -243,6 +251,12 @@ void ModelRouter::retire_lane(const std::shared_ptr<Lane>& lane) {
       }
     }
   }
+  FlightRecorder& recorder = FlightRecorder::instance();
+  recorder.record(FlightEventType::kLaneDrained, lane->name, 0,
+                  static_cast<uint8_t>(lane->tier), 0, 0,
+                  (flight_now_ns() - drain_start_ns) / 1000);
+  recorder.record(FlightEventType::kModelUnloaded, lane->name, 0,
+                  static_cast<uint8_t>(lane->tier));
 }
 
 bool ModelRouter::unload_model(const std::string& name, std::string* error,
@@ -314,11 +328,29 @@ std::future<ServeResponse> ModelRouter::submit(
   resp.request_id = req.id;
   resp.trace_id = trace_id;
   resp.tier = lane ? static_cast<uint8_t>(lane->tier) : 0;
+  FlightRecorder& recorder = FlightRecorder::instance();
   switch (result) {
-    case AdmitResult::kOk:
+    case AdmitResult::kOk: {
       lane->stats.record_admitted();
+      // Journal the admission with the observed backlog, and ratchet
+      // the lane's lifetime high-watermark (CAS max) — a new maximum
+      // gets its own event so saturation onset is timestamped.
+      const size_t depth = lane->queue.size();
+      recorder.record(FlightEventType::kRequestAdmitted, lane->name,
+                      trace_id, req.tier, 0,
+                      static_cast<uint32_t>(depth));
+      size_t hwm = lane->depth_high_watermark.load(std::memory_order_relaxed);
+      while (depth > hwm) {
+        if (lane->depth_high_watermark.compare_exchange_weak(
+                hwm, depth, std::memory_order_relaxed)) {
+          recorder.record(FlightEventType::kQueueHighWatermark, lane->name,
+                          trace_id, req.tier, 0, 0, depth);
+          break;
+        }
+      }
       wake_workers();
       return fut;
+    }
     case AdmitResult::kQueueFull:
       lane->stats.record_rejected_full();
       resp.status = RequestStatus::kRejectedQueueFull;
@@ -344,6 +376,9 @@ std::future<ServeResponse> ModelRouter::submit(
       resp.status = RequestStatus::kRejectedUnknownTier;
       break;
   }
+  recorder.record(FlightEventType::kRequestRejected,
+                  lane ? lane->name : model, trace_id, resp.tier,
+                  static_cast<uint16_t>(resp.status));
   req.promise.set_value(std::move(resp));
   return fut;
 }
@@ -372,7 +407,7 @@ void ModelRouter::worker_loop(size_t worker_index) {
       const DynamicBatcher::Poll poll =
           lane.batcher.poll_batch(batch, &lane_flush);
       if (poll == DynamicBatcher::Poll::kBatch) {
-        execute_batch(*lane.engine, lane.stats, batch);
+        execute_batch(*lane.engine, lane.stats, batch, lane.name);
         executed = true;
       }
       lane.inflight.fetch_sub(1);
@@ -485,8 +520,11 @@ std::vector<ModelRouter::LaneDepth> ModelRouter::queue_depths() const {
   std::vector<LaneDepth> out;
   out.reserve(lanes.size());
   for (const auto& lane : lanes)
-    out.push_back(LaneDepth{lane->name, lane->tier,
-                            lane->queue.size() + lane->batcher.pending()});
+    out.push_back(LaneDepth{
+        lane->name, lane->tier,
+        lane->queue.size() + lane->batcher.pending(),
+        lane->inflight.load(),
+        lane->depth_high_watermark.load(std::memory_order_relaxed)});
   return out;
 }
 

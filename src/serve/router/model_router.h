@@ -79,6 +79,11 @@ class ModelRouter {
     std::string model;
     int tier = 0;
     size_t depth = 0;
+    /// Batches of this lane currently executing on workers.
+    int inflight = 0;
+    /// Lifetime maximum admission-queue depth observed at submit time
+    /// (the /debug/lanes saturation signal).
+    size_t high_watermark = 0;
   };
 
   explicit ModelRouter(EngineRegistry& registry, const RouterConfig& cfg = {});
@@ -214,6 +219,8 @@ class ModelRouter {
     /// == 0) can never be observed while a popped batch is unresolved.
     std::atomic<int> inflight{0};
     std::atomic<bool> closing{false};
+    /// Lifetime max queue depth seen at admission (monotone CAS max).
+    std::atomic<size_t> depth_high_watermark{0};
   };
   using LaneKey = std::pair<std::string, int>;
 

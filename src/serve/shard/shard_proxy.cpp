@@ -15,6 +15,9 @@
 #include <set>
 #include <utility>
 
+#include "serve/debug_text.h"
+#include "serve/flight_recorder.h"
+
 namespace fqbert::serve::shard {
 
 namespace {
@@ -247,6 +250,14 @@ ShardProxy::Counters ShardProxy::counters() const {
 
 void ShardProxy::note_outcome(Backend& backend, bool success,
                               bool health_probe) {
+  // Journal every state-machine edge (taken below, under backend.mu)
+  // with both endpoints packed into one detail byte: (from << 4) | to.
+  const auto journal_edge = [&backend](BackendState from, BackendState to) {
+    FlightRecorder::instance().record(
+        FlightEventType::kHealthTransition, backend.address, 0, 0,
+        static_cast<uint16_t>((static_cast<uint16_t>(from) << 4) |
+                              static_cast<uint16_t>(to)));
+  };
   MutexLock lock(backend.mu);
   if (success) {
     if (health_probe)
@@ -257,6 +268,7 @@ void ShardProxy::note_outcome(Backend& backend, bool success,
     ++backend.ok_streak;
     if (backend.state != BackendState::kHealthy &&
         backend.ok_streak >= cfg_.recover_after) {
+      journal_edge(backend.state, BackendState::kHealthy);
       backend.state = BackendState::kHealthy;
       ++backend.recoveries;
       ++health_transitions_;
@@ -270,11 +282,13 @@ void ShardProxy::note_outcome(Backend& backend, bool success,
     ++backend.fail_streak;
     if (backend.state == BackendState::kHealthy &&
         backend.fail_streak >= cfg_.suspect_after) {
+      journal_edge(backend.state, BackendState::kSuspect);
       backend.state = BackendState::kSuspect;
       ++health_transitions_;
     }
     if (backend.state != BackendState::kDown &&
         backend.fail_streak >= cfg_.down_after) {
+      journal_edge(backend.state, BackendState::kDown);
       backend.state = BackendState::kDown;
       ++health_transitions_;
     }
@@ -485,11 +499,14 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
           out);
       return send_to_client(fd, out);
     }
+    case net::FrameType::kDumpEvents:
+      return handle_dump_events(fd, hdr, payload, len);
     case net::FrameType::kInfoResponse:
     case net::FrameType::kServeResponse:
     case net::FrameType::kAdminResponse:
     case net::FrameType::kModelList:
     case net::FrameType::kStatsResponse:
+    case net::FrameType::kEventDump:
       ++protocol_errors_;  // proxy-bound streams must not carry responses
       return false;
   }
@@ -630,6 +647,13 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
 
   int attempts = 0;
   bool saw_unknown_tier = false;
+  // Each failed attempt is journaled so a failover reconstructs from
+  // `admin --events` alone: which backend, which attempt, which trace.
+  const auto journal_retry = [&](const Backend& backend) {
+    FlightRecorder::instance().record(
+        FlightEventType::kFailoverRetry, backend.address, trace_id, tier,
+        static_cast<uint16_t>(std::min(attempts, 0xFFFF)));
+  };
   std::vector<int64_t> forward_times;  // rel. to receipt, one per attempt
   for (Backend* backend : replicas) {
     if (stopping_) break;  // shutdown: fail terminal, don't keep trying
@@ -640,6 +664,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
                             &rhdr, rpayload)) {
       note_outcome(*backend, false, /*health_probe=*/false);
       ++attempts;
+      journal_retry(*backend);
       continue;
     }
     uint64_t rcorr = 0;
@@ -654,11 +679,13 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
       note_outcome(*backend, true, /*health_probe=*/false);
       saw_unknown_tier = true;
       ++attempts;
+      journal_retry(*backend);
       continue;
     }
     if (status_is_retryable(status)) {
       note_outcome(*backend, false, /*health_probe=*/false);
       ++attempts;
+      journal_retry(*backend);
       continue;
     }
     // A v3 response must carry a well-formed trailing trace section
@@ -865,6 +892,50 @@ std::vector<ShardProxy::TierStats> ShardProxy::aggregate_stats() {
     }
   }
   return out;
+}
+
+bool ShardProxy::handle_dump_events(int fd, const net::FrameHeader& hdr,
+                                    const uint8_t* payload, size_t len) {
+  uint64_t since_ns = 0;
+  uint32_t max_events = 0;
+  if (hdr.version < 2 ||
+      !net::decode_dump_events(payload, len, &since_ns, &max_events)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  // The fleet journal: this proxy's own events (health transitions,
+  // failover retries) merged with every reachable backend's dump. All
+  // journals stamp CLOCK_MONOTONIC of their own host — on one machine
+  // (the test and dev topology) the merged order is the true order;
+  // across machines rows still group correctly per process.
+  std::vector<net::WireEvent> merged =
+      wire_events(FlightRecorder::instance(), since_ns, max_events);
+  for (const auto& backend : backends_) {
+    if (backend_state(*backend) == BackendState::kDown) continue;
+    std::optional<std::vector<net::WireEvent>> events;
+    const bool transport_ok =
+        with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
+          events = conn->dump_events(since_ns, max_events);
+          return events.has_value();
+        });
+    note_outcome(*backend, transport_ok, /*health_probe=*/false);
+    if (events)
+      merged.insert(merged.end(), events->begin(), events->end());
+  }
+  std::stable_sort(merged.begin(), merged.end(),
+                   [](const net::WireEvent& a, const net::WireEvent& b) {
+                     return a.t_ns < b.t_ns;
+                   });
+  const size_t cap = max_events == 0
+                         ? static_cast<size_t>(net::kMaxDumpEvents)
+                         : std::min<size_t>(max_events, net::kMaxDumpEvents);
+  if (merged.size() > cap)
+    merged.erase(merged.begin(),
+                 merged.begin() + static_cast<ptrdiff_t>(merged.size() - cap));
+  std::vector<uint8_t> out;
+  net::encode_event_dump(merged, out, hdr.version);
+  return send_to_client(fd, out);
 }
 
 bool ShardProxy::handle_stats(int fd, const net::FrameHeader& hdr,

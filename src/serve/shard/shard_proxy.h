@@ -234,6 +234,11 @@ class ShardProxy {
   bool handle_list(int fd, const net::FrameHeader& hdr, size_t payload_len);
   bool handle_stats(int fd, const net::FrameHeader& hdr,
                     const uint8_t* payload, size_t len);
+  /// DUMP_EVENTS through the proxy: fan out to every non-down backend,
+  /// merge their journals with the proxy's own (health transitions,
+  /// failover retries), and answer one time-ordered kEventDump.
+  bool handle_dump_events(int fd, const net::FrameHeader& hdr,
+                          const uint8_t* payload, size_t len);
 
   /// Run `op` against one of `backend`'s pooled connections. A REUSED
   /// connection may have died while parked in the pool, so a FAST

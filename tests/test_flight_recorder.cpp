@@ -1,0 +1,226 @@
+// FlightRecorder unit coverage: ring round-trips, wrap semantics, the
+// since_ns / max_events snapshot contract, the slow-exemplar top-K
+// store, the enabled switch, concurrent writers (the TSan CI job runs
+// this suite), and the async-signal-safe dump format.
+//
+// The recorder is a process-lifetime singleton shared by every test in
+// this binary, so each test isolates itself by capturing
+// flight_now_ns() first and snapshotting with since_ns — older events
+// from other tests fall out of view instead of needing a reset API.
+#include "serve/flight_recorder.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace fqbert::serve {
+namespace {
+
+FlightRecorder& rec() { return FlightRecorder::instance(); }
+
+/// The events this test recorded: snapshot since `t0`, filtered to one
+/// distinguishing tag.
+std::vector<FlightEvent> mine(uint64_t t0, const char* tag,
+                              size_t max_events = 0) {
+  std::vector<FlightEvent> out;
+  for (const FlightEvent& ev : rec().snapshot(
+           t0, max_events == 0 ? FlightRecorder::kDefaultSnapshotMax
+                               : max_events))
+    if (std::strcmp(ev.tag, tag) == 0) out.push_back(ev);
+  return out;
+}
+
+TEST(FlightEventTypeName, StableAndBounded) {
+  EXPECT_STREQ("admitted",
+               flight_event_type_name(FlightEventType::kRequestAdmitted));
+  EXPECT_STREQ("batch_formed",
+               flight_event_type_name(FlightEventType::kBatchFormed));
+  EXPECT_STREQ("failover_retry",
+               flight_event_type_name(FlightEventType::kFailoverRetry));
+  EXPECT_STREQ("unknown", flight_event_type_name(static_cast<FlightEventType>(
+                              kLastFlightEventType + 1)));
+  EXPECT_STREQ("unknown",
+               flight_event_type_name(static_cast<FlightEventType>(255)));
+}
+
+TEST(FlightRecorder, RecordRoundTripsEveryField) {
+  const uint64_t t0 = flight_now_ns();
+  rec().record(FlightEventType::kBatchFormed, "frt_roundtrip", 0xABCD1234u,
+               /*tier=*/4, /*detail=*/7, /*a=*/16, /*b=*/4200);
+  const auto events = mine(t0, "frt_roundtrip");
+  ASSERT_EQ(events.size(), 1u);
+  const FlightEvent& ev = events.front();
+  EXPECT_GE(ev.t_ns, t0);
+  EXPECT_EQ(ev.trace_id, 0xABCD1234u);
+  EXPECT_EQ(ev.type, static_cast<uint8_t>(FlightEventType::kBatchFormed));
+  EXPECT_EQ(ev.tier, 4);
+  EXPECT_EQ(ev.detail, 7);
+  EXPECT_EQ(ev.a, 16u);
+  EXPECT_EQ(ev.b, 4200u);
+}
+
+TEST(FlightRecorder, LongTagTruncatesNulTerminated) {
+  const uint64_t t0 = flight_now_ns();
+  const std::string tag(60, 'x');
+  rec().record(FlightEventType::kModelLoaded, tag);
+  bool found = false;
+  for (const FlightEvent& ev : rec().snapshot(t0)) {
+    if (ev.tag[0] != 'x') continue;
+    found = true;
+    EXPECT_EQ(std::strlen(ev.tag), sizeof(ev.tag) - 1);
+    EXPECT_EQ(std::string(ev.tag), std::string(sizeof(ev.tag) - 1, 'x'));
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(FlightRecorder, SinceNsFiltersOlderEvents) {
+  const uint64_t t0 = flight_now_ns();
+  rec().record(FlightEventType::kRequestAdmitted, "frt_since", 1);
+  const auto first = mine(t0, "frt_since");
+  ASSERT_EQ(first.size(), 1u);
+  // Strictly after the first event's stamp: only the second survives.
+  const uint64_t t1 = first.front().t_ns + 1;
+  rec().record(FlightEventType::kRequestAdmitted, "frt_since", 2);
+  const auto events = mine(t1, "frt_since");
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events.front().trace_id, 2u);
+}
+
+TEST(FlightRecorder, SnapshotCapKeepsMostRecentAndSorted) {
+  const uint64_t t0 = flight_now_ns();
+  for (uint64_t i = 0; i < 8; ++i)
+    rec().record(FlightEventType::kRequestAdmitted, "frt_cap", i + 1);
+  // A global cap of 3 (single-threaded here, so all 8 share one ring)
+  // must keep exactly the newest 3, still timestamp-ordered.
+  const auto events = rec().snapshot(t0, 3);
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].trace_id, 6u);
+  EXPECT_EQ(events[1].trace_id, 7u);
+  EXPECT_EQ(events[2].trace_id, 8u);
+  EXPECT_LE(events[0].t_ns, events[1].t_ns);
+  EXPECT_LE(events[1].t_ns, events[2].t_ns);
+}
+
+TEST(FlightRecorder, RingWrapKeepsNewestCapacityEvents) {
+  const uint64_t t0 = flight_now_ns();
+  constexpr uint64_t kTotal = FlightRecorder::kRingCapacity + 50;
+  // A dedicated thread gets its own ring (possibly one released by an
+  // earlier test's thread — since_ns filters that occupant's events).
+  std::thread writer([&] {
+    for (uint64_t i = 0; i < kTotal; ++i)
+      rec().record(FlightEventType::kRequestAdmitted, "frt_wrap", i + 1);
+  });
+  writer.join();
+  const auto events = mine(t0, "frt_wrap");
+  ASSERT_EQ(events.size(), FlightRecorder::kRingCapacity);
+  // The oldest 50 were overwritten; the newest survives.
+  EXPECT_EQ(events.front().trace_id, 51u);
+  EXPECT_EQ(events.back().trace_id, kTotal);
+}
+
+TEST(FlightRecorder, SlowStoreKeepsTopKSlowestFirst) {
+  rec().clear_slow_exemplars();
+  rec().set_slow_threshold_us(0);
+  const size_t k = FlightRecorder::kSlowK;
+  for (size_t i = 0; i < k + 4; ++i)
+    rec().note_slow("m", 8, i + 1, static_cast<int64_t>(100 + 10 * i),
+                    {{TraceStage::kAdmitted, 0}});
+  const auto slow = rec().slow_exemplars();
+  ASSERT_EQ(slow.size(), k);
+  // Slowest-first; the 4 fastest entries were evicted.
+  EXPECT_EQ(slow.front().latency_us, 100 + 10 * static_cast<int64_t>(k + 3));
+  EXPECT_EQ(slow.back().latency_us, 140);
+  for (size_t i = 1; i < slow.size(); ++i)
+    EXPECT_GE(slow[i - 1].latency_us, slow[i].latency_us);
+  // Full store: a candidate below the retained floor cannot place.
+  EXPECT_FALSE(rec().slow_candidate(139));
+  EXPECT_TRUE(rec().slow_candidate(141));
+  rec().clear_slow_exemplars();
+}
+
+TEST(FlightRecorder, SlowThresholdRejectsFastRequests) {
+  rec().clear_slow_exemplars();
+  rec().set_slow_threshold_us(10'000);
+  EXPECT_FALSE(rec().slow_candidate(9'999));
+  rec().note_slow("m", 0, 1, 9'999, {});
+  EXPECT_TRUE(rec().slow_exemplars().empty());
+  EXPECT_TRUE(rec().slow_candidate(10'000));
+  rec().note_slow("m", 0, 2, 10'000, {});
+  EXPECT_EQ(rec().slow_exemplars().size(), 1u);
+  rec().set_slow_threshold_us(0);  // restore the always-sample default
+  rec().clear_slow_exemplars();
+}
+
+TEST(FlightRecorder, DisabledRecordsNothing) {
+  const uint64_t t0 = flight_now_ns();
+  rec().set_enabled(false);
+  rec().record(FlightEventType::kRequestAdmitted, "frt_disabled");
+  EXPECT_FALSE(rec().slow_candidate(1'000'000));
+  rec().set_enabled(true);
+  EXPECT_TRUE(mine(t0, "frt_disabled").empty());
+}
+
+TEST(FlightRecorder, ConcurrentWritersAndSnapshots) {
+  const uint64_t t0 = flight_now_ns();
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 4000;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t)
+    writers.emplace_back([t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        rec().record(FlightEventType::kWorkerEnd, "frt_stress",
+                     static_cast<uint64_t>(t) << 32 | static_cast<uint32_t>(i),
+                     8, 0, 1, static_cast<uint64_t>(i));
+        if (i % 512 == 0)
+          rec().note_slow("frt_stress", 8, 1, 100 + i % 50, {});
+      }
+    });
+  // Snapshots and slow reads race the writers on purpose: the TSan CI
+  // job runs this suite and must stay clean.
+  for (int i = 0; i < 50; ++i) {
+    (void)rec().snapshot(t0);
+    (void)rec().slow_exemplars();
+  }
+  for (std::thread& t : writers) t.join();
+  rec().clear_slow_exemplars();
+  const auto events = mine(t0, "frt_stress");
+  EXPECT_FALSE(events.empty());
+  EXPECT_LE(events.size(),
+            static_cast<size_t>(kThreads) * FlightRecorder::kRingCapacity);
+  for (size_t i = 1; i < events.size(); ++i)
+    EXPECT_LE(events[i - 1].t_ns, events[i].t_ns);
+}
+
+TEST(FlightRecorder, DumpToFdWritesBannerEventsAndTail) {
+  rec().record(FlightEventType::kHealthTransition, "frt_dump_tag", 0x99, 8,
+               0x21, 0, 0);
+  std::FILE* f = std::tmpfile();
+  ASSERT_NE(f, nullptr);
+  rec().dump_to_fd(fileno(f));
+  std::fflush(f);
+  std::rewind(f);
+  std::string dump;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) dump.append(buf, n);
+  std::fclose(f);
+  EXPECT_NE(dump.find("==== FQBERT FLIGHT RECORDER DUMP ===="),
+            std::string::npos);
+  EXPECT_NE(dump.find("build: "), std::string::npos);
+  // The freshly recorded event is within the last 64 of this thread's
+  // ring, so the dump must carry it — with its type name and hex trace.
+  EXPECT_NE(dump.find("type=health_transition tag=frt_dump_tag"),
+            std::string::npos);
+  EXPECT_NE(dump.find("trace=0x99"), std::string::npos);
+  EXPECT_NE(dump.find("==== END FLIGHT RECORDER DUMP ===="),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace fqbert::serve

@@ -11,6 +11,7 @@
 
 #include <cstring>
 
+#include "serve/flight_recorder.h"
 #include "serve/net/frame.h"
 #include "tensor/rng.h"
 
@@ -89,6 +90,15 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
     case FrameType::kStatsResponse: {
       WireStats stats;
       return decode_stats_response(payload, len, hdr.version, &stats);
+    }
+    case FrameType::kDumpEvents: {
+      uint64_t since_ns = 0;
+      uint32_t max_events = 0;
+      return decode_dump_events(payload, len, &since_ns, &max_events);
+    }
+    case FrameType::kEventDump: {
+      std::vector<WireEvent> events;
+      return decode_event_dump(payload, len, &events);
     }
   }
   return false;
@@ -197,6 +207,25 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   encode_stats_response(stats, fresh(), /*version=*/3);
   stats.tier = 4;  // v4: per-tier stats rows
   encode_stats_response(stats, fresh(), /*version=*/4);
+  // Flight-recorder dump pair: requests with and without a filter, a
+  // populated journal dump and the empty-journal answer.
+  encode_dump_events(0, 0, fresh(), /*version=*/2);
+  encode_dump_events(123'456'789, 256, fresh(), /*version=*/4);
+  std::vector<WireEvent> events;
+  for (uint32_t i = 0; i < 5; ++i) {
+    WireEvent ev;
+    ev.t_ns = 1'000'000ull * (i + 1);
+    ev.trace_id = i;
+    ev.type = static_cast<uint8_t>(i % (kLastFlightEventType + 1));
+    ev.tier = i % 2 ? 4 : 0;
+    ev.detail = static_cast<uint16_t>(i);
+    ev.a = i;
+    ev.b = 7ull * i;
+    ev.tag = "lane-" + std::to_string(i);
+    events.push_back(std::move(ev));
+  }
+  encode_event_dump(events, fresh(), /*version=*/4);
+  encode_event_dump({}, fresh(), /*version=*/2);
   return corpus;
 }
 
@@ -351,6 +380,60 @@ TEST(FrameFuzz, HostileTierValuesAreRejected) {
                                  &model),
               valid);
   }
+}
+
+TEST(FrameFuzz, HostileEventDumpTypeAndTierBytesAreRejected) {
+  // One-event EVENT_DUMP; per-event layout is t_ns(8) trace(8) type(1)
+  // tier(1) detail(2) a(4) b(8) tag — so after the u32 count the type
+  // byte sits at payload offset 20 and the tier byte at 21. Sweep both
+  // through every value: the decoder must accept exactly the journal's
+  // event-type range and the wire tier vocabulary, and reject the rest
+  // (a hostile shard could otherwise smuggle unprintable types into an
+  // admin CLI or /debug merge).
+  WireEvent ev;
+  ev.t_ns = 42;
+  ev.trace_id = 7;
+  ev.type = static_cast<uint8_t>(FlightEventType::kBatchFormed);
+  ev.tier = 4;
+  ev.detail = 1;
+  ev.a = 8;
+  ev.b = 1500;
+  ev.tag = "m0";
+  std::vector<uint8_t> frame;
+  encode_event_dump({ev}, frame);
+  ASSERT_TRUE(decode_anything(frame));
+  constexpr size_t kTypePos = kHeaderSize + 4 + 16;
+  constexpr size_t kTierPos = kTypePos + 1;
+  ASSERT_EQ(frame[kTypePos], static_cast<uint8_t>(FlightEventType::kBatchFormed));
+  ASSERT_EQ(frame[kTierPos], 4u);
+  for (int value = 0; value < 256; ++value) {
+    std::vector<uint8_t> type_mut = frame;
+    type_mut[kTypePos] = static_cast<uint8_t>(value);
+    EXPECT_EQ(decode_anything(type_mut), value <= kLastFlightEventType)
+        << "event type byte " << value;
+    std::vector<uint8_t> tier_mut = frame;
+    tier_mut[kTierPos] = static_cast<uint8_t>(value);
+    EXPECT_EQ(decode_anything(tier_mut),
+              wire_tier_valid(static_cast<uint8_t>(value)))
+        << "event tier byte " << value;
+  }
+}
+
+TEST(FrameFuzz, EventDumpLyingCountIsRejectedWithoutOverread) {
+  // The count word claims more events than the payload delivers; the
+  // size floor must reject before any reserve or read.
+  WireEvent ev;
+  ev.tag = "x";
+  std::vector<uint8_t> frame;
+  encode_event_dump({ev}, frame);
+  // count is the first payload u32 (little-endian).
+  frame[kHeaderSize + 0] = 0xFF;
+  frame[kHeaderSize + 1] = 0x0F;
+  EXPECT_FALSE(decode_anything(frame));
+  // And a count over the protocol cap is rejected outright.
+  frame[kHeaderSize + 0] = 0x01;
+  frame[kHeaderSize + 1] = 0x10;  // 0x1001 = 4097 > kMaxDumpEvents
+  EXPECT_FALSE(decode_anything(frame));
 }
 
 }  // namespace

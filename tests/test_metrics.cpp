@@ -19,6 +19,7 @@
 #include <sstream>
 #include <string>
 
+#include "serve/build_info.h"
 #include "serve/loadgen.h"
 #include "serve/metrics_http.h"
 #include "serve/metrics_text.h"
@@ -230,6 +231,16 @@ TEST(MetricsText, RouterExpositionIsValidAndBalances) {
   const std::string text = render_router_metrics(router);
   expect_valid_exposition(text);
 
+  // The build-identity gauge leads the exposition: constant 1, all four
+  // identity labels present and matching the process's own build info.
+  EXPECT_EQ(text.rfind("# HELP fqbert_build_info", 0), 0u);
+  EXPECT_EQ(series_value(text, std::string("fqbert_build_info{version=\"") +
+                                   build_version() + "\",git_sha=\"" +
+                                   build_git_sha() + "\",compiler=\"" +
+                                   build_compiler() + "\",sanitizer=\"" +
+                                   build_sanitizer() + "\"}"),
+            1.0);
+
   // Lanes scrape as (model, tier) rows; FqQuantConfig::full() engines
   // carry 4-bit weights, so the default lane scrapes as tier="4".
   for (const char* model : {"m0", "m1"}) {
@@ -328,6 +339,11 @@ TEST(MetricsText, ProxyExpositionCoversBackendsAndFleetQuantiles) {
 
   const std::string text = render_proxy_metrics(proxy);
   expect_valid_exposition(text);
+  // The proxy exposition carries the same build-identity gauge as a
+  // backend's own /metrics, so fleet dashboards can join on it.
+  EXPECT_NE(text.find(std::string("fqbert_build_info{version=\"") +
+                      build_version() + "\""),
+            std::string::npos);
   EXPECT_EQ(series_value(text, "fqbert_proxy_served_total"), 20.0);
   EXPECT_EQ(series_value(text, "fqbert_proxy_exhausted_total"), 0.0);
 

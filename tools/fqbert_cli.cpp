@@ -42,6 +42,7 @@
 #include <csignal>
 #include <cstdio>
 #include <cstring>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -50,6 +51,8 @@
 #include "accel/accelerator.h"
 #include "core/model_size.h"
 #include "pipeline/pipeline.h"
+#include "serve/debug_text.h"
+#include "serve/flight_recorder.h"
 #include "serve/loadgen.h"
 #include "serve/metrics_http.h"
 #include "serve/metrics_text.h"
@@ -88,11 +91,13 @@ int usage() {
                "  loadgen  serve options plus [--connect HOST:PORT\n"
                "           [--model NAME ...] [--tier N]]\n"
                "           [--trace-every N]    (per-stage trace samples)\n"
+               "           [--latency-csv FILE] (per-request rows, remote)\n"
                "           [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]\n"
                "  admin    --connect HOST:PORT [--timeout-ms T]\n"
                "           [--load NAME=FILE[@intN] ...] (empty FILE derives)\n"
                "           [--unload NAME[@intN] ...]\n"
                "           [--list] [--stats NAME[@intN] ...]\n"
+               "           [--events [--since-ns N]] (flight-recorder dump)\n"
                "  proxy    --listen PORT [--bind ADDR] [--metrics PORT]\n"
                "           --backend HOST:PORT=model[@intN][,model...] ...\n"
                "           [--pool N] [--health-interval-ms I]\n"
@@ -186,6 +191,7 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"seq-mix", true},
         {"seed", true},
         {"trace-every", true},
+        {"latency-csv", true},
         {"batch-sweep", true},
         {"worker-sweep", true}}},
       {"admin",
@@ -194,7 +200,9 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"load", true},
         {"unload", true},
         {"list", false},
-        {"stats", true}}},
+        {"stats", true},
+        {"events", false},
+        {"since-ns", true}}},
       {"proxy",
        {{"listen", true},
         {"bind", true},
@@ -610,8 +618,23 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
     return 1;
   }
 
+  // Black box first: from here on a crash dumps the journal to stderr.
+  serve::FlightRecorder::instance().install_crash_handler();
+
   serve::MetricsHttpServer metrics(
       [&router] { return serve::render_router_metrics(router); });
+  metrics.add_endpoint("/debug/events", [](const std::string& query) {
+    return serve::render_debug_events(
+        serve::FlightRecorder::instance(),
+        serve::debug_query_u64(query, "since_ns", 0),
+        serve::debug_query_u64(query, "max", 0));
+  });
+  metrics.add_endpoint("/debug/slow", [](const std::string&) {
+    return serve::render_debug_slow(serve::FlightRecorder::instance());
+  });
+  metrics.add_endpoint("/debug/lanes", [&router](const std::string&) {
+    return serve::render_debug_lanes(router);
+  });
   if (a.flag("metrics")) {
     const auto metrics_port =
         static_cast<uint16_t>(int_opt(a, "metrics", 0, 0, 65535));
@@ -619,8 +642,9 @@ int run_listen_server(const Args& a, const serve::ServerConfig& scfg) {
       std::fprintf(stderr, "metrics endpoint failed to start\n");
       return 1;
     }
-    std::printf("metrics on http://%s:%u/metrics\n", tcfg.bind_address.c_str(),
-                metrics.port());
+    std::printf("metrics on http://%s:%u/metrics (debug: /debug/events "
+                "/debug/slow /debug/lanes)\n",
+                tcfg.bind_address.c_str(), metrics.port());
   }
 
   std::string names;
@@ -702,6 +726,36 @@ int cmd_serve(const Args& a) {
   return 0;
 }
 
+/// `loadgen --latency-csv`: one row per request. Stage timestamps (only
+/// present on traced requests) pack into the last column as
+/// `stage:t_us|stage:t_us` so the file stays one-row-per-request.
+bool write_latency_csv(const std::string& path,
+                       const std::vector<serve::RequestRecord>& records) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) {
+    std::fprintf(stderr, "loadgen: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  std::fprintf(f, "trace_id,model,tier,status,latency_us,stages\n");
+  for (const auto& r : records) {
+    std::fprintf(f, "%llu,%s,%u,%s,%lld,",
+                 static_cast<unsigned long long>(r.trace_id),
+                 r.model.empty() ? "<default>" : r.model.c_str(),
+                 static_cast<unsigned>(r.tier),
+                 serve::request_status_name(r.status),
+                 static_cast<long long>(r.latency_us));
+    for (size_t i = 0; i < r.stages.size(); ++i)
+      std::fprintf(f, "%s%s:%lld", i == 0 ? "" : "|",
+                   serve::trace_stage_name(r.stages[i].stage),
+                   static_cast<long long>(r.stages[i].t_us));
+    std::fputc('\n', f);
+  }
+  const bool ok = std::fclose(f) == 0;
+  if (!ok)
+    std::fprintf(stderr, "loadgen: error writing '%s'\n", path.c_str());
+  return ok;
+}
+
 /// `loadgen --connect`: drive a remote `serve --listen` across the wire
 /// with the same closed-loop client model. Repeated `--model NAME`
 /// options build a multi-model traffic mix over the router's lanes (no
@@ -747,7 +801,9 @@ int run_remote_loadgen(const Args& a) {
   }
   probe.close();
 
-  const serve::LoadgenConfig lcfg = loadgen_config_from(a);
+  serve::LoadgenConfig lcfg = loadgen_config_from(a);
+  const std::string csv_path = a.get("latency-csv", "");
+  lcfg.collect_records = !csv_path.empty();
   std::string names;
   for (const auto& t : targets)
     names += (names.empty() ? "" : ", ") +
@@ -779,6 +835,11 @@ int run_remote_loadgen(const Args& a) {
                 static_cast<double>(lg.latency_us.max_us()) / 1000.0,
                 static_cast<unsigned long long>(lg.latency_us.count()));
   print_trace_samples(lg);
+  if (!csv_path.empty()) {
+    if (!write_latency_csv(csv_path, lg.records)) return 1;
+    std::printf("latency : %zu rows -> %s\n", lg.records.size(),
+                csv_path.c_str());
+  }
   return lg.failed == 0 ? 0 : 1;
 }
 
@@ -787,6 +848,8 @@ int run_remote_loadgen(const Args& a) {
 /// exit 0 only when every operation succeeded.
 int cmd_admin(const Args& a) {
   if (!a.flag("connect")) return usage();
+  if (a.flag("since-ns") && !a.flag("events"))
+    parse_fail("--since-ns only filters an --events dump");
   std::string host;
   uint16_t port = 0;
   parse_host_port(a.get("connect"), &host, &port);
@@ -886,6 +949,30 @@ int cmd_admin(const Args& a) {
                 st.mean_queue_ms,
                 static_cast<unsigned long long>(st.latency_samples));
   }
+  if (a.flag("events") && client.connected()) {
+    const uint64_t since_ns = static_cast<uint64_t>(int_opt(
+        a, "since-ns", 0, 0, std::numeric_limits<long long>::max()));
+    const auto events = client.dump_events(since_ns, 0);
+    if (!events) {
+      std::fprintf(stderr, "events failed: %s\n", client.error().c_str());
+      all_ok = false;
+    } else {
+      // Through a proxy this is the merged fleet journal (proxy + every
+      // reachable backend), already ordered by monotonic timestamp.
+      std::printf("%zu flight-recorder event(s):\n", events->size());
+      for (const auto& ev : *events)
+        std::printf("  t=%-16llu %-16s tag=%-24s trace=%llu tier=%u "
+                    "detail=%u a=%u b=%llu\n",
+                    static_cast<unsigned long long>(ev.t_ns),
+                    serve::flight_event_type_name(
+                        static_cast<serve::FlightEventType>(ev.type)),
+                    ev.tag.empty() ? "-" : ev.tag.c_str(),
+                    static_cast<unsigned long long>(ev.trace_id),
+                    static_cast<unsigned>(ev.tier),
+                    static_cast<unsigned>(ev.detail), ev.a,
+                    static_cast<unsigned long long>(ev.b));
+    }
+  }
   if (!client.connected() && all_ok) {
     std::fprintf(stderr, "connection lost: %s\n", client.error().c_str());
     all_ok = false;
@@ -953,8 +1040,19 @@ int cmd_proxy(const Args& a) {
     return 1;
   }
 
+  serve::FlightRecorder::instance().install_crash_handler();
+
   serve::MetricsHttpServer metrics(
       [&proxy] { return serve::render_proxy_metrics(proxy); });
+  // The proxy journals its own health transitions and failover retries;
+  // /debug/slow and /debug/lanes are router-side views, so only the
+  // event feed is exposed here.
+  metrics.add_endpoint("/debug/events", [](const std::string& query) {
+    return serve::render_debug_events(
+        serve::FlightRecorder::instance(),
+        serve::debug_query_u64(query, "since_ns", 0),
+        serve::debug_query_u64(query, "max", 0));
+  });
   if (a.flag("metrics")) {
     const auto metrics_port =
         static_cast<uint16_t>(int_opt(a, "metrics", 0, 0, 65535));
@@ -962,8 +1060,8 @@ int cmd_proxy(const Args& a) {
       std::fprintf(stderr, "metrics endpoint failed to start\n");
       return 1;
     }
-    std::printf("metrics on http://%s:%u/metrics\n", cfg.bind_address.c_str(),
-                metrics.port());
+    std::printf("metrics on http://%s:%u/metrics (debug: /debug/events)\n",
+                cfg.bind_address.c_str(), metrics.port());
   }
 
   std::printf("shard proxy on %s:%u — %zu backend(s), default model '%s', "
@@ -1015,9 +1113,9 @@ int cmd_proxy(const Args& a) {
 
 int cmd_loadgen(const Args& a) {
   if (a.flag("connect")) return run_remote_loadgen(a);
-  // The traffic mix routes by model name — and trace ids ride v3
-  // frames — over the wire only.
-  reject_options(a, "(local)", {"model", "trace-every"});
+  // The traffic mix routes by model name — and trace ids (which the
+  // per-stage CSV columns need) ride v3 frames — over the wire only.
+  reject_options(a, "(local)", {"model", "trace-every", "latency-csv"});
 
   const std::vector<int64_t> batches =
       parse_int_list("batch-sweep", a.get("batch-sweep", "1,8,16"), 1, 4096);
