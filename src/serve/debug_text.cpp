@@ -4,6 +4,7 @@
 #include <cstdio>
 
 #include "serve/router/model_router.h"
+#include "serve/shard/shard_proxy.h"
 
 namespace fqbert::serve {
 
@@ -164,6 +165,42 @@ std::string render_debug_lanes(const ModelRouter& router) {
     out += ",\"high_watermark\":";
     out += std::to_string(lane.high_watermark);
     out += '}';
+  }
+  out += "]}";
+  return out;
+}
+
+std::string render_debug_placement(const shard::ShardProxy& proxy) {
+  const net::WirePlacement placement = proxy.placement_view();
+  std::string out;
+  out.reserve(placement.backends.size() * 160 + 96);
+  out += "{\"epoch\":";
+  out += std::to_string(placement.epoch);
+  append_str_field(out, "policy",
+                   shard::placement_policy_name(
+                       static_cast<shard::PlacementPolicy>(placement.policy)));
+  append_str_field(out, "default_model", placement.default_model);
+  out += ",\"backends\":[";
+  bool first_backend = true;
+  for (const net::WireBackendPlacement& backend : placement.backends) {
+    if (!first_backend) out += ',';
+    first_backend = false;
+    out += '{';
+    append_str_field(out, "address", backend.address, /*first=*/true);
+    append_str_field(out, "state",
+                     shard::backend_state_name(
+                         static_cast<shard::BackendState>(backend.state)));
+    out += ",\"models\":[";
+    bool first_model = true;
+    for (const net::WireModelEntry& cell : backend.models) {
+      if (!first_model) out += ',';
+      first_model = false;
+      out += '{';
+      append_str_field(out, "model", cell.name, /*first=*/true);
+      append_u64_field(out, "tier", cell.tier);
+      out += '}';
+    }
+    out += "]}";
   }
   out += "]}";
   return out;

@@ -10,6 +10,9 @@
 //                                   full per-stage trace breakdowns
 //   /debug/lanes                    per-(model,tier) queue depth /
 //                                   inflight / high-watermark snapshot
+//   /debug/placement                shard proxy only: placement epoch,
+//                                   policy, and per-backend assignments
+//                                   with live health state
 #pragma once
 
 #include <cstdint>
@@ -22,6 +25,10 @@
 namespace fqbert::serve {
 
 class ModelRouter;
+
+namespace shard {
+class ShardProxy;
+}  // namespace shard
 
 /// {"now_ns":...,"events":[...]} — events with t_ns >= since_ns, at
 /// most max_events most recent, timestamp order. Trace ids are decimal
@@ -37,6 +44,11 @@ std::string render_debug_slow(const FlightRecorder& recorder);
 /// queue depth, in-flight batch count, and the lifetime queue-depth
 /// high-watermark.
 std::string render_debug_lanes(const ModelRouter& router);
+
+/// {"epoch":...,"policy":"...","default_model":"...","backends":[...]}
+/// — the proxy's current placement generation: every member backend in
+/// join order with its live health state and (model, tier) cells.
+std::string render_debug_placement(const shard::ShardProxy& proxy);
 
 /// Journal snapshot in wire form for a kEventDump response.
 /// max_events == 0 means the default snapshot cap.

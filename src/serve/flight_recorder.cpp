@@ -28,6 +28,9 @@ const char* const kEventTypeNames[] = {
     "lane_drained",     // kLaneDrained
     "health_transition",  // kHealthTransition
     "failover_retry",   // kFailoverRetry
+    "placement_changed",  // kPlacementChanged
+    "backend_added",    // kBackendAdded
+    "backend_removed",  // kBackendRemoved
 };
 static_assert(sizeof(kEventTypeNames) / sizeof(kEventTypeNames[0]) ==
                   kLastFlightEventType + 1,

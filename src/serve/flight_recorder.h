@@ -59,9 +59,12 @@ enum class FlightEventType : uint8_t {
   kLaneDrained = 9,       // retire drain completed; b=drain wait us
   kHealthTransition = 10,  // tag=backend, detail=(from<<4)|to BackendState
   kFailoverRetry = 11,    // tag=next backend, detail=attempt number
+  kPlacementChanged = 12,  // tag=model or "", b=new placement epoch
+  kBackendAdded = 13,     // tag=backend address, b=new placement epoch
+  kBackendRemoved = 14,   // tag=backend address, b=new placement epoch
 };
 inline constexpr uint8_t kLastFlightEventType =
-    static_cast<uint8_t>(FlightEventType::kFailoverRetry);
+    static_cast<uint8_t>(FlightEventType::kBackendRemoved);
 
 /// Stable short name ("admitted", "batch_formed", ...) for JSON, the
 /// CLI and the crash dump. Returns a static string; async-signal-safe.

@@ -223,11 +223,30 @@ std::string render_proxy_metrics(shard::ShardProxy& proxy) {
       {"fqbert_proxy_protocol_errors_total", c.protocol_errors},
       {"fqbert_proxy_admin_frames_total", c.admin_frames},
       {"fqbert_proxy_health_transitions_total", c.health_transitions},
+      {"fqbert_proxy_placement_changes_total", c.placement_changes},
+      {"fqbert_proxy_epoch_retries_total", c.epoch_retries},
   };
   for (const auto& [name, value] : counters) {
     head(out, name, kHelp, "counter");
     sample_u64(out, name, "", value);
   }
+
+  head(out, "fqbert_proxy_placement_epoch",
+       "Current placement table generation (bumps on every membership "
+       "or placement change)",
+       "gauge");
+  sample_u64(out, "fqbert_proxy_placement_epoch", "",
+             proxy.placement_epoch());
+
+  head(out, "fqbert_proxy_placement_info",
+       "Placement policy identity (constant 1; policy in the label)",
+       "gauge");
+  sample_u64(out, "fqbert_proxy_placement_info",
+             "policy=\"" +
+                 std::string(shard::placement_policy_name(
+                     proxy.placement_policy())) +
+                 "\"",
+             1);
 
   head(out, "fqbert_backend_state",
        "Backend health state machine position (one-hot)", "gauge");

@@ -183,9 +183,13 @@ DecodeStatus decode_header(const uint8_t* data, size_t len,
   if (magic != kFrameMagic || version < kMinProtocolVersion ||
       version > kProtocolVersion || r0 != 0 || r1 != 0)
     return DecodeStatus::kError;
-  // Control-plane types exist only from v2 on; a v1 header declaring
-  // one is a protocol violation, not a silently tolerated frame.
-  const uint8_t last_type = version >= 2 ? kLastFrameType : kLastV1FrameType;
+  // Type gating follows the version that introduced each plane:
+  // control-plane types exist only from v2 on, proxy-admin types only
+  // from v5 on. A header declaring a type its version cannot carry is a
+  // protocol violation, not a silently tolerated frame.
+  const uint8_t last_type = version >= 5   ? kLastFrameType
+                            : version >= 2 ? kLastV4FrameType
+                                           : kLastV1FrameType;
   if (type < static_cast<uint8_t>(FrameType::kInfoRequest) ||
       type > last_type)
     return DecodeStatus::kError;
@@ -472,6 +476,81 @@ bool decode_event_dump(const uint8_t* payload, size_t len,
       return false;
     if (!c.take_str(&ev.tag, kMaxNameLen)) return false;
     events->push_back(std::move(ev));
+  }
+  return c.done();
+}
+
+bool decode_add_backend(const uint8_t* payload, size_t len, std::string* host,
+                        uint16_t* port, std::vector<WireModelEntry>* models) {
+  Cursor c{payload, len};
+  if (!c.take_str(host, kMaxNameLen)) return false;
+  *port = c.take_u16();
+  const uint32_t count = c.take_u32();
+  if (!c.ok || count == 0 || count > kMaxModelCount) return false;
+  models->clear();
+  models->reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireModelEntry entry;
+    if (!c.take_str(&entry.name, kMaxNameLen)) return false;
+    entry.tier = c.take_u8();
+    if (!c.ok || !wire_tier_valid(entry.tier)) return false;
+    models->push_back(std::move(entry));
+  }
+  return c.done();
+}
+
+bool decode_remove_backend(const uint8_t* payload, size_t len,
+                           std::string* address) {
+  Cursor c{payload, len};
+  if (!c.take_str(address, kMaxNameLen)) return false;
+  return c.done();
+}
+
+bool decode_move_model(const uint8_t* payload, size_t len, std::string* model,
+                       uint8_t* tier, std::string* from, std::string* to,
+                       std::string* path) {
+  Cursor c{payload, len};
+  if (!c.take_str(model, kMaxNameLen)) return false;
+  const uint8_t t = c.take_u8();
+  if (!c.ok || !wire_tier_valid(t)) return false;
+  *tier = t;
+  if (!c.take_str(from, kMaxNameLen)) return false;
+  if (!c.take_str(to, kMaxNameLen)) return false;
+  if (!c.take_str(path, kMaxPathLen)) return false;
+  return c.done();
+}
+
+bool decode_get_placement(const uint8_t* payload, size_t len) {
+  (void)payload;
+  return len == 0;
+}
+
+bool decode_placement(const uint8_t* payload, size_t len, WirePlacement* out) {
+  Cursor c{payload, len};
+  out->epoch = c.take_u64();
+  out->policy = c.take_u8();
+  if (!c.ok || out->policy > 1) return false;
+  if (!c.take_str(&out->default_model, kMaxNameLen)) return false;
+  const uint32_t count = c.take_u32();
+  if (!c.ok || count > kMaxModelCount) return false;
+  out->backends.clear();
+  out->backends.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    WireBackendPlacement backend;
+    if (!c.take_str(&backend.address, kMaxNameLen)) return false;
+    backend.state = c.take_u8();
+    const uint32_t cells = c.take_u32();
+    // Backend states pack into the nibble the health journal uses.
+    if (!c.ok || backend.state > 15 || cells > kMaxModelCount) return false;
+    backend.models.reserve(cells);
+    for (uint32_t j = 0; j < cells; ++j) {
+      WireModelEntry entry;
+      if (!c.take_str(&entry.name, kMaxNameLen)) return false;
+      entry.tier = c.take_u8();
+      if (!c.ok || !wire_tier_valid(entry.tier)) return false;
+      backend.models.push_back(std::move(entry));
+    }
+    out->backends.push_back(std::move(backend));
   }
   return c.done();
 }
@@ -789,6 +868,75 @@ void encode_event_dump(const std::vector<WireEvent>& events,
     put_u32(out, ev.a);
     put_u64(out, ev.b);
     put_str(out, ev.tag, kMaxNameLen);
+  }
+  end_frame(out, start);
+}
+
+void encode_add_backend(const std::string& host, uint16_t port,
+                        const std::vector<WireModelEntry>& models,
+                        std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kAddBackend, std::max<uint8_t>(version, 5));
+  put_str(out, host, kMaxNameLen);
+  put_u16(out, port);
+  const size_t count = std::min<size_t>(models.size(), kMaxModelCount);
+  put_u32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    put_str(out, models[i].name, kMaxNameLen);
+    put_u8(out, models[i].tier);
+  }
+  end_frame(out, start);
+}
+
+void encode_remove_backend(const std::string& address,
+                           std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kRemoveBackend, std::max<uint8_t>(version, 5));
+  put_str(out, address, kMaxNameLen);
+  end_frame(out, start);
+}
+
+void encode_move_model(const std::string& model, uint8_t tier,
+                       const std::string& from, const std::string& to,
+                       const std::string& path, std::vector<uint8_t>& out,
+                       uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kMoveModel, std::max<uint8_t>(version, 5));
+  put_str(out, model, kMaxNameLen);
+  put_u8(out, tier);
+  put_str(out, from, kMaxNameLen);
+  put_str(out, to, kMaxNameLen);
+  put_str(out, path, kMaxPathLen);
+  end_frame(out, start);
+}
+
+void encode_get_placement(std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kGetPlacement, std::max<uint8_t>(version, 5));
+  end_frame(out, start);
+}
+
+void encode_placement(const WirePlacement& placement,
+                      std::vector<uint8_t>& out, uint8_t version) {
+  const size_t start = out.size();
+  begin_frame(out, FrameType::kPlacement, std::max<uint8_t>(version, 5));
+  put_u64(out, placement.epoch);
+  put_u8(out, placement.policy);
+  put_str(out, placement.default_model, kMaxNameLen);
+  const size_t count =
+      std::min<size_t>(placement.backends.size(), kMaxModelCount);
+  put_u32(out, static_cast<uint32_t>(count));
+  for (size_t i = 0; i < count; ++i) {
+    const WireBackendPlacement& backend = placement.backends[i];
+    put_str(out, backend.address, kMaxNameLen);
+    put_u8(out, backend.state);
+    const size_t cells =
+        std::min<size_t>(backend.models.size(), kMaxModelCount);
+    put_u32(out, static_cast<uint32_t>(cells));
+    for (size_t j = 0; j < cells; ++j) {
+      put_str(out, backend.models[j].name, kMaxNameLen);
+      put_u8(out, backend.models[j].tier);
+    }
   }
   end_frame(out, start);
 }

@@ -9,7 +9,7 @@
 //
 //   offset  size  field
 //   0       4     magic       0x46514254 ("FQBT", LE)
-//   4       1     version     1..4 (kProtocolVersion = 4)
+//   4       1     version     1..5 (kProtocolVersion = 5)
 //   5       1     type        FrameType
 //   6       2     reserved    must be 0
 //   8       4     payload_len bytes following the header (<= kMaxPayload)
@@ -51,6 +51,14 @@
 // Version-1/2/3 frames remain fully served, so old clients keep
 // working against a v4 server (they simply always ride the default
 // tier).
+// Version 5 (dynamic placement) adds the PROXY-ADMIN plane: four
+// frames (types 14..17) that mutate or inspect a shard proxy's live
+// placement table, plus the kPlacement response (type 18). They exist
+// only in v5+ — a pre-v5 header declaring one is a protocol error, the
+// same gating rule the v2 control plane uses — and every v1–v4 layout
+// is unchanged, so older clients and backends are untouched. Backends
+// do not implement these types; a backend receiving one answers with
+// an in-band kAdminResponse failure like any unsupported admin op.
 //
 // The flight-recorder control pair (types 12/13) rides the v2+ control
 // plane like LOAD/UNLOAD/STATS: kDumpEvents asks for the server's
@@ -131,6 +139,25 @@
 //                                    u8 tier (wire_tier_valid),
 //                                    u16 detail, u32 a, u64 b,
 //                                    str tag (<= kMaxNameLen))    [v2]
+//   kAddBackend    (client->proxy)   str host, u16 port,
+//                                    u32 count (1..kMaxModelCount),
+//                                    count x (str model, u8 tier)  [v5]
+//   kRemoveBackend (client->proxy)   str address ("host:port")     [v5]
+//   kMoveModel     (client->proxy)   str model, u8 tier,
+//                                    str from ("host:port"),
+//                                    str to ("host:port"),
+//                                    str path (may be empty: target
+//                                    must already hold the engine or
+//                                    mint the tier from its default)  [v5]
+//   kGetPlacement  (client->proxy)   empty                         [v5]
+//   kPlacement     (proxy->client)   u64 epoch, u8 policy
+//                                    (a PlacementPolicy, <= 1),
+//                                    str default_model,
+//                                    u32 count (<= kMaxModelCount),
+//                                    count x (str address, u8 state
+//                                    (BackendState, <= 15), u32 cells
+//                                    (<= kMaxModelCount), cells x
+//                                    (str model, u8 tier))          [v5]
 #pragma once
 
 #include <cstdint>
@@ -146,7 +173,7 @@
 namespace fqbert::serve::net {
 
 inline constexpr uint32_t kFrameMagic = 0x46514254u;  // "FQBT"
-inline constexpr uint8_t kProtocolVersion = 4;
+inline constexpr uint8_t kProtocolVersion = 5;
 inline constexpr uint8_t kMinProtocolVersion = 1;
 inline constexpr size_t kHeaderSize = 12;
 /// Hard cap on any payload; a header declaring more is a protocol error
@@ -195,11 +222,19 @@ enum class FrameType : uint8_t {
   kStatsResponse = 11,
   kDumpEvents = 12,
   kEventDump = 13,
+  // Proxy-admin plane (protocol v5+): live placement mutation.
+  kAddBackend = 14,
+  kRemoveBackend = 15,
+  kMoveModel = 16,
+  kGetPlacement = 17,
+  kPlacement = 18,
 };
 inline constexpr uint8_t kLastV1FrameType =
     static_cast<uint8_t>(FrameType::kServeResponse);
-inline constexpr uint8_t kLastFrameType =
+inline constexpr uint8_t kLastV4FrameType =
     static_cast<uint8_t>(FrameType::kEventDump);
+inline constexpr uint8_t kLastFrameType =
+    static_cast<uint8_t>(FrameType::kPlacement);
 
 struct FrameHeader {
   uint8_t version = kProtocolVersion;
@@ -263,6 +298,24 @@ struct WireEvent {
   std::string tag;
 };
 
+/// One backend row of a kPlacement frame: its address, health state
+/// (the proxy's BackendState as a small integer; <= 15 on the wire)
+/// and the (model, tier) cells placed on it.
+struct WireBackendPlacement {
+  std::string address;
+  uint8_t state = 0;
+  std::vector<WireModelEntry> models;
+};
+
+/// A kPlacement response: one placement generation as the proxy sees
+/// it. `policy` is a shard::PlacementPolicy value (<= 1 on the wire).
+struct WirePlacement {
+  uint64_t epoch = 0;
+  uint8_t policy = 0;
+  std::string default_model;
+  std::vector<WireBackendPlacement> backends;
+};
+
 enum class DecodeStatus {
   kNeedMore,  // not enough bytes yet; read more and retry
   kFrame,     // a complete, valid frame is available
@@ -302,6 +355,17 @@ bool decode_dump_events(const uint8_t* payload, size_t len,
                         uint64_t* since_ns, uint32_t* max_events);
 bool decode_event_dump(const uint8_t* payload, size_t len,
                        std::vector<WireEvent>* events);
+// Proxy-admin codecs (protocol v5). Layout-stable across versions (the
+// frames do not exist before v5), so no version parameter.
+bool decode_add_backend(const uint8_t* payload, size_t len, std::string* host,
+                        uint16_t* port, std::vector<WireModelEntry>* models);
+bool decode_remove_backend(const uint8_t* payload, size_t len,
+                           std::string* address);
+bool decode_move_model(const uint8_t* payload, size_t len, std::string* model,
+                       uint8_t* tier, std::string* from, std::string* to,
+                       std::string* path);
+bool decode_get_placement(const uint8_t* payload, size_t len);
+bool decode_placement(const uint8_t* payload, size_t len, WirePlacement* out);
 
 // ---------------------------------------------------------------------------
 // Shallow forwarding helpers (shard proxy). A routing proxy needs the
@@ -407,5 +471,23 @@ void encode_dump_events(uint64_t since_ns, uint32_t max_events,
 void encode_event_dump(const std::vector<WireEvent>& events,
                        std::vector<uint8_t>& out,
                        uint8_t version = kProtocolVersion);
+/// Proxy-admin encoders (v5+ only; `version` values below 5 are
+/// clamped up, mirroring how the control encoders clamp to 2).
+void encode_add_backend(const std::string& host, uint16_t port,
+                        const std::vector<WireModelEntry>& models,
+                        std::vector<uint8_t>& out,
+                        uint8_t version = kProtocolVersion);
+void encode_remove_backend(const std::string& address,
+                           std::vector<uint8_t>& out,
+                           uint8_t version = kProtocolVersion);
+void encode_move_model(const std::string& model, uint8_t tier,
+                       const std::string& from, const std::string& to,
+                       const std::string& path, std::vector<uint8_t>& out,
+                       uint8_t version = kProtocolVersion);
+void encode_get_placement(std::vector<uint8_t>& out,
+                          uint8_t version = kProtocolVersion);
+void encode_placement(const WirePlacement& placement,
+                      std::vector<uint8_t>& out,
+                      uint8_t version = kProtocolVersion);
 
 }  // namespace fqbert::serve::net

@@ -444,6 +444,89 @@ std::optional<WireStats> TransportClient::query_stats(
   return stats;
 }
 
+bool TransportClient::require_v5(const char* what) {
+  if (version_ >= 5) return true;
+  error_ = std::string(what) + " requires protocol v5";
+  error_kind_ = ClientError::kProtocol;
+  return false;
+}
+
+bool TransportClient::add_backend(const std::string& host, uint16_t port,
+                                  const std::vector<WireModelEntry>& models,
+                                  std::string* message) {
+  if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_v5("ADD_BACKEND")) return false;
+  if (!require_str_fits(host, kMaxNameLen, "backend host")) return false;
+  if (models.empty()) {
+    error_ = "ADD_BACKEND requires at least one (model, tier) cell";
+    error_kind_ = ClientError::kProtocol;
+    return false;
+  }
+  for (const WireModelEntry& entry : models) {
+    if (!require_str_fits(entry.name, kMaxNameLen, "model name"))
+      return false;
+    if (!wire_tier_valid(entry.tier)) {
+      error_ = "tier must be 0 or a weight bit-width in [2, 8]";
+      error_kind_ = ClientError::kProtocol;
+      return false;
+    }
+  }
+  std::vector<uint8_t> frame;
+  encode_add_backend(host, port, models, frame, version_);
+  return admin_roundtrip(frame, message);
+}
+
+bool TransportClient::remove_backend(const std::string& address,
+                                     std::string* message) {
+  if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_v5("REMOVE_BACKEND")) return false;
+  if (!require_str_fits(address, kMaxNameLen, "backend address"))
+    return false;
+  std::vector<uint8_t> frame;
+  encode_remove_backend(address, frame, version_);
+  return admin_roundtrip(frame, message);
+}
+
+bool TransportClient::move_model(const std::string& model, uint8_t tier,
+                                 const std::string& from,
+                                 const std::string& to,
+                                 const std::string& path,
+                                 std::string* message) {
+  if (!require_connected(/*needs_v2=*/true)) return false;
+  if (!require_v5("MOVE_MODEL")) return false;
+  if (!require_str_fits(model, kMaxNameLen, "model name") ||
+      !require_str_fits(from, kMaxNameLen, "source backend address") ||
+      !require_str_fits(to, kMaxNameLen, "target backend address") ||
+      !require_str_fits(path, kMaxPathLen, "engine path"))
+    return false;
+  if (!wire_tier_valid(tier)) {
+    error_ = "tier must be 0 or a weight bit-width in [2, 8]";
+    error_kind_ = ClientError::kProtocol;
+    return false;
+  }
+  std::vector<uint8_t> frame;
+  encode_move_model(model, tier, from, to, path, frame, version_);
+  return admin_roundtrip(frame, message);
+}
+
+std::optional<WirePlacement> TransportClient::get_placement() {
+  if (!require_connected(/*needs_v2=*/true)) return std::nullopt;
+  if (!require_v5("GET_PLACEMENT")) return std::nullopt;
+  std::vector<uint8_t> frame;
+  encode_get_placement(frame, version_);
+  if (!send_all(frame)) return std::nullopt;
+  std::vector<uint8_t> payload;
+  std::string admin_failure;
+  if (!recv_expected(FrameType::kPlacement, payload, &admin_failure))
+    return std::nullopt;
+  WirePlacement placement;
+  if (!decode_placement(payload.data(), payload.size(), &placement)) {
+    fail(ClientError::kProtocol, "malformed placement payload from server");
+    return std::nullopt;
+  }
+  return placement;
+}
+
 std::optional<std::vector<WireEvent>> TransportClient::dump_events(
     uint64_t since_ns, uint32_t max_events) {
   if (!require_connected(/*needs_v2=*/true)) return std::nullopt;

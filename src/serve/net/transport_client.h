@@ -142,6 +142,34 @@ class TransportClient {
                                                     uint32_t max_events = 0);
 
   // -------------------------------------------------------------------
+  // Proxy-admin plane (protocol v5): mutate / inspect a shard proxy's
+  // live placement table. Same failure rules as the v2 control plane —
+  // in-band refusals come back as false with the proxy's message. A
+  // plain backend refuses these ops in-band.
+  // -------------------------------------------------------------------
+
+  /// Register a new backend at host:port serving the given (model,
+  /// tier) cells; the proxy health-checks it and flips the placement
+  /// epoch on success.
+  bool add_backend(const std::string& host, uint16_t port,
+                   const std::vector<WireModelEntry>& models,
+                   std::string* message = nullptr);
+  /// Drain and retire the backend at `address` ("host:port"). The
+  /// proxy flips the epoch first, waits out in-flight forwards, then
+  /// retires its pooled connections — no request is dropped.
+  bool remove_backend(const std::string& address,
+                      std::string* message = nullptr);
+  /// Zero-drop migration: LOAD (model, tier) on `to` (from `path`, or
+  /// the target's already-loaded engine when empty), flip the epoch,
+  /// drain the source, UNLOAD there. Blocks until the move completes.
+  bool move_model(const std::string& model, uint8_t tier,
+                  const std::string& from, const std::string& to,
+                  const std::string& path = "",
+                  std::string* message = nullptr);
+  /// The proxy's current placement generation.
+  std::optional<WirePlacement> get_placement();
+
+  // -------------------------------------------------------------------
   // Raw frame I/O (shard proxy forwarding path): ship pre-encoded frame
   // bytes and receive one frame without interpreting its payload. The
   // same failure rules apply — any transport error (including a receive
@@ -174,6 +202,9 @@ class TransportClient {
   /// would serve the wrong precision) and must be a representable
   /// weight bit-width.
   bool require_tier_fits(uint8_t tier);
+  /// Proxy-admin frames do not exist before v5; a version-pinned older
+  /// client must fail loudly instead of emitting an alien type.
+  bool require_v5(const char* what);
   /// Send an admin frame and decode the kAdminResponse round trip:
   /// true on ok=1; false with the server's message latched (and copied
   /// to *message) on an in-band failure or transport error.

@@ -534,12 +534,29 @@ bool TransportServer::drain_frames(Connection& conn, uint64_t conn_id) {
         ++counters_.frames_out;
         break;
       }
+      case FrameType::kAddBackend:
+      case FrameType::kRemoveBackend:
+      case FrameType::kMoveModel:
+      case FrameType::kGetPlacement:
+        // Proxy-admin plane: a plain backend has no placement table.
+        // Answered in-band (not a stream error) so an admin tool probing
+        // the wrong endpoint gets a readable refusal, not a hangup.
+        encode_admin_response(
+            false,
+            "placement administration targets a shard proxy, not a backend",
+            conn.out);
+        {
+          MutexLock lock(counters_mu_);
+          ++counters_.frames_out;
+        }
+        break;
       case FrameType::kInfoResponse:
       case FrameType::kServeResponse:
       case FrameType::kAdminResponse:
       case FrameType::kModelList:
       case FrameType::kStatsResponse:
       case FrameType::kEventDump:
+      case FrameType::kPlacement:
         ok = false;  // server-bound streams must not carry responses
         break;
     }

@@ -1,0 +1,223 @@
+#include "serve/shard/placement.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+namespace fqbert::serve::shard {
+
+const char* placement_policy_name(PlacementPolicy policy) {
+  switch (policy) {
+    case PlacementPolicy::kExplicit:
+      return "explicit";
+    case PlacementPolicy::kConsistentHash:
+      return "consistent_hash";
+  }
+  return "unknown";
+}
+
+uint64_t placement_mix(uint64_t x) {
+  // splitmix64 finalizer (public domain, Vigna).
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+uint64_t placement_hash(std::string_view s) {
+  uint64_t h = 14695981039346656037ULL;  // FNV-1a offset basis
+  for (unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;  // FNV prime
+  }
+  return placement_mix(h);
+}
+
+void HashRing::add(const std::string& backend) {
+  const uint64_t seed = placement_hash(backend);
+  points_.reserve(points_.size() + kVirtualNodes);
+  for (int i = 0; i < kVirtualNodes; ++i) {
+    points_.emplace_back(placement_mix(seed ^ (0x9e3779b97f4a7c15ULL *
+                                               static_cast<uint64_t>(i + 1))),
+                         backend);
+  }
+  std::sort(points_.begin(), points_.end());
+}
+
+std::vector<std::string> HashRing::ordered(uint64_t key) const {
+  std::vector<std::string> out;
+  if (points_.empty()) return out;
+  // First point at or after the key's position; wrap past the top.
+  auto start = std::lower_bound(
+      points_.begin(), points_.end(),
+      std::make_pair(key, std::string()),
+      [](const auto& a, const auto& b) { return a.first < b.first; });
+  if (start == points_.end()) start = points_.begin();
+  const size_t base = static_cast<size_t>(start - points_.begin());
+  std::set<std::string> seen;
+  for (size_t step = 0; step < points_.size(); ++step) {
+    const auto& point = points_[(base + step) % points_.size()];
+    if (seen.insert(point.second).second) out.push_back(point.second);
+  }
+  return out;
+}
+
+std::vector<PlacementCell> PlacementSnapshot::candidates(
+    const std::string& model, uint64_t route_key) const {
+  auto it = by_model.find(model);
+  if (it == by_model.end()) return {};
+  if (policy == PlacementPolicy::kExplicit) return it->second;
+  auto ring_it = rings.find(model);
+  if (ring_it == rings.end()) return it->second;
+  // Ring order over addresses; carry each replica's declared tiers in
+  // that order (an address can hold several tiers of one model).
+  std::vector<PlacementCell> out;
+  out.reserve(it->second.size());
+  for (const std::string& address : ring_it->second.ordered(route_key)) {
+    for (const PlacementCell& cell : it->second) {
+      if (cell.name == address) out.push_back(cell);
+    }
+  }
+  return out;
+}
+
+PlacementTable::PlacementTable(PlacementPolicy policy) : policy_(policy) {
+  auto initial = std::make_shared<PlacementSnapshot>();
+  initial->policy = policy;
+  snapshot_.store(std::move(initial), std::memory_order_release);
+}
+
+void PlacementTable::publish(
+    std::map<std::string, std::vector<PlacementCell>> by_backend,
+    std::vector<std::string> member_order) {
+  auto next = std::make_shared<PlacementSnapshot>();
+  next->epoch = snapshot()->epoch + 1;
+  next->policy = policy_;
+  next->by_backend = std::move(by_backend);
+  next->member_order = std::move(member_order);
+  // Walk members in JOIN order so by_model replica lists keep the
+  // primary-first ordering the explicit policy promises.
+  for (const std::string& address : next->member_order) {
+    const auto& cells = next->by_backend.at(address);
+    std::set<std::string> ring_joined;
+    for (const PlacementCell& cell : cells) {
+      next->by_model[cell.name].push_back({address, cell.tier});
+      if (policy_ == PlacementPolicy::kConsistentHash &&
+          ring_joined.insert(cell.name).second) {
+        next->rings[cell.name].add(address);
+      }
+    }
+  }
+  snapshot_.store(std::move(next), std::memory_order_release);
+}
+
+bool PlacementTable::add_backend(const std::string& address,
+                                 const std::vector<PlacementCell>& models,
+                                 std::string* error) {
+  MutexLock lock(mu_);
+  auto current = snapshot();
+  if (address.empty()) {
+    if (error) *error = "backend address must be non-empty";
+    return false;
+  }
+  if (models.empty()) {
+    if (error) *error = "backend must declare at least one model";
+    return false;
+  }
+  if (current->has_backend(address)) {
+    if (error) *error = "backend " + address + " is already a member";
+    return false;
+  }
+  auto by_backend = current->by_backend;
+  auto member_order = current->member_order;
+  auto& cells = by_backend[address];
+  for (const PlacementCell& cell : models) {
+    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
+      cells.push_back(cell);
+    }
+  }
+  member_order.push_back(address);
+  publish(std::move(by_backend), std::move(member_order));
+  return true;
+}
+
+bool PlacementTable::remove_backend(const std::string& address,
+                                    std::string* error) {
+  MutexLock lock(mu_);
+  auto current = snapshot();
+  auto it = current->by_backend.find(address);
+  if (it == current->by_backend.end()) {
+    if (error) *error = "backend " + address + " is not a member";
+    return false;
+  }
+  // Never strand a model: every model this backend serves must keep at
+  // least one replica elsewhere.
+  for (const PlacementCell& cell : it->second) {
+    const auto& replicas = current->by_model.at(cell.name);
+    bool elsewhere = false;
+    for (const PlacementCell& replica : replicas) {
+      if (replica.name != address) {
+        elsewhere = true;
+        break;
+      }
+    }
+    if (!elsewhere) {
+      if (error) {
+        *error = "backend " + address + " is the last replica of model '" +
+                 cell.name + "'; move it first";
+      }
+      return false;
+    }
+  }
+  auto by_backend = current->by_backend;
+  auto member_order = current->member_order;
+  by_backend.erase(address);
+  member_order.erase(
+      std::remove(member_order.begin(), member_order.end(), address),
+      member_order.end());
+  publish(std::move(by_backend), std::move(member_order));
+  return true;
+}
+
+bool PlacementTable::move_model(const std::string& model, int tier,
+                                const std::string& from, const std::string& to,
+                                std::string* error) {
+  MutexLock lock(mu_);
+  auto current = snapshot();
+  auto from_it = current->by_backend.find(from);
+  if (from_it == current->by_backend.end()) {
+    if (error) *error = "source backend " + from + " is not a member";
+    return false;
+  }
+  if (!current->has_backend(to)) {
+    if (error) *error = "target backend " + to + " is not a member";
+    return false;
+  }
+  if (from == to) {
+    if (error) *error = "source and target backend are the same";
+    return false;
+  }
+  const PlacementCell cell{model, tier};
+  if (std::find(from_it->second.begin(), from_it->second.end(), cell) ==
+      from_it->second.end()) {
+    if (error) {
+      *error = "backend " + from + " does not serve model '" + model + "'" +
+               (tier != 0 ? " at that tier" : "");
+    }
+    return false;
+  }
+  auto by_backend = current->by_backend;
+  auto& from_cells = by_backend[from];
+  from_cells.erase(std::remove(from_cells.begin(), from_cells.end(), cell),
+                   from_cells.end());
+  // A backend left serving nothing stays a member (it can receive moves
+  // back); REMOVE_BACKEND is the only way out of the table.
+  auto& to_cells = by_backend[to];
+  if (std::find(to_cells.begin(), to_cells.end(), cell) == to_cells.end()) {
+    to_cells.push_back(cell);
+  }
+  publish(std::move(by_backend), current->member_order);
+  return true;
+}
+
+}  // namespace fqbert::serve::shard

@@ -1,0 +1,167 @@
+// PlacementTable: the shard proxy's routing brain as a first-class,
+// live-mutable subsystem. Placement used to be a table fixed at
+// process start; this extracts it into versioned, immutable snapshots
+// so membership and model placement can change while requests are in
+// flight.
+//
+// Concurrency model (RCU-style):
+//   * The data path calls snapshot() — an atomic shared_ptr load — and
+//     routes the whole request against that immutable snapshot. No
+//     per-request lock is taken and no mutator can tear the view.
+//   * Mutators (add_backend / remove_backend / move_model) serialize
+//     on a small mutex, build a NEW snapshot with the epoch bumped by
+//     one, and publish it with an atomic store. In-flight requests
+//     keep routing on the snapshot they resolved; the proxy compares
+//     epochs after a failure to decide "the world changed under me,
+//     re-resolve and retry" instead of erroring.
+//
+// Two policies:
+//   * kExplicit — today's behavior, preserved bit-for-bit: each model
+//     lists its replicas in declaration order and every request
+//     prefers them in that order (deterministic primary, failover down
+//     the list).
+//   * kConsistentHash — each model's replicas are placed on a 64-bit
+//     hash ring (kVirtualNodes points per backend); a request's route
+//     key picks the arc owner, and the failover order is the clockwise
+//     walk. A replica that joins takes over ONLY the arcs its own
+//     points claim — every other key keeps its previous owner, so a
+//     join warms one slice of the fleet instead of remapping all of it
+//     (verified by a unit test).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "platform/thread_annotations.h"
+
+namespace fqbert::serve::shard {
+
+/// How a model's replica list is ordered for a given request. Values
+/// travel in kPlacement frames as u8; append-only.
+enum class PlacementPolicy : uint8_t {
+  kExplicit = 0,        // declaration order, same for every request
+  kConsistentHash = 1,  // hash-ring order keyed by the request
+};
+
+/// Stable short name ("explicit" / "consistent_hash") for JSON/CLI.
+const char* placement_policy_name(PlacementPolicy policy);
+
+/// 64-bit string hash (FNV-1a folded through a splitmix64 finalizer —
+/// cheap, well-mixed, stable across runs so ring layouts are
+/// reproducible in tests).
+uint64_t placement_hash(std::string_view s);
+/// splitmix64 finalizer over an integer key (route keys, vnode seeds).
+uint64_t placement_mix(uint64_t x);
+
+/// One (model, tier) placement cell. On the model side `name` is a
+/// backend address; on the backend side it is a model name — the
+/// snapshot keeps both orientations.
+struct PlacementCell {
+  std::string name;
+  int tier = 0;  // declared weight_bits, 0 = backend's native tier
+
+  bool operator==(const PlacementCell&) const = default;
+};
+
+/// Consistent-hash ring over backend addresses. Immutable once inside
+/// a snapshot; PlacementTable rebuilds rings when membership changes.
+class HashRing {
+ public:
+  static constexpr int kVirtualNodes = 64;
+
+  void add(const std::string& backend);
+  bool empty() const { return points_.empty(); }
+
+  /// Clockwise walk from `key`'s arc: every distinct backend, nearest
+  /// owner first. The full failover order for this key.
+  std::vector<std::string> ordered(uint64_t key) const;
+
+ private:
+  // (point hash, backend) sorted by hash; ties broken by address so
+  // the layout is deterministic.
+  std::vector<std::pair<uint64_t, std::string>> points_;
+};
+
+/// One immutable placement generation. Built by PlacementTable under
+/// its mutex, then published read-only; every member is safe to read
+/// from any thread without synchronization.
+struct PlacementSnapshot {
+  uint64_t epoch = 0;
+  PlacementPolicy policy = PlacementPolicy::kExplicit;
+  /// Backend addresses in JOIN order. by_model replica lists follow
+  /// this order, which is what makes the explicit policy deterministic:
+  /// the first backend to declare a model is its primary, exactly as
+  /// the fixed-table proxy behaved.
+  std::vector<std::string> member_order;
+  /// model -> replicas (join order; the explicit-policy preference
+  /// order).
+  std::map<std::string, std::vector<PlacementCell>> by_model;
+  /// backend address -> (model, tier) cells it serves (the wire /
+  /// debug orientation).
+  std::map<std::string, std::vector<PlacementCell>> by_backend;
+  /// model -> ring over its replica addresses (consistent-hash policy
+  /// only; empty map under kExplicit).
+  std::map<std::string, HashRing> rings;
+
+  bool has_backend(const std::string& address) const {
+    return by_backend.count(address) != 0;
+  }
+  bool has_model(const std::string& model) const {
+    return by_model.count(model) != 0;
+  }
+
+  /// Ordered replica candidates for `model`: declaration order under
+  /// kExplicit, ring order keyed by `route_key` under kConsistentHash.
+  /// Empty when the model is not placed anywhere.
+  std::vector<PlacementCell> candidates(const std::string& model,
+                                        uint64_t route_key) const;
+};
+
+/// The live table: owns the current snapshot and serializes mutation.
+class PlacementTable {
+ public:
+  explicit PlacementTable(PlacementPolicy policy = PlacementPolicy::kExplicit);
+
+  /// The current generation (atomic load; never null). Route a whole
+  /// request against ONE snapshot — do not re-fetch mid-decision.
+  std::shared_ptr<const PlacementSnapshot> snapshot() const {
+    return snapshot_.load(std::memory_order_acquire);
+  }
+  uint64_t epoch() const { return snapshot()->epoch; }
+  PlacementPolicy policy() const { return snapshot()->policy; }
+
+  /// Add `address` serving `models` (each a (model, tier) cell; at
+  /// least one required, names/tier validated by the caller). Fails if
+  /// the address is already a member.
+  bool add_backend(const std::string& address,
+                   const std::vector<PlacementCell>& models,
+                   std::string* error = nullptr);
+
+  /// Remove `address` from every model's replica list. Fails if it is
+  /// not a member or if it is the LAST replica of any model — placement
+  /// never strands a model with zero replicas; move or unload first.
+  bool remove_backend(const std::string& address, std::string* error = nullptr);
+
+  /// Move the (model, tier) cell from backend `from` to backend `to`.
+  /// `to` must already be a member (its serving set gains the cell;
+  /// duplicates collapse). Fails when `from` does not hold the cell.
+  bool move_model(const std::string& model, int tier, const std::string& from,
+                  const std::string& to, std::string* error = nullptr);
+
+ private:
+  /// Rebuild by_model + rings from by_backend (walked in member_order),
+  /// bump the epoch, publish.
+  void publish(std::map<std::string, std::vector<PlacementCell>> by_backend,
+               std::vector<std::string> member_order) REQUIRES(mu_);
+
+  const PlacementPolicy policy_;
+  Mutex mu_;  // serializes mutators (never held on the read path)
+  std::atomic<std::shared_ptr<const PlacementSnapshot>> snapshot_;
+};
+
+}  // namespace fqbert::serve::shard

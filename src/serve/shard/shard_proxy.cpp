@@ -9,6 +9,7 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <functional>
@@ -25,6 +26,12 @@ namespace {
 /// Poll tick for the accept and per-connection loops: how quickly
 /// stop() is observed when a socket is silent.
 constexpr int kLoopTickMs = 100;
+
+/// How many times one request may re-resolve its replica list on a
+/// newer placement epoch before giving a terminal answer. One flip is
+/// the normal migration case; the bound only matters under
+/// pathological epoch flapping.
+constexpr int kMaxEpochRounds = 4;
 
 /// Retryable serve outcomes: the backend answered, but with a status
 /// that means "this replica cannot serve right now" (draining shutdown,
@@ -52,43 +59,21 @@ bool parse_model_spec(const std::string& spec, std::string* name,
   return !name->empty();
 }
 
-}  // namespace
-
-const char* backend_state_name(BackendState s) {
-  switch (s) {
-    case BackendState::kHealthy: return "healthy";
-    case BackendState::kSuspect: return "suspect";
-    case BackendState::kDown: return "down";
-  }
-  return "?";
-}
-
-ShardProxy::ShardProxy(const ShardProxyConfig& cfg) : cfg_(cfg) {
-  if (cfg_.max_connections < 1) cfg_.max_connections = 1;
-  if (cfg_.suspect_after < 1) cfg_.suspect_after = 1;
-  if (cfg_.down_after < cfg_.suspect_after) cfg_.down_after = cfg_.suspect_after;
-  if (cfg_.recover_after < 1) cfg_.recover_after = 1;
-}
-
-ShardProxy::~ShardProxy() { stop(); }
-
-bool ShardProxy::add_backend(const std::string& host, uint16_t port,
-                             const std::vector<std::string>& models,
-                             std::string* error) {
+/// Validate + parse a backend's model declarations into placement
+/// cells. Shared by the pre-start and live add paths so both refuse
+/// the same malformed inputs with the same messages.
+bool parse_backend_models(const std::string& address,
+                          const std::vector<std::string>& models,
+                          std::vector<PlacementCell>* cells,
+                          std::string* error) {
   auto fail = [&](const std::string& message) {
     if (error != nullptr) *error = message;
     return false;
   };
-  if (running_) return fail("cannot add a backend to a running proxy");
-  if (models.empty())
-    return fail("backend " + host + ":" + std::to_string(port) +
-                " declares no models");
-  for (const auto& b : backends_)
-    if (b->host == host && b->port == port)
-      return fail("backend " + b->address + " declared twice");
+  if (models.empty()) return fail("backend " + address + " declares no models");
   std::set<std::pair<std::string, int>> seen;
-  std::vector<std::pair<std::string, int>> parsed;
-  parsed.reserve(models.size());
+  cells->clear();
+  cells->reserve(models.size());
   for (const std::string& spec : models) {
     std::string name;
     int tier = 0;
@@ -100,30 +85,84 @@ bool ShardProxy::add_backend(const std::string& host, uint16_t port,
       return fail("model name '" + name + "' exceeds the wire limit");
     if (!seen.insert({name, tier}).second)
       return fail("model '" + spec + "' repeated within one backend");
-    parsed.emplace_back(std::move(name), tier);
+    cells->push_back({std::move(name), tier});
   }
+  return true;
+}
+
+}  // namespace
+
+const char* backend_state_name(BackendState s) {
+  switch (s) {
+    case BackendState::kHealthy: return "healthy";
+    case BackendState::kSuspect: return "suspect";
+    case BackendState::kDown: return "down";
+  }
+  return "?";
+}
+
+ShardProxy::ShardProxy(const ShardProxyConfig& cfg)
+    : cfg_(cfg), placement_(cfg.policy) {
+  if (cfg_.max_connections < 1) cfg_.max_connections = 1;
+  if (cfg_.suspect_after < 1) cfg_.suspect_after = 1;
+  if (cfg_.down_after < cfg_.suspect_after) cfg_.down_after = cfg_.suspect_after;
+  if (cfg_.recover_after < 1) cfg_.recover_after = 1;
+  // Publish the empty generation so routing() is never null.
+  MutexLock lock(control_mu_);
+  publish_routing({});
+}
+
+ShardProxy::~ShardProxy() { stop(); }
+
+void ShardProxy::publish_routing(
+    std::map<std::string, std::shared_ptr<Backend>> backends) {
+  auto next = std::make_shared<RoutingState>();
+  next->placement = placement_.snapshot();
+  next->order.reserve(backends.size());
+  for (const std::string& address : next->placement->member_order)
+    next->order.push_back(backends.at(address));
+  next->backends = std::move(backends);
+  routing_.store(std::move(next), std::memory_order_release);
+}
+
+bool ShardProxy::add_backend(const std::string& host, uint16_t port,
+                             const std::vector<std::string>& models,
+                             std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (running_) return fail("cannot add a backend to a running proxy");
+  const std::string address = host + ":" + std::to_string(port);
+  std::vector<PlacementCell> cells;
+  if (!parse_backend_models(address, models, &cells, error)) return false;
+
+  MutexLock lock(control_mu_);
+  if (routing()->backends.count(address) != 0)
+    return fail("backend " + address + " declared twice");
 
   net::ClientPoolConfig pool_cfg;
   pool_cfg.capacity = cfg_.pool_capacity;
   pool_cfg.connect_timeout = cfg_.connect_timeout;
   pool_cfg.recv_timeout = cfg_.call_timeout;
-  auto backend = std::make_unique<Backend>(host, port, models, pool_cfg);
+  auto backend = std::make_shared<Backend>(host, port, models, pool_cfg);
   {
     // Pre-start, single-threaded — locked only to satisfy the
     // thread-safety analysis, which cannot see the publication order.
-    MutexLock lock(backend->health_mu);
+    MutexLock health_lock(backend->health_mu);
     backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
   }
-  for (const auto& [name, tier] : parsed)
-    placement_[name].push_back({backend.get(), tier});
-  if (default_model_.empty()) default_model_ = parsed.front().first;
-  backends_.push_back(std::move(backend));
+  if (!placement_.add_backend(address, cells, error)) return false;
+  if (default_model_.empty()) default_model_ = cells.front().name;
+  auto backends = routing()->backends;
+  backends[address] = std::move(backend);
+  publish_routing(std::move(backends));
   return true;
 }
 
 bool ShardProxy::start() {
   if (running_) return true;
-  if (backends_.empty()) {
+  if (routing()->order.empty()) {
     std::fprintf(stderr, "shard proxy: no backends declared\n");
     return false;
   }
@@ -159,7 +198,7 @@ bool ShardProxy::start() {
   port_ = ntohs(bound.sin_port);
 
   stopping_ = false;
-  for (auto& b : backends_) b->pool.reopen();  // undo a prior stop()
+  for (const auto& b : routing()->order) b->pool.reopen();  // undo a stop()
   running_ = true;
   accept_thread_ = std::thread([this] { accept_loop(); });
   health_thread_ = std::thread([this] { health_loop(); });
@@ -181,7 +220,7 @@ void ShardProxy::stop() {
 
   // Abort in-flight forwards FIRST: a connection thread blocked on a
   // backend recv would otherwise hold stop() for up to call_timeout.
-  for (auto& b : backends_) b->pool.shutdown_all();
+  for (const auto& b : routing()->order) b->pool.shutdown_all();
 
   std::map<uint64_t, std::thread> threads;
   {
@@ -194,7 +233,11 @@ void ShardProxy::stop() {
   for (auto& [id, t] : threads)
     if (t.joinable()) t.join();
 
-  for (auto& b : backends_) {
+  // Re-fetch: an admin frame may have changed membership between the
+  // first snapshot and the last connection thread exiting. No mutator
+  // can run past this point.
+  for (const auto& b : routing()->order) {
+    b->pool.shutdown_all();
     b->pool.clear();
     MutexLock lock(b->health_mu);
     b->health.close();
@@ -205,16 +248,19 @@ void ShardProxy::stop() {
 }
 
 std::vector<std::string> ShardProxy::model_names() const {
+  const auto placement = placement_.snapshot();
   std::vector<std::string> names;
-  names.reserve(placement_.size());
-  for (const auto& [name, replicas] : placement_) names.push_back(name);
+  names.reserve(placement->by_model.size());
+  for (const auto& [name, replicas] : placement->by_model)
+    names.push_back(name);
   return names;
 }
 
 std::vector<ShardProxy::BackendStatus> ShardProxy::backend_status() const {
+  const auto routing = this->routing();
   std::vector<BackendStatus> out;
-  out.reserve(backends_.size());
-  for (const auto& b : backends_) {
+  out.reserve(routing->order.size());
+  for (const auto& b : routing->order) {
     BackendStatus s;
     s.address = b->address;
     s.models = b->models;
@@ -241,7 +287,261 @@ ShardProxy::Counters ShardProxy::counters() const {
   c.protocol_errors = protocol_errors_;
   c.admin_frames = admin_frames_;
   c.health_transitions = health_transitions_;
+  c.placement_changes = placement_changes_;
+  c.epoch_retries = epoch_retries_;
   return c;
+}
+
+net::WirePlacement ShardProxy::placement_view() const {
+  const auto routing = this->routing();
+  net::WirePlacement wire;
+  wire.epoch = routing->placement->epoch;
+  wire.policy = static_cast<uint8_t>(routing->placement->policy);
+  wire.default_model = default_model_;
+  wire.backends.reserve(routing->order.size());
+  for (const auto& backend : routing->order) {
+    net::WireBackendPlacement row;
+    row.address = backend->address;
+    row.state = static_cast<uint8_t>(backend_state(*backend));
+    const auto& cells = routing->placement->by_backend.at(backend->address);
+    row.models.reserve(cells.size());
+    for (const PlacementCell& cell : cells)
+      row.models.push_back({cell.name, static_cast<uint8_t>(cell.tier)});
+    wire.backends.push_back(std::move(row));
+  }
+  return wire;
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic placement mutators
+// ---------------------------------------------------------------------------
+
+void ShardProxy::drain_backend(Backend& backend) {
+  const TimePoint deadline = Clock::now() + cfg_.drain_timeout;
+  while (backend.inflight.load(std::memory_order_acquire) != 0) {
+    if (stopping_) return;  // stop() aborts the forwards itself
+    if (cfg_.drain_timeout.count() > 0 && Clock::now() >= deadline) return;
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+}
+
+bool ShardProxy::admin_add_backend(const std::string& host, uint16_t port,
+                                   const std::vector<std::string>& models,
+                                   std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  const std::string address = host + ":" + std::to_string(port);
+  std::vector<PlacementCell> cells;
+  if (!parse_backend_models(address, models, &cells, error)) return false;
+
+  MutexLock lock(control_mu_);
+  if (routing()->backends.count(address) != 0)
+    return fail("backend " + address + " is already a member");
+
+  net::ClientPoolConfig pool_cfg;
+  pool_cfg.capacity = cfg_.pool_capacity;
+  pool_cfg.connect_timeout = cfg_.connect_timeout;
+  pool_cfg.recv_timeout = cfg_.call_timeout;
+  auto backend = std::make_shared<Backend>(host, port, models, pool_cfg);
+  {
+    MutexLock health_lock(backend->health_mu);
+    backend->health.set_timeouts(cfg_.health_timeout, cfg_.health_timeout);
+  }
+  // Admit only a reachable backend: an unreachable one would start in
+  // the replica rotation and blackhole its share of traffic until the
+  // health machine condemned it.
+  bool reachable = false;
+  {
+    MutexLock health_lock(backend->health_mu);
+    if (backend->health.connect(host, port)) {
+      const auto info = backend->health.query_info("");
+      reachable = info.has_value() ||
+                  (backend->health.connected() &&
+                   backend->health.error_kind() == net::ClientError::kNone);
+    }
+  }
+  if (!reachable)
+    return fail("backend " + address + " is unreachable (health probe failed)");
+
+  if (!placement_.add_backend(address, cells, error)) return false;
+  if (!running_ && default_model_.empty())
+    default_model_ = cells.front().name;
+  auto backends = routing()->backends;
+  backends[address] = std::move(backend);
+  publish_routing(std::move(backends));
+  ++placement_changes_;
+  FlightRecorder::instance().record(FlightEventType::kBackendAdded, address,
+                                    0, 0, 0, 0, placement_.epoch());
+  return true;
+}
+
+bool ShardProxy::admin_remove_backend(const std::string& address,
+                                      std::string* error) {
+  std::shared_ptr<Backend> victim;
+  {
+    MutexLock lock(control_mu_);
+    const auto current = routing();
+    auto it = current->backends.find(address);
+    if (it == current->backends.end()) {
+      if (error != nullptr) *error = "backend " + address + " is not a member";
+      return false;
+    }
+    // The last-replica rule lives in the table: removal that would
+    // strand a model is refused before any epoch flips.
+    if (!placement_.remove_backend(address, error)) return false;
+    victim = it->second;
+    auto backends = current->backends;
+    backends.erase(address);
+    publish_routing(std::move(backends));
+    ++placement_changes_;
+    FlightRecorder::instance().record(FlightEventType::kBackendRemoved,
+                                      address, 0, 0, 0, 0, placement_.epoch());
+  }
+  // Epoch already flipped: no NEW request can route here. Wait out the
+  // forwards that resolved on the old epoch, then retire the pooled
+  // connections — drain-first, so nothing in flight is cut.
+  drain_backend(*victim);
+  victim->pool.shutdown_all();
+  victim->pool.clear();
+  {
+    MutexLock health_lock(victim->health_mu);
+    victim->health.close();
+  }
+  // `victim` itself stays alive through any routing snapshot still
+  // pinned by an in-flight request; the last release runs ~Backend and
+  // closes whatever descriptors remain.
+  return true;
+}
+
+bool ShardProxy::admin_move_model(const std::string& model, uint8_t tier,
+                                  const std::string& from,
+                                  const std::string& to,
+                                  const std::string& path,
+                                  std::string* error) {
+  auto fail = [&](const std::string& message) {
+    if (error != nullptr) *error = message;
+    return false;
+  };
+  if (model.empty()) return fail("model name must be non-empty");
+  if (!net::wire_tier_valid(tier))
+    return fail("tier must be 0 or a weight bit-width in [2, 8]");
+
+  MutexLock lock(control_mu_);
+  const auto current = routing();
+  auto from_it = current->backends.find(from);
+  if (from_it == current->backends.end())
+    return fail("source backend " + from + " is not a member");
+  auto to_it = current->backends.find(to);
+  if (to_it == current->backends.end())
+    return fail("target backend " + to + " is not a member");
+  if (from == to) return fail("source and target backend are the same");
+  const PlacementCell cell{model, static_cast<int>(tier)};
+  const auto& from_cells = current->placement->by_backend.at(from);
+  if (std::find(from_cells.begin(), from_cells.end(), cell) ==
+      from_cells.end())
+    return fail("backend " + from + " does not serve model '" + model + "'" +
+                (tier != 0 ? " at that tier" : ""));
+
+  // Step 1: make the target actually serve (model, tier) BEFORE any
+  // routing changes — flipping placement toward an engine that is not
+  // loaded yet would bounce requests mid-migration.
+  Backend& target = *to_it->second;
+  if (!path.empty()) {
+    bool load_ok = false;
+    std::string load_message;
+    const bool transport_ok =
+        with_backend_conn(target, [&](net::ClientPool::Handle& conn) {
+          load_ok = conn->load_model(model, path, &load_message, tier);
+          return load_ok || (conn->connected() &&
+                             conn->error_kind() == net::ClientError::kNone);
+        });
+    if (!transport_ok)
+      return fail("target backend " + to + " is unreachable");
+    if (!load_ok)
+      return fail("LOAD on target " + to + " failed: " + load_message);
+  } else {
+    std::optional<std::vector<net::WireModelEntry>> list;
+    const bool transport_ok =
+        with_backend_conn(target, [&](net::ClientPool::Handle& conn) {
+          list = conn->list_models_tiered();
+          return list.has_value();
+        });
+    if (!transport_ok || !list)
+      return fail("target backend " + to + " is unreachable");
+    bool present = false;
+    for (const net::WireModelEntry& e : *list)
+      if (e.name == model && (tier == 0 || e.tier == tier)) {
+        present = true;
+        break;
+      }
+    if (!present) {
+      if (tier == 0)
+        return fail("target " + to + " does not serve model '" + model +
+                    "' and no engine path was given");
+      // Mint the tier from the target's already-loaded default engine
+      // (the empty-path LOAD dialect).
+      bool mint_ok = false;
+      std::string mint_message;
+      const bool mint_transport_ok =
+          with_backend_conn(target, [&](net::ClientPool::Handle& conn) {
+            mint_ok = conn->load_model(model, "", &mint_message, tier);
+            return mint_ok || (conn->connected() &&
+                               conn->error_kind() == net::ClientError::kNone);
+          });
+      if (!mint_transport_ok)
+        return fail("target backend " + to + " is unreachable");
+      if (!mint_ok)
+        return fail("LOAD on target " + to + " failed: " + mint_message);
+    }
+  }
+
+  // Step 2: flip the placement epoch. From this instant every new
+  // request for the cell routes to the target.
+  if (!placement_.move_model(model, static_cast<int>(tier), from, to, error))
+    return false;
+  publish_routing(current->backends);
+  ++placement_changes_;
+  FlightRecorder::instance().record(FlightEventType::kPlacementChanged, model,
+                                    0, tier, 0, 0, placement_.epoch());
+
+  // Step 3: drain the source's in-flight forwards (requests that
+  // resolved on the old epoch), then unload the engine there. Requests
+  // for OTHER models keep flowing to the source throughout.
+  Backend& source = *from_it->second;
+  drain_backend(source);
+
+  bool still_has_model = false;
+  for (const PlacementCell& c : placement_.snapshot()->by_backend.at(from))
+    if (c.name == model) {
+      still_has_model = true;
+      break;
+    }
+  std::string warning;
+  if (still_has_model) {
+    // A tier-0 UNLOAD drops every tier and a tiered UNLOAD may share
+    // its lane with the default declaration — with another cell of the
+    // same model still placed here, leaving the engine loaded is the
+    // only safe call.
+    warning = "source " + from + " still serves model '" + model +
+              "'; engine left loaded";
+  } else {
+    bool unload_ok = false;
+    std::string unload_message;
+    const bool transport_ok =
+        with_backend_conn(source, [&](net::ClientPool::Handle& conn) {
+          unload_ok = conn->unload_model(model, &unload_message, tier);
+          return unload_ok || (conn->connected() &&
+                               conn->error_kind() == net::ClientError::kNone);
+        });
+    if (!transport_ok || !unload_ok)
+      warning = "UNLOAD on source " + from + " failed (" +
+                (transport_ok ? unload_message : "unreachable") +
+                "); placement updated anyway";
+  }
+  if (error != nullptr) *error = warning;
+  return true;
 }
 
 // ---------------------------------------------------------------------------
@@ -304,10 +604,14 @@ void ShardProxy::run_health_round() {
   // Probe concurrently: serially, one blackholed backend would burn
   // its whole health_timeout before the NEXT backend is even looked
   // at, coupling every backend's detection latency to the slowest.
+  // The round pins ONE routing snapshot; a backend added mid-round is
+  // probed next round, a backend removed mid-round gets one harmless
+  // farewell probe (its shared_ptr keeps it alive).
+  const auto routing = this->routing();
   std::vector<std::thread> probes;
-  probes.reserve(backends_.size());
-  for (const auto& b : backends_) {
-    probes.emplace_back([this, backend = b.get()] {
+  probes.reserve(routing->order.size());
+  for (const auto& b : routing->order) {
+    probes.emplace_back([this, backend = b] {
       bool ok = false;
       {
         MutexLock lock(backend->health_mu);
@@ -476,8 +780,9 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
       return handle_stats(fd, hdr, payload, len);
     case net::FrameType::kLoadModel:
     case net::FrameType::kUnloadModel: {
-      // Placement is explicit; mutating a backend's model set behind
-      // the table's back would desynchronize routing. Refused in-band.
+      // Mutating a backend's model set behind the table's back would
+      // desynchronize routing. Refused in-band; MOVE_MODEL is the
+      // placement-aware way to migrate an engine.
       std::string a, b;
       uint8_t tier = 0;
       const bool parsed =
@@ -501,12 +806,21 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
     }
     case net::FrameType::kDumpEvents:
       return handle_dump_events(fd, hdr, payload, len);
+    case net::FrameType::kAddBackend:
+      return handle_add_backend(fd, hdr, payload, len);
+    case net::FrameType::kRemoveBackend:
+      return handle_remove_backend(fd, hdr, payload, len);
+    case net::FrameType::kMoveModel:
+      return handle_move_model(fd, hdr, payload, len);
+    case net::FrameType::kGetPlacement:
+      return handle_get_placement(fd, hdr, len);
     case net::FrameType::kInfoResponse:
     case net::FrameType::kServeResponse:
     case net::FrameType::kAdminResponse:
     case net::FrameType::kModelList:
     case net::FrameType::kStatsResponse:
     case net::FrameType::kEventDump:
+    case net::FrameType::kPlacement:
       ++protocol_errors_;  // proxy-bound streams must not carry responses
       return false;
   }
@@ -514,10 +828,12 @@ bool ShardProxy::handle_frame(int fd, const net::FrameHeader& hdr,
   return false;
 }
 
-std::vector<ShardProxy::Backend*> ShardProxy::candidates_for(
-    const std::string& model, uint8_t tier) const {
-  auto it = placement_.find(model);
-  if (it == placement_.end()) return {};
+std::vector<std::shared_ptr<ShardProxy::Backend>> ShardProxy::candidates_for(
+    const RoutingState& routing, const std::string& model, uint8_t tier,
+    uint64_t route_key) const {
+  const std::vector<PlacementCell> placed =
+      routing.placement->candidates(model, route_key);
+  if (placed.empty()) return {};
   // Preference groups. A tiered request tries entries pinned to that
   // exact tier first, then generic entries (an undeclared replica may
   // still carry the tier, and answers kRejectedUnknownTier if not);
@@ -525,17 +841,22 @@ std::vector<ShardProxy::Backend*> ShardProxy::candidates_for(
   // default-tier request prefers generic entries but falls back to
   // pinned ones — they serve the model too, at whatever their default
   // lane runs. Within each group, non-down before down; a backend
-  // appears at most once even if several of its entries match.
-  std::vector<Backend*> order;
-  order.reserve(it->second.size());
-  std::set<Backend*> taken;
+  // appears at most once even if several of its entries match. The
+  // cells arrive already ordered by the placement policy (declaration
+  // order, or the hash-ring walk for this route key).
+  std::vector<std::shared_ptr<Backend>> order;
+  order.reserve(placed.size());
+  std::set<const Backend*> taken;
   const auto add_group = [&](const std::function<bool(int)>& match) {
     for (const bool want_up : {true, false})
-      for (const Placed& p : it->second) {
-        if (!match(p.tier)) continue;
-        const bool up = backend_state(*p.backend) != BackendState::kDown;
+      for (const PlacementCell& cell : placed) {
+        if (!match(cell.tier)) continue;
+        const auto it = routing.backends.find(cell.name);
+        if (it == routing.backends.end()) continue;
+        const bool up = backend_state(*it->second) != BackendState::kDown;
         if (up != want_up) continue;
-        if (taken.insert(p.backend).second) order.push_back(p.backend);
+        if (taken.insert(it->second.get()).second)
+          order.push_back(it->second);
       }
   };
   if (tier == 0) {
@@ -608,22 +929,11 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
     return false;
   }
   const std::string& resolved = model.empty() ? default_model_ : model;
-
-  std::vector<Backend*> replicas = candidates_for(resolved, tier);
-  if (replicas.empty()) {
-    // Distinguish "no such model" from "model exists, but nothing in
-    // the placement table can carry that precision tier".
-    const bool known_model = placement_.count(resolved) != 0;
-    if (known_model)
-      ++unknown_tier_;
-    else
-      ++unknown_model_;
-    synthesize_serve_response(fd, hdr.version, correlation,
-                              known_model
-                                  ? RequestStatus::kRejectedUnknownTier
-                                  : RequestStatus::kRejectedUnknownModel);
-    return true;
-  }
+  // Route key for the consistent-hash policy: the trace id when the
+  // client sent one, else the correlation id — both stable for the
+  // request's whole failover walk.
+  const uint64_t route_key =
+      placement_mix(trace_id != 0 ? trace_id : correlation);
 
   // A frame that already names its model (v3/v4) is forwarded verbatim
   // (no copy, token bytes never re-decoded); empty-model and pre-v3
@@ -634,16 +944,7 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
   std::vector<uint8_t> rewritten;
   const uint8_t* send_data = frame;
   size_t send_len = frame_len;
-  if (model.empty() || hdr.version < 3) {
-    if (trace_id == 0) trace_id = mint_trace_id();
-    if (!net::rewrite_serve_request_model(frame, frame_len, resolved,
-                                          trace_id, &rewritten, tier)) {
-      ++protocol_errors_;
-      return false;
-    }
-    send_data = rewritten.data();
-    send_len = rewritten.size();
-  }
+  bool prepared = false;
 
   int attempts = 0;
   bool saw_unknown_tier = false;
@@ -655,102 +956,164 @@ bool ShardProxy::handle_serve(int fd, const net::FrameHeader& hdr,
         static_cast<uint16_t>(std::min(attempts, 0xFFFF)));
   };
   std::vector<int64_t> forward_times;  // rel. to receipt, one per attempt
-  for (Backend* backend : replicas) {
-    if (stopping_) break;  // shutdown: fail terminal, don't keep trying
-    forward_times.push_back(rel_now());
-    net::FrameHeader rhdr;
-    std::vector<uint8_t> rpayload;
-    if (!forward_serve_once(*backend, send_data, send_len, correlation,
-                            &rhdr, rpayload)) {
-      note_outcome(*backend, false, /*health_probe=*/false);
-      ++attempts;
-      journal_retry(*backend);
-      continue;
-    }
-    uint64_t rcorr = 0;
-    RequestStatus status{};
-    net::peek_serve_response(rpayload.data(), rpayload.size(), &rcorr,
-                             &status);  // validated in forward_serve_once
-    if (status == RequestStatus::kRejectedUnknownTier) {
-      // The replica is healthy — it just does not carry this tier
-      // (replicas may pin different tier subsets). Try the next
-      // candidate; remember the verdict so exhaustion reports
-      // unknown-tier rather than engine failure.
-      note_outcome(*backend, true, /*health_probe=*/false);
-      saw_unknown_tier = true;
-      ++attempts;
-      journal_retry(*backend);
-      continue;
-    }
-    if (status_is_retryable(status)) {
-      note_outcome(*backend, false, /*health_probe=*/false);
-      ++attempts;
-      journal_retry(*backend);
-      continue;
-    }
-    // A v3 response must carry a well-formed trailing trace section
-    // (possibly empty); one that does not is a protocol violation and
-    // fails over like any other bad response.
-    size_t trace_start = rpayload.size();
-    uint64_t backend_trace = 0;
-    std::vector<TraceEvent> backend_stages;
-    uint8_t backend_tier = 0;
-    if (rhdr.version >= 3 &&
-        !net::split_serve_response_trace(rpayload.data(), rpayload.size(),
-                                         rhdr.version, &trace_start,
-                                         &backend_trace, &backend_stages,
-                                         &backend_tier)) {
-      note_outcome(*backend, false, /*health_probe=*/false);
-      ++attempts;
-      continue;
-    }
-    note_outcome(*backend, true, /*health_probe=*/false);
 
-    // Relay. v3 tracing clients get the backend's stages spliced into
-    // this hop's timeline (t = 0 at frame receipt): receipt, every
-    // forward attempt — retries included, which is how a failover shows
-    // up in one trace — then the backend stages shifted to the
-    // successful forward's instant, then the response relay. Pre-v3
-    // clients get the trace section stripped byte-exactly; v1 clients
-    // additionally get a v1-era status byte.
-    if (rhdr.version >= 3) {
-      if (hdr.version >= 3 && trace_id != 0) {
-        std::vector<TraceEvent> merged;
-        merged.push_back({TraceStage::kProxyReceived, 0});
-        for (size_t i = 0; i < forward_times.size(); ++i)
-          merged.push_back({i == 0 ? TraceStage::kProxyForward
-                                   : TraceStage::kProxyRetry,
-                            forward_times[i]});
-        const int64_t shift = forward_times.back();
-        for (TraceEvent ev : backend_stages) {
-          ev.t_us += shift;
-          merged.push_back(ev);
+  // Epoch-retry loop: the request resolves its replicas against ONE
+  // routing snapshot; if every candidate fails AND the placement epoch
+  // moved meanwhile (a migration or removal mid-request), it re-resolves
+  // on the current epoch instead of erroring — the zero-drop guarantee
+  // for requests caught straddling a flip.
+  for (int round = 0; round < kMaxEpochRounds; ++round) {
+    const std::shared_ptr<const RoutingState> routing = this->routing();
+    const uint64_t epoch = routing->placement->epoch;
+    const std::vector<std::shared_ptr<Backend>> replicas =
+        candidates_for(*routing, resolved, tier, route_key);
+    if (replicas.empty()) {
+      // Distinguish "no such model" from "model exists, but nothing in
+      // the placement table can carry that precision tier".
+      const bool known_model = routing->placement->has_model(resolved);
+      if (known_model)
+        ++unknown_tier_;
+      else
+        ++unknown_model_;
+      synthesize_serve_response(fd, hdr.version, correlation,
+                                known_model
+                                    ? RequestStatus::kRejectedUnknownTier
+                                    : RequestStatus::kRejectedUnknownModel);
+      return true;
+    }
+    if (!prepared) {
+      prepared = true;
+      if (model.empty() || hdr.version < 3) {
+        if (trace_id == 0) trace_id = mint_trace_id();
+        if (!net::rewrite_serve_request_model(frame, frame_len, resolved,
+                                              trace_id, &rewritten, tier)) {
+          ++protocol_errors_;
+          return false;
         }
-        merged.push_back({TraceStage::kProxyResponse, rel_now()});
-        rpayload.resize(trace_start);
-        net::encode_trace_section(trace_id, merged, rpayload);
-        // Re-append the resolved-tier byte the trace rebuild truncated
-        // (the v4 layout places it after the trace section).
-        if (rhdr.version >= 4 && hdr.version >= 4)
-          rpayload.push_back(backend_tier);
-      } else if (hdr.version < 3) {
-        rpayload.resize(trace_start);
+        send_data = rewritten.data();
+        send_len = rewritten.size();
       }
     }
-    if (hdr.version < 2 &&
-        status == RequestStatus::kRejectedUnknownModel &&
-        rpayload.size() > 8)
-      // lint-wire: fixed-offset status-byte splice, size-guarded above.
-      rpayload[8] = static_cast<uint8_t>(RequestStatus::kRejectedInvalid);
-    std::vector<uint8_t> out;
-    net::FrameHeader relay = rhdr;
-    relay.version = hdr.version;
-    relay.payload_len = static_cast<uint32_t>(rpayload.size());
-    net::encode_frame_header(relay, out);
-    out.insert(out.end(), rpayload.begin(), rpayload.end());
-    ++served_;
-    if (attempts > 0) ++failovers_;
-    return send_to_client(fd, out);
+
+    bool reresolve = false;
+    for (const std::shared_ptr<Backend>& backend : replicas) {
+      if (stopping_) break;  // shutdown: fail terminal, don't keep trying
+      forward_times.push_back(rel_now());
+      net::FrameHeader rhdr;
+      std::vector<uint8_t> rpayload;
+      if (!forward_serve_once(*backend, send_data, send_len, correlation,
+                              &rhdr, rpayload)) {
+        note_outcome(*backend, false, /*health_probe=*/false);
+        ++attempts;
+        journal_retry(*backend);
+        continue;
+      }
+      uint64_t rcorr = 0;
+      RequestStatus status{};
+      net::peek_serve_response(rpayload.data(), rpayload.size(), &rcorr,
+                               &status);  // validated in forward_serve_once
+      if (status == RequestStatus::kRejectedUnknownModel &&
+          placement_.epoch() != epoch && round + 1 < kMaxEpochRounds) {
+        // The backend answered from a placement generation the proxy
+        // has already left (it unloaded the engine mid-migration).
+        // Its transport is fine; re-resolve instead of relaying a
+        // rejection the CURRENT placement would not produce.
+        note_outcome(*backend, true, /*health_probe=*/false);
+        ++attempts;
+        journal_retry(*backend);
+        reresolve = true;
+        break;
+      }
+      if (status == RequestStatus::kRejectedUnknownTier) {
+        // The replica is healthy — it just does not carry this tier
+        // (replicas may pin different tier subsets). Try the next
+        // candidate; remember the verdict so exhaustion reports
+        // unknown-tier rather than engine failure.
+        note_outcome(*backend, true, /*health_probe=*/false);
+        saw_unknown_tier = true;
+        ++attempts;
+        journal_retry(*backend);
+        continue;
+      }
+      if (status_is_retryable(status)) {
+        note_outcome(*backend, false, /*health_probe=*/false);
+        ++attempts;
+        journal_retry(*backend);
+        continue;
+      }
+      // A v3 response must carry a well-formed trailing trace section
+      // (possibly empty); one that does not is a protocol violation and
+      // fails over like any other bad response.
+      size_t trace_start = rpayload.size();
+      uint64_t backend_trace = 0;
+      std::vector<TraceEvent> backend_stages;
+      uint8_t backend_tier = 0;
+      if (rhdr.version >= 3 &&
+          !net::split_serve_response_trace(rpayload.data(), rpayload.size(),
+                                           rhdr.version, &trace_start,
+                                           &backend_trace, &backend_stages,
+                                           &backend_tier)) {
+        note_outcome(*backend, false, /*health_probe=*/false);
+        ++attempts;
+        continue;
+      }
+      note_outcome(*backend, true, /*health_probe=*/false);
+
+      // Relay. v3 tracing clients get the backend's stages spliced into
+      // this hop's timeline (t = 0 at frame receipt): receipt, every
+      // forward attempt — retries included, which is how a failover
+      // shows up in one trace — then the backend stages shifted to the
+      // successful forward's instant, then the response relay. Pre-v3
+      // clients get the trace section stripped byte-exactly; v1 clients
+      // additionally get a v1-era status byte.
+      if (rhdr.version >= 3) {
+        if (hdr.version >= 3 && trace_id != 0) {
+          std::vector<TraceEvent> merged;
+          merged.push_back({TraceStage::kProxyReceived, 0});
+          for (size_t i = 0; i < forward_times.size(); ++i)
+            merged.push_back({i == 0 ? TraceStage::kProxyForward
+                                     : TraceStage::kProxyRetry,
+                              forward_times[i]});
+          const int64_t shift = forward_times.back();
+          for (TraceEvent ev : backend_stages) {
+            ev.t_us += shift;
+            merged.push_back(ev);
+          }
+          merged.push_back({TraceStage::kProxyResponse, rel_now()});
+          rpayload.resize(trace_start);
+          net::encode_trace_section(trace_id, merged, rpayload);
+          // Re-append the resolved-tier byte the trace rebuild truncated
+          // (the v4 layout places it after the trace section).
+          if (rhdr.version >= 4 && hdr.version >= 4)
+            rpayload.push_back(backend_tier);
+        } else if (hdr.version < 3) {
+          rpayload.resize(trace_start);
+        }
+      }
+      if (hdr.version < 2 &&
+          status == RequestStatus::kRejectedUnknownModel &&
+          rpayload.size() > 8)
+        // lint-wire: fixed-offset status-byte splice, size-guarded above.
+        rpayload[8] = static_cast<uint8_t>(RequestStatus::kRejectedInvalid);
+      std::vector<uint8_t> out;
+      net::FrameHeader relay = rhdr;
+      relay.version = hdr.version;
+      relay.payload_len = static_cast<uint32_t>(rpayload.size());
+      net::encode_frame_header(relay, out);
+      out.insert(out.end(), rpayload.begin(), rpayload.end());
+      ++served_;
+      if (attempts > 0) ++failovers_;
+      return send_to_client(fd, out);
+    }
+    if (stopping_) break;
+    if (reresolve ||
+        (round + 1 < kMaxEpochRounds && placement_.epoch() != epoch)) {
+      ++epoch_retries_;
+      // The new epoch re-judges tier coverage from scratch.
+      saw_unknown_tier = false;
+      continue;
+    }
+    break;
   }
 
   // Every replica failed; the client still gets a terminal response
@@ -778,7 +1141,8 @@ bool ShardProxy::handle_info(int fd, const net::FrameHeader& hdr,
     return false;
   }
   const std::string& resolved = model.empty() ? default_model_ : model;
-  for (Backend* backend : candidates_for(resolved, tier)) {
+  const auto routing = this->routing();
+  for (const auto& backend : candidates_for(*routing, resolved, tier, 0)) {
     std::optional<nn::BertConfig> config;
     const bool transport_ok =
         with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
@@ -819,11 +1183,14 @@ bool ShardProxy::handle_list(int fd, const net::FrameHeader& hdr,
     return false;
   }
   ++admin_frames_;
-  // Union of every reachable backend's (model, tier) rows. v4 clients
-  // see the tier column; pre-v4 clients see each name once, as before.
+  // Union of every reachable backend's (model, tier) rows, against ONE
+  // routing snapshot: a backend removed mid-fan-out simply fails its
+  // checkout (closed pool) and is skipped like an unreachable one. v4
+  // clients see the tier column; pre-v4 clients see each name once.
+  const auto routing = this->routing();
   std::set<std::pair<std::string, uint8_t>> entries;
   bool any_backend = false;
-  for (const auto& backend : backends_) {
+  for (const auto& backend : routing->order) {
     if (backend_state(*backend) == BackendState::kDown) continue;
     std::optional<std::vector<net::WireModelEntry>> list;
     const bool transport_ok =
@@ -859,9 +1226,9 @@ bool ShardProxy::handle_list(int fd, const net::FrameHeader& hdr,
 }
 
 std::vector<ServeStats::Report> ShardProxy::collect_reports(
-    const std::string& model, uint8_t tier) {
+    const RoutingState& routing, const std::string& model, uint8_t tier) {
   std::vector<ServeStats::Report> reports;
-  for (Backend* backend : candidates_for(model, tier)) {
+  for (const auto& backend : candidates_for(routing, model, tier, 0)) {
     std::optional<net::WireStats> stats;
     const bool transport_ok =
         with_backend_conn(*backend, [&](net::ClientPool::Handle& conn) {
@@ -877,16 +1244,17 @@ std::vector<ServeStats::Report> ShardProxy::collect_reports(
 }
 
 std::vector<ShardProxy::TierStats> ShardProxy::aggregate_stats() {
+  const auto routing = this->routing();
   std::vector<TierStats> out;
-  for (const auto& [name, replicas] : placement_) {
+  for (const auto& [name, replicas] : routing->placement->by_model) {
     // One fleet row per (model, declared tier). Generic declarations
     // aggregate under tier 0 — the default lane's bit-width is the
     // backend's business, not the placement table's.
     std::set<int> tiers;
-    for (const Placed& p : replicas) tiers.insert(p.tier);
+    for (const PlacementCell& cell : replicas) tiers.insert(cell.tier);
     for (const int tier : tiers) {
       std::vector<ServeStats::Report> reports =
-          collect_reports(name, static_cast<uint8_t>(tier));
+          collect_reports(*routing, name, static_cast<uint8_t>(tier));
       if (!reports.empty())
         out.push_back({name, tier, ServeStats::aggregate(reports)});
     }
@@ -905,13 +1273,15 @@ bool ShardProxy::handle_dump_events(int fd, const net::FrameHeader& hdr,
   }
   ++admin_frames_;
   // The fleet journal: this proxy's own events (health transitions,
-  // failover retries) merged with every reachable backend's dump. All
-  // journals stamp CLOCK_MONOTONIC of their own host — on one machine
-  // (the test and dev topology) the merged order is the true order;
-  // across machines rows still group correctly per process.
+  // failover retries, placement changes) merged with every reachable
+  // backend's dump. All journals stamp CLOCK_MONOTONIC of their own
+  // host — on one machine (the test and dev topology) the merged order
+  // is the true order; across machines rows still group correctly per
+  // process.
+  const auto routing = this->routing();
   std::vector<net::WireEvent> merged =
       wire_events(FlightRecorder::instance(), since_ns, max_events);
-  for (const auto& backend : backends_) {
+  for (const auto& backend : routing->order) {
     if (backend_state(*backend) == BackendState::kDown) continue;
     std::optional<std::vector<net::WireEvent>> events;
     const bool transport_ok =
@@ -948,14 +1318,16 @@ bool ShardProxy::handle_stats(int fd, const net::FrameHeader& hdr,
   }
   ++admin_frames_;
   const std::string& resolved = name.empty() ? default_model_ : name;
-  std::vector<ServeStats::Report> reports = collect_reports(resolved, tier);
+  const auto routing = this->routing();
+  std::vector<ServeStats::Report> reports =
+      collect_reports(*routing, resolved, tier);
   std::vector<uint8_t> out;
   if (reports.empty()) {
     std::string what = "'" + resolved + "'";
     if (tier != 0) what += " at tier int" + std::to_string(tier);
     net::encode_admin_response(
         false,
-        placement_.count(resolved) == 0
+        !routing->placement->has_model(resolved)
             ? "no model named '" + resolved + "' is in the placement table"
             : "no reachable backend reports stats for " + what,
         out);
@@ -970,6 +1342,91 @@ bool ShardProxy::handle_stats(int fd, const net::FrameHeader& hdr,
     agg.report = ServeStats::aggregate(reports);
     net::encode_stats_response(agg, out, hdr.version);
   }
+  return send_to_client(fd, out);
+}
+
+// ---------------------------------------------------------------------------
+// Proxy-admin frames (protocol v5)
+// ---------------------------------------------------------------------------
+
+bool ShardProxy::handle_add_backend(int fd, const net::FrameHeader& hdr,
+                                    const uint8_t* payload, size_t len) {
+  (void)hdr;
+  std::string host;
+  uint16_t port = 0;
+  std::vector<net::WireModelEntry> models;
+  if (!net::decode_add_backend(payload, len, &host, &port, &models)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  std::vector<std::string> specs;
+  specs.reserve(models.size());
+  for (const net::WireModelEntry& e : models)
+    specs.push_back(e.tier == 0 ? e.name
+                                : e.name + "@" + std::to_string(e.tier));
+  std::string message;
+  const bool ok = admin_add_backend(host, port, specs, &message);
+  if (ok)
+    message = "backend " + host + ":" + std::to_string(port) +
+              " added at epoch " + std::to_string(placement_epoch());
+  std::vector<uint8_t> out;
+  net::encode_admin_response(ok, message, out);
+  return send_to_client(fd, out);
+}
+
+bool ShardProxy::handle_remove_backend(int fd, const net::FrameHeader& hdr,
+                                       const uint8_t* payload, size_t len) {
+  (void)hdr;
+  std::string address;
+  if (!net::decode_remove_backend(payload, len, &address)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  std::string message;
+  const bool ok = admin_remove_backend(address, &message);
+  if (ok)
+    message = "backend " + address + " drained and removed at epoch " +
+              std::to_string(placement_epoch());
+  std::vector<uint8_t> out;
+  net::encode_admin_response(ok, message, out);
+  return send_to_client(fd, out);
+}
+
+bool ShardProxy::handle_move_model(int fd, const net::FrameHeader& hdr,
+                                   const uint8_t* payload, size_t len) {
+  (void)hdr;
+  std::string model, from, to, path;
+  uint8_t tier = 0;
+  if (!net::decode_move_model(payload, len, &model, &tier, &from, &to,
+                              &path)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  std::string message;
+  const bool ok = admin_move_model(model, tier, from, to, path, &message);
+  if (ok) {
+    std::string done = "model '" + model + "' moved from " + from + " to " +
+                       to + " at epoch " + std::to_string(placement_epoch());
+    if (!message.empty()) done += " (" + message + ")";
+    message = std::move(done);
+  }
+  std::vector<uint8_t> out;
+  net::encode_admin_response(ok, message, out);
+  return send_to_client(fd, out);
+}
+
+bool ShardProxy::handle_get_placement(int fd, const net::FrameHeader& hdr,
+                                      size_t len) {
+  if (!net::decode_get_placement(nullptr, len)) {
+    ++protocol_errors_;
+    return false;
+  }
+  ++admin_frames_;
+  std::vector<uint8_t> out;
+  net::encode_placement(placement_view(), out, hdr.version);
   return send_to_client(fd, out);
 }
 

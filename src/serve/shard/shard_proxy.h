@@ -1,7 +1,7 @@
 // ShardProxy: the multi-host routing layer. A thin TCP proxy that
 // speaks the exact same frame protocol as TransportServer on its front
 // side, and fronts N backend TransportServers (each a ModelRouter on
-// its own host/port) from an EXPLICIT placement table:
+// its own host/port) from a LIVE placement table (PlacementTable):
 //
 //   model name -> ordered backend list (primary first, replicas after)
 //
@@ -19,6 +19,33 @@
 //   proxy.start();            // listens; health checks begin
 //   ... clients connect to proxy.port() ...
 //   proxy.stop();
+//
+// Dynamic placement (protocol v5): membership and placement are no
+// longer fixed at start(). The data path routes each request against
+// ONE immutable RoutingState snapshot (an atomic shared_ptr load — no
+// per-request lock), while the proxy-admin frames mutate the table
+// under a control mutex and publish a new snapshot with the epoch
+// bumped:
+//   * ADD_BACKEND dials + probes the new backend, then flips the
+//     epoch so traffic starts flowing to it;
+//   * REMOVE_BACKEND flips the epoch FIRST (no new request routes
+//     there), drains in-flight forwards, then retires the pooled
+//     connections — drain-first, so nothing is dropped;
+//   * MOVE_MODEL is the zero-drop migration: LOAD the (model, tier)
+//     on the target, flip the epoch, drain the source, UNLOAD there
+//     (the backend's own lane drain covers any straggler);
+//   * GET_PLACEMENT answers the current generation (epoch, policy,
+//     per-backend cells + health).
+// A request that resolved replicas on epoch N and fails because the
+// world moved (all replicas condemned, or a backend answering
+// "unknown model/tier" mid-migration) re-resolves on the CURRENT
+// epoch and retries instead of erroring — serve requests are
+// idempotent, so the retry is always safe.
+//
+// Placement policies: kExplicit keeps the fixed-table behavior
+// (declaration order, deterministic primary); kConsistentHash routes
+// each request by hash-ring walk keyed on its trace/correlation id,
+// so a joining replica takes over only its own arcs.
 //
 // Forwarding: serve frames are routed by the (model name, tier) peeked
 // from the payload prefix (tier 0 for pre-v4 clients = the default
@@ -60,8 +87,13 @@
 // model's replicas and returns the ServeStats::aggregate of their
 // reports — the replicas' quantile sketches merge exactly, so the
 // fleet-wide p50/p95/p99/p99.9 equal a sketch built from the pooled
-// per-request samples, not a weighted average of per-shard quantiles. LOAD/UNLOAD are refused in-band — placement is
-// explicit, so engine management must target a backend directly.
+// per-request samples, not a weighted average of per-shard quantiles.
+// Plain LOAD/UNLOAD are refused in-band — engine management either
+// targets a backend directly or rides the MOVE_MODEL migration, which
+// keeps the placement table in sync by construction. Fan-outs iterate
+// an immutable routing snapshot, so a backend removed mid-fan-out is
+// simply skipped (its pool is closed and checkouts fail fast), never a
+// crash or a hang.
 #pragma once
 
 #include <atomic>
@@ -76,6 +108,7 @@
 #include "platform/thread_annotations.h"
 #include "serve/net/client_pool.h"
 #include "serve/net/frame.h"
+#include "serve/shard/placement.h"
 
 namespace fqbert::serve::shard {
 
@@ -105,6 +138,13 @@ struct ShardProxyConfig {
   int suspect_after = 1;
   int down_after = 3;
   int recover_after = 2;
+  /// How replica lists are ordered per request (see placement.h).
+  PlacementPolicy policy = PlacementPolicy::kExplicit;
+  /// Upper bound on waiting out a removed/migrated-away backend's
+  /// in-flight forwards before its connections are retired. Forwards
+  /// are already bounded by call_timeout, so this only fires when a
+  /// backend wedges mid-drain.
+  Micros drain_timeout{10'000'000};
 };
 
 class ShardProxy {
@@ -148,6 +188,46 @@ class ShardProxy {
   /// thread keeps its own cadence).
   void check_backends_now();
 
+  // -------------------------------------------------------------------
+  // Dynamic placement (the ADD_BACKEND / REMOVE_BACKEND / MOVE_MODEL /
+  // GET_PLACEMENT frames land here; also callable in-process). Each
+  // mutator serializes on the control mutex, never blocks the data
+  // path, and returns false with a human-readable *error on refusal.
+  // -------------------------------------------------------------------
+
+  /// Register a live backend while the proxy is running: validates the
+  /// declarations, dials one health probe (an unreachable backend is
+  /// refused — it would only blackhole traffic), then flips the
+  /// placement epoch so requests start routing to it.
+  bool admin_add_backend(const std::string& host, uint16_t port,
+                         const std::vector<std::string>& models,
+                         std::string* error = nullptr);
+
+  /// Drain-first removal of `address` ("host:port"): the epoch flips
+  /// before anything is torn down (no new request routes there), then
+  /// in-flight forwards are waited out (bounded by drain_timeout) and
+  /// the backend's pooled connections are retired. Refused when the
+  /// backend is the last replica of any model.
+  bool admin_remove_backend(const std::string& address,
+                            std::string* error = nullptr);
+
+  /// Zero-drop migration of (model, tier) from `from` to `to`: ensure
+  /// the target serves the cell (LOAD from `path`, or mint/verify from
+  /// what it already has when `path` is empty), flip the epoch, drain
+  /// the source's in-flight forwards, then UNLOAD the cell there (a
+  /// failed unload degrades to a warning in *error — placement is
+  /// already correct, the source just holds a dormant engine).
+  bool admin_move_model(const std::string& model, uint8_t tier,
+                        const std::string& from, const std::string& to,
+                        const std::string& path = "",
+                        std::string* error = nullptr);
+
+  uint64_t placement_epoch() const { return placement_.epoch(); }
+  PlacementPolicy placement_policy() const { return placement_.policy(); }
+  /// The current placement generation in wire shape (epoch, policy,
+  /// per-backend cells + live health state), members in join order.
+  net::WirePlacement placement_view() const;
+
   struct BackendStatus {
     std::string address;  // "host:port"
     BackendState state = BackendState::kHealthy;
@@ -169,6 +249,8 @@ class ShardProxy {
     uint64_t protocol_errors = 0;  // client connections closed on decode
     uint64_t admin_frames = 0;     // LIST/STATS/LOAD/UNLOAD handled
     uint64_t health_transitions = 0;  // state-machine edges taken
+    uint64_t placement_changes = 0;   // epochs published after start()
+    uint64_t epoch_retries = 0;  // requests re-resolved on a newer epoch
   };
   Counters counters() const;
 
@@ -205,6 +287,12 @@ class ShardProxy {
     const std::vector<std::string> models;
     net::ClientPool pool;
 
+    /// Forwards currently holding one of this backend's connections
+    /// (serve forwards and admin fan-outs alike). The drain step of
+    /// REMOVE_BACKEND / MOVE_MODEL waits for this to reach zero after
+    /// the epoch flip — the zero-drop guarantee.
+    std::atomic<uint64_t> inflight{0};
+
     /// Dedicated ping connection (health thread + check_backends_now).
     Mutex health_mu;
     net::TransportClient health GUARDED_BY(health_mu);
@@ -219,6 +307,29 @@ class ShardProxy {
     uint64_t forward_failures GUARDED_BY(mu) = 0;
     uint64_t recoveries GUARDED_BY(mu) = 0;
   };
+
+  /// One immutable routing generation: the placement snapshot plus the
+  /// live Backend objects it refers to. The data path loads this once
+  /// per decision (atomic shared_ptr) and never sees membership tear;
+  /// a removed Backend stays alive — via this shared_ptr graph — until
+  /// its last in-flight user lets go, then its destructor closes the
+  /// remaining descriptors.
+  struct RoutingState {
+    std::shared_ptr<const PlacementSnapshot> placement;
+    /// Address -> backend, mirroring placement->by_backend.
+    std::map<std::string, std::shared_ptr<Backend>> backends;
+    /// Join order (status / fan-out / metrics iteration order).
+    std::vector<std::shared_ptr<Backend>> order;
+  };
+
+  std::shared_ptr<const RoutingState> routing() const {
+    return routing_.load(std::memory_order_acquire);
+  }
+  /// Rebuild the RoutingState from placement_'s current snapshot plus
+  /// `backends` and publish it. Callers hold control_mu_ (mutators) or
+  /// run pre-start single-threaded.
+  void publish_routing(std::map<std::string, std::shared_ptr<Backend>> backends)
+      REQUIRES(control_mu_);
 
   void accept_loop();
   void health_loop();
@@ -239,6 +350,15 @@ class ShardProxy {
   /// failover retries), and answer one time-ordered kEventDump.
   bool handle_dump_events(int fd, const net::FrameHeader& hdr,
                           const uint8_t* payload, size_t len);
+  // Proxy-admin frames (v5): thin decode wrappers over the admin_*
+  // methods; each answers kAdminResponse (kPlacement for GET).
+  bool handle_add_backend(int fd, const net::FrameHeader& hdr,
+                          const uint8_t* payload, size_t len);
+  bool handle_remove_backend(int fd, const net::FrameHeader& hdr,
+                             const uint8_t* payload, size_t len);
+  bool handle_move_model(int fd, const net::FrameHeader& hdr,
+                         const uint8_t* payload, size_t len);
+  bool handle_get_placement(int fd, const net::FrameHeader& hdr, size_t len);
 
   /// Run `op` against one of `backend`'s pooled connections. A REUSED
   /// connection may have died while parked in the pool, so a FAST
@@ -253,6 +373,14 @@ class ShardProxy {
   /// failures count as success here.
   template <typename Op>
   bool with_backend_conn(Backend& backend, Op&& op) {
+    // Drain accounting: a remove/migrate waits for inflight to hit
+    // zero after unrouting the backend, so every connection use —
+    // serve forwards and admin fan-outs alike — must be counted.
+    backend.inflight.fetch_add(1, std::memory_order_acq_rel);
+    struct InflightGuard {
+      std::atomic<uint64_t>& count;
+      ~InflightGuard() { count.fetch_sub(1, std::memory_order_acq_rel); }
+    } guard{backend.inflight};
     for (;;) {
       if (stopping_) return false;  // shutting down: no (re-)dials
       net::ClientPool::Handle conn = backend.pool.checkout();
@@ -269,6 +397,10 @@ class ShardProxy {
     }
   }
 
+  /// Spin out `backend`'s in-flight forwards (bounded by
+  /// cfg_.drain_timeout) after it has been unrouted by an epoch flip.
+  void drain_backend(Backend& backend);
+
   /// One forwarding attempt of a serve frame against one backend
   /// (stale pooled connections internally retried via
   /// with_backend_conn). On success the response frame is in
@@ -278,18 +410,22 @@ class ShardProxy {
                           net::FrameHeader* rhdr,
                           std::vector<uint8_t>& rpayload);
 
-  /// Replicas for (`model`, `tier`) in placement order: entries pinned
-  /// to the requested tier first, then unpinned (generic) entries —
-  /// within each group non-down before down (a down backend is still
-  /// tried last — health data may be stale). Tier 0 prefers generic
-  /// entries over pinned ones. Each backend appears at most once.
-  std::vector<Backend*> candidates_for(const std::string& model,
-                                       uint8_t tier) const;
+  /// Replicas for (`model`, `tier`) against ONE routing snapshot, in
+  /// placement order (declaration order, or ring order from
+  /// `route_key` under kConsistentHash): entries pinned to the
+  /// requested tier first, then unpinned (generic) entries — within
+  /// each group non-down before down (a down backend is still tried
+  /// last — health data may be stale). Tier 0 prefers generic entries
+  /// over pinned ones. Each backend appears at most once.
+  std::vector<std::shared_ptr<Backend>> candidates_for(
+      const RoutingState& routing, const std::string& model, uint8_t tier,
+      uint64_t route_key) const;
 
   /// Query every reachable replica of (`model`, `tier`) for its stats
   /// report (outcomes feed the health state machine like any data-path
   /// call).
-  std::vector<ServeStats::Report> collect_reports(const std::string& model,
+  std::vector<ServeStats::Report> collect_reports(const RoutingState& routing,
+                                                  const std::string& model,
                                                   uint8_t tier);
 
   void note_outcome(Backend& backend, bool success, bool health_probe);
@@ -301,15 +437,17 @@ class ShardProxy {
                                  RequestStatus status);
 
   ShardProxyConfig cfg_;
-  std::vector<std::unique_ptr<Backend>> backends_;
-  /// One placement entry: a backend serving the model, optionally
-  /// pinned to one precision tier (0 = the backend's default tier).
-  struct Placed {
-    Backend* backend = nullptr;
-    int tier = 0;
-  };
-  /// Immutable after start(): model -> entries in placement order.
-  std::map<std::string, std::vector<Placed>> placement_;
+  /// Serializes every membership/placement mutation (pre-start
+  /// add_backend and the live admin_* mutators). Never taken on the
+  /// data path.
+  Mutex control_mu_;
+  /// The versioned (model, tier) -> replicas table; source of truth
+  /// for epochs.
+  PlacementTable placement_;
+  /// The live routing generation (placement snapshot + Backend
+  /// objects). Atomic swap on every mutation; readers pin one
+  /// generation for a whole decision.
+  std::atomic<std::shared_ptr<const RoutingState>> routing_;
   std::string default_model_;
 
   int listen_fd_ = -1;
@@ -337,6 +475,7 @@ class ShardProxy {
   std::atomic<uint64_t> unknown_tier_{0};
   std::atomic<uint64_t> protocol_errors_{0}, admin_frames_{0};
   std::atomic<uint64_t> health_transitions_{0};
+  std::atomic<uint64_t> placement_changes_{0}, epoch_retries_{0};
 };
 
 }  // namespace fqbert::serve::shard

@@ -24,6 +24,7 @@
 #include "serve/net/transport_client.h"
 #include "serve/net/transport_server.h"
 #include "serve/router/model_router.h"
+#include "serve/shard/shard_proxy.h"
 
 namespace fqbert::serve {
 namespace {
@@ -383,6 +384,66 @@ TEST(DebugEndpoints, DumpEventsRoundTripsOverTransport) {
   EXPECT_EQ(capped->back().t_ns, events->back().t_ns);
 
   client.close();
+  transport.stop();
+  router.shutdown(/*drain=*/true);
+}
+
+TEST(DebugEndpoints, PlacementEndpointRendersTheLiveTable) {
+  EngineRegistry registry;
+  registry.register_model("m0", build_engine(42));
+  registry.register_model("m1", build_engine(43));
+  RouterConfig rcfg;
+  rcfg.num_workers = 1;
+  ModelRouter router(registry, rcfg);
+  ASSERT_TRUE(router.add_model("m0"));
+  ASSERT_TRUE(router.add_model("m1"));
+  ASSERT_TRUE(router.start());
+  net::TransportServer transport(router, {});
+  ASSERT_TRUE(transport.start());
+
+  shard::ShardProxyConfig pcfg;
+  pcfg.connect_timeout = Micros(500'000);
+  pcfg.health_interval = Micros(3'600'000'000);
+  shard::ShardProxy proxy(pcfg);
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", transport.port(),
+                                {"m0", "m1@int4"}));
+  ASSERT_TRUE(proxy.start());
+
+  MetricsHttpServer metrics([] { return std::string("fqbert_up 1\n"); });
+  // Registered exactly as `fqbert_cli proxy` wires it.
+  metrics.add_endpoint("/debug/placement", [&proxy](const std::string&) {
+    return render_debug_placement(proxy);
+  });
+  ASSERT_TRUE(metrics.start("127.0.0.1", 0));
+
+  const std::string body =
+      get_json_body(metrics.port(), "/debug/placement");
+  EXPECT_TRUE(JsonAcceptor(body).accept())
+      << "/debug/placement returned invalid JSON: " << body;
+  EXPECT_NE(body.find("\"epoch\":1"), std::string::npos) << body;
+  EXPECT_NE(body.find("\"policy\":\"explicit\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"default_model\":\"m0\""), std::string::npos) << body;
+  EXPECT_NE(body.find("\"address\":\"127.0.0.1:" +
+                      std::to_string(transport.port()) + "\""),
+            std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"model\":\"m1\",\"tier\":4"), std::string::npos)
+      << body;
+  EXPECT_NE(body.find("\"state\":\""), std::string::npos) << body;
+
+  // A live placement change is visible on the very next scrape.
+  std::string error;
+  ASSERT_TRUE(proxy.admin_move_model("m1", 4, proxy.backend_status()[0].address,
+                                     proxy.backend_status()[0].address, "",
+                                     &error) == false);
+  const std::string again =
+      get_json_body(metrics.port(), "/debug/placement");
+  EXPECT_TRUE(JsonAcceptor(again).accept()) << again;
+  EXPECT_NE(again.find("\"epoch\":1"), std::string::npos)
+      << "a refused mutation must not bump the rendered epoch: " << again;
+
+  metrics.stop();
+  proxy.stop();
   transport.stop();
   router.shutdown(/*drain=*/true);
 }

@@ -100,6 +100,28 @@ bool decode_anything(const std::vector<uint8_t>& bytes) {
       std::vector<WireEvent> events;
       return decode_event_dump(payload, len, &events);
     }
+    case FrameType::kAddBackend: {
+      std::string host;
+      uint16_t port = 0;
+      std::vector<WireModelEntry> models;
+      return decode_add_backend(payload, len, &host, &port, &models);
+    }
+    case FrameType::kRemoveBackend: {
+      std::string address;
+      return decode_remove_backend(payload, len, &address);
+    }
+    case FrameType::kMoveModel: {
+      std::string model, from, to, path;
+      uint8_t tier = 0;
+      return decode_move_model(payload, len, &model, &tier, &from, &to,
+                               &path);
+    }
+    case FrameType::kGetPlacement:
+      return decode_get_placement(payload, len);
+    case FrameType::kPlacement: {
+      WirePlacement placement;
+      return decode_placement(payload, len, &placement);
+    }
   }
   return false;
 }
@@ -226,6 +248,23 @@ std::vector<std::vector<uint8_t>> build_corpus(Rng& rng) {
   }
   encode_event_dump(events, fresh(), /*version=*/4);
   encode_event_dump({}, fresh(), /*version=*/2);
+  // Proxy-admin plane (v5): membership mutations and both placement
+  // shapes (explicit and consistent-hash, healthy and degraded states).
+  encode_add_backend("10.0.0.9", 9000, {{"sst2", 0}, {"mnli", 4}}, fresh());
+  encode_remove_backend("10.0.0.9:9000", fresh());
+  encode_move_model("mnli", 4, "10.0.0.1:9000", "10.0.0.2:9000",
+                    "/models/mnli-int4.bin", fresh());
+  encode_move_model("mnli", 0, "10.0.0.1:9000", "10.0.0.2:9000", "",
+                    fresh());
+  encode_get_placement(fresh());
+  WirePlacement placement;
+  placement.epoch = 7;
+  placement.policy = 1;
+  placement.default_model = "sst2";
+  placement.backends.push_back(
+      {"10.0.0.1:9000", 0, {{"sst2", 0}, {"mnli", 8}}});
+  placement.backends.push_back({"10.0.0.2:9000", 2, {{"mnli", 4}}});
+  encode_placement(placement, fresh());
   return corpus;
 }
 

@@ -1,0 +1,296 @@
+// PlacementTable semantics: the RCU snapshot contract (immutability,
+// epoch-per-mutation), explicit-policy declaration ordering, mutator
+// validation (duplicate add, last-replica remove refusal, move
+// preconditions), and the consistent-hash ring laws — most importantly
+// the ISSUE acceptance property that a joining backend remaps ONLY the
+// key range its own ring points claim.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "serve/shard/placement.h"
+
+namespace fqbert::serve::shard {
+namespace {
+
+std::vector<PlacementCell> cells(std::initializer_list<PlacementCell> list) {
+  return std::vector<PlacementCell>(list);
+}
+
+std::vector<std::string> names(const std::vector<PlacementCell>& cs) {
+  std::vector<std::string> out;
+  for (const PlacementCell& c : cs) out.push_back(c.name);
+  return out;
+}
+
+TEST(PlacementTable, StartsEmptyAtEpochZero) {
+  PlacementTable table;
+  const auto snap = table.snapshot();
+  ASSERT_NE(snap, nullptr);
+  EXPECT_EQ(snap->epoch, 0u);
+  EXPECT_EQ(snap->policy, PlacementPolicy::kExplicit);
+  EXPECT_TRUE(snap->member_order.empty());
+  EXPECT_TRUE(snap->by_model.empty());
+  EXPECT_TRUE(snap->candidates("anything", 42).empty());
+}
+
+TEST(PlacementTable, EveryMutationBumpsTheEpochByOne) {
+  PlacementTable table;
+  EXPECT_EQ(table.epoch(), 0u);
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  EXPECT_EQ(table.epoch(), 1u);
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  EXPECT_EQ(table.epoch(), 2u);
+  ASSERT_TRUE(table.move_model("m", 0, "a:1", "b:1"));
+  EXPECT_EQ(table.epoch(), 3u);
+  ASSERT_TRUE(table.remove_backend("a:1"));
+  EXPECT_EQ(table.epoch(), 4u);
+}
+
+TEST(PlacementTable, SnapshotsAreImmutableAcrossMutation) {
+  PlacementTable table;
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  const std::shared_ptr<const PlacementSnapshot> before = table.snapshot();
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}, {"n", 4}})));
+
+  // The held generation still describes the world as it was.
+  EXPECT_EQ(before->epoch, 1u);
+  EXPECT_EQ(before->member_order, std::vector<std::string>{"a:1"});
+  EXPECT_FALSE(before->has_backend("b:1"));
+  EXPECT_FALSE(before->has_model("n"));
+
+  const auto after = table.snapshot();
+  EXPECT_EQ(after->epoch, 2u);
+  EXPECT_TRUE(after->has_backend("b:1"));
+  EXPECT_TRUE(after->has_model("n"));
+}
+
+TEST(PlacementTable, ExplicitPolicyKeepsJoinOrderForEveryRouteKey) {
+  PlacementTable table(PlacementPolicy::kExplicit);
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("c:1", cells({{"m", 0}})));
+  const auto snap = table.snapshot();
+  const std::vector<std::string> expect = {"a:1", "b:1", "c:1"};
+  for (const uint64_t key : {0ull, 1ull, 777ull, ~0ull}) {
+    EXPECT_EQ(names(snap->candidates("m", key)), expect)
+        << "explicit order must not depend on the route key";
+  }
+  EXPECT_TRUE(snap->candidates("nope", 3).empty());
+}
+
+TEST(PlacementTable, AddBackendValidation) {
+  PlacementTable table;
+  std::string error;
+  EXPECT_FALSE(table.add_backend("", cells({{"m", 0}}), &error));
+  EXPECT_EQ(error, "backend address must be non-empty");
+  EXPECT_FALSE(table.add_backend("a:1", {}, &error));
+  EXPECT_EQ(error, "backend must declare at least one model");
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  EXPECT_FALSE(table.add_backend("a:1", cells({{"n", 0}}), &error));
+  EXPECT_EQ(error, "backend a:1 is already a member");
+  EXPECT_EQ(table.epoch(), 1u) << "failed mutations must not burn epochs";
+}
+
+TEST(PlacementTable, RemoveRefusesTheLastReplica) {
+  PlacementTable table;
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}, {"n", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  std::string error;
+  // a:1 is the only holder of "n": removing it would strand the model.
+  EXPECT_FALSE(table.remove_backend("a:1", &error));
+  EXPECT_EQ(error,
+            "backend a:1 is the last replica of model 'n'; move it first");
+  // But b:1 only duplicates "m", so it can go.
+  EXPECT_TRUE(table.remove_backend("b:1", &error));
+  EXPECT_FALSE(table.snapshot()->has_backend("b:1"));
+  EXPECT_FALSE(table.remove_backend("b:1", &error));
+  EXPECT_EQ(error, "backend b:1 is not a member");
+}
+
+TEST(PlacementTable, MoveModelValidationAndCellTransfer) {
+  PlacementTable table;
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}, {"m", 4}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"x", 0}})));
+  std::string error;
+  EXPECT_FALSE(table.move_model("m", 0, "ghost:1", "b:1", &error));
+  EXPECT_EQ(error, "source backend ghost:1 is not a member");
+  EXPECT_FALSE(table.move_model("m", 0, "a:1", "ghost:1", &error));
+  EXPECT_EQ(error, "target backend ghost:1 is not a member");
+  EXPECT_FALSE(table.move_model("m", 0, "a:1", "a:1", &error));
+  EXPECT_EQ(error, "source and target backend are the same");
+  EXPECT_FALSE(table.move_model("x", 0, "a:1", "b:1", &error));
+  EXPECT_EQ(error, "backend a:1 does not serve model 'x'");
+  EXPECT_FALSE(table.move_model("m", 8, "a:1", "b:1", &error));
+  EXPECT_EQ(error, "backend a:1 does not serve model 'm' at that tier");
+
+  // Only the named tier moves; the other tier of "m" stays put.
+  ASSERT_TRUE(table.move_model("m", 4, "a:1", "b:1", &error)) << error;
+  const auto snap = table.snapshot();
+  EXPECT_EQ(snap->by_backend.at("a:1"), cells({{"m", 0}}));
+  EXPECT_EQ(snap->by_backend.at("b:1"), cells({{"x", 0}, {"m", 4}}));
+}
+
+TEST(PlacementTable, EmptiedSourceStaysAMemberUntilRemoved) {
+  PlacementTable table;
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"n", 0}})));
+  ASSERT_TRUE(table.move_model("m", 0, "a:1", "b:1"));
+  const auto snap = table.snapshot();
+  // a:1 serves nothing now but remains addressable (it can receive
+  // moves back); only REMOVE_BACKEND evicts it.
+  EXPECT_TRUE(snap->has_backend("a:1"));
+  EXPECT_TRUE(snap->by_backend.at("a:1").empty());
+  const std::vector<std::string> expect_members = {"a:1", "b:1"};
+  EXPECT_EQ(snap->member_order, expect_members);
+  EXPECT_TRUE(table.remove_backend("a:1"));
+  EXPECT_FALSE(table.snapshot()->has_backend("a:1"));
+}
+
+TEST(PlacementTable, MoveCollapsesDuplicateCellsOnTheTarget) {
+  PlacementTable table;
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.move_model("m", 0, "a:1", "b:1"));
+  const auto snap = table.snapshot();
+  EXPECT_EQ(snap->by_backend.at("b:1"), cells({{"m", 0}}))
+      << "target already served the cell; the move must not duplicate it";
+  EXPECT_EQ(snap->by_model.at("m").size(), 1u);
+}
+
+TEST(HashRing, OrderedWalkYieldsEveryBackendExactlyOnce) {
+  HashRing ring;
+  const std::vector<std::string> members = {"a:1", "b:1", "c:1", "d:1"};
+  for (const std::string& m : members) ring.add(m);
+  for (uint64_t key = 0; key < 257; ++key) {
+    const std::vector<std::string> order = ring.ordered(placement_mix(key));
+    ASSERT_EQ(order.size(), members.size());
+    const std::set<std::string> distinct(order.begin(), order.end());
+    EXPECT_EQ(distinct.size(), members.size());
+  }
+}
+
+TEST(HashRing, LayoutIsDeterministicAcrossInstances) {
+  HashRing a, b;
+  for (const char* m : {"x:1", "y:1", "z:1"}) {
+    a.add(m);
+    b.add(m);
+  }
+  for (uint64_t key = 0; key < 64; ++key) {
+    EXPECT_EQ(a.ordered(placement_mix(key)), b.ordered(placement_mix(key)));
+  }
+}
+
+// The ISSUE acceptance property: under consistent hashing, a joining
+// backend takes over ONLY the arcs its own points claim. For every
+// route key, the owner either stays what it was or becomes the new
+// backend — no key moves between two pre-existing backends.
+TEST(PlacementTable, ConsistentHashJoinRemapsOnlyItsOwnRange) {
+  constexpr int kKeys = 4096;
+  PlacementTable table(PlacementPolicy::kConsistentHash);
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("c:1", cells({{"m", 0}})));
+
+  std::map<uint64_t, std::string> owner_before;
+  {
+    const auto snap = table.snapshot();
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      const auto order = snap->candidates("m", placement_mix(key));
+      ASSERT_FALSE(order.empty());
+      owner_before[key] = order.front().name;
+    }
+  }
+
+  ASSERT_TRUE(table.add_backend("d:1", cells({{"m", 0}})));
+  const auto snap = table.snapshot();
+  int moved = 0;
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    const auto order = snap->candidates("m", placement_mix(key));
+    ASSERT_EQ(order.size(), 4u);
+    const std::string& owner_after = order.front().name;
+    if (owner_after != owner_before[key]) {
+      EXPECT_EQ(owner_after, "d:1")
+          << "key " << key << " moved between pre-existing backends "
+          << owner_before[key] << " -> " << owner_after;
+      ++moved;
+    }
+  }
+  // The joiner owns roughly 1/4 of the keyspace; with 64 vnodes the
+  // spread is loose, so assert a wide band rather than the mean.
+  EXPECT_GT(moved, kKeys / 16) << "the joiner took essentially no keys";
+  EXPECT_LT(moved, kKeys / 2) << "the joiner remapped far beyond its share";
+}
+
+// Symmetric property on leave: removing a backend reassigns only the
+// keys it owned; everything else keeps its owner.
+TEST(PlacementTable, ConsistentHashLeaveMovesOnlyTheLeaversKeys) {
+  constexpr int kKeys = 4096;
+  PlacementTable table(PlacementPolicy::kConsistentHash);
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("c:1", cells({{"m", 0}})));
+
+  std::map<uint64_t, std::string> owner_before;
+  {
+    const auto snap = table.snapshot();
+    for (uint64_t key = 0; key < kKeys; ++key) {
+      owner_before[key] =
+          snap->candidates("m", placement_mix(key)).front().name;
+    }
+  }
+
+  ASSERT_TRUE(table.remove_backend("c:1"));
+  const auto snap = table.snapshot();
+  for (uint64_t key = 0; key < kKeys; ++key) {
+    const std::string owner_after =
+        snap->candidates("m", placement_mix(key)).front().name;
+    if (owner_before[key] != "c:1") {
+      EXPECT_EQ(owner_after, owner_before[key])
+          << "key " << key << " was not owned by the leaver yet moved";
+    } else {
+      EXPECT_NE(owner_after, "c:1");
+    }
+  }
+}
+
+TEST(PlacementTable, ConsistentHashFailoverOrderIsTheClockwiseWalk) {
+  PlacementTable table(PlacementPolicy::kConsistentHash);
+  ASSERT_TRUE(table.add_backend("a:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("b:1", cells({{"m", 0}})));
+  ASSERT_TRUE(table.add_backend("c:1", cells({{"m", 0}})));
+  const auto snap = table.snapshot();
+  // candidates() must agree with the model's ring for every key, and
+  // different keys must (somewhere in the keyspace) pick different
+  // primaries — the whole point of ring placement.
+  std::set<std::string> primaries;
+  for (uint64_t key = 0; key < 512; ++key) {
+    const uint64_t mixed = placement_mix(key);
+    const auto order = names(snap->candidates("m", mixed));
+    EXPECT_EQ(order, snap->rings.at("m").ordered(mixed));
+    primaries.insert(order.front());
+  }
+  EXPECT_EQ(primaries.size(), 3u);
+}
+
+TEST(PlacementTable, PolicyNamesAreStable) {
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kExplicit), "explicit");
+  EXPECT_STREQ(placement_policy_name(PlacementPolicy::kConsistentHash),
+               "consistent_hash");
+}
+
+TEST(PlacementTable, HashIsStableAcrossRuns) {
+  // Ring layouts must be reproducible run-to-run (tests and operator
+  // expectations both lean on it); lock the two hash primitives.
+  EXPECT_EQ(placement_hash("127.0.0.1:9000"), placement_hash("127.0.0.1:9000"));
+  EXPECT_NE(placement_hash("127.0.0.1:9000"), placement_hash("127.0.0.1:9001"));
+  EXPECT_EQ(placement_mix(0), placement_mix(0));
+  EXPECT_NE(placement_mix(1), placement_mix(2));
+}
+
+}  // namespace
+}  // namespace fqbert::serve::shard

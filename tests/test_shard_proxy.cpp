@@ -10,6 +10,7 @@
 // trickling peer cannot stretch the whole-frame budget).
 #include <gtest/gtest.h>
 
+#include <dirent.h>
 #include <netinet/in.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -20,6 +21,7 @@
 #include <functional>
 #include <thread>
 
+#include "serve/flight_recorder.h"
 #include "serve/loadgen.h"
 #include "serve/net/client_pool.h"
 #include "serve/net/transport_client.h"
@@ -826,6 +828,357 @@ TEST(ShardProxy, RejectsBadPlacementDeclarations) {
   EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19003, {"a", "a"}, &error));
   EXPECT_NE(error.find("repeated"), std::string::npos);
   EXPECT_FALSE(proxy.add_backend("127.0.0.1", 19004, {""}, &error));
+}
+
+// ---------------------------------------------------------------------------
+// Dynamic placement control plane: live membership over the wire,
+// zero-drop migration under traffic, fan-out resilience, connection
+// retirement, and the plain-backend refusal of proxy-admin frames.
+// ---------------------------------------------------------------------------
+
+std::string addr_of(const BackendHost& host) {
+  return "127.0.0.1:" + std::to_string(host.port());
+}
+
+size_t open_fd_count() {
+  DIR* dir = ::opendir("/proc/self/fd");
+  if (dir == nullptr) return 0;
+  size_t n = 0;
+  while (::readdir(dir) != nullptr) ++n;
+  ::closedir(dir);
+  return n;
+}
+
+TEST(DynamicPlacement, WireAddBackendRoutesNewModelLive) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}});
+  BackendHost b({{"m1", fx.e1}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port())) << client.error();
+  Rng rng(101);
+  const Example ex = synth_example(rng, 8, fx.config);
+
+  // Before the join the model is unknown — in-band rejection.
+  const auto before = client.call(ex, std::nullopt, "m1");
+  ASSERT_TRUE(before.has_value()) << client.error();
+  EXPECT_EQ(before->status, RequestStatus::kRejectedUnknownModel);
+
+  const auto p0 = client.get_placement();
+  ASSERT_TRUE(p0.has_value()) << client.error();
+  EXPECT_EQ(p0->epoch, proxy.placement_epoch());
+  ASSERT_EQ(p0->backends.size(), 1u);
+
+  std::string message;
+  ASSERT_TRUE(client.add_backend("127.0.0.1", b.port(), {{"m1", 0}},
+                                 &message))
+      << message;
+  EXPECT_NE(message.find("added at epoch"), std::string::npos) << message;
+
+  // The SAME client connection routes the new model immediately — no
+  // proxy restart, no reconnect.
+  const auto after = client.call(ex, std::nullopt, "m1");
+  ASSERT_TRUE(after.has_value()) << client.error();
+  EXPECT_EQ(after->status, RequestStatus::kOk);
+
+  const auto p1 = client.get_placement();
+  ASSERT_TRUE(p1.has_value()) << client.error();
+  EXPECT_EQ(p1->epoch, p0->epoch + 1);
+  ASSERT_EQ(p1->backends.size(), 2u);
+  EXPECT_EQ(p1->backends[1].address, addr_of(b));
+  ASSERT_EQ(p1->backends[1].models.size(), 1u);
+  EXPECT_EQ(p1->backends[1].models[0].name, "m1");
+
+  // Both failure shapes come back in-band; the connection stays usable.
+  EXPECT_FALSE(client.add_backend("127.0.0.1", b.port(), {{"m1", 0}},
+                                  &message));
+  EXPECT_NE(message.find("already a member"), std::string::npos) << message;
+  EXPECT_EQ(client.error_kind(), net::ClientError::kNone);
+  EXPECT_FALSE(client.add_backend("127.0.0.1", 1, {{"mx", 0}}, &message));
+  EXPECT_NE(message.find("unreachable"), std::string::npos) << message;
+  EXPECT_TRUE(client.connected());
+  EXPECT_EQ(proxy.placement_epoch(), p1->epoch)
+      << "failed admin ops must not burn epochs";
+}
+
+TEST(DynamicPlacement, WireRemoveBackendDrainsRetiresAndGuardsLastReplica) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"shared", fx.e1}});
+  BackendHost b({{"shared", fx.e1}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "shared"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"shared"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(103);
+  for (int i = 0; i < 6; ++i) {
+    const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                  std::nullopt, "shared");
+    ASSERT_TRUE(resp.has_value() && resp->status == RequestStatus::kOk);
+  }
+
+  std::string message;
+  // a is the only holder of m0: removing it would strand the model.
+  EXPECT_FALSE(client.remove_backend(addr_of(a), &message));
+  EXPECT_NE(message.find("last replica"), std::string::npos) << message;
+  EXPECT_FALSE(client.remove_backend("10.9.9.9:1", &message));
+  EXPECT_NE(message.find("not a member"), std::string::npos) << message;
+
+  ASSERT_TRUE(client.remove_backend(addr_of(b), &message)) << message;
+  EXPECT_NE(message.find("drained and removed"), std::string::npos)
+      << message;
+
+  const auto status = proxy.backend_status();
+  ASSERT_EQ(status.size(), 1u);
+  EXPECT_EQ(status[0].address, addr_of(a));
+
+  // Traffic keeps flowing on the surviving replica.
+  for (int i = 0; i < 6; ++i) {
+    const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                  std::nullopt, "shared");
+    ASSERT_TRUE(resp.has_value()) << client.error();
+    EXPECT_EQ(resp->status, RequestStatus::kOk);
+  }
+}
+
+// The tentpole acceptance: a model migrates between backends while
+// clients hammer it, and not one request fails. A request that
+// resolved placement just before the epoch flip re-resolves against
+// the new table instead of erroring.
+TEST(DynamicPlacement, MoveModelZeroDropUnderConcurrentTraffic) {
+  Engines& fx = engines();
+  // Both hosts pre-load the mover engine; the placement table only
+  // knows about a's copy until the move flips it.
+  BackendHost a({{"m0", fx.e0}, {"mover", fx.e1}});
+  BackendHost b({{"m0", fx.e0}, {"mover", fx.e1}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "mover"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<int> completed{0};
+  std::vector<std::thread> traffic;
+  for (int t = 0; t < 2; ++t) {
+    traffic.emplace_back([&, t] {
+      net::TransportClient client;
+      if (!client.connect("127.0.0.1", proxy.port())) {
+        ++failures;
+        return;
+      }
+      Rng rng(200 + t);
+      while (!stop) {
+        const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                      std::nullopt, "mover");
+        if (!resp.has_value() || resp->status != RequestStatus::kOk)
+          ++failures;
+        else
+          ++completed;
+      }
+    });
+  }
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  net::TransportClient admin;
+  ASSERT_TRUE(admin.connect("127.0.0.1", proxy.port()));
+  std::string message;
+  const bool moved = admin.move_model("mover", 0, addr_of(a), addr_of(b),
+                                      "", &message);
+  EXPECT_TRUE(moved) << message;
+  EXPECT_NE(message.find("moved from"), std::string::npos) << message;
+  std::this_thread::sleep_for(std::chrono::milliseconds(150));
+  stop = true;
+  for (std::thread& t : traffic) t.join();
+
+  EXPECT_EQ(failures.load(), 0) << "client-visible failures during the move";
+  EXPECT_GT(completed.load(), 20);
+
+  // The cell now lives on b only, and a's router really unloaded it.
+  const auto placement = admin.get_placement();
+  ASSERT_TRUE(placement.has_value());
+  for (const auto& backend : placement->backends) {
+    bool has_mover = false;
+    for (const auto& cell : backend.models)
+      if (cell.name == "mover") has_mover = true;
+    EXPECT_EQ(has_mover, backend.address == addr_of(b)) << backend.address;
+  }
+  const std::vector<std::string> a_models = a.router->model_names();
+  EXPECT_EQ(std::count(a_models.begin(), a_models.end(), "mover"), 0)
+      << "source engine was not unloaded";
+
+  // Moving a cell the source no longer holds fails in-band.
+  EXPECT_FALSE(admin.move_model("mover", 0, addr_of(a), addr_of(b), "",
+                                &message));
+  EXPECT_NE(message.find("does not serve"), std::string::npos) << message;
+}
+
+// Satellite regression: LIST/STATS fan-out against a routing snapshot
+// must tolerate a backend that died (or was retired) mid-fan-out —
+// skip it and aggregate the reachable share, never fail the whole op.
+TEST(DynamicPlacement, FanOutSkipsUnreachableBackends) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"m1", fx.e1}});
+  BackendHost b({{"m1", fx.e1}, {"m2", fx.e2}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "m1"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m1", "m2"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(105);
+  for (int i = 0; i < 4; ++i) {
+    const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                  std::nullopt, "m1");
+    ASSERT_TRUE(resp.has_value() && resp->status == RequestStatus::kOk);
+  }
+  const uint64_t a_admitted = a.router->stats_report("m1")->admitted;
+
+  b.kill();  // dead, but still a placement member
+
+  // LIST returns the union of the REACHABLE backends.
+  const auto list = client.list_models();
+  ASSERT_TRUE(list.has_value()) << client.error();
+  EXPECT_EQ(*list, (std::vector<std::string>{"m0", "m1"}));
+
+  // STATS aggregates the reachable replica's share instead of failing.
+  const auto stats = client.query_stats("m1");
+  ASSERT_TRUE(stats.has_value()) << client.error();
+  EXPECT_EQ(stats->report.admitted, a_admitted);
+
+  // The dead backend still cannot be removed while it is the last
+  // replica of m2 — placement refuses to strand a model even when its
+  // only holder is unreachable.
+  std::string message;
+  EXPECT_FALSE(client.remove_backend(addr_of(b), &message));
+  EXPECT_NE(message.find("last replica"), std::string::npos) << message;
+}
+
+// Satellite: pooled connections to a removed backend are closed at
+// retirement and never reused; repeated join/leave cycles do not leak
+// file descriptors (exact under ASan, which aborts on leaks anyway).
+TEST(DynamicPlacement, AddRemoveCyclesRetireConnectionsWithoutFdLeaks) {
+  Engines& fx = engines();
+  BackendHost stable({{"m0", fx.e0}});
+  BackendHost extra({{"m0", fx.e0}});
+
+  shard::ShardProxyConfig cfg = fast_proxy_config();
+  cfg.health_interval = Micros(3'600'000'000);  // no probe churn: fd
+  // counts below must only move with pool lifecycle events.
+  cfg.policy = shard::PlacementPolicy::kConsistentHash;  // spread route
+  // keys across both members so the joiner's pool really opens
+  // connections (explicit policy would pin every key to the primary).
+  shard::ShardProxy proxy(cfg);
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", stable.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  Rng rng(107);
+  uint64_t extra_forwarded = 0;
+  const auto cycle = [&] {
+    std::string error;
+    ASSERT_TRUE(proxy.admin_add_backend("127.0.0.1", extra.port(), {"m0"},
+                                        &error))
+        << error;
+    for (int i = 0; i < 16; ++i) {
+      const auto resp = client.call(synth_example(rng, 8, fx.config),
+                                    std::nullopt, "m0");
+      ASSERT_TRUE(resp.has_value()) << client.error();
+      ASSERT_EQ(resp->status, RequestStatus::kOk);
+    }
+    for (const auto& row : proxy.backend_status())
+      if (row.address == addr_of(extra)) extra_forwarded += row.forwarded;
+    ASSERT_TRUE(proxy.admin_remove_backend(addr_of(extra), &error)) << error;
+    ASSERT_EQ(proxy.backend_status().size(), 1u);
+  };
+
+  cycle();  // warm: both pools at steady state before the baseline
+  const size_t baseline = open_fd_count();
+  for (int i = 0; i < 4; ++i) cycle();
+  EXPECT_LE(open_fd_count(), baseline + 2)
+      << "join/leave cycles leak descriptors";
+  EXPECT_GT(extra_forwarded, 0u)
+      << "the transient backend never took traffic; the retirement path "
+         "was not exercised";
+}
+
+TEST(DynamicPlacement, PlainBackendRefusesAdminFramesInBand) {
+  Engines& fx = engines();
+  BackendHost host({{"m0", fx.e0}});
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", host.port()));
+  std::string message;
+  EXPECT_FALSE(client.add_backend("127.0.0.1", 9999, {{"x", 0}}, &message));
+  EXPECT_NE(message.find("targets a shard proxy"), std::string::npos)
+      << message;
+  EXPECT_EQ(client.error_kind(), net::ClientError::kNone);
+  EXPECT_FALSE(client.remove_backend("x:1", &message));
+  EXPECT_FALSE(client.move_model("m", 0, "a:1", "b:1", "", &message));
+  EXPECT_FALSE(client.get_placement().has_value());
+  // Every refusal was in-band: the connection still serves.
+  EXPECT_TRUE(client.connected());
+  EXPECT_TRUE(client.query_info("m0").has_value()) << client.error();
+
+  // A version-pinned v4 client cannot emit the frames at all — the
+  // client refuses loudly instead of sending an alien type.
+  net::TransportClient v4(/*protocol_version=*/4);
+  ASSERT_TRUE(v4.connect("127.0.0.1", host.port()));
+  EXPECT_FALSE(v4.add_backend("127.0.0.1", 9999, {{"x", 0}}, &message));
+  EXPECT_NE(v4.error().find("requires protocol v5"), std::string::npos);
+}
+
+// Satellite: membership and placement changes land in the flight
+// recorder with their epoch stamps, so `admin --events` shows the
+// control-plane history next to the data-path journal.
+TEST(DynamicPlacement, PlacementChangesAppearInTheFlightJournal) {
+  Engines& fx = engines();
+  BackendHost a({{"m0", fx.e0}, {"x", fx.e1}});
+  BackendHost b({{"m0", fx.e0}, {"x", fx.e1}});
+  BackendHost c({{"m0", fx.e0}});
+  shard::ShardProxy proxy(fast_proxy_config());
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", a.port(), {"m0", "x"}));
+  ASSERT_TRUE(proxy.add_backend("127.0.0.1", b.port(), {"m0"}));
+  ASSERT_TRUE(proxy.start());
+
+  std::string error;
+  ASSERT_TRUE(proxy.admin_add_backend("127.0.0.1", c.port(), {"m0"}, &error))
+      << error;
+  ASSERT_TRUE(proxy.admin_move_model("x", 0, addr_of(a), addr_of(b), "",
+                                     &error))
+      << error;
+  ASSERT_TRUE(proxy.admin_remove_backend(addr_of(c), &error)) << error;
+
+  net::TransportClient client;
+  ASSERT_TRUE(client.connect("127.0.0.1", proxy.port()));
+  const auto events = client.dump_events(0, 0);
+  ASSERT_TRUE(events.has_value()) << client.error();
+  bool saw_add = false, saw_move = false, saw_remove = false;
+  for (const auto& ev : *events) {
+    if (ev.type == static_cast<uint8_t>(FlightEventType::kBackendAdded) &&
+        ev.tag == addr_of(c)) {
+      saw_add = true;
+      EXPECT_GT(ev.b, 0u) << "epoch stamp missing";
+    }
+    if (ev.type ==
+            static_cast<uint8_t>(FlightEventType::kPlacementChanged) &&
+        ev.tag == "x")
+      saw_move = true;
+    if (ev.type == static_cast<uint8_t>(FlightEventType::kBackendRemoved) &&
+        ev.tag == addr_of(c))
+      saw_remove = true;
+  }
+  EXPECT_TRUE(saw_add);
+  EXPECT_TRUE(saw_move);
+  EXPECT_TRUE(saw_remove);
+  EXPECT_EQ(proxy.counters().placement_changes, 3u);
 }
 
 // ---------------------------------------------------------------------------

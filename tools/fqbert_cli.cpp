@@ -18,8 +18,9 @@
 //                       [--batch-sweep 1,8,16] [--worker-sweep 1,2,4]
 //   fqbert_cli proxy    --listen PORT [--bind ADDR]
 //                       --backend HOST:PORT=model[,model...] ...
-//                       [--pool N] [--health-interval-ms I]
-//                       [--health-timeout-ms T] [--call-timeout-ms C]
+//                       [--policy explicit|hash] [--pool N]
+//                       [--health-interval-ms I] [--health-timeout-ms T]
+//                       [--call-timeout-ms C] [--drain-timeout-ms D]
 //
 // `train` produces a float checkpoint; `quantize` runs QAT fine-tuning,
 // calibration and conversion, then saves the deployable integer engine;
@@ -31,8 +32,10 @@
 // batch/worker configurations over the closed-loop client, or drives a
 // remote `serve --listen` instance over the wire with --connect;
 // `proxy` runs the shard-aware routing proxy in front of N backend
-// `serve --listen` hosts (explicit placement table, health checks,
-// failover — clients connect to it exactly as to a single server).
+// `serve --listen` hosts (versioned placement table — explicit pins or
+// consistent hashing — health checks, failover, live membership via
+// `admin --add-backend/--remove-backend/--move-model`; clients connect
+// to it exactly as to a single server).
 //
 // Option parsing is strict: unknown options, stray positionals, and
 // malformed or out-of-range numeric values are all one-line errors with
@@ -96,12 +99,17 @@ int usage() {
                "  admin    --connect HOST:PORT [--timeout-ms T]\n"
                "           [--load NAME=FILE[@intN] ...] (empty FILE derives)\n"
                "           [--unload NAME[@intN] ...]\n"
+               "           [--add-backend HOST:PORT=model[@intN][,...] ...]\n"
+               "           [--remove-backend HOST:PORT ...] (drains first)\n"
+               "           [--move-model NAME[@intN]=FROM,TO[,FILE] ...]\n"
+               "           [--placement]        (proxy placement table)\n"
                "           [--list] [--stats NAME[@intN] ...]\n"
                "           [--events [--since-ns N]] (flight-recorder dump)\n"
                "  proxy    --listen PORT [--bind ADDR] [--metrics PORT]\n"
                "           --backend HOST:PORT=model[@intN][,model...] ...\n"
-               "           [--pool N] [--health-interval-ms I]\n"
-               "           [--health-timeout-ms T] [--call-timeout-ms C]\n");
+               "           [--policy explicit|hash] [--pool N]\n"
+               "           [--health-interval-ms I] [--health-timeout-ms T]\n"
+               "           [--call-timeout-ms C] [--drain-timeout-ms D]\n");
   return 2;
 }
 
@@ -199,6 +207,10 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"timeout-ms", true},
         {"load", true},
         {"unload", true},
+        {"add-backend", true},
+        {"remove-backend", true},
+        {"move-model", true},
+        {"placement", false},
         {"list", false},
         {"stats", true},
         {"events", false},
@@ -208,11 +220,13 @@ const std::map<std::string, std::vector<OptionSpec>>& command_options() {
         {"bind", true},
         {"metrics", true},
         {"backend", true},
+        {"policy", true},
         {"pool", true},
         {"health-interval-ms", true},
         {"health-timeout-ms", true},
         {"call-timeout-ms", true},
-        {"connect-timeout-ms", true}}},
+        {"connect-timeout-ms", true},
+        {"drain-timeout-ms", true}}},
   };
   return specs;
 }
@@ -901,6 +915,108 @@ int cmd_admin(const Args& a) {
     all_ok = all_ok && ok;
     if (!client.connected()) break;
   }
+  // Proxy placement plane (v5): membership changes first (an added
+  // backend can then host a --move-model target in the same command),
+  // then moves, then the read-only --placement dump.
+  for (const std::string& spec : a.values("add-backend")) {
+    std::string address, model_csv;
+    parse_name_value("add-backend", spec, &address, &model_csv);
+    std::string host;
+    uint16_t port = 0;
+    parse_host_port(address, &host, &port, "add-backend");
+    std::vector<serve::net::WireModelEntry> cells;
+    size_t pos = 0;
+    while (pos <= model_csv.size()) {
+      size_t comma = model_csv.find(',', pos);
+      if (comma == std::string::npos) comma = model_csv.size();
+      if (comma == pos)
+        parse_fail("--add-backend: empty model name in '" + spec + "'");
+      std::string name;
+      int tier = 0;
+      parse_tier_suffix("add-backend", model_csv.substr(pos, comma - pos),
+                        &name, &tier);
+      cells.push_back({name, static_cast<uint8_t>(tier)});
+      pos = comma + 1;
+    }
+    std::string message;
+    const bool ok = client.add_backend(host, port, cells, &message);
+    std::printf("add-backend %s: %s\n", spec.c_str(),
+                ok ? message.c_str()
+                   : (message.empty() ? client.error().c_str()
+                                      : message.c_str()));
+    all_ok = all_ok && ok;
+    if (!client.connected()) break;
+  }
+  for (const std::string& spec : a.values("remove-backend")) {
+    std::string host;
+    uint16_t port = 0;
+    parse_host_port(spec, &host, &port, "remove-backend");
+    std::string message;
+    const bool ok = client.remove_backend(spec, &message);
+    std::printf("remove-backend %s: %s\n", spec.c_str(),
+                ok ? message.c_str()
+                   : (message.empty() ? client.error().c_str()
+                                      : message.c_str()));
+    all_ok = all_ok && ok;
+    if (!client.connected()) break;
+  }
+  for (const std::string& spec : a.values("move-model")) {
+    std::string lane, value;
+    parse_name_value("move-model", spec, &lane, &value);
+    std::string model;
+    int tier = 0;
+    parse_tier_suffix("move-model", lane, &model, &tier);
+    // FROM,TO[,FILE] — the first two commas delimit; FILE keeps any
+    // further commas (paths are opaque).
+    const size_t c1 = value.find(',');
+    if (c1 == std::string::npos || c1 == 0 || c1 + 1 >= value.size())
+      parse_fail("--move-model: expected NAME[@intN]=FROM,TO[,FILE], got '" +
+                 spec + "'");
+    size_t c2 = value.find(',', c1 + 1);
+    if (c2 == std::string::npos) c2 = value.size();
+    const std::string from = value.substr(0, c1);
+    const std::string to = value.substr(c1 + 1, c2 - c1 - 1);
+    const std::string path =
+        c2 < value.size() ? value.substr(c2 + 1) : std::string();
+    if (to.empty())
+      parse_fail("--move-model: empty TO address in '" + spec + "'");
+    std::string message;
+    const bool ok = client.move_model(model, static_cast<uint8_t>(tier),
+                                      from, to, path, &message);
+    std::printf("move-model %s: %s\n", spec.c_str(),
+                ok ? message.c_str()
+                   : (message.empty() ? client.error().c_str()
+                                      : message.c_str()));
+    all_ok = all_ok && ok;
+    if (!client.connected()) break;
+  }
+  if (a.flag("placement") && client.connected()) {
+    const auto placement = client.get_placement();
+    if (!placement) {
+      std::fprintf(stderr, "placement failed: %s\n", client.error().c_str());
+      all_ok = false;
+    } else {
+      std::printf("placement: epoch %llu, policy %s, default model '%s', "
+                  "%zu backend(s):\n",
+                  static_cast<unsigned long long>(placement->epoch),
+                  serve::shard::placement_policy_name(
+                      static_cast<serve::shard::PlacementPolicy>(
+                          placement->policy)),
+                  placement->default_model.c_str(),
+                  placement->backends.size());
+      for (const auto& b : placement->backends) {
+        std::string cells;
+        for (const auto& cell : b.models) {
+          cells += (cells.empty() ? "" : ", ") + cell.name;
+          if (cell.tier != 0) cells += "@int" + std::to_string(cell.tier);
+        }
+        std::printf("  %-22s %-8s [%s]\n", b.address.c_str(),
+                    serve::shard::backend_state_name(
+                        static_cast<serve::shard::BackendState>(b.state)),
+                    cells.c_str());
+      }
+    }
+  }
   if (a.flag("list") && client.connected()) {
     const auto entries = client.list_models_tiered();
     if (!entries) {
@@ -1008,6 +1124,14 @@ int cmd_proxy(const Args& a) {
       int_opt(a, "call-timeout-ms", 30000, 1, 3600LL * 1000) * 1000);
   cfg.connect_timeout = serve::Micros(
       int_opt(a, "connect-timeout-ms", 2000, 1, 3600LL * 1000) * 1000);
+  cfg.drain_timeout = serve::Micros(
+      int_opt(a, "drain-timeout-ms", 10000, 0, 3600LL * 1000) * 1000);
+  const std::string policy = a.get("policy", "explicit");
+  if (policy == "hash")
+    cfg.policy = serve::shard::PlacementPolicy::kConsistentHash;
+  else if (policy != "explicit")
+    parse_fail("--policy: expected 'explicit' or 'hash', got '" + policy +
+               "'");
 
   serve::shard::ShardProxy proxy(cfg);
   std::set<std::string> seen_addresses;
@@ -1045,13 +1169,16 @@ int cmd_proxy(const Args& a) {
   serve::MetricsHttpServer metrics(
       [&proxy] { return serve::render_proxy_metrics(proxy); });
   // The proxy journals its own health transitions and failover retries;
-  // /debug/slow and /debug/lanes are router-side views, so only the
-  // event feed is exposed here.
+  // /debug/slow and /debug/lanes are router-side views, so the proxy
+  // exposes the event feed plus its live placement table.
   metrics.add_endpoint("/debug/events", [](const std::string& query) {
     return serve::render_debug_events(
         serve::FlightRecorder::instance(),
         serve::debug_query_u64(query, "since_ns", 0),
         serve::debug_query_u64(query, "max", 0));
+  });
+  metrics.add_endpoint("/debug/placement", [&proxy](const std::string&) {
+    return serve::render_debug_placement(proxy);
   });
   if (a.flag("metrics")) {
     const auto metrics_port =
@@ -1060,7 +1187,8 @@ int cmd_proxy(const Args& a) {
       std::fprintf(stderr, "metrics endpoint failed to start\n");
       return 1;
     }
-    std::printf("metrics on http://%s:%u/metrics (debug: /debug/events)\n",
+    std::printf("metrics on http://%s:%u/metrics (debug: /debug/events "
+                "/debug/placement)\n",
                 cfg.bind_address.c_str(), metrics.port());
   }
 
